@@ -1,0 +1,66 @@
+//! Criterion micro-benchmarks for the rendering kernels (frustum culling,
+//! projection, forward and backward rasterization) that the GS-Scale
+//! trainers are built from.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use gs_core::camera::Viewport;
+use gs_core::image::Image;
+use gs_render::culling::frustum_cull;
+use gs_render::loss::{loss_and_grad, LossKind};
+use gs_render::pipeline::{render, render_backward};
+use gs_render::projection::project_splats;
+use gs_scene::{SceneConfig, SceneDataset};
+
+fn bench_scene() -> SceneDataset {
+    SceneDataset::generate(SceneConfig {
+        name: "bench".to_string(),
+        num_gaussians: 4000,
+        init_points: 1000,
+        width: 160,
+        height: 120,
+        num_train_views: 8,
+        num_test_views: 2,
+        target_active_ratio: 0.15,
+        extent: 100.0,
+        far_view_fraction: 0.0,
+        seed: 9,
+    })
+}
+
+fn kernels(c: &mut Criterion) {
+    let scene = bench_scene();
+    let cam = scene.train_cameras[2].clone();
+    let vp = Viewport::full(&cam);
+    let params = scene.gt_params.clone();
+
+    let mut group = c.benchmark_group("kernels");
+    group.sample_size(20);
+
+    group.bench_function("frustum_cull_4k_gaussians", |b| {
+        b.iter(|| frustum_cull(&params, &cam, &vp))
+    });
+
+    group.bench_function("projection_4k_gaussians", |b| {
+        b.iter(|| project_splats(&params, &cam, 3, &vp))
+    });
+
+    group.bench_function("render_forward_160x120", |b| {
+        b.iter(|| render(&params, &cam, 3, &vp, [0.0; 3]))
+    });
+
+    let output = render(&params, &cam, 3, &vp, [0.0; 3]);
+    let target = Image::filled(cam.width, cam.height, [0.4, 0.4, 0.4]);
+    let (_, d_image) = loss_and_grad(LossKind::L1, &output.image, &target);
+    group.bench_function("render_backward_160x120", |b| {
+        b.iter_batched(
+            || (output.clone(), d_image.clone()),
+            |(out, d)| render_backward(&params, &cam, 3, &out, &d),
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, kernels);
+criterion_main!(benches);

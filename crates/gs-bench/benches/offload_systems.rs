@@ -1,0 +1,98 @@
+//! Criterion benchmarks of one full training iteration under each system
+//! (GPU-only, baseline offloading, GS-Scale without deferred Adam, GS-Scale
+//! with all optimizations) plus the platform models they rely on.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use gs_core::scene::init_gaussians_from_point_cloud;
+use gs_platform::{PlatformSpec, Stream, TimelineSim, TransferModel};
+use gs_scene::{SceneConfig, SceneDataset};
+use gs_train::{
+    GpuOnlyTrainer, OffloadOptions, OffloadTrainer, SystemKind, TrainConfig, Trainer,
+};
+
+fn bench_scene() -> SceneDataset {
+    SceneDataset::generate(SceneConfig {
+        name: "bench".to_string(),
+        num_gaussians: 2500,
+        init_points: 800,
+        width: 128,
+        height: 96,
+        num_train_views: 6,
+        num_test_views: 2,
+        target_active_ratio: 0.12,
+        extent: 100.0,
+        far_view_fraction: 0.0,
+        seed: 21,
+    })
+}
+
+fn training_iteration(c: &mut Criterion) {
+    let scene = bench_scene();
+    let cam = scene.train_cameras[1].clone();
+    let target = scene.ground_truth(&cam);
+    let init = init_gaussians_from_point_cloud(&scene.init_cloud, 0.3);
+    let platform = PlatformSpec::laptop_rtx4070m();
+    let cfg = TrainConfig::fast_test(10);
+
+    let mut group = c.benchmark_group("training_iteration");
+    group.sample_size(10);
+
+    for kind in SystemKind::ALL {
+        group.bench_function(kind.name(), |b| {
+            b.iter_batched(
+                || match kind {
+                    SystemKind::GpuOnly => Box::new(
+                        GpuOnlyTrainer::new(cfg.clone(), platform.clone(), init.clone(), 100.0)
+                            .expect("fits"),
+                    ) as Box<dyn Trainer>,
+                    other => Box::new(
+                        OffloadTrainer::new(
+                            cfg.clone(),
+                            OffloadOptions::for_system(other),
+                            platform.clone(),
+                            init.clone(),
+                            100.0,
+                        )
+                        .expect("fits"),
+                    ) as Box<dyn Trainer>,
+                },
+                |mut trainer| trainer.step(&cam, &target).expect("step"),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn platform_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("platform_models");
+    group.sample_size(30);
+
+    group.bench_function("chunked_transfer_1gb", |b| {
+        let model = TransferModel::new(16.0e9);
+        b.iter(|| model.chunked_transfer_time(1_000_000_000))
+    });
+
+    group.bench_function("timeline_1000_events", |b| {
+        b.iter(|| {
+            let mut sim = TimelineSim::new();
+            let mut prev = None;
+            for i in 0..1000 {
+                let deps: Vec<_> = prev.into_iter().collect();
+                let stream = match i % 4 {
+                    0 => Stream::CpuCompute,
+                    1 => Stream::HostToDevice,
+                    2 => Stream::GpuCompute,
+                    _ => Stream::DeviceToHost,
+                };
+                prev = Some(sim.schedule(stream, "event", 1.0e-4, &deps));
+            }
+            sim.makespan()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, training_iteration, platform_models);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Criterion micro-benchmarks comparing the optimizer variants: dense Adam
+//! (what the CPU must run in the naive offloading baseline), sparse Adam,
+//! and the paper's deferred Adam — the memory-traffic reduction of the
+//! deferred update is the core of Section 4.3.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use gs_core::gaussian::{GaussianGrads, GaussianParams, SparseGrads};
+use gs_core::math::Vec3;
+use gs_optim::{AdamConfig, DeferredAdam, DenseAdam, SparseAdam};
+
+const N: usize = 20_000;
+const ACTIVE: usize = 1_600; // ~8% active, matching the paper's average.
+
+fn make_params(n: usize) -> GaussianParams {
+    let mut p = GaussianParams::with_capacity(n);
+    for i in 0..n {
+        let f = i as f32;
+        p.push_isotropic(
+            Vec3::new(f.sin() * 50.0, f.cos() * 50.0, (f * 0.37).sin() * 10.0),
+            0.2,
+            [0.5, 0.4, 0.3],
+            0.7,
+        );
+    }
+    p
+}
+
+fn make_sparse(n_total: usize, active: usize) -> SparseGrads {
+    let ids: Vec<u32> = (0..active as u32).map(|i| i * (n_total as u32 / active as u32)).collect();
+    let mut grads = GaussianGrads::zeros(ids.len());
+    for k in 0..ids.len() {
+        grads.means[3 * k] = (k as f32 * 0.1).sin() * 0.01;
+        grads.opacities[k] = (k as f32 * 0.2).cos() * 0.01;
+        grads.sh[48 * k] = 0.005;
+    }
+    SparseGrads { ids, grads }
+}
+
+fn optimizers(c: &mut Criterion) {
+    let params = make_params(N);
+    let sparse = make_sparse(N, ACTIVE);
+    let dense_grads = sparse.to_dense(N);
+    let cfg = AdamConfig::reference();
+
+    let mut group = c.benchmark_group("optimizers");
+    group.sample_size(15);
+
+    group.bench_function("dense_adam_20k", |b| {
+        b.iter_batched(
+            || (DenseAdam::new(cfg, N), params.clone()),
+            |(mut opt, mut p)| opt.step(&mut p, &dense_grads),
+            BatchSize::LargeInput,
+        )
+    });
+
+    group.bench_function("sparse_adam_20k_8pct_active", |b| {
+        b.iter_batched(
+            || (SparseAdam::new(cfg, N), params.clone()),
+            |(mut opt, mut p)| opt.step(&mut p, &sparse),
+            BatchSize::LargeInput,
+        )
+    });
+
+    group.bench_function("deferred_adam_20k_8pct_active", |b| {
+        b.iter_batched(
+            || (DeferredAdam::new(cfg, N), params.clone()),
+            |(mut opt, mut p)| opt.step(&mut p, &sparse),
+            BatchSize::LargeInput,
+        )
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, optimizers);
+criterion_main!(benches);

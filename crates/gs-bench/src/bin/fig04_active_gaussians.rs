@@ -1,0 +1,40 @@
+//! Reproduces Figure 4: the average number of Gaussians inside the viewing
+//! frustum compared to the total, per scene. The synthetic scenes are
+//! generated to match the paper's per-scene active ratios; this binary
+//! verifies the match by running frustum culling over every training view.
+
+use gs_bench::{build_scene, print_table, ExperimentScale};
+use gs_render::culling::average_active_ratio;
+use gs_scene::ScenePreset;
+
+fn main() {
+    let scale = ExperimentScale::from_args();
+    let mut rows = Vec::new();
+    let mut measured_sum = 0.0;
+    for preset in ScenePreset::ALL {
+        let scene = build_scene(&preset, &scale);
+        let measured = average_active_ratio(&scene.gt_params, &scene.train_cameras);
+        measured_sum += measured;
+        rows.push(vec![
+            preset.name.to_string(),
+            format!("{}", scene.num_gaussians()),
+            format!("{:.1}%", preset.active_ratio * 100.0),
+            format!("{:.1}%", measured * 100.0),
+        ]);
+    }
+    rows.push(vec![
+        "Average".to_string(),
+        String::new(),
+        "8.3%".to_string(),
+        format!("{:.1}%", measured_sum / ScenePreset::ALL.len() as f64 * 100.0),
+    ]);
+    print_table(
+        "Figure 4: active vs total Gaussians per scene",
+        &["Scene", "Total (runnable scale)", "Paper active ratio", "Measured active ratio"],
+        &rows,
+    );
+    println!(
+        "\nExpected shape (paper): every scene uses a small fraction of its Gaussians per view\n\
+         (2.3% - 12.6%, 8.28% on average), which is the property host offloading exploits."
+    );
+}

@@ -1,0 +1,83 @@
+//! Reproduces Figure 13: rendering quality and scalability across Gaussian
+//! scales and platforms — more Gaussians give better quality, and GS-Scale
+//! extends the maximum trainable count on every platform.
+
+use gs_bench::{print_table, quality_after_training, ExperimentScale};
+use gs_platform::PlatformSpec;
+use gs_scene::{SceneDataset, ScenePreset};
+use gs_train::{estimate_gpu_memory, SystemKind, TrainConfig};
+
+fn max_gaussians(kind: SystemKind, preset: &ScenePreset, platform: &PlatformSpec) -> f64 {
+    let pixels = preset.width * preset.height;
+    let mut lo = 100_000usize;
+    let mut hi = 200_000_000usize;
+    for _ in 0..40 {
+        let mid = (lo + hi) / 2;
+        if estimate_gpu_memory(kind, mid, preset.active_ratio, pixels, 0.3).total()
+            <= platform.gpu.mem_capacity
+        {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo as f64 / 1e6
+}
+
+fn main() {
+    let scale = ExperimentScale::from_args();
+    let platform = PlatformSpec::desktop_rtx4080s();
+
+    // Quality vs Gaussian count for two representative scenes (functional).
+    for preset in [ScenePreset::RUBBLE, ScenePreset::SZTU] {
+        let mut rows = Vec::new();
+        for factor in [0.5f64, 1.0, 2.0] {
+            let scene =
+                SceneDataset::from_preset(&preset, scale.gaussian_scale * factor, scale.seed);
+            let cfg = TrainConfig::fast_test(scale.iterations * 2);
+            let (quality, n) = quality_after_training(
+                SystemKind::GsScale,
+                &platform,
+                &scene,
+                &cfg,
+                scale.iterations * 2,
+            )
+            .expect("GS-Scale fits");
+            rows.push(vec![
+                format!("{n}"),
+                format!("{:.2}", quality.psnr),
+                format!("{:.3}", quality.ssim),
+                format!("{:.3}", quality.lpips),
+            ]);
+        }
+        print_table(
+            &format!("Figure 13: quality vs Gaussian count — {} (runnable scale)", preset.name),
+            &["Gaussians", "PSNR", "SSIM", "LPIPS (proxy)"],
+            &rows,
+        );
+    }
+
+    // Maximum Gaussian scaling per platform and system (paper scale).
+    let mut rows = Vec::new();
+    for platform in [PlatformSpec::laptop_rtx4070m(), PlatformSpec::desktop_rtx4080s()] {
+        let preset = ScenePreset::RUBBLE;
+        let gpu_only = max_gaussians(SystemKind::GpuOnly, &preset, &platform);
+        let gs = max_gaussians(SystemKind::GsScale, &preset, &platform);
+        rows.push(vec![
+            platform.name.clone(),
+            format!("{gpu_only:.1}M"),
+            format!("{gs:.1}M"),
+            format!("{:.1}x", gs / gpu_only),
+        ]);
+    }
+    print_table(
+        "Figure 13 (scaling): maximum trainable Gaussians per platform (Rubble, paper scale)",
+        &["Platform", "GPU-Only max", "GS-Scale max", "Extension"],
+        &rows,
+    );
+    println!(
+        "\nExpected shape (paper): quality rises monotonically with the Gaussian count; GS-Scale\n\
+         scales the maximum count from ~4M to ~18M on the laptop and from ~9M to ~40M on the\n\
+         desktop, which is what yields the 28-30% LPIPS improvements."
+    );
+}

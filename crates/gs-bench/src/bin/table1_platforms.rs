@@ -1,0 +1,44 @@
+//! Reproduces Table 1: specifications of the GPU platforms.
+
+use gs_bench::print_table;
+use gs_platform::PlatformSpec;
+
+fn main() {
+    let rows: Vec<Vec<String>> = PlatformSpec::table1()
+        .into_iter()
+        .chain([
+            PlatformSpec::desktop_rtx4070s(),
+            PlatformSpec::desktop_rtx4090(),
+        ])
+        .map(|p| {
+            vec![
+                p.name.clone(),
+                format!("{:.0} GB", p.gpu.mem_capacity as f64 / 1.073_741_824e9),
+                format!("{:.0} GB/s", p.gpu.mem_bandwidth / 1e9),
+                format!("{:.0} GB/s", p.pcie_bandwidth / 1e9),
+                format!("{:.0} GB", p.cpu.mem_capacity as f64 / 1.073_741_824e9),
+                format!("{:.1} GB/s", p.cpu.mem_bandwidth / 1e9),
+                format!("{:.1}", p.r_bw()),
+                format!("{}", p.numa_nodes),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table 1: GPU platform specifications",
+        &[
+            "Platform",
+            "GPU Mem",
+            "GPU BW",
+            "PCIe BW",
+            "Host Mem",
+            "Host BW",
+            "R_bw",
+            "NUMA",
+        ],
+        &rows,
+    );
+    println!(
+        "\nNote: the first three rows are the laptop/desktop/server platforms of Table 1;\n\
+         the last two are the extra desktop GPUs used in the Figure 15c sensitivity study."
+    );
+}

@@ -1,0 +1,30 @@
+//! Reproduces Table 2: evaluated benchmark scenes (plus the Figure 4 active
+//! ratios and the paper-scale Gaussian counts each preset encodes).
+
+use gs_bench::print_table;
+use gs_scene::presets::SceneKind;
+use gs_scene::ScenePreset;
+
+fn main() {
+    let rows: Vec<Vec<String>> = ScenePreset::ALL
+        .iter()
+        .map(|p| {
+            vec![
+                p.dataset.to_string(),
+                p.name.to_string(),
+                format!("{}x{}", p.width, p.height),
+                match p.kind {
+                    SceneKind::RealWorldOutdoor => "Real World & Outdoor".to_string(),
+                    SceneKind::Synthetic => "Synthetic".to_string(),
+                },
+                format!("{:.1}%", p.active_ratio * 100.0),
+                format!("{:.0}M", p.paper_gaussians as f64 / 1e6),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table 2: evaluated benchmark scenes",
+        &["Dataset", "Scene", "Resolution", "Type", "Active ratio", "Gaussians (paper scale)"],
+        &rows,
+    );
+}

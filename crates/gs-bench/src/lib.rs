@@ -1,0 +1,20 @@
+//! Benchmark harness regenerating every table and figure of the GS-Scale
+//! paper's evaluation.
+//!
+//! Each binary under `src/bin/` reproduces one experiment and prints the
+//! corresponding rows/series (see DESIGN.md for the experiment index and
+//! EXPERIMENTS.md for paper-vs-measured results). The [`harness`] module
+//! holds the shared machinery: scene construction at a runnable scale,
+//! trainer construction per system, throughput measurement and table
+//! formatting. Criterion micro-benchmarks for the individual kernels and
+//! optimizers live under `benches/`.
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod harness;
+
+pub use harness::{
+    build_offload_options, build_scene, fmt_gb, fmt_ratio, initial_params, measure_run,
+    print_table, quality_after_training, ExperimentScale,
+};

@@ -1,0 +1,328 @@
+//! Pinhole camera model used for projection and frustum culling.
+
+use crate::math::{Mat3, Vec2, Vec3};
+
+/// A pinhole camera with intrinsics and a rigid world-to-camera transform.
+///
+/// The camera convention follows 3DGS / OpenCV: `+x` right, `+y` down, `+z`
+/// forward (into the scene). A world point `p` maps to camera space as
+/// `R * (p - position)` where `R` is [`Camera::rotation`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Camera {
+    /// Image width in pixels.
+    pub width: usize,
+    /// Image height in pixels.
+    pub height: usize,
+    /// Focal length in pixels along x.
+    pub fx: f32,
+    /// Focal length in pixels along y.
+    pub fy: f32,
+    /// Principal point x (pixels).
+    pub cx: f32,
+    /// Principal point y (pixels).
+    pub cy: f32,
+    /// World-to-camera rotation.
+    pub rotation: Mat3,
+    /// Camera center in world coordinates.
+    pub position: Vec3,
+    /// Near clipping plane distance.
+    pub near: f32,
+    /// Far clipping plane distance.
+    pub far: f32,
+}
+
+impl Camera {
+    /// Creates a camera from explicit intrinsics and extrinsics.
+    pub fn new(
+        width: usize,
+        height: usize,
+        fx: f32,
+        fy: f32,
+        rotation: Mat3,
+        position: Vec3,
+    ) -> Self {
+        Self {
+            width,
+            height,
+            fx,
+            fy,
+            cx: width as f32 / 2.0,
+            cy: height as f32 / 2.0,
+            rotation,
+            position,
+            near: 0.01,
+            far: 1.0e4,
+        }
+    }
+
+    /// Creates a camera from a horizontal field of view (radians).
+    ///
+    /// The vertical focal length is chosen so pixels are square.
+    pub fn from_fov(width: usize, height: usize, fov_x: f32, rotation: Mat3, position: Vec3) -> Self {
+        let fx = width as f32 / (2.0 * (fov_x / 2.0).tan());
+        Self::new(width, height, fx, fx, rotation, position)
+    }
+
+    /// Creates a camera at `position` looking toward `target` with the given
+    /// world-space up vector and horizontal field of view (radians).
+    pub fn look_at(
+        width: usize,
+        height: usize,
+        fov_x: f32,
+        position: Vec3,
+        target: Vec3,
+        up: Vec3,
+    ) -> Self {
+        let forward = (target - position).normalized();
+        let right = forward.cross(up).normalized();
+        // In the +y-down convention the camera "down" axis is forward x right.
+        let down = forward.cross(right).normalized();
+        let rotation = Mat3::from_rows([
+            [right.x, right.y, right.z],
+            [down.x, down.y, down.z],
+            [forward.x, forward.y, forward.z],
+        ]);
+        Self::from_fov(width, height, fov_x, rotation, position)
+    }
+
+    /// Number of pixels in the image.
+    #[inline]
+    pub fn num_pixels(&self) -> usize {
+        self.width * self.height
+    }
+
+    /// Horizontal field of view tangent (`width / (2 fx)`).
+    #[inline]
+    pub fn tan_fov_x(&self) -> f32 {
+        self.width as f32 / (2.0 * self.fx)
+    }
+
+    /// Vertical field of view tangent (`height / (2 fy)`).
+    #[inline]
+    pub fn tan_fov_y(&self) -> f32 {
+        self.height as f32 / (2.0 * self.fy)
+    }
+
+    /// Transforms a world-space point into camera space.
+    #[inline]
+    pub fn world_to_cam(&self, p: Vec3) -> Vec3 {
+        self.rotation.mul_vec(p - self.position)
+    }
+
+    /// Projects a camera-space point to pixel coordinates.
+    ///
+    /// The caller must ensure `p_cam.z > 0`.
+    #[inline]
+    pub fn cam_to_pixel(&self, p_cam: Vec3) -> Vec2 {
+        Vec2::new(
+            self.fx * p_cam.x / p_cam.z + self.cx,
+            self.fy * p_cam.y / p_cam.z + self.cy,
+        )
+    }
+
+    /// Projects a world-space point to `(pixel, depth)`.
+    ///
+    /// Returns `None` if the point is behind the near plane or beyond the far
+    /// plane.
+    pub fn project(&self, p_world: Vec3) -> Option<(Vec2, f32)> {
+        let c = self.world_to_cam(p_world);
+        if c.z <= self.near || c.z >= self.far {
+            return None;
+        }
+        Some((self.cam_to_pixel(c), c.z))
+    }
+
+    /// The viewing direction from the camera center to a world point
+    /// (unit length).
+    #[inline]
+    pub fn view_dir(&self, p_world: Vec3) -> Vec3 {
+        (p_world - self.position).normalized()
+    }
+
+    /// Returns a copy of the camera with the image scaled by `factor`
+    /// (e.g. `0.5` halves the resolution), adjusting intrinsics accordingly.
+    pub fn scaled(&self, factor: f32) -> Camera {
+        let mut c = self.clone();
+        c.width = ((self.width as f32 * factor).round() as usize).max(1);
+        c.height = ((self.height as f32 * factor).round() as usize).max(1);
+        c.fx = self.fx * factor;
+        c.fy = self.fy * factor;
+        c.cx = self.cx * factor;
+        c.cy = self.cy * factor;
+        c
+    }
+}
+
+/// A rectangular pixel region of a camera image, used by balance-aware image
+/// splitting to process one image as two independent sub-renders.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Viewport {
+    /// First column (inclusive).
+    pub x0: usize,
+    /// First row (inclusive).
+    pub y0: usize,
+    /// One past the last column.
+    pub x1: usize,
+    /// One past the last row.
+    pub y1: usize,
+}
+
+impl Viewport {
+    /// The full image viewport for a camera.
+    pub fn full(cam: &Camera) -> Self {
+        Self {
+            x0: 0,
+            y0: 0,
+            x1: cam.width,
+            y1: cam.height,
+        }
+    }
+
+    /// Width in pixels.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.x1 - self.x0
+    }
+
+    /// Height in pixels.
+    #[inline]
+    pub fn height(&self) -> usize {
+        self.y1 - self.y0
+    }
+
+    /// Number of pixels covered.
+    #[inline]
+    pub fn num_pixels(&self) -> usize {
+        self.width() * self.height()
+    }
+
+    /// Splits the viewport into left/right halves at column `split_x`
+    /// (which must lie strictly inside the viewport).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `split_x` is not strictly between `x0` and `x1`.
+    pub fn split_at_column(&self, split_x: usize) -> (Viewport, Viewport) {
+        assert!(split_x > self.x0 && split_x < self.x1, "split outside viewport");
+        (
+            Viewport {
+                x0: self.x0,
+                y0: self.y0,
+                x1: split_x,
+                y1: self.y1,
+            },
+            Viewport {
+                x0: split_x,
+                y0: self.y0,
+                x1: self.x1,
+                y1: self.y1,
+            },
+        )
+    }
+
+    /// Whether a pixel-space point falls inside this viewport, expanded by
+    /// `margin` pixels on every side.
+    #[inline]
+    pub fn contains_with_margin(&self, x: f32, y: f32, margin: f32) -> bool {
+        x >= self.x0 as f32 - margin
+            && x < self.x1 as f32 + margin
+            && y >= self.y0 as f32 - margin
+            && y < self.y1 as f32 + margin
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_cam() -> Camera {
+        Camera::look_at(
+            640,
+            480,
+            std::f32::consts::FRAC_PI_2,
+            Vec3::new(0.0, 0.0, -5.0),
+            Vec3::ZERO,
+            Vec3::new(0.0, 1.0, 0.0),
+        )
+    }
+
+    #[test]
+    fn look_at_points_forward_axis_at_target() {
+        let cam = test_cam();
+        let c = cam.world_to_cam(Vec3::ZERO);
+        assert!(c.x.abs() < 1e-5);
+        assert!(c.y.abs() < 1e-5);
+        assert!((c.z - 5.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn center_point_projects_to_principal_point() {
+        let cam = test_cam();
+        let (px, depth) = cam.project(Vec3::ZERO).unwrap();
+        assert!((px.x - cam.cx).abs() < 1e-3);
+        assert!((px.y - cam.cy).abs() < 1e-3);
+        assert!((depth - 5.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn points_behind_camera_do_not_project() {
+        let cam = test_cam();
+        assert!(cam.project(Vec3::new(0.0, 0.0, -10.0)).is_none());
+    }
+
+    #[test]
+    fn fov_and_focal_are_consistent() {
+        let cam = Camera::from_fov(800, 600, 1.0, Mat3::IDENTITY, Vec3::ZERO);
+        assert!((2.0 * (cam.tan_fov_x()).atan() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn rotation_is_orthonormal() {
+        let cam = test_cam();
+        let rtr = cam.rotation.transpose().mul_mat(cam.rotation);
+        for i in 0..3 {
+            for j in 0..3 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((rtr.m[i][j] - expect).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn scaled_camera_preserves_fov() {
+        let cam = test_cam();
+        let half = cam.scaled(0.5);
+        assert_eq!(half.width, 320);
+        assert_eq!(half.height, 240);
+        assert!((half.tan_fov_x() - cam.tan_fov_x()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn viewport_split_covers_everything() {
+        let cam = test_cam();
+        let vp = Viewport::full(&cam);
+        let (l, r) = vp.split_at_column(200);
+        assert_eq!(l.num_pixels() + r.num_pixels(), vp.num_pixels());
+        assert_eq!(l.width(), 200);
+        assert_eq!(r.width(), 440);
+    }
+
+    #[test]
+    #[should_panic(expected = "split outside viewport")]
+    fn viewport_split_outside_panics() {
+        let cam = test_cam();
+        Viewport::full(&cam).split_at_column(0);
+    }
+
+    #[test]
+    fn viewport_margin_containment() {
+        let vp = Viewport {
+            x0: 10,
+            y0: 10,
+            x1: 20,
+            y1: 20,
+        };
+        assert!(vp.contains_with_margin(9.0, 15.0, 2.0));
+        assert!(!vp.contains_with_margin(5.0, 15.0, 2.0));
+    }
+}

@@ -1,0 +1,269 @@
+//! A minimal RGB float image container used for rendered outputs, ground
+//! truth images and quality metrics.
+
+/// An RGB image with `f32` channels in `[0, 1]` (values outside the range are
+/// permitted but metrics clamp them).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Image {
+    width: usize,
+    height: usize,
+    /// Row-major pixel data, `3 * width * height` floats (`r, g, b` per pixel).
+    data: Vec<f32>,
+}
+
+impl Image {
+    /// Creates a black image.
+    pub fn zeros(width: usize, height: usize) -> Self {
+        Self {
+            width,
+            height,
+            data: vec![0.0; 3 * width * height],
+        }
+    }
+
+    /// Creates an image filled with a constant color.
+    pub fn filled(width: usize, height: usize, rgb: [f32; 3]) -> Self {
+        let mut img = Self::zeros(width, height);
+        for p in 0..width * height {
+            img.data[3 * p] = rgb[0];
+            img.data[3 * p + 1] = rgb[1];
+            img.data[3 * p + 2] = rgb[2];
+        }
+        img
+    }
+
+    /// Creates an image by evaluating `f(x, y)` for every pixel.
+    pub fn from_fn(width: usize, height: usize, mut f: impl FnMut(usize, usize) -> [f32; 3]) -> Self {
+        let mut img = Self::zeros(width, height);
+        for y in 0..height {
+            for x in 0..width {
+                img.set_pixel(x, y, f(x, y));
+            }
+        }
+        img
+    }
+
+    /// Builds an image from raw row-major RGB data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != 3 * width * height`.
+    pub fn from_raw(width: usize, height: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), 3 * width * height, "raw data length mismatch");
+        Self {
+            width,
+            height,
+            data,
+        }
+    }
+
+    /// Image width in pixels.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    #[inline]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Number of pixels.
+    #[inline]
+    pub fn num_pixels(&self) -> usize {
+        self.width * self.height
+    }
+
+    /// Raw row-major RGB data.
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable raw row-major RGB data.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Reads the RGB value of pixel `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of bounds.
+    #[inline]
+    pub fn pixel(&self, x: usize, y: usize) -> [f32; 3] {
+        assert!(x < self.width && y < self.height, "pixel out of bounds");
+        let i = 3 * (y * self.width + x);
+        [self.data[i], self.data[i + 1], self.data[i + 2]]
+    }
+
+    /// Writes the RGB value of pixel `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of bounds.
+    #[inline]
+    pub fn set_pixel(&mut self, x: usize, y: usize, rgb: [f32; 3]) {
+        assert!(x < self.width && y < self.height, "pixel out of bounds");
+        let i = 3 * (y * self.width + x);
+        self.data[i] = rgb[0];
+        self.data[i + 1] = rgb[1];
+        self.data[i + 2] = rgb[2];
+    }
+
+    /// Mean value over all channels.
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        self.data.iter().sum::<f32>() / self.data.len() as f32
+    }
+
+    /// Extracts a rectangular sub-image `[x0, x1) x [y0, y1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region is empty or out of bounds.
+    pub fn crop(&self, x0: usize, y0: usize, x1: usize, y1: usize) -> Image {
+        assert!(x0 < x1 && y0 < y1 && x1 <= self.width && y1 <= self.height);
+        let mut out = Image::zeros(x1 - x0, y1 - y0);
+        for y in y0..y1 {
+            for x in x0..x1 {
+                out.set_pixel(x - x0, y - y0, self.pixel(x, y));
+            }
+        }
+        out
+    }
+
+    /// Pastes `src` into this image with its top-left corner at `(x0, y0)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` does not fit.
+    pub fn paste(&mut self, src: &Image, x0: usize, y0: usize) {
+        assert!(x0 + src.width <= self.width && y0 + src.height <= self.height);
+        for y in 0..src.height {
+            for x in 0..src.width {
+                self.set_pixel(x0 + x, y0 + y, src.pixel(x, y));
+            }
+        }
+    }
+
+    /// Converts to grayscale luminance (`0.299 r + 0.587 g + 0.114 b`).
+    pub fn to_luma(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.num_pixels());
+        for p in 0..self.num_pixels() {
+            let r = self.data[3 * p];
+            let g = self.data[3 * p + 1];
+            let b = self.data[3 * p + 2];
+            out.push(0.299 * r + 0.587 * g + 0.114 * b);
+        }
+        out
+    }
+
+    /// Downsamples by an integer factor using box filtering.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor == 0`.
+    pub fn downsample(&self, factor: usize) -> Image {
+        assert!(factor > 0);
+        if factor == 1 {
+            return self.clone();
+        }
+        let w = (self.width / factor).max(1);
+        let h = (self.height / factor).max(1);
+        let mut out = Image::zeros(w, h);
+        for y in 0..h {
+            for x in 0..w {
+                let mut acc = [0.0f32; 3];
+                let mut count = 0.0;
+                for dy in 0..factor {
+                    for dx in 0..factor {
+                        let sx = x * factor + dx;
+                        let sy = y * factor + dy;
+                        if sx < self.width && sy < self.height {
+                            let p = self.pixel(sx, sy);
+                            acc[0] += p[0];
+                            acc[1] += p[1];
+                            acc[2] += p[2];
+                            count += 1.0;
+                        }
+                    }
+                }
+                out.set_pixel(x, y, [acc[0] / count, acc[1] / count, acc[2] / count]);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_is_black() {
+        let img = Image::zeros(4, 3);
+        assert_eq!(img.width(), 4);
+        assert_eq!(img.height(), 3);
+        assert_eq!(img.mean(), 0.0);
+    }
+
+    #[test]
+    fn set_and_get_pixel() {
+        let mut img = Image::zeros(4, 4);
+        img.set_pixel(2, 1, [0.1, 0.5, 0.9]);
+        assert_eq!(img.pixel(2, 1), [0.1, 0.5, 0.9]);
+        assert_eq!(img.pixel(0, 0), [0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn pixel_out_of_bounds_panics() {
+        Image::zeros(2, 2).pixel(2, 0);
+    }
+
+    #[test]
+    fn crop_and_paste_roundtrip() {
+        let src = Image::from_fn(8, 8, |x, y| [x as f32 / 8.0, y as f32 / 8.0, 0.5]);
+        let crop = src.crop(2, 3, 6, 7);
+        assert_eq!(crop.width(), 4);
+        assert_eq!(crop.height(), 4);
+        assert_eq!(crop.pixel(0, 0), src.pixel(2, 3));
+        let mut dst = Image::zeros(8, 8);
+        dst.paste(&crop, 2, 3);
+        assert_eq!(dst.pixel(3, 4), src.pixel(3, 4));
+    }
+
+    #[test]
+    fn luma_of_white_is_one() {
+        let img = Image::filled(2, 2, [1.0, 1.0, 1.0]);
+        for l in img.to_luma() {
+            assert!((l - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn downsample_averages() {
+        let img = Image::from_fn(4, 4, |x, _| if x < 2 { [1.0, 0.0, 0.0] } else { [0.0, 0.0, 0.0] });
+        let d = img.downsample(2);
+        assert_eq!(d.width(), 2);
+        assert_eq!(d.pixel(0, 0)[0], 1.0);
+        assert_eq!(d.pixel(1, 0)[0], 0.0);
+    }
+
+    #[test]
+    fn from_raw_validates_length() {
+        let img = Image::from_raw(2, 1, vec![0.0; 6]);
+        assert_eq!(img.num_pixels(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn from_raw_wrong_length_panics() {
+        let _ = Image::from_raw(2, 2, vec![0.0; 6]);
+    }
+}

@@ -1,0 +1,170 @@
+//! Point clouds and Gaussian initialization, mirroring how 3DGS seeds its
+//! Gaussians from a Structure-from-Motion reconstruction.
+
+use crate::gaussian::GaussianParams;
+use crate::math::Vec3;
+
+/// A colored 3D point cloud (the SfM output that seeds 3DGS training).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PointCloud {
+    /// Point positions.
+    pub positions: Vec<Vec3>,
+    /// Per-point RGB colors in `[0, 1]`.
+    pub colors: Vec<[f32; 3]>,
+}
+
+impl PointCloud {
+    /// Creates an empty point cloud.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a point cloud from matching position and color lists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lists have different lengths.
+    pub fn from_parts(positions: Vec<Vec3>, colors: Vec<[f32; 3]>) -> Self {
+        assert_eq!(positions.len(), colors.len(), "positions/colors length mismatch");
+        Self { positions, colors }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Whether the cloud is empty.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// Adds a point.
+    pub fn push(&mut self, position: Vec3, color: [f32; 3]) {
+        self.positions.push(position);
+        self.colors.push(color);
+    }
+
+    /// Axis-aligned bounding box `(min, max)` of the cloud.
+    ///
+    /// Returns `None` if the cloud is empty.
+    pub fn bounds(&self) -> Option<(Vec3, Vec3)> {
+        let first = *self.positions.first()?;
+        let mut lo = first;
+        let mut hi = first;
+        for p in &self.positions {
+            lo.x = lo.x.min(p.x);
+            lo.y = lo.y.min(p.y);
+            lo.z = lo.z.min(p.z);
+            hi.x = hi.x.max(p.x);
+            hi.y = hi.y.max(p.y);
+            hi.z = hi.z.max(p.z);
+        }
+        Some((lo, hi))
+    }
+
+    /// Mean nearest-neighbor distance estimated from a random subsample.
+    ///
+    /// 3DGS uses the distance to the nearest neighbors to choose the initial
+    /// scale of each Gaussian. An exact k-NN over millions of points is
+    /// unnecessary for that purpose, so this uses a deterministic strided
+    /// subsample capped at `max_samples` points.
+    pub fn mean_neighbor_distance(&self, max_samples: usize) -> f32 {
+        let n = self.len();
+        if n < 2 {
+            return 0.1;
+        }
+        let samples = max_samples.min(n).max(2);
+        let stride = (n / samples).max(1);
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for si in (0..n).step_by(stride).take(samples) {
+            let p = self.positions[si];
+            let mut best = f32::INFINITY;
+            // Compare against a strided subset as well to keep this O(s^2).
+            for sj in (0..n).step_by(stride).take(samples) {
+                if si == sj {
+                    continue;
+                }
+                let d = (self.positions[sj] - p).norm_sq();
+                if d < best {
+                    best = d;
+                }
+            }
+            if best.is_finite() {
+                total += best.sqrt();
+                count += 1;
+            }
+        }
+        if count == 0 {
+            0.1
+        } else {
+            (total / count as f32).max(1e-4)
+        }
+    }
+}
+
+/// Initializes Gaussians from a point cloud the way 3DGS does: one Gaussian
+/// per point, isotropic scale set from the local point spacing, color from
+/// the point color, and a moderate initial opacity.
+pub fn init_gaussians_from_point_cloud(cloud: &PointCloud, initial_opacity: f32) -> GaussianParams {
+    let spacing = cloud.mean_neighbor_distance(512);
+    let mut params = GaussianParams::with_capacity(cloud.len());
+    for (p, c) in cloud.positions.iter().zip(&cloud.colors) {
+        params.push_isotropic(*p, spacing, *c, initial_opacity);
+    }
+    params
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_cloud(n: usize) -> PointCloud {
+        let mut cloud = PointCloud::new();
+        for i in 0..n {
+            for j in 0..n {
+                cloud.push(
+                    Vec3::new(i as f32, j as f32, 0.0),
+                    [i as f32 / n as f32, j as f32 / n as f32, 0.5],
+                );
+            }
+        }
+        cloud
+    }
+
+    #[test]
+    fn bounds_of_grid() {
+        let cloud = grid_cloud(4);
+        let (lo, hi) = cloud.bounds().unwrap();
+        assert_eq!(lo, Vec3::new(0.0, 0.0, 0.0));
+        assert_eq!(hi, Vec3::new(3.0, 3.0, 0.0));
+    }
+
+    #[test]
+    fn empty_cloud_has_no_bounds() {
+        assert!(PointCloud::new().bounds().is_none());
+    }
+
+    #[test]
+    fn neighbor_distance_of_unit_grid_is_about_one() {
+        let cloud = grid_cloud(8);
+        let d = cloud.mean_neighbor_distance(64);
+        assert!(d > 0.5 && d < 2.5, "got {d}");
+    }
+
+    #[test]
+    fn init_creates_one_gaussian_per_point() {
+        let cloud = grid_cloud(3);
+        let params = init_gaussians_from_point_cloud(&cloud, 0.3);
+        assert_eq!(params.len(), 9);
+        assert!((params.opacity(0) - 0.3).abs() < 1e-4);
+        assert_eq!(params.mean(4), cloud.positions[4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn from_parts_validates_lengths() {
+        let _ = PointCloud::from_parts(vec![Vec3::ZERO], vec![]);
+    }
+}

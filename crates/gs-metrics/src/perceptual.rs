@@ -1,0 +1,178 @@
+//! A multi-scale perceptual dissimilarity proxy standing in for LPIPS.
+//!
+//! LPIPS compares deep features of a pretrained AlexNet/VGG network; no such
+//! network is available offline, so this proxy compares hand-crafted local
+//! features — luminance, local contrast and oriented gradients — across an
+//! image pyramid. Like LPIPS it is 0 for identical images, grows with
+//! perceptual degradation, and penalizes structural damage (blur, missing
+//! detail) more strongly than small uniform shifts, which is the behaviour
+//! the paper's quality curves rely on.
+
+use gs_core::image::Image;
+
+/// Number of pyramid levels compared.
+const LEVELS: usize = 3;
+
+fn luma(img: &Image) -> Vec<f32> {
+    img.to_luma()
+}
+
+/// Horizontal and vertical gradient magnitudes of a luminance plane.
+fn gradients(plane: &[f32], w: usize, h: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; w * h];
+    for y in 0..h {
+        for x in 0..w {
+            let xp = plane[y * w + (x + 1).min(w - 1)];
+            let xm = plane[y * w + x.saturating_sub(1)];
+            let yp = plane[(y + 1).min(h - 1) * w + x];
+            let ym = plane[y.saturating_sub(1) * w + x];
+            let gx = 0.5 * (xp - xm);
+            let gy = 0.5 * (yp - ym);
+            out[y * w + x] = (gx * gx + gy * gy).sqrt();
+        }
+    }
+    out
+}
+
+/// Local contrast: absolute deviation from the 3x3 neighborhood mean.
+fn local_contrast(plane: &[f32], w: usize, h: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; w * h];
+    for y in 0..h {
+        for x in 0..w {
+            let mut sum = 0.0;
+            let mut count = 0.0;
+            for dy in -1i64..=1 {
+                for dx in -1i64..=1 {
+                    let sx = (x as i64 + dx).clamp(0, w as i64 - 1) as usize;
+                    let sy = (y as i64 + dy).clamp(0, h as i64 - 1) as usize;
+                    sum += plane[sy * w + sx];
+                    count += 1.0;
+                }
+            }
+            out[y * w + x] = (plane[y * w + x] - sum / count).abs();
+        }
+    }
+    out
+}
+
+fn mean_abs_diff(a: &[f32], b: &[f32]) -> f64 {
+    if a.is_empty() {
+        return 0.0;
+    }
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs() as f64)
+        .sum::<f64>()
+        / a.len() as f64
+}
+
+/// Multi-scale perceptual dissimilarity proxy (lower is better, 0 for
+/// identical images).
+///
+/// # Panics
+///
+/// Panics if the images have different dimensions.
+pub fn lpips_proxy(a: &Image, b: &Image) -> f64 {
+    assert_eq!(a.width(), b.width(), "image width mismatch");
+    assert_eq!(a.height(), b.height(), "image height mismatch");
+
+    let mut score = 0.0f64;
+    let mut weight_total = 0.0f64;
+    let mut img_a = a.clone();
+    let mut img_b = b.clone();
+    for level in 0..LEVELS {
+        let (w, h) = (img_a.width(), img_a.height());
+        if w < 4 || h < 4 {
+            break;
+        }
+        let la = luma(&img_a);
+        let lb = luma(&img_b);
+        let ga = gradients(&la, w, h);
+        let gb = gradients(&lb, w, h);
+        let ca = local_contrast(&la, w, h);
+        let cb = local_contrast(&lb, w, h);
+
+        // Feature distances: luminance is weighted least (LPIPS is fairly
+        // insensitive to small global shifts), structure most.
+        let d_luma = mean_abs_diff(&la, &lb);
+        let d_grad = mean_abs_diff(&ga, &gb);
+        let d_contrast = mean_abs_diff(&ca, &cb);
+        let level_score = 0.2 * d_luma + 2.0 * d_grad + 1.5 * d_contrast;
+
+        // Coarser scales carry more perceptual weight.
+        let weight = 1.0 + level as f64 * 0.5;
+        score += weight * level_score;
+        weight_total += weight;
+
+        img_a = img_a.downsample(2);
+        img_b = img_b.downsample(2);
+    }
+    if weight_total == 0.0 {
+        0.0
+    } else {
+        score / weight_total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn textured(w: usize, h: usize) -> Image {
+        Image::from_fn(w, h, |x, y| {
+            let v = 0.5 + 0.4 * ((x as f32 * 0.9).sin() * (y as f32 * 0.7).cos());
+            [v, v * 0.8, v * 0.6]
+        })
+    }
+
+    #[test]
+    fn identical_images_score_zero() {
+        let img = textured(32, 32);
+        assert!(lpips_proxy(&img, &img) < 1e-9);
+    }
+
+    #[test]
+    fn blur_scores_worse_than_tiny_brightness_shift() {
+        let sharp = textured(64, 64);
+        let shifted = Image::from_fn(64, 64, |x, y| {
+            let p = sharp.pixel(x, y);
+            [p[0] + 0.01, p[1] + 0.01, p[2] + 0.01]
+        });
+        // Heavy blur: replace with 4x4 box-downsampled then upsampled image.
+        let down = sharp.downsample(4);
+        let blurred = Image::from_fn(64, 64, |x, y| down.pixel(x / 4, y / 4));
+        assert!(lpips_proxy(&sharp, &blurred) > 5.0 * lpips_proxy(&sharp, &shifted));
+    }
+
+    #[test]
+    fn proxy_is_symmetric() {
+        let a = textured(40, 30);
+        let b = Image::filled(40, 30, [0.3, 0.3, 0.3]);
+        assert!((lpips_proxy(&a, &b) - lpips_proxy(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn more_distortion_scores_higher() {
+        let clean = textured(48, 48);
+        let jitter = |amp: f32| {
+            Image::from_fn(48, 48, |x, y| {
+                let p = clean.pixel(x, y);
+                let n = (((x * 7 + y * 13) % 11) as f32 / 11.0 - 0.5) * amp;
+                [
+                    (p[0] + n).clamp(0.0, 1.0),
+                    (p[1] + n).clamp(0.0, 1.0),
+                    (p[2] + n).clamp(0.0, 1.0),
+                ]
+            })
+        };
+        assert!(lpips_proxy(&jitter(0.3), &clean) > lpips_proxy(&jitter(0.1), &clean));
+    }
+
+    #[test]
+    fn tiny_images_do_not_panic() {
+        let a = Image::filled(2, 2, [0.1; 3]);
+        let b = Image::filled(2, 2, [0.9; 3]);
+        let v = lpips_proxy(&a, &b);
+        assert!(v >= 0.0);
+    }
+}

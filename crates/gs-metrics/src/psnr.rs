@@ -1,0 +1,73 @@
+//! Peak signal-to-noise ratio.
+
+use gs_core::image::Image;
+
+/// Mean squared error between two images over all RGB channels.
+///
+/// # Panics
+///
+/// Panics if the images have different dimensions.
+pub fn mse(a: &Image, b: &Image) -> f64 {
+    assert_eq!(a.width(), b.width(), "image width mismatch");
+    assert_eq!(a.height(), b.height(), "image height mismatch");
+    if a.data().is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0f64;
+    for (&x, &y) in a.data().iter().zip(b.data()) {
+        let d = (x - y) as f64;
+        total += d * d;
+    }
+    total / a.data().len() as f64
+}
+
+/// Peak signal-to-noise ratio in dB, assuming a signal range of `[0, 1]`.
+///
+/// Identical images return 100 dB (rather than infinity) so that averages
+/// over test views stay finite.
+///
+/// # Panics
+///
+/// Panics if the images have different dimensions.
+pub fn psnr(a: &Image, b: &Image) -> f64 {
+    let err = mse(a, b);
+    if err <= 1e-20 {
+        return 100.0;
+    }
+    (-10.0 * err.log10()).min(100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_images_have_max_psnr() {
+        let img = Image::filled(8, 8, [0.25, 0.5, 0.75]);
+        assert_eq!(psnr(&img, &img), 100.0);
+        assert_eq!(mse(&img, &img), 0.0);
+    }
+
+    #[test]
+    fn known_mse_gives_known_psnr() {
+        let a = Image::filled(4, 4, [0.5, 0.5, 0.5]);
+        let b = Image::filled(4, 4, [0.6, 0.6, 0.6]);
+        // MSE = 0.01, PSNR = -10 log10(0.01) = 20 dB.
+        assert!((mse(&a, &b) - 0.01).abs() < 1e-6);
+        assert!((psnr(&a, &b) - 20.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn larger_error_means_lower_psnr() {
+        let a = Image::filled(4, 4, [0.5; 3]);
+        let b = Image::filled(4, 4, [0.55; 3]);
+        let c = Image::filled(4, 4, [0.8; 3]);
+        assert!(psnr(&a, &b) > psnr(&a, &c));
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn mismatched_sizes_panic() {
+        let _ = psnr(&Image::zeros(2, 2), &Image::zeros(3, 2));
+    }
+}

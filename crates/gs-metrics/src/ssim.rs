@@ -1,0 +1,157 @@
+//! Structural similarity index (SSIM) with an 11x11 Gaussian window, the
+//! standard formulation used by 3DGS evaluations.
+
+use gs_core::image::Image;
+
+const WINDOW: usize = 11;
+const SIGMA: f64 = 1.5;
+const C1: f64 = 0.01 * 0.01;
+const C2: f64 = 0.03 * 0.03;
+
+fn gaussian_kernel() -> [f64; WINDOW] {
+    let mut k = [0.0f64; WINDOW];
+    let center = (WINDOW / 2) as f64;
+    let mut sum = 0.0;
+    for (i, v) in k.iter_mut().enumerate() {
+        let d = i as f64 - center;
+        *v = (-d * d / (2.0 * SIGMA * SIGMA)).exp();
+        sum += *v;
+    }
+    for v in &mut k {
+        *v /= sum;
+    }
+    k
+}
+
+/// Separable Gaussian blur of a single-channel plane.
+fn blur(plane: &[f64], width: usize, height: usize) -> Vec<f64> {
+    let k = gaussian_kernel();
+    let half = WINDOW / 2;
+    let mut tmp = vec![0.0f64; width * height];
+    // Horizontal pass (clamped borders).
+    for y in 0..height {
+        for x in 0..width {
+            let mut acc = 0.0;
+            for (i, &w) in k.iter().enumerate() {
+                let sx = (x + i).saturating_sub(half).min(width - 1);
+                acc += w * plane[y * width + sx];
+            }
+            tmp[y * width + x] = acc;
+        }
+    }
+    let mut out = vec![0.0f64; width * height];
+    // Vertical pass.
+    for y in 0..height {
+        for x in 0..width {
+            let mut acc = 0.0;
+            for (i, &w) in k.iter().enumerate() {
+                let sy = (y + i).saturating_sub(half).min(height - 1);
+                acc += w * tmp[sy * width + x];
+            }
+            out[y * width + x] = acc;
+        }
+    }
+    out
+}
+
+fn channel_plane(img: &Image, ch: usize) -> Vec<f64> {
+    let mut out = Vec::with_capacity(img.num_pixels());
+    for p in 0..img.num_pixels() {
+        out.push(img.data()[3 * p + ch] as f64);
+    }
+    out
+}
+
+/// Structural similarity between two images, averaged over the RGB channels.
+///
+/// Returns a value in `[-1, 1]` (1 for identical images). Uses the standard
+/// 11x11 Gaussian window with sigma 1.5 and the usual stability constants.
+///
+/// # Panics
+///
+/// Panics if the images have different dimensions.
+pub fn ssim(a: &Image, b: &Image) -> f64 {
+    assert_eq!(a.width(), b.width(), "image width mismatch");
+    assert_eq!(a.height(), b.height(), "image height mismatch");
+    let (w, h) = (a.width(), a.height());
+    if w == 0 || h == 0 {
+        return 1.0;
+    }
+    let mut total = 0.0;
+    for ch in 0..3 {
+        let x = channel_plane(a, ch);
+        let y = channel_plane(b, ch);
+        let mu_x = blur(&x, w, h);
+        let mu_y = blur(&y, w, h);
+        let xx: Vec<f64> = x.iter().map(|v| v * v).collect();
+        let yy: Vec<f64> = y.iter().map(|v| v * v).collect();
+        let xy: Vec<f64> = x.iter().zip(&y).map(|(p, q)| p * q).collect();
+        let sigma_xx = blur(&xx, w, h);
+        let sigma_yy = blur(&yy, w, h);
+        let sigma_xy = blur(&xy, w, h);
+        let mut acc = 0.0;
+        for i in 0..w * h {
+            let mx = mu_x[i];
+            let my = mu_y[i];
+            let vx = (sigma_xx[i] - mx * mx).max(0.0);
+            let vy = (sigma_yy[i] - my * my).max(0.0);
+            let cxy = sigma_xy[i] - mx * my;
+            let numerator = (2.0 * mx * my + C1) * (2.0 * cxy + C2);
+            let denominator = (mx * mx + my * my + C1) * (vx + vy + C2);
+            acc += numerator / denominator;
+        }
+        total += acc / (w * h) as f64;
+    }
+    total / 3.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_images_have_ssim_one() {
+        let img = Image::from_fn(32, 24, |x, y| {
+            [x as f32 / 32.0, y as f32 / 24.0, 0.5]
+        });
+        assert!((ssim(&img, &img) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_vs_constant_shifted_is_below_one() {
+        let a = Image::filled(24, 24, [0.5; 3]);
+        let b = Image::filled(24, 24, [0.8; 3]);
+        let s = ssim(&a, &b);
+        assert!(s < 0.9 && s > -1.0, "ssim {s}");
+    }
+
+    #[test]
+    fn structural_damage_hurts_more_than_small_noise() {
+        let base = Image::from_fn(48, 48, |x, y| {
+            let v = if (x / 8 + y / 8) % 2 == 0 { 0.8 } else { 0.2 };
+            [v, v, v]
+        });
+        // Small uniform brightness shift.
+        let shifted = Image::from_fn(48, 48, |x, y| {
+            let p = base.pixel(x, y);
+            [p[0] + 0.02, p[1] + 0.02, p[2] + 0.02]
+        });
+        // Structure destroyed: constant gray with same mean.
+        let flat = Image::filled(48, 48, [0.5; 3]);
+        assert!(ssim(&base, &shifted) > ssim(&base, &flat));
+    }
+
+    #[test]
+    fn ssim_is_symmetric() {
+        let a = Image::from_fn(20, 20, |x, y| [(x % 5) as f32 / 5.0, (y % 3) as f32 / 3.0, 0.3]);
+        let b = Image::from_fn(20, 20, |x, y| [(y % 4) as f32 / 4.0, (x % 6) as f32 / 6.0, 0.6]);
+        assert!((ssim(&a, &b) - ssim(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gaussian_kernel_is_normalized() {
+        let k = gaussian_kernel();
+        let sum: f64 = k.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+}

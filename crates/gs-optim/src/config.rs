@@ -1,0 +1,215 @@
+//! Optimizer hyper-parameters: per-group learning rates and schedules.
+
+use gs_core::gaussian::ParamGroup;
+
+/// Per-parameter-group learning rates, following the reference 3DGS recipe.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GroupLrs {
+    /// Learning rate for world-space means (before the decay schedule).
+    pub means: f32,
+    /// Learning rate for log-scales.
+    pub log_scales: f32,
+    /// Learning rate for quaternions.
+    pub quats: f32,
+    /// Learning rate for opacity logits.
+    pub opacities: f32,
+    /// Learning rate for SH color coefficients.
+    pub sh: f32,
+}
+
+impl GroupLrs {
+    /// The reference 3DGS learning rates (mean lr given for a unit scene
+    /// extent; multiply by the scene extent for large scenes).
+    pub fn reference() -> Self {
+        Self {
+            means: 1.6e-4,
+            log_scales: 5.0e-3,
+            quats: 1.0e-3,
+            opacities: 5.0e-2,
+            sh: 2.5e-3,
+        }
+    }
+
+    /// Uniform learning rate for every group (useful in tests).
+    pub fn uniform(lr: f32) -> Self {
+        Self {
+            means: lr,
+            log_scales: lr,
+            quats: lr,
+            opacities: lr,
+            sh: lr,
+        }
+    }
+
+    /// The learning rate for one parameter group.
+    pub fn for_group(&self, g: ParamGroup) -> f32 {
+        match g {
+            ParamGroup::Means => self.means,
+            ParamGroup::LogScales => self.log_scales,
+            ParamGroup::Quats => self.quats,
+            ParamGroup::Opacities => self.opacities,
+            ParamGroup::Sh => self.sh,
+        }
+    }
+
+    /// Returns a copy with the mean learning rate scaled by `extent`
+    /// (3DGS scales the position learning rate by the scene extent).
+    pub fn with_scene_extent(mut self, extent: f32) -> Self {
+        self.means *= extent;
+        self
+    }
+}
+
+impl Default for GroupLrs {
+    fn default() -> Self {
+        Self::reference()
+    }
+}
+
+/// Exponential learning-rate decay schedule (log-linear interpolation), as
+/// applied to the mean learning rate by 3DGS.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExponentialLr {
+    /// Initial multiplier (applied at step 0).
+    pub init: f32,
+    /// Final multiplier (applied at `max_steps`).
+    pub final_: f32,
+    /// Number of steps over which to interpolate.
+    pub max_steps: u64,
+}
+
+impl ExponentialLr {
+    /// Creates a schedule decaying from `init` to `final_` over `max_steps`.
+    pub fn new(init: f32, final_: f32, max_steps: u64) -> Self {
+        Self {
+            init,
+            final_,
+            max_steps,
+        }
+    }
+
+    /// The 3DGS default: decay the mean learning rate by 100x over training.
+    pub fn reference(max_steps: u64) -> Self {
+        Self::new(1.0, 0.01, max_steps)
+    }
+
+    /// Multiplier at `step` (clamped to the schedule's range).
+    pub fn multiplier(&self, step: u64) -> f32 {
+        if self.max_steps == 0 {
+            return self.final_;
+        }
+        let t = (step as f32 / self.max_steps as f32).clamp(0.0, 1.0);
+        (self.init.max(1e-12).ln() * (1.0 - t) + self.final_.max(1e-12).ln() * t).exp()
+    }
+}
+
+/// Full Adam configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdamConfig {
+    /// First-moment decay rate.
+    pub beta1: f32,
+    /// Second-moment decay rate.
+    pub beta2: f32,
+    /// Numerical-stability constant.
+    pub eps: f32,
+    /// Per-group learning rates.
+    pub lrs: GroupLrs,
+    /// Optional decay schedule applied (multiplicatively) to the mean
+    /// learning rate.
+    pub mean_lr_decay: Option<ExponentialLr>,
+}
+
+impl AdamConfig {
+    /// Adam defaults with the reference 3DGS learning rates and no decay.
+    pub fn reference() -> Self {
+        Self {
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1.0e-15,
+            lrs: GroupLrs::reference(),
+            mean_lr_decay: None,
+        }
+    }
+
+    /// Uniform learning rate, no decay (useful in tests).
+    pub fn uniform(lr: f32) -> Self {
+        Self {
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1.0e-15,
+            lrs: GroupLrs::uniform(lr),
+            mean_lr_decay: None,
+        }
+    }
+
+    /// Effective learning rate for a group at a given step (applies the mean
+    /// learning-rate decay schedule when configured).
+    pub fn lr_at(&self, g: ParamGroup, step: u64) -> f32 {
+        let base = self.lrs.for_group(g);
+        if g == ParamGroup::Means {
+            if let Some(decay) = &self.mean_lr_decay {
+                return base * decay.multiplier(step);
+            }
+        }
+        base
+    }
+}
+
+impl Default for AdamConfig {
+    fn default() -> Self {
+        Self::reference()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_lrs_differ_per_group() {
+        let lrs = GroupLrs::reference();
+        assert!(lrs.opacities > lrs.means);
+        assert_eq!(lrs.for_group(ParamGroup::Sh), lrs.sh);
+    }
+
+    #[test]
+    fn scene_extent_scales_only_means() {
+        let lrs = GroupLrs::reference().with_scene_extent(10.0);
+        assert!((lrs.means - 1.6e-3).abs() < 1e-9);
+        assert!((lrs.sh - 2.5e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exponential_decay_interpolates_log_linearly() {
+        let sched = ExponentialLr::new(1.0, 0.01, 100);
+        assert!((sched.multiplier(0) - 1.0).abs() < 1e-6);
+        assert!((sched.multiplier(100) - 0.01).abs() < 1e-6);
+        assert!((sched.multiplier(50) - 0.1).abs() < 1e-3);
+        // Past the end it stays at the final value.
+        assert!((sched.multiplier(500) - 0.01).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_step_schedule_uses_final() {
+        let sched = ExponentialLr::new(1.0, 0.5, 0);
+        assert_eq!(sched.multiplier(10), 0.5);
+    }
+
+    #[test]
+    fn lr_at_applies_decay_only_to_means() {
+        let mut cfg = AdamConfig::reference();
+        cfg.mean_lr_decay = Some(ExponentialLr::new(1.0, 0.01, 10));
+        let lr0 = cfg.lr_at(ParamGroup::Means, 0);
+        let lr10 = cfg.lr_at(ParamGroup::Means, 10);
+        assert!(lr10 < lr0);
+        assert_eq!(cfg.lr_at(ParamGroup::Sh, 0), cfg.lr_at(ParamGroup::Sh, 10));
+    }
+
+    #[test]
+    fn uniform_config_has_equal_lrs() {
+        let cfg = AdamConfig::uniform(0.01);
+        for g in ParamGroup::ALL {
+            assert_eq!(cfg.lr_at(g, 3), 0.01);
+        }
+    }
+}

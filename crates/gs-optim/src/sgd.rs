@@ -1,0 +1,136 @@
+//! SGD with momentum, included to show the deferred-update idea generalizes
+//! beyond Adam (the paper notes it applies to "most momentum-based
+//! optimizers, such as SGD with momentum and AdamW").
+
+use gs_core::gaussian::{GaussianGrads, GaussianParams, ParamGroup};
+
+use crate::config::GroupLrs;
+use crate::stats::StepStats;
+
+/// SGD with (heavy-ball) momentum over all Gaussian parameter groups.
+#[derive(Debug, Clone)]
+pub struct SgdMomentum {
+    lrs: GroupLrs,
+    momentum: f32,
+    velocity: GaussianGrads,
+    step: u64,
+}
+
+impl SgdMomentum {
+    /// Creates an optimizer for `n` Gaussians.
+    pub fn new(lrs: GroupLrs, momentum: f32, n: usize) -> Self {
+        Self {
+            lrs,
+            momentum,
+            velocity: GaussianGrads::zeros(n),
+            step: 0,
+        }
+    }
+
+    /// Number of steps taken so far.
+    pub fn current_step(&self) -> u64 {
+        self.step
+    }
+
+    /// Grows the velocity state for newly added Gaussians.
+    pub fn append_zeros(&mut self, additional: usize) {
+        let old = std::mem::take(&mut self.velocity);
+        let mut grown = GaussianGrads::zeros(old.len() + additional);
+        for g in ParamGroup::ALL {
+            let dim = g.dim();
+            grown.group_mut(g)[..old.len() * dim].copy_from_slice(old.group(g));
+        }
+        self.velocity = grown;
+    }
+
+    /// Performs one SGD-with-momentum step: `v = μ v + g`, `w -= lr v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` and `grads` cover different numbers of Gaussians or
+    /// do not match the state size.
+    pub fn step(&mut self, params: &mut GaussianParams, grads: &GaussianGrads) -> StepStats {
+        assert_eq!(params.len(), grads.len(), "params/grads length mismatch");
+        assert_eq!(params.len(), self.velocity.len(), "state length mismatch");
+        self.step += 1;
+        let n = params.len();
+        for g in ParamGroup::ALL {
+            let lr = self.lrs.for_group(g);
+            let p = params.group_mut(g);
+            let gr = grads.group(g);
+            let v = self.velocity.group_mut(g);
+            for i in 0..p.len() {
+                v[i] = self.momentum * v[i] + gr[i];
+                p[i] -= lr * v[i];
+            }
+        }
+        let d = GaussianParams::PARAMS_PER_GAUSSIAN as f64;
+        StepStats {
+            updated_gaussians: n,
+            total_gaussians: n,
+            bytes_read: n as f64 * 3.0 * d * 4.0,
+            bytes_written: n as f64 * 2.0 * d * 4.0,
+            flops: n as f64 * d * 4.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gs_core::math::Vec3;
+
+    fn params(n: usize) -> GaussianParams {
+        let mut p = GaussianParams::new();
+        for i in 0..n {
+            p.push_isotropic(Vec3::new(i as f32, 0.0, 1.0), 0.1, [0.5; 3], 0.5);
+        }
+        p
+    }
+
+    #[test]
+    fn sgd_step_matches_manual() {
+        let mut p = params(1);
+        let before = p.means[0];
+        let mut opt = SgdMomentum::new(GroupLrs::uniform(0.1), 0.9, 1);
+        let mut g = GaussianGrads::zeros(1);
+        g.means[0] = 2.0;
+        opt.step(&mut p, &g);
+        assert!((before - p.means[0] - 0.2).abs() < 1e-6);
+        // Second step with zero grad still moves due to momentum.
+        let after_first = p.means[0];
+        opt.step(&mut p, &GaussianGrads::zeros(1));
+        assert!((after_first - p.means[0] - 0.18).abs() < 1e-6);
+    }
+
+    #[test]
+    fn momentum_zero_is_plain_sgd() {
+        let mut p = params(1);
+        let mut opt = SgdMomentum::new(GroupLrs::uniform(0.5), 0.0, 1);
+        let mut g = GaussianGrads::zeros(1);
+        g.opacities[0] = 1.0;
+        let o_before = p.opacities[0];
+        opt.step(&mut p, &g);
+        assert!((o_before - p.opacities[0] - 0.5).abs() < 1e-6);
+        let o_after = p.opacities[0];
+        opt.step(&mut p, &GaussianGrads::zeros(1));
+        assert_eq!(p.opacities[0], o_after);
+    }
+
+    #[test]
+    fn append_zeros_grows_state() {
+        let mut opt = SgdMomentum::new(GroupLrs::uniform(0.1), 0.9, 2);
+        let mut p = params(2);
+        let mut g = GaussianGrads::zeros(2);
+        g.means[0] = 1.0;
+        opt.step(&mut p, &g);
+        opt.append_zeros(3);
+        let mut p5 = params(5);
+        // Stepping with the grown state must not panic and must keep moving
+        // the first Gaussian by its momentum.
+        let before = p5.means[0];
+        opt.step(&mut p5, &GaussianGrads::zeros(5));
+        assert!(p5.means[0] < before);
+        assert_eq!(opt.current_step(), 2);
+    }
+}

@@ -1,0 +1,195 @@
+//! Arithmetic and memory-traffic estimates for each rendering kernel.
+//!
+//! The GS-Scale paper's performance results are driven by *where* each stage
+//! runs (GPU vs. CPU), how much data it touches, and how the stages overlap.
+//! To reproduce those results without the authors' hardware, every kernel in
+//! this crate reports a [`WorkEstimate`] (floating-point operations plus
+//! bytes read/written). The platform crate turns an estimate into a duration
+//! using a roofline model over the executing device's peak FLOPS and memory
+//! bandwidth.
+//!
+//! The constants below are per-element operation counts derived from the
+//! arithmetic in the corresponding kernels. Absolute accuracy is not the
+//! goal; the ratios between stages (and between CPU and GPU executions of
+//! the same stage) are what shape the figures.
+
+use gs_core::gaussian::GaussianParams;
+
+/// An estimate of the work performed by one kernel launch.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct WorkEstimate {
+    /// Floating point operations.
+    pub flops: f64,
+    /// Bytes read from memory.
+    pub bytes_read: f64,
+    /// Bytes written to memory.
+    pub bytes_written: f64,
+}
+
+impl WorkEstimate {
+    /// Creates a new estimate.
+    pub fn new(flops: f64, bytes_read: f64, bytes_written: f64) -> Self {
+        Self {
+            flops,
+            bytes_read,
+            bytes_written,
+        }
+    }
+
+    /// Total bytes moved (read + written).
+    pub fn total_bytes(&self) -> f64 {
+        self.bytes_read + self.bytes_written
+    }
+
+    /// Sums two estimates.
+    pub fn combine(&self, other: &WorkEstimate) -> WorkEstimate {
+        WorkEstimate {
+            flops: self.flops + other.flops,
+            bytes_read: self.bytes_read + other.bytes_read,
+            bytes_written: self.bytes_written + other.bytes_written,
+        }
+    }
+}
+
+/// FLOPs per Gaussian for frustum culling (projection of the mean plus the
+/// conservative radius test).
+pub const CULL_FLOPS_PER_GAUSSIAN: f64 = 60.0;
+/// FLOPs per Gaussian for full EWA projection including SH color evaluation.
+pub const PROJECT_FLOPS_PER_GAUSSIAN: f64 = 600.0;
+/// FLOPs per (splat, pixel) pair in the forward rasterizer.
+pub const RASTER_FWD_FLOPS_PER_PAIR: f64 = 30.0;
+/// FLOPs per (splat, pixel) pair in the backward rasterizer.
+pub const RASTER_BWD_FLOPS_PER_PAIR: f64 = 60.0;
+/// FLOPs per visible Gaussian for the projection backward pass.
+pub const PROJECT_BWD_FLOPS_PER_GAUSSIAN: f64 = 1200.0;
+/// Average number of pixels each visible splat covers (used when an exact
+/// pair count is not available).
+pub const AVG_PIXELS_PER_SPLAT: f64 = 220.0;
+
+const F32: f64 = 4.0;
+
+/// Number of full passes over the geometric tensors that an *eager-mode*
+/// (framework tensor-op based) CPU implementation of frustum culling makes.
+///
+/// The paper's baseline performs culling with PyTorch CPU ops: every
+/// intermediate of the projection test (view transform, depth test, pixel
+/// bounds, radius) materializes a full-length tensor, so the effective
+/// memory traffic is an order of magnitude larger than a fused kernel's
+/// single pass. This is what makes CPU culling a first-order bottleneck in
+/// Figure 7 even though the arithmetic itself is modest.
+pub const CPU_EAGER_CULL_PASSES: f64 = 14.0;
+
+/// Work estimate for frustum culling over `total` Gaussians with a fused
+/// (GPU-style) kernel.
+///
+/// Culling reads only the geometric attributes (10 floats per Gaussian) and
+/// writes one id per surviving Gaussian.
+pub fn cull_cost(total: usize, survivors: usize) -> WorkEstimate {
+    WorkEstimate::new(
+        total as f64 * CULL_FLOPS_PER_GAUSSIAN,
+        total as f64 * GaussianParams::GEOMETRIC_PARAMS as f64 * F32,
+        survivors as f64 * F32,
+    )
+}
+
+/// Work estimate for frustum culling executed as a sequence of eager-mode
+/// tensor operations on the CPU (the baseline offloading configuration).
+pub fn cull_cost_cpu_eager(total: usize, survivors: usize) -> WorkEstimate {
+    let fused = cull_cost(total, survivors);
+    WorkEstimate::new(
+        fused.flops,
+        fused.bytes_read * CPU_EAGER_CULL_PASSES,
+        fused.bytes_written + fused.bytes_read * (CPU_EAGER_CULL_PASSES - 1.0),
+    )
+}
+
+/// Work estimate for projecting `visible` Gaussians to splats.
+pub fn projection_cost(visible: usize) -> WorkEstimate {
+    // Reads the full 59 parameters, writes ~16 floats of splat state.
+    WorkEstimate::new(
+        visible as f64 * PROJECT_FLOPS_PER_GAUSSIAN,
+        visible as f64 * GaussianParams::PARAMS_PER_GAUSSIAN as f64 * F32,
+        visible as f64 * 16.0 * F32,
+    )
+}
+
+/// Work estimate for the forward rasterization of `pairs` (splat, pixel)
+/// pairs writing `pixels` output pixels.
+pub fn raster_forward_cost(pairs: usize, pixels: usize) -> WorkEstimate {
+    WorkEstimate::new(
+        pairs as f64 * RASTER_FWD_FLOPS_PER_PAIR,
+        pairs as f64 * 12.0 * F32,
+        pixels as f64 * 4.0 * F32,
+    )
+}
+
+/// Work estimate for the backward rasterization plus projection backward for
+/// `pairs` (splat, pixel) pairs over `visible` Gaussians.
+pub fn backward_cost(pairs: usize, visible: usize, pixels: usize) -> WorkEstimate {
+    WorkEstimate::new(
+        pairs as f64 * RASTER_BWD_FLOPS_PER_PAIR
+            + visible as f64 * PROJECT_BWD_FLOPS_PER_GAUSSIAN,
+        pairs as f64 * 16.0 * F32 + pixels as f64 * 3.0 * F32,
+        visible as f64 * GaussianParams::PARAMS_PER_GAUSSIAN as f64 * F32,
+    )
+}
+
+/// Work estimate for the image-space loss over `pixels` pixels.
+pub fn loss_cost(pixels: usize) -> WorkEstimate {
+    WorkEstimate::new(
+        pixels as f64 * 3.0 * 4.0,
+        pixels as f64 * 6.0 * F32,
+        pixels as f64 * 3.0 * F32,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cull_reads_only_geometric_bytes() {
+        let c = cull_cost(1000, 100);
+        assert_eq!(c.bytes_read, 1000.0 * 40.0);
+        assert_eq!(c.bytes_written, 400.0);
+        assert!(c.flops > 0.0);
+    }
+
+    #[test]
+    fn projection_reads_full_parameters() {
+        let c = projection_cost(50);
+        assert_eq!(c.bytes_read, 50.0 * 59.0 * 4.0);
+    }
+
+    #[test]
+    fn combine_adds_fields() {
+        let a = WorkEstimate::new(1.0, 2.0, 3.0);
+        let b = WorkEstimate::new(10.0, 20.0, 30.0);
+        let c = a.combine(&b);
+        assert_eq!(c.flops, 11.0);
+        assert_eq!(c.total_bytes(), 55.0);
+    }
+
+    #[test]
+    fn backward_is_more_expensive_than_forward() {
+        let fwd = raster_forward_cost(10_000, 1_000);
+        let bwd = backward_cost(10_000, 500, 1_000);
+        assert!(bwd.flops > fwd.flops);
+    }
+
+    #[test]
+    fn costs_scale_linearly() {
+        let a = cull_cost(1000, 10);
+        let b = cull_cost(2000, 20);
+        assert!((b.flops / a.flops - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eager_cpu_culling_moves_an_order_of_magnitude_more_bytes() {
+        let fused = cull_cost(10_000, 1_000);
+        let eager = cull_cost_cpu_eager(10_000, 1_000);
+        assert_eq!(fused.flops, eager.flops);
+        let ratio = eager.total_bytes() / fused.total_bytes();
+        assert!(ratio > 10.0 && ratio < 40.0, "ratio {ratio}");
+    }
+}

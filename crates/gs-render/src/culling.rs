@@ -1,0 +1,210 @@
+//! Frustum culling: identify the Gaussians that can contribute to a view.
+//!
+//! In the paper this is the step that must touch *all* Gaussians every
+//! iteration, which makes it a CPU bottleneck in the naive offloading design
+//! and motivates *selective offloading* (keeping the geometric attributes on
+//! the GPU so culling can run there). Functionally the CPU and GPU versions
+//! are identical; the platform timing model charges them differently.
+//!
+//! Culling only reads the geometric attributes (mean, scale, quaternion) and
+//! uses a conservative screen-space radius so that the surviving set is a
+//! superset of the Gaussians the fine-grained projection keeps.
+
+use gs_core::camera::{Camera, Viewport};
+use gs_core::gaussian::GaussianParams;
+
+use crate::projection::RADIUS_SIGMA;
+
+/// Extra safety factor applied to the conservative culling radius so that
+/// culling never rejects a Gaussian the projection stage would keep.
+pub const CULL_RADIUS_MARGIN: f32 = 1.5;
+
+/// Result of a frustum-culling pass.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CullResult {
+    /// Indices of the Gaussians that survived culling, in ascending order.
+    pub ids: Vec<u32>,
+    /// Total number of Gaussians examined.
+    pub total: usize,
+}
+
+impl CullResult {
+    /// Number of surviving (active) Gaussians.
+    pub fn num_active(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Ratio of active to total Gaussians (the quantity Figure 4 of the
+    /// paper reports per scene).
+    pub fn active_ratio(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.ids.len() as f64 / self.total as f64
+        }
+    }
+}
+
+/// Performs frustum culling for `cam` over all Gaussians in `params`,
+/// restricted to `viewport`.
+///
+/// A Gaussian survives when its camera-space depth is within the near/far
+/// planes and its conservative projected footprint (isotropic bound of
+/// `RADIUS_SIGMA * max_scale`, inflated by [`CULL_RADIUS_MARGIN`]) overlaps
+/// the viewport. Only geometric attributes are read.
+pub fn frustum_cull(params: &GaussianParams, cam: &Camera, viewport: &Viewport) -> CullResult {
+    let mut ids = Vec::new();
+    for i in 0..params.len() {
+        if gaussian_in_frustum(params, i, cam, viewport) {
+            ids.push(i as u32);
+        }
+    }
+    CullResult {
+        ids,
+        total: params.len(),
+    }
+}
+
+/// Tests a single Gaussian against the viewing frustum (see [`frustum_cull`]).
+pub fn gaussian_in_frustum(
+    params: &GaussianParams,
+    i: usize,
+    cam: &Camera,
+    viewport: &Viewport,
+) -> bool {
+    let t = cam.world_to_cam(params.mean(i));
+    if t.z <= cam.near || t.z >= cam.far {
+        return false;
+    }
+    // Conservative isotropic bound on the projected radius: the largest
+    // world-space standard deviation, scaled by perspective and by the
+    // 3-sigma extent used downstream, plus a safety margin that also covers
+    // the one-tile slack the fine-grained projection culling allows.
+    let max_scale = params.scale(i).max_elem();
+    let focal = cam.fx.max(cam.fy);
+    let radius_px = CULL_RADIUS_MARGIN * RADIUS_SIGMA * max_scale * focal / t.z + 18.0;
+    let px = cam.cam_to_pixel(t);
+    viewport.contains_with_margin(px.x, px.y, radius_px)
+}
+
+/// Counts, for a set of cameras, the average ratio of active to total
+/// Gaussians — the statistic reported in Figure 4 of the paper.
+pub fn average_active_ratio(params: &GaussianParams, cams: &[Camera]) -> f64 {
+    if cams.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for cam in cams {
+        let vp = Viewport::full(cam);
+        total += frustum_cull(params, cam, &vp).active_ratio();
+    }
+    total / cams.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::projection::project_splats;
+    use gs_core::math::Vec3;
+
+    fn cam() -> Camera {
+        Camera::look_at(
+            64,
+            48,
+            std::f32::consts::FRAC_PI_2,
+            Vec3::new(0.0, 0.0, -5.0),
+            Vec3::ZERO,
+            Vec3::new(0.0, 1.0, 0.0),
+        )
+    }
+
+    fn spread_params(n: usize) -> GaussianParams {
+        let mut p = GaussianParams::new();
+        for i in 0..n {
+            let f = i as f32;
+            // Spread Gaussians over a wide area; only some are visible.
+            let x = (f * 0.7).sin() * 20.0;
+            let y = (f * 1.3).cos() * 10.0;
+            let z = (f * 0.37).sin() * 20.0;
+            p.push_isotropic(Vec3::new(x, y, z), 0.2, [0.5, 0.5, 0.5], 0.8);
+        }
+        p
+    }
+
+    #[test]
+    fn culling_keeps_visible_and_drops_behind() {
+        let mut p = GaussianParams::new();
+        p.push_isotropic(Vec3::ZERO, 0.2, [0.5; 3], 0.8); // in front
+        p.push_isotropic(Vec3::new(0.0, 0.0, -20.0), 0.2, [0.5; 3], 0.8); // behind
+        p.push_isotropic(Vec3::new(100.0, 0.0, 0.0), 0.2, [0.5; 3], 0.8); // far off-screen
+        let c = cam();
+        let vp = Viewport::full(&c);
+        let result = frustum_cull(&p, &c, &vp);
+        assert_eq!(result.ids, vec![0]);
+        assert_eq!(result.total, 3);
+        assert!((result.active_ratio() - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn culling_is_superset_of_projection() {
+        let p = spread_params(200);
+        let c = cam();
+        let vp = Viewport::full(&c);
+        let culled: std::collections::HashSet<u32> =
+            frustum_cull(&p, &c, &vp).ids.into_iter().collect();
+        let projected = project_splats(&p, &c, 3, &vp);
+        for s in projected {
+            assert!(
+                culled.contains(&s.idx),
+                "gaussian {} survives projection but was culled",
+                s.idx
+            );
+        }
+    }
+
+    #[test]
+    fn empty_params_give_zero_ratio() {
+        let p = GaussianParams::new();
+        let c = cam();
+        let vp = Viewport::full(&c);
+        let r = frustum_cull(&p, &c, &vp);
+        assert_eq!(r.num_active(), 0);
+        assert_eq!(r.active_ratio(), 0.0);
+    }
+
+    #[test]
+    fn average_ratio_over_multiple_views() {
+        let p = spread_params(100);
+        let cams = vec![cam(), {
+            Camera::look_at(
+                64,
+                48,
+                std::f32::consts::FRAC_PI_2,
+                Vec3::new(10.0, 0.0, 0.0),
+                Vec3::new(10.0, 0.0, 10.0),
+                Vec3::new(0.0, 1.0, 0.0),
+            )
+        }];
+        let r = average_active_ratio(&p, &cams);
+        assert!(r > 0.0 && r < 1.0, "ratio {r}");
+        assert_eq!(average_active_ratio(&p, &[]), 0.0);
+    }
+
+    #[test]
+    fn split_viewports_cover_full_active_set() {
+        let p = spread_params(150);
+        let c = cam();
+        let vp = Viewport::full(&c);
+        let full: std::collections::HashSet<u32> =
+            frustum_cull(&p, &c, &vp).ids.into_iter().collect();
+        let (l, r) = vp.split_at_column(32);
+        let mut union: std::collections::HashSet<u32> =
+            frustum_cull(&p, &c, &l).ids.into_iter().collect();
+        union.extend(frustum_cull(&p, &c, &r).ids);
+        // Every Gaussian visible in the full view must be visible in at least
+        // one half (the halves may overlap near the split boundary).
+        for id in full {
+            assert!(union.contains(&id));
+        }
+    }
+}

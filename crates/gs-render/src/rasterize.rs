@@ -1,0 +1,444 @@
+//! Tile-based alpha-blending rasterizer (forward and backward).
+//!
+//! The forward pass composites depth-sorted splats front-to-back per pixel
+//! with early termination once the transmittance is exhausted, exactly like
+//! the reference CUDA rasterizer. The backward pass replays each pixel
+//! back-to-front, reconstructing the per-splat transmittance from the stored
+//! final transmittance, and accumulates gradients w.r.t. every splat's 2D
+//! mean, conic, color and opacity.
+
+use gs_core::image::Image;
+
+use crate::projection::{Splat, SplatGrad};
+use crate::tiles::TileGrid;
+
+/// Alpha values below this threshold are skipped (1/255, as in 3DGS).
+pub const ALPHA_SKIP: f32 = 1.0 / 255.0;
+/// Alpha is clamped to this maximum to keep `1 - alpha` away from zero.
+pub const ALPHA_MAX: f32 = 0.999;
+/// Blending terminates once the transmittance falls below this value.
+pub const TRANSMITTANCE_MIN: f32 = 1.0e-4;
+
+/// Per-pixel auxiliary state saved by the forward pass for the backward pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RasterAux {
+    /// Final transmittance per viewport pixel (row-major, viewport-local).
+    pub final_transmittance: Vec<f32>,
+    /// Per pixel: exclusive end position in the tile bin up to which splats
+    /// were processed before early termination.
+    pub n_processed: Vec<u32>,
+    /// Background color composited behind the splats.
+    pub background: [f32; 3],
+}
+
+#[inline]
+fn gaussian_weight(splat: &Splat, px: f32, py: f32) -> Option<(f32, f32, f32)> {
+    let dx = px - splat.mean2d.x;
+    let dy = py - splat.mean2d.y;
+    // Restrict every splat to its own bounding box so that which pixels a
+    // splat touches does not depend on how the image happens to be tiled;
+    // this is what makes a sub-viewport render identical to the crop of a
+    // full render (balance-aware image splitting relies on it).
+    if dx.abs() > splat.radius || dy.abs() > splat.radius {
+        return None;
+    }
+    let sigma = 0.5 * (splat.conic.xx * dx * dx + splat.conic.yy * dy * dy)
+        + splat.conic.xy * dx * dy;
+    if sigma < 0.0 || !sigma.is_finite() {
+        return None;
+    }
+    Some((sigma, dx, dy))
+}
+
+#[inline]
+fn splat_alpha(splat: &Splat, sigma: f32) -> Option<(f32, bool)> {
+    let raw = splat.opacity * (-sigma).exp();
+    if raw < ALPHA_SKIP {
+        return None;
+    }
+    if raw > ALPHA_MAX {
+        Some((ALPHA_MAX, true))
+    } else {
+        Some((raw, false))
+    }
+}
+
+/// Rasterizes splats over the grid's viewport, returning the rendered image
+/// (sized to the viewport) and the auxiliary state needed for the backward
+/// pass.
+pub fn rasterize_forward(splats: &[Splat], grid: &TileGrid, background: [f32; 3]) -> (Image, RasterAux) {
+    let vp = grid.viewport();
+    let width = vp.width();
+    let height = vp.height();
+    let mut image = Image::zeros(width, height);
+    let mut final_t = vec![1.0f32; width * height];
+    let mut n_processed = vec![0u32; width * height];
+
+    for ty in 0..grid.tiles_y() {
+        for tx in 0..grid.tiles_x() {
+            let bin = grid.bin(tx, ty);
+            let (x0, y0, x1, y1) = grid.tile_pixel_range(tx, ty);
+            for py in y0..y1 {
+                for px in x0..x1 {
+                    let cx = px as f32 + 0.5;
+                    let cy = py as f32 + 0.5;
+                    let mut t = 1.0f32;
+                    let mut color = [0.0f32; 3];
+                    let mut processed = 0u32;
+                    for &si in bin {
+                        processed += 1;
+                        let s = &splats[si as usize];
+                        let Some((sigma, _, _)) = gaussian_weight(s, cx, cy) else {
+                            continue;
+                        };
+                        let Some((alpha, _)) = splat_alpha(s, sigma) else {
+                            continue;
+                        };
+                        color[0] += s.color[0] * alpha * t;
+                        color[1] += s.color[1] * alpha * t;
+                        color[2] += s.color[2] * alpha * t;
+                        t *= 1.0 - alpha;
+                        if t < TRANSMITTANCE_MIN {
+                            break;
+                        }
+                    }
+                    color[0] += background[0] * t;
+                    color[1] += background[1] * t;
+                    color[2] += background[2] * t;
+                    let lx = px - vp.x0;
+                    let ly = py - vp.y0;
+                    image.set_pixel(lx, ly, color);
+                    final_t[ly * width + lx] = t;
+                    n_processed[ly * width + lx] = processed;
+                }
+            }
+        }
+    }
+
+    (
+        image,
+        RasterAux {
+            final_transmittance: final_t,
+            n_processed,
+            background,
+        },
+    )
+}
+
+/// Backpropagates a per-pixel image gradient to per-splat gradients.
+///
+/// `d_image` must have the same dimensions as the forward output (the
+/// viewport size). Returns one [`SplatGrad`] per input splat (zero for
+/// splats that contributed to no pixel).
+///
+/// # Panics
+///
+/// Panics if `d_image` does not match the grid's viewport dimensions or if
+/// `aux` was produced for a different viewport.
+pub fn rasterize_backward(
+    splats: &[Splat],
+    grid: &TileGrid,
+    aux: &RasterAux,
+    d_image: &Image,
+) -> Vec<SplatGrad> {
+    let vp = grid.viewport();
+    let width = vp.width();
+    let height = vp.height();
+    assert_eq!(d_image.width(), width, "gradient image width mismatch");
+    assert_eq!(d_image.height(), height, "gradient image height mismatch");
+    assert_eq!(aux.final_transmittance.len(), width * height, "aux size mismatch");
+
+    let mut grads = vec![SplatGrad::default(); splats.len()];
+
+    for ty in 0..grid.tiles_y() {
+        for tx in 0..grid.tiles_x() {
+            let bin = grid.bin(tx, ty);
+            if bin.is_empty() {
+                continue;
+            }
+            let (x0, y0, x1, y1) = grid.tile_pixel_range(tx, ty);
+            for py in y0..y1 {
+                for px in x0..x1 {
+                    let lx = px - vp.x0;
+                    let ly = py - vp.y0;
+                    let pix = ly * width + lx;
+                    let d_c = d_image.pixel(lx, ly);
+                    if d_c == [0.0, 0.0, 0.0] {
+                        continue;
+                    }
+                    let cx = px as f32 + 0.5;
+                    let cy = py as f32 + 0.5;
+                    let processed = aux.n_processed[pix] as usize;
+                    let t_final = aux.final_transmittance[pix];
+
+                    // Walk back-to-front reconstructing the transmittance in
+                    // front of each contributing splat and the suffix color
+                    // behind it.
+                    let mut t_behind = t_final;
+                    let mut suffix = [
+                        aux.background[0] * t_final,
+                        aux.background[1] * t_final,
+                        aux.background[2] * t_final,
+                    ];
+                    for &si in bin[..processed].iter().rev() {
+                        let s = &splats[si as usize];
+                        let Some((sigma, dx, dy)) = gaussian_weight(s, cx, cy) else {
+                            continue;
+                        };
+                        let Some((alpha, clamped)) = splat_alpha(s, sigma) else {
+                            continue;
+                        };
+                        let t_front = t_behind / (1.0 - alpha);
+
+                        // Color gradient.
+                        let g = &mut grads[si as usize];
+                        let w = alpha * t_front;
+                        g.d_color[0] += w * d_c[0];
+                        g.d_color[1] += w * d_c[1];
+                        g.d_color[2] += w * d_c[2];
+
+                        // Alpha gradient: dC/dalpha = c * T_front - suffix/(1-alpha).
+                        let inv_one_minus = 1.0 / (1.0 - alpha);
+                        let mut d_alpha = 0.0f32;
+                        for ch in 0..3 {
+                            d_alpha += (s.color[ch] * t_front - suffix[ch] * inv_one_minus)
+                                * d_c[ch];
+                        }
+
+                        if !clamped {
+                            // alpha = opacity * exp(-sigma).
+                            let exp_neg = (-sigma).exp();
+                            g.d_opacity += exp_neg * d_alpha;
+                            let d_sigma = -alpha * d_alpha;
+                            // sigma = 0.5(a dx^2 + c dy^2) + b dx dy.
+                            g.d_conic.xx += 0.5 * dx * dx * d_sigma;
+                            g.d_conic.xy += dx * dy * d_sigma;
+                            g.d_conic.yy += 0.5 * dy * dy * d_sigma;
+                            // d = pixel - mean2d, so d(mean2d) = -d(d).
+                            let d_dx = (s.conic.xx * dx + s.conic.xy * dy) * d_sigma;
+                            let d_dy = (s.conic.yy * dy + s.conic.xy * dx) * d_sigma;
+                            g.d_mean2d.x -= d_dx;
+                            g.d_mean2d.y -= d_dy;
+                        }
+
+                        // Update running suffix and transmittance for the next
+                        // (nearer) splat.
+                        for ch in 0..3 {
+                            suffix[ch] += s.color[ch] * alpha * t_front;
+                        }
+                        t_behind = t_front;
+                    }
+                }
+            }
+        }
+    }
+
+    grads
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gs_core::camera::Viewport;
+    use gs_core::math::{Sym2, Vec2};
+
+    fn vp(w: usize, h: usize) -> Viewport {
+        Viewport {
+            x0: 0,
+            y0: 0,
+            x1: w,
+            y1: h,
+        }
+    }
+
+    fn simple_splat(idx: u32, x: f32, y: f32, color: [f32; 3], opacity: f32, depth: f32) -> Splat {
+        Splat {
+            idx,
+            mean2d: Vec2::new(x, y),
+            depth,
+            conic: Sym2::new(0.25, 0.0, 0.25),
+            radius: 12.0,
+            color,
+            opacity,
+        }
+    }
+
+    #[test]
+    fn empty_scene_renders_background() {
+        let grid = TileGrid::build(&[], vp(8, 8));
+        let (img, aux) = rasterize_forward(&[], &grid, [0.2, 0.4, 0.6]);
+        assert_eq!(img.pixel(3, 3), [0.2, 0.4, 0.6]);
+        assert!(aux.final_transmittance.iter().all(|&t| t == 1.0));
+    }
+
+    #[test]
+    fn single_opaque_splat_dominates_center() {
+        let splats = vec![simple_splat(0, 8.0, 8.0, [1.0, 0.0, 0.0], 0.99, 1.0)];
+        let grid = TileGrid::build(&splats, vp(16, 16));
+        let (img, _) = rasterize_forward(&splats, &grid, [0.0, 0.0, 0.0]);
+        let center = img.pixel(8, 8);
+        assert!(center[0] > 0.9, "red channel {}", center[0]);
+        assert!(center[1] < 0.05);
+        // Far corner should be near background.
+        let corner = img.pixel(0, 0);
+        assert!(corner[0] < 0.2);
+    }
+
+    #[test]
+    fn occlusion_respects_depth_order() {
+        // Near-opaque red in front of near-opaque green at the same position.
+        let splats = vec![
+            simple_splat(0, 8.0, 8.0, [0.0, 1.0, 0.0], 0.95, 5.0),
+            simple_splat(1, 8.0, 8.0, [1.0, 0.0, 0.0], 0.95, 1.0),
+        ];
+        let grid = TileGrid::build(&splats, vp(16, 16));
+        let (img, _) = rasterize_forward(&splats, &grid, [0.0, 0.0, 0.0]);
+        let c = img.pixel(8, 8);
+        assert!(c[0] > 4.0 * c[1], "red should occlude green: {c:?}");
+    }
+
+    #[test]
+    fn transmittance_decreases_with_more_splats() {
+        let one = vec![simple_splat(0, 8.0, 8.0, [0.5; 3], 0.5, 1.0)];
+        let two = vec![
+            simple_splat(0, 8.0, 8.0, [0.5; 3], 0.5, 1.0),
+            simple_splat(1, 8.0, 8.0, [0.5; 3], 0.5, 2.0),
+        ];
+        let g1 = TileGrid::build(&one, vp(16, 16));
+        let g2 = TileGrid::build(&two, vp(16, 16));
+        let (_, a1) = rasterize_forward(&one, &g1, [0.0; 3]);
+        let (_, a2) = rasterize_forward(&two, &g2, [0.0; 3]);
+        let p = 8 * 16 + 8;
+        assert!(a2.final_transmittance[p] < a1.final_transmittance[p]);
+    }
+
+    #[test]
+    fn backward_gradients_match_finite_difference() {
+        // Three overlapping, partially transparent splats.
+        let base = vec![
+            simple_splat(0, 6.0, 8.0, [0.9, 0.1, 0.2], 0.6, 1.0),
+            simple_splat(1, 9.0, 7.0, [0.1, 0.8, 0.3], 0.5, 2.0),
+            simple_splat(2, 8.0, 10.0, [0.2, 0.3, 0.9], 0.7, 3.0),
+        ];
+        let viewport = vp(16, 16);
+        let bg = [0.1, 0.1, 0.1];
+
+        // Loss: weighted sum of all pixels (weights vary per pixel/channel).
+        let weight = |x: usize, y: usize, ch: usize| {
+            ((x as f32 * 0.7 + y as f32 * 1.3 + ch as f32 * 0.37).sin()) * 0.5
+        };
+        let loss = |splats: &[Splat]| -> f64 {
+            let grid = TileGrid::build(splats, viewport);
+            let (img, _) = rasterize_forward(splats, &grid, bg);
+            let mut l = 0.0f64;
+            for y in 0..16 {
+                for x in 0..16 {
+                    let p = img.pixel(x, y);
+                    for ch in 0..3 {
+                        l += (p[ch] * weight(x, y, ch)) as f64;
+                    }
+                }
+            }
+            l
+        };
+
+        let grid = TileGrid::build(&base, viewport);
+        let (_, aux) = rasterize_forward(&base, &grid, bg);
+        let d_image = Image::from_fn(16, 16, |x, y| {
+            [weight(x, y, 0), weight(x, y, 1), weight(x, y, 2)]
+        });
+        let grads = rasterize_backward(&base, &grid, &aux, &d_image);
+
+        let eps = 1e-3;
+        let tol = |fd: f32| 3e-2 * (1.0 + fd.abs());
+
+        for i in 0..base.len() {
+            // mean2d.x / mean2d.y
+            for axis in 0..2 {
+                let mut plus = base.clone();
+                let mut minus = base.clone();
+                if axis == 0 {
+                    plus[i].mean2d.x += eps;
+                    minus[i].mean2d.x -= eps;
+                } else {
+                    plus[i].mean2d.y += eps;
+                    minus[i].mean2d.y -= eps;
+                }
+                let fd = ((loss(&plus) - loss(&minus)) / (2.0 * eps as f64)) as f32;
+                let analytic = if axis == 0 {
+                    grads[i].d_mean2d.x
+                } else {
+                    grads[i].d_mean2d.y
+                };
+                assert!(
+                    (fd - analytic).abs() < tol(fd),
+                    "splat {i} mean2d axis {axis}: fd={fd} analytic={analytic}"
+                );
+            }
+            // opacity
+            {
+                let mut plus = base.clone();
+                let mut minus = base.clone();
+                plus[i].opacity += eps;
+                minus[i].opacity -= eps;
+                let fd = ((loss(&plus) - loss(&minus)) / (2.0 * eps as f64)) as f32;
+                assert!(
+                    (fd - grads[i].d_opacity).abs() < tol(fd),
+                    "splat {i} opacity: fd={fd} analytic={}",
+                    grads[i].d_opacity
+                );
+            }
+            // color channels
+            for ch in 0..3 {
+                let mut plus = base.clone();
+                let mut minus = base.clone();
+                plus[i].color[ch] += eps;
+                minus[i].color[ch] -= eps;
+                let fd = ((loss(&plus) - loss(&minus)) / (2.0 * eps as f64)) as f32;
+                assert!(
+                    (fd - grads[i].d_color[ch]).abs() < tol(fd),
+                    "splat {i} color {ch}: fd={fd} analytic={}",
+                    grads[i].d_color[ch]
+                );
+            }
+            // conic entries
+            for which in 0..3 {
+                let mut plus = base.clone();
+                let mut minus = base.clone();
+                match which {
+                    0 => {
+                        plus[i].conic.xx += eps;
+                        minus[i].conic.xx -= eps;
+                    }
+                    1 => {
+                        plus[i].conic.xy += eps;
+                        minus[i].conic.xy -= eps;
+                    }
+                    _ => {
+                        plus[i].conic.yy += eps;
+                        minus[i].conic.yy -= eps;
+                    }
+                }
+                let fd = ((loss(&plus) - loss(&minus)) / (2.0 * eps as f64)) as f32;
+                let analytic = match which {
+                    0 => grads[i].d_conic.xx,
+                    1 => grads[i].d_conic.xy,
+                    _ => grads[i].d_conic.yy,
+                };
+                assert!(
+                    (fd - analytic).abs() < tol(fd),
+                    "splat {i} conic {which}: fd={fd} analytic={analytic}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "gradient image width mismatch")]
+    fn backward_rejects_wrong_gradient_size() {
+        let grid = TileGrid::build(&[], vp(8, 8));
+        let (_, aux) = rasterize_forward(&[], &grid, [0.0; 3]);
+        let d_image = Image::zeros(4, 8);
+        let _ = rasterize_backward(&[], &grid, &aux, &d_image);
+    }
+}

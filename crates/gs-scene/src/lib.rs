@@ -1,0 +1,26 @@
+//! Synthetic large-scene datasets standing in for the paper's benchmarks.
+//!
+//! The paper trains on Mill-19 (Rubble, Building), GauU-Scene (LFLS, SZIIT,
+//! SZTU) and MatrixCity (Aerial) — multi-gigabyte photo collections that are
+//! not available offline. What GS-Scale's behaviour actually depends on is
+//! captured by a handful of scene statistics: the total number of Gaussians,
+//! the per-view ratio of active (in-frustum) to total Gaussians (Figure 4),
+//! and the training image resolution (Table 2). The generators in this crate
+//! synthesize city-like scenes that match those statistics at a configurable
+//! scale, and render ground-truth images from a reference Gaussian set so
+//! that training has a realizable optimum.
+//!
+//! * [`presets`] — the six benchmark scenes as data (resolution, active
+//!   ratio, paper-scale Gaussian count) plus "small" variants.
+//! * [`synthetic`] — the procedural scene generator and the
+//!   [`synthetic::SceneDataset`] container (ground-truth Gaussians, SfM-like
+//!   initial point cloud, train/test camera trajectories).
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod presets;
+pub mod synthetic;
+
+pub use presets::ScenePreset;
+pub use synthetic::{SceneConfig, SceneDataset};

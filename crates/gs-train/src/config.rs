@@ -1,0 +1,101 @@
+//! Training hyper-parameters, following the reference 3DGS recipe.
+
+use gs_optim::{AdamConfig, ExponentialLr};
+use gs_render::loss::LossKind;
+
+use crate::densify::DensifyConfig;
+
+/// Full training configuration shared by every system.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainConfig {
+    /// Spherical-harmonics degree used for rendering (0..=3).
+    pub sh_degree: usize,
+    /// Photometric loss.
+    pub loss: LossKind,
+    /// Adam hyper-parameters (per-group learning rates, schedules).
+    pub adam: AdamConfig,
+    /// Adaptive density control settings.
+    pub densify: DensifyConfig,
+    /// Background color composited behind the splats.
+    pub background: [f32; 3],
+    /// Fraction of total Gaussians above which a training image is split into
+    /// two sub-regions (the paper's `mem_limit`, default 0.3).
+    pub mem_limit: f64,
+    /// Total number of training iterations (one image per iteration, batch
+    /// size 1 as in the paper).
+    pub iterations: usize,
+}
+
+impl TrainConfig {
+    /// The reference configuration used by the tests and benchmarks: 3DGS
+    /// learning rates with mean-lr decay over the run, `mem_limit = 0.3`.
+    pub fn reference(iterations: usize, scene_extent: f32) -> Self {
+        let mut adam = AdamConfig::reference();
+        adam.lrs = adam.lrs.with_scene_extent(scene_extent);
+        adam.mean_lr_decay = Some(ExponentialLr::reference(iterations as u64));
+        Self {
+            sh_degree: 3,
+            loss: LossKind::L1,
+            adam,
+            densify: DensifyConfig::reference(iterations),
+            background: [0.05, 0.05, 0.08],
+            mem_limit: 0.3,
+            iterations,
+        }
+    }
+
+    /// A small, fast configuration for unit tests: low SH degree, no
+    /// densification, uniform learning rate.
+    pub fn fast_test(iterations: usize) -> Self {
+        Self {
+            sh_degree: 1,
+            loss: LossKind::L1,
+            adam: AdamConfig::reference(),
+            densify: DensifyConfig::disabled(),
+            background: [0.05, 0.05, 0.08],
+            mem_limit: 0.3,
+            iterations,
+        }
+    }
+
+    /// Returns a copy with a different `mem_limit` (used by the Figure 15
+    /// sensitivity study).
+    pub fn with_mem_limit(mut self, mem_limit: f64) -> Self {
+        self.mem_limit = mem_limit;
+        self
+    }
+
+    /// Returns a copy with densification disabled.
+    pub fn without_densification(mut self) -> Self {
+        self.densify = DensifyConfig::disabled();
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_config_enables_decay_and_densification() {
+        let cfg = TrainConfig::reference(1000, 50.0);
+        assert!(cfg.adam.mean_lr_decay.is_some());
+        assert!(cfg.densify.enabled());
+        assert_eq!(cfg.mem_limit, 0.3);
+        // Mean lr is scaled by the scene extent.
+        assert!(cfg.adam.lrs.means > 1.6e-4);
+    }
+
+    #[test]
+    fn fast_test_config_is_densification_free() {
+        let cfg = TrainConfig::fast_test(10);
+        assert!(!cfg.densify.enabled());
+        assert_eq!(cfg.sh_degree, 1);
+    }
+
+    #[test]
+    fn with_mem_limit_overrides() {
+        let cfg = TrainConfig::fast_test(10).with_mem_limit(0.1);
+        assert_eq!(cfg.mem_limit, 0.1);
+    }
+}

@@ -1,0 +1,49 @@
+//! Conversions from renderer / optimizer work counters into platform-model
+//! work descriptors, shared by the trainers.
+
+use gs_optim::StepStats;
+use gs_platform::Work;
+use gs_render::cost::WorkEstimate;
+
+/// Converts a renderer work estimate into a platform work descriptor.
+pub(crate) fn work_from_estimate(e: &WorkEstimate) -> Work {
+    Work::new(e.flops, e.total_bytes())
+}
+
+/// Converts an optimizer step-stats record into a platform work descriptor.
+///
+/// `random_access` marks the traffic as scattered (deferred updates touch an
+/// arbitrary subset of Gaussians, which matters on the NUMA server).
+pub(crate) fn work_from_step(s: &StepStats, random_access: bool) -> Work {
+    let w = Work::new(s.flops, s.total_bytes());
+    if random_access {
+        w.with_random_access()
+    } else {
+        w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_preserve_totals() {
+        let e = WorkEstimate::new(100.0, 30.0, 20.0);
+        let w = work_from_estimate(&e);
+        assert_eq!(w.flops, 100.0);
+        assert_eq!(w.bytes, 50.0);
+        assert!(!w.random_access);
+
+        let s = StepStats {
+            updated_gaussians: 1,
+            total_gaussians: 2,
+            bytes_read: 8.0,
+            bytes_written: 4.0,
+            flops: 16.0,
+        };
+        let w2 = work_from_step(&s, true);
+        assert_eq!(w2.bytes, 12.0);
+        assert!(w2.random_access);
+    }
+}

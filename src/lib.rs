@@ -1,0 +1,40 @@
+//! GS-Scale: a Rust reproduction of *"GS-Scale: Unlocking Large-Scale 3D
+//! Gaussian Splatting Training via Host Offloading"* (ASPLOS 2026).
+//!
+//! This facade crate re-exports the workspace crates so applications can use
+//! a single dependency:
+//!
+//! * [`core`] (`gs-core`) — Gaussian parameters, cameras, images, math.
+//! * [`render`] (`gs-render`) — the differentiable software 3DGS renderer.
+//! * [`optim`] (`gs-optim`) — Adam, deferred Adam, SGD-momentum optimizers.
+//! * [`platform`] (`gs-platform`) — hardware specs, memory pools, PCIe
+//!   transfer and execution-timeline models.
+//! * [`scene`] (`gs-scene`) — synthetic large-scene datasets.
+//! * [`metrics`] (`gs-metrics`) — PSNR / SSIM / perceptual proxy.
+//! * [`train`] (`gs-train`) — the GPU-only, baseline-offloading and GS-Scale
+//!   trainers.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use gs_scale::core::gaussian::GaussianParams;
+//! use gs_scale::core::math::Vec3;
+//!
+//! let mut params = GaussianParams::new();
+//! params.push_isotropic(Vec3::new(0.0, 0.0, 1.0), 0.2, [0.8, 0.3, 0.2], 0.9);
+//! assert_eq!(params.len(), 1);
+//! ```
+//!
+//! See the `examples/` directory for end-to-end training runs and the
+//! `crates/gs-bench` binaries for the scripts that regenerate every table
+//! and figure of the paper.
+
+#![deny(missing_docs)]
+
+pub use gs_core as core;
+pub use gs_metrics as metrics;
+pub use gs_optim as optim;
+pub use gs_platform as platform;
+pub use gs_render as render;
+pub use gs_scene as scene;
+pub use gs_train as train;

@@ -1,0 +1,254 @@
+//! End-to-end integration tests spanning every crate: scene synthesis,
+//! rendering, training under all four systems, memory accounting, timing
+//! model and quality metrics.
+
+use gs_scale::core::scene::init_gaussians_from_point_cloud;
+use gs_scale::metrics::QualityReport;
+use gs_scale::platform::PlatformSpec;
+use gs_scale::scene::{SceneConfig, SceneDataset};
+use gs_scale::train::{
+    evaluate, train, GpuOnlyTrainer, OffloadOptions, OffloadTrainer, SystemKind, TrainConfig,
+    Trainer,
+};
+
+fn test_scene(seed: u64) -> SceneDataset {
+    SceneDataset::generate(SceneConfig {
+        name: "integration".to_string(),
+        num_gaussians: 900,
+        init_points: 350,
+        width: 80,
+        height: 60,
+        num_train_views: 8,
+        num_test_views: 2,
+        target_active_ratio: 0.55,
+        extent: 60.0,
+        far_view_fraction: 0.1,
+        seed,
+    })
+}
+
+/// A scene sized so that per-Gaussian work (not per-kernel launch overhead)
+/// dominates the timing model: this is the regime where the paper's
+/// throughput ordering between systems emerges.
+fn throughput_scene(seed: u64) -> SceneDataset {
+    SceneDataset::generate(SceneConfig {
+        name: "throughput".to_string(),
+        num_gaussians: 6000,
+        init_points: 6000,
+        width: 96,
+        height: 72,
+        num_train_views: 8,
+        num_test_views: 2,
+        target_active_ratio: 0.12,
+        extent: 120.0,
+        far_view_fraction: 0.0,
+        seed,
+    })
+}
+
+fn run_system(
+    kind: SystemKind,
+    scene: &SceneDataset,
+    platform: &PlatformSpec,
+    iterations: usize,
+) -> (gs_scale::train::RunStats, QualityReport) {
+    let init = init_gaussians_from_point_cloud(&scene.init_cloud, 0.3);
+    let cfg = TrainConfig::fast_test(iterations);
+    match kind {
+        SystemKind::GpuOnly => {
+            let mut t =
+                GpuOnlyTrainer::new(cfg, platform.clone(), init, scene.scene_extent()).unwrap();
+            let o = train(&mut t, scene, iterations, true).unwrap();
+            (o.run, o.quality.unwrap())
+        }
+        other => {
+            let mut t = OffloadTrainer::new(
+                cfg,
+                OffloadOptions::for_system(other),
+                platform.clone(),
+                init,
+                scene.scene_extent(),
+            )
+            .unwrap();
+            let o = train(&mut t, scene, iterations, true).unwrap();
+            (o.run, o.quality.unwrap())
+        }
+    }
+}
+
+#[test]
+fn all_four_systems_train_and_agree_on_quality() {
+    let scene = test_scene(31);
+    let platform = PlatformSpec::laptop_rtx4070m();
+    let iterations = 32;
+
+    let results: Vec<(SystemKind, _, QualityReport)> = SystemKind::ALL
+        .iter()
+        .map(|&k| {
+            let (run, q) = run_system(k, &scene, &platform, iterations);
+            (k, run, q)
+        })
+        .collect();
+
+    // Training improved over the initialization for every system.
+    let init = init_gaussians_from_point_cloud(&scene.init_cloud, 0.3);
+    let baseline_quality = evaluate(&init, &scene);
+    for (kind, run, quality) in &results {
+        assert!(
+            quality.psnr > baseline_quality.psnr,
+            "{kind:?} did not improve PSNR ({} vs {})",
+            quality.psnr,
+            baseline_quality.psnr
+        );
+        assert_eq!(run.iterations.len(), iterations);
+        assert!(run.total_sim_time() > 0.0, "{kind:?} produced no timing");
+    }
+
+    // All systems converge to (numerically) the same quality: the paper's
+    // Table 3 equivalence claim.
+    let psnrs: Vec<f64> = results.iter().map(|(_, _, q)| q.psnr).collect();
+    let max = psnrs.iter().cloned().fold(f64::MIN, f64::max);
+    let min = psnrs.iter().cloned().fold(f64::MAX, f64::min);
+    assert!(
+        max - min < 0.25,
+        "systems disagree on final quality: {psnrs:?}"
+    );
+}
+
+#[test]
+fn gs_scale_saves_gpu_memory_and_beats_baseline_throughput() {
+    let scene = throughput_scene(32);
+    let platform = PlatformSpec::laptop_rtx4070m();
+    let iterations = 8;
+
+    let (gpu_only, _) = run_system(SystemKind::GpuOnly, &scene, &platform, iterations);
+    let (baseline, _) = run_system(SystemKind::BaselineOffload, &scene, &platform, iterations);
+    let (gs_scale, _) = run_system(SystemKind::GsScale, &scene, &platform, iterations);
+
+    // Memory: offloading never exceeds GPU-only peak memory.
+    assert!(gs_scale.peak_gpu_bytes <= gpu_only.peak_gpu_bytes);
+
+    // Throughput: GS-Scale improves over the unoptimized offloading baseline.
+    assert!(
+        gs_scale.throughput_images_per_s() > baseline.throughput_images_per_s(),
+        "GS-Scale ({}) should beat baseline ({})",
+        gs_scale.throughput_images_per_s(),
+        baseline.throughput_images_per_s()
+    );
+
+    // The deferred optimizer touches fewer Gaussians per step on average.
+    let gs_updates: f64 = gs_scale
+        .iterations
+        .iter()
+        .map(|i| i.optimizer_updates as f64)
+        .sum::<f64>()
+        / gs_scale.iterations.len() as f64;
+    let base_updates: f64 = baseline
+        .iterations
+        .iter()
+        .map(|i| i.optimizer_updates as f64)
+        .sum::<f64>()
+        / baseline.iterations.len() as f64;
+    assert!(gs_updates < base_updates);
+}
+
+#[test]
+fn densification_grows_models_identically_across_systems() {
+    let scene = test_scene(33);
+    let platform = PlatformSpec::desktop_rtx4080s();
+    let iterations = 30;
+    let init = init_gaussians_from_point_cloud(&scene.init_cloud, 0.3);
+
+    let mut cfg = TrainConfig::fast_test(iterations);
+    cfg.densify = gs_scale::train::densify::DensifyConfig {
+        start_iteration: 5,
+        stop_iteration: 25,
+        interval: 10,
+        grad_threshold: 1.0e-7,
+        split_scale_fraction: 0.02,
+        prune_opacity: 0.005,
+        max_gaussians: 0,
+    };
+
+    let mut gpu_only = GpuOnlyTrainer::new(
+        cfg.clone(),
+        platform.clone(),
+        init.clone(),
+        scene.scene_extent(),
+    )
+    .unwrap();
+    let gpu_run = train(&mut gpu_only, &scene, iterations, false).unwrap().run;
+
+    let mut gs = OffloadTrainer::new(
+        cfg,
+        OffloadOptions::full(),
+        platform,
+        init,
+        scene.scene_extent(),
+    )
+    .unwrap();
+    let gs_run = train(&mut gs, &scene, iterations, false).unwrap().run;
+
+    assert!(gpu_run.final_gaussians > 350, "densification should add Gaussians");
+    assert_eq!(
+        gpu_run.final_gaussians, gs_run.final_gaussians,
+        "both systems must densify identically"
+    );
+}
+
+#[test]
+fn gpu_only_ooms_on_constrained_gpu_but_gs_scale_survives() {
+    // Small images (activations are modest) but many Gaussians, so the
+    // GPU-only system's resident parameters/gradients/optimizer state exceed
+    // the budget while GS-Scale's staged working set stays well within it.
+    let scene = SceneDataset::generate(SceneConfig {
+        name: "oom".to_string(),
+        num_gaussians: 6000,
+        init_points: 6000,
+        width: 40,
+        height: 30,
+        num_train_views: 6,
+        num_test_views: 2,
+        target_active_ratio: 0.15,
+        extent: 120.0,
+        far_view_fraction: 0.0,
+        seed: 34,
+    });
+    let init = init_gaussians_from_point_cloud(&scene.init_cloud, 0.3);
+    // GPU-only needs ~944 bytes per Gaussian of persistent state (~5.7 MB
+    // here); GS-Scale's peak is dominated by activations (~1.4 MB).
+    let capacity = 3_500_000u64;
+    let platform = PlatformSpec::laptop_rtx4070m().with_gpu_memory(capacity);
+    let cfg = TrainConfig::fast_test(4);
+
+    let gpu_only = GpuOnlyTrainer::new(cfg.clone(), platform.clone(), init.clone(), 60.0);
+    assert!(gpu_only.is_err());
+    assert!(gpu_only.err().unwrap().is_oom());
+
+    let mut gs = OffloadTrainer::new(
+        cfg,
+        OffloadOptions::full(),
+        platform,
+        init,
+        scene.scene_extent(),
+    )
+    .expect("GS-Scale keeps parameters in host memory");
+    let outcome = train(&mut gs, &scene, 4, false).unwrap();
+    assert_eq!(outcome.run.iterations.len(), 4);
+}
+
+#[test]
+fn throughput_ordering_matches_figure_11_on_the_laptop() {
+    // Baseline < GS-Scale w/o deferred <= GS-Scale with all optimizations.
+    let scene = throughput_scene(35);
+    let platform = PlatformSpec::laptop_rtx4070m();
+    let iterations = 8;
+    let (baseline, _) = run_system(SystemKind::BaselineOffload, &scene, &platform, iterations);
+    let (no_deferred, _) = run_system(SystemKind::GsScaleNoDeferred, &scene, &platform, iterations);
+    let (full, _) = run_system(SystemKind::GsScale, &scene, &platform, iterations);
+    let t_base = baseline.throughput_images_per_s();
+    let t_nodef = no_deferred.throughput_images_per_s();
+    let t_full = full.throughput_images_per_s();
+    assert!(t_nodef > t_base, "selective offloading + forwarding should help: {t_nodef} vs {t_base}");
+    assert!(t_full >= t_nodef * 0.95, "deferred Adam should not hurt: {t_full} vs {t_nodef}");
+}

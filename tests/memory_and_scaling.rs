@@ -1,0 +1,223 @@
+//! Integration tests for the paper-scale memory model and the scalability
+//! claims (Figures 1, 3, 12, 13).
+
+use gs_scale::platform::PlatformSpec;
+use gs_scale::scene::ScenePreset;
+use gs_scale::train::{estimate_gpu_memory, SystemKind};
+
+const GB: u64 = 1024 * 1024 * 1024;
+
+/// Largest Gaussian count that fits the platform's GPU under `kind`.
+fn max_gaussians(kind: SystemKind, preset: &ScenePreset, platform: &PlatformSpec) -> usize {
+    let pixels = preset.width * preset.height;
+    let mut lo = 10_000usize;
+    let mut hi = 300_000_000usize;
+    for _ in 0..48 {
+        let mid = (lo + hi) / 2;
+        if estimate_gpu_memory(kind, mid, preset.active_ratio, pixels, 0.3).total()
+            <= platform.gpu.mem_capacity
+        {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+#[test]
+fn memory_savings_fall_in_the_papers_range() {
+    // Figure 12: 3.3x – 5.6x peak GPU memory reduction, geomean ~3.98x.
+    let mut product = 1.0f64;
+    for preset in ScenePreset::ALL {
+        let pixels = preset.width * preset.height;
+        let gpu = estimate_gpu_memory(
+            SystemKind::GpuOnly,
+            preset.paper_gaussians,
+            preset.active_ratio,
+            pixels,
+            0.3,
+        );
+        let gss = estimate_gpu_memory(
+            SystemKind::GsScale,
+            preset.paper_gaussians,
+            preset.active_ratio,
+            pixels,
+            0.3,
+        );
+        let saving = gpu.total() as f64 / gss.total() as f64;
+        assert!(
+            (2.8..7.0).contains(&saving),
+            "{}: saving {saving:.2} out of the expected range",
+            preset.name
+        );
+        product *= saving;
+    }
+    let geomean = product.powf(1.0 / ScenePreset::ALL.len() as f64);
+    assert!(
+        (3.0..5.5).contains(&geomean),
+        "geomean saving {geomean:.2} should be close to the paper's 3.98x"
+    );
+}
+
+#[test]
+fn laptop_gaussian_scaling_matches_figure_1() {
+    // The paper: GS-Scale scales Rubble from ~4M to ~18M Gaussians on an
+    // RTX 4070 Mobile (8 GB), a ~4.5x extension. The analytic model here
+    // excludes the PyTorch allocator's reserved-pool overhead (footnote 1 of
+    // the paper), so its absolute ceilings sit higher than the paper's, but
+    // the GPU-only ceiling must stay in the single-digit millions and the
+    // relative extension from host offloading must be preserved.
+    let laptop = PlatformSpec::laptop_rtx4070m();
+    let rubble = ScenePreset::RUBBLE;
+    let gpu_only_max = max_gaussians(SystemKind::GpuOnly, &rubble, &laptop);
+    let gs_scale_max = max_gaussians(SystemKind::GsScale, &rubble, &laptop);
+    assert!(
+        (3_000_000..10_000_000).contains(&gpu_only_max),
+        "GPU-only max {gpu_only_max} should be in the single-digit millions"
+    );
+    assert!(
+        (15_000_000..60_000_000).contains(&gs_scale_max),
+        "GS-Scale max {gs_scale_max} should reach the tens of millions"
+    );
+    let factor = gs_scale_max as f64 / gpu_only_max as f64;
+    assert!(
+        factor > 3.0 && factor < 8.0,
+        "scaling factor {factor:.1} should be around the paper's 4.5x"
+    );
+}
+
+#[test]
+fn desktop_gaussian_scaling_matches_figure_13() {
+    // The paper: ~9M -> ~40M Gaussians on an RTX 4080 Super (16 GB), again a
+    // ~4.4x extension (see the laptop test for why absolute ceilings sit a
+    // bit higher in this model).
+    let desktop = PlatformSpec::desktop_rtx4080s();
+    let rubble = ScenePreset::RUBBLE;
+    let gpu_only_max = max_gaussians(SystemKind::GpuOnly, &rubble, &desktop);
+    let gs_scale_max = max_gaussians(SystemKind::GsScale, &rubble, &desktop);
+    assert!(
+        (7_000_000..22_000_000).contains(&gpu_only_max),
+        "GPU-only max {gpu_only_max} should be in the 10-20M range"
+    );
+    assert!(
+        (35_000_000..120_000_000).contains(&gs_scale_max),
+        "GS-Scale max {gs_scale_max} should reach many tens of millions"
+    );
+    let factor = gs_scale_max as f64 / gpu_only_max as f64;
+    assert!(
+        factor > 3.0 && factor < 8.0,
+        "scaling factor {factor:.1} should be around the paper's 4.4x"
+    );
+}
+
+#[test]
+fn rubble_at_full_quality_exceeds_any_consumer_gpu() {
+    // The paper's motivating number: ~40M Gaussians need ~53 GB.
+    let rubble = ScenePreset::RUBBLE;
+    let est = estimate_gpu_memory(
+        SystemKind::GpuOnly,
+        40_000_000,
+        rubble.active_ratio,
+        rubble.width * rubble.height,
+        0.3,
+    );
+    assert!(est.total() > 24 * GB, "40M Gaussians should exceed 24 GB (got {})", est.total());
+    // And the Aerial scene needs more than 50 GB, causing OOM on both
+    // consumer GPUs but fitting the H100.
+    let aerial = ScenePreset::AERIAL;
+    let aerial_est = estimate_gpu_memory(
+        SystemKind::GpuOnly,
+        aerial.paper_gaussians,
+        aerial.active_ratio,
+        aerial.width * aerial.height,
+        0.3,
+    );
+    assert!(aerial_est.total() > PlatformSpec::desktop_rtx4080s().gpu.mem_capacity);
+    assert!(
+        estimate_gpu_memory(
+            SystemKind::GsScale,
+            aerial.paper_gaussians,
+            aerial.active_ratio,
+            aerial.width * aerial.height,
+            0.3,
+        )
+        .total()
+            < PlatformSpec::desktop_rtx4080s().gpu.mem_capacity,
+        "GS-Scale should fit Aerial on the desktop (the paper trains it there)"
+    );
+}
+
+#[test]
+fn oom_marks_match_figure_11() {
+    // At paper scale, GPU-only training OOMs on every full-size scene on the
+    // laptop, while every offloading variant fits.
+    let laptop = PlatformSpec::laptop_rtx4070m();
+    for preset in ScenePreset::ALL {
+        let pixels = preset.width * preset.height;
+        let gpu_only = estimate_gpu_memory(
+            SystemKind::GpuOnly,
+            preset.paper_gaussians,
+            preset.active_ratio,
+            pixels,
+            0.3,
+        );
+        assert!(
+            gpu_only.total() > laptop.gpu.mem_capacity,
+            "{}: full-size scene should OOM under GPU-only on the laptop",
+            preset.name
+        );
+        for kind in [
+            SystemKind::BaselineOffload,
+            SystemKind::GsScaleNoDeferred,
+            SystemKind::GsScale,
+        ] {
+            let est = estimate_gpu_memory(
+                kind,
+                preset.paper_gaussians,
+                preset.active_ratio,
+                pixels,
+                0.3,
+            );
+            assert!(
+                est.total() < laptop.gpu.mem_capacity,
+                "{}: {kind:?} should fit on the laptop",
+                preset.name
+            );
+        }
+    }
+}
+
+#[test]
+fn selective_offloading_overhead_is_the_resident_geometric_state() {
+    // GS-Scale's only GPU-memory overhead over the naive offloading baseline
+    // is the resident geometric attributes plus their optimizer state
+    // (3 x 10 parameters x 4 bytes per Gaussian ≈ 17% of the full parameter
+    // footprint) — the trade-off Section 4.2.1 of the paper makes for fast
+    // GPU frustum culling.
+    for preset in ScenePreset::ALL {
+        let pixels = preset.width * preset.height;
+        let baseline = estimate_gpu_memory(
+            SystemKind::BaselineOffload,
+            preset.paper_gaussians,
+            preset.active_ratio,
+            pixels,
+            0.3,
+        );
+        let gss = estimate_gpu_memory(
+            SystemKind::GsScale,
+            preset.paper_gaussians,
+            preset.active_ratio,
+            pixels,
+            0.3,
+        );
+        let expected_resident = preset.paper_gaussians as u64 * 3 * 10 * 4;
+        let extra = gss.total() as i64 - baseline.total() as i64;
+        let deviation = (extra - expected_resident as i64).abs() as f64 / expected_resident as f64;
+        assert!(
+            deviation < 0.15,
+            "{}: GS-Scale overhead {extra} deviates from the resident geometric state {expected_resident}",
+            preset.name
+        );
+    }
+}

@@ -1,0 +1,205 @@
+//! Property-based tests on the core invariants the GS-Scale design relies
+//! on, using randomly generated scenes, cameras and gradient schedules.
+
+use gs_scale::core::camera::{Camera, Viewport};
+use gs_scale::core::gaussian::{GaussianGrads, GaussianParams, ParamGroup, SparseGrads};
+use gs_scale::core::math::Vec3;
+use gs_scale::optim::{AdamConfig, DeferredAdam, DenseAdam};
+use gs_scale::platform::{MemoryCategory, MemoryPool, Stream, TimelineSim};
+use gs_scale::render::culling::frustum_cull;
+use gs_scale::render::pipeline::{render, render_image};
+use gs_scale::render::projection::project_splats;
+use proptest::prelude::*;
+
+fn arb_gaussians(max_n: usize) -> impl Strategy<Value = GaussianParams> {
+    prop::collection::vec(
+        (
+            -8.0f32..8.0,
+            -6.0f32..6.0,
+            -4.0f32..8.0,
+            0.05f32..0.6,
+            0.05f32..0.95,
+        ),
+        1..max_n,
+    )
+    .prop_map(|gaussians| {
+        let mut p = GaussianParams::new();
+        for (x, y, z, scale, opacity) in gaussians {
+            p.push_isotropic(
+                Vec3::new(x, y, z),
+                scale,
+                [0.2 + 0.6 * opacity, 0.5, 0.9 - 0.5 * opacity],
+                opacity,
+            );
+        }
+        p
+    })
+}
+
+fn arb_camera() -> impl Strategy<Value = Camera> {
+    (
+        -3.0f32..3.0,
+        -3.0f32..3.0,
+        -14.0f32..-6.0,
+        0.6f32..1.6,
+    )
+        .prop_map(|(x, y, z, fov)| {
+            Camera::look_at(
+                64,
+                48,
+                fov,
+                Vec3::new(x, y, z),
+                Vec3::ZERO,
+                Vec3::new(0.0, 1.0, 0.0),
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Frustum culling (which only reads geometric attributes) must never
+    /// drop a Gaussian that fine-grained projection keeps — otherwise the
+    /// offloading systems would silently lose gradient contributions.
+    #[test]
+    fn culling_is_a_superset_of_projection(params in arb_gaussians(60), cam in arb_camera()) {
+        let vp = Viewport::full(&cam);
+        let culled: std::collections::HashSet<u32> =
+            frustum_cull(&params, &cam, &vp).ids.into_iter().collect();
+        for splat in project_splats(&params, &cam, 3, &vp) {
+            prop_assert!(culled.contains(&splat.idx));
+        }
+    }
+
+    /// Rendering only the culled subset produces exactly the same image as
+    /// rendering the full parameter set.
+    #[test]
+    fn gathered_rendering_matches_full_rendering(params in arb_gaussians(50), cam in arb_camera()) {
+        let vp = Viewport::full(&cam);
+        let full = render_image(&params, &cam, 2, [0.1, 0.1, 0.1]);
+        let cull = frustum_cull(&params, &cam, &vp);
+        let gathered = params.gather(&cull.ids);
+        let subset = render_image(&gathered, &cam, 2, [0.1, 0.1, 0.1]);
+        for (a, b) in full.data().iter().zip(subset.data()) {
+            prop_assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    /// Splitting an image into two vertical halves and stitching the halves
+    /// reproduces the full render exactly (the invariant behind balance-aware
+    /// image splitting).
+    #[test]
+    fn split_viewports_compose_to_full_image(
+        params in arb_gaussians(40),
+        cam in arb_camera(),
+        split_frac in 0.2f64..0.8,
+    ) {
+        let vp = Viewport::full(&cam);
+        let column = ((cam.width as f64 * split_frac) as usize).clamp(1, cam.width - 1);
+        let (left, right) = vp.split_at_column(column);
+        let full = render(&params, &cam, 2, &vp, [0.0; 3]).image;
+        let l = render(&params, &cam, 2, &left, [0.0; 3]).image;
+        let r = render(&params, &cam, 2, &right, [0.0; 3]).image;
+        for y in 0..cam.height {
+            for x in 0..cam.width {
+                let expect = full.pixel(x, y);
+                let got = if x < column { l.pixel(x, y) } else { r.pixel(x - column, y) };
+                for ch in 0..3 {
+                    prop_assert!((expect[ch] - got[ch]).abs() < 1e-5);
+                }
+            }
+        }
+    }
+
+    /// The deferred optimizer follows dense Adam for arbitrary sparse
+    /// gradient schedules (after a flush), which is the paper's core
+    /// correctness claim.
+    #[test]
+    fn deferred_adam_tracks_dense_adam(
+        n in 4usize..24,
+        schedule in prop::collection::vec(prop::collection::vec(any::<bool>(), 4..24), 3..20),
+        seed in 0u64..1000,
+    ) {
+        let mut params = GaussianParams::new();
+        for i in 0..n {
+            let f = i as f32 + seed as f32 * 0.01;
+            params.push_isotropic(
+                Vec3::new(f.sin(), f.cos(), 1.0 + 0.1 * f),
+                0.1 + 0.01 * (i % 7) as f32,
+                [0.4, 0.5, 0.6],
+                0.3 + 0.05 * (i % 9) as f32,
+            );
+        }
+        let cfg = AdamConfig::reference();
+        let mut p_dense = params.clone();
+        let mut p_def = params;
+        let mut dense = DenseAdam::new(cfg, n);
+        let mut deferred = DeferredAdam::new(cfg, n);
+
+        for (step, mask) in schedule.iter().enumerate() {
+            let ids: Vec<u32> = mask
+                .iter()
+                .enumerate()
+                .take(n)
+                .filter(|(_, &m)| m)
+                .map(|(i, _)| i as u32)
+                .collect();
+            let mut grads = GaussianGrads::zeros(ids.len());
+            for k in 0..ids.len() {
+                let x = (step as f32 * 0.37 + k as f32 * 0.73 + seed as f32).sin();
+                grads.means[3 * k] = x * 0.2;
+                grads.opacities[k] = x * 0.1;
+                grads.sh[48 * k + 2] = x * 0.05;
+            }
+            let sparse = SparseGrads { ids, grads };
+            dense.step(&mut p_dense, &sparse.to_dense(n));
+            deferred.step(&mut p_def, &sparse);
+        }
+        deferred.flush(&mut p_def);
+        for g in ParamGroup::ALL {
+            for (a, b) in p_dense.group(g).iter().zip(p_def.group(g)) {
+                prop_assert!((a - b).abs() < 5e-4, "group {:?}: {} vs {}", g, a, b);
+            }
+        }
+    }
+
+    /// Memory-pool accounting never goes negative, never exceeds capacity,
+    /// and the peak is monotone.
+    #[test]
+    fn memory_pool_accounting_is_consistent(
+        ops in prop::collection::vec((0u8..3, 0u64..5000), 1..60),
+    ) {
+        let mut pool = MemoryPool::new("gpu", 100_000);
+        let mut last_peak = 0;
+        for (op, bytes) in ops {
+            match op {
+                0 => { let _ = pool.alloc(MemoryCategory::Parameters, bytes); }
+                1 => pool.free(MemoryCategory::Parameters, bytes),
+                _ => { let _ = pool.set(MemoryCategory::Activations, bytes); }
+            }
+            prop_assert!(pool.used_total() <= pool.capacity());
+            prop_assert!(pool.peak_total() >= last_peak);
+            prop_assert!(pool.peak_total() >= pool.used_total());
+            last_peak = pool.peak_total();
+        }
+    }
+
+    /// The timeline simulator never overlaps events within a stream and the
+    /// makespan is at least as long as the busiest stream.
+    #[test]
+    fn timeline_respects_stream_serialization(
+        events in prop::collection::vec((0u8..4, 0.0f64..0.01, any::<bool>()), 1..80),
+    ) {
+        let mut sim = TimelineSim::new();
+        let mut last = None;
+        for (stream_idx, duration, depend) in events {
+            let stream = Stream::ALL[stream_idx as usize % 4];
+            let deps: Vec<_> = if depend { last.into_iter().collect() } else { Vec::new() };
+            last = Some(sim.schedule(stream, "ev", duration, &deps));
+        }
+        prop_assert!(sim.is_consistent());
+        for s in Stream::ALL {
+            prop_assert!(sim.busy_time(s) <= sim.makespan() + 1e-12);
+        }
+    }
+}
