@@ -51,7 +51,12 @@ fn main() {
     }
     print_table(
         "Ablation (Section 4.4): naive midpoint split vs balance-aware split",
-        &["Scene", "Midpoint split ratio", "Balance-aware split ratio", "Search time (4 views)"],
+        &[
+            "Scene",
+            "Midpoint split ratio",
+            "Balance-aware split ratio",
+            "Search time (4 views)",
+        ],
         &rows,
     );
     println!(

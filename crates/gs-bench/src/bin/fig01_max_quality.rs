@@ -50,7 +50,11 @@ fn main() {
     // two proportional Gaussian budgets and compare quality.
     let ratio = max_gpu_only as f64 / max_gs_scale as f64;
     let budgets = [
-        ("GPU-Only (memory-capped)", SystemKind::GpuOnly, scale.gaussian_scale * ratio),
+        (
+            "GPU-Only (memory-capped)",
+            SystemKind::GpuOnly,
+            scale.gaussian_scale * ratio,
+        ),
         ("GS-Scale", SystemKind::GsScale, scale.gaussian_scale),
     ];
     let mut rows = Vec::new();

@@ -39,7 +39,10 @@ fn main() {
 
     // GPU memory ceilings at paper scale.
     let mut ceiling_rows = Vec::new();
-    for platform in [PlatformSpec::laptop_rtx4070m(), PlatformSpec::desktop_rtx4080s()] {
+    for platform in [
+        PlatformSpec::laptop_rtx4070m(),
+        PlatformSpec::desktop_rtx4080s(),
+    ] {
         let pixels = preset.width * preset.height;
         let mut n = 1_000_000usize;
         while estimate_gpu_memory(SystemKind::GpuOnly, n, preset.active_ratio, pixels, 0.3).total()

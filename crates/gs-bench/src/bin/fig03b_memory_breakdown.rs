@@ -10,24 +10,35 @@ use gs_train::{estimate_gpu_memory, SystemKind};
 fn main() {
     let preset = ScenePreset::BUILDING;
     let n = preset.paper_gaussians;
-    let rows: Vec<Vec<String>> = [("1K", 1024usize, 682usize), ("2K", 2048, 1365), ("4K", 4096, 2730)]
-        .iter()
-        .map(|(label, w, h)| {
-            let est = estimate_gpu_memory(SystemKind::GpuOnly, n, preset.active_ratio, w * h, 1.0);
-            let f = est.fractions();
-            vec![
-                label.to_string(),
-                format!("{:.1}%", f[0] * 100.0),
-                format!("{:.1}%", f[1] * 100.0),
-                format!("{:.1}%", f[2] * 100.0),
-                format!("{:.1}%", f[3] * 100.0),
-                format!("{:.1} GB", est.total() as f64 / 1e9),
-            ]
-        })
-        .collect();
+    let rows: Vec<Vec<String>> = [
+        ("1K", 1024usize, 682usize),
+        ("2K", 2048, 1365),
+        ("4K", 4096, 2730),
+    ]
+    .iter()
+    .map(|(label, w, h)| {
+        let est = estimate_gpu_memory(SystemKind::GpuOnly, n, preset.active_ratio, w * h, 1.0);
+        let f = est.fractions();
+        vec![
+            label.to_string(),
+            format!("{:.1}%", f[0] * 100.0),
+            format!("{:.1}%", f[1] * 100.0),
+            format!("{:.1}%", f[2] * 100.0),
+            format!("{:.1}%", f[3] * 100.0),
+            format!("{:.1} GB", est.total() as f64 / 1e9),
+        ]
+    })
+    .collect();
     print_table(
         "Figure 3b: GPU memory breakdown vs image resolution (Building, GPU-only)",
-        &["Resolution", "Parameters", "Gradients", "Opt. state", "Activations", "Total"],
+        &[
+            "Resolution",
+            "Parameters",
+            "Gradients",
+            "Opt. state",
+            "Activations",
+            "Total",
+        ],
         &rows,
     );
     println!(

@@ -26,11 +26,19 @@ fn main() {
         "Average".to_string(),
         String::new(),
         "8.3%".to_string(),
-        format!("{:.1}%", measured_sum / ScenePreset::ALL.len() as f64 * 100.0),
+        format!(
+            "{:.1}%",
+            measured_sum / ScenePreset::ALL.len() as f64 * 100.0
+        ),
     ]);
     print_table(
         "Figure 4: active vs total Gaussians per scene",
-        &["Scene", "Total (runnable scale)", "Paper active ratio", "Measured active ratio"],
+        &[
+            "Scene",
+            "Total (runnable scale)",
+            "Paper active ratio",
+            "Measured active ratio",
+        ],
         &rows,
     );
     println!(

@@ -37,7 +37,14 @@ fn main() {
     }
     print_table(
         "Figure 7: training time breakdown of baseline GS-Scale (laptop, RTX 4070 Mobile)",
-        &["Scene", "CPU cull", "D2H", "H2D", "CPU optimizer", "GPU fwd/bwd"],
+        &[
+            "Scene",
+            "CPU cull",
+            "D2H",
+            "H2D",
+            "CPU optimizer",
+            "GPU fwd/bwd",
+        ],
         &rows,
     );
     println!(

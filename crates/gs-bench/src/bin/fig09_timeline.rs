@@ -17,7 +17,11 @@ fn print_iteration(kind: SystemKind, stats: &gs_train::IterationStats) {
     );
     for (label, secs) in &stats.phase_breakdown {
         let bar_len = (secs / stats.sim_time_s * 50.0).round() as usize;
-        println!("  {label:<18} {:>9.3} ms  {}", secs * 1e3, "#".repeat(bar_len.max(1)));
+        println!(
+            "  {label:<18} {:>9.3} ms  {}",
+            secs * 1e3,
+            "#".repeat(bar_len.max(1))
+        );
     }
 }
 

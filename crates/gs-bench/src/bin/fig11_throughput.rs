@@ -24,7 +24,10 @@ fn gpu_only_ooms(preset: &ScenePreset, gaussians: usize, platform: &PlatformSpec
 
 fn main() {
     let scale = ExperimentScale::from_args();
-    let platforms = [PlatformSpec::laptop_rtx4070m(), PlatformSpec::desktop_rtx4080s()];
+    let platforms = [
+        PlatformSpec::laptop_rtx4070m(),
+        PlatformSpec::desktop_rtx4080s(),
+    ];
 
     // Scene list matching the figure: each scene plus its "small" variant
     // (Aerial has none).

@@ -35,8 +35,8 @@ fn main() {
         // Functional measurement at the runnable scale.
         let scene = build_scene(&preset, &scale);
         let cfg = TrainConfig::fast_test(scale.iterations);
-        let measured_gpu_only =
-            measure_run(SystemKind::GpuOnly, &platform, &scene, &cfg, &scale).map(|r| r.peak_gpu_bytes);
+        let measured_gpu_only = measure_run(SystemKind::GpuOnly, &platform, &scene, &cfg, &scale)
+            .map(|r| r.peak_gpu_bytes);
         let measured_gs = measure_run(SystemKind::GsScale, &platform, &scene, &cfg, &scale)
             .map(|r| r.peak_gpu_bytes);
         let measured_ratio = match (&measured_gpu_only, &measured_gs) {
@@ -55,7 +55,13 @@ fn main() {
     let geomean_saving = geo_product.powf(1.0 / ScenePreset::ALL.len() as f64);
     print_table(
         "Figure 12: peak GPU memory usage (GB at paper scale) and GS-Scale/GPU-only ratio",
-        &["Scene", "GPU-only (GB)", "GS-Scale (GB)", "Ratio (paper scale)", "Ratio (measured)"],
+        &[
+            "Scene",
+            "GPU-only (GB)",
+            "GS-Scale (GB)",
+            "Ratio (paper scale)",
+            "Ratio (measured)",
+        ],
         &rows,
     );
     println!(

@@ -51,7 +51,10 @@ fn main() {
             ]);
         }
         print_table(
-            &format!("Figure 13: quality vs Gaussian count — {} (runnable scale)", preset.name),
+            &format!(
+                "Figure 13: quality vs Gaussian count — {} (runnable scale)",
+                preset.name
+            ),
             &["Gaussians", "PSNR", "SSIM", "LPIPS (proxy)"],
             &rows,
         );
@@ -59,7 +62,10 @@ fn main() {
 
     // Maximum Gaussian scaling per platform and system (paper scale).
     let mut rows = Vec::new();
-    for platform in [PlatformSpec::laptop_rtx4070m(), PlatformSpec::desktop_rtx4080s()] {
+    for platform in [
+        PlatformSpec::laptop_rtx4070m(),
+        PlatformSpec::desktop_rtx4080s(),
+    ] {
         let preset = ScenePreset::RUBBLE;
         let gpu_only = max_gaussians(SystemKind::GpuOnly, &preset, &platform);
         let gs = max_gaussians(SystemKind::GsScale, &preset, &platform);

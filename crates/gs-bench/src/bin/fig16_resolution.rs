@@ -38,9 +38,8 @@ fn main() {
 
         let init = initial_params(&scene);
         let extent = scene.scene_extent();
-        let mut gpu_only =
-            GpuOnlyTrainer::new(cfg.clone(), platform.clone(), init.clone(), extent)
-                .expect("fits at runnable scale");
+        let mut gpu_only = GpuOnlyTrainer::new(cfg.clone(), platform.clone(), init.clone(), extent)
+            .expect("fits at runnable scale");
         let gpu_run = train(&mut gpu_only, &scene, scale.iterations, false).expect("train");
         let mut gss = OffloadTrainer::new(
             cfg.clone(),
@@ -79,7 +78,11 @@ fn main() {
     }
     print_table(
         "Figure 16: impact of image resolution (Rubble, desktop), values relative to GPU-only",
-        &["Resolution", "GS-Scale memory / GPU-only", "GS-Scale throughput / GPU-only"],
+        &[
+            "Resolution",
+            "GS-Scale memory / GPU-only",
+            "GS-Scale throughput / GPU-only",
+        ],
         &rows,
     );
     println!(

@@ -26,14 +26,7 @@ fn main() {
     print_table(
         "Table 1: GPU platform specifications",
         &[
-            "Platform",
-            "GPU Mem",
-            "GPU BW",
-            "PCIe BW",
-            "Host Mem",
-            "Host BW",
-            "R_bw",
-            "NUMA",
+            "Platform", "GPU Mem", "GPU BW", "PCIe BW", "Host Mem", "Host BW", "R_bw", "NUMA",
         ],
         &rows,
     );

@@ -24,7 +24,14 @@ fn main() {
         .collect();
     print_table(
         "Table 2: evaluated benchmark scenes",
-        &["Dataset", "Scene", "Resolution", "Type", "Active ratio", "Gaussians (paper scale)"],
+        &[
+            "Dataset",
+            "Scene",
+            "Resolution",
+            "Type",
+            "Active ratio",
+            "Gaussians (paper scale)",
+        ],
         &rows,
     );
 }

@@ -58,7 +58,13 @@ impl Camera {
     /// Creates a camera from a horizontal field of view (radians).
     ///
     /// The vertical focal length is chosen so pixels are square.
-    pub fn from_fov(width: usize, height: usize, fov_x: f32, rotation: Mat3, position: Vec3) -> Self {
+    pub fn from_fov(
+        width: usize,
+        height: usize,
+        fov_x: f32,
+        rotation: Mat3,
+        position: Vec3,
+    ) -> Self {
         let fx = width as f32 / (2.0 * (fov_x / 2.0).tan());
         Self::new(width, height, fx, fx, rotation, position)
     }
@@ -203,7 +209,10 @@ impl Viewport {
     ///
     /// Panics if `split_x` is not strictly between `x0` and `x1`.
     pub fn split_at_column(&self, split_x: usize) -> (Viewport, Viewport) {
-        assert!(split_x > self.x0 && split_x < self.x1, "split outside viewport");
+        assert!(
+            split_x > self.x0 && split_x < self.x1,
+            "split outside viewport"
+        );
         (
             Viewport {
                 x0: self.x0,

@@ -228,7 +228,11 @@ impl GaussianParams {
     /// World-space mean of Gaussian `i`.
     #[inline]
     pub fn mean(&self, i: usize) -> Vec3 {
-        Vec3::new(self.means[3 * i], self.means[3 * i + 1], self.means[3 * i + 2])
+        Vec3::new(
+            self.means[3 * i],
+            self.means[3 * i + 1],
+            self.means[3 * i + 2],
+        )
     }
 
     /// Sets the world-space mean of Gaussian `i`.
@@ -359,7 +363,11 @@ impl GaussianParams {
         let mut out = GaussianParams::with_capacity(ids.len());
         for &id in ids {
             let i = id as usize;
-            assert!(i < self.len, "gaussian id {i} out of range (len {})", self.len);
+            assert!(
+                i < self.len,
+                "gaussian id {i} out of range (len {})",
+                self.len
+            );
             out.means.extend_from_slice(&self.means[3 * i..3 * i + 3]);
             out.log_scales
                 .extend_from_slice(&self.log_scales[3 * i..3 * i + 3]);
@@ -546,7 +554,9 @@ impl GaussianGrads {
     pub fn is_zero_for(&self, i: usize) -> bool {
         ParamGroup::ALL.iter().all(|&g| {
             let dim = g.dim();
-            self.group(g)[i * dim..(i + 1) * dim].iter().all(|&v| v == 0.0)
+            self.group(g)[i * dim..(i + 1) * dim]
+                .iter()
+                .all(|&v| v == 0.0)
         })
     }
 }
@@ -616,7 +626,8 @@ impl SparseGrads {
                 let mut grown = GaussianGrads::zeros(new_idx + 1);
                 for g in ParamGroup::ALL {
                     let dim = g.dim();
-                    grown.group_mut(g)[..new_idx * dim].copy_from_slice(&self.grads.group(g)[..new_idx * dim]);
+                    grown.group_mut(g)[..new_idx * dim]
+                        .copy_from_slice(&self.grads.group(g)[..new_idx * dim]);
                 }
                 self.grads = grown;
                 self.grads.accumulate_one(new_idx, &other.grads, k);
@@ -657,8 +668,8 @@ mod tests {
     fn geometric_split_matches_17_percent() {
         // The paper quotes ~17% GPU memory overhead for keeping geometric
         // attributes resident (10 / 59).
-        let frac = GaussianParams::GEOMETRIC_PARAMS as f32
-            / GaussianParams::PARAMS_PER_GAUSSIAN as f32;
+        let frac =
+            GaussianParams::GEOMETRIC_PARAMS as f32 / GaussianParams::PARAMS_PER_GAUSSIAN as f32;
         assert!((frac - 0.169).abs() < 0.01);
     }
 
@@ -684,7 +695,10 @@ mod tests {
     fn bytes_accounting_is_consistent() {
         let p = sample_params(10);
         assert_eq!(p.total_bytes(), 10 * 59 * 4);
-        assert_eq!(p.geometric_bytes() + p.non_geometric_bytes(), p.total_bytes());
+        assert_eq!(
+            p.geometric_bytes() + p.non_geometric_bytes(),
+            p.total_bytes()
+        );
     }
 
     #[test]

@@ -33,7 +33,11 @@ impl Image {
     }
 
     /// Creates an image by evaluating `f(x, y)` for every pixel.
-    pub fn from_fn(width: usize, height: usize, mut f: impl FnMut(usize, usize) -> [f32; 3]) -> Self {
+    pub fn from_fn(
+        width: usize,
+        height: usize,
+        mut f: impl FnMut(usize, usize) -> [f32; 3],
+    ) -> Self {
         let mut img = Self::zeros(width, height);
         for y in 0..height {
             for x in 0..width {
@@ -248,7 +252,13 @@ mod tests {
 
     #[test]
     fn downsample_averages() {
-        let img = Image::from_fn(4, 4, |x, _| if x < 2 { [1.0, 0.0, 0.0] } else { [0.0, 0.0, 0.0] });
+        let img = Image::from_fn(4, 4, |x, _| {
+            if x < 2 {
+                [1.0, 0.0, 0.0]
+            } else {
+                [0.0, 0.0, 0.0]
+            }
+        });
         let d = img.downsample(2);
         assert_eq!(d.width(), 2);
         assert_eq!(d.pixel(0, 0)[0], 1.0);

@@ -38,6 +38,7 @@ pub mod error;
 pub mod gaussian;
 pub mod image;
 pub mod math;
+pub mod rng;
 pub mod scene;
 pub mod sh;
 
@@ -46,4 +47,5 @@ pub use error::{Error, Result};
 pub use gaussian::{GaussianGrads, GaussianParams};
 pub use image::Image;
 pub use math::{Mat3, Quat, Vec2, Vec3, Vec4};
+pub use rng::Rng64;
 pub use scene::PointCloud;

@@ -377,7 +377,8 @@ impl Mat3 {
         let mut r = [[0.0f32; 3]; 3];
         for (i, row) in r.iter_mut().enumerate() {
             for (j, cell) in row.iter_mut().enumerate() {
-                *cell = self.m[i][0] * o.m[0][j] + self.m[i][1] * o.m[1][j] + self.m[i][2] * o.m[2][j];
+                *cell =
+                    self.m[i][0] * o.m[0][j] + self.m[i][1] * o.m[1][j] + self.m[i][2] * o.m[2][j];
             }
         }
         Self { m: r }
@@ -511,9 +512,9 @@ impl Add for Mat3 {
     type Output = Self;
     fn add(self, o: Self) -> Self {
         let mut r = self.m;
-        for i in 0..3 {
-            for j in 0..3 {
-                r[i][j] += o.m[i][j];
+        for (row, o_row) in r.iter_mut().zip(&o.m) {
+            for (v, o_v) in row.iter_mut().zip(o_row) {
+                *v += o_v;
             }
         }
         Self { m: r }
@@ -597,8 +598,7 @@ pub fn quat_to_rotmat_backward(q: Quat, d_rot: &Mat3) -> Quat {
 
     // dR/d(unit quat) contracted with dL/dR. Derived from the standard
     // quaternion-to-rotation formula.
-    let dw = 2.0
-        * (x * (g[2][1] - g[1][2]) + y * (g[0][2] - g[2][0]) + z * (g[1][0] - g[0][1]));
+    let dw = 2.0 * (x * (g[2][1] - g[1][2]) + y * (g[0][2] - g[2][0]) + z * (g[1][0] - g[0][1]));
     let dx = 2.0
         * (w * (g[2][1] - g[1][2]) + y * (g[1][0] + g[0][1]) + z * (g[0][2] + g[2][0])
             - 2.0 * x * (g[1][1] + g[2][2]));

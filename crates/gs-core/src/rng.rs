@@ -1,0 +1,206 @@
+//! A small, dependency-free deterministic random number generator.
+//!
+//! The workspace needs reproducible pseudo-randomness (scene generation,
+//! property tests, load generators) but must not pull in external crates.
+//! [`Rng64`] is a xoshiro256++ generator seeded through SplitMix64, which is
+//! more than adequate statistically for procedural content and test-case
+//! generation. It is *not* cryptographically secure.
+//!
+//! The API mirrors the subset of the `rand` crate the workspace uses
+//! (`seed_from_u64`, `gen_range`), so call sites read the same way.
+
+use std::ops::Range;
+
+/// Deterministic xoshiro256++ pseudo-random number generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng64 {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl Rng64 {
+    /// Creates a generator whose full 256-bit state is derived from `seed`
+    /// via SplitMix64 (so nearby seeds give unrelated streams).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        Self {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform sample in `[0, 1)` with 24 bits of precision.
+    pub fn gen_f32(&mut self) -> f32 {
+        (self.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+
+    /// Uniform sample in `[0, 1)` with 53 bits of precision.
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli sample: `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+
+    /// Uniform sample from a half-open range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample(self, range.start, range.end)
+    }
+}
+
+/// Types that can be sampled uniformly from a half-open range by [`Rng64`].
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Draws a uniform sample in `[lo, hi)`.
+    fn sample(rng: &mut Rng64, lo: Self, hi: Self) -> Self;
+}
+
+impl SampleUniform for f32 {
+    fn sample(rng: &mut Rng64, lo: Self, hi: Self) -> Self {
+        assert!(lo < hi, "empty range in gen_range");
+        let x = lo + (hi - lo) * rng.gen_f32();
+        // `lo + span * (1 - 2^-24)` can round up to exactly `hi`; keep the
+        // documented half-open contract.
+        if x < hi {
+            x
+        } else {
+            hi.next_down().max(lo)
+        }
+    }
+}
+
+impl SampleUniform for f64 {
+    fn sample(rng: &mut Rng64, lo: Self, hi: Self) -> Self {
+        assert!(lo < hi, "empty range in gen_range");
+        let x = lo + (hi - lo) * rng.gen_f64();
+        if x < hi {
+            x
+        } else {
+            hi.next_down().max(lo)
+        }
+    }
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample(rng: &mut Rng64, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "empty range in gen_range");
+                let span = (hi as i128 - lo as i128) as u128;
+                // Offsets are added in i128 so spans wider than the target
+                // type's positive range (e.g. i32::MIN..i32::MAX) cannot
+                // overflow. Modulo bias is < 2^-64 for any span used here.
+                let offset = (rng.next_u64() as u128) % span;
+                ((lo as i128) + (offset as i128)) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_int!(usize, u64, u32, i64, i32);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_gives_same_stream() {
+        let mut a = Rng64::seed_from_u64(7);
+        let mut b = Rng64::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Rng64::seed_from_u64(1);
+        let mut b = Rng64::seed_from_u64(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn float_ranges_stay_in_bounds() {
+        let mut rng = Rng64::seed_from_u64(3);
+        for _ in 0..1000 {
+            let x = rng.gen_range(-2.5f32..4.0);
+            assert!((-2.5..4.0).contains(&x));
+            let y = rng.gen_range(0.0f64..1.0e-3);
+            assert!((0.0..1.0e-3).contains(&y));
+        }
+    }
+
+    #[test]
+    fn integer_ranges_hit_all_values() {
+        let mut rng = Rng64::seed_from_u64(4);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            seen[rng.gen_range(0usize..5)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn full_width_integer_ranges_do_not_overflow() {
+        let mut rng = Rng64::seed_from_u64(8);
+        let mut saw_negative = false;
+        let mut saw_positive = false;
+        for _ in 0..256 {
+            let x = rng.gen_range(i32::MIN..i32::MAX);
+            saw_negative |= x < 0;
+            saw_positive |= x > 0;
+            let y = rng.gen_range(0u64..u64::MAX);
+            let _ = y;
+        }
+        assert!(saw_negative && saw_positive);
+    }
+
+    #[test]
+    fn uniform_mean_is_near_half() {
+        let mut rng = Rng64::seed_from_u64(5);
+        let n = 4096;
+        let sum: f64 = (0..n).map(|_| rng.gen_f64()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = Rng64::seed_from_u64(6);
+        let _ = rng.gen_range(1.0f32..1.0);
+    }
+}

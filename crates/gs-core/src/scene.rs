@@ -25,7 +25,11 @@ impl PointCloud {
     ///
     /// Panics if the lists have different lengths.
     pub fn from_parts(positions: Vec<Vec3>, colors: Vec<[f32; 3]>) -> Self {
-        assert_eq!(positions.len(), colors.len(), "positions/colors length mismatch");
+        assert_eq!(
+            positions.len(),
+            colors.len(),
+            "positions/colors length mismatch"
+        );
         Self { positions, colors }
     }
 

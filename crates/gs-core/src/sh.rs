@@ -23,7 +23,13 @@ pub const MAX_COEFFS: usize = num_coeffs(MAX_DEGREE);
 
 const SH_C0: f32 = 0.282_094_79;
 const SH_C1: f32 = 0.488_602_51;
-const SH_C2: [f32; 5] = [1.092_548_4, -1.092_548_4, 0.315_391_57, -1.092_548_4, 0.546_274_2];
+const SH_C2: [f32; 5] = [
+    1.092_548_4,
+    -1.092_548_4,
+    0.315_391_57,
+    -1.092_548_4,
+    0.546_274_2,
+];
 const SH_C3: [f32; 7] = [
     -0.590_043_6,
     2.890_611_4,
@@ -92,7 +98,11 @@ pub fn eval_basis_grad(degree: usize, dir: Vec3) -> [[f32; 3]; MAX_COEFFS] {
     }
     if degree >= 3 {
         let (xx, yy, zz) = (x * x, y * y, z * z);
-        g[9] = [SH_C3[0] * 6.0 * x * y, SH_C3[0] * (3.0 * xx - 3.0 * yy), 0.0];
+        g[9] = [
+            SH_C3[0] * 6.0 * x * y,
+            SH_C3[0] * (3.0 * xx - 3.0 * yy),
+            0.0,
+        ];
         g[10] = [SH_C3[1] * y * z, SH_C3[1] * x * z, SH_C3[1] * x * y];
         g[11] = [
             -2.0 * SH_C3[2] * x * y,
@@ -109,8 +119,16 @@ pub fn eval_basis_grad(degree: usize, dir: Vec3) -> [[f32; 3]; MAX_COEFFS] {
             -2.0 * SH_C3[4] * x * y,
             8.0 * SH_C3[4] * x * z,
         ];
-        g[14] = [2.0 * SH_C3[5] * x * z, -2.0 * SH_C3[5] * y * z, SH_C3[5] * (xx - yy)];
-        g[15] = [SH_C3[6] * (3.0 * xx - 3.0 * yy), -6.0 * SH_C3[6] * x * y, 0.0];
+        g[14] = [
+            2.0 * SH_C3[5] * x * z,
+            -2.0 * SH_C3[5] * y * z,
+            SH_C3[5] * (xx - yy),
+        ];
+        g[15] = [
+            SH_C3[6] * (3.0 * xx - 3.0 * yy),
+            -6.0 * SH_C3[6] * x * y,
+            0.0,
+        ];
     }
     g
 }
@@ -246,23 +264,14 @@ mod tests {
         let dir = rand_dir(3);
         let g = eval_basis_grad(3, dir);
         let eps = 1e-3;
-        for axis in 0..3 {
-            let mut dp = dir;
-            let mut dm = dir;
-            match axis {
-                0 => {
-                    dp.x += eps;
-                    dm.x -= eps;
-                }
-                1 => {
-                    dp.y += eps;
-                    dm.y -= eps;
-                }
-                _ => {
-                    dp.z += eps;
-                    dm.z -= eps;
-                }
-            }
+        let axes = [
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(0.0, 1.0, 0.0),
+            Vec3::new(0.0, 0.0, 1.0),
+        ];
+        for (axis, &unit) in axes.iter().enumerate() {
+            let dp = dir + unit * eps;
+            let dm = dir - unit * eps;
             // Note: finite difference without re-normalizing, because the
             // analytic gradient is also w.r.t. the raw (unit) input.
             let bp = eval_basis(3, dp);
@@ -328,23 +337,14 @@ mod tests {
         };
         let eps = 1e-3;
         let analytic = [back.d_dir.x, back.d_dir.y, back.d_dir.z];
-        for axis in 0..3 {
-            let mut dp = dir;
-            let mut dm = dir;
-            match axis {
-                0 => {
-                    dp.x += eps;
-                    dm.x -= eps;
-                }
-                1 => {
-                    dp.y += eps;
-                    dm.y -= eps;
-                }
-                _ => {
-                    dp.z += eps;
-                    dm.z -= eps;
-                }
-            }
+        let axes = [
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(0.0, 1.0, 0.0),
+            Vec3::new(0.0, 0.0, 1.0),
+        ];
+        for (axis, &unit) in axes.iter().enumerate() {
+            let dp = dir + unit * eps;
+            let dm = dir - unit * eps;
             let fd = (loss(dp) - loss(dm)) / (2.0 * eps);
             assert!(
                 (fd - analytic[axis]).abs() < 1e-2 * (1.0 + fd.abs()),
@@ -370,23 +370,14 @@ mod tests {
         let loss = |v: Vec3| v.normalized().dot(d_unit);
         let eps = 1e-3;
         let analytic = [g.x, g.y, g.z];
-        for axis in 0..3 {
-            let mut vp = v;
-            let mut vm = v;
-            match axis {
-                0 => {
-                    vp.x += eps;
-                    vm.x -= eps;
-                }
-                1 => {
-                    vp.y += eps;
-                    vm.y -= eps;
-                }
-                _ => {
-                    vp.z += eps;
-                    vm.z -= eps;
-                }
-            }
+        let axes = [
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(0.0, 1.0, 0.0),
+            Vec3::new(0.0, 0.0, 1.0),
+        ];
+        for (axis, &unit) in axes.iter().enumerate() {
+            let vp = v + unit * eps;
+            let vm = v - unit * eps;
             let fd = (loss(vp) - loss(vm)) / (2.0 * eps);
             assert!((fd - analytic[axis]).abs() < 1e-3 * (1.0 + fd.abs()));
         }

@@ -111,9 +111,7 @@ mod tests {
 
     #[test]
     fn identical_images_have_ssim_one() {
-        let img = Image::from_fn(32, 24, |x, y| {
-            [x as f32 / 32.0, y as f32 / 24.0, 0.5]
-        });
+        let img = Image::from_fn(32, 24, |x, y| [x as f32 / 32.0, y as f32 / 24.0, 0.5]);
         assert!((ssim(&img, &img) - 1.0).abs() < 1e-9);
     }
 
@@ -143,8 +141,12 @@ mod tests {
 
     #[test]
     fn ssim_is_symmetric() {
-        let a = Image::from_fn(20, 20, |x, y| [(x % 5) as f32 / 5.0, (y % 3) as f32 / 3.0, 0.3]);
-        let b = Image::from_fn(20, 20, |x, y| [(y % 4) as f32 / 4.0, (x % 6) as f32 / 6.0, 0.6]);
+        let a = Image::from_fn(20, 20, |x, y| {
+            [(x % 5) as f32 / 5.0, (y % 3) as f32 / 3.0, 0.3]
+        });
+        let b = Image::from_fn(20, 20, |x, y| {
+            [(y % 4) as f32 / 4.0, (x % 6) as f32 / 6.0, 0.6]
+        });
         assert!((ssim(&a, &b) - ssim(&b, &a)).abs() < 1e-12);
     }
 

@@ -166,7 +166,11 @@ impl DenseAdam {
         t: u64,
     ) -> StepStats {
         assert_eq!(params.len(), grads.len(), "params/grads length mismatch");
-        assert_eq!(params.len(), self.state.len(), "optimizer state length mismatch");
+        assert_eq!(
+            params.len(),
+            self.state.len(),
+            "optimizer state length mismatch"
+        );
         let n = params.len();
         let b1 = self.config.beta1;
         let b2 = self.config.beta2;
@@ -283,12 +287,7 @@ mod tests {
     fn params(n: usize) -> GaussianParams {
         let mut p = GaussianParams::new();
         for i in 0..n {
-            p.push_isotropic(
-                Vec3::new(i as f32, 0.0, 1.0),
-                0.1,
-                [0.4, 0.5, 0.6],
-                0.6,
-            );
+            p.push_isotropic(Vec3::new(i as f32, 0.0, 1.0), 0.1, [0.4, 0.5, 0.6], 0.6);
         }
         p
     }
@@ -350,7 +349,10 @@ mod tests {
         opt.step(&mut p, &g);
         let after_first = p.means[0];
         opt.step(&mut p, &GaussianGrads::zeros(1));
-        assert!(p.means[0] < after_first, "momentum should keep decreasing the mean");
+        assert!(
+            p.means[0] < after_first,
+            "momentum should keep decreasing the mean"
+        );
     }
 
     #[test]
@@ -412,7 +414,7 @@ mod tests {
         let stats = opt.step(&mut p, &sparse);
         assert_eq!(stats.updated_gaussians, 1);
         assert_eq!(p.means[3 * 2], untouched_mean);
-        assert_ne!(p.means[3 * 1], 1.0);
+        assert_ne!(p.means[3], 1.0);
     }
 
     #[test]

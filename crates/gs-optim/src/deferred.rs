@@ -75,7 +75,7 @@ impl DeferredAdam {
     /// Grows the state for newly added Gaussians (densification).
     pub fn append_zeros(&mut self, additional: usize) {
         self.state.append_zeros(additional);
-        self.counters.extend(std::iter::repeat(0).take(additional));
+        self.counters.extend(std::iter::repeat_n(0, additional));
     }
 
     /// Drops state for pruned Gaussians.
@@ -104,7 +104,7 @@ impl DeferredAdam {
         let b1 = self.config.beta1;
         let b2 = self.config.beta2;
         let mut lut = [0.0f32; Self::MAX_DEFER as usize + 1];
-        for d in 1..=Self::MAX_DEFER as usize {
+        for (d, slot) in lut.iter_mut().enumerate().skip(1) {
             let mut acc = 0.0f64;
             for l in 0..d {
                 // The skipped step index: s = t - d + l  (1-based like `t`).
@@ -119,7 +119,7 @@ impl DeferredAdam {
                 let v_factor = ((b2 as f64).powi(l as i32 + 1) / bc2).sqrt();
                 acc += lr * m_factor / v_factor;
             }
-            lut[d] = acc as f32;
+            *slot = acc as f32;
         }
         lut
     }
@@ -521,7 +521,10 @@ mod tests {
             deferred.step(&mut p_deferred, &sparse);
         }
         let stale = (p_dense.opacities[1] - p_deferred.opacities[1]).abs();
-        assert!(stale > 1e-6, "expected a stale deferred value, diff {stale}");
+        assert!(
+            stale > 1e-6,
+            "expected a stale deferred value, diff {stale}"
+        );
         deferred.flush(&mut p_deferred);
         let diff = max_abs_diff(&p_dense, &p_deferred);
         assert!(diff < 1e-5, "flush should close the gap, diff {diff}");
@@ -551,7 +554,10 @@ mod tests {
         let stats = opt.step(&mut p, &empty);
         assert_eq!(stats.updated_gaussians, 1);
         assert_eq!(opt.counters()[0], 0);
-        assert_ne!(p.means[1], before, "forced update should commit the deferred motion");
+        assert_ne!(
+            p.means[1], before,
+            "forced update should commit the deferred motion"
+        );
     }
 
     #[test]
@@ -614,7 +620,10 @@ mod tests {
         let mut dense = DenseAdam::new(cfg, n);
 
         // A few steps of history so momenta and counters are non-trivial.
-        for (step, ids) in [vec![0u32, 1, 2, 3], vec![2, 3, 4], vec![0, 5]].iter().enumerate() {
+        for (step, ids) in [vec![0u32, 1, 2, 3], vec![2, 3, 4], vec![0, 5]]
+            .iter()
+            .enumerate()
+        {
             let sparse = sparse_for(ids, n, step as f32);
             deferred.step(&mut p_deferred, &sparse);
             dense.step(&mut p_dense, &sparse.to_dense(n));

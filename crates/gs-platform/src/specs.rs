@@ -1,10 +1,8 @@
 //! Device and platform specifications (Table 1 of the paper, plus the extra
 //! GPUs from the sensitivity study in Section 5.8).
 
-use serde::{Deserialize, Serialize};
-
 /// Peak capabilities of one processor (GPU or CPU) and its attached memory.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DeviceSpec {
     /// Peak single-precision throughput in FLOP/s.
     pub peak_flops: f64,
@@ -43,7 +41,7 @@ impl DeviceSpec {
 
 /// A complete evaluation platform: a GPU, a host CPU with its memory, and the
 /// PCIe link between them.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PlatformSpec {
     /// Human-readable platform name (e.g. "Laptop (RTX 4070 Mobile)").
     pub name: String,
@@ -168,9 +166,21 @@ mod tests {
         let laptop = PlatformSpec::laptop_rtx4070m();
         let desktop = PlatformSpec::desktop_rtx4080s();
         let server = PlatformSpec::server_h100();
-        assert!((laptop.r_bw() - 3.1).abs() < 0.1, "laptop {}", laptop.r_bw());
-        assert!((desktop.r_bw() - 8.2).abs() < 0.1, "desktop {}", desktop.r_bw());
-        assert!((server.r_bw() - 3.3).abs() < 0.1, "server {}", server.r_bw());
+        assert!(
+            (laptop.r_bw() - 3.1).abs() < 0.1,
+            "laptop {}",
+            laptop.r_bw()
+        );
+        assert!(
+            (desktop.r_bw() - 8.2).abs() < 0.1,
+            "desktop {}",
+            desktop.r_bw()
+        );
+        assert!(
+            (server.r_bw() - 3.3).abs() < 0.1,
+            "server {}",
+            server.r_bw()
+        );
     }
 
     #[test]

@@ -185,7 +185,9 @@ impl TimelineSim {
                 }
             }
         }
-        self.events.iter().all(|e| e.start >= 0.0 && e.end >= e.start)
+        self.events
+            .iter()
+            .all(|e| e.start >= 0.0 && e.end >= e.start)
     }
 }
 

@@ -127,8 +127,7 @@ pub fn raster_forward_cost(pairs: usize, pixels: usize) -> WorkEstimate {
 /// `pairs` (splat, pixel) pairs over `visible` Gaussians.
 pub fn backward_cost(pairs: usize, visible: usize, pixels: usize) -> WorkEstimate {
     WorkEstimate::new(
-        pairs as f64 * RASTER_BWD_FLOPS_PER_PAIR
-            + visible as f64 * PROJECT_BWD_FLOPS_PER_GAUSSIAN,
+        pairs as f64 * RASTER_BWD_FLOPS_PER_PAIR + visible as f64 * PROJECT_BWD_FLOPS_PER_GAUSSIAN,
         pairs as f64 * 16.0 * F32 + pixels as f64 * 3.0 * F32,
         visible as f64 * GaussianParams::PARAMS_PER_GAUSSIAN as f64 * F32,
     )

@@ -483,10 +483,11 @@ mod tests {
             for s in &splats {
                 let k = s.idx as f64 + 1.0;
                 l += k * (0.7 * s.mean2d.x as f64 + 0.3 * s.mean2d.y as f64);
-                l += k * (0.11 * s.conic.xx as f64 - 0.07 * s.conic.xy as f64
-                    + 0.05 * s.conic.yy as f64);
-                l += k * (0.5 * s.color[0] as f64 - 0.2 * s.color[1] as f64
-                    + 0.1 * s.color[2] as f64);
+                l += k
+                    * (0.11 * s.conic.xx as f64 - 0.07 * s.conic.xy as f64
+                        + 0.05 * s.conic.yy as f64);
+                l += k
+                    * (0.5 * s.color[0] as f64 - 0.2 * s.color[1] as f64 + 0.1 * s.color[2] as f64);
                 l += k * 0.9 * s.opacity as f64;
             }
             l
@@ -508,14 +509,15 @@ mod tests {
         let analytic = projection_backward(&params, &cam, 3, &splats, &grads);
 
         let eps = 2e-3;
-        let check = |analytic_val: f32, plus: GaussianParams, minus: GaussianParams, label: &str| {
-            let fd = ((loss(&plus) - loss(&minus)) / (2.0 * eps as f64)) as f32;
-            let tol = 2e-2 * (1.0 + fd.abs());
-            assert!(
-                (fd - analytic_val).abs() < tol,
-                "{label}: fd={fd} analytic={analytic_val}"
-            );
-        };
+        let check =
+            |analytic_val: f32, plus: GaussianParams, minus: GaussianParams, label: &str| {
+                let fd = ((loss(&plus) - loss(&minus)) / (2.0 * eps as f64)) as f32;
+                let tol = 2e-2 * (1.0 + fd.abs());
+                assert!(
+                    (fd - analytic_val).abs() < tol,
+                    "{label}: fd={fd} analytic={analytic_val}"
+                );
+            };
 
         for i in 0..params.len() {
             for axis in 0..3 {
@@ -569,12 +571,7 @@ mod tests {
             let mut minus = params.clone();
             plus.set_opacity_logit(i, params.opacity_logit(i) + eps);
             minus.set_opacity_logit(i, params.opacity_logit(i) - eps);
-            check(
-                analytic.opacities[i],
-                plus,
-                minus,
-                &format!("opacity g{i}"),
-            );
+            check(analytic.opacities[i], plus, minus, &format!("opacity g{i}"));
             // A few SH coefficients (DC plus two higher-order ones).
             for &coeff in &[0usize, 4, 13] {
                 for ch in 0..3 {

@@ -42,8 +42,8 @@ fn gaussian_weight(splat: &Splat, px: f32, py: f32) -> Option<(f32, f32, f32)> {
     if dx.abs() > splat.radius || dy.abs() > splat.radius {
         return None;
     }
-    let sigma = 0.5 * (splat.conic.xx * dx * dx + splat.conic.yy * dy * dy)
-        + splat.conic.xy * dx * dy;
+    let sigma =
+        0.5 * (splat.conic.xx * dx * dx + splat.conic.yy * dy * dy) + splat.conic.xy * dx * dy;
     if sigma < 0.0 || !sigma.is_finite() {
         return None;
     }
@@ -66,7 +66,11 @@ fn splat_alpha(splat: &Splat, sigma: f32) -> Option<(f32, bool)> {
 /// Rasterizes splats over the grid's viewport, returning the rendered image
 /// (sized to the viewport) and the auxiliary state needed for the backward
 /// pass.
-pub fn rasterize_forward(splats: &[Splat], grid: &TileGrid, background: [f32; 3]) -> (Image, RasterAux) {
+pub fn rasterize_forward(
+    splats: &[Splat],
+    grid: &TileGrid,
+    background: [f32; 3],
+) -> (Image, RasterAux) {
     let vp = grid.viewport();
     let width = vp.width();
     let height = vp.height();
@@ -146,7 +150,11 @@ pub fn rasterize_backward(
     let height = vp.height();
     assert_eq!(d_image.width(), width, "gradient image width mismatch");
     assert_eq!(d_image.height(), height, "gradient image height mismatch");
-    assert_eq!(aux.final_transmittance.len(), width * height, "aux size mismatch");
+    assert_eq!(
+        aux.final_transmittance.len(),
+        width * height,
+        "aux size mismatch"
+    );
 
     let mut grads = vec![SplatGrad::default(); splats.len()];
 
@@ -201,8 +209,8 @@ pub fn rasterize_backward(
                         let inv_one_minus = 1.0 / (1.0 - alpha);
                         let mut d_alpha = 0.0f32;
                         for ch in 0..3 {
-                            d_alpha += (s.color[ch] * t_front - suffix[ch] * inv_one_minus)
-                                * d_c[ch];
+                            d_alpha +=
+                                (s.color[ch] * t_front - suffix[ch] * inv_one_minus) * d_c[ch];
                         }
 
                         if !clamped {
@@ -223,8 +231,8 @@ pub fn rasterize_backward(
 
                         // Update running suffix and transmittance for the next
                         // (nearer) splat.
-                        for ch in 0..3 {
-                            suffix[ch] += s.color[ch] * alpha * t_front;
+                        for (suffix_ch, color_ch) in suffix.iter_mut().zip(&s.color) {
+                            *suffix_ch += color_ch * alpha * t_front;
                         }
                         t_behind = t_front;
                     }
@@ -334,8 +342,8 @@ mod tests {
             for y in 0..16 {
                 for x in 0..16 {
                     let p = img.pixel(x, y);
-                    for ch in 0..3 {
-                        l += (p[ch] * weight(x, y, ch)) as f64;
+                    for (ch, p_ch) in p.iter().enumerate() {
+                        l += (p_ch * weight(x, y, ch)) as f64;
                     }
                 }
             }

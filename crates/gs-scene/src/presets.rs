@@ -1,11 +1,9 @@
 //! The paper's benchmark scenes as data (Table 2 and Figure 4).
 
-use serde::{Deserialize, Serialize};
-
 use crate::synthetic::SceneConfig;
 
 /// Whether a benchmark scene is captured from the real world or synthetic.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SceneKind {
     /// Real-world outdoor capture (Mill-19, GauU-Scene).
     RealWorldOutdoor,
@@ -14,7 +12,7 @@ pub enum SceneKind {
 }
 
 /// Static description of one benchmark scene from the paper.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScenePreset {
     /// Scene name as used in the paper (e.g. "Rubble").
     pub name: &'static str,
@@ -186,9 +184,18 @@ mod tests {
 
     #[test]
     fn resolutions_match_table2() {
-        assert_eq!((ScenePreset::RUBBLE.width, ScenePreset::RUBBLE.height), (1152, 864));
-        assert_eq!((ScenePreset::LFLS.width, ScenePreset::LFLS.height), (1600, 1064));
-        assert_eq!((ScenePreset::AERIAL.width, ScenePreset::AERIAL.height), (1600, 900));
+        assert_eq!(
+            (ScenePreset::RUBBLE.width, ScenePreset::RUBBLE.height),
+            (1152, 864)
+        );
+        assert_eq!(
+            (ScenePreset::LFLS.width, ScenePreset::LFLS.height),
+            (1600, 1064)
+        );
+        assert_eq!(
+            (ScenePreset::AERIAL.width, ScenePreset::AERIAL.height),
+            (1600, 900)
+        );
         assert_eq!(ScenePreset::AERIAL.kind, SceneKind::Synthetic);
     }
 
@@ -225,9 +232,6 @@ mod tests {
 
     #[test]
     fn parameter_count_uses_59_per_gaussian() {
-        assert_eq!(
-            ScenePreset::SZIIT.paper_parameter_count(),
-            20_000_000 * 59
-        );
+        assert_eq!(ScenePreset::SZIIT.paper_parameter_count(), 20_000_000 * 59);
     }
 }

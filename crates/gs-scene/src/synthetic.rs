@@ -14,14 +14,12 @@ use gs_core::camera::Camera;
 use gs_core::gaussian::GaussianParams;
 use gs_core::image::Image;
 use gs_core::math::{Quat, Vec3};
+use gs_core::rng::Rng64;
 use gs_core::scene::PointCloud;
 use gs_render::pipeline::render_image;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 /// Parameters controlling synthetic scene generation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SceneConfig {
     /// Scene name (usually the preset name).
     pub name: String,
@@ -90,7 +88,7 @@ const FOV_X: f32 = std::f32::consts::FRAC_PI_3; // 60 degrees
 impl SceneDataset {
     /// Generates a scene from a configuration. Deterministic in the seed.
     pub fn generate(config: SceneConfig) -> Self {
-        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut rng = Rng64::seed_from_u64(config.seed);
         let gt_params = generate_gaussians(&config, &mut rng);
         let init_cloud = subsample_cloud(&gt_params, config.init_points, &mut rng);
         let altitude = calibrate_altitude(&config, &gt_params);
@@ -128,7 +126,7 @@ impl SceneDataset {
     }
 }
 
-fn generate_gaussians(config: &SceneConfig, rng: &mut StdRng) -> GaussianParams {
+fn generate_gaussians(config: &SceneConfig, rng: &mut Rng64) -> GaussianParams {
     let n = config.num_gaussians;
     let extent = config.extent;
     let half = extent / 2.0;
@@ -172,7 +170,7 @@ fn generate_gaussians(config: &SceneConfig, rng: &mut StdRng) -> GaussianParams 
             // Make some ground Gaussians anisotropic and rotated so every
             // parameter group matters during training.
             let i = params.len() - 1;
-            if i % 3 == 0 {
+            if i.is_multiple_of(3) {
                 let ls = params.log_scale(i);
                 params.set_log_scale(
                     i,
@@ -224,17 +222,12 @@ fn generate_gaussians(config: &SceneConfig, rng: &mut StdRng) -> GaussianParams 
     while params.len() < n {
         let x = rng.gen_range(-half..half);
         let y = rng.gen_range(-half..half);
-        params.push_isotropic(
-            Vec3::new(x, y, 0.0),
-            spacing,
-            [0.5, 0.5, 0.5],
-            0.7,
-        );
+        params.push_isotropic(Vec3::new(x, y, 0.0), spacing, [0.5, 0.5, 0.5], 0.7);
     }
     params
 }
 
-fn subsample_cloud(gt: &GaussianParams, count: usize, rng: &mut StdRng) -> PointCloud {
+fn subsample_cloud(gt: &GaussianParams, count: usize, rng: &mut Rng64) -> PointCloud {
     let mut cloud = PointCloud::new();
     let n = gt.len();
     if n == 0 {
@@ -311,7 +304,7 @@ fn calibrate_altitude(config: &SceneConfig, params: &GaussianParams) -> f32 {
 fn generate_cameras(
     config: &SceneConfig,
     altitude: f32,
-    rng: &mut StdRng,
+    rng: &mut Rng64,
 ) -> (Vec<Camera>, Vec<Camera>) {
     let h = altitude;
     let half = config.extent / 2.0;
@@ -428,9 +421,11 @@ mod tests {
         let far_cam = &scene.train_cameras[0];
         let near_cam = &scene.train_cameras[scene.train_cameras.len() - 1];
         let far = frustum_cull(&scene.gt_params, far_cam, &Viewport::full(far_cam)).num_active();
-        let near =
-            frustum_cull(&scene.gt_params, near_cam, &Viewport::full(near_cam)).num_active();
-        assert!(far > near, "far view {far} should see more than near view {near}");
+        let near = frustum_cull(&scene.gt_params, near_cam, &Viewport::full(near_cam)).num_active();
+        assert!(
+            far > near,
+            "far view {far} should see more than near view {near}"
+        );
     }
 
     #[test]

@@ -1,0 +1,312 @@
+//! The scene registry: loaded scenes plus memory-aware admission control.
+//!
+//! Scenes are admitted against a [`MemoryPool`] sized from a [`PlatformSpec`]
+//! (or an explicit byte budget). A load that does not fit evicts
+//! least-recently-used *idle* scenes until it does; a load larger than the
+//! whole budget is rejected outright. This mirrors how a production renderer
+//! must treat accelerator memory as the scarce resource when multiplexing
+//! many trained scenes onto one device.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use gs_core::gaussian::GaussianParams;
+use gs_platform::{MemoryCategory, MemoryPool, PlatformSpec};
+
+use crate::request::{SceneId, ServeError};
+
+/// A scene resident in the registry.
+#[derive(Debug, Clone)]
+pub struct LoadedScene {
+    /// Trained Gaussian parameters (shared with in-flight renders).
+    pub params: Arc<GaussianParams>,
+    /// Background color composited behind the splats.
+    pub background: [f32; 3],
+    /// Bytes charged against the registry's memory pool.
+    pub bytes: u64,
+    tick: u64,
+}
+
+/// Counters describing the registry's admission-control activity.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RegistryStats {
+    /// Scenes admitted.
+    pub loads: u64,
+    /// Loads rejected because the scene exceeds the whole budget.
+    pub rejections: u64,
+    /// Total scenes evicted since creation.
+    pub eviction_count: u64,
+    /// The most recent evictions in order (bounded to [`EVICTION_LOG`]
+    /// entries so a long-running service's stats stay small).
+    pub evictions: Vec<SceneId>,
+}
+
+/// How many recent evictions [`RegistryStats::evictions`] retains.
+pub const EVICTION_LOG: usize = 64;
+
+/// Registry of loaded scenes with LRU eviction under a memory budget.
+pub struct SceneRegistry {
+    scenes: HashMap<SceneId, LoadedScene>,
+    pool: MemoryPool,
+    tick: u64,
+    stats: RegistryStats,
+}
+
+impl SceneRegistry {
+    /// Creates a registry with an explicit byte budget.
+    pub fn with_budget(budget_bytes: u64) -> Self {
+        Self {
+            scenes: HashMap::new(),
+            pool: MemoryPool::new("scene-registry", budget_bytes),
+            tick: 0,
+            stats: RegistryStats::default(),
+        }
+    }
+
+    /// Creates a registry budgeted to the platform's GPU memory, the device a
+    /// production service would hold resident scenes on.
+    pub fn for_platform(platform: &PlatformSpec) -> Self {
+        Self::with_budget(platform.gpu.mem_capacity)
+    }
+
+    /// Loads a scene, evicting least-recently-used scenes if needed, and
+    /// returns the ids it evicted (in eviction order).
+    ///
+    /// Reloading an existing id replaces it (the old allocation is released
+    /// first).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Admission`] if the scene alone exceeds the budget.
+    pub fn load(
+        &mut self,
+        id: impl Into<SceneId>,
+        params: Arc<GaussianParams>,
+        background: [f32; 3],
+    ) -> Result<Vec<SceneId>, ServeError> {
+        let id = id.into();
+        let bytes = params.total_bytes() as u64;
+        // Reject a hopeless load before evicting anyone for it.
+        if bytes > self.pool.capacity() {
+            self.stats.rejections += 1;
+            return Err(ServeError::Admission(gs_core::Error::OutOfMemory {
+                device: self.pool.name().to_string(),
+                requested_bytes: bytes as usize,
+                available_bytes: self.pool.available() as usize,
+                capacity_bytes: self.pool.capacity() as usize,
+            }));
+        }
+        if let Some(old) = self.scenes.remove(&id) {
+            self.pool.free(MemoryCategory::Parameters, old.bytes);
+        }
+        let mut victims = Vec::new();
+        while self.pool.available() < bytes {
+            let Some(victim) = self.lru_scene() else {
+                break;
+            };
+            self.evict(&victim);
+            victims.push(victim);
+        }
+        if let Err(e) = self.pool.alloc(MemoryCategory::Parameters, bytes) {
+            self.stats.rejections += 1;
+            return Err(ServeError::Admission(e));
+        }
+        self.tick += 1;
+        self.scenes.insert(
+            id,
+            LoadedScene {
+                params,
+                background,
+                bytes,
+                tick: self.tick,
+            },
+        );
+        self.stats.loads += 1;
+        Ok(victims)
+    }
+
+    /// Fetches a scene for rendering, refreshing its LRU recency.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownScene`] if the id is not loaded.
+    pub fn get(&mut self, id: &SceneId) -> Result<LoadedScene, ServeError> {
+        self.tick += 1;
+        let tick = self.tick;
+        match self.scenes.get_mut(id) {
+            Some(scene) => {
+                scene.tick = tick;
+                Ok(scene.clone())
+            }
+            None => Err(ServeError::UnknownScene(id.clone())),
+        }
+    }
+
+    /// Looks a scene up *without* refreshing its LRU recency (used for
+    /// consistency re-checks that must not count as traffic).
+    pub fn peek(&self, id: &SceneId) -> Option<&LoadedScene> {
+        self.scenes.get(id)
+    }
+
+    /// Removes a scene, releasing its memory. Returns whether it was loaded.
+    pub fn unload(&mut self, id: &SceneId) -> bool {
+        match self.scenes.remove(id) {
+            Some(scene) => {
+                self.pool.free(MemoryCategory::Parameters, scene.bytes);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Whether `id` is currently loaded.
+    pub fn contains(&self, id: &SceneId) -> bool {
+        self.scenes.contains_key(id)
+    }
+
+    /// Ids of the loaded scenes, sorted for stable output.
+    pub fn loaded(&self) -> Vec<SceneId> {
+        let mut ids: Vec<SceneId> = self.scenes.keys().cloned().collect();
+        ids.sort();
+        ids
+    }
+
+    /// Bytes currently charged to loaded scenes.
+    pub fn used_bytes(&self) -> u64 {
+        self.pool.used_total()
+    }
+
+    /// Total admission budget in bytes.
+    pub fn budget_bytes(&self) -> u64 {
+        self.pool.capacity()
+    }
+
+    /// Admission-control counters (loads, rejections, eviction order).
+    pub fn stats(&self) -> &RegistryStats {
+        &self.stats
+    }
+
+    fn lru_scene(&self) -> Option<SceneId> {
+        self.scenes
+            .iter()
+            .min_by_key(|(_, s)| s.tick)
+            .map(|(id, _)| id.clone())
+    }
+
+    fn evict(&mut self, id: &SceneId) {
+        if let Some(scene) = self.scenes.remove(id) {
+            self.pool.free(MemoryCategory::Parameters, scene.bytes);
+            self.stats.eviction_count += 1;
+            self.stats.evictions.push(id.clone());
+            if self.stats.evictions.len() > EVICTION_LOG {
+                self.stats.evictions.remove(0);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gs_core::math::Vec3;
+
+    fn scene_of(n: usize) -> Arc<GaussianParams> {
+        let mut p = GaussianParams::with_capacity(n);
+        for i in 0..n {
+            p.push_isotropic(Vec3::new(i as f32, 0.0, 1.0), 0.1, [0.5; 3], 0.8);
+        }
+        Arc::new(p)
+    }
+
+    const PER_GAUSSIAN: u64 = 59 * 4;
+
+    #[test]
+    fn load_get_unload_roundtrip() {
+        let mut reg = SceneRegistry::with_budget(100 * PER_GAUSSIAN);
+        reg.load("a", scene_of(10), [0.0; 3]).unwrap();
+        assert!(reg.contains(&"a".to_string()));
+        assert_eq!(reg.used_bytes(), 10 * PER_GAUSSIAN);
+        let got = reg.get(&"a".to_string()).unwrap();
+        assert_eq!(got.params.len(), 10);
+        assert!(reg.unload(&"a".to_string()));
+        assert_eq!(reg.used_bytes(), 0);
+        assert!(!reg.unload(&"a".to_string()));
+    }
+
+    #[test]
+    fn oversized_scene_is_rejected() {
+        let mut reg = SceneRegistry::with_budget(5 * PER_GAUSSIAN);
+        let err = reg.load("big", scene_of(10), [0.0; 3]).unwrap_err();
+        assert!(matches!(err, ServeError::Admission(e) if e.is_oom()));
+        assert_eq!(reg.stats().rejections, 1);
+        assert!(reg.loaded().is_empty());
+    }
+
+    #[test]
+    fn rejected_load_does_not_evict_residents() {
+        let mut reg = SceneRegistry::with_budget(25 * PER_GAUSSIAN);
+        reg.load("a", scene_of(10), [0.0; 3]).unwrap();
+        reg.load("b", scene_of(10), [0.0; 3]).unwrap();
+        let err = reg.load("big", scene_of(30), [0.0; 3]).unwrap_err();
+        assert!(matches!(err, ServeError::Admission(e) if e.is_oom()));
+        assert_eq!(
+            reg.loaded(),
+            vec!["a".to_string(), "b".to_string()],
+            "a hopeless load must not push residents out first"
+        );
+        assert!(reg.stats().evictions.is_empty());
+    }
+
+    #[test]
+    fn lru_scene_is_evicted_first() {
+        // Budget fits two 10-Gaussian scenes.
+        let mut reg = SceneRegistry::with_budget(25 * PER_GAUSSIAN);
+        reg.load("a", scene_of(10), [0.0; 3]).unwrap();
+        reg.load("b", scene_of(10), [0.0; 3]).unwrap();
+        // Touch "a" so "b" becomes least recently used.
+        reg.get(&"a".to_string()).unwrap();
+        reg.load("c", scene_of(10), [0.0; 3]).unwrap();
+        assert_eq!(reg.loaded(), vec!["a".to_string(), "c".to_string()]);
+        assert_eq!(reg.stats().evictions, vec!["b".to_string()]);
+    }
+
+    #[test]
+    fn eviction_cascades_until_the_load_fits() {
+        let mut reg = SceneRegistry::with_budget(25 * PER_GAUSSIAN);
+        reg.load("a", scene_of(10), [0.0; 3]).unwrap();
+        reg.load("b", scene_of(10), [0.0; 3]).unwrap();
+        // 20 Gaussians need both residents gone.
+        let victims = reg.load("c", scene_of(20), [0.0; 3]).unwrap();
+        assert_eq!(reg.loaded(), vec!["c".to_string()]);
+        assert_eq!(
+            victims,
+            vec!["a".to_string(), "b".to_string()],
+            "eviction must proceed in LRU order"
+        );
+        assert_eq!(reg.stats().evictions, victims);
+        assert_eq!(reg.stats().eviction_count, 2);
+    }
+
+    #[test]
+    fn reload_replaces_without_double_charging() {
+        let mut reg = SceneRegistry::with_budget(100 * PER_GAUSSIAN);
+        reg.load("a", scene_of(10), [0.0; 3]).unwrap();
+        reg.load("a", scene_of(20), [0.0; 3]).unwrap();
+        assert_eq!(reg.used_bytes(), 20 * PER_GAUSSIAN);
+        assert_eq!(reg.loaded().len(), 1);
+    }
+
+    #[test]
+    fn platform_budget_uses_gpu_capacity() {
+        let platform = PlatformSpec::laptop_rtx4070m();
+        let reg = SceneRegistry::for_platform(&platform);
+        assert_eq!(reg.budget_bytes(), platform.gpu.mem_capacity);
+    }
+
+    #[test]
+    fn unknown_scene_errors() {
+        let mut reg = SceneRegistry::with_budget(1000);
+        let err = reg.get(&"missing".to_string()).unwrap_err();
+        assert!(matches!(err, ServeError::UnknownScene(_)));
+    }
+}

@@ -1,0 +1,80 @@
+//! Request/response types for the rendering service.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use gs_core::camera::{Camera, Viewport};
+use gs_core::image::Image;
+
+/// Identifies a loaded scene in the registry.
+pub type SceneId = String;
+
+/// A request to render one view of one scene.
+#[derive(Debug, Clone)]
+pub struct RenderRequest {
+    /// Which scene to render.
+    pub scene: SceneId,
+    /// Camera pose and intrinsics for the view.
+    pub camera: Camera,
+    /// Pixel region of the camera image to render.
+    pub viewport: Viewport,
+    /// Number of spherical-harmonic bands used for color (0..=3).
+    pub sh_degree: usize,
+}
+
+impl RenderRequest {
+    /// A full-image render request with degree-3 SH color.
+    pub fn full(scene: impl Into<SceneId>, camera: Camera) -> Self {
+        let viewport = Viewport::full(&camera);
+        Self {
+            scene: scene.into(),
+            camera,
+            viewport,
+            sh_degree: 3,
+        }
+    }
+}
+
+/// A completed render, including the measurements the service collected for
+/// the request.
+#[derive(Debug, Clone)]
+pub struct RenderedFrame {
+    /// The rendered image (shared with the frame cache).
+    pub image: Arc<Image>,
+    /// Scene the frame belongs to.
+    pub scene: SceneId,
+    /// Time from enqueue to completion.
+    pub latency: Duration,
+    /// Number of same-scene requests the worker grouped with this one
+    /// (1 = unbatched).
+    pub batch_size: usize,
+    /// Whether the frame was served from the frame cache.
+    pub cache_hit: bool,
+    /// Index of the worker thread that produced the frame.
+    pub worker: usize,
+}
+
+/// Errors surfaced to service clients.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// The requested scene is not loaded in the registry.
+    UnknownScene(SceneId),
+    /// Loading a scene was rejected by admission control.
+    Admission(gs_core::Error),
+    /// The service dropped the request without answering it — it is
+    /// shutting down, or the worker processing the request failed.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::UnknownScene(id) => write!(f, "scene {id:?} is not loaded"),
+            ServeError::Admission(e) => write!(f, "admission control rejected the load: {e}"),
+            ServeError::ShuttingDown => write!(f, "the service dropped the request"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}

@@ -1,0 +1,395 @@
+//! The rendering service: a worker pool draining a bounded job queue.
+//!
+//! Request lifecycle: [`RenderServer::submit`] enqueues a job (blocking when
+//! the queue is full, which gives closed-loop clients natural backpressure).
+//! A worker pops it, drains up to `max_batch - 1` queued requests for the
+//! *same scene* into a batch, answers what it can from the frame cache, and
+//! renders the remaining views through the shared cull-and-gather path of
+//! [`crate::batch`]. Identical cache keys inside one batch are rendered once
+//! and fanned out to every waiter.
+
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use gs_core::gaussian::GaussianParams;
+use gs_platform::PlatformSpec;
+
+use crate::batch::render_shared;
+use crate::cache::{FrameCache, FrameKey};
+use crate::queue::BoundedQueue;
+use crate::registry::{RegistryStats, SceneRegistry};
+use crate::request::{RenderRequest, RenderedFrame, SceneId, ServeError};
+use crate::stats::{ServeStats, StatsCollector};
+
+/// Configuration of a [`RenderServer`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// Number of worker threads.
+    pub workers: usize,
+    /// Bounded queue depth; producers block when it is full.
+    pub queue_depth: usize,
+    /// Maximum same-scene requests grouped into one batch (1 disables
+    /// batching).
+    pub max_batch: usize,
+    /// Frame-cache budget in bytes (0 disables the cache).
+    pub cache_bytes: u64,
+    /// Camera-translation grid for cache-key quantization, in world units.
+    pub pose_quant: f32,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            queue_depth: 64,
+            max_batch: 8,
+            cache_bytes: 64 << 20,
+            pose_quant: 0.05,
+        }
+    }
+}
+
+type Response = Result<RenderedFrame, ServeError>;
+
+struct Job {
+    request: RenderRequest,
+    tx: mpsc::Sender<Response>,
+    enqueued: Instant,
+}
+
+struct Shared {
+    config: ServeConfig,
+    queue: BoundedQueue<Job>,
+    registry: Mutex<SceneRegistry>,
+    cache: Mutex<FrameCache>,
+    stats: StatsCollector,
+}
+
+/// Handle to a pending render; resolves through [`Ticket::wait`].
+pub struct Ticket {
+    rx: mpsc::Receiver<Response>,
+}
+
+impl Ticket {
+    /// Blocks until the frame is rendered (or the request failed).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the service's error, or [`ServeError::ShuttingDown`] if the
+    /// service dropped the request during shutdown.
+    pub fn wait(self) -> Response {
+        self.rx.recv().unwrap_or(Err(ServeError::ShuttingDown))
+    }
+}
+
+/// A concurrent multi-scene rendering service.
+pub struct RenderServer {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl RenderServer {
+    /// Starts the worker pool over an (optionally pre-populated) registry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.workers` or `config.max_batch` is zero.
+    pub fn new(config: ServeConfig, registry: SceneRegistry) -> Self {
+        assert!(config.workers > 0, "need at least one worker");
+        assert!(config.max_batch > 0, "max_batch must be at least 1");
+        let shared = Arc::new(Shared {
+            queue: BoundedQueue::new(config.queue_depth),
+            registry: Mutex::new(registry),
+            cache: Mutex::new(FrameCache::new(config.cache_bytes)),
+            stats: StatsCollector::new(config.workers),
+            config,
+        });
+        let workers = (0..shared.config.workers)
+            .map(|idx| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("gs-serve-worker-{idx}"))
+                    .spawn(move || worker_loop(&shared, idx))
+                    .expect("spawn worker")
+            })
+            .collect();
+        Self { shared, workers }
+    }
+
+    /// Starts a server with a registry budgeted to `platform`'s GPU memory.
+    pub fn for_platform(config: ServeConfig, platform: &PlatformSpec) -> Self {
+        Self::new(config, SceneRegistry::for_platform(platform))
+    }
+
+    /// Loads (or replaces) a scene through admission control, invalidating
+    /// cached frames of any scene that was evicted or replaced.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Admission`] if the scene exceeds the memory budget.
+    pub fn load_scene(
+        &self,
+        id: impl Into<SceneId>,
+        params: Arc<GaussianParams>,
+        background: [f32; 3],
+    ) -> Result<(), ServeError> {
+        let id = id.into();
+        let mut registry = self.shared.registry.lock().unwrap();
+        let result = registry.load(id.clone(), params, background);
+        drop(registry);
+        // A rejected load changes nothing (rejection happens before any
+        // eviction), so the resident scene's still-valid frames survive it.
+        if let Ok(evicted) = &result {
+            let mut cache = self.shared.cache.lock().unwrap();
+            cache.invalidate_scene(&id);
+            for victim in evicted {
+                cache.invalidate_scene(victim);
+            }
+        }
+        result.map(|_| ())
+    }
+
+    /// Unloads a scene and drops its cached frames.
+    pub fn unload_scene(&self, id: &SceneId) -> bool {
+        let unloaded = self.shared.registry.lock().unwrap().unload(id);
+        if unloaded {
+            self.shared.cache.lock().unwrap().invalidate_scene(id);
+        }
+        unloaded
+    }
+
+    /// Ids of the currently loaded scenes (sorted).
+    pub fn loaded_scenes(&self) -> Vec<SceneId> {
+        self.shared.registry.lock().unwrap().loaded()
+    }
+
+    /// Admission-control counters of the underlying registry.
+    pub fn registry_stats(&self) -> RegistryStats {
+        self.shared.registry.lock().unwrap().stats().clone()
+    }
+
+    /// Enqueues a request, blocking while the queue is full.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownScene`] if the scene is not loaded at submit
+    /// time, [`ServeError::ShuttingDown`] if the queue is closed.
+    pub fn submit(&self, request: RenderRequest) -> Result<Ticket, ServeError> {
+        if !self
+            .shared
+            .registry
+            .lock()
+            .unwrap()
+            .contains(&request.scene)
+        {
+            return Err(ServeError::UnknownScene(request.scene));
+        }
+        let (tx, rx) = mpsc::channel();
+        self.shared
+            .queue
+            .push(Job {
+                request,
+                tx,
+                enqueued: Instant::now(),
+            })
+            .map_err(|_| ServeError::ShuttingDown)?;
+        Ok(Ticket { rx })
+    }
+
+    /// Submits a request and waits for the frame.
+    ///
+    /// # Errors
+    ///
+    /// See [`RenderServer::submit`] and [`Ticket::wait`].
+    pub fn render_blocking(&self, request: RenderRequest) -> Response {
+        self.submit(request)?.wait()
+    }
+
+    /// Snapshot of the service statistics.
+    pub fn stats(&self) -> ServeStats {
+        let cache = self.shared.cache.lock().unwrap().stats();
+        self.shared.stats.snapshot(cache)
+    }
+
+    /// Drains the queue, stops the workers and returns the final statistics.
+    pub fn shutdown(mut self) -> ServeStats {
+        self.stop_workers();
+        self.stats()
+    }
+
+    fn stop_workers(&mut self) {
+        self.shared.queue.close();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for RenderServer {
+    fn drop(&mut self) {
+        self.stop_workers();
+    }
+}
+
+fn worker_loop(shared: &Shared, worker_idx: usize) {
+    while let Some(first) = shared.queue.pop() {
+        let scene_id = first.request.scene.clone();
+        let mut batch = vec![first];
+        if shared.config.max_batch > 1 {
+            batch.extend(
+                shared
+                    .queue
+                    .drain_where(shared.config.max_batch - 1, |j| j.request.scene == scene_id),
+            );
+        }
+        let batch_size = batch.len();
+        // A panic in the batch path (a rendering bug, a poisoned lock) must
+        // not kill the worker: the panicking call drops its jobs, which
+        // disconnects their tickets (clients see an error instead of hanging
+        // forever), and the worker lives on to drain the rest of the queue.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            process_batch(shared, worker_idx, scene_id, batch, batch_size);
+        }));
+        if outcome.is_err() {
+            shared.stats.record_error();
+        }
+    }
+}
+
+fn process_batch(
+    shared: &Shared,
+    worker_idx: usize,
+    scene_id: SceneId,
+    batch: Vec<Job>,
+    batch_size: usize,
+) {
+    let caching = shared.config.cache_bytes > 0;
+
+    // Answer what the cache already holds; collect the misses. Hits are
+    // responded to after the cache lock is released so one worker's fan-out
+    // never serializes the other workers' lookups. With the cache disabled,
+    // no keys are computed and the cache lock is never touched.
+    let mut misses: Vec<(Job, Option<FrameKey>)> = Vec::new();
+    if caching {
+        let mut hits: Vec<(Job, Arc<gs_core::image::Image>)> = Vec::new();
+        {
+            let mut cache = shared.cache.lock().unwrap();
+            for job in batch {
+                let key = FrameKey::for_request(&job.request, shared.config.pose_quant);
+                match cache.get(&key) {
+                    Some(image) => hits.push((job, image)),
+                    None => misses.push((job, Some(key))),
+                }
+            }
+        }
+        for (job, image) in hits {
+            respond(shared, worker_idx, job, batch_size, true, image);
+        }
+    } else {
+        misses.extend(batch.into_iter().map(|job| (job, None)));
+    }
+    if misses.is_empty() {
+        shared.stats.record_batch(batch_size, 0, 0);
+        return;
+    }
+
+    let scene = shared.shared_scene(&scene_id);
+    let scene = match scene {
+        Ok(s) => s,
+        Err(e) => {
+            for (job, _) in misses {
+                shared.stats.record_error();
+                let _ = job.tx.send(Err(e.clone()));
+            }
+            shared.stats.record_batch(batch_size, 0, 0);
+            return;
+        }
+    };
+
+    // With caching on, render each distinct cache key once and fan the frame
+    // out to every job sharing it — the same collapse a cache hit at that
+    // key would perform. With caching off there is no quantization contract,
+    // so every request renders its own exact camera.
+    let mut groups: Vec<(Option<FrameKey>, Vec<Job>)> = Vec::new();
+    for (job, key) in misses {
+        match key
+            .is_some()
+            .then(|| groups.iter_mut().find(|(k, _)| *k == key))
+            .flatten()
+        {
+            Some((_, jobs)) => jobs.push(job),
+            None => groups.push((key, vec![job])),
+        }
+    }
+    let unique_requests: Vec<&RenderRequest> =
+        groups.iter().map(|(_, jobs)| &jobs[0].request).collect();
+    let outcome = render_shared(&scene.params, scene.background, &unique_requests);
+    shared
+        .stats
+        .record_batch(batch_size, outcome.union_active, outcome.summed_active);
+
+    // Cache before responding: a client that sees its response and
+    // immediately re-requests the same view must hit. The registry is
+    // re-checked under the cache lock (cache -> registry nesting; no other
+    // path nests the two) so frames rendered from a scene that was replaced
+    // or evicted mid-render are never inserted as that scene's current
+    // frames.
+    if caching {
+        let mut cache = shared.cache.lock().unwrap();
+        let registry = shared.registry.lock().unwrap();
+        let still_current = registry
+            .peek(&scene_id)
+            .is_some_and(|s| Arc::ptr_eq(&s.params, &scene.params));
+        if still_current {
+            for ((key, _), image) in groups.iter().zip(&outcome.images) {
+                if let Some(key) = key {
+                    cache.insert(key.clone(), Arc::clone(image));
+                }
+            }
+        }
+    }
+    for ((_, jobs), image) in groups.into_iter().zip(outcome.images) {
+        for job in jobs {
+            respond(
+                shared,
+                worker_idx,
+                job,
+                batch_size,
+                false,
+                Arc::clone(&image),
+            );
+        }
+    }
+}
+
+impl Shared {
+    fn shared_scene(&self, id: &SceneId) -> Result<crate::registry::LoadedScene, ServeError> {
+        self.registry.lock().unwrap().get(id)
+    }
+}
+
+fn respond(
+    shared: &Shared,
+    worker_idx: usize,
+    job: Job,
+    batch_size: usize,
+    cache_hit: bool,
+    image: Arc<gs_core::image::Image>,
+) {
+    let latency = job.enqueued.elapsed();
+    let frame = RenderedFrame {
+        image,
+        scene: job.request.scene,
+        latency,
+        batch_size,
+        cache_hit,
+        worker: worker_idx,
+    };
+    // Record before sending so a client that receives its response always
+    // finds itself counted in a subsequent `stats()` snapshot.
+    shared.stats.record_completed(worker_idx, latency);
+    // A dropped ticket just means the client stopped waiting.
+    let _ = job.tx.send(Ok(frame));
+}

@@ -1,0 +1,336 @@
+//! Service-level statistics: latency percentiles, throughput, cache hit
+//! rate, batch-size histogram and per-worker counters.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crate::cache::CacheStats;
+
+/// Latency distribution summary in seconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LatencySummary {
+    /// Median latency.
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Worst observed latency.
+    pub max: f64,
+}
+
+impl LatencySummary {
+    fn from_sorted(sorted: &[f64]) -> Self {
+        if sorted.is_empty() {
+            return Self::default();
+        }
+        let pct = |p: f64| {
+            let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+            sorted[idx]
+        };
+        Self {
+            p50: pct(0.50),
+            p90: pct(0.90),
+            p99: pct(0.99),
+            mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
+            max: *sorted.last().unwrap(),
+        }
+    }
+}
+
+/// A point-in-time report of everything the service measured.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServeStats {
+    /// Successfully completed requests.
+    pub completed: u64,
+    /// Requests answered with an error.
+    pub errors: u64,
+    /// Wall-clock time since the collector was created.
+    pub elapsed: Duration,
+    /// Request latency distribution (enqueue to response).
+    pub latency: LatencySummary,
+    /// Frame-cache counters.
+    pub cache: CacheStats,
+    /// `(batch size, number of batches)` in ascending batch-size order.
+    pub batch_histogram: Vec<(usize, u64)>,
+    /// Completed requests per worker thread.
+    pub per_worker: Vec<u64>,
+    /// Gaussians gathered across all batches (shared unions).
+    pub union_active: u64,
+    /// Gaussians that would have been gathered without batching.
+    pub summed_active: u64,
+}
+
+impl ServeStats {
+    /// Completed requests per wall-clock second.
+    pub fn throughput_rps(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.completed as f64 / secs
+        }
+    }
+
+    /// Average number of requests grouped per batch.
+    pub fn mean_batch_size(&self) -> f64 {
+        let batches: u64 = self.batch_histogram.iter().map(|&(_, c)| c).sum();
+        let requests: u64 = self
+            .batch_histogram
+            .iter()
+            .map(|&(s, c)| s as u64 * c)
+            .sum();
+        if batches == 0 {
+            0.0
+        } else {
+            requests as f64 / batches as f64
+        }
+    }
+
+    /// How many times fewer Gaussians were gathered thanks to batch sharing
+    /// (1.0 = no sharing).
+    pub fn cull_sharing_factor(&self) -> f64 {
+        if self.union_active == 0 {
+            1.0
+        } else {
+            self.summed_active as f64 / self.union_active as f64
+        }
+    }
+}
+
+impl std::fmt::Display for ServeStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "serve stats ({:.2}s window)", self.elapsed.as_secs_f64())?;
+        writeln!(
+            f,
+            "  requests:   {} completed, {} errors, {:.1} req/s",
+            self.completed,
+            self.errors,
+            self.throughput_rps()
+        )?;
+        writeln!(
+            f,
+            "  latency:    p50 {:.2}ms  p90 {:.2}ms  p99 {:.2}ms  mean {:.2}ms  max {:.2}ms",
+            self.latency.p50 * 1e3,
+            self.latency.p90 * 1e3,
+            self.latency.p99 * 1e3,
+            self.latency.mean * 1e3,
+            self.latency.max * 1e3,
+        )?;
+        writeln!(
+            f,
+            "  cache:      {:.1}% hit rate ({} hits / {} misses, {} evictions)",
+            self.cache.hit_rate() * 100.0,
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.evictions,
+        )?;
+        let histogram: Vec<String> = self
+            .batch_histogram
+            .iter()
+            .map(|&(s, c)| format!("{s}:{c}"))
+            .collect();
+        writeln!(
+            f,
+            "  batching:   mean size {:.2}, {:.2}x gather sharing, histogram [{}]",
+            self.mean_batch_size(),
+            self.cull_sharing_factor(),
+            histogram.join(" "),
+        )?;
+        let per_worker: Vec<String> = self
+            .per_worker
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("w{i}:{c}"))
+            .collect();
+        write!(f, "  workers:    [{}]", per_worker.join(" "))
+    }
+}
+
+/// Number of latency samples kept for percentile estimation. Mean and max
+/// are exact (tracked as running aggregates); percentiles come from a
+/// uniform reservoir sample so a long-running service's memory stays
+/// bounded no matter how many requests it serves.
+const LATENCY_RESERVOIR: usize = 65_536;
+
+struct CollectorInner {
+    latency_reservoir: Vec<f64>,
+    latency_count: u64,
+    latency_sum: f64,
+    latency_max: f64,
+    reservoir_rng: gs_core::rng::Rng64,
+    completed: u64,
+    errors: u64,
+    batches: BTreeMap<usize, u64>,
+    per_worker: Vec<u64>,
+    union_active: u64,
+    summed_active: u64,
+}
+
+/// Thread-safe accumulator the workers report into.
+pub struct StatsCollector {
+    started: Instant,
+    inner: Mutex<CollectorInner>,
+}
+
+impl StatsCollector {
+    /// Creates a collector for `workers` worker threads.
+    pub fn new(workers: usize) -> Self {
+        Self {
+            started: Instant::now(),
+            inner: Mutex::new(CollectorInner {
+                latency_reservoir: Vec::new(),
+                latency_count: 0,
+                latency_sum: 0.0,
+                latency_max: 0.0,
+                reservoir_rng: gs_core::rng::Rng64::seed_from_u64(0x5eed),
+                completed: 0,
+                errors: 0,
+                batches: BTreeMap::new(),
+                per_worker: vec![0; workers],
+                union_active: 0,
+                summed_active: 0,
+            }),
+        }
+    }
+
+    /// Records one completed request.
+    pub fn record_completed(&self, worker: usize, latency: Duration) {
+        let secs = latency.as_secs_f64();
+        let mut inner = self.inner.lock().unwrap();
+        inner.latency_count += 1;
+        inner.latency_sum += secs;
+        inner.latency_max = inner.latency_max.max(secs);
+        // Algorithm R: every observed latency ends up in the reservoir with
+        // equal probability.
+        if inner.latency_reservoir.len() < LATENCY_RESERVOIR {
+            inner.latency_reservoir.push(secs);
+        } else {
+            let count = inner.latency_count;
+            let j = inner.reservoir_rng.gen_range(0u64..count) as usize;
+            if j < LATENCY_RESERVOIR {
+                inner.latency_reservoir[j] = secs;
+            }
+        }
+        inner.completed += 1;
+        if let Some(slot) = inner.per_worker.get_mut(worker) {
+            *slot += 1;
+        }
+    }
+
+    /// Records one request answered with an error.
+    pub fn record_error(&self) {
+        self.inner.lock().unwrap().errors += 1;
+    }
+
+    /// Records one formed batch and its gather-sharing counts.
+    pub fn record_batch(&self, size: usize, union_active: usize, summed_active: usize) {
+        let mut inner = self.inner.lock().unwrap();
+        *inner.batches.entry(size).or_insert(0) += 1;
+        inner.union_active += union_active as u64;
+        inner.summed_active += summed_active as u64;
+    }
+
+    /// Snapshots everything into a [`ServeStats`] report.
+    pub fn snapshot(&self, cache: CacheStats) -> ServeStats {
+        let inner = self.inner.lock().unwrap();
+        let mut sorted = inner.latency_reservoir.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut latency = LatencySummary::from_sorted(&sorted);
+        // Percentiles are sampled; mean and max are exact.
+        if inner.latency_count > 0 {
+            latency.mean = inner.latency_sum / inner.latency_count as f64;
+            latency.max = inner.latency_max;
+        }
+        ServeStats {
+            completed: inner.completed,
+            errors: inner.errors,
+            elapsed: self.started.elapsed(),
+            latency,
+            cache,
+            batch_histogram: inner.batches.iter().map(|(&s, &c)| (s, c)).collect(),
+            per_worker: inner.per_worker.clone(),
+            union_active: inner.union_active,
+            summed_active: inner.summed_active,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_come_from_the_sorted_distribution() {
+        let collector = StatsCollector::new(2);
+        for ms in 1..=100u64 {
+            collector.record_completed((ms % 2) as usize, Duration::from_millis(ms));
+        }
+        let stats = collector.snapshot(CacheStats::default());
+        assert_eq!(stats.completed, 100);
+        assert!(
+            (stats.latency.p50 - 0.050).abs() < 0.002,
+            "{}",
+            stats.latency.p50
+        );
+        assert!((stats.latency.p99 - 0.099).abs() < 0.002);
+        assert!((stats.latency.max - 0.100).abs() < 1e-9);
+        assert_eq!(stats.per_worker, vec![50, 50]);
+    }
+
+    #[test]
+    fn batch_histogram_and_sharing_factor() {
+        let collector = StatsCollector::new(1);
+        collector.record_batch(1, 10, 10);
+        collector.record_batch(4, 20, 60);
+        collector.record_batch(4, 30, 90);
+        let stats = collector.snapshot(CacheStats::default());
+        assert_eq!(stats.batch_histogram, vec![(1, 1), (4, 2)]);
+        assert!((stats.mean_batch_size() - 3.0).abs() < 1e-12);
+        assert!((stats.cull_sharing_factor() - 160.0 / 60.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_memory_stays_bounded_past_the_reservoir() {
+        let collector = StatsCollector::new(1);
+        // Far more samples than the reservoir holds: aggregates stay exact
+        // and the percentile estimate stays inside the observed range.
+        let n = LATENCY_RESERVOIR as u64 + 10_000;
+        for i in 0..n {
+            collector.record_completed(0, Duration::from_micros(1 + i % 1000));
+        }
+        let stats = collector.snapshot(CacheStats::default());
+        assert_eq!(stats.completed, n);
+        assert!((stats.latency.max - 0.001).abs() < 1e-9, "max is exact");
+        assert!(
+            stats.latency.p50 > 0.0 && stats.latency.p50 <= 0.001,
+            "sampled p50 {} must lie in the observed range",
+            stats.latency.p50
+        );
+    }
+
+    #[test]
+    fn empty_collector_reports_zeros() {
+        let stats = StatsCollector::new(3).snapshot(CacheStats::default());
+        assert_eq!(stats.completed, 0);
+        assert_eq!(stats.throughput_rps(), 0.0);
+        assert_eq!(stats.mean_batch_size(), 0.0);
+        assert_eq!(stats.cull_sharing_factor(), 1.0);
+        assert_eq!(stats.latency, LatencySummary::default());
+    }
+
+    #[test]
+    fn display_contains_the_headline_numbers() {
+        let collector = StatsCollector::new(1);
+        collector.record_completed(0, Duration::from_millis(5));
+        collector.record_batch(2, 5, 10);
+        let text = collector.snapshot(CacheStats::default()).to_string();
+        assert!(text.contains("p50"));
+        assert!(text.contains("hit rate"));
+        assert!(text.contains("histogram"));
+        assert!(text.contains("w0:1"));
+    }
+}

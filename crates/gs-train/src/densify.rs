@@ -69,7 +69,7 @@ impl DensifyConfig {
         self.enabled()
             && iteration >= self.start_iteration
             && iteration < self.stop_iteration
-            && iteration % self.interval == 0
+            && iteration.is_multiple_of(self.interval)
     }
 
     /// Returns a copy with the stop iteration scaled by `factor` — the
@@ -175,7 +175,11 @@ pub fn densify(
     config: &DensifyConfig,
     scene_extent: f32,
 ) -> DensifyReport {
-    assert_eq!(accum.len(), params.len(), "accumulator/params length mismatch");
+    assert_eq!(
+        accum.len(),
+        params.len(),
+        "accumulator/params length mismatch"
+    );
     let n = params.len();
     let split_threshold = config.split_scale_fraction * scene_extent;
     let at_cap = config.max_gaussians > 0 && n >= config.max_gaussians;
@@ -186,10 +190,10 @@ pub fn densify(
     let mut split = 0usize;
     let mut pruned = 0usize;
 
-    for i in 0..n {
+    for (i, keep) in keep_mask.iter_mut().enumerate() {
         // Prune nearly transparent Gaussians first.
         if params.opacity(i) < config.prune_opacity {
-            keep_mask[i] = false;
+            *keep = false;
             pruned += 1;
             continue;
         }
@@ -215,7 +219,7 @@ pub fn densify(
         } else {
             // Split: replace with two smaller Gaussians offset along the
             // dominant axis of the covariance (deterministic).
-            keep_mask[i] = false;
+            *keep = false;
             split += 1;
             let (rot, _, _) = gs_core::math::quat_to_rotmat_with_norm(params.quat(i));
             let s = scale;
@@ -227,11 +231,7 @@ pub fn densify(
             } else {
                 (2, s.z)
             };
-            let axis_world = Vec3::new(
-                rot.m[0][axis_idx],
-                rot.m[1][axis_idx],
-                rot.m[2][axis_idx],
-            );
+            let axis_world = Vec3::new(rot.m[0][axis_idx], rot.m[1][axis_idx], rot.m[2][axis_idx]);
             let offset = axis_world * (0.5 * axis_len);
             let new_log_scale = params.log_scale(i) - Vec3::splat(1.6f32.ln());
             for sign in [-1.0f32, 1.0] {

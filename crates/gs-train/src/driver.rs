@@ -157,9 +157,13 @@ mod tests {
         let cfg = TrainConfig::fast_test(40);
         let platform = PlatformSpec::desktop_rtx4080s();
 
-        let mut gpu_only =
-            GpuOnlyTrainer::new(cfg.clone(), platform.clone(), init.clone(), scene.scene_extent())
-                .unwrap();
+        let mut gpu_only = GpuOnlyTrainer::new(
+            cfg.clone(),
+            platform.clone(),
+            init.clone(),
+            scene.scene_extent(),
+        )
+        .unwrap();
         let q_gpu = train(&mut gpu_only, &scene, 40, true)
             .unwrap()
             .quality

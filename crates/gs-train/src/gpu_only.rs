@@ -10,11 +10,11 @@ use gs_core::camera::{Camera, Viewport};
 use gs_core::error::Result;
 use gs_core::gaussian::GaussianParams;
 use gs_core::image::Image;
+use gs_optim::DenseAdam;
 use gs_platform::{kernel_time, MemoryCategory, MemoryPool, PlatformSpec, Stream, TimelineSim};
 use gs_render::cost as render_cost;
 use gs_render::culling::frustum_cull;
 use gs_render::pipeline::forward_backward;
-use gs_optim::DenseAdam;
 
 use crate::config::TrainConfig;
 use crate::densify::{densify, DensifyAccumulator};
@@ -122,7 +122,8 @@ impl Trainer for GpuOnlyTrainer {
             target,
             self.config.loss,
         );
-        self.gpu_pool.free(MemoryCategory::Activations, activation_bytes);
+        self.gpu_pool
+            .free(MemoryCategory::Activations, activation_bytes);
 
         // Densification statistics (dense gradients: all ids).
         let all_ids: Vec<u32> = (0..total as u32).collect();
@@ -140,7 +141,11 @@ impl Trainer for GpuOnlyTrainer {
             true,
         );
         let fwd_t = kernel_time(&work_from_estimate(&result.stats.forward_work()), gpu, true);
-        let bwd_t = kernel_time(&work_from_estimate(&result.stats.backward_work()), gpu, true);
+        let bwd_t = kernel_time(
+            &work_from_estimate(&result.stats.backward_work()),
+            gpu,
+            true,
+        );
         let opt_t = kernel_time(&work_from_step(&opt_stats, false), gpu, true);
         let c = sim.schedule(Stream::GpuCompute, "frustum_cull", cull_t, &[]);
         let f = sim.schedule(Stream::GpuCompute, "gpu_fwd_bwd", fwd_t + bwd_t, &[c]);

@@ -174,7 +174,10 @@ mod tests {
         let est = estimate_gpu_memory(SystemKind::GpuOnly, 20 * M, 0.1, 1024 * 680, 0.3);
         let f = est.fractions();
         let activation_share = f[3];
-        assert!(activation_share < 0.15, "activation share {activation_share}");
+        assert!(
+            activation_share < 0.15,
+            "activation share {activation_share}"
+        );
     }
 
     #[test]
@@ -187,7 +190,11 @@ mod tests {
     #[test]
     fn gs_scale_saves_3x_to_6x_over_gpu_only() {
         // Figure 12: 3.3x – 5.6x peak-memory reduction across scenes.
-        for (ratio, pixels) in [(0.126, 1152 * 864), (0.064, 1600 * 1064), (0.023, 1600 * 900)] {
+        for (ratio, pixels) in [
+            (0.126, 1152 * 864),
+            (0.064, 1600 * 1064),
+            (0.023, 1600 * 900),
+        ] {
             let gpu = estimate_gpu_memory(SystemKind::GpuOnly, 30 * M, ratio, pixels, 0.3);
             let gss = estimate_gpu_memory(SystemKind::GsScale, 30 * M, ratio, pixels, 0.3);
             let saving = gpu.total() as f64 / gss.total() as f64;

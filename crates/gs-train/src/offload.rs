@@ -27,6 +27,7 @@ use gs_core::camera::{Camera, Viewport};
 use gs_core::error::Result;
 use gs_core::gaussian::{GaussianParams, ParamGroup, SparseGrads};
 use gs_core::image::Image;
+use gs_optim::{DeferredAdam, DenseAdam};
 use gs_platform::{
     kernel_time, MemoryCategory, MemoryPool, PlatformSpec, Stream, TimelineSim, TransferModel,
 };
@@ -34,7 +35,6 @@ use gs_render::cost as render_cost;
 use gs_render::culling::frustum_cull;
 use gs_render::loss::loss_and_grad;
 use gs_render::pipeline::{render, render_backward, to_sparse_grads};
-use gs_optim::{DeferredAdam, DenseAdam};
 
 use crate::config::TrainConfig;
 use crate::densify::{densify, DensifyAccumulator};
@@ -214,10 +214,13 @@ impl OffloadTrainer {
 
         // Host always holds the full parameters and optimizer state (plus one
         // defer counter byte per Gaussian when the deferred update is on).
-        self.host_pool.set(MemoryCategory::Parameters, param_bytes)?;
-        let counter_bytes = if self.options.deferred_update { n } else { 0 };
         self.host_pool
-            .set(MemoryCategory::OptimizerState, 2 * param_bytes + counter_bytes)?;
+            .set(MemoryCategory::Parameters, param_bytes)?;
+        let counter_bytes = if self.options.deferred_update { n } else { 0 };
+        self.host_pool.set(
+            MemoryCategory::OptimizerState,
+            2 * param_bytes + counter_bytes,
+        )?;
 
         if self.options.selective_offloading {
             // Geometric attributes and their optimizer state stay on the GPU.
@@ -236,9 +239,7 @@ impl OffloadTrainer {
     /// pass, restoring deferred values where necessary.
     fn stage_params(&self, ids: &[u32]) -> GaussianParams {
         match &self.cpu_deferred {
-            Some(deferred) => {
-                deferred.peek_restored(&self.params, ids, &ParamGroup::NON_GEOMETRIC)
-            }
+            Some(deferred) => deferred.peek_restored(&self.params, ids, &ParamGroup::NON_GEOMETRIC),
             None => self.params.gather(ids),
         }
     }
@@ -339,7 +340,13 @@ impl Trainer for OffloadTrainer {
             // Functional forward + loss + backward on the staged subset. The
             // loss gradient is scaled so that split sub-views aggregate to the
             // same gradients as a single full-image pass.
-            let output = render(&staged, cam, self.config.sh_degree, vp, self.config.background);
+            let output = render(
+                &staged,
+                cam,
+                self.config.sh_degree,
+                vp,
+                self.config.background,
+            );
             let target_crop = if viewports.len() == 1 {
                 target.clone()
             } else {
@@ -382,9 +389,11 @@ impl Trainer for OffloadTrainer {
             last_gpu_event = fwd;
             last_d2h_event = d2h;
 
-            self.gpu_pool.free(MemoryCategory::Parameters, staged_param_bytes);
+            self.gpu_pool
+                .free(MemoryCategory::Parameters, staged_param_bytes);
             self.gpu_pool.free(MemoryCategory::Gradients, grad_bytes);
-            self.gpu_pool.free(MemoryCategory::Activations, activation_bytes);
+            self.gpu_pool
+                .free(MemoryCategory::Activations, activation_bytes);
         }
 
         // ---- 4. Densification statistics ------------------------------------
@@ -435,7 +444,12 @@ impl Trainer for OffloadTrainer {
             let dense = self.cpu_dense.as_mut().expect("dense optimizer present");
             let t = dense.advance();
             (
-                dense.apply_groups(&mut self.params, &dense_grads, &ParamGroup::NON_GEOMETRIC, t),
+                dense.apply_groups(
+                    &mut self.params,
+                    &dense_grads,
+                    &ParamGroup::NON_GEOMETRIC,
+                    t,
+                ),
                 false,
             )
         };
@@ -572,14 +586,9 @@ mod tests {
             OffloadOptions::without_deferred(),
             OffloadOptions::full(),
         ] {
-            let mut trainer = OffloadTrainer::new(
-                cfg.clone(),
-                options,
-                platform.clone(),
-                init.clone(),
-                10.0,
-            )
-            .unwrap();
+            let mut trainer =
+                OffloadTrainer::new(cfg.clone(), options, platform.clone(), init.clone(), 10.0)
+                    .unwrap();
             for _ in 0..20 {
                 trainer.step(&cam, &target).unwrap();
             }
@@ -600,14 +609,8 @@ mod tests {
         let platform = PlatformSpec::laptop_rtx4070m();
         let mut gpu_only =
             GpuOnlyTrainer::new(cfg.clone(), platform.clone(), init.clone(), 10.0).unwrap();
-        let mut offload = OffloadTrainer::new(
-            cfg,
-            OffloadOptions::full(),
-            platform,
-            init,
-            10.0,
-        )
-        .unwrap();
+        let mut offload =
+            OffloadTrainer::new(cfg, OffloadOptions::full(), platform, init, 10.0).unwrap();
         for _ in 0..5 {
             gpu_only.step(&cam, &target).unwrap();
             offload.step(&cam, &target).unwrap();
@@ -631,14 +634,8 @@ mod tests {
             10.0,
         )
         .unwrap();
-        let mut baseline = OffloadTrainer::new(
-            cfg,
-            OffloadOptions::baseline(),
-            platform,
-            init,
-            10.0,
-        )
-        .unwrap();
+        let mut baseline =
+            OffloadTrainer::new(cfg, OffloadOptions::baseline(), platform, init, 10.0).unwrap();
         // The far-away Gaussian (index 3) never receives gradients, so the
         // deferred optimizer should touch fewer Gaussians than the dense one.
         let full_stats = full.step(&cam, &target).unwrap();
@@ -685,14 +682,8 @@ mod tests {
         // With mem_limit 0 every non-empty view exceeds the threshold.
         let cfg = TrainConfig::fast_test(5).with_mem_limit(0.0);
         let platform = PlatformSpec::laptop_rtx4070m();
-        let mut trainer = OffloadTrainer::new(
-            cfg,
-            OffloadOptions::full(),
-            platform,
-            init,
-            10.0,
-        )
-        .unwrap();
+        let mut trainer =
+            OffloadTrainer::new(cfg, OffloadOptions::full(), platform, init, 10.0).unwrap();
         let stats = trainer.step(&cam, &target).unwrap();
         assert!(stats.image_split);
     }
@@ -739,14 +730,8 @@ mod tests {
             10.0,
         )
         .unwrap();
-        let without_sel = OffloadTrainer::new(
-            cfg,
-            OffloadOptions::baseline(),
-            platform,
-            init,
-            10.0,
-        )
-        .unwrap();
+        let without_sel =
+            OffloadTrainer::new(cfg, OffloadOptions::baseline(), platform, init, 10.0).unwrap();
         let geom = with_sel
             .peak_gpu_breakdown()
             .iter()
@@ -765,12 +750,18 @@ mod tests {
 
     #[test]
     fn system_names_match_figure_11_legend() {
-        assert_eq!(OffloadOptions::baseline().system_name(), "Baseline GS-Scale");
+        assert_eq!(
+            OffloadOptions::baseline().system_name(),
+            "Baseline GS-Scale"
+        );
         assert_eq!(
             OffloadOptions::without_deferred().system_name(),
             "GS-Scale (w/o Deferred Adam)"
         );
-        assert_eq!(OffloadOptions::full().system_name(), "GS-Scale (all optimizations)");
+        assert_eq!(
+            OffloadOptions::full().system_name(),
+            "GS-Scale (all optimizations)"
+        );
         assert_eq!(
             OffloadOptions::for_system(SystemKind::GsScale),
             OffloadOptions::full()

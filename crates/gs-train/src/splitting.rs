@@ -118,7 +118,11 @@ mod tests {
         // 40 Gaussians on the right side of the image (+x), 10 on the left.
         for i in 0..40 {
             p.push_isotropic(
-                Vec3::new(2.0 + (i % 8) as f32 * 0.4, ((i / 8) as f32 - 2.0) * 0.8, 0.0),
+                Vec3::new(
+                    2.0 + (i % 8) as f32 * 0.4,
+                    ((i / 8) as f32 - 2.0) * 0.8,
+                    0.0,
+                ),
                 0.2,
                 [0.5; 3],
                 0.8,
@@ -126,7 +130,11 @@ mod tests {
         }
         for i in 0..10 {
             p.push_isotropic(
-                Vec3::new(-4.0 + (i % 4) as f32 * 0.4, ((i / 4) as f32 - 1.0) * 0.8, 0.0),
+                Vec3::new(
+                    -4.0 + (i % 4) as f32 * 0.4,
+                    ((i / 4) as f32 - 1.0) * 0.8,
+                    0.0,
+                ),
                 0.2,
                 [0.5; 3],
                 0.8,
@@ -175,7 +183,11 @@ mod tests {
         }
         let cam = camera();
         let plan = find_balanced_split(&params, &cam);
-        assert!((plan.balance() - 0.5).abs() < 0.15, "balance {}", plan.balance());
+        assert!(
+            (plan.balance() - 0.5).abs() < 0.15,
+            "balance {}",
+            plan.balance()
+        );
         let (l, r) = plan.viewports(&cam);
         assert_eq!(l.num_pixels() + r.num_pixels(), cam.num_pixels());
     }

@@ -83,7 +83,10 @@ impl RunStats {
         if self.iterations.is_empty() {
             return 0.0;
         }
-        self.iterations.iter().map(|i| i.active_ratio()).sum::<f64>()
+        self.iterations
+            .iter()
+            .map(|i| i.active_ratio())
+            .sum::<f64>()
             / self.iterations.len() as f64
     }
 

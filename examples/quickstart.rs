@@ -65,7 +65,10 @@ fn main() {
     println!("\n== training summary ({}) ==", trainer.name());
     println!("iterations:            {}", outcome.run.iterations.len());
     println!("final Gaussians:       {}", outcome.run.final_gaussians);
-    println!("mean active ratio:     {:.1}%", outcome.run.mean_active_ratio() * 100.0);
+    println!(
+        "mean active ratio:     {:.1}%",
+        outcome.run.mean_active_ratio() * 100.0
+    );
     println!(
         "simulated throughput:  {:.2} images/s on {}",
         outcome.run.throughput_images_per_s(),

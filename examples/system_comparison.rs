@@ -75,9 +75,7 @@ fn main() {
         if kind == SystemKind::BaselineOffload {
             baseline_throughput = Some(throughput);
         }
-        let normalized = baseline_throughput
-            .map(|b| throughput / b)
-            .unwrap_or(1.0);
+        let normalized = baseline_throughput.map(|b| throughput / b).unwrap_or(1.0);
         let quality = outcome.quality.expect("evaluated");
 
         println!("== {} ==", kind.name());

@@ -13,6 +13,8 @@
 //! * [`metrics`] (`gs-metrics`) — PSNR / SSIM / perceptual proxy.
 //! * [`train`] (`gs-train`) — the GPU-only, baseline-offloading and GS-Scale
 //!   trainers.
+//! * [`serve`] (`gs-serve`) — the concurrent multi-scene rendering service
+//!   (batching, frame cache, memory-aware admission control).
 //!
 //! # Quickstart
 //!
@@ -37,4 +39,5 @@ pub use gs_optim as optim;
 pub use gs_platform as platform;
 pub use gs_render as render;
 pub use gs_scene as scene;
+pub use gs_serve as serve;
 pub use gs_train as train;

@@ -8,7 +8,6 @@ use gs_scale::platform::PlatformSpec;
 use gs_scale::scene::{SceneConfig, SceneDataset};
 use gs_scale::train::{
     evaluate, train, GpuOnlyTrainer, OffloadOptions, OffloadTrainer, SystemKind, TrainConfig,
-    Trainer,
 };
 
 fn test_scene(seed: u64) -> SceneDataset {
@@ -189,7 +188,10 @@ fn densification_grows_models_identically_across_systems() {
     .unwrap();
     let gs_run = train(&mut gs, &scene, iterations, false).unwrap().run;
 
-    assert!(gpu_run.final_gaussians > 350, "densification should add Gaussians");
+    assert!(
+        gpu_run.final_gaussians > 350,
+        "densification should add Gaussians"
+    );
     assert_eq!(
         gpu_run.final_gaussians, gs_run.final_gaussians,
         "both systems must densify identically"
@@ -249,6 +251,12 @@ fn throughput_ordering_matches_figure_11_on_the_laptop() {
     let t_base = baseline.throughput_images_per_s();
     let t_nodef = no_deferred.throughput_images_per_s();
     let t_full = full.throughput_images_per_s();
-    assert!(t_nodef > t_base, "selective offloading + forwarding should help: {t_nodef} vs {t_base}");
-    assert!(t_full >= t_nodef * 0.95, "deferred Adam should not hurt: {t_full} vs {t_nodef}");
+    assert!(
+        t_nodef > t_base,
+        "selective offloading + forwarding should help: {t_nodef} vs {t_base}"
+    );
+    assert!(
+        t_full >= t_nodef * 0.95,
+        "deferred Adam should not hurt: {t_full} vs {t_nodef}"
+    );
 }

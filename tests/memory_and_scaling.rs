@@ -122,7 +122,11 @@ fn rubble_at_full_quality_exceeds_any_consumer_gpu() {
         rubble.width * rubble.height,
         0.3,
     );
-    assert!(est.total() > 24 * GB, "40M Gaussians should exceed 24 GB (got {})", est.total());
+    assert!(
+        est.total() > 24 * GB,
+        "40M Gaussians should exceed 24 GB (got {})",
+        est.total()
+    );
     // And the Aerial scene needs more than 50 GB, causing OOM on both
     // consumer GPUs but fitting the H100.
     let aerial = ScenePreset::AERIAL;

@@ -1,99 +1,108 @@
 //! Property-based tests on the core invariants the GS-Scale design relies
 //! on, using randomly generated scenes, cameras and gradient schedules.
+//!
+//! These were originally written against `proptest`; they now drive the same
+//! properties from the workspace's own deterministic [`Rng64`] so the test
+//! suite stays dependency-free. Every case is reproducible from the fixed
+//! seeds below.
 
 use gs_scale::core::camera::{Camera, Viewport};
 use gs_scale::core::gaussian::{GaussianGrads, GaussianParams, ParamGroup, SparseGrads};
 use gs_scale::core::math::Vec3;
+use gs_scale::core::rng::Rng64;
 use gs_scale::optim::{AdamConfig, DeferredAdam, DenseAdam};
 use gs_scale::platform::{MemoryCategory, MemoryPool, Stream, TimelineSim};
 use gs_scale::render::culling::frustum_cull;
 use gs_scale::render::pipeline::{render, render_image};
 use gs_scale::render::projection::project_splats;
-use proptest::prelude::*;
 
-fn arb_gaussians(max_n: usize) -> impl Strategy<Value = GaussianParams> {
-    prop::collection::vec(
-        (
-            -8.0f32..8.0,
-            -6.0f32..6.0,
-            -4.0f32..8.0,
-            0.05f32..0.6,
-            0.05f32..0.95,
+const CASES: u64 = 16;
+
+fn random_gaussians(rng: &mut Rng64, max_n: usize) -> GaussianParams {
+    let n = rng.gen_range(1..max_n);
+    let mut p = GaussianParams::new();
+    for _ in 0..n {
+        let opacity = rng.gen_range(0.05f32..0.95);
+        p.push_isotropic(
+            Vec3::new(
+                rng.gen_range(-8.0f32..8.0),
+                rng.gen_range(-6.0f32..6.0),
+                rng.gen_range(-4.0f32..8.0),
+            ),
+            rng.gen_range(0.05f32..0.6),
+            [0.2 + 0.6 * opacity, 0.5, 0.9 - 0.5 * opacity],
+            opacity,
+        );
+    }
+    p
+}
+
+fn random_camera(rng: &mut Rng64) -> Camera {
+    Camera::look_at(
+        64,
+        48,
+        rng.gen_range(0.6f32..1.6),
+        Vec3::new(
+            rng.gen_range(-3.0f32..3.0),
+            rng.gen_range(-3.0f32..3.0),
+            rng.gen_range(-14.0f32..-6.0),
         ),
-        1..max_n,
+        Vec3::ZERO,
+        Vec3::new(0.0, 1.0, 0.0),
     )
-    .prop_map(|gaussians| {
-        let mut p = GaussianParams::new();
-        for (x, y, z, scale, opacity) in gaussians {
-            p.push_isotropic(
-                Vec3::new(x, y, z),
-                scale,
-                [0.2 + 0.6 * opacity, 0.5, 0.9 - 0.5 * opacity],
-                opacity,
-            );
-        }
-        p
-    })
 }
 
-fn arb_camera() -> impl Strategy<Value = Camera> {
-    (
-        -3.0f32..3.0,
-        -3.0f32..3.0,
-        -14.0f32..-6.0,
-        0.6f32..1.6,
-    )
-        .prop_map(|(x, y, z, fov)| {
-            Camera::look_at(
-                64,
-                48,
-                fov,
-                Vec3::new(x, y, z),
-                Vec3::ZERO,
-                Vec3::new(0.0, 1.0, 0.0),
-            )
-        })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// Frustum culling (which only reads geometric attributes) must never
-    /// drop a Gaussian that fine-grained projection keeps — otherwise the
-    /// offloading systems would silently lose gradient contributions.
-    #[test]
-    fn culling_is_a_superset_of_projection(params in arb_gaussians(60), cam in arb_camera()) {
+/// Frustum culling (which only reads geometric attributes) must never drop a
+/// Gaussian that fine-grained projection keeps — otherwise the offloading
+/// systems would silently lose gradient contributions.
+#[test]
+fn culling_is_a_superset_of_projection() {
+    for seed in 0..CASES {
+        let mut rng = Rng64::seed_from_u64(100 + seed);
+        let params = random_gaussians(&mut rng, 60);
+        let cam = random_camera(&mut rng);
         let vp = Viewport::full(&cam);
         let culled: std::collections::HashSet<u32> =
             frustum_cull(&params, &cam, &vp).ids.into_iter().collect();
         for splat in project_splats(&params, &cam, 3, &vp) {
-            prop_assert!(culled.contains(&splat.idx));
+            assert!(
+                culled.contains(&splat.idx),
+                "seed {seed}: lost {}",
+                splat.idx
+            );
         }
     }
+}
 
-    /// Rendering only the culled subset produces exactly the same image as
-    /// rendering the full parameter set.
-    #[test]
-    fn gathered_rendering_matches_full_rendering(params in arb_gaussians(50), cam in arb_camera()) {
+/// Rendering only the culled subset produces exactly the same image as
+/// rendering the full parameter set.
+#[test]
+fn gathered_rendering_matches_full_rendering() {
+    for seed in 0..CASES {
+        let mut rng = Rng64::seed_from_u64(200 + seed);
+        let params = random_gaussians(&mut rng, 50);
+        let cam = random_camera(&mut rng);
         let vp = Viewport::full(&cam);
         let full = render_image(&params, &cam, 2, [0.1, 0.1, 0.1]);
         let cull = frustum_cull(&params, &cam, &vp);
         let gathered = params.gather(&cull.ids);
         let subset = render_image(&gathered, &cam, 2, [0.1, 0.1, 0.1]);
         for (a, b) in full.data().iter().zip(subset.data()) {
-            prop_assert!((a - b).abs() < 1e-5);
+            assert!((a - b).abs() < 1e-5, "seed {seed}: {a} vs {b}");
         }
     }
+}
 
-    /// Splitting an image into two vertical halves and stitching the halves
-    /// reproduces the full render exactly (the invariant behind balance-aware
-    /// image splitting).
-    #[test]
-    fn split_viewports_compose_to_full_image(
-        params in arb_gaussians(40),
-        cam in arb_camera(),
-        split_frac in 0.2f64..0.8,
-    ) {
+/// Splitting an image into two vertical halves and stitching the halves
+/// reproduces the full render exactly (the invariant behind balance-aware
+/// image splitting).
+#[test]
+fn split_viewports_compose_to_full_image() {
+    for seed in 0..CASES {
+        let mut rng = Rng64::seed_from_u64(300 + seed);
+        let params = random_gaussians(&mut rng, 40);
+        let cam = random_camera(&mut rng);
+        let split_frac = rng.gen_range(0.2f64..0.8);
         let vp = Viewport::full(&cam);
         let column = ((cam.width as f64 * split_frac) as usize).clamp(1, cam.width - 1);
         let (left, right) = vp.split_at_column(column);
@@ -103,23 +112,30 @@ proptest! {
         for y in 0..cam.height {
             for x in 0..cam.width {
                 let expect = full.pixel(x, y);
-                let got = if x < column { l.pixel(x, y) } else { r.pixel(x - column, y) };
+                let got = if x < column {
+                    l.pixel(x, y)
+                } else {
+                    r.pixel(x - column, y)
+                };
                 for ch in 0..3 {
-                    prop_assert!((expect[ch] - got[ch]).abs() < 1e-5);
+                    assert!(
+                        (expect[ch] - got[ch]).abs() < 1e-5,
+                        "seed {seed}: pixel ({x},{y}) ch {ch}"
+                    );
                 }
             }
         }
     }
+}
 
-    /// The deferred optimizer follows dense Adam for arbitrary sparse
-    /// gradient schedules (after a flush), which is the paper's core
-    /// correctness claim.
-    #[test]
-    fn deferred_adam_tracks_dense_adam(
-        n in 4usize..24,
-        schedule in prop::collection::vec(prop::collection::vec(any::<bool>(), 4..24), 3..20),
-        seed in 0u64..1000,
-    ) {
+/// The deferred optimizer follows dense Adam for arbitrary sparse gradient
+/// schedules (after a flush), which is the paper's core correctness claim.
+#[test]
+fn deferred_adam_tracks_dense_adam() {
+    for seed in 0..CASES {
+        let mut rng = Rng64::seed_from_u64(400 + seed);
+        let n = rng.gen_range(4usize..24);
+        let num_steps = rng.gen_range(3usize..20);
         let mut params = GaussianParams::new();
         for i in 0..n {
             let f = i as f32 + seed as f32 * 0.01;
@@ -136,14 +152,8 @@ proptest! {
         let mut dense = DenseAdam::new(cfg, n);
         let mut deferred = DeferredAdam::new(cfg, n);
 
-        for (step, mask) in schedule.iter().enumerate() {
-            let ids: Vec<u32> = mask
-                .iter()
-                .enumerate()
-                .take(n)
-                .filter(|(_, &m)| m)
-                .map(|(i, _)| i as u32)
-                .collect();
+        for step in 0..num_steps {
+            let ids: Vec<u32> = (0..n as u32).filter(|_| rng.gen_bool(0.5)).collect();
             let mut grads = GaussianGrads::zeros(ids.len());
             for k in 0..ids.len() {
                 let x = (step as f32 * 0.37 + k as f32 * 0.73 + seed as f32).sin();
@@ -158,48 +168,60 @@ proptest! {
         deferred.flush(&mut p_def);
         for g in ParamGroup::ALL {
             for (a, b) in p_dense.group(g).iter().zip(p_def.group(g)) {
-                prop_assert!((a - b).abs() < 5e-4, "group {:?}: {} vs {}", g, a, b);
+                assert!((a - b).abs() < 5e-4, "seed {seed}, group {g:?}: {a} vs {b}");
             }
         }
     }
+}
 
-    /// Memory-pool accounting never goes negative, never exceeds capacity,
-    /// and the peak is monotone.
-    #[test]
-    fn memory_pool_accounting_is_consistent(
-        ops in prop::collection::vec((0u8..3, 0u64..5000), 1..60),
-    ) {
+/// Memory-pool accounting never goes negative, never exceeds capacity, and
+/// the peak is monotone.
+#[test]
+fn memory_pool_accounting_is_consistent() {
+    for seed in 0..CASES {
+        let mut rng = Rng64::seed_from_u64(500 + seed);
         let mut pool = MemoryPool::new("gpu", 100_000);
         let mut last_peak = 0;
-        for (op, bytes) in ops {
-            match op {
-                0 => { let _ = pool.alloc(MemoryCategory::Parameters, bytes); }
+        for _ in 0..rng.gen_range(1usize..60) {
+            let bytes = rng.gen_range(0u64..5000);
+            match rng.gen_range(0u32..3) {
+                0 => {
+                    let _ = pool.alloc(MemoryCategory::Parameters, bytes);
+                }
                 1 => pool.free(MemoryCategory::Parameters, bytes),
-                _ => { let _ = pool.set(MemoryCategory::Activations, bytes); }
+                _ => {
+                    let _ = pool.set(MemoryCategory::Activations, bytes);
+                }
             }
-            prop_assert!(pool.used_total() <= pool.capacity());
-            prop_assert!(pool.peak_total() >= last_peak);
-            prop_assert!(pool.peak_total() >= pool.used_total());
+            assert!(pool.used_total() <= pool.capacity());
+            assert!(pool.peak_total() >= last_peak);
+            assert!(pool.peak_total() >= pool.used_total());
             last_peak = pool.peak_total();
         }
     }
+}
 
-    /// The timeline simulator never overlaps events within a stream and the
-    /// makespan is at least as long as the busiest stream.
-    #[test]
-    fn timeline_respects_stream_serialization(
-        events in prop::collection::vec((0u8..4, 0.0f64..0.01, any::<bool>()), 1..80),
-    ) {
+/// The timeline simulator never overlaps events within a stream and the
+/// makespan is at least as long as the busiest stream.
+#[test]
+fn timeline_respects_stream_serialization() {
+    for seed in 0..CASES {
+        let mut rng = Rng64::seed_from_u64(600 + seed);
         let mut sim = TimelineSim::new();
         let mut last = None;
-        for (stream_idx, duration, depend) in events {
-            let stream = Stream::ALL[stream_idx as usize % 4];
-            let deps: Vec<_> = if depend { last.into_iter().collect() } else { Vec::new() };
+        for _ in 0..rng.gen_range(1usize..80) {
+            let stream = Stream::ALL[rng.gen_range(0usize..4)];
+            let duration = rng.gen_range(0.0f64..0.01);
+            let deps: Vec<_> = if rng.gen_bool(0.5) {
+                last.into_iter().collect()
+            } else {
+                Vec::new()
+            };
             last = Some(sim.schedule(stream, "ev", duration, &deps));
         }
-        prop_assert!(sim.is_consistent());
+        assert!(sim.is_consistent(), "seed {seed}");
         for s in Stream::ALL {
-            prop_assert!(sim.busy_time(s) <= sim.makespan() + 1e-12);
+            assert!(sim.busy_time(s) <= sim.makespan() + 1e-12, "seed {seed}");
         }
     }
 }
