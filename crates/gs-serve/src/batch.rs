@@ -40,11 +40,26 @@ pub struct BatchOutcome {
 
 /// Renders `requests` (which must all target the scene held in `params`)
 /// through a shared cull-and-gather.
+///
+/// # Panics
+///
+/// Panics if a request's `sh_degree` exceeds [`gs_core::sh::MAX_DEGREE`].
+/// (Without this check a release build would silently render the clamped
+/// degree; the serving worker pool catches the panic and answers the batch
+/// with errors instead.)
 pub fn render_shared(
     params: &GaussianParams,
     background: [f32; 3],
     requests: &[&RenderRequest],
 ) -> BatchOutcome {
+    for r in requests {
+        assert!(
+            r.sh_degree <= gs_core::sh::MAX_DEGREE,
+            "sh_degree {} exceeds the supported maximum {}",
+            r.sh_degree,
+            gs_core::sh::MAX_DEGREE
+        );
+    }
     if requests.is_empty() {
         return BatchOutcome {
             images: Vec::new(),

@@ -162,8 +162,13 @@ impl FrameCache {
     }
 
     /// Inserts a rendered frame, evicting least-recently-used frames as
-    /// needed. Frames larger than the whole cache are not stored.
+    /// needed. Frames larger than the whole cache are not stored, and a
+    /// zero-capacity (disabled) cache admits nothing — not even zero-byte
+    /// frames, which would otherwise pass the size check.
     pub fn insert(&mut self, key: FrameKey, image: Arc<Image>) {
+        if self.capacity_bytes == 0 {
+            return;
+        }
         let bytes = image_bytes(&image);
         if bytes > self.capacity_bytes {
             return;
@@ -305,6 +310,27 @@ mod tests {
         cache.insert(key.clone(), frame());
         assert!(cache.is_empty());
         assert!(cache.get(&key).is_none());
+    }
+
+    #[test]
+    fn zero_capacity_rejects_even_zero_byte_frames() {
+        // Regression: `bytes > capacity` is false when both are 0, so an
+        // empty (0x0) render used to be admitted into a disabled cache.
+        let mut cache = FrameCache::new(0);
+        let key = FrameKey::for_request(&req("s", 0.0), 0.1);
+        cache.insert(key.clone(), Arc::new(Image::zeros(0, 0)));
+        assert!(cache.is_empty(), "a disabled cache must admit nothing");
+        assert!(cache.get(&key).is_none());
+        assert_eq!(cache.stats().insertions, 0);
+    }
+
+    #[test]
+    fn empty_frames_are_cacheable_when_capacity_is_nonzero() {
+        let mut cache = FrameCache::new(FRAME_BYTES);
+        let key = FrameKey::for_request(&req("s", 0.0), 0.1);
+        cache.insert(key.clone(), Arc::new(Image::zeros(0, 0)));
+        assert!(cache.get(&key).is_some());
+        assert_eq!(cache.used_bytes(), 0);
     }
 
     #[test]

@@ -1,0 +1,715 @@
+//! A std-only HTTP/1.1 front-end for [`RenderServer`].
+//!
+//! [`HttpServer::bind`] starts a TCP listener and serves a minimal HTTP/1.1
+//! subset — `GET`/`POST` with `Content-Length` bodies and keep-alive — so
+//! external load generators (curl, wrk-style closed loops) can drive the
+//! rendering service over a real wire protocol:
+//!
+//! * `POST /render` — body in the [`crate::wire`] format; answers with the
+//!   rendered frame encoded per the request's `format` (raw little-endian
+//!   `f32` or binary PPM) plus `X-Image-Width`/`X-Image-Height`/
+//!   `X-Cache-Hit`/`X-Batch-Size`/`X-Worker`/`X-Latency-Us` headers.
+//! * `GET /stats` — the [`crate::stats::ServeStats`] text report.
+//! * `GET /scenes` — the loaded scene ids, one per line.
+//! * `GET /healthz` — liveness probe.
+//!
+//! Errors map onto status codes: malformed requests and bodies get `400`,
+//! unknown paths and unknown scenes `404`, wrong methods `405`, oversized
+//! heads/bodies `413`, unsupported transfer encodings `501`, and a
+//! connection-limit or shutting-down service `503`.
+//!
+//! Concurrency model: one handler thread per connection (bounded by
+//! [`HttpConfig::max_connections`]). Each handler calls
+//! [`RenderServer::render_blocking`], which blocks in `submit` while the
+//! worker queue is full — the bounded queue's backpressure therefore
+//! propagates all the way to the TCP client, exactly like the in-process
+//! closed-loop clients.
+
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::request::ServeError;
+use crate::server::RenderServer;
+use crate::wire::{self, WireFormat, WireRequest};
+
+/// Configuration of an [`HttpServer`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpConfig {
+    /// Listen address; port 0 picks a free port (see
+    /// [`HttpServer::local_addr`]).
+    pub addr: String,
+    /// Maximum concurrent connections; excess connections get `503`.
+    pub max_connections: usize,
+    /// Maximum accepted request-body size in bytes.
+    pub max_body_bytes: usize,
+    /// How long a keep-alive connection may sit idle (or a request may
+    /// dribble in) before it is closed. Keeps slow or abandoned sockets from
+    /// pinning handler threads and `max_connections` slots forever.
+    pub idle_timeout: Duration,
+}
+
+impl Default for HttpConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            max_connections: 64,
+            max_body_bytes: 64 << 10,
+            idle_timeout: Duration::from_secs(60),
+        }
+    }
+}
+
+/// Maximum size of a request head (request line + headers).
+const MAX_HEAD_BYTES: usize = 16 << 10;
+/// How often blocked reads and the accept loop re-check the stop flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(20);
+/// Per-write-call timeout; bounds how long a stalled (never-reading) client
+/// can pin a handler thread mid-response.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// The HTTP front-end: an accept loop plus one handler thread per
+/// connection, all serving one shared [`RenderServer`].
+pub struct HttpServer {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl HttpServer {
+    /// Binds the listener and starts accepting connections.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(config: HttpConfig, server: Arc<RenderServer>) -> io::Result<Self> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        // Non-blocking accept polled against the stop flag: shutdown never
+        // hangs waiting for one more connection to arrive.
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let active = Arc::new(AtomicUsize::new(0));
+
+        let accept = {
+            let stop = Arc::clone(&stop);
+            let handlers = Arc::clone(&handlers);
+            std::thread::Builder::new()
+                .name("gs-serve-http-accept".to_string())
+                .spawn(move || {
+                    accept_loop(&listener, &config, &server, &stop, &handlers, &active);
+                })
+                .expect("spawn http accept thread")
+        };
+
+        Ok(Self {
+            local_addr,
+            stop,
+            accept: Some(accept),
+            handlers,
+        })
+    }
+
+    /// The bound address (with the actual port when `addr` asked for port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stops accepting, waits for every in-flight connection handler to
+    /// finish, and returns.
+    pub fn shutdown(mut self) {
+        self.stop_inner();
+    }
+
+    fn stop_inner(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        let handlers = std::mem::take(&mut *self.handlers.lock().unwrap());
+        for h in handlers {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.stop_inner();
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    config: &HttpConfig,
+    server: &Arc<RenderServer>,
+    stop: &Arc<AtomicBool>,
+    handlers: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+    active: &Arc<AtomicUsize>,
+) {
+    while !stop.load(Ordering::SeqCst) {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL_INTERVAL);
+                continue;
+            }
+            Err(_) => {
+                // Persistent failures (e.g. EMFILE at the fd limit) would
+                // otherwise spin; back off so in-flight handlers can finish
+                // and free descriptors.
+                std::thread::sleep(POLL_INTERVAL);
+                continue;
+            }
+        };
+        // Reap finished handler threads so the handle list stays bounded by
+        // the number of *live* connections.
+        handlers.lock().unwrap().retain(|h| !h.is_finished());
+        if active.load(Ordering::SeqCst) >= config.max_connections {
+            let _ = stream.set_nonblocking(false);
+            let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
+            let mut stream = stream;
+            let _ = write_response(
+                &mut stream,
+                &HttpResponse::text(503, "service at its connection limit\n"),
+                false,
+            );
+            drain_before_close(&mut stream);
+            continue;
+        }
+        active.fetch_add(1, Ordering::SeqCst);
+        let server = Arc::clone(server);
+        let stop = Arc::clone(stop);
+        let guard = ActiveGuard(Arc::clone(active));
+        let max_body = config.max_body_bytes;
+        let idle_timeout = config.idle_timeout;
+        let spawned = std::thread::Builder::new()
+            .name("gs-serve-http-conn".to_string())
+            .spawn(move || {
+                // Moved into the thread so the slot is released even if the
+                // handler panics.
+                let _guard = guard;
+                handle_connection(&server, stream, max_body, idle_timeout, &stop);
+            });
+        match spawned {
+            Ok(handle) => handlers.lock().unwrap().push(handle),
+            Err(_) => {
+                // Out of threads: shed the connection like the limit path
+                // does instead of panicking the accept loop. The stream and
+                // the active-count guard were moved into the failed spawn
+                // closure, which drops them: the socket closes and the slot
+                // is released.
+            }
+        }
+    }
+}
+
+/// Decrements the active-connection count when dropped, so the slot is
+/// released on every handler exit path — including a panic.
+struct ActiveGuard(Arc<AtomicUsize>);
+
+impl Drop for ActiveGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// One parsed HTTP request.
+struct HttpRequest {
+    method: String,
+    path: String,
+    version: String,
+    headers: HashMap<String, String>,
+    body: Vec<u8>,
+}
+
+impl HttpRequest {
+    /// HTTP/1.1 defaults to keep-alive, HTTP/1.0 to close; an explicit
+    /// `Connection` header overrides either.
+    fn keep_alive(&self) -> bool {
+        match self
+            .headers
+            .get("connection")
+            .map(|v| v.to_ascii_lowercase())
+        {
+            Some(v) if v.contains("close") => false,
+            Some(v) if v.contains("keep-alive") => true,
+            _ => self.version != "HTTP/1.0",
+        }
+    }
+}
+
+enum ReadOutcome {
+    Request(HttpRequest),
+    /// Clean EOF between requests.
+    Closed,
+    /// Framing or syntax error; respond with the status then close.
+    Bad(HttpResponse),
+}
+
+fn handle_connection(
+    server: &RenderServer,
+    mut stream: TcpStream,
+    max_body: usize,
+    idle_timeout: Duration,
+    stop: &AtomicBool,
+) {
+    // On some platforms an accepted socket inherits the listener's
+    // non-blocking flag; reads must block (with a timeout) or the poll loop
+    // below would spin.
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_nodelay(true);
+    // Reads time out so an idle keep-alive connection re-checks the stop
+    // flag instead of pinning its handler thread forever.
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    // Writes time out too: a client that requests a large frame and never
+    // drains its socket would otherwise block `write_all` forever and make
+    // `HttpServer::shutdown` (which joins this thread) hang with it. A
+    // draining-but-slow client is safe — the timeout applies per write call,
+    // not to the whole response.
+    let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
+    // Bytes already read off the socket but not yet consumed (a pipelined
+    // next request, or the partial head of one still arriving).
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        match read_request(&mut stream, &mut buf, max_body, idle_timeout, stop) {
+            ReadOutcome::Request(req) => {
+                let keep_alive = req.keep_alive();
+                let response = route(server, &req);
+                if write_response(&mut stream, &response, keep_alive).is_err() || !keep_alive {
+                    break;
+                }
+            }
+            ReadOutcome::Closed => break,
+            ReadOutcome::Bad(response) => {
+                // Framing is lost after a malformed head; answer and close.
+                let _ = write_response(&mut stream, &response, false);
+                drain_before_close(&mut stream);
+                break;
+            }
+        }
+    }
+}
+
+/// Briefly drains unread request bytes (after a write shutdown) before the
+/// socket closes. Closing with unread data in the receive queue sends a TCP
+/// RST, which can destroy an error response the client has not read yet —
+/// the client would see `ECONNRESET` instead of the 4xx/5xx we just wrote.
+fn drain_before_close(stream: &mut TcpStream) {
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let deadline = Instant::now() + Duration::from_millis(250);
+    let mut sink = [0u8; 4096];
+    while Instant::now() < deadline {
+        match stream.read(&mut sink) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Reads one full request (head + `Content-Length` body) from the stream,
+/// polling `stop` on read timeouts. A connection that stays idle (or
+/// dribbles a request in) past `idle_timeout` is closed so abandoned or
+/// slow-loris sockets cannot pin handler threads and connection slots.
+fn read_request(
+    stream: &mut TcpStream,
+    buf: &mut Vec<u8>,
+    max_body: usize,
+    idle_timeout: Duration,
+    stop: &AtomicBool,
+) -> ReadOutcome {
+    let deadline = Instant::now() + idle_timeout;
+    let mut chunk = [0u8; 4096];
+    let head_end = loop {
+        if let Some(pos) = find_head_end(buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return ReadOutcome::Bad(HttpResponse::text(413, "request head too large\n"));
+        }
+        match read_more(stream, buf, &mut chunk, deadline, stop) {
+            Ok(0) => {
+                return if buf.is_empty() {
+                    ReadOutcome::Closed
+                } else {
+                    ReadOutcome::Bad(HttpResponse::text(400, "truncated request\n"))
+                };
+            }
+            Ok(_) => {}
+            Err(_) => return ReadOutcome::Closed,
+        }
+    };
+
+    let head = match std::str::from_utf8(&buf[..head_end]) {
+        Ok(h) => h.to_string(),
+        Err(_) => return ReadOutcome::Bad(HttpResponse::text(400, "request head is not UTF-8\n")),
+    };
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) if v.starts_with("HTTP/") => {
+            (m.to_string(), p.to_string(), v.to_string())
+        }
+        _ => {
+            return ReadOutcome::Bad(HttpResponse::text(
+                400,
+                "malformed request line (expected: METHOD PATH HTTP/1.x)\n",
+            ))
+        }
+    };
+    let mut headers = HashMap::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return ReadOutcome::Bad(HttpResponse::text(400, "malformed header line\n"));
+        };
+        headers.insert(name.trim().to_ascii_lowercase(), value.trim().to_string());
+    }
+
+    if headers.contains_key("transfer-encoding") {
+        // Only Content-Length framing is implemented; silently treating a
+        // chunked body as empty would desync the connection (the chunk data
+        // would parse as the next request's head).
+        return ReadOutcome::Bad(HttpResponse::text(
+            501,
+            "transfer encodings are not supported; use Content-Length\n",
+        ));
+    }
+    let body_len = match headers.get("content-length") {
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) => n,
+            Err(_) => return ReadOutcome::Bad(HttpResponse::text(400, "bad Content-Length\n")),
+        },
+        None => 0,
+    };
+    if body_len > max_body {
+        return ReadOutcome::Bad(HttpResponse::text(413, "request body too large\n"));
+    }
+    // curl sends `Expect: 100-continue` for larger bodies and stalls ~1s
+    // waiting for the interim response before transmitting the body. Sent
+    // only once the request is going to be read (rejections above answer
+    // with their final status instead, per RFC 9110).
+    if body_len > 0
+        && headers
+            .get("expect")
+            .is_some_and(|v| v.to_ascii_lowercase().contains("100-continue"))
+        && stream.write_all(b"HTTP/1.1 100 Continue\r\n\r\n").is_err()
+    {
+        return ReadOutcome::Closed;
+    }
+    let total = head_end + 4 + body_len;
+    while buf.len() < total {
+        match read_more(stream, buf, &mut chunk, deadline, stop) {
+            Ok(0) => return ReadOutcome::Bad(HttpResponse::text(400, "truncated request body\n")),
+            Ok(_) => {}
+            Err(_) => return ReadOutcome::Closed,
+        }
+    }
+    let body = buf[head_end + 4..total].to_vec();
+    buf.drain(..total);
+    ReadOutcome::Request(HttpRequest {
+        method,
+        path,
+        version,
+        headers,
+        body,
+    })
+}
+
+/// Position of the `\r\n\r\n` head terminator, if present.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Reads one chunk, retrying through timeouts until `stop` is set or
+/// `deadline` passes (then reports the connection as closed via `Err`).
+fn read_more(
+    stream: &mut TcpStream,
+    buf: &mut Vec<u8>,
+    chunk: &mut [u8],
+    deadline: Instant,
+    stop: &AtomicBool,
+) -> Result<usize, ()> {
+    loop {
+        match stream.read(chunk) {
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                return Ok(n);
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if stop.load(Ordering::SeqCst) || Instant::now() >= deadline {
+                    return Err(());
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return Err(()),
+        }
+    }
+}
+
+/// A response ready to serialize.
+pub struct HttpResponse {
+    /// Status code (200, 400, 404, ...).
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Extra headers (`X-Image-Width`, ...).
+    pub headers: Vec<(&'static str, String)>,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl HttpResponse {
+    /// A plain-text response.
+    pub fn text(status: u16, body: impl Into<String>) -> Self {
+        Self {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            headers: Vec::new(),
+            body: body.into().into_bytes(),
+        }
+    }
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+fn write_response(
+    stream: &mut TcpStream,
+    response: &HttpResponse,
+    keep_alive: bool,
+) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
+        response.status,
+        reason(response.status),
+        response.content_type,
+        response.body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    for (name, value) in &response.headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    // One write for head + body: two small writes would trip the
+    // Nagle/delayed-ACK interaction and stall small responses by ~40ms.
+    let mut message = head.into_bytes();
+    message.extend_from_slice(&response.body);
+    stream.write_all(&message)?;
+    stream.flush()
+}
+
+/// The status code a [`ServeError`] maps onto.
+pub fn status_for_error(err: &ServeError) -> u16 {
+    match err {
+        ServeError::UnknownScene(_) => 404,
+        ServeError::ShuttingDown | ServeError::Admission(_) => 503,
+    }
+}
+
+fn route(server: &RenderServer, req: &HttpRequest) -> HttpResponse {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/stats") => HttpResponse::text(200, format!("{}\n", server.stats())),
+        ("GET", "/scenes") => {
+            let mut body = server.loaded_scenes().join("\n");
+            body.push('\n');
+            HttpResponse::text(200, body)
+        }
+        ("GET", "/healthz") => HttpResponse::text(200, "ok\n"),
+        ("POST", "/render") => render_route(server, &req.body),
+        (_, "/stats" | "/scenes" | "/healthz" | "/render") => {
+            HttpResponse::text(405, "method not allowed on this path\n")
+        }
+        _ => HttpResponse::text(404, "unknown path\n"),
+    }
+}
+
+fn render_route(server: &RenderServer, body: &[u8]) -> HttpResponse {
+    let text = match std::str::from_utf8(body) {
+        Ok(t) => t,
+        Err(_) => return HttpResponse::text(400, "bad request: body is not UTF-8\n"),
+    };
+    let wire_req = match WireRequest::parse(text) {
+        Ok(r) => r,
+        Err(e) => return HttpResponse::text(400, format!("{e}\n")),
+    };
+    let frame = match server.render_blocking(wire_req.to_render_request()) {
+        Ok(frame) => frame,
+        Err(e) => return HttpResponse::text(status_for_error(&e), format!("{e}\n")),
+    };
+    let body = match wire_req.format {
+        WireFormat::RawF32 => wire::encode_raw_f32(&frame.image),
+        WireFormat::Ppm => wire::encode_ppm(&frame.image),
+    };
+    HttpResponse {
+        status: 200,
+        content_type: wire_req.format.content_type(),
+        headers: vec![
+            ("X-Image-Width", frame.image.width().to_string()),
+            ("X-Image-Height", frame.image.height().to_string()),
+            ("X-Cache-Hit", u8::from(frame.cache_hit).to_string()),
+            ("X-Batch-Size", frame.batch_size.to_string()),
+            ("X-Worker", frame.worker.to_string()),
+            ("X-Latency-Us", frame.latency.as_micros().to_string()),
+        ],
+        body,
+    }
+}
+
+/// A minimal blocking HTTP/1.1 client, just enough to drive [`HttpServer`]
+/// from load generators, benches and tests over a keep-alive connection.
+pub mod client {
+    use std::io::{self, Read, Write};
+    use std::net::TcpStream;
+
+    /// A response read off the wire.
+    #[derive(Debug, Clone)]
+    pub struct ClientResponse {
+        /// Status code from the status line.
+        pub status: u16,
+        /// Header `(name, value)` pairs, names lowercased.
+        pub headers: Vec<(String, String)>,
+        /// Response body (exactly `Content-Length` bytes).
+        pub body: Vec<u8>,
+    }
+
+    impl ClientResponse {
+        /// The value of `name` (case-insensitive), if present.
+        pub fn header(&self, name: &str) -> Option<&str> {
+            let name = name.to_ascii_lowercase();
+            self.headers
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map(|(_, v)| v.as_str())
+        }
+    }
+
+    /// Sends one request and reads its response; the connection stays usable
+    /// for the next request (keep-alive).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors; a malformed response surfaces as
+    /// [`io::ErrorKind::InvalidData`].
+    pub fn request(
+        stream: &mut TcpStream,
+        method: &str,
+        path: &str,
+        body: &[u8],
+    ) -> io::Result<ClientResponse> {
+        send_request(stream, method, path, body)?;
+        read_response(stream)
+    }
+
+    /// Writes one request with a `Content-Length` body.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn send_request(
+        stream: &mut TcpStream,
+        method: &str,
+        path: &str,
+        body: &[u8],
+    ) -> io::Result<()> {
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: gs-serve\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        // One write for head + body: two small writes would trip the
+        // Nagle/delayed-ACK interaction and stall small requests by ~40ms.
+        let mut message = head.into_bytes();
+        message.extend_from_slice(body);
+        stream.write_all(&message)?;
+        stream.flush()
+    }
+
+    fn bad(msg: &str) -> io::Error {
+        io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+    }
+
+    /// Reads one `Content-Length`-framed response.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors; a malformed response surfaces as
+    /// [`io::ErrorKind::InvalidData`].
+    pub fn read_response(stream: &mut TcpStream) -> io::Result<ClientResponse> {
+        let mut buf = Vec::new();
+        let mut chunk = [0u8; 4096];
+        let head_end = loop {
+            if let Some(pos) = super::find_head_end(&buf) {
+                break pos;
+            }
+            let n = stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(bad("connection closed mid-response"));
+            }
+            buf.extend_from_slice(&chunk[..n]);
+        };
+        let head =
+            std::str::from_utf8(&buf[..head_end]).map_err(|_| bad("response head is not UTF-8"))?;
+        let mut lines = head.split("\r\n");
+        let status_line = lines.next().unwrap_or("");
+        let status = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse::<u16>().ok())
+            .ok_or_else(|| bad("malformed status line"))?;
+        let mut headers = Vec::new();
+        for line in lines {
+            if let Some((name, value)) = line.split_once(':') {
+                headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+            }
+        }
+        let content_length = headers
+            .iter()
+            .find(|(n, _)| n == "content-length")
+            .and_then(|(_, v)| v.parse::<usize>().ok())
+            .ok_or_else(|| bad("missing Content-Length"))?;
+        let total = head_end + 4 + content_length;
+        while buf.len() < total {
+            let n = stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(bad("connection closed mid-body"));
+            }
+            buf.extend_from_slice(&chunk[..n]);
+        }
+        let body = buf[head_end + 4..total].to_vec();
+        Ok(ClientResponse {
+            status,
+            headers,
+            body,
+        })
+    }
+}

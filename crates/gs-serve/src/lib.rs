@@ -22,6 +22,11 @@
 //! * [`server`] — the worker pool tying it together.
 //! * [`stats`] — the [`ServeStats`] report: p50/p90/p99 latency, throughput,
 //!   cache hit rate, batch-size histogram, per-worker counters.
+//! * [`http`] — a std-only HTTP/1.1 front-end (`POST /render`, `GET /stats`,
+//!   `GET /scenes`) so external load generators can drive the service over
+//!   real loopback/network TCP, one handler thread per connection.
+//! * [`wire`] — the HTTP wire format: the text render-request body and the
+//!   binary frame encodings (lossless raw `f32`, viewable PPM).
 //!
 //! # Example
 //!
@@ -56,15 +61,19 @@
 
 pub mod batch;
 pub mod cache;
+pub mod http;
 pub mod queue;
 pub mod registry;
 pub mod request;
 pub mod server;
 pub mod stats;
+pub mod wire;
 
 pub use cache::{CacheStats, FrameCache, FrameKey, QuantizedPose};
+pub use http::{HttpConfig, HttpServer};
 pub use queue::BoundedQueue;
 pub use registry::{LoadedScene, RegistryStats, SceneRegistry};
 pub use request::{RenderRequest, RenderedFrame, SceneId, ServeError};
 pub use server::{RenderServer, ServeConfig, Ticket};
 pub use stats::{LatencySummary, ServeStats, StatsCollector};
+pub use wire::{WireError, WireFormat, WireRequest};

@@ -173,6 +173,41 @@ mod tests {
     }
 
     #[test]
+    fn close_while_producer_is_blocked_in_push_returns_the_item() {
+        // A producer parked in `push` on a full queue must be woken by
+        // `close()` and get its item back instead of deadlocking.
+        let q = Arc::new(BoundedQueue::new(1));
+        q.push(10).unwrap();
+        let q2 = Arc::clone(&q);
+        let producer = std::thread::spawn(move || q2.push(11));
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(q.len(), 1, "producer should be blocked, not enqueued");
+        q.close();
+        assert_eq!(
+            producer.join().unwrap(),
+            Err(11),
+            "a blocked push must fail with its item on close"
+        );
+        // The item enqueued before the close still drains.
+        assert_eq!(q.pop(), Some(10));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn drain_where_on_a_closed_nonempty_queue_still_drains_fifo() {
+        let q = BoundedQueue::new(8);
+        for i in 0..6 {
+            q.push(i).unwrap();
+        }
+        q.close();
+        let evens = q.drain_where(2, |&i| i % 2 == 0);
+        assert_eq!(evens, vec![0, 2], "closed queues still drain FIFO");
+        let rest: Vec<i32> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(rest, vec![1, 3, 4, 5]);
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
     fn drain_where_takes_matching_in_order() {
         let q = BoundedQueue::new(16);
         for i in 0..10 {

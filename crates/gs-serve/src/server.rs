@@ -8,6 +8,7 @@
 //! [`crate::batch`]. Identical cache keys inside one batch are rendered once
 //! and fanned out to every waiter.
 
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -172,6 +173,15 @@ impl RenderServer {
 
     /// Enqueues a request, blocking while the queue is full.
     ///
+    /// The in-process API trusts its caller: request fields outside their
+    /// documented ranges (e.g. an `sh_degree` above
+    /// [`gs_core::sh::MAX_DEGREE`]) are contract violations that panic the
+    /// worker's batch — the panic is contained, every affected ticket
+    /// resolves to an error, and the counts stay consistent, but co-batched
+    /// requests are dropped with it. Untrusted input belongs behind the
+    /// HTTP front-end, whose [`crate::wire`] parser validates before
+    /// submitting.
+    ///
     /// # Errors
     ///
     /// [`ServeError::UnknownScene`] if the scene is not loaded at submit
@@ -249,13 +259,31 @@ fn worker_loop(shared: &Shared, worker_idx: usize) {
         // not kill the worker: the panicking call drops its jobs, which
         // disconnects their tickets (clients see an error instead of hanging
         // forever), and the worker lives on to drain the rest of the queue.
+        // Every job that was dropped unanswered is recorded as an error —
+        // one per job, not one per batch — and the batch itself still lands
+        // in the histogram, so `completed + errors` always accounts for
+        // every submitted request and the histogram for every formed batch.
+        let acct = BatchAccounting::default();
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            process_batch(shared, worker_idx, scene_id, batch, batch_size);
+            process_batch(shared, worker_idx, scene_id, batch, batch_size, &acct);
         }));
         if outcome.is_err() {
-            shared.stats.record_error();
+            let dropped = (batch_size as u64).saturating_sub(acct.answered.load(Ordering::Relaxed));
+            shared.stats.record_errors(dropped);
+            if !acct.batch_recorded.load(Ordering::Relaxed) {
+                shared.stats.record_batch(batch_size, 0, 0);
+            }
         }
     }
+}
+
+/// Per-batch accounting shared across the worker's panic boundary: how many
+/// jobs were answered (completed or errored) and whether the batch reached a
+/// `record_batch` call, so the panic handler can settle exactly the rest.
+#[derive(Default)]
+struct BatchAccounting {
+    answered: AtomicU64,
+    batch_recorded: AtomicBool,
 }
 
 fn process_batch(
@@ -264,7 +292,9 @@ fn process_batch(
     scene_id: SceneId,
     batch: Vec<Job>,
     batch_size: usize,
+    acct: &BatchAccounting,
 ) {
+    let answered = &acct.answered;
     let caching = shared.config.cache_bytes > 0;
 
     // Answer what the cache already holds; collect the misses. Hits are
@@ -285,12 +315,13 @@ fn process_batch(
             }
         }
         for (job, image) in hits {
-            respond(shared, worker_idx, job, batch_size, true, image);
+            respond(shared, worker_idx, job, batch_size, true, image, answered);
         }
     } else {
         misses.extend(batch.into_iter().map(|job| (job, None)));
     }
     if misses.is_empty() {
+        acct.batch_recorded.store(true, Ordering::Relaxed);
         shared.stats.record_batch(batch_size, 0, 0);
         return;
     }
@@ -301,8 +332,10 @@ fn process_batch(
         Err(e) => {
             for (job, _) in misses {
                 shared.stats.record_error();
+                answered.fetch_add(1, Ordering::Relaxed);
                 let _ = job.tx.send(Err(e.clone()));
             }
+            acct.batch_recorded.store(true, Ordering::Relaxed);
             shared.stats.record_batch(batch_size, 0, 0);
             return;
         }
@@ -326,6 +359,7 @@ fn process_batch(
     let unique_requests: Vec<&RenderRequest> =
         groups.iter().map(|(_, jobs)| &jobs[0].request).collect();
     let outcome = render_shared(&scene.params, scene.background, &unique_requests);
+    acct.batch_recorded.store(true, Ordering::Relaxed);
     shared
         .stats
         .record_batch(batch_size, outcome.union_active, outcome.summed_active);
@@ -359,6 +393,7 @@ fn process_batch(
                 batch_size,
                 false,
                 Arc::clone(&image),
+                answered,
             );
         }
     }
@@ -370,6 +405,7 @@ impl Shared {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn respond(
     shared: &Shared,
     worker_idx: usize,
@@ -377,6 +413,7 @@ fn respond(
     batch_size: usize,
     cache_hit: bool,
     image: Arc<gs_core::image::Image>,
+    answered: &AtomicU64,
 ) {
     let latency = job.enqueued.elapsed();
     let frame = RenderedFrame {
@@ -390,6 +427,7 @@ fn respond(
     // Record before sending so a client that receives its response always
     // finds itself counted in a subsequent `stats()` snapshot.
     shared.stats.record_completed(worker_idx, latency);
+    answered.fetch_add(1, Ordering::Relaxed);
     // A dropped ticket just means the client stopped waiting.
     let _ = job.tx.send(Ok(frame));
 }

@@ -27,9 +27,14 @@ impl LatencySummary {
         if sorted.is_empty() {
             return Self::default();
         }
+        // Linear interpolation between adjacent ranks. Nearest-rank rounding
+        // collapses p99 onto the max for small samples and biases p50/p90
+        // toward whichever neighbor the rounding lands on.
         let pct = |p: f64| {
-            let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
-            sorted[idx]
+            let rank = (sorted.len() as f64 - 1.0) * p;
+            let lo = rank.floor() as usize;
+            let hi = rank.ceil() as usize;
+            sorted[lo] + (sorted[hi] - sorted[lo]) * (rank - lo as f64)
         };
         Self {
             p50: pct(0.50),
@@ -223,7 +228,13 @@ impl StatsCollector {
 
     /// Records one request answered with an error.
     pub fn record_error(&self) {
-        self.inner.lock().unwrap().errors += 1;
+        self.record_errors(1);
+    }
+
+    /// Records `n` requests answered with (or dropped into) an error, e.g.
+    /// every job of a panicked batch.
+    pub fn record_errors(&self, n: u64) {
+        self.inner.lock().unwrap().errors += n;
     }
 
     /// Records one formed batch and its gather-sharing counts.
@@ -271,14 +282,56 @@ mod tests {
         }
         let stats = collector.snapshot(CacheStats::default());
         assert_eq!(stats.completed, 100);
+        // Interpolated ranks over samples 0.001..=0.100: p50 sits exactly
+        // between 0.050 and 0.051, p90 at rank 89.1, p99 at rank 98.01.
         assert!(
-            (stats.latency.p50 - 0.050).abs() < 0.002,
+            (stats.latency.p50 - 0.0505).abs() < 1e-9,
             "{}",
             stats.latency.p50
         );
-        assert!((stats.latency.p99 - 0.099).abs() < 0.002);
+        assert!(
+            (stats.latency.p90 - 0.0901).abs() < 1e-9,
+            "{}",
+            stats.latency.p90
+        );
+        assert!(
+            (stats.latency.p99 - 0.09901).abs() < 1e-9,
+            "{}",
+            stats.latency.p99
+        );
         assert!((stats.latency.max - 0.100).abs() < 1e-9);
         assert_eq!(stats.per_worker, vec![50, 50]);
+    }
+
+    #[test]
+    fn small_sample_percentiles_interpolate_instead_of_collapsing_onto_max() {
+        // Regression: nearest-rank rounding turned p99 of a 4-sample
+        // distribution into the max (rank 2.97 rounded to 3) and pushed p50
+        // onto sorted[2] (rank 1.5 rounded up).
+        let collector = StatsCollector::new(1);
+        for ms in [5u64, 10, 15, 20] {
+            collector.record_completed(0, Duration::from_millis(ms));
+        }
+        let stats = collector.snapshot(CacheStats::default());
+        assert!(
+            (stats.latency.p50 - 0.0125).abs() < 1e-9,
+            "{}",
+            stats.latency.p50
+        );
+        assert!(
+            (stats.latency.p90 - 0.0185).abs() < 1e-9,
+            "{}",
+            stats.latency.p90
+        );
+        assert!(
+            (stats.latency.p99 - 0.01985).abs() < 1e-9,
+            "{}",
+            stats.latency.p99
+        );
+        assert!(
+            stats.latency.p99 < stats.latency.max,
+            "p99 of a small sample must not collapse onto the max"
+        );
     }
 
     #[test]

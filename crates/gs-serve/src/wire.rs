@@ -1,0 +1,534 @@
+//! Wire format of the HTTP front-end: the render-request body and the binary
+//! frame encodings.
+//!
+//! A render request travels as a small text body of `key value` lines. The
+//! parser is deliberately tolerant: `{`, `}`, `"`, `:` and `,` are treated as
+//! whitespace, so the same fields can also be written JSON-ish:
+//!
+//! ```text
+//! scene city
+//! pos 0 0 -8
+//! target 0 0 0
+//! size 96 72
+//! fov 1.2
+//! sh 3
+//! format raw
+//! ```
+//!
+//! is equivalent to `{"scene": "city", "pos": 0 0 -8, ...}`. Required keys
+//! are `scene`, `pos`, `target` and `size`; `up` (default `0 1 0`), `fov`
+//! (default 1.0 rad), `viewport` (default full image), `sh` (default 3) and
+//! `format` (`raw` | `ppm`, default `raw`) are optional.
+//!
+//! Responses are binary frames:
+//!
+//! * [`WireFormat::RawF32`] — the image's row-major RGB `f32` data as
+//!   little-endian bytes (12 bytes per pixel). Lossless: the bytes decode to
+//!   exactly the floats the renderer produced.
+//! * [`WireFormat::Ppm`] — a binary `P6` PPM with 8-bit channels (values
+//!   clamped to `[0, 1]` and scaled), viewable in any image tool.
+
+use gs_core::camera::{Camera, Viewport};
+use gs_core::image::Image;
+use gs_core::math::Vec3;
+
+use crate::request::RenderRequest;
+
+/// Largest accepted image dimension; bounds the allocation a request can ask
+/// the renderer for.
+pub const MAX_WIRE_DIM: usize = 4096;
+
+/// Binary encoding of a rendered frame on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WireFormat {
+    /// Row-major RGB `f32` little-endian bytes (lossless).
+    #[default]
+    RawF32,
+    /// Binary `P6` PPM with 8-bit channels.
+    Ppm,
+}
+
+impl WireFormat {
+    /// The `Content-Type` header value for this encoding.
+    pub fn content_type(self) -> &'static str {
+        match self {
+            WireFormat::RawF32 => "application/octet-stream",
+            WireFormat::Ppm => "image/x-portable-pixmap",
+        }
+    }
+}
+
+/// A malformed or invalid wire request; the message becomes the 400 body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError(pub String);
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bad request: {}", self.0)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn err(msg: impl Into<String>) -> WireError {
+    WireError(msg.into())
+}
+
+/// A parsed render request as it travels on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireRequest {
+    /// Scene id (must not contain whitespace or `{ } " : ,`).
+    pub scene: String,
+    /// Camera center in world coordinates.
+    pub position: [f32; 3],
+    /// Point the camera looks at.
+    pub target: [f32; 3],
+    /// Up direction (default `[0, 1, 0]`).
+    pub up: [f32; 3],
+    /// Horizontal field of view in radians (default 1.0).
+    pub fov_x: f32,
+    /// Image width in pixels.
+    pub width: usize,
+    /// Image height in pixels.
+    pub height: usize,
+    /// Optional sub-viewport `(x0, y0, x1, y1)`; `None` renders the full
+    /// image.
+    pub viewport: Option<(usize, usize, usize, usize)>,
+    /// SH degree used for color (0..=3, default 3).
+    pub sh_degree: usize,
+    /// Response encoding.
+    pub format: WireFormat,
+}
+
+impl WireRequest {
+    /// A full-image degree-3 request with default up/fov, raw-f32 encoded.
+    pub fn new(
+        scene: impl Into<String>,
+        position: [f32; 3],
+        target: [f32; 3],
+        width: usize,
+        height: usize,
+    ) -> Self {
+        Self {
+            scene: scene.into(),
+            position,
+            target,
+            up: [0.0, 1.0, 0.0],
+            fov_x: 1.0,
+            width,
+            height,
+            viewport: None,
+            sh_degree: 3,
+            format: WireFormat::default(),
+        }
+    }
+
+    /// Parses and validates a request body.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] naming the offending key when the body is malformed,
+    /// misses a required key, or fails validation.
+    pub fn parse(body: &str) -> Result<Self, WireError> {
+        let normalized: String = body
+            .chars()
+            .map(|c| {
+                if matches!(c, '{' | '}' | '"' | ':' | ',') {
+                    ' '
+                } else {
+                    c
+                }
+            })
+            .collect();
+        let mut tokens = normalized.split_whitespace();
+
+        let mut scene: Option<String> = None;
+        let mut position: Option<[f32; 3]> = None;
+        let mut target: Option<[f32; 3]> = None;
+        let mut up = [0.0f32, 1.0, 0.0];
+        let mut fov_x = 1.0f32;
+        let mut size: Option<(usize, usize)> = None;
+        let mut viewport: Option<(usize, usize, usize, usize)> = None;
+        let mut sh_degree = 3usize;
+        let mut format = WireFormat::default();
+
+        fn floats<const N: usize>(
+            tokens: &mut std::str::SplitWhitespace<'_>,
+            key: &str,
+        ) -> Result<[f32; N], WireError> {
+            let mut out = [0.0f32; N];
+            for slot in &mut out {
+                let tok = tokens
+                    .next()
+                    .ok_or_else(|| err(format!("key {key:?} is missing values")))?;
+                *slot = tok
+                    .parse::<f32>()
+                    .map_err(|_| err(format!("key {key:?}: {tok:?} is not a number")))?;
+                if !slot.is_finite() {
+                    return Err(err(format!("key {key:?}: {tok:?} is not finite")));
+                }
+            }
+            Ok(out)
+        }
+
+        fn uints<const N: usize>(
+            tokens: &mut std::str::SplitWhitespace<'_>,
+            key: &str,
+        ) -> Result<[usize; N], WireError> {
+            let mut out = [0usize; N];
+            for slot in &mut out {
+                let tok = tokens
+                    .next()
+                    .ok_or_else(|| err(format!("key {key:?} is missing values")))?;
+                *slot = tok.parse::<usize>().map_err(|_| {
+                    err(format!(
+                        "key {key:?}: {tok:?} is not a non-negative integer"
+                    ))
+                })?;
+            }
+            Ok(out)
+        }
+
+        while let Some(key) = tokens.next() {
+            match key {
+                "scene" => {
+                    let id = tokens
+                        .next()
+                        .ok_or_else(|| err("key \"scene\" is missing its id"))?;
+                    scene = Some(id.to_string());
+                }
+                "pos" => position = Some(floats::<3>(&mut tokens, "pos")?),
+                "target" => target = Some(floats::<3>(&mut tokens, "target")?),
+                "up" => up = floats::<3>(&mut tokens, "up")?,
+                "fov" => fov_x = floats::<1>(&mut tokens, "fov")?[0],
+                "size" => {
+                    let [w, h] = uints::<2>(&mut tokens, "size")?;
+                    size = Some((w, h));
+                }
+                "viewport" => {
+                    let [x0, y0, x1, y1] = uints::<4>(&mut tokens, "viewport")?;
+                    viewport = Some((x0, y0, x1, y1));
+                }
+                "sh" => sh_degree = uints::<1>(&mut tokens, "sh")?[0],
+                "format" => {
+                    format = match tokens.next() {
+                        Some("raw") => WireFormat::RawF32,
+                        Some("ppm") => WireFormat::Ppm,
+                        other => {
+                            return Err(err(format!(
+                                "key \"format\": expected \"raw\" or \"ppm\", got {other:?}"
+                            )))
+                        }
+                    };
+                }
+                unknown => return Err(err(format!("unknown key {unknown:?}"))),
+            }
+        }
+
+        let scene = scene.ok_or_else(|| err("missing required key \"scene\""))?;
+        let position = position.ok_or_else(|| err("missing required key \"pos\""))?;
+        let target = target.ok_or_else(|| err("missing required key \"target\""))?;
+        let (width, height) = size.ok_or_else(|| err("missing required key \"size\""))?;
+
+        let req = Self {
+            scene,
+            position,
+            target,
+            up,
+            fov_x,
+            width,
+            height,
+            viewport,
+            sh_degree,
+            format,
+        };
+        req.validate()?;
+        Ok(req)
+    }
+
+    /// Validates field ranges and camera-geometry degeneracies.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] naming the offending field.
+    pub fn validate(&self) -> Result<(), WireError> {
+        // Enforce the scene-id charset so `to_body()`/`parse()` round-trips:
+        // whitespace would split the id into extra tokens and the JSON-ish
+        // punctuation is normalized away by the parser.
+        if self.scene.is_empty()
+            || self
+                .scene
+                .chars()
+                .any(|c| c.is_whitespace() || matches!(c, '{' | '}' | '"' | ':' | ','))
+        {
+            return Err(err(
+                "scene id must be non-empty, without whitespace or { } \" : ,",
+            ));
+        }
+        if self.width == 0 || self.height == 0 {
+            return Err(err("size must be positive"));
+        }
+        if self.width > MAX_WIRE_DIM || self.height > MAX_WIRE_DIM {
+            return Err(err(format!("size exceeds the {MAX_WIRE_DIM} pixel limit")));
+        }
+        if self.sh_degree > gs_core::sh::MAX_DEGREE {
+            return Err(err(format!(
+                "sh degree {} exceeds the maximum {}",
+                self.sh_degree,
+                gs_core::sh::MAX_DEGREE
+            )));
+        }
+        if !(self.fov_x > 0.0 && self.fov_x < std::f32::consts::PI) {
+            return Err(err("fov must lie in (0, pi) radians"));
+        }
+        if let Some((x0, y0, x1, y1)) = self.viewport {
+            if x0 >= x1 || y0 >= y1 || x1 > self.width || y1 > self.height {
+                return Err(err("viewport must be a non-empty region inside the image"));
+            }
+        }
+        let p = Vec3::new(self.position[0], self.position[1], self.position[2]);
+        let t = Vec3::new(self.target[0], self.target[1], self.target[2]);
+        let u = Vec3::new(self.up[0], self.up[1], self.up[2]);
+        let forward = t - p;
+        if forward.norm() < 1.0e-6 {
+            return Err(err("pos and target must not coincide"));
+        }
+        if forward.normalized().cross(u).norm() < 1.0e-6 {
+            return Err(err("up must not be parallel to the view direction"));
+        }
+        Ok(())
+    }
+
+    /// Serializes the request into the line-based body format.
+    ///
+    /// Float fields are printed with Rust's shortest-roundtrip formatting, so
+    /// `parse(to_body())` reconstructs bit-identical camera parameters.
+    pub fn to_body(&self) -> String {
+        let mut body = String::new();
+        let [px, py, pz] = self.position;
+        let [tx, ty, tz] = self.target;
+        let [ux, uy, uz] = self.up;
+        body.push_str(&format!("scene {}\n", self.scene));
+        body.push_str(&format!("pos {px} {py} {pz}\n"));
+        body.push_str(&format!("target {tx} {ty} {tz}\n"));
+        body.push_str(&format!("up {ux} {uy} {uz}\n"));
+        body.push_str(&format!("fov {}\n", self.fov_x));
+        body.push_str(&format!("size {} {}\n", self.width, self.height));
+        if let Some((x0, y0, x1, y1)) = self.viewport {
+            body.push_str(&format!("viewport {x0} {y0} {x1} {y1}\n"));
+        }
+        body.push_str(&format!("sh {}\n", self.sh_degree));
+        body.push_str(match self.format {
+            WireFormat::RawF32 => "format raw\n",
+            WireFormat::Ppm => "format ppm\n",
+        });
+        body
+    }
+
+    /// Builds the in-process [`RenderRequest`] this wire request describes.
+    pub fn to_render_request(&self) -> RenderRequest {
+        let camera = Camera::look_at(
+            self.width,
+            self.height,
+            self.fov_x,
+            Vec3::new(self.position[0], self.position[1], self.position[2]),
+            Vec3::new(self.target[0], self.target[1], self.target[2]),
+            Vec3::new(self.up[0], self.up[1], self.up[2]),
+        );
+        let viewport = match self.viewport {
+            Some((x0, y0, x1, y1)) => Viewport { x0, y0, x1, y1 },
+            None => Viewport::full(&camera),
+        };
+        RenderRequest {
+            scene: self.scene.clone(),
+            camera,
+            viewport,
+            sh_degree: self.sh_degree,
+        }
+    }
+}
+
+/// Encodes an image as row-major RGB `f32` little-endian bytes.
+pub fn encode_raw_f32(image: &Image) -> Vec<u8> {
+    let mut out = Vec::with_capacity(image.data().len() * 4);
+    for v in image.data() {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Decodes [`encode_raw_f32`] bytes back into an image.
+///
+/// # Errors
+///
+/// [`WireError`] if `bytes` is not exactly `12 * width * height` bytes.
+pub fn decode_raw_f32(width: usize, height: usize, bytes: &[u8]) -> Result<Image, WireError> {
+    let expected = 12 * width * height;
+    if bytes.len() != expected {
+        return Err(err(format!(
+            "raw f32 body is {} bytes, expected {expected} for {width}x{height}",
+            bytes.len()
+        )));
+    }
+    let data = bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect();
+    Ok(Image::from_raw(width, height, data))
+}
+
+/// Encodes an image as a binary `P6` PPM with 8-bit channels.
+pub fn encode_ppm(image: &Image) -> Vec<u8> {
+    let header = format!("P6\n{} {}\n255\n", image.width(), image.height());
+    let mut out = Vec::with_capacity(header.len() + image.data().len());
+    out.extend_from_slice(header.as_bytes());
+    for v in image.data() {
+        out.push((v.clamp(0.0, 1.0) * 255.0).round() as u8);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> WireRequest {
+        let mut req = WireRequest::new("city", [0.5, -1.25, -8.0], [0.0, 0.0, 0.0], 96, 72);
+        req.fov_x = 1.2;
+        req.sh_degree = 2;
+        req
+    }
+
+    #[test]
+    fn body_roundtrip_is_exact() {
+        let req = demo();
+        let parsed = WireRequest::parse(&req.to_body()).unwrap();
+        assert_eq!(parsed, req);
+    }
+
+    #[test]
+    fn roundtrip_preserves_awkward_floats_exactly() {
+        let mut req = demo();
+        req.position = [0.1 + 0.2, f32::MIN_POSITIVE, -1.0e-7];
+        req.fov_x = std::f32::consts::FRAC_PI_3;
+        let parsed = WireRequest::parse(&req.to_body()).unwrap();
+        assert_eq!(parsed.position, req.position, "shortest-roundtrip floats");
+        assert_eq!(parsed.fov_x, req.fov_x);
+    }
+
+    #[test]
+    fn json_ish_bodies_parse_like_line_bodies() {
+        let body =
+            r#"{"scene": "city", "pos": 1 2 -8, "target": 0 0 0, "size": 64 48, "format": "ppm"}"#;
+        let req = WireRequest::parse(body).unwrap();
+        assert_eq!(req.scene, "city");
+        assert_eq!(req.position, [1.0, 2.0, -8.0]);
+        assert_eq!((req.width, req.height), (64, 48));
+        assert_eq!(req.format, WireFormat::Ppm);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_bodies() {
+        for (body, why) in [
+            ("", "empty"),
+            ("pos 0 0 -8\ntarget 0 0 0\nsize 8 8\n", "missing scene"),
+            ("scene s\npos 0 0 -8\ntarget 0 0 0\n", "missing size"),
+            (
+                "scene s\npos 0 0 nope\ntarget 0 0 0\nsize 8 8\n",
+                "bad float",
+            ),
+            (
+                "scene s\npos 0 0 -8\ntarget 0 0 0\nsize 8 8\nbogus 1\n",
+                "unknown key",
+            ),
+            ("scene s\npos 0 0 -8\ntarget 0 0 0\nsize 0 8\n", "zero dim"),
+            (
+                "scene s\npos 0 0 -8\ntarget 0 0 0\nsize 8 8\nsh 9\n",
+                "sh too big",
+            ),
+            (
+                "scene s\npos 0 0 -8\ntarget 0 0 0\nsize 8 8\nviewport 4 0 2 8\n",
+                "inverted viewport",
+            ),
+            (
+                "scene s\npos 0 0 -8\ntarget 0 0 0\nsize 8 8\nviewport 0 0 9 8\n",
+                "viewport outside",
+            ),
+            (
+                "scene s\npos 0 0 0\ntarget 0 0 0\nsize 8 8\n",
+                "pos == target",
+            ),
+            (
+                "scene s\npos 0 0 -8\ntarget 0 0 0\nup 0 0 1\nsize 8 8\n",
+                "up parallel to view",
+            ),
+            (
+                "scene s\npos 0 0 -8\ntarget 0 0 0\nsize 8 8\nformat gif\n",
+                "unknown format",
+            ),
+            (
+                "scene s\npos 0 0 -8\ntarget 0 0 0\nsize 8 8\nfov 0\n",
+                "degenerate fov",
+            ),
+            (
+                "scene s\npos 0 0 -8\ntarget 0 0 0\nsize 99999 8\n",
+                "oversized",
+            ),
+        ] {
+            assert!(WireRequest::parse(body).is_err(), "{why}: {body:?}");
+        }
+    }
+
+    #[test]
+    fn scene_ids_that_break_the_round_trip_are_rejected() {
+        for id in ["", "my scene", "a,b", "a\"b", "a:b", "{x}"] {
+            let mut req = demo();
+            req.scene = id.to_string();
+            assert!(
+                req.validate().is_err(),
+                "scene id {id:?} cannot survive to_body()/parse()"
+            );
+        }
+    }
+
+    #[test]
+    fn to_render_request_builds_the_same_camera_as_look_at() {
+        let req = demo();
+        let render = req.to_render_request();
+        let cam = Camera::look_at(
+            96,
+            72,
+            1.2,
+            Vec3::new(0.5, -1.25, -8.0),
+            Vec3::ZERO,
+            Vec3::new(0.0, 1.0, 0.0),
+        );
+        assert_eq!(render.camera.position, cam.position);
+        assert_eq!(render.camera.rotation.m, cam.rotation.m);
+        assert_eq!(render.camera.fx, cam.fx);
+        assert_eq!(render.viewport, Viewport::full(&cam));
+        assert_eq!(render.sh_degree, 2);
+    }
+
+    #[test]
+    fn raw_f32_roundtrip_is_lossless() {
+        let mut img = Image::zeros(3, 2);
+        for (i, v) in img.data_mut().iter_mut().enumerate() {
+            *v = (i as f32).sin() * 1.5 - 0.2;
+        }
+        let decoded = decode_raw_f32(3, 2, &encode_raw_f32(&img)).unwrap();
+        assert_eq!(decoded.data(), img.data());
+        assert!(decode_raw_f32(3, 2, &[0u8; 5]).is_err());
+    }
+
+    #[test]
+    fn ppm_has_header_and_clamped_bytes() {
+        let mut img = Image::zeros(2, 1);
+        img.set_pixel(0, 0, [1.5, -0.5, 0.5]);
+        img.set_pixel(1, 0, [0.0, 1.0, 0.25]);
+        let ppm = encode_ppm(&img);
+        assert!(ppm.starts_with(b"P6\n2 1\n255\n"));
+        let px = &ppm[ppm.len() - 6..];
+        assert_eq!(px, &[255, 0, 128, 0, 255, 64]);
+    }
+}

@@ -1,0 +1,229 @@
+//! Closed-loop load generator driving the `gs-serve` HTTP front-end over
+//! real loopback TCP.
+//!
+//! The in-process companion (`serve_traffic.rs`) exercises the worker pool
+//! directly; this example pushes the same shape of traffic — popular
+//! viewpoints that hit the frame cache plus fresh exploratory views — through
+//! the full network path: HTTP request parsing, the wire-format body, the
+//! bounded queue's backpressure, and binary frame responses, all on
+//! keep-alive connections (one per client thread).
+//!
+//! Run with `cargo run --release --example http_traffic`.
+//!
+//! Pass `--serve [addr]` to instead load the demo scenes, bind the HTTP
+//! front-end (default `127.0.0.1:8080`) and serve until killed — handy for
+//! driving it with curl:
+//!
+//! ```text
+//! cargo run --release --example http_traffic -- --serve 127.0.0.1:8080 &
+//! curl -s http://127.0.0.1:8080/scenes
+//! printf 'scene district-0\npos 0 0 -60\ntarget 0 0 0\nsize 96 72\nformat ppm\n' |
+//!   curl -s --data-binary @- http://127.0.0.1:8080/render -o frame.ppm
+//! curl -s http://127.0.0.1:8080/stats
+//! ```
+
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use gs_scale::core::rng::Rng64;
+use gs_scale::scene::{SceneConfig, SceneDataset};
+use gs_scale::serve::http::client;
+use gs_scale::serve::{
+    HttpConfig, HttpServer, RenderServer, SceneRegistry, ServeConfig, WireFormat, WireRequest,
+};
+
+const NUM_SCENES: usize = 3;
+const CLIENTS: usize = 6;
+const REQUESTS_PER_CLIENT: usize = 30;
+/// Fraction of requests aimed at a scene's popular viewpoints.
+const POPULAR_FRACTION: f64 = 0.6;
+
+fn make_scene(idx: usize) -> SceneDataset {
+    SceneDataset::generate(SceneConfig {
+        name: format!("district-{idx}"),
+        num_gaussians: 1000,
+        init_points: 64,
+        width: 96,
+        height: 72,
+        num_train_views: 8,
+        num_test_views: 2,
+        target_active_ratio: 0.25,
+        extent: 80.0,
+        far_view_fraction: 0.0,
+        seed: 8000 + idx as u64,
+    })
+}
+
+fn start_server(scenes: &[SceneDataset], workers: usize, addr: &str) -> HttpServer {
+    let server = Arc::new(RenderServer::new(
+        ServeConfig {
+            workers,
+            queue_depth: 64,
+            max_batch: 8,
+            cache_bytes: 64 << 20,
+            pose_quant: 0.05,
+        },
+        SceneRegistry::with_budget(1 << 30),
+    ));
+    for (i, scene) in scenes.iter().enumerate() {
+        server
+            .load_scene(
+                format!("district-{i}"),
+                Arc::new(scene.gt_params.clone()),
+                scene.background,
+            )
+            .expect("scene fits the budget");
+    }
+    HttpServer::bind(
+        HttpConfig {
+            addr: addr.to_string(),
+            ..HttpConfig::default()
+        },
+        server,
+    )
+    .expect("bind loopback listener")
+}
+
+/// The next wire request a client issues: a popular viewpoint (jittered
+/// inside the cache's pose-quantization cell) or a fresh exploratory view.
+fn next_request(scenes: &[SceneDataset], rng: &mut Rng64) -> WireRequest {
+    let idx = rng.gen_range(0usize..scenes.len());
+    let scene = &scenes[idx];
+    let base = &scene.train_cameras[rng.gen_range(0usize..scene.train_cameras.len())];
+    let (position, target) = if rng.gen_bool(POPULAR_FRACTION) {
+        // Jitter well below the 0.05 pose-quantization step: same cache key.
+        let p = base.position;
+        let jitter = |rng: &mut Rng64| rng.gen_range(-0.005f32..0.005);
+        ([p.x + jitter(rng), p.y + jitter(rng), p.z], [p.x, p.y, 0.0])
+    } else {
+        (
+            [
+                rng.gen_range(-30.0f32..30.0),
+                rng.gen_range(-30.0f32..30.0),
+                base.position.z * rng.gen_range(0.8f32..1.2),
+            ],
+            [
+                rng.gen_range(-10.0f32..10.0),
+                rng.gen_range(-10.0f32..10.0),
+                0.0,
+            ],
+        )
+    };
+    let mut req = WireRequest::new(
+        format!("district-{idx}"),
+        position,
+        target,
+        base.width,
+        base.height,
+    );
+    req.fov_x = std::f32::consts::FRAC_PI_3;
+    req.format = WireFormat::RawF32;
+    req
+}
+
+fn run_load(scenes: Arc<Vec<SceneDataset>>, http: &HttpServer) -> (usize, usize) {
+    let addr = http.local_addr();
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let scenes = Arc::clone(&scenes);
+            std::thread::spawn(move || {
+                let mut stream = TcpStream::connect(addr).expect("connect to front-end");
+                let mut rng = Rng64::seed_from_u64(1300 + c as u64);
+                let mut cache_hits = 0usize;
+                for _ in 0..REQUESTS_PER_CLIENT {
+                    let wire_req = next_request(&scenes, &mut rng);
+                    let response = client::request(
+                        &mut stream,
+                        "POST",
+                        "/render",
+                        wire_req.to_body().as_bytes(),
+                    )
+                    .expect("request over keep-alive connection");
+                    assert_eq!(
+                        response.status,
+                        200,
+                        "render failed: {}",
+                        String::from_utf8_lossy(&response.body)
+                    );
+                    assert_eq!(
+                        response.body.len(),
+                        12 * wire_req.width * wire_req.height,
+                        "raw f32 frame must be 12 bytes per pixel"
+                    );
+                    if response.header("x-cache-hit") == Some("1") {
+                        cache_hits += 1;
+                    }
+                }
+                (REQUESTS_PER_CLIENT, cache_hits)
+            })
+        })
+        .collect();
+    clients
+        .into_iter()
+        .map(|c| c.join().expect("client thread"))
+        .fold((0, 0), |(a, b), (x, y)| (a + x, b + y))
+}
+
+fn serve_forever(addr: &str) -> ! {
+    println!("generating {NUM_SCENES} demo scenes...");
+    let scenes: Vec<SceneDataset> = (0..NUM_SCENES).map(make_scene).collect();
+    let http = start_server(&scenes, 2, addr);
+    println!(
+        "serving on http://{}/ (POST /render, GET /stats, GET /scenes)",
+        http.local_addr()
+    );
+    println!("press Ctrl-C to stop");
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--serve") {
+        let addr = args
+            .iter()
+            .skip_while(|a| *a != "--serve")
+            .nth(1)
+            .cloned()
+            .unwrap_or_else(|| "127.0.0.1:8080".to_string());
+        serve_forever(&addr);
+    }
+
+    println!("generating {NUM_SCENES} scenes...");
+    let scenes = Arc::new((0..NUM_SCENES).map(make_scene).collect::<Vec<_>>());
+    let total = CLIENTS * REQUESTS_PER_CLIENT;
+    println!(
+        "{CLIENTS} keep-alive HTTP clients x {REQUESTS_PER_CLIENT} requests = {total} renders over loopback TCP\n"
+    );
+
+    let http = start_server(&scenes, 2, "127.0.0.1:0");
+    let addr = http.local_addr();
+
+    // The discovery endpoints external tooling would hit first.
+    let mut probe = TcpStream::connect(addr).expect("connect");
+    let listed = client::request(&mut probe, "GET", "/scenes", b"").expect("GET /scenes");
+    assert_eq!(listed.status, 200);
+    println!("GET /scenes ->\n{}", String::from_utf8_lossy(&listed.body));
+
+    let started = std::time::Instant::now();
+    let (completed, cache_hits) = run_load(Arc::clone(&scenes), &http);
+    let elapsed = started.elapsed();
+
+    let stats_text = client::request(&mut probe, "GET", "/stats", b"")
+        .map(|r| String::from_utf8_lossy(&r.body).into_owned())
+        .expect("GET /stats");
+    println!("GET /stats ->\n{stats_text}");
+
+    assert_eq!(completed, total, "every request must be answered");
+    assert!(
+        cache_hits > 0,
+        "popular-viewpoint traffic must produce frame-cache hits"
+    );
+    println!(
+        "served {completed} HTTP renders in {:.2}s ({:.1} req/s), {cache_hits} cache hits",
+        elapsed.as_secs_f64(),
+        completed as f64 / elapsed.as_secs_f64(),
+    );
+    http.shutdown();
+}

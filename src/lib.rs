@@ -14,7 +14,8 @@
 //! * [`train`] (`gs-train`) — the GPU-only, baseline-offloading and GS-Scale
 //!   trainers.
 //! * [`serve`] (`gs-serve`) — the concurrent multi-scene rendering service
-//!   (batching, frame cache, memory-aware admission control).
+//!   (batching, frame cache, memory-aware admission control) plus its
+//!   std-only HTTP/1.1 front-end for external load generators.
 //!
 //! # Quickstart
 //!

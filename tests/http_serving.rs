@@ -1,0 +1,334 @@
+//! Integration tests for the HTTP/1.1 front-end: end-to-end renders over
+//! real loopback TCP, keep-alive connections, and protocol error handling,
+//! all driven through the public facade.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use gs_scale::scene::{SceneConfig, SceneDataset};
+use gs_scale::serve::http::client;
+use gs_scale::serve::{
+    wire, HttpConfig, HttpServer, RenderServer, SceneRegistry, ServeConfig, WireFormat, WireRequest,
+};
+
+fn tiny_scene(seed: u64, num_gaussians: usize) -> SceneDataset {
+    SceneDataset::generate(SceneConfig {
+        name: format!("http-{seed}"),
+        num_gaussians,
+        init_points: 64,
+        width: 64,
+        height: 48,
+        num_train_views: 4,
+        num_test_views: 1,
+        target_active_ratio: 0.3,
+        extent: 60.0,
+        far_view_fraction: 0.0,
+        seed,
+    })
+}
+
+/// A front-end over a fresh one-scene server (cache off so every request is
+/// an actual render).
+fn front_end(scene: &SceneDataset) -> (HttpServer, Arc<RenderServer>) {
+    let server = Arc::new(RenderServer::new(
+        ServeConfig {
+            workers: 2,
+            queue_depth: 16,
+            max_batch: 4,
+            cache_bytes: 0,
+            pose_quant: 0.05,
+        },
+        SceneRegistry::with_budget(1 << 30),
+    ));
+    server
+        .load_scene("city", Arc::new(scene.gt_params.clone()), scene.background)
+        .unwrap();
+    let http = HttpServer::bind(HttpConfig::default(), Arc::clone(&server)).unwrap();
+    (http, server)
+}
+
+fn demo_request(scene: &SceneDataset) -> WireRequest {
+    let cam = &scene.train_cameras[0];
+    let mut req = WireRequest::new(
+        "city",
+        [cam.position.x, cam.position.y, cam.position.z],
+        [cam.position.x, cam.position.y, 0.0],
+        cam.width,
+        cam.height,
+    );
+    req.fov_x = std::f32::consts::FRAC_PI_3;
+    req
+}
+
+#[test]
+fn http_render_returns_bytes_identical_to_render_blocking() {
+    let scene = tiny_scene(200, 600);
+    let (http, server) = front_end(&scene);
+    let wire_req = demo_request(&scene);
+
+    let mut stream = TcpStream::connect(http.local_addr()).unwrap();
+    let response = client::request(
+        &mut stream,
+        "POST",
+        "/render",
+        wire_req.to_body().as_bytes(),
+    )
+    .unwrap();
+    assert_eq!(
+        response.status,
+        200,
+        "{}",
+        String::from_utf8_lossy(&response.body)
+    );
+    assert_eq!(response.header("x-cache-hit"), Some("0"));
+    let width: usize = response.header("x-image-width").unwrap().parse().unwrap();
+    let height: usize = response.header("x-image-height").unwrap().parse().unwrap();
+    assert_eq!((width, height), (wire_req.width, wire_req.height));
+    let over_http = wire::decode_raw_f32(width, height, &response.body).unwrap();
+
+    // The exact same request through the in-process path must produce the
+    // exact same bytes: the wire format is lossless end to end.
+    let in_process = server
+        .render_blocking(wire_req.to_render_request())
+        .unwrap();
+    assert_eq!(
+        over_http.data(),
+        in_process.image.data(),
+        "HTTP frame must be byte-identical to render_blocking"
+    );
+    http.shutdown();
+}
+
+#[test]
+fn keep_alive_serves_many_requests_on_one_connection() {
+    let scene = tiny_scene(210, 500);
+    let (http, _server) = front_end(&scene);
+    let wire_req = demo_request(&scene);
+
+    let mut stream = TcpStream::connect(http.local_addr()).unwrap();
+    let mut first_frame: Option<Vec<u8>> = None;
+    for _ in 0..3 {
+        let response = client::request(
+            &mut stream,
+            "POST",
+            "/render",
+            wire_req.to_body().as_bytes(),
+        )
+        .unwrap();
+        assert_eq!(response.status, 200);
+        match &first_frame {
+            Some(first) => assert_eq!(&response.body, first, "same request, same bytes"),
+            None => first_frame = Some(response.body),
+        }
+    }
+    // Mixed methods on the same connection too.
+    let stats = client::request(&mut stream, "GET", "/stats", b"").unwrap();
+    assert_eq!(stats.status, 200);
+    let text = String::from_utf8(stats.body).unwrap();
+    assert!(text.contains("completed"), "{text}");
+    http.shutdown();
+}
+
+#[test]
+fn malformed_requests_get_4xx_without_killing_the_listener() {
+    let scene = tiny_scene(220, 400);
+    let (http, _server) = front_end(&scene);
+    let addr = http.local_addr();
+
+    // Garbage request line: 400, connection closed, listener survives.
+    {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(b"NOT-HTTP AT ALL\r\n\r\n").unwrap();
+        let response = client::read_response(&mut stream).unwrap();
+        assert_eq!(response.status, 400);
+    }
+
+    // Malformed render body: 400, and the same keep-alive connection then
+    // serves a well-formed request.
+    {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let bad = client::request(&mut stream, "POST", "/render", b"scene city\nnope").unwrap();
+        assert_eq!(bad.status, 400);
+        assert!(String::from_utf8_lossy(&bad.body).contains("bad request"));
+        let good = client::request(
+            &mut stream,
+            "POST",
+            "/render",
+            demo_request(&scene).to_body().as_bytes(),
+        )
+        .unwrap();
+        assert_eq!(good.status, 200);
+    }
+
+    // An oversized body gets a readable 413 even though the server closes
+    // without consuming it all (the pre-close drain prevents a TCP reset
+    // from destroying the response).
+    {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let big = vec![b'x'; 100 << 10];
+        let response = client::request(&mut stream, "POST", "/render", &big).unwrap();
+        assert_eq!(response.status, 413);
+    }
+
+    // Chunked transfer encoding is explicitly unsupported: one clear 501,
+    // not a desynced connection parsing chunk data as the next request.
+    {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(
+                b"POST /render HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n5\r\nhello\r\n0\r\n\r\n",
+            )
+            .unwrap();
+        let response = client::read_response(&mut stream).unwrap();
+        assert_eq!(response.status, 501);
+    }
+
+    // Unknown path, wrong method, unknown scene.
+    {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        assert_eq!(
+            client::request(&mut stream, "GET", "/bogus", b"")
+                .unwrap()
+                .status,
+            404
+        );
+        assert_eq!(
+            client::request(&mut stream, "GET", "/render", b"")
+                .unwrap()
+                .status,
+            405
+        );
+        let mut unknown = demo_request(&scene);
+        unknown.scene = "nowhere".to_string();
+        assert_eq!(
+            client::request(&mut stream, "POST", "/render", unknown.to_body().as_bytes())
+                .unwrap()
+                .status,
+            404
+        );
+    }
+
+    // After all that abuse a fresh connection still renders.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    let response = client::request(
+        &mut stream,
+        "POST",
+        "/render",
+        demo_request(&scene).to_body().as_bytes(),
+    )
+    .unwrap();
+    assert_eq!(response.status, 200);
+    http.shutdown();
+}
+
+#[test]
+fn idle_connections_are_closed_after_the_idle_timeout() {
+    use std::io::Read;
+    use std::time::Duration;
+
+    let scene = tiny_scene(260, 300);
+    let server = Arc::new(RenderServer::new(
+        ServeConfig {
+            workers: 1,
+            queue_depth: 4,
+            max_batch: 1,
+            cache_bytes: 0,
+            pose_quant: 0.05,
+        },
+        SceneRegistry::with_budget(1 << 30),
+    ));
+    server
+        .load_scene("city", Arc::new(scene.gt_params.clone()), scene.background)
+        .unwrap();
+    let http = HttpServer::bind(
+        HttpConfig {
+            idle_timeout: Duration::from_millis(100),
+            ..HttpConfig::default()
+        },
+        server,
+    )
+    .unwrap();
+
+    // Connect, send nothing: the server must close the socket (EOF) instead
+    // of pinning a handler thread and connection slot forever.
+    let mut stream = TcpStream::connect(http.local_addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let mut sink = [0u8; 16];
+    let n = stream.read(&mut sink).expect("EOF, not a read timeout");
+    assert_eq!(n, 0, "idle connection must be closed by the server");
+    http.shutdown();
+}
+
+#[test]
+fn scenes_endpoint_lists_loaded_scenes() {
+    let scene = tiny_scene(230, 300);
+    let (http, server) = front_end(&scene);
+    server
+        .load_scene("annex", Arc::new(scene.gt_params.clone()), scene.background)
+        .unwrap();
+    let mut stream = TcpStream::connect(http.local_addr()).unwrap();
+    let response = client::request(&mut stream, "GET", "/scenes", b"").unwrap();
+    assert_eq!(response.status, 200);
+    let listed: Vec<&str> = std::str::from_utf8(&response.body)
+        .unwrap()
+        .lines()
+        .collect();
+    assert_eq!(listed, vec!["annex", "city"], "sorted scene ids");
+    http.shutdown();
+}
+
+#[test]
+fn ppm_responses_are_well_formed() {
+    let scene = tiny_scene(240, 400);
+    let (http, _server) = front_end(&scene);
+    let mut wire_req = demo_request(&scene);
+    wire_req.format = WireFormat::Ppm;
+
+    let mut stream = TcpStream::connect(http.local_addr()).unwrap();
+    let response = client::request(
+        &mut stream,
+        "POST",
+        "/render",
+        wire_req.to_body().as_bytes(),
+    )
+    .unwrap();
+    assert_eq!(response.status, 200);
+    assert_eq!(
+        response.header("content-type"),
+        Some("image/x-portable-pixmap")
+    );
+    let header = format!("P6\n{} {}\n255\n", wire_req.width, wire_req.height);
+    assert!(response.body.starts_with(header.as_bytes()));
+    assert_eq!(
+        response.body.len(),
+        header.len() + 3 * wire_req.width * wire_req.height
+    );
+    http.shutdown();
+}
+
+#[test]
+fn viewport_renders_come_back_viewport_sized() {
+    let scene = tiny_scene(250, 400);
+    let (http, server) = front_end(&scene);
+    let mut wire_req = demo_request(&scene);
+    wire_req.viewport = Some((8, 4, 40, 28));
+
+    let mut stream = TcpStream::connect(http.local_addr()).unwrap();
+    let response = client::request(
+        &mut stream,
+        "POST",
+        "/render",
+        wire_req.to_body().as_bytes(),
+    )
+    .unwrap();
+    assert_eq!(response.status, 200);
+    let over_http = wire::decode_raw_f32(32, 24, &response.body).unwrap();
+    let in_process = server
+        .render_blocking(wire_req.to_render_request())
+        .unwrap();
+    assert_eq!(over_http.data(), in_process.image.data());
+    http.shutdown();
+}

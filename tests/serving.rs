@@ -337,6 +337,75 @@ fn rejected_reload_keeps_the_resident_scene_and_its_cache() {
 }
 
 #[test]
+fn panicked_batch_records_one_error_per_dropped_job() {
+    // Regression: a panic while rendering a batch of N jobs used to bump
+    // `errors` by 1, so `completed + errors` stopped matching the submitted
+    // request count. An out-of-range SH degree makes the batch path panic
+    // deterministically.
+    let scene = tiny_scene(140, 400);
+    let server = Arc::new(RenderServer::new(
+        ServeConfig {
+            workers: 1,
+            queue_depth: 16,
+            max_batch: 8,
+            cache_bytes: 0,
+            pose_quant: 0.05,
+        },
+        SceneRegistry::with_budget(1 << 30),
+    ));
+    server
+        .load_scene("city", Arc::new(scene.gt_params.clone()), scene.background)
+        .unwrap();
+
+    // A burst against one worker so all the poisoned requests form one batch.
+    let poisoned = 4;
+    let tickets: Vec<_> = (0..poisoned)
+        .map(|i| {
+            let cam = scene.train_cameras[i % scene.train_cameras.len()].clone();
+            let mut request = RenderRequest::full("city", cam);
+            request.sh_degree = 99; // panics inside the batch render path
+            server.submit(request).unwrap()
+        })
+        .collect();
+    for t in tickets {
+        assert!(
+            matches!(t.wait(), Err(ServeError::ShuttingDown)),
+            "a dropped job's ticket must resolve to an error, not hang"
+        );
+    }
+
+    // The worker survives the panic and still serves good requests.
+    let frame = server
+        .render_blocking(RenderRequest::full("city", scene.train_cameras[0].clone()))
+        .unwrap();
+    assert_eq!(frame.image.width(), 64);
+
+    let stats = Arc::into_inner(server).unwrap().shutdown();
+    assert_eq!(stats.completed, 1);
+    assert_eq!(
+        stats.errors, poisoned as u64,
+        "every dropped job of the panicked batch must be counted"
+    );
+    assert_eq!(
+        stats.completed + stats.errors,
+        poisoned as u64 + 1,
+        "completed + errors must account for every submitted request"
+    );
+    // Panicked batches still land in the histogram: requests summed over
+    // the histogram reconcile with completed + errors.
+    let histogram_requests: u64 = stats
+        .batch_histogram
+        .iter()
+        .map(|&(s, c)| s as u64 * c)
+        .sum();
+    assert_eq!(
+        histogram_requests,
+        stats.completed + stats.errors,
+        "the batch histogram must account for panicked batches too"
+    );
+}
+
+#[test]
 fn batching_groups_same_scene_requests() {
     let scene = tiny_scene(120, 800);
     // One worker and a deep queue: submitting a burst asynchronously lets the
