@@ -62,6 +62,7 @@ fn fresh_server(scenes: &[SceneDataset]) -> Arc<RenderServer> {
             // the delta between them is purely protocol overhead.
             cache_bytes: 0,
             pose_quant: 0.05,
+            shard_bytes: 0,
         },
         SceneRegistry::with_budget(1 << 32),
     ));

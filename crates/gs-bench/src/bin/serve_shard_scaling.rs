@@ -1,0 +1,185 @@
+//! Sharded-serving sweep: throughput and tail latency across shard count,
+//! worker count and scene size, plus a budget-constrained section showing a
+//! scene larger than the registry budget swapping its shards through.
+//!
+//! The workload axis this adds to the suite is shard count × scene size:
+//! sharding buys admission flexibility (any scene whose *shards* fit can be
+//! served) at the cost of per-request fan-out overhead (K projections and
+//! layer composites instead of one render), and this sweep charts that
+//! trade across scales.
+//!
+//! Scenes are corridor ("tour") scenes, whose axis-median shards are
+//! depth-disjoint along every tour camera ray — the sharded composite is
+//! bit-identical to the unsharded render, so every configuration serves the
+//! same frames.
+//!
+//! Usage: `cargo run --release -p gs-bench --bin serve_shard_scaling [--full]`
+
+use std::sync::Arc;
+
+use gs_bench::print_table;
+use gs_scene::tour::{TourConfig, TourScene};
+use gs_serve::{RenderRequest, RenderServer, SceneRegistry, ServeConfig, ServeStats};
+
+struct Workload {
+    scenes: Vec<Arc<TourScene>>,
+    clients: usize,
+    requests_per_client: usize,
+}
+
+fn build_workload(full: bool) -> Workload {
+    let (sizes, requests_per_client): (&[usize], usize) = if full {
+        (&[4000, 12000], 30)
+    } else {
+        (&[1200, 3000], 8)
+    };
+    let scenes = sizes
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| {
+            Arc::new(TourScene::generate(TourConfig {
+                name: format!("tour-{n}"),
+                num_gaussians: n,
+                length: 80.0 + 40.0 * i as f32,
+                half_section: 4.0,
+                width: 80,
+                height: 60,
+                num_views: 8,
+                seed: 900 + i as u64,
+            }))
+        })
+        .collect();
+    Workload {
+        scenes,
+        clients: 6,
+        requests_per_client,
+    }
+}
+
+fn run(
+    scene: &Arc<TourScene>,
+    workload: &Workload,
+    shards: usize,
+    workers: usize,
+    budget: u64,
+) -> ServeStats {
+    let server = Arc::new(RenderServer::new(
+        ServeConfig {
+            workers,
+            queue_depth: 64,
+            max_batch: 4,
+            cache_bytes: 0,
+            pose_quant: 0.05,
+            shard_bytes: 0,
+        },
+        SceneRegistry::with_budget(budget),
+    ));
+    if shards <= 1 {
+        server
+            .load_scene("tour", Arc::new(scene.gt_params.clone()), scene.background)
+            .unwrap();
+    } else {
+        server
+            .load_scene_sharded(
+                "tour",
+                Arc::new(scene.gt_params.clone()),
+                scene.background,
+                shards,
+            )
+            .unwrap();
+    }
+    let handles: Vec<_> = (0..workload.clients)
+        .map(|c| {
+            let server = Arc::clone(&server);
+            let scene = Arc::clone(scene);
+            let n = workload.requests_per_client;
+            std::thread::spawn(move || {
+                for r in 0..n {
+                    let cam = scene.cameras[(c + r) % scene.cameras.len()].clone();
+                    server
+                        .render_blocking(RenderRequest::full("tour", cam))
+                        .unwrap();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    Arc::into_inner(server).unwrap().shutdown()
+}
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let workload = build_workload(full);
+    let total = workload.clients * workload.requests_per_client;
+    println!(
+        "workload: {} tour scenes, {} clients x {} closed-loop requests = {} total per config",
+        workload.scenes.len(),
+        workload.clients,
+        workload.requests_per_client,
+        total
+    );
+
+    let mut rows = Vec::new();
+    for scene in &workload.scenes {
+        for &shards in &[1usize, 2, 4, 8] {
+            for &workers in &[1usize, 2, 4] {
+                let stats = run(scene, &workload, shards, workers, 1 << 32);
+                rows.push(vec![
+                    scene.config.name.clone(),
+                    shards.to_string(),
+                    workers.to_string(),
+                    format!("{:.1}", stats.throughput_rps()),
+                    format!("{:.2}", stats.latency.p50 * 1e3),
+                    format!("{:.2}", stats.latency.p99 * 1e3),
+                    stats.shards_rendered.to_string(),
+                    format!("{:.2}", stats.shard_layer.mean * 1e3),
+                ]);
+            }
+        }
+    }
+    print_table(
+        "Sharded serving: shard count x workers x scene size",
+        &[
+            "Scene",
+            "Shards",
+            "Workers",
+            "req/s",
+            "p50 (ms)",
+            "p99 (ms)",
+            "Layers",
+            "Layer mean (ms)",
+        ],
+        &rows,
+    );
+
+    // Budget-constrained section: the registry holds a third of the scene,
+    // so the unsharded load is rejected while 4 shards swap through.
+    let scene = workload.scenes.last().unwrap();
+    let budget = scene.gt_params.total_bytes() as u64 / 3;
+    let unsharded = RenderServer::new(ServeConfig::default(), SceneRegistry::with_budget(budget));
+    let rejected = unsharded
+        .load_scene("tour", Arc::new(scene.gt_params.clone()), scene.background)
+        .is_err();
+    println!(
+        "\nBudget-constrained ({:.1} MiB budget, {:.1} MiB scene): unsharded load rejected: {rejected}",
+        budget as f64 / (1 << 20) as f64,
+        scene.gt_params.total_bytes() as f64 / (1 << 20) as f64,
+    );
+    let stats = run(scene, &workload, 4, 2, budget);
+    println!(
+        "sharded (K=4, 2 workers): {:.1} req/s, p99 {:.2} ms, {} shard layers rendered",
+        stats.throughput_rps(),
+        stats.latency.p99 * 1e3,
+        stats.shards_rendered,
+    );
+
+    println!(
+        "\nExpected shape: K=1 is the unsharded baseline; fan-out adds per-request overhead\n\
+         that grows mildly with K (K projections + composites over the same splat total),\n\
+         which is the price of serving scenes no single budget could hold — the\n\
+         budget-constrained row serves a scene 3x the registry budget at close to the\n\
+         uncapped rate, swapping shards through the pool as the tour moves."
+    );
+}

@@ -33,6 +33,8 @@ pub mod rasterize;
 pub mod tiles;
 
 pub use culling::{frustum_cull, CullResult};
-pub use pipeline::{render, render_backward, RenderOutput};
+pub use pipeline::{render, render_backward, render_layer, RenderOutput};
 pub use projection::{project_splats, projection_backward, Splat, SplatGrad};
-pub use rasterize::{rasterize_backward, rasterize_forward, RasterAux};
+pub use rasterize::{
+    rasterize_backward, rasterize_forward, rasterize_layer, FrameLayer, RasterAux,
+};

@@ -14,7 +14,9 @@ use gs_core::image::Image;
 use crate::cost::{self, WorkEstimate};
 use crate::loss::{loss_and_grad, LossKind};
 use crate::projection::{project_splats, projection_backward, Splat};
-use crate::rasterize::{rasterize_backward, rasterize_forward, RasterAux};
+use crate::rasterize::{
+    rasterize_backward, rasterize_forward, rasterize_layer, FrameLayer, RasterAux,
+};
 use crate::tiles::TileGrid;
 
 /// Counters describing how much work one render performed.
@@ -95,6 +97,37 @@ pub fn render(
         grid,
         aux,
         stats,
+    }
+}
+
+/// Renders `params` as a partial frame *into* `layer`, continuing the
+/// layer's per-pixel front-to-back blend (see
+/// [`crate::rasterize::FrameLayer`]).
+///
+/// This is the per-shard render of scene sharding: each shard of a
+/// partitioned scene is rendered into the running layer in front-to-back
+/// shard order, and [`FrameLayer::finish`] composites the background once
+/// at the end. For depth-disjoint shards the result is bit-identical to
+/// rendering the whole scene at once.
+///
+/// # Panics
+///
+/// Panics if `layer`'s size does not match the viewport.
+pub fn render_layer(
+    params: &GaussianParams,
+    cam: &Camera,
+    sh_degree: usize,
+    viewport: &Viewport,
+    layer: &mut FrameLayer,
+) -> RenderStats {
+    let splats = project_splats(params, cam, sh_degree, viewport);
+    let grid = TileGrid::build(&splats, *viewport);
+    rasterize_layer(&splats, &grid, layer);
+    RenderStats {
+        num_input: params.len(),
+        num_splats: splats.len(),
+        num_pairs: grid.total_pairs(),
+        num_pixels: viewport.num_pixels(),
     }
 }
 
@@ -320,6 +353,19 @@ mod tests {
             initial.loss,
             loss
         );
+    }
+
+    #[test]
+    fn render_layer_matches_render_bitwise() {
+        let p = scene();
+        let c = cam();
+        let vp = Viewport::full(&c);
+        let bg = [0.1, 0.2, 0.3];
+        let reference = render(&p, &c, 3, &vp, bg);
+        let mut layer = FrameLayer::new(vp.width(), vp.height());
+        let stats = render_layer(&p, &c, 3, &vp, &mut layer);
+        assert_eq!(layer.finish(bg).data(), reference.image.data());
+        assert_eq!(stats, reference.stats);
     }
 
     #[test]

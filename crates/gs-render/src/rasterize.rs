@@ -63,6 +63,42 @@ fn splat_alpha(splat: &Splat, sigma: f32) -> Option<(f32, bool)> {
     }
 }
 
+/// The per-pixel front-to-back blend kernel shared by [`rasterize_forward`]
+/// and [`rasterize_layer`]: composites the bin's splats into the running
+/// `(color, t)` state (premultiplied, no background) with early termination
+/// at [`TRANSMITTANCE_MIN`], and returns how many bin entries were
+/// processed. Keeping this in one place is what makes the sharded layer
+/// composite bit-identical to the single-pass render by construction.
+#[inline]
+fn blend_pixel(
+    splats: &[Splat],
+    bin: &[u32],
+    cx: f32,
+    cy: f32,
+    color: &mut [f32; 3],
+    t: &mut f32,
+) -> u32 {
+    let mut processed = 0u32;
+    for &si in bin {
+        processed += 1;
+        let s = &splats[si as usize];
+        let Some((sigma, _, _)) = gaussian_weight(s, cx, cy) else {
+            continue;
+        };
+        let Some((alpha, _)) = splat_alpha(s, sigma) else {
+            continue;
+        };
+        color[0] += s.color[0] * alpha * *t;
+        color[1] += s.color[1] * alpha * *t;
+        color[2] += s.color[2] * alpha * *t;
+        *t *= 1.0 - alpha;
+        if *t < TRANSMITTANCE_MIN {
+            break;
+        }
+    }
+    processed
+}
+
 /// Rasterizes splats over the grid's viewport, returning the rendered image
 /// (sized to the viewport) and the auxiliary state needed for the backward
 /// pass.
@@ -88,24 +124,7 @@ pub fn rasterize_forward(
                     let cy = py as f32 + 0.5;
                     let mut t = 1.0f32;
                     let mut color = [0.0f32; 3];
-                    let mut processed = 0u32;
-                    for &si in bin {
-                        processed += 1;
-                        let s = &splats[si as usize];
-                        let Some((sigma, _, _)) = gaussian_weight(s, cx, cy) else {
-                            continue;
-                        };
-                        let Some((alpha, _)) = splat_alpha(s, sigma) else {
-                            continue;
-                        };
-                        color[0] += s.color[0] * alpha * t;
-                        color[1] += s.color[1] * alpha * t;
-                        color[2] += s.color[2] * alpha * t;
-                        t *= 1.0 - alpha;
-                        if t < TRANSMITTANCE_MIN {
-                            break;
-                        }
-                    }
+                    let processed = blend_pixel(splats, bin, cx, cy, &mut color, &mut t);
                     color[0] += background[0] * t;
                     color[1] += background[1] * t;
                     color[2] += background[2] * t;
@@ -127,6 +146,149 @@ pub fn rasterize_forward(
             background,
         },
     )
+}
+
+/// A partial frame: premultiplied color plus per-pixel transmittance.
+///
+/// This is the unit of work scene sharding exchanges: each shard of a large
+/// scene is rasterized into a layer, and layers combine front-to-back into
+/// the frame a single unsharded render would have produced. Color is stored
+/// *premultiplied* (splat contributions only, no background); the
+/// transmittance records how much light still passes through, so that
+/// whatever lies behind the layer — further shards, then the background —
+/// can be composited underneath it.
+///
+/// Two composition styles are supported:
+///
+/// * **Threaded** — [`rasterize_layer`] rasterizes splats *into* an existing
+///   layer, continuing each pixel's running `(color, transmittance)` state
+///   exactly where the previous (nearer) shard left it, including the
+///   early-termination cutoff at [`TRANSMITTANCE_MIN`]. When shard depth
+///   ranges are disjoint along the view ray this replays the unsharded
+///   rasterization's floating-point operation sequence verbatim, so the
+///   composite is **bit-identical** to the unsharded render.
+/// * **Independent** — each shard renders into a fresh layer (no shared
+///   state, e.g. on different nodes) and [`FrameLayer::composite_onto`]
+///   merges them front-to-back. Algebraically identical, but the
+///   multiplication re-association perturbs the result by a few ulps even
+///   for depth-disjoint shards.
+///
+/// For shards whose depth ranges overlap along a view ray, both styles
+/// approximate: splats are blended shard-by-shard instead of in globally
+/// sorted depth order, which perturbs pixels where splats from different
+/// shards interleave in depth.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameLayer {
+    color: Image,
+    transmittance: Vec<f32>,
+}
+
+impl FrameLayer {
+    /// An empty (fully transparent) layer of the given size.
+    pub fn new(width: usize, height: usize) -> Self {
+        Self {
+            color: Image::zeros(width, height),
+            transmittance: vec![1.0; width * height],
+        }
+    }
+
+    /// Layer width in pixels.
+    pub fn width(&self) -> usize {
+        self.color.width()
+    }
+
+    /// Layer height in pixels.
+    pub fn height(&self) -> usize {
+        self.color.height()
+    }
+
+    /// The premultiplied color accumulated so far (no background).
+    pub fn color(&self) -> &Image {
+        &self.color
+    }
+
+    /// Per-pixel transmittance (row-major), 1.0 where nothing was blended.
+    pub fn transmittance(&self) -> &[f32] {
+        &self.transmittance
+    }
+
+    /// Composites `behind` underneath this layer (this layer is nearer):
+    /// `color += behind.color * t` and `t *= behind.t` per pixel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layer sizes differ.
+    pub fn composite_onto(&mut self, behind: &FrameLayer) {
+        assert_eq!(self.width(), behind.width(), "layer width mismatch");
+        assert_eq!(self.height(), behind.height(), "layer height mismatch");
+        let data = self.color.data_mut();
+        for (i, t) in self.transmittance.iter_mut().enumerate() {
+            for ch in 0..3 {
+                data[3 * i + ch] += behind.color.data()[3 * i + ch] * *t;
+            }
+            *t *= behind.transmittance[i];
+        }
+    }
+
+    /// Finishes the composite by blending `background` behind the remaining
+    /// transmittance, producing the final frame.
+    pub fn finish(&self, background: [f32; 3]) -> Image {
+        let mut image = self.color.clone();
+        let data = image.data_mut();
+        for (i, &t) in self.transmittance.iter().enumerate() {
+            for ch in 0..3 {
+                data[3 * i + ch] += background[ch] * t;
+            }
+        }
+        image
+    }
+}
+
+/// Rasterizes splats *into* `layer`, continuing each pixel's running
+/// front-to-back blend where the previous (nearer) content left off.
+///
+/// Pixels whose incoming transmittance is already below
+/// [`TRANSMITTANCE_MIN`] are skipped entirely — the same early termination
+/// the unsharded forward pass applies mid-pixel, which is what makes the
+/// threaded shard composite bit-identical for depth-disjoint shards (and
+/// lets far shards skip work behind opaque geometry).
+///
+/// # Panics
+///
+/// Panics if `layer`'s size does not match the grid's viewport.
+pub fn rasterize_layer(splats: &[Splat], grid: &TileGrid, layer: &mut FrameLayer) {
+    let vp = grid.viewport();
+    let width = vp.width();
+    let height = vp.height();
+    assert_eq!(layer.width(), width, "layer width mismatch");
+    assert_eq!(layer.height(), height, "layer height mismatch");
+
+    for ty in 0..grid.tiles_y() {
+        for tx in 0..grid.tiles_x() {
+            let bin = grid.bin(tx, ty);
+            if bin.is_empty() {
+                continue;
+            }
+            let (x0, y0, x1, y1) = grid.tile_pixel_range(tx, ty);
+            for py in y0..y1 {
+                for px in x0..x1 {
+                    let lx = px - vp.x0;
+                    let ly = py - vp.y0;
+                    let pix = ly * width + lx;
+                    let mut t = layer.transmittance[pix];
+                    if t < TRANSMITTANCE_MIN {
+                        continue;
+                    }
+                    let cx = px as f32 + 0.5;
+                    let cy = py as f32 + 0.5;
+                    let mut color = layer.color.pixel(lx, ly);
+                    blend_pixel(splats, bin, cx, cy, &mut color, &mut t);
+                    layer.color.set_pixel(lx, ly, color);
+                    layer.transmittance[pix] = t;
+                }
+            }
+        }
+    }
 }
 
 /// Backpropagates a per-pixel image gradient to per-splat gradients.
@@ -439,6 +601,142 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// A spread of overlapping translucent splats at distinct depths.
+    fn layered_scene() -> Vec<Splat> {
+        let mut splats = Vec::new();
+        for i in 0..12u32 {
+            let f = i as f32;
+            splats.push(simple_splat(
+                i,
+                4.0 + (f * 1.7).sin() * 5.0 + f * 0.6,
+                8.0 + (f * 2.3).cos() * 5.0,
+                [
+                    (f * 0.31).sin().abs(),
+                    (f * 0.17).cos().abs(),
+                    0.2 + f * 0.05,
+                ],
+                0.35 + 0.04 * f,
+                1.0 + f * 0.5,
+            ));
+        }
+        splats
+    }
+
+    #[test]
+    fn fresh_layer_matches_forward_pass_bitwise() {
+        let splats = layered_scene();
+        let viewport = vp(16, 16);
+        let grid = TileGrid::build(&splats, viewport);
+        let bg = [0.1, 0.2, 0.3];
+        let (forward, aux) = rasterize_forward(&splats, &grid, bg);
+        let mut layer = FrameLayer::new(16, 16);
+        rasterize_layer(&splats, &grid, &mut layer);
+        assert_eq!(layer.finish(bg).data(), forward.data());
+        assert_eq!(layer.transmittance(), &aux.final_transmittance[..]);
+    }
+
+    #[test]
+    fn threaded_layers_over_depth_groups_are_bit_identical() {
+        // Split the splats into depth-disjoint groups and rasterize each
+        // group into the same running layer front-to-back: the composite
+        // must reproduce the single-pass render byte for byte.
+        let mut splats = layered_scene();
+        splats.sort_by(|a, b| a.depth.partial_cmp(&b.depth).unwrap());
+        let viewport = vp(16, 16);
+        let bg = [0.05, 0.05, 0.08];
+        let full_grid = TileGrid::build(&splats, viewport);
+        let (forward, _) = rasterize_forward(&splats, &full_grid, bg);
+
+        for split_points in [vec![4], vec![3, 8], vec![2, 5, 9]] {
+            let mut layer = FrameLayer::new(16, 16);
+            let mut start = 0;
+            let mut bounds = split_points.clone();
+            bounds.push(splats.len());
+            for end in bounds {
+                let group = &splats[start..end];
+                let grid = TileGrid::build(group, viewport);
+                rasterize_layer(group, &grid, &mut layer);
+                start = end;
+            }
+            assert_eq!(
+                layer.finish(bg).data(),
+                forward.data(),
+                "threaded depth-disjoint layers must match the single pass"
+            );
+        }
+    }
+
+    #[test]
+    fn independent_layer_composition_is_epsilon_close() {
+        let mut splats = layered_scene();
+        splats.sort_by(|a, b| a.depth.partial_cmp(&b.depth).unwrap());
+        let viewport = vp(16, 16);
+        let bg = [0.05, 0.05, 0.08];
+        let full_grid = TileGrid::build(&splats, viewport);
+        let (forward, _) = rasterize_forward(&splats, &full_grid, bg);
+
+        let (near_splats, far_splats) = splats.split_at(6);
+        let mut near = FrameLayer::new(16, 16);
+        rasterize_layer(
+            near_splats,
+            &TileGrid::build(near_splats, viewport),
+            &mut near,
+        );
+        let mut far = FrameLayer::new(16, 16);
+        rasterize_layer(far_splats, &TileGrid::build(far_splats, viewport), &mut far);
+        near.composite_onto(&far);
+        let composed = near.finish(bg);
+        for (a, b) in composed.data().iter().zip(forward.data()) {
+            assert!(
+                (a - b).abs() < 1e-5,
+                "independent layers must agree to float tolerance: {a} vs {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn opaque_near_layer_skips_far_shard_work() {
+        // A fully opaque near splat exhausts the transmittance; a far shard
+        // rasterized afterwards must leave those pixels untouched — the
+        // cross-shard analogue of in-pixel early termination.
+        // Two stacked near-opaque splats: alpha clamps at ALPHA_MAX, so one
+        // splat leaves t = 1e-3; two leave 1e-6 < TRANSMITTANCE_MIN.
+        let near_splats = vec![
+            simple_splat(0, 8.5, 8.5, [1.0, 0.0, 0.0], 0.9999, 1.0),
+            simple_splat(1, 8.5, 8.5, [1.0, 0.0, 0.0], 0.9999, 2.0),
+        ];
+        let viewport = vp(16, 16);
+        let mut layer = FrameLayer::new(16, 16);
+        rasterize_layer(
+            &near_splats,
+            &TileGrid::build(&near_splats, viewport),
+            &mut layer,
+        );
+        let before = layer.clone();
+        let p = 8 * 16 + 8;
+        assert!(layer.transmittance()[p] < TRANSMITTANCE_MIN);
+
+        let far_splats = vec![simple_splat(0, 8.5, 8.5, [0.0, 1.0, 0.0], 0.9, 5.0)];
+        rasterize_layer(
+            &far_splats,
+            &TileGrid::build(&far_splats, viewport),
+            &mut layer,
+        );
+        assert_eq!(
+            layer.color().pixel(8, 8),
+            before.color().pixel(8, 8),
+            "opaque pixels must not blend far-shard splats"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "layer width mismatch")]
+    fn layer_size_must_match_the_grid() {
+        let grid = TileGrid::build(&[], vp(8, 8));
+        let mut layer = FrameLayer::new(4, 8);
+        rasterize_layer(&[], &grid, &mut layer);
     }
 
     #[test]

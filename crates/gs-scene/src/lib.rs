@@ -15,12 +15,17 @@
 //! * [`synthetic`] — the procedural scene generator and the
 //!   [`synthetic::SceneDataset`] container (ground-truth Gaussians, SfM-like
 //!   initial point cloud, train/test camera trajectories).
+//! * [`tour`] — corridor scenes with axis-aligned fly-through cameras, the
+//!   reference workload for sharded serving (their axis-median shards have
+//!   disjoint depth ranges along every view ray).
 
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod presets;
 pub mod synthetic;
+pub mod tour;
 
 pub use presets::ScenePreset;
 pub use synthetic::{SceneConfig, SceneDataset};
+pub use tour::{TourConfig, TourScene};

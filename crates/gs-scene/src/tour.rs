@@ -1,0 +1,188 @@
+//! Corridor ("tour") scenes for the scene-sharding workload.
+//!
+//! A tour scene stretches along the `x` axis — a street canyon, a tunnel, a
+//! fly-through of a large reconstruction — and its cameras travel along the
+//! corridor looking **exactly down `+x`**. That geometry is what makes these
+//! the reference workload for sharded serving:
+//!
+//! * The corridor's long axis dominates, so the recursive axis-median
+//!   partitioner (`gs_serve::shard`) always splits on `x`, producing
+//!   disjoint slabs along the corridor.
+//! * With the camera forward vector exactly `+x`, a Gaussian's camera-space
+//!   depth equals its `x` offset, so the slabs' **depth ranges are disjoint
+//!   along every view ray** — the regime where the front-to-back layer
+//!   composite is bit-identical to the unsharded render (not merely close).
+//!
+//! The generator is deterministic in the seed, like [`crate::synthetic`].
+
+use gs_core::camera::Camera;
+use gs_core::gaussian::GaussianParams;
+use gs_core::math::Vec3;
+use gs_core::rng::Rng64;
+
+/// Configuration of a [`TourScene`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TourConfig {
+    /// Scene name (for reports).
+    pub name: String,
+    /// Number of Gaussians along the corridor.
+    pub num_gaussians: usize,
+    /// Corridor length along `x` (world units).
+    pub length: f32,
+    /// Half-extent of the corridor cross-section in `y` and `z`.
+    pub half_section: f32,
+    /// Rendered image width in pixels.
+    pub width: usize,
+    /// Rendered image height in pixels.
+    pub height: usize,
+    /// Number of tour cameras along the corridor.
+    pub num_views: usize,
+    /// Seed for deterministic generation.
+    pub seed: u64,
+}
+
+impl Default for TourConfig {
+    fn default() -> Self {
+        Self {
+            name: "tour".to_string(),
+            num_gaussians: 4096,
+            length: 80.0,
+            half_section: 4.0,
+            width: 96,
+            height: 72,
+            num_views: 12,
+            seed: 7,
+        }
+    }
+}
+
+/// A generated corridor scene: Gaussians plus a camera path down the axis.
+#[derive(Debug, Clone)]
+pub struct TourScene {
+    /// The configuration the scene was generated from.
+    pub config: TourConfig,
+    /// Ground-truth Gaussians.
+    pub gt_params: GaussianParams,
+    /// Cameras along the corridor, all looking exactly down `+x`.
+    pub cameras: Vec<Camera>,
+    /// Background color composited behind the splats.
+    pub background: [f32; 3],
+}
+
+/// Horizontal field of view of the tour cameras (radians).
+const FOV_X: f32 = 1.2;
+
+impl TourScene {
+    /// Generates a tour scene. Deterministic in the seed.
+    pub fn generate(config: TourConfig) -> Self {
+        let mut rng = Rng64::seed_from_u64(config.seed);
+        let mut gt_params = GaussianParams::with_capacity(config.num_gaussians);
+        let h = config.half_section;
+        // Scale so neighbors overlap along the corridor: average spacing is
+        // length / n along x, but the cross-section dominates visually.
+        let spacing = (config.length * h * h / config.num_gaussians.max(1) as f32)
+            .cbrt()
+            .max(0.05);
+        for _ in 0..config.num_gaussians {
+            let pos = Vec3::new(
+                rng.gen_range(0.0..config.length),
+                rng.gen_range(-h..h),
+                rng.gen_range(-h..h),
+            );
+            let along = pos.x / config.length;
+            // Smoothly varying hue along the corridor plus noise, so shard
+            // boundaries would be visible if compositing misordered them.
+            let rgb = [
+                (0.25 + 0.7 * (along * 9.0).sin().abs() + rng.gen_range(-0.1..0.1))
+                    .clamp(0.02, 0.98),
+                (0.3 + 0.6 * (along * 5.0).cos().abs() + rng.gen_range(-0.1..0.1))
+                    .clamp(0.02, 0.98),
+                (0.35 + 0.5 * along + rng.gen_range(-0.1..0.1)).clamp(0.02, 0.98),
+            ];
+            gt_params.push_isotropic(
+                pos,
+                spacing * rng.gen_range(0.5..1.2),
+                rgb,
+                rng.gen_range(0.35..0.9),
+            );
+        }
+        let cameras = (0..config.num_views)
+            .map(|v| {
+                // Positions march down the corridor (starting slightly
+                // before it) with small cross-section jitter; the forward
+                // vector stays exactly +x so camera-space depth == x offset.
+                let t = v as f32 / config.num_views.max(1) as f32;
+                let pos = Vec3::new(
+                    -4.0 + t * config.length * 0.8,
+                    rng.gen_range(-h * 0.4..h * 0.4),
+                    rng.gen_range(-h * 0.4..h * 0.4),
+                );
+                Camera::look_at(
+                    config.width,
+                    config.height,
+                    FOV_X,
+                    pos,
+                    pos + Vec3::new(1.0, 0.0, 0.0),
+                    Vec3::new(0.0, 1.0, 0.0),
+                )
+            })
+            .collect();
+        Self {
+            config,
+            gt_params,
+            cameras,
+            background: [0.04, 0.04, 0.07],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_sized() {
+        let a = TourScene::generate(TourConfig::default());
+        let b = TourScene::generate(TourConfig::default());
+        assert_eq!(a.gt_params, b.gt_params);
+        assert_eq!(a.gt_params.len(), 4096);
+        assert_eq!(a.cameras.len(), 12);
+        let c = TourScene::generate(TourConfig {
+            seed: 8,
+            ..TourConfig::default()
+        });
+        assert_ne!(a.gt_params, c.gt_params);
+    }
+
+    #[test]
+    fn cameras_look_exactly_down_the_corridor() {
+        let scene = TourScene::generate(TourConfig::default());
+        for cam in &scene.cameras {
+            // Forward = +x means camera-space depth of a point equals its x
+            // offset from the camera — the depth-disjointness guarantee.
+            let probe = cam.position + Vec3::new(5.0, 1.0, -1.0);
+            let in_cam = cam.world_to_cam(probe);
+            assert!(
+                (in_cam.z - 5.0).abs() < 1e-5,
+                "depth must equal the x offset, got {}",
+                in_cam.z
+            );
+        }
+    }
+
+    #[test]
+    fn gaussians_stay_inside_the_corridor() {
+        let config = TourConfig {
+            length: 40.0,
+            half_section: 2.0,
+            num_gaussians: 500,
+            ..TourConfig::default()
+        };
+        let scene = TourScene::generate(config);
+        for i in 0..scene.gt_params.len() {
+            let m = scene.gt_params.mean(i);
+            assert!((0.0..=40.0).contains(&m.x));
+            assert!(m.y.abs() <= 2.0 && m.z.abs() <= 2.0);
+        }
+    }
+}

@@ -28,14 +28,15 @@
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crate::request::ServeError;
 use crate::server::RenderServer;
-use crate::wire::{self, WireFormat, WireRequest};
+use crate::stats::ConnectionStats;
+use crate::wire::{self, SceneSpec, WireFormat, WireRequest};
 
 /// Configuration of an [`HttpServer`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -72,6 +73,26 @@ const POLL_INTERVAL: Duration = Duration::from_millis(20);
 /// can pin a handler thread mid-response.
 const WRITE_TIMEOUT: Duration = Duration::from_secs(5);
 
+/// Accepted / rejected / active connection counters, shared between the
+/// accept loop, the handlers (so `GET /stats` can report them) and
+/// [`HttpServer::connection_stats`].
+#[derive(Default)]
+struct ConnCounters {
+    accepted: AtomicU64,
+    rejected: AtomicU64,
+    active: AtomicUsize,
+}
+
+impl ConnCounters {
+    fn snapshot(&self) -> ConnectionStats {
+        ConnectionStats {
+            accepted: self.accepted.load(Ordering::SeqCst),
+            rejected: self.rejected.load(Ordering::SeqCst),
+            active: self.active.load(Ordering::SeqCst) as u64,
+        }
+    }
+}
+
 /// The HTTP front-end: an accept loop plus one handler thread per
 /// connection, all serving one shared [`RenderServer`].
 pub struct HttpServer {
@@ -79,6 +100,7 @@ pub struct HttpServer {
     stop: Arc<AtomicBool>,
     accept: Option<JoinHandle<()>>,
     handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    counters: Arc<ConnCounters>,
 }
 
 impl HttpServer {
@@ -95,15 +117,16 @@ impl HttpServer {
         listener.set_nonblocking(true)?;
         let stop = Arc::new(AtomicBool::new(false));
         let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
-        let active = Arc::new(AtomicUsize::new(0));
+        let counters = Arc::new(ConnCounters::default());
 
         let accept = {
             let stop = Arc::clone(&stop);
             let handlers = Arc::clone(&handlers);
+            let counters = Arc::clone(&counters);
             std::thread::Builder::new()
                 .name("gs-serve-http-accept".to_string())
                 .spawn(move || {
-                    accept_loop(&listener, &config, &server, &stop, &handlers, &active);
+                    accept_loop(&listener, &config, &server, &stop, &handlers, &counters);
                 })
                 .expect("spawn http accept thread")
         };
@@ -113,12 +136,18 @@ impl HttpServer {
             stop,
             accept: Some(accept),
             handlers,
+            counters,
         })
     }
 
     /// The bound address (with the actual port when `addr` asked for port 0).
     pub fn local_addr(&self) -> SocketAddr {
         self.local_addr
+    }
+
+    /// Connection-level counters (also reported inside `GET /stats`).
+    pub fn connection_stats(&self) -> ConnectionStats {
+        self.counters.snapshot()
     }
 
     /// Stops accepting, waits for every in-flight connection handler to
@@ -151,7 +180,7 @@ fn accept_loop(
     server: &Arc<RenderServer>,
     stop: &Arc<AtomicBool>,
     handlers: &Arc<Mutex<Vec<JoinHandle<()>>>>,
-    active: &Arc<AtomicUsize>,
+    counters: &Arc<ConnCounters>,
 ) {
     while !stop.load(Ordering::SeqCst) {
         let stream = match listener.accept() {
@@ -171,7 +200,8 @@ fn accept_loop(
         // Reap finished handler threads so the handle list stays bounded by
         // the number of *live* connections.
         handlers.lock().unwrap().retain(|h| !h.is_finished());
-        if active.load(Ordering::SeqCst) >= config.max_connections {
+        if counters.active.load(Ordering::SeqCst) >= config.max_connections {
+            counters.rejected.fetch_add(1, Ordering::SeqCst);
             let _ = stream.set_nonblocking(false);
             let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
             let mut stream = stream;
@@ -183,10 +213,12 @@ fn accept_loop(
             drain_before_close(&mut stream);
             continue;
         }
-        active.fetch_add(1, Ordering::SeqCst);
+        counters.active.fetch_add(1, Ordering::SeqCst);
+        counters.accepted.fetch_add(1, Ordering::SeqCst);
         let server = Arc::clone(server);
         let stop = Arc::clone(stop);
-        let guard = ActiveGuard(Arc::clone(active));
+        let guard = ActiveGuard(Arc::clone(counters));
+        let conn_counters = Arc::clone(counters);
         let max_body = config.max_body_bytes;
         let idle_timeout = config.idle_timeout;
         let spawned = std::thread::Builder::new()
@@ -195,7 +227,14 @@ fn accept_loop(
                 // Moved into the thread so the slot is released even if the
                 // handler panics.
                 let _guard = guard;
-                handle_connection(&server, stream, max_body, idle_timeout, &stop);
+                handle_connection(
+                    &server,
+                    &conn_counters,
+                    stream,
+                    max_body,
+                    idle_timeout,
+                    &stop,
+                );
             });
         match spawned {
             Ok(handle) => handlers.lock().unwrap().push(handle),
@@ -204,7 +243,9 @@ fn accept_loop(
                 // does instead of panicking the accept loop. The stream and
                 // the active-count guard were moved into the failed spawn
                 // closure, which drops them: the socket closes and the slot
-                // is released.
+                // is released. It counts as shed, not served.
+                counters.accepted.fetch_sub(1, Ordering::SeqCst);
+                counters.rejected.fetch_add(1, Ordering::SeqCst);
             }
         }
     }
@@ -212,11 +253,11 @@ fn accept_loop(
 
 /// Decrements the active-connection count when dropped, so the slot is
 /// released on every handler exit path — including a panic.
-struct ActiveGuard(Arc<AtomicUsize>);
+struct ActiveGuard(Arc<ConnCounters>);
 
 impl Drop for ActiveGuard {
     fn drop(&mut self) {
-        self.0.fetch_sub(1, Ordering::SeqCst);
+        self.0.active.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
@@ -255,6 +296,7 @@ enum ReadOutcome {
 
 fn handle_connection(
     server: &RenderServer,
+    counters: &ConnCounters,
     mut stream: TcpStream,
     max_body: usize,
     idle_timeout: Duration,
@@ -281,7 +323,7 @@ fn handle_connection(
         match read_request(&mut stream, &mut buf, max_body, idle_timeout, stop) {
             ReadOutcome::Request(req) => {
                 let keep_alive = req.keep_alive();
-                let response = route(server, &req);
+                let response = route(server, counters, &req);
                 if write_response(&mut stream, &response, keep_alive).is_err() || !keep_alive {
                     break;
                 }
@@ -490,9 +532,11 @@ impl HttpResponse {
 fn reason(status: u16) -> &'static str {
     match status {
         200 => "OK",
+        201 => "Created",
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        409 => "Conflict",
         413 => "Payload Too Large",
         500 => "Internal Server Error",
         501 => "Not Implemented",
@@ -533,24 +577,100 @@ fn write_response(
 pub fn status_for_error(err: &ServeError) -> u16 {
     match err {
         ServeError::UnknownScene(_) => 404,
-        ServeError::ShuttingDown | ServeError::Admission(_) => 503,
+        ServeError::SceneExists(_) => 409,
+        ServeError::ShuttingDown | ServeError::Admission(_) | ServeError::DeadlineExceeded => 503,
     }
 }
 
-fn route(server: &RenderServer, req: &HttpRequest) -> HttpResponse {
+fn route(server: &RenderServer, counters: &ConnCounters, req: &HttpRequest) -> HttpResponse {
     match (req.method.as_str(), req.path.as_str()) {
-        ("GET", "/stats") => HttpResponse::text(200, format!("{}\n", server.stats())),
+        ("GET", "/stats") => {
+            let mut stats = server.stats();
+            stats.connections = counters.snapshot();
+            HttpResponse::text(200, format!("{stats}\n"))
+        }
         ("GET", "/scenes") => {
-            let mut body = server.loaded_scenes().join("\n");
-            body.push('\n');
+            // One line per scene with its shard layout and residency, e.g.
+            // `city shards=4 resident=2/4 gaussians=80000 bytes=18880000`.
+            let mut body = String::new();
+            for layout in server.scene_layouts() {
+                body.push_str(&format!(
+                    "{} shards={} resident={}/{} gaussians={} bytes={}\n",
+                    layout.id,
+                    layout.shards,
+                    layout.resident_shards,
+                    layout.shards,
+                    layout.gaussians,
+                    layout.bytes,
+                ));
+            }
             HttpResponse::text(200, body)
         }
         ("GET", "/healthz") => HttpResponse::text(200, "ok\n"),
         ("POST", "/render") => render_route(server, &req.body),
+        ("POST", path) if path.strip_prefix("/scenes/").is_some() => {
+            let id = path.strip_prefix("/scenes/").unwrap_or_default();
+            load_scene_route(server, id, &req.body)
+        }
         (_, "/stats" | "/scenes" | "/healthz" | "/render") => {
             HttpResponse::text(405, "method not allowed on this path\n")
         }
+        (_, path) if path.starts_with("/scenes/") => {
+            HttpResponse::text(405, "method not allowed on this path\n")
+        }
         _ => HttpResponse::text(404, "unknown path\n"),
+    }
+}
+
+/// `POST /scenes/<id>`: build a synthetic scene from a [`SceneSpec`] body
+/// and register it, sharded when it exceeds the server's size threshold (or
+/// as the spec's explicit `shards` count). `201` on success, `400` for a
+/// malformed spec, `409` when the id is taken, `413` when the spec is too
+/// large to build or to admit.
+fn load_scene_route(server: &RenderServer, id: &str, body: &[u8]) -> HttpResponse {
+    if !wire::valid_scene_id(id) {
+        return HttpResponse::text(400, "bad request: invalid scene id\n");
+    }
+    let text = match std::str::from_utf8(body) {
+        Ok(t) => t,
+        Err(_) => return HttpResponse::text(400, "bad request: body is not UTF-8\n"),
+    };
+    let spec = match SceneSpec::parse(text) {
+        Ok(s) => s,
+        Err(e) => return HttpResponse::text(400, format!("{e}\n")),
+    };
+    if spec.gaussians > wire::MAX_SPEC_GAUSSIANS {
+        return HttpResponse::text(
+            413,
+            format!(
+                "scene spec asks for {} gaussians, limit is {}\n",
+                spec.gaussians,
+                wire::MAX_SPEC_GAUSSIANS
+            ),
+        );
+    }
+    // Advisory duplicate check before the expensive scene build; the
+    // authoritative check runs under the registry lock in load_scene_auto,
+    // so a racing POST for the same id still gets exactly one 201.
+    if server.contains_scene(&id.to_string()) {
+        let e = ServeError::SceneExists(id.to_string());
+        return HttpResponse::text(409, format!("{e}\n"));
+    }
+    let params = Arc::new(spec.build());
+    let result = server.load_scene_auto(id, Arc::clone(&params), spec.background, spec.shards);
+    match result {
+        Ok(shards) => HttpResponse::text(
+            201,
+            format!(
+                "loaded scene {id}: {} gaussians in {shards} shard(s)\n",
+                params.len()
+            ),
+        ),
+        Err(e @ ServeError::SceneExists(_)) => HttpResponse::text(409, format!("{e}\n")),
+        // An admission rejection means the scene (or a shard of it) exceeds
+        // the memory budget: the payload, not the service, is the problem.
+        Err(e @ ServeError::Admission(_)) => HttpResponse::text(413, format!("{e}\n")),
+        Err(e) => HttpResponse::text(status_for_error(&e), format!("{e}\n")),
     }
 }
 
@@ -579,6 +699,7 @@ fn render_route(server: &RenderServer, body: &[u8]) -> HttpResponse {
             ("X-Image-Height", frame.image.height().to_string()),
             ("X-Cache-Hit", u8::from(frame.cache_hit).to_string()),
             ("X-Batch-Size", frame.batch_size.to_string()),
+            ("X-Shards", frame.shards.to_string()),
             ("X-Worker", frame.worker.to_string()),
             ("X-Latency-Us", frame.latency.as_micros().to_string()),
         ],

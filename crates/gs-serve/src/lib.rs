@@ -14,6 +14,11 @@
 //!   control**: scenes are charged against a [`gs_platform::MemoryPool`]
 //!   sized from a [`gs_platform::PlatformSpec`], least-recently-used scenes
 //!   are evicted to admit new loads, oversized loads are rejected.
+//! * [`shard`] — **scene sharding**: spatial partitioning by recursive
+//!   axis-median splits so a scene larger than the whole memory budget
+//!   serves shard-at-a-time, each shard admitted and LRU-evicted
+//!   independently, with per-request front-to-back layer compositing
+//!   (bit-identical to the unsharded render for depth-disjoint shards).
 //! * [`batch`] — **same-scene request batching**: one frustum cull per view,
 //!   one shared gather for the batch's union, bit-identical output to
 //!   unbatched rendering.
@@ -66,14 +71,19 @@ pub mod queue;
 pub mod registry;
 pub mod request;
 pub mod server;
+pub mod shard;
 pub mod stats;
 pub mod wire;
 
 pub use cache::{CacheStats, FrameCache, FrameKey, QuantizedPose};
 pub use http::{HttpConfig, HttpServer};
 pub use queue::BoundedQueue;
-pub use registry::{LoadedScene, RegistryStats, SceneRegistry};
+pub use registry::{
+    LoadedScene, RegistryStats, SceneLayout, SceneRegistry, SceneView, ShardResidency, ShardView,
+    ShardedSceneView,
+};
 pub use request::{RenderRequest, RenderedFrame, SceneId, ServeError};
 pub use server::{RenderServer, ServeConfig, Ticket};
-pub use stats::{LatencySummary, ServeStats, StatsCollector};
-pub use wire::{WireError, WireFormat, WireRequest};
+pub use shard::{depth_order, partition_ids, shard_scene, Aabb, ShardSource};
+pub use stats::{ConnectionStats, LatencySummary, ServeStats, StatsCollector};
+pub use wire::{SceneSpec, WireError, WireFormat, WireRequest};

@@ -1,7 +1,7 @@
 //! Request/response types for the rendering service.
 
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use gs_core::camera::{Camera, Viewport};
 use gs_core::image::Image;
@@ -20,10 +20,16 @@ pub struct RenderRequest {
     pub viewport: Viewport,
     /// Number of spherical-harmonic bands used for color (0..=3).
     pub sh_degree: usize,
+    /// Optional completion deadline. A queued request whose deadline passes
+    /// before a worker picks it up is answered with
+    /// [`ServeError::DeadlineExceeded`] instead of being rendered (and
+    /// counted as `expired` in the service stats) — under overload there is
+    /// no point rendering frames nobody is waiting for anymore.
+    pub deadline: Option<Instant>,
 }
 
 impl RenderRequest {
-    /// A full-image render request with degree-3 SH color.
+    /// A full-image render request with degree-3 SH color and no deadline.
     pub fn full(scene: impl Into<SceneId>, camera: Camera) -> Self {
         let viewport = Viewport::full(&camera);
         Self {
@@ -31,7 +37,19 @@ impl RenderRequest {
             camera,
             viewport,
             sh_degree: 3,
+            deadline: None,
         }
+    }
+
+    /// Sets the deadline to `timeout` from now.
+    pub fn deadline_in(mut self, timeout: Duration) -> Self {
+        self.deadline = Some(Instant::now() + timeout);
+        self
+    }
+
+    /// Whether the request's deadline (if any) has passed at `now`.
+    pub fn is_expired(&self, now: Instant) -> bool {
+        self.deadline.is_some_and(|d| now >= d)
     }
 }
 
@@ -52,6 +70,9 @@ pub struct RenderedFrame {
     pub cache_hit: bool,
     /// Index of the worker thread that produced the frame.
     pub worker: usize,
+    /// Number of shard layers composited into this frame (1 for an
+    /// unsharded scene, and for cache hits of either kind).
+    pub shards: usize,
 }
 
 /// Errors surfaced to service clients.
@@ -62,6 +83,11 @@ pub enum ServeError {
     UnknownScene(SceneId),
     /// Loading a scene was rejected by admission control.
     Admission(gs_core::Error),
+    /// A load required the scene to be new, but the id is already taken
+    /// (e.g. `POST /scenes/<id>` for a loaded scene).
+    SceneExists(SceneId),
+    /// The request's deadline passed while it was still queued.
+    DeadlineExceeded,
     /// The service dropped the request without answering it — it is
     /// shutting down, or the worker processing the request failed.
     ShuttingDown,
@@ -72,6 +98,10 @@ impl std::fmt::Display for ServeError {
         match self {
             ServeError::UnknownScene(id) => write!(f, "scene {id:?} is not loaded"),
             ServeError::Admission(e) => write!(f, "admission control rejected the load: {e}"),
+            ServeError::SceneExists(id) => write!(f, "scene {id:?} is already loaded"),
+            ServeError::DeadlineExceeded => {
+                write!(f, "the request's deadline passed before it was rendered")
+            }
             ServeError::ShuttingDown => write!(f, "the service dropped the request"),
         }
     }

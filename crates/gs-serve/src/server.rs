@@ -17,11 +17,14 @@ use std::time::Instant;
 use gs_core::gaussian::GaussianParams;
 use gs_platform::PlatformSpec;
 
+use gs_render::rasterize::FrameLayer;
+
 use crate::batch::render_shared;
 use crate::cache::{FrameCache, FrameKey};
 use crate::queue::BoundedQueue;
-use crate::registry::{RegistryStats, SceneRegistry};
+use crate::registry::{RegistryStats, SceneLayout, SceneRegistry, SceneView, ShardedSceneView};
 use crate::request::{RenderRequest, RenderedFrame, SceneId, ServeError};
+use crate::shard::{self, Aabb};
 use crate::stats::{ServeStats, StatsCollector};
 
 /// Configuration of a [`RenderServer`].
@@ -38,6 +41,11 @@ pub struct ServeConfig {
     pub cache_bytes: u64,
     /// Camera-translation grid for cache-key quantization, in world units.
     pub pose_quant: f32,
+    /// Auto-sharding threshold and target shard size in bytes for
+    /// [`RenderServer::load_scene_auto`]: scenes larger than this are
+    /// partitioned into `ceil(bytes / shard_bytes)` shards (0 disables
+    /// auto-sharding).
+    pub shard_bytes: u64,
 }
 
 impl Default for ServeConfig {
@@ -48,6 +56,7 @@ impl Default for ServeConfig {
             max_batch: 8,
             cache_bytes: 64 << 20,
             pose_quant: 0.05,
+            shard_bytes: 32 << 20,
         }
     }
 }
@@ -66,6 +75,11 @@ struct Shared {
     registry: Mutex<SceneRegistry>,
     cache: Mutex<FrameCache>,
     stats: StatsCollector,
+    /// Queued jobs that carry a deadline. Incremented before the push makes
+    /// a job visible and decremented when the job leaves the queue, so the
+    /// workers' expired-job sweep (an O(queue) walk under the queue mutex)
+    /// can be skipped entirely for deadline-free traffic.
+    deadline_jobs: AtomicU64,
 }
 
 /// Handle to a pending render; resolves through [`Ticket::wait`].
@@ -106,6 +120,7 @@ impl RenderServer {
             cache: Mutex::new(FrameCache::new(config.cache_bytes)),
             stats: StatsCollector::new(config.workers),
             config,
+            deadline_jobs: AtomicU64::new(0),
         });
         let workers = (0..shared.config.workers)
             .map(|idx| {
@@ -152,6 +167,108 @@ impl RenderServer {
         result.map(|_| ())
     }
 
+    /// Loads (or replaces) a scene partitioned into `shards` spatial shards
+    /// (see [`crate::shard`]). Each shard is admitted against the memory
+    /// pool independently when a render needs it, so the scene's *total*
+    /// size may exceed the whole registry budget as long as every single
+    /// shard fits.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Admission`] if any single shard exceeds the budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn load_scene_sharded(
+        &self,
+        id: impl Into<SceneId>,
+        params: Arc<GaussianParams>,
+        background: [f32; 3],
+        shards: usize,
+    ) -> Result<(), ServeError> {
+        let id = id.into();
+        // Partition and gather outside the registry lock: this is the
+        // expensive part of a sharded load.
+        let sources = shard::shard_scene(&params, shards);
+        let result =
+            self.shared
+                .registry
+                .lock()
+                .unwrap()
+                .load_sharded(id.clone(), sources, background);
+        if result.is_ok() {
+            self.shared.cache.lock().unwrap().invalidate_scene(&id);
+        }
+        result
+    }
+
+    /// Loads a *new* scene, sharding it into `shards` shards — or, when
+    /// `shards` is `None`, automatically when it exceeds
+    /// [`ServeConfig::shard_bytes`]. Returns the number of shards actually
+    /// used (1 = loaded unsharded; the partitioner clamps the requested
+    /// count to the Gaussian count). Unlike [`RenderServer::load_scene`]
+    /// this refuses to replace an existing id — the semantics
+    /// `POST /scenes/<id>` needs.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::SceneExists`] if the id is already loaded,
+    /// [`ServeError::Admission`] if the scene (or one of its shards)
+    /// exceeds the memory budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is `Some(0)`.
+    pub fn load_scene_auto(
+        &self,
+        id: impl Into<SceneId>,
+        params: Arc<GaussianParams>,
+        background: [f32; 3],
+        shards: Option<usize>,
+    ) -> Result<usize, ServeError> {
+        let id = id.into();
+        let bytes = params.total_bytes() as u64;
+        let shard_bytes = self.shared.config.shard_bytes;
+        let k = match shards {
+            Some(k) => {
+                assert!(k > 0, "shard count must be at least 1");
+                k
+            }
+            None if shard_bytes > 0 && bytes > shard_bytes => {
+                usize::try_from(bytes.div_ceil(shard_bytes)).unwrap_or(usize::MAX)
+            }
+            None => 1,
+        };
+        let sources = (k > 1).then(|| shard::shard_scene(&params, k));
+        // Report the count the partitioner actually produced (it clamps to
+        // the Gaussian count), so the answer agrees with the layout.
+        let k = sources.as_ref().map_or(1, Vec::len);
+        let mut registry = self.shared.registry.lock().unwrap();
+        if registry.contains(&id) {
+            return Err(ServeError::SceneExists(id));
+        }
+        let result = match sources {
+            Some(sources) => registry
+                .load_sharded(id.clone(), sources, background)
+                .map(|()| Vec::new()),
+            None => registry.load(id.clone(), params, background),
+        };
+        drop(registry);
+        let evicted = result?;
+        let mut cache = self.shared.cache.lock().unwrap();
+        cache.invalidate_scene(&id);
+        for victim in &evicted {
+            cache.invalidate_scene(victim);
+        }
+        Ok(k)
+    }
+
+    /// Shard layout and residency of every loaded scene (sorted by id).
+    pub fn scene_layouts(&self) -> Vec<SceneLayout> {
+        self.shared.registry.lock().unwrap().layouts()
+    }
+
     /// Unloads a scene and drops its cached frames.
     pub fn unload_scene(&self, id: &SceneId) -> bool {
         let unloaded = self.shared.registry.lock().unwrap().unload(id);
@@ -159,6 +276,11 @@ impl RenderServer {
             self.shared.cache.lock().unwrap().invalidate_scene(id);
         }
         unloaded
+    }
+
+    /// Whether `id` is currently loaded.
+    pub fn contains_scene(&self, id: &SceneId) -> bool {
+        self.shared.registry.lock().unwrap().contains(id)
     }
 
     /// Ids of the currently loaded scenes (sorted).
@@ -197,14 +319,23 @@ impl RenderServer {
             return Err(ServeError::UnknownScene(request.scene));
         }
         let (tx, rx) = mpsc::channel();
-        self.shared
-            .queue
-            .push(Job {
-                request,
-                tx,
-                enqueued: Instant::now(),
-            })
-            .map_err(|_| ServeError::ShuttingDown)?;
+        // Counted before the push makes the job visible, so a worker that
+        // pops it always observes a nonzero count (see `Shared`).
+        let has_deadline = request.deadline.is_some();
+        if has_deadline {
+            self.shared.deadline_jobs.fetch_add(1, Ordering::Relaxed);
+        }
+        let pushed = self.shared.queue.push(Job {
+            request,
+            tx,
+            enqueued: Instant::now(),
+        });
+        if pushed.is_err() {
+            if has_deadline {
+                self.shared.deadline_jobs.fetch_sub(1, Ordering::Relaxed);
+            }
+            return Err(ServeError::ShuttingDown);
+        }
         Ok(Ticket { rx })
     }
 
@@ -245,6 +376,22 @@ impl Drop for RenderServer {
 
 fn worker_loop(shared: &Shared, worker_idx: usize) {
     while let Some(first) = shared.queue.pop() {
+        // Skip queued jobs whose deadline has already passed — rendering a
+        // frame nobody is waiting for anymore only deepens an overload.
+        // They are answered (`DeadlineExceeded`) and counted as expired,
+        // not dropped. The sweep walks the whole queue under its mutex, so
+        // it only runs while deadline-bearing jobs are actually queued
+        // (`deadline_jobs` counts them); deadline-free traffic never pays.
+        let now = Instant::now();
+        if shared.deadline_jobs.load(Ordering::Relaxed) > 0 {
+            for job in shared
+                .queue
+                .drain_where(usize::MAX, |j| j.request.is_expired(now))
+            {
+                shared.deadline_jobs.fetch_sub(1, Ordering::Relaxed);
+                respond_expired(shared, job);
+            }
+        }
         let scene_id = first.request.scene.clone();
         let mut batch = vec![first];
         if shared.config.max_batch > 1 {
@@ -254,6 +401,27 @@ fn worker_loop(shared: &Shared, worker_idx: usize) {
                     .drain_where(shared.config.max_batch - 1, |j| j.request.scene == scene_id),
             );
         }
+        let left_queue = batch
+            .iter()
+            .filter(|j| j.request.deadline.is_some())
+            .count();
+        if left_queue > 0 {
+            shared
+                .deadline_jobs
+                .fetch_sub(left_queue as u64, Ordering::Relaxed);
+        }
+        // The popped job (and, pathologically, a just-drained one) can
+        // itself be expired.
+        let now = Instant::now();
+        let (expired, live): (Vec<Job>, Vec<Job>) =
+            batch.into_iter().partition(|j| j.request.is_expired(now));
+        for job in expired {
+            respond_expired(shared, job);
+        }
+        if live.is_empty() {
+            continue;
+        }
+        let batch = live;
         let batch_size = batch.len();
         // A panic in the batch path (a rendering bug, a poisoned lock) must
         // not kill the worker: the panicking call drops its jobs, which
@@ -315,7 +483,9 @@ fn process_batch(
             }
         }
         for (job, image) in hits {
-            respond(shared, worker_idx, job, batch_size, true, image, answered);
+            respond(
+                shared, worker_idx, job, batch_size, true, 1, image, answered,
+            );
         }
     } else {
         misses.extend(batch.into_iter().map(|job| (job, None)));
@@ -326,9 +496,9 @@ fn process_batch(
         return;
     }
 
-    let scene = shared.shared_scene(&scene_id);
-    let scene = match scene {
-        Ok(s) => s,
+    let view = shared.registry.lock().unwrap().get(&scene_id);
+    let view = match view {
+        Ok(v) => v,
         Err(e) => {
             for (job, _) in misses {
                 shared.stats.record_error();
@@ -358,33 +528,50 @@ fn process_batch(
     }
     let unique_requests: Vec<&RenderRequest> =
         groups.iter().map(|(_, jobs)| &jobs[0].request).collect();
-    let outcome = render_shared(&scene.params, scene.background, &unique_requests);
-    acct.batch_recorded.store(true, Ordering::Relaxed);
-    shared
-        .stats
-        .record_batch(batch_size, outcome.union_active, outcome.summed_active);
+    let epoch = view.epoch();
+    let (images, shards) = match &view {
+        SceneView::Single(scene) => {
+            let outcome = render_shared(&scene.params, scene.background, &unique_requests);
+            acct.batch_recorded.store(true, Ordering::Relaxed);
+            shared
+                .stats
+                .record_batch(batch_size, outcome.union_active, outcome.summed_active);
+            (outcome.images, 1)
+        }
+        SceneView::Sharded(sharded) => {
+            let images = unique_requests
+                .iter()
+                .map(|request| render_sharded(shared, &scene_id, sharded, request))
+                .collect();
+            acct.batch_recorded.store(true, Ordering::Relaxed);
+            // Sharded renders share no cull/gather across the batch (each
+            // request composites its own shard order), so the sharing
+            // counters stay untouched.
+            shared.stats.record_batch(batch_size, 0, 0);
+            (images, sharded.shards.len())
+        }
+    };
 
     // Cache before responding: a client that sees its response and
-    // immediately re-requests the same view must hit. The registry is
+    // immediately re-requests the same view must hit. The registry epoch is
     // re-checked under the cache lock (cache -> registry nesting; no other
     // path nests the two) so frames rendered from a scene that was replaced
     // or evicted mid-render are never inserted as that scene's current
-    // frames.
+    // frames. (Shard evictions are accounting only and do not bump the
+    // epoch — the parameters are unchanged, so the frames stay valid.)
     if caching {
         let mut cache = shared.cache.lock().unwrap();
         let registry = shared.registry.lock().unwrap();
-        let still_current = registry
-            .peek(&scene_id)
-            .is_some_and(|s| Arc::ptr_eq(&s.params, &scene.params));
+        let still_current = registry.epoch(&scene_id) == Some(epoch);
         if still_current {
-            for ((key, _), image) in groups.iter().zip(&outcome.images) {
+            for ((key, _), image) in groups.iter().zip(&images) {
                 if let Some(key) = key {
                     cache.insert(key.clone(), Arc::clone(image));
                 }
             }
         }
     }
-    for ((_, jobs), image) in groups.into_iter().zip(outcome.images) {
+    for ((_, jobs), image) in groups.into_iter().zip(images) {
         for job in jobs {
             respond(
                 shared,
@@ -392,6 +579,7 @@ fn process_batch(
                 job,
                 batch_size,
                 false,
+                shards,
                 Arc::clone(&image),
                 answered,
             );
@@ -399,10 +587,68 @@ fn process_batch(
     }
 }
 
-impl Shared {
-    fn shared_scene(&self, id: &SceneId) -> Result<crate::registry::LoadedScene, ServeError> {
-        self.registry.lock().unwrap().get(id)
+/// The sharded fan-out render: composites every shard of `view`
+/// front-to-back by depth along the request's view ray into one
+/// [`FrameLayer`], admitting each shard against the registry pool just
+/// before rendering it. Only one shard needs to be resident at a time, so a
+/// scene larger than the whole budget still serves.
+///
+/// # Panics
+///
+/// Panics if the request's `sh_degree` exceeds [`gs_core::sh::MAX_DEGREE`]
+/// (same contract as [`render_shared`]; the worker pool contains the
+/// panic).
+fn render_sharded(
+    shared: &Shared,
+    scene_id: &SceneId,
+    view: &ShardedSceneView,
+    request: &RenderRequest,
+) -> Arc<gs_core::image::Image> {
+    assert!(
+        request.sh_degree <= gs_core::sh::MAX_DEGREE,
+        "sh_degree {} exceeds the supported maximum {}",
+        request.sh_degree,
+        gs_core::sh::MAX_DEGREE
+    );
+    let aabbs: Vec<Aabb> = view.shards.iter().map(|s| s.aabb).collect();
+    let order = shard::depth_order(&aabbs, &request.camera);
+    let mut layer = FrameLayer::new(request.viewport.width(), request.viewport.height());
+    for k in order {
+        // Admission accounting: charge the shard to the pool (evicting LRU
+        // residents) before rendering it. A stale epoch (scene replaced
+        // mid-request) or a full pool never blocks the render itself — the
+        // `Arc` snapshot in hand stays valid either way.
+        let residency = shared
+            .registry
+            .lock()
+            .unwrap()
+            .ensure_shard_resident(scene_id, k, view.epoch);
+        // Whole scenes unloaded to make room lose their cached frames, like
+        // the victims of every other eviction path. (The registry lock is
+        // released first; only the cache -> registry nesting is allowed.)
+        if !residency.evicted_scenes.is_empty() {
+            let mut cache = shared.cache.lock().unwrap();
+            for victim in &residency.evicted_scenes {
+                cache.invalidate_scene(victim);
+            }
+        }
+        let started = Instant::now();
+        gs_render::pipeline::render_layer(
+            &view.shards[k].params,
+            &request.camera,
+            request.sh_degree,
+            &request.viewport,
+            &mut layer,
+        );
+        shared.stats.record_shard_layer(started.elapsed());
     }
+    Arc::new(layer.finish(view.background))
+}
+
+fn respond_expired(shared: &Shared, job: Job) {
+    shared.stats.record_expired(1);
+    // A dropped ticket just means the client stopped waiting.
+    let _ = job.tx.send(Err(ServeError::DeadlineExceeded));
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -412,6 +658,7 @@ fn respond(
     job: Job,
     batch_size: usize,
     cache_hit: bool,
+    shards: usize,
     image: Arc<gs_core::image::Image>,
     answered: &AtomicU64,
 ) {
@@ -423,6 +670,7 @@ fn respond(
         batch_size,
         cache_hit,
         worker: worker_idx,
+        shards,
     };
     // Record before sending so a client that receives its response always
     // finds itself counted in a subsequent `stats()` snapshot.

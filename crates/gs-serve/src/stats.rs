@@ -46,6 +46,19 @@ impl LatencySummary {
     }
 }
 
+/// Connection-level counters of the HTTP front-end (all zero when the
+/// service is driven in-process).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConnectionStats {
+    /// Connections accepted and handed to a handler thread.
+    pub accepted: u64,
+    /// Connections shed with `503` at the connection limit (or because no
+    /// handler thread could be spawned).
+    pub rejected: u64,
+    /// Connections currently being handled.
+    pub active: u64,
+}
+
 /// A point-in-time report of everything the service measured.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ServeStats {
@@ -53,6 +66,9 @@ pub struct ServeStats {
     pub completed: u64,
     /// Requests answered with an error.
     pub errors: u64,
+    /// Requests answered with `DeadlineExceeded` because their deadline
+    /// passed while queued (never rendered).
+    pub expired: u64,
     /// Wall-clock time since the collector was created.
     pub elapsed: Duration,
     /// Request latency distribution (enqueue to response).
@@ -67,6 +83,13 @@ pub struct ServeStats {
     pub union_active: u64,
     /// Gaussians that would have been gathered without batching.
     pub summed_active: u64,
+    /// Shard layers rendered by the sharded fan-out path (0 when only
+    /// unsharded scenes are served).
+    pub shards_rendered: u64,
+    /// Latency distribution of individual shard-layer renders.
+    pub shard_layer: LatencySummary,
+    /// HTTP connection counters (filled in by the HTTP front-end).
+    pub connections: ConnectionStats,
 }
 
 impl ServeStats {
@@ -111,9 +134,10 @@ impl std::fmt::Display for ServeStats {
         writeln!(f, "serve stats ({:.2}s window)", self.elapsed.as_secs_f64())?;
         writeln!(
             f,
-            "  requests:   {} completed, {} errors, {:.1} req/s",
+            "  requests:   {} completed, {} errors, {} expired, {:.1} req/s",
             self.completed,
             self.errors,
+            self.expired,
             self.throughput_rps()
         )?;
         writeln!(
@@ -145,6 +169,19 @@ impl std::fmt::Display for ServeStats {
             self.cull_sharing_factor(),
             histogram.join(" "),
         )?;
+        writeln!(
+            f,
+            "  sharding:   {} shard layers, layer p50 {:.2}ms  p99 {:.2}ms  mean {:.2}ms",
+            self.shards_rendered,
+            self.shard_layer.p50 * 1e3,
+            self.shard_layer.p99 * 1e3,
+            self.shard_layer.mean * 1e3,
+        )?;
+        writeln!(
+            f,
+            "  connections: {} accepted, {} rejected, {} active",
+            self.connections.accepted, self.connections.rejected, self.connections.active,
+        )?;
         let per_worker: Vec<String> = self
             .per_worker
             .iter()
@@ -161,14 +198,63 @@ impl std::fmt::Display for ServeStats {
 /// bounded no matter how many requests it serves.
 const LATENCY_RESERVOIR: usize = 65_536;
 
+/// A bounded-memory latency accumulator: exact running mean and max plus a
+/// uniform reservoir sample (Algorithm R) for percentile estimation.
+struct LatencyAccum {
+    reservoir: Vec<f64>,
+    count: u64,
+    sum: f64,
+    max: f64,
+    rng: gs_core::rng::Rng64,
+}
+
+impl LatencyAccum {
+    fn new(seed: u64) -> Self {
+        Self {
+            reservoir: Vec::new(),
+            count: 0,
+            sum: 0.0,
+            max: 0.0,
+            rng: gs_core::rng::Rng64::seed_from_u64(seed),
+        }
+    }
+
+    fn record(&mut self, secs: f64) {
+        self.count += 1;
+        self.sum += secs;
+        self.max = self.max.max(secs);
+        // Algorithm R: every observed latency ends up in the reservoir with
+        // equal probability.
+        if self.reservoir.len() < LATENCY_RESERVOIR {
+            self.reservoir.push(secs);
+        } else {
+            let j = self.rng.gen_range(0u64..self.count) as usize;
+            if j < LATENCY_RESERVOIR {
+                self.reservoir[j] = secs;
+            }
+        }
+    }
+
+    fn summary(&self) -> LatencySummary {
+        let mut sorted = self.reservoir.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut summary = LatencySummary::from_sorted(&sorted);
+        // Percentiles are sampled; mean and max are exact.
+        if self.count > 0 {
+            summary.mean = self.sum / self.count as f64;
+            summary.max = self.max;
+        }
+        summary
+    }
+}
+
 struct CollectorInner {
-    latency_reservoir: Vec<f64>,
-    latency_count: u64,
-    latency_sum: f64,
-    latency_max: f64,
-    reservoir_rng: gs_core::rng::Rng64,
+    latency: LatencyAccum,
+    shard_layer: LatencyAccum,
     completed: u64,
     errors: u64,
+    expired: u64,
+    shards_rendered: u64,
     batches: BTreeMap<usize, u64>,
     per_worker: Vec<u64>,
     union_active: u64,
@@ -187,13 +273,12 @@ impl StatsCollector {
         Self {
             started: Instant::now(),
             inner: Mutex::new(CollectorInner {
-                latency_reservoir: Vec::new(),
-                latency_count: 0,
-                latency_sum: 0.0,
-                latency_max: 0.0,
-                reservoir_rng: gs_core::rng::Rng64::seed_from_u64(0x5eed),
+                latency: LatencyAccum::new(0x5eed),
+                shard_layer: LatencyAccum::new(0x51a6d),
                 completed: 0,
                 errors: 0,
+                expired: 0,
+                shards_rendered: 0,
                 batches: BTreeMap::new(),
                 per_worker: vec![0; workers],
                 union_active: 0,
@@ -206,20 +291,7 @@ impl StatsCollector {
     pub fn record_completed(&self, worker: usize, latency: Duration) {
         let secs = latency.as_secs_f64();
         let mut inner = self.inner.lock().unwrap();
-        inner.latency_count += 1;
-        inner.latency_sum += secs;
-        inner.latency_max = inner.latency_max.max(secs);
-        // Algorithm R: every observed latency ends up in the reservoir with
-        // equal probability.
-        if inner.latency_reservoir.len() < LATENCY_RESERVOIR {
-            inner.latency_reservoir.push(secs);
-        } else {
-            let count = inner.latency_count;
-            let j = inner.reservoir_rng.gen_range(0u64..count) as usize;
-            if j < LATENCY_RESERVOIR {
-                inner.latency_reservoir[j] = secs;
-            }
-        }
+        inner.latency.record(secs);
         inner.completed += 1;
         if let Some(slot) = inner.per_worker.get_mut(worker) {
             *slot += 1;
@@ -237,6 +309,18 @@ impl StatsCollector {
         self.inner.lock().unwrap().errors += n;
     }
 
+    /// Records `n` requests skipped because their deadline passed in queue.
+    pub fn record_expired(&self, n: u64) {
+        self.inner.lock().unwrap().expired += n;
+    }
+
+    /// Records one rendered shard layer and how long it took.
+    pub fn record_shard_layer(&self, elapsed: Duration) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.shards_rendered += 1;
+        inner.shard_layer.record(elapsed.as_secs_f64());
+    }
+
     /// Records one formed batch and its gather-sharing counts.
     pub fn record_batch(&self, size: usize, union_active: usize, summed_active: usize) {
         let mut inner = self.inner.lock().unwrap();
@@ -248,24 +332,20 @@ impl StatsCollector {
     /// Snapshots everything into a [`ServeStats`] report.
     pub fn snapshot(&self, cache: CacheStats) -> ServeStats {
         let inner = self.inner.lock().unwrap();
-        let mut sorted = inner.latency_reservoir.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        let mut latency = LatencySummary::from_sorted(&sorted);
-        // Percentiles are sampled; mean and max are exact.
-        if inner.latency_count > 0 {
-            latency.mean = inner.latency_sum / inner.latency_count as f64;
-            latency.max = inner.latency_max;
-        }
         ServeStats {
             completed: inner.completed,
             errors: inner.errors,
+            expired: inner.expired,
             elapsed: self.started.elapsed(),
-            latency,
+            latency: inner.latency.summary(),
             cache,
             batch_histogram: inner.batches.iter().map(|(&s, &c)| (s, c)).collect(),
             per_worker: inner.per_worker.clone(),
             union_active: inner.union_active,
             summed_active: inner.summed_active,
+            shards_rendered: inner.shards_rendered,
+            shard_layer: inner.shard_layer.summary(),
+            connections: ConnectionStats::default(),
         }
     }
 }
@@ -363,6 +443,23 @@ mod tests {
             "sampled p50 {} must lie in the observed range",
             stats.latency.p50
         );
+    }
+
+    #[test]
+    fn expired_and_shard_layer_counters_accumulate() {
+        let collector = StatsCollector::new(1);
+        collector.record_expired(3);
+        collector.record_shard_layer(Duration::from_millis(2));
+        collector.record_shard_layer(Duration::from_millis(4));
+        let stats = collector.snapshot(CacheStats::default());
+        assert_eq!(stats.expired, 3);
+        assert_eq!(stats.shards_rendered, 2);
+        assert!((stats.shard_layer.mean - 0.003).abs() < 1e-9);
+        assert!((stats.shard_layer.max - 0.004).abs() < 1e-9);
+        let text = stats.to_string();
+        assert!(text.contains("3 expired"), "{text}");
+        assert!(text.contains("2 shard layers"), "{text}");
+        assert!(text.contains("connections:"), "{text}");
     }
 
     #[test]

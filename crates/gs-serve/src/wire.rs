@@ -28,15 +28,33 @@
 //! * [`WireFormat::Ppm`] — a binary `P6` PPM with 8-bit channels (values
 //!   clamped to `[0, 1]` and scaled), viewable in any image tool.
 
+use std::time::{Duration, Instant};
+
 use gs_core::camera::{Camera, Viewport};
+use gs_core::gaussian::GaussianParams;
 use gs_core::image::Image;
 use gs_core::math::Vec3;
+use gs_core::rng::Rng64;
 
 use crate::request::RenderRequest;
 
 /// Largest accepted image dimension; bounds the allocation a request can ask
 /// the renderer for.
 pub const MAX_WIRE_DIM: usize = 4096;
+
+/// Largest synthetic scene a `POST /scenes/<id>` body may ask the server to
+/// build (bounds both build time and the host-side shard stores). Larger
+/// specs are answered with `413`.
+pub const MAX_SPEC_GAUSSIANS: usize = 500_000;
+
+/// Whether `id` survives the `to_body()`/`parse()` round trip: non-empty,
+/// no whitespace and none of the JSON-ish punctuation the parser strips.
+pub fn valid_scene_id(id: &str) -> bool {
+    !id.is_empty()
+        && !id
+            .chars()
+            .any(|c| c.is_whitespace() || matches!(c, '{' | '}' | '"' | ':' | ',' | '/'))
+}
 
 /// Binary encoding of a rendered frame on the wire.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -98,6 +116,10 @@ pub struct WireRequest {
     pub sh_degree: usize,
     /// Response encoding.
     pub format: WireFormat,
+    /// Optional deadline in milliseconds from the moment the request is
+    /// turned into a render request; expired queued requests are answered
+    /// with `503` instead of being rendered.
+    pub deadline_ms: Option<u64>,
 }
 
 impl WireRequest {
@@ -120,6 +142,7 @@ impl WireRequest {
             viewport: None,
             sh_degree: 3,
             format: WireFormat::default(),
+            deadline_ms: None,
         }
     }
 
@@ -130,16 +153,7 @@ impl WireRequest {
     /// [`WireError`] naming the offending key when the body is malformed,
     /// misses a required key, or fails validation.
     pub fn parse(body: &str) -> Result<Self, WireError> {
-        let normalized: String = body
-            .chars()
-            .map(|c| {
-                if matches!(c, '{' | '}' | '"' | ':' | ',') {
-                    ' '
-                } else {
-                    c
-                }
-            })
-            .collect();
+        let normalized = normalize_body(body);
         let mut tokens = normalized.split_whitespace();
 
         let mut scene: Option<String> = None;
@@ -151,44 +165,9 @@ impl WireRequest {
         let mut viewport: Option<(usize, usize, usize, usize)> = None;
         let mut sh_degree = 3usize;
         let mut format = WireFormat::default();
+        let mut deadline_ms: Option<u64> = None;
 
-        fn floats<const N: usize>(
-            tokens: &mut std::str::SplitWhitespace<'_>,
-            key: &str,
-        ) -> Result<[f32; N], WireError> {
-            let mut out = [0.0f32; N];
-            for slot in &mut out {
-                let tok = tokens
-                    .next()
-                    .ok_or_else(|| err(format!("key {key:?} is missing values")))?;
-                *slot = tok
-                    .parse::<f32>()
-                    .map_err(|_| err(format!("key {key:?}: {tok:?} is not a number")))?;
-                if !slot.is_finite() {
-                    return Err(err(format!("key {key:?}: {tok:?} is not finite")));
-                }
-            }
-            Ok(out)
-        }
-
-        fn uints<const N: usize>(
-            tokens: &mut std::str::SplitWhitespace<'_>,
-            key: &str,
-        ) -> Result<[usize; N], WireError> {
-            let mut out = [0usize; N];
-            for slot in &mut out {
-                let tok = tokens
-                    .next()
-                    .ok_or_else(|| err(format!("key {key:?} is missing values")))?;
-                *slot = tok.parse::<usize>().map_err(|_| {
-                    err(format!(
-                        "key {key:?}: {tok:?} is not a non-negative integer"
-                    ))
-                })?;
-            }
-            Ok(out)
-        }
-
+        use {parse_floats as floats, parse_uints as uints};
         while let Some(key) = tokens.next() {
             match key {
                 "scene" => {
@@ -210,6 +189,9 @@ impl WireRequest {
                     viewport = Some((x0, y0, x1, y1));
                 }
                 "sh" => sh_degree = uints::<1>(&mut tokens, "sh")?[0],
+                "deadline_ms" => {
+                    deadline_ms = Some(uints::<1>(&mut tokens, "deadline_ms")?[0] as u64)
+                }
                 "format" => {
                     format = match tokens.next() {
                         Some("raw") => WireFormat::RawF32,
@@ -241,6 +223,7 @@ impl WireRequest {
             viewport,
             sh_degree,
             format,
+            deadline_ms,
         };
         req.validate()?;
         Ok(req)
@@ -253,16 +236,12 @@ impl WireRequest {
     /// [`WireError`] naming the offending field.
     pub fn validate(&self) -> Result<(), WireError> {
         // Enforce the scene-id charset so `to_body()`/`parse()` round-trips:
-        // whitespace would split the id into extra tokens and the JSON-ish
-        // punctuation is normalized away by the parser.
-        if self.scene.is_empty()
-            || self
-                .scene
-                .chars()
-                .any(|c| c.is_whitespace() || matches!(c, '{' | '}' | '"' | ':' | ','))
-        {
+        // whitespace would split the id into extra tokens, the JSON-ish
+        // punctuation is normalized away by the parser, and `/` would break
+        // the `POST /scenes/<id>` path.
+        if !valid_scene_id(&self.scene) {
             return Err(err(
-                "scene id must be non-empty, without whitespace or { } \" : ,",
+                "scene id must be non-empty, without whitespace or { } \" : , /",
             ));
         }
         if self.width == 0 || self.height == 0 {
@@ -318,6 +297,9 @@ impl WireRequest {
             body.push_str(&format!("viewport {x0} {y0} {x1} {y1}\n"));
         }
         body.push_str(&format!("sh {}\n", self.sh_degree));
+        if let Some(ms) = self.deadline_ms {
+            body.push_str(&format!("deadline_ms {ms}\n"));
+        }
         body.push_str(match self.format {
             WireFormat::RawF32 => "format raw\n",
             WireFormat::Ppm => "format ppm\n",
@@ -344,8 +326,221 @@ impl WireRequest {
             camera,
             viewport,
             sh_degree: self.sh_degree,
+            deadline: self
+                .deadline_ms
+                .map(|ms| Instant::now() + Duration::from_millis(ms)),
         }
     }
+}
+
+/// A synthetic-scene specification as it travels in a `POST /scenes/<id>`
+/// body: the same tolerant `key value` line format as render requests.
+///
+/// ```text
+/// gaussians 20000
+/// seed 7
+/// extent 80 8 8
+/// scale 0.1 0.4
+/// opacity 0.3 0.9
+/// bg 0.05 0.05 0.08
+/// shards 4
+/// ```
+///
+/// Only `gaussians` is required. `extent` is the full side length of the
+/// generation box per axis (an elongated box produces the corridor scenes
+/// that shard into depth-disjoint slabs), `scale` and `opacity` are
+/// per-Gaussian sampling ranges, and `shards` overrides the server's
+/// automatic size-threshold sharding (`0` = auto).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SceneSpec {
+    /// Number of Gaussians to generate (1..=[`MAX_SPEC_GAUSSIANS`]).
+    pub gaussians: usize,
+    /// Generation seed (deterministic builds).
+    pub seed: u64,
+    /// Full extents of the generation box, per axis.
+    pub extent: [f32; 3],
+    /// `[min, max]` isotropic scale range.
+    pub scale: [f32; 2],
+    /// `[min, max]` opacity range (inside `(0, 1)`).
+    pub opacity: [f32; 2],
+    /// Background color registered with the scene.
+    pub background: [f32; 3],
+    /// Explicit shard count; `None` lets the server decide by size.
+    pub shards: Option<usize>,
+}
+
+impl SceneSpec {
+    /// A spec with `gaussians` Gaussians and the documented defaults.
+    pub fn new(gaussians: usize) -> Self {
+        Self {
+            gaussians,
+            seed: 0,
+            extent: [60.0, 60.0, 12.0],
+            scale: [0.1, 0.4],
+            opacity: [0.3, 0.9],
+            background: [0.05, 0.05, 0.08],
+            shards: None,
+        }
+    }
+
+    /// Parses and validates a scene-spec body.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] naming the offending key. Note the
+    /// [`MAX_SPEC_GAUSSIANS`] cap is *not* enforced here — the HTTP layer
+    /// distinguishes an oversized spec (`413`) from a malformed one (`400`).
+    pub fn parse(body: &str) -> Result<Self, WireError> {
+        let normalized = normalize_body(body);
+        let mut tokens = normalized.split_whitespace();
+        let mut spec = SceneSpec::new(0);
+        let mut gaussians: Option<usize> = None;
+        while let Some(key) = tokens.next() {
+            match key {
+                "gaussians" => gaussians = Some(parse_uints::<1>(&mut tokens, "gaussians")?[0]),
+                "seed" => spec.seed = parse_uints::<1>(&mut tokens, "seed")?[0] as u64,
+                "extent" => spec.extent = parse_floats::<3>(&mut tokens, "extent")?,
+                "scale" => spec.scale = parse_floats::<2>(&mut tokens, "scale")?,
+                "opacity" => spec.opacity = parse_floats::<2>(&mut tokens, "opacity")?,
+                "bg" => spec.background = parse_floats::<3>(&mut tokens, "bg")?,
+                "shards" => spec.shards = Some(parse_uints::<1>(&mut tokens, "shards")?[0]),
+                unknown => return Err(err(format!("unknown key {unknown:?}"))),
+            }
+        }
+        spec.gaussians = gaussians.ok_or_else(|| err("missing required key \"gaussians\""))?;
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Validates field ranges (everything except the size cap — see
+    /// [`SceneSpec::parse`]).
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] naming the offending field.
+    pub fn validate(&self) -> Result<(), WireError> {
+        if self.gaussians == 0 {
+            return Err(err("gaussians must be positive"));
+        }
+        for (i, e) in self.extent.iter().enumerate() {
+            if !(e.is_finite() && *e > 0.0) {
+                return Err(err(format!("extent axis {i} must be positive and finite")));
+            }
+        }
+        let [lo, hi] = self.scale;
+        if !(lo.is_finite() && hi.is_finite() && 0.0 < lo && lo <= hi) {
+            return Err(err("scale must be a positive [min, max] range"));
+        }
+        let [lo, hi] = self.opacity;
+        if !(0.0 < lo && lo <= hi && hi < 1.0) {
+            return Err(err("opacity must be a [min, max] range inside (0, 1)"));
+        }
+        if self.background.iter().any(|b| !b.is_finite()) {
+            return Err(err("bg must be finite"));
+        }
+        if self.shards == Some(0) {
+            return Err(err("shards must be positive when given"));
+        }
+        Ok(())
+    }
+
+    /// Serializes the spec into the line-based body format
+    /// (`parse(to_body())` round-trips).
+    pub fn to_body(&self) -> String {
+        let mut body = String::new();
+        body.push_str(&format!("gaussians {}\n", self.gaussians));
+        body.push_str(&format!("seed {}\n", self.seed));
+        let [ex, ey, ez] = self.extent;
+        body.push_str(&format!("extent {ex} {ey} {ez}\n"));
+        body.push_str(&format!("scale {} {}\n", self.scale[0], self.scale[1]));
+        body.push_str(&format!(
+            "opacity {} {}\n",
+            self.opacity[0], self.opacity[1]
+        ));
+        let [r, g, b] = self.background;
+        body.push_str(&format!("bg {r} {g} {b}\n"));
+        if let Some(k) = self.shards {
+            body.push_str(&format!("shards {k}\n"));
+        }
+        body
+    }
+
+    /// Builds the scene the spec describes: Gaussians scattered uniformly
+    /// in the extent box, deterministic in the seed.
+    pub fn build(&self) -> GaussianParams {
+        let mut rng = Rng64::seed_from_u64(self.seed);
+        let mut params = GaussianParams::with_capacity(self.gaussians);
+        let half = [
+            self.extent[0] / 2.0,
+            self.extent[1] / 2.0,
+            self.extent[2] / 2.0,
+        ];
+        for _ in 0..self.gaussians {
+            let pos = Vec3::new(
+                rng.gen_range(-half[0]..half[0]),
+                rng.gen_range(-half[1]..half[1]),
+                rng.gen_range(-half[2]..half[2]),
+            );
+            let scale = rng.gen_range(self.scale[0]..self.scale[1].max(self.scale[0] + 1e-6));
+            let rgb = [rng.gen_f32(), rng.gen_f32(), rng.gen_f32()];
+            let opacity =
+                rng.gen_range(self.opacity[0]..self.opacity[1].max(self.opacity[0] + 1e-6));
+            params.push_isotropic(pos, scale, rgb, opacity);
+        }
+        params
+    }
+}
+
+/// The shared body normalization of every wire parser: the JSON-ish
+/// punctuation becomes whitespace, so line and JSON-ish bodies tokenize
+/// identically for [`WireRequest::parse`] and [`SceneSpec::parse`].
+fn normalize_body(body: &str) -> String {
+    body.chars()
+        .map(|c| {
+            if matches!(c, '{' | '}' | '"' | ':' | ',') {
+                ' '
+            } else {
+                c
+            }
+        })
+        .collect()
+}
+
+fn parse_uints<const N: usize>(
+    tokens: &mut std::str::SplitWhitespace<'_>,
+    key: &str,
+) -> Result<[usize; N], WireError> {
+    let mut out = [0usize; N];
+    for slot in &mut out {
+        let tok = tokens
+            .next()
+            .ok_or_else(|| err(format!("key {key:?} is missing values")))?;
+        *slot = tok.parse::<usize>().map_err(|_| {
+            err(format!(
+                "key {key:?}: {tok:?} is not a non-negative integer"
+            ))
+        })?;
+    }
+    Ok(out)
+}
+
+fn parse_floats<const N: usize>(
+    tokens: &mut std::str::SplitWhitespace<'_>,
+    key: &str,
+) -> Result<[f32; N], WireError> {
+    let mut out = [0.0f32; N];
+    for slot in &mut out {
+        let tok = tokens
+            .next()
+            .ok_or_else(|| err(format!("key {key:?} is missing values")))?;
+        *slot = tok
+            .parse::<f32>()
+            .map_err(|_| err(format!("key {key:?}: {tok:?} is not a number")))?;
+        if !slot.is_finite() {
+            return Err(err(format!("key {key:?}: {tok:?} is not finite")));
+        }
+    }
+    Ok(out)
 }
 
 /// Encodes an image as row-major RGB `f32` little-endian bytes.
@@ -480,8 +675,67 @@ mod tests {
     }
 
     #[test]
+    fn deadline_ms_roundtrips_and_reaches_the_render_request() {
+        let mut req = demo();
+        req.deadline_ms = Some(250);
+        let parsed = WireRequest::parse(&req.to_body()).unwrap();
+        assert_eq!(parsed, req);
+        let before = std::time::Instant::now();
+        let render = parsed.to_render_request();
+        let deadline = render.deadline.expect("deadline must be set");
+        let delta = deadline - before;
+        assert!(
+            delta >= std::time::Duration::from_millis(250)
+                && delta < std::time::Duration::from_secs(60),
+            "deadline must sit ~250ms in the future, got {delta:?}"
+        );
+        assert!(demo().to_render_request().deadline.is_none());
+    }
+
+    #[test]
+    fn scene_spec_roundtrips_and_builds_deterministically() {
+        let mut spec = SceneSpec::new(200);
+        spec.seed = 9;
+        spec.extent = [80.0, 8.0, 8.0];
+        spec.shards = Some(4);
+        let parsed = SceneSpec::parse(&spec.to_body()).unwrap();
+        assert_eq!(parsed, spec);
+        let a = spec.build();
+        let b = parsed.build();
+        assert_eq!(a, b, "same spec, same scene");
+        assert_eq!(a.len(), 200);
+        // Positions honor the extent box.
+        for i in 0..a.len() {
+            let m = a.mean(i);
+            assert!(m.x.abs() <= 40.0 && m.y.abs() <= 4.0 && m.z.abs() <= 4.0);
+        }
+        // Different seeds give different scenes.
+        spec.seed = 10;
+        assert_ne!(spec.build(), a);
+    }
+
+    #[test]
+    fn scene_spec_rejects_malformed_bodies() {
+        for (body, why) in [
+            ("", "missing gaussians"),
+            ("gaussians 0\n", "zero gaussians"),
+            ("gaussians 10\nextent 0 5 5\n", "degenerate extent"),
+            ("gaussians 10\nopacity 0.5 1.5\n", "opacity above 1"),
+            ("gaussians 10\nscale -1 0.5\n", "negative scale"),
+            ("gaussians 10\nshards 0\n", "zero shards"),
+            ("gaussians 10\nbogus 3\n", "unknown key"),
+            ("gaussians ten\n", "non-numeric"),
+        ] {
+            assert!(SceneSpec::parse(body).is_err(), "{why}: {body:?}");
+        }
+        // JSON-ish bodies parse like line bodies.
+        let spec = SceneSpec::parse(r#"{"gaussians": 50, "seed": 3, "shards": 2}"#).unwrap();
+        assert_eq!((spec.gaussians, spec.seed, spec.shards), (50, 3, Some(2)));
+    }
+
+    #[test]
     fn scene_ids_that_break_the_round_trip_are_rejected() {
-        for id in ["", "my scene", "a,b", "a\"b", "a:b", "{x}"] {
+        for id in ["", "my scene", "a,b", "a\"b", "a:b", "{x}", "a/b"] {
             let mut req = demo();
             req.scene = id.to_string();
             assert!(

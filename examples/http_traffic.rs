@@ -62,6 +62,7 @@ fn start_server(scenes: &[SceneDataset], workers: usize, addr: &str) -> HttpServ
             max_batch: 8,
             cache_bytes: 64 << 20,
             pose_quant: 0.05,
+            shard_bytes: 0,
         },
         SceneRegistry::with_budget(1 << 30),
     ));

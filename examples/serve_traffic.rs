@@ -83,6 +83,7 @@ fn run_workload(scenes: &Arc<Vec<SceneDataset>>, workers: usize) -> ServeStats {
             max_batch: 8,
             cache_bytes: 64 << 20,
             pose_quant: 0.05,
+            shard_bytes: 0,
         },
         SceneRegistry::with_budget(budget),
     ));

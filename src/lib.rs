@@ -14,7 +14,8 @@
 //! * [`train`] (`gs-train`) — the GPU-only, baseline-offloading and GS-Scale
 //!   trainers.
 //! * [`serve`] (`gs-serve`) — the concurrent multi-scene rendering service
-//!   (batching, frame cache, memory-aware admission control) plus its
+//!   (batching, frame cache, memory-aware admission control, scene sharding
+//!   with depth-ordered layer compositing, per-request deadlines) plus its
 //!   std-only HTTP/1.1 front-end for external load generators.
 //!
 //! # Quickstart

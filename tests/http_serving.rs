@@ -38,6 +38,7 @@ fn front_end(scene: &SceneDataset) -> (HttpServer, Arc<RenderServer>) {
             max_batch: 4,
             cache_bytes: 0,
             pose_quant: 0.05,
+            shard_bytes: 0,
         },
         SceneRegistry::with_budget(1 << 30),
     ));
@@ -235,6 +236,7 @@ fn idle_connections_are_closed_after_the_idle_timeout() {
             max_batch: 1,
             cache_bytes: 0,
             pose_quant: 0.05,
+            shard_bytes: 0,
         },
         SceneRegistry::with_budget(1 << 30),
     ));
@@ -263,7 +265,7 @@ fn idle_connections_are_closed_after_the_idle_timeout() {
 }
 
 #[test]
-fn scenes_endpoint_lists_loaded_scenes() {
+fn scenes_endpoint_lists_layouts() {
     let scene = tiny_scene(230, 300);
     let (http, server) = front_end(&scene);
     server
@@ -272,11 +274,166 @@ fn scenes_endpoint_lists_loaded_scenes() {
     let mut stream = TcpStream::connect(http.local_addr()).unwrap();
     let response = client::request(&mut stream, "GET", "/scenes", b"").unwrap();
     assert_eq!(response.status, 200);
-    let listed: Vec<&str> = std::str::from_utf8(&response.body)
-        .unwrap()
-        .lines()
-        .collect();
-    assert_eq!(listed, vec!["annex", "city"], "sorted scene ids");
+    let body = String::from_utf8(response.body).unwrap();
+    let listed: Vec<&str> = body.lines().collect();
+    assert_eq!(listed.len(), 2);
+    assert!(
+        listed[0].starts_with("annex shards=1 resident=1/1 gaussians=300"),
+        "{body}"
+    );
+    assert!(listed[1].starts_with("city shards=1"), "{body}");
+    http.shutdown();
+}
+
+#[test]
+fn post_scenes_builds_registers_and_serves_sharded_scenes() {
+    let scene = tiny_scene(270, 300);
+    let (http, server) = front_end(&scene);
+    let mut stream = TcpStream::connect(http.local_addr()).unwrap();
+
+    // A corridor spec with an explicit shard count.
+    let spec = "gaussians 600\nseed 5\nextent 60 6 6\nshards 3\n";
+    let response =
+        client::request(&mut stream, "POST", "/scenes/uploaded", spec.as_bytes()).unwrap();
+    assert_eq!(
+        response.status,
+        201,
+        "{}",
+        String::from_utf8_lossy(&response.body)
+    );
+    assert!(String::from_utf8_lossy(&response.body).contains("3 shard(s)"));
+
+    // The new scene shows up in /scenes with its shard layout...
+    let scenes = client::request(&mut stream, "GET", "/scenes", b"").unwrap();
+    let listing = String::from_utf8(scenes.body).unwrap();
+    assert!(
+        listing.contains("uploaded shards=3"),
+        "layout must list the shards: {listing}"
+    );
+
+    // ...and renders over the wire through the sharded fan-out path.
+    let wire_req = WireRequest::new("uploaded", [-40.0, 0.0, 0.0], [0.0, 0.0, 0.0], 64, 48);
+    let response = client::request(
+        &mut stream,
+        "POST",
+        "/render",
+        wire_req.to_body().as_bytes(),
+    )
+    .unwrap();
+    assert_eq!(
+        response.status,
+        200,
+        "{}",
+        String::from_utf8_lossy(&response.body)
+    );
+    assert_eq!(response.header("x-shards"), Some("3"));
+
+    // Re-posting the same id is a conflict; the loaded scene is untouched.
+    let response =
+        client::request(&mut stream, "POST", "/scenes/uploaded", spec.as_bytes()).unwrap();
+    assert_eq!(response.status, 409);
+    assert!(server.loaded_scenes().contains(&"uploaded".to_string()));
+
+    // Malformed specs and bad ids are 400s, oversized specs 413.
+    let response =
+        client::request(&mut stream, "POST", "/scenes/bad", b"gaussians nope\n").unwrap();
+    assert_eq!(response.status, 400);
+    let response = client::request(&mut stream, "POST", "/scenes/", spec.as_bytes()).unwrap();
+    assert_eq!(response.status, 400);
+    let response = client::request(
+        &mut stream,
+        "POST",
+        "/scenes/too-big",
+        b"gaussians 999999999\n",
+    )
+    .unwrap();
+    assert_eq!(response.status, 413);
+
+    // Wrong method on a scene path.
+    let response = client::request(&mut stream, "GET", "/scenes/uploaded", b"").unwrap();
+    assert_eq!(response.status, 405);
+    http.shutdown();
+}
+
+#[test]
+fn stats_endpoint_reports_connection_counters() {
+    let scene = tiny_scene(280, 300);
+    let (http, _server) = front_end(&scene);
+    let addr = http.local_addr();
+
+    // Two keep-alive requests on one connection, then a second connection:
+    // accepted counts connections, not requests.
+    let mut first = TcpStream::connect(addr).unwrap();
+    assert_eq!(
+        client::request(&mut first, "GET", "/healthz", b"")
+            .unwrap()
+            .status,
+        200
+    );
+    assert_eq!(
+        client::request(&mut first, "GET", "/healthz", b"")
+            .unwrap()
+            .status,
+        200
+    );
+    let mut second = TcpStream::connect(addr).unwrap();
+    let stats = client::request(&mut second, "GET", "/stats", b"").unwrap();
+    let text = String::from_utf8(stats.body).unwrap();
+    assert!(
+        text.contains("connections: 2 accepted, 0 rejected, 2 active"),
+        "{text}"
+    );
+    let snapshot = http.connection_stats();
+    assert_eq!((snapshot.accepted, snapshot.rejected), (2, 0));
+    assert_eq!(snapshot.active, 2);
+    http.shutdown();
+}
+
+#[test]
+fn connections_beyond_the_limit_count_as_rejected() {
+    use std::time::Duration;
+
+    let scene = tiny_scene(290, 300);
+    let server = Arc::new(RenderServer::new(
+        ServeConfig {
+            workers: 1,
+            queue_depth: 4,
+            max_batch: 1,
+            cache_bytes: 0,
+            pose_quant: 0.05,
+            shard_bytes: 0,
+        },
+        SceneRegistry::with_budget(1 << 30),
+    ));
+    server
+        .load_scene("city", Arc::new(scene.gt_params.clone()), scene.background)
+        .unwrap();
+    let http = HttpServer::bind(
+        HttpConfig {
+            max_connections: 1,
+            ..HttpConfig::default()
+        },
+        server,
+    )
+    .unwrap();
+
+    // Hold one slot with an established connection...
+    let mut held = TcpStream::connect(http.local_addr()).unwrap();
+    assert_eq!(
+        client::request(&mut held, "GET", "/healthz", b"")
+            .unwrap()
+            .status,
+        200
+    );
+    // ...so the next connection is shed with 503 and counted as rejected.
+    let mut extra = TcpStream::connect(http.local_addr()).unwrap();
+    extra
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let response = client::request(&mut extra, "GET", "/healthz", b"").unwrap();
+    assert_eq!(response.status, 503);
+    let stats = http.connection_stats();
+    assert_eq!((stats.accepted, stats.rejected, stats.active), (1, 1, 1));
     http.shutdown();
 }
 

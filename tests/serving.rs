@@ -31,6 +31,7 @@ fn no_cache_config(workers: usize) -> ServeConfig {
         max_batch: 8,
         cache_bytes: 0,
         pose_quant: 0.05,
+        shard_bytes: 0,
     }
 }
 
@@ -48,6 +49,7 @@ fn cache_disabled_renders_each_exact_camera_despite_quantization() {
             max_batch: 8,
             cache_bytes: 0,
             pose_quant: 10.0, // huge cell: both cameras share a FrameKey
+            shard_bytes: 0,
         },
         SceneRegistry::with_budget(1 << 30),
     ));
@@ -350,6 +352,7 @@ fn panicked_batch_records_one_error_per_dropped_job() {
             max_batch: 8,
             cache_bytes: 0,
             pose_quant: 0.05,
+            shard_bytes: 0,
         },
         SceneRegistry::with_budget(1 << 30),
     ));
@@ -417,6 +420,7 @@ fn batching_groups_same_scene_requests() {
             max_batch: 8,
             cache_bytes: 0,
             pose_quant: 0.05,
+            shard_bytes: 0,
         },
         SceneRegistry::with_budget(1 << 30),
     ));
