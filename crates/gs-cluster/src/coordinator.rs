@@ -1,0 +1,1171 @@
+//! The cluster coordinator: one façade over N replicas.
+//!
+//! The [`Coordinator`] owns scene placement (see [`crate::placement`]),
+//! routes renders by scene id, and turns replica failures into failovers
+//! instead of errors: every scene's parameters are held host-side, so when
+//! a replica stops answering the coordinator marks it down, re-loads the
+//! affected scene (or shard) onto a healthy replica and retries — the
+//! client never sees the death as long as capacity remains.
+//!
+//! Cross-node sharded rendering comes in two composite modes:
+//!
+//! * [`CompositeMode::Relay`] (default) walks the visible shards
+//!   front-to-back, shipping the **running layer state** to each shard's
+//!   replica in turn ([`gs_serve::wire::encode_layer_request`]). Each
+//!   replica continues the per-pixel blend exactly where the previous shard
+//!   left it, so the final frame is **bit-identical** to the single-node
+//!   sharded render (and, for depth-disjoint shards, to the unsharded
+//!   render) — at the cost of one sequential wire hop per shard.
+//! * [`CompositeMode::Fanout`] renders every visible shard's layer in
+//!   parallel on its replica and composites them front-to-back with
+//!   [`FrameLayer::composite_onto`]. One round-trip of wall-clock latency,
+//!   but the composite re-associates the blend products, which perturbs
+//!   depth-disjoint frames by a few ulps and depth-overlapping frames by a
+//!   measurable boundary error (characterized in `tests/cluster.rs`).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use gs_core::gaussian::GaussianParams;
+use gs_core::image::Image;
+use gs_render::rasterize::FrameLayer;
+use gs_serve::{
+    shard_scene, visible_shards, Aabb, CacheStats, SceneId, ServeError, StatsCollector, WireRequest,
+};
+
+use crate::placement::{
+    pick_replica, Hold, PlacementCandidate, SceneHold, ScenePlacement, ShardHold,
+};
+use crate::replica::{Health, Replica, ReplicaError, ReplicaId, ReplicaTransport};
+use crate::stats::{merge_latency, ClusterStats, ReplicaReport};
+
+/// How the coordinator composites cross-node shard layers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CompositeMode {
+    /// Sequentially relay the running layer through each shard's replica —
+    /// bit-identical to the single-node sharded render.
+    #[default]
+    Relay,
+    /// Render all shard layers in parallel and merge with
+    /// `composite_onto` — one hop of latency, ulp-level reassociation
+    /// error.
+    Fanout,
+}
+
+/// Configuration of a [`Coordinator`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterConfig {
+    /// Cross-node shard compositing mode.
+    pub composite: CompositeMode,
+    /// Skip shards whose AABB misses the view frustum before fan-out.
+    pub cull_shards: bool,
+    /// How many times one request may fail over to another replica before
+    /// the coordinator gives up.
+    pub max_failovers: usize,
+    /// Auto-sharding threshold in bytes for scenes arriving through the
+    /// cluster HTTP front-end (0 disables; explicit shard counts override).
+    pub shard_bytes: u64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        Self {
+            composite: CompositeMode::Relay,
+            cull_shards: true,
+            max_failovers: 2,
+            shard_bytes: 32 << 20,
+        }
+    }
+}
+
+/// A cluster-level failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClusterError {
+    /// No healthy replica has enough free budget for the placement.
+    NoCapacity {
+        /// Bytes the placement needed.
+        bytes: u64,
+    },
+    /// The scene is not loaded in the cluster.
+    UnknownScene(SceneId),
+    /// The id is already loaded (placement refuses implicit replacement
+    /// through the HTTP front-end).
+    SceneExists(SceneId),
+    /// A replica answered with a service error the coordinator cannot fix
+    /// by retrying elsewhere.
+    Serve(ServeError),
+    /// Every failover attempt was exhausted.
+    Exhausted {
+        /// The scene whose request kept failing.
+        scene: SceneId,
+        /// Attempts performed (1 + failovers).
+        attempts: usize,
+    },
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::NoCapacity { bytes } => {
+                write!(f, "no healthy replica has {bytes} bytes of free budget")
+            }
+            ClusterError::UnknownScene(id) => write!(f, "scene {id:?} is not loaded"),
+            ClusterError::SceneExists(id) => write!(f, "scene {id:?} is already loaded"),
+            ClusterError::Serve(e) => write!(f, "{e}"),
+            ClusterError::Exhausted { scene, attempts } => write!(
+                f,
+                "request for scene {scene:?} failed on every replica ({attempts} attempts)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+/// A completed cluster render.
+#[derive(Debug, Clone)]
+pub struct ClusterFrame {
+    /// The rendered image.
+    pub image: Image,
+    /// Scene the frame belongs to.
+    pub scene: SceneId,
+    /// Shard layers composited into the frame (1 for a single scene).
+    pub shards_rendered: usize,
+    /// Shards skipped by the coordinator's view culling.
+    pub shards_culled: usize,
+    /// Name of the serving replica (single scenes; `None` for cross-node
+    /// sharded frames, which touch several).
+    pub replica: Option<String>,
+    /// End-to-end latency as the coordinator saw it.
+    pub latency: Duration,
+}
+
+/// One row of [`Coordinator::replica_status`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicaStatus {
+    /// Replica index.
+    pub id: ReplicaId,
+    /// Display name.
+    pub name: String,
+    /// Routing state.
+    pub health: Health,
+    /// Reported device budget in bytes.
+    pub budget: u64,
+    /// Bytes the coordinator has placed here.
+    pub placed: u64,
+}
+
+struct ReplicaSlot {
+    replica: Arc<Replica>,
+    health: Health,
+    budget: u64,
+    placed: u64,
+}
+
+struct State {
+    replicas: Vec<ReplicaSlot>,
+    scenes: BTreeMap<SceneId, SceneHold>,
+    /// Ids claimed by in-flight exclusive loads (see
+    /// [`Coordinator::claim_scene`]).
+    loading: std::collections::HashSet<SceneId>,
+}
+
+#[derive(Default)]
+struct Counters {
+    failovers: AtomicU64,
+    replacements: AtomicU64,
+    shard_relays: AtomicU64,
+    shard_fanouts: AtomicU64,
+    shards_culled: AtomicU64,
+}
+
+/// A held exclusive-load claim (see [`Coordinator::claim_scene`]); dropping
+/// it releases the claim.
+pub struct LoadClaim<'a> {
+    coordinator: &'a Coordinator,
+    id: SceneId,
+}
+
+impl Drop for LoadClaim<'_> {
+    fn drop(&mut self) {
+        self.coordinator
+            .state
+            .lock()
+            .unwrap()
+            .loading
+            .remove(&self.id);
+    }
+}
+
+/// The multi-replica serving coordinator (see the module docs).
+pub struct Coordinator {
+    config: ClusterConfig,
+    state: Mutex<State>,
+    collector: StatsCollector,
+    counters: Counters,
+}
+
+/// The on-replica scene id of shard `k` of cluster scene `id`.
+fn shard_scene_id(id: &SceneId, k: usize) -> SceneId {
+    format!("{id}@{k}")
+}
+
+/// Whether a replica failure warrants marking it down and retrying
+/// elsewhere: transport failures (replica unreachable) and `ShuttingDown`
+/// answers (the replica is dying or shedding load mid-request). A replica
+/// that answers `UnknownScene` is *alive* but lost its copy (restart, LRU
+/// eviction by traffic outside the coordinator); that is handled by
+/// reloading the placement in place, not by declaring the replica dead.
+/// Every other service error is the request's own outcome and is returned
+/// to the client.
+fn failover_worthy(e: &ReplicaError) -> bool {
+    matches!(
+        e,
+        ReplicaError::Transport(_) | ReplicaError::Serve(ServeError::ShuttingDown)
+    )
+}
+
+/// Outcome of reloading a lost placement onto its current replica.
+enum Repair {
+    /// The copy is back; retry the request there.
+    Repaired,
+    /// The coordinator no longer holds the scene (concurrent unload or
+    /// replacement); the request's `UnknownScene` stands.
+    Gone,
+    /// The reload itself failed; fall back to marking the replica down.
+    Failed,
+}
+
+impl Coordinator {
+    /// Creates an empty coordinator.
+    pub fn new(config: ClusterConfig) -> Self {
+        Self {
+            config,
+            state: Mutex::new(State {
+                replicas: Vec::new(),
+                scenes: BTreeMap::new(),
+                loading: std::collections::HashSet::new(),
+            }),
+            collector: StatsCollector::new(1),
+            counters: Counters::default(),
+        }
+    }
+
+    /// The coordinator's configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// Attaches a replica, fetching its reported memory budget. The replica
+    /// starts [`Health::Up`].
+    ///
+    /// # Errors
+    ///
+    /// [`ReplicaError::Transport`] when the replica cannot be reached for
+    /// the budget probe.
+    pub fn add_replica(
+        &self,
+        name: impl Into<String>,
+        transport: ReplicaTransport,
+    ) -> Result<ReplicaId, ReplicaError> {
+        let replica = Replica::new(name, transport);
+        let budget = replica.budget_bytes()?;
+        let mut state = self.state.lock().unwrap();
+        state.replicas.push(ReplicaSlot {
+            replica: Arc::new(replica),
+            health: Health::Up,
+            budget,
+            placed: 0,
+        });
+        Ok(state.replicas.len() - 1)
+    }
+
+    /// Marks a replica as draining: it receives no new work, and its
+    /// placements migrate to healthy replicas as traffic touches them.
+    /// Returns whether the id exists.
+    pub fn drain(&self, id: ReplicaId) -> bool {
+        let mut state = self.state.lock().unwrap();
+        match state.replicas.get_mut(id) {
+            Some(slot) => {
+                slot.health = Health::Draining;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Probes a drained or down replica and, on success, marks it
+    /// [`Health::Up`] again. Returns whether it rejoined.
+    pub fn rejoin(&self, id: ReplicaId) -> bool {
+        let replica = {
+            let state = self.state.lock().unwrap();
+            match state.replicas.get(id) {
+                Some(slot) => Arc::clone(&slot.replica),
+                None => return false,
+            }
+        };
+        if !replica.probe() {
+            return false;
+        }
+        let mut state = self.state.lock().unwrap();
+        state.replicas[id].health = Health::Up;
+        true
+    }
+
+    /// Probes every replica: up replicas that fail go down, down replicas
+    /// that answer come back up (draining replicas are left alone).
+    /// Returns `(id, alive)` per replica.
+    pub fn probe_all(&self) -> Vec<(ReplicaId, bool)> {
+        let replicas: Vec<(ReplicaId, Arc<Replica>)> = {
+            let state = self.state.lock().unwrap();
+            state
+                .replicas
+                .iter()
+                .enumerate()
+                .map(|(i, s)| (i, Arc::clone(&s.replica)))
+                .collect()
+        };
+        // Probes fan out concurrently: one blackholed replica must not make
+        // the sweep take the sum of every replica's timeout.
+        let results: Vec<(ReplicaId, bool)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = replicas
+                .iter()
+                .map(|(i, r)| scope.spawn(move || (*i, r.probe())))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let mut state = self.state.lock().unwrap();
+        for &(i, alive) in &results {
+            let slot = &mut state.replicas[i];
+            if slot.health != Health::Draining {
+                slot.health = if alive { Health::Up } else { Health::Down };
+            }
+        }
+        results
+    }
+
+    /// Health, budget and placement load of every replica.
+    pub fn replica_status(&self) -> Vec<ReplicaStatus> {
+        let state = self.state.lock().unwrap();
+        state
+            .replicas
+            .iter()
+            .enumerate()
+            .map(|(id, slot)| ReplicaStatus {
+                id,
+                name: slot.replica.name().to_string(),
+                health: slot.health,
+                budget: slot.budget,
+                placed: slot.placed,
+            })
+            .collect()
+    }
+
+    fn mark_down(&self, id: ReplicaId) {
+        let mut state = self.state.lock().unwrap();
+        if let Some(slot) = state.replicas.get_mut(id) {
+            if slot.health != Health::Draining {
+                slot.health = Health::Down;
+            }
+        }
+    }
+
+    fn candidates(state: &State) -> Vec<PlacementCandidate> {
+        state
+            .replicas
+            .iter()
+            .enumerate()
+            .map(|(id, slot)| PlacementCandidate {
+                id,
+                health: slot.health,
+                budget: slot.budget,
+                placed: slot.placed,
+            })
+            .collect()
+    }
+
+    /// Reserves budget on the best-fitting healthy replica. Returns the
+    /// chosen id and its transport.
+    fn reserve(
+        &self,
+        bytes: u64,
+        exclude: Option<ReplicaId>,
+    ) -> Result<(ReplicaId, Arc<Replica>), ClusterError> {
+        let mut state = self.state.lock().unwrap();
+        let candidates = Self::candidates(&state);
+        let Some(id) = pick_replica(&candidates, bytes, exclude) else {
+            return Err(ClusterError::NoCapacity { bytes });
+        };
+        state.replicas[id].placed += bytes;
+        Ok((id, Arc::clone(&state.replicas[id].replica)))
+    }
+
+    fn release(&self, id: ReplicaId, bytes: u64) {
+        let mut state = self.state.lock().unwrap();
+        if let Some(slot) = state.replicas.get_mut(id) {
+            slot.placed = slot.placed.saturating_sub(bytes);
+        }
+    }
+
+    /// Places `bytes` of parameters under `on_replica_id` on some healthy
+    /// replica, retrying over failovers. Returns the replica that took it.
+    fn place(
+        &self,
+        on_replica_id: &SceneId,
+        params: &Arc<GaussianParams>,
+        background: [f32; 3],
+        bytes: u64,
+        exclude: Option<ReplicaId>,
+    ) -> Result<ReplicaId, ClusterError> {
+        for _ in 0..=self.config.max_failovers {
+            let (rid, replica) = self.reserve(bytes, exclude)?;
+            match replica.load_scene(on_replica_id, params, background) {
+                Ok(()) => return Ok(rid),
+                // The same failover policy renders use: an unreachable or
+                // load-shedding replica goes down and the placement tries
+                // the next-best one instead of failing a load other
+                // replicas could hold.
+                Err(e) if failover_worthy(&e) => {
+                    self.release(rid, bytes);
+                    self.mark_down(rid);
+                }
+                Err(ReplicaError::Serve(e)) => {
+                    self.release(rid, bytes);
+                    return Err(ClusterError::Serve(e));
+                }
+                Err(ReplicaError::Transport(_)) => unreachable!("covered by failover_worthy"),
+            }
+        }
+        Err(ClusterError::NoCapacity { bytes })
+    }
+
+    /// Loads (or replaces) a whole scene on one replica, chosen against the
+    /// replicas' free budgets. The parameters are also held host-side so
+    /// the scene can be re-placed when its replica dies.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::NoCapacity`] when no healthy replica fits the scene,
+    /// [`ClusterError::Serve`] when a replica rejects the load.
+    pub fn load_scene(
+        &self,
+        id: impl Into<SceneId>,
+        params: Arc<GaussianParams>,
+        background: [f32; 3],
+    ) -> Result<(), ClusterError> {
+        let id = id.into();
+        let bytes = params.total_bytes() as u64;
+        let rid = self.place(&id, &params, background, bytes, None)?;
+        let hold = SceneHold {
+            background,
+            hold: Hold::Single {
+                replica: rid,
+                params,
+                bytes,
+            },
+        };
+        let stale = self.commit_scene(id, hold);
+        self.unload_holds(stale);
+        Ok(())
+    }
+
+    /// Loads (or replaces) a scene partitioned into `shards` spatial shards
+    /// spread across the fleet — each shard placed independently against
+    /// the replicas' free budgets, so a scene no single replica could hold
+    /// still serves (cross-node sharded rendering).
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::NoCapacity`] when some shard fits no healthy
+    /// replica (already-placed shards are rolled back),
+    /// [`ClusterError::Serve`] when a replica rejects a shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn load_scene_sharded(
+        &self,
+        id: impl Into<SceneId>,
+        params: Arc<GaussianParams>,
+        background: [f32; 3],
+        shards: usize,
+    ) -> Result<usize, ClusterError> {
+        let id = id.into();
+        let sources = shard_scene(&params, shards);
+        let mut placed: Vec<ShardHold> = Vec::with_capacity(sources.len());
+        for (k, source) in sources.into_iter().enumerate() {
+            let result = self.place(
+                &shard_scene_id(&id, k),
+                &source.params,
+                background,
+                source.bytes,
+                None,
+            );
+            match result {
+                Ok(rid) => placed.push(ShardHold {
+                    replica: rid,
+                    params: source.params,
+                    aabb: source.aabb,
+                    max_scale: source.max_scale,
+                    bytes: source.bytes,
+                }),
+                Err(e) => {
+                    // Roll back what was already placed. A site the *still
+                    // committed* old hold also occupies was replaced in
+                    // place by this failed attempt — restore the old
+                    // shard's data there instead of unloading it, so a
+                    // failed replacement leaves the existing scene
+                    // serving.
+                    for (j, hold) in placed.into_iter().enumerate() {
+                        self.release(hold.replica, hold.bytes);
+                        let site = shard_scene_id(&id, j);
+                        let (replica, restore) = {
+                            let state = self.state.lock().unwrap();
+                            let restore = state.scenes.get(&id).and_then(|old| match &old.hold {
+                                Hold::Sharded { shards } => shards
+                                    .get(j)
+                                    .filter(|s| s.replica == hold.replica)
+                                    .map(|s| (Arc::clone(&s.params), old.background)),
+                                Hold::Single { .. } => None,
+                            });
+                            (Arc::clone(&state.replicas[hold.replica].replica), restore)
+                        };
+                        match restore {
+                            Some((old_params, old_background)) => {
+                                let _ = replica.load_scene(&site, &old_params, old_background);
+                            }
+                            None => {
+                                let _ = replica.unload_scene(&site);
+                            }
+                        }
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        let count = placed.len();
+        let hold = SceneHold {
+            background,
+            hold: Hold::Sharded { shards: placed },
+        };
+        let stale = self.commit_scene(id, hold);
+        self.unload_holds(stale);
+        Ok(count)
+    }
+
+    /// The `(replica, on-replica id)` pairs a hold occupies.
+    fn hold_sites(id: &SceneId, hold: &SceneHold) -> Vec<(ReplicaId, SceneId)> {
+        match &hold.hold {
+            Hold::Single { replica, .. } => vec![(*replica, id.clone())],
+            Hold::Sharded { shards } => shards
+                .iter()
+                .enumerate()
+                .map(|(k, s)| (s.replica, shard_scene_id(id, k)))
+                .collect(),
+        }
+    }
+
+    /// Installs a scene hold, returning the unload work for whatever it
+    /// replaced (performed outside the lock). Old placements that the new
+    /// hold re-occupies (same replica, same on-replica id) are *not*
+    /// unloaded — the on-replica load already replaced the data in place,
+    /// and unloading would delete the copy that was just installed.
+    fn commit_scene(&self, id: SceneId, hold: SceneHold) -> Vec<(Arc<Replica>, SceneId)> {
+        let kept = Self::hold_sites(&id, &hold);
+        let mut state = self.state.lock().unwrap();
+        let old = state.scenes.insert(id.clone(), hold);
+        match old {
+            Some(old) => Self::unplace_locked(&mut state, &id, &old, &kept),
+            None => Vec::new(),
+        }
+    }
+
+    /// Releases an old hold's budget reservations and lists the on-replica
+    /// unloads to perform. Sites named in `kept` release their budget but
+    /// are not unloaded (the new hold lives there).
+    fn unplace_locked(
+        state: &mut State,
+        id: &SceneId,
+        hold: &SceneHold,
+        kept: &[(ReplicaId, SceneId)],
+    ) -> Vec<(Arc<Replica>, SceneId)> {
+        let mut work = Vec::new();
+        let mut release = |state: &mut State, rid: ReplicaId, bytes: u64, scene: SceneId| {
+            if let Some(slot) = state.replicas.get_mut(rid) {
+                slot.placed = slot.placed.saturating_sub(bytes);
+                if !kept.iter().any(|(kr, ks)| *kr == rid && *ks == scene) {
+                    work.push((Arc::clone(&slot.replica), scene));
+                }
+            }
+        };
+        match &hold.hold {
+            Hold::Single { replica, bytes, .. } => release(state, *replica, *bytes, id.clone()),
+            Hold::Sharded { shards } => {
+                for (k, shard) in shards.iter().enumerate() {
+                    release(state, shard.replica, shard.bytes, shard_scene_id(id, k));
+                }
+            }
+        }
+        work
+    }
+
+    fn unload_holds(&self, work: Vec<(Arc<Replica>, SceneId)>) {
+        for (replica, scene) in work {
+            // Best-effort: a dead replica keeps its stale copy until its
+            // own LRU reclaims it.
+            let _ = replica.unload_scene(&scene);
+        }
+    }
+
+    /// Unloads a scene from the cluster. Returns whether it was loaded.
+    pub fn unload_scene(&self, id: &SceneId) -> bool {
+        let work = {
+            let mut state = self.state.lock().unwrap();
+            match state.scenes.remove(id) {
+                Some(hold) => Self::unplace_locked(&mut state, id, &hold, &[]),
+                None => return false,
+            }
+        };
+        self.unload_holds(work);
+        true
+    }
+
+    /// Whether `id` is loaded in the cluster.
+    pub fn contains_scene(&self, id: &SceneId) -> bool {
+        self.state.lock().unwrap().scenes.contains_key(id)
+    }
+
+    /// Atomically claims `id` for an exclusive (no-replacement) load:
+    /// returns `None` when the scene is already loaded *or* another claim
+    /// is in flight, else a guard that holds the claim until dropped. The
+    /// cluster HTTP front-end uses this so concurrent `POST /scenes/<id>`
+    /// produce exactly one `201` — a racy `contains_scene` pre-check
+    /// cannot.
+    pub fn claim_scene(&self, id: &SceneId) -> Option<LoadClaim<'_>> {
+        let mut state = self.state.lock().unwrap();
+        if state.scenes.contains_key(id) || !state.loading.insert(id.clone()) {
+            return None;
+        }
+        Some(LoadClaim {
+            coordinator: self,
+            id: id.clone(),
+        })
+    }
+
+    /// Placement of every loaded scene, sorted by id.
+    pub fn scenes(&self) -> Vec<ScenePlacement> {
+        let state = self.state.lock().unwrap();
+        state
+            .scenes
+            .iter()
+            .map(|(id, hold)| match &hold.hold {
+                Hold::Single {
+                    replica,
+                    params,
+                    bytes,
+                } => ScenePlacement {
+                    id: id.clone(),
+                    replicas: vec![*replica],
+                    gaussians: params.len(),
+                    bytes: *bytes,
+                },
+                Hold::Sharded { shards } => ScenePlacement {
+                    id: id.clone(),
+                    replicas: shards.iter().map(|s| s.replica).collect(),
+                    gaussians: shards.iter().map(|s| s.params.len()).sum(),
+                    bytes: shards.iter().map(|s| s.bytes).sum(),
+                },
+            })
+            .collect()
+    }
+
+    /// Renders one frame, routing by scene id with health-checked failover.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::UnknownScene`] for unplaced scenes,
+    /// [`ClusterError::Exhausted`] when every failover attempt failed,
+    /// [`ClusterError::Serve`] for replica-side service errors.
+    pub fn render(&self, request: &WireRequest) -> Result<ClusterFrame, ClusterError> {
+        let started = Instant::now();
+        let result = self.render_inner(request, started);
+        match &result {
+            Ok(_) => self.collector.record_completed(0, started.elapsed()),
+            Err(_) => self.collector.record_error(),
+        }
+        result
+    }
+
+    fn render_inner(
+        &self,
+        request: &WireRequest,
+        started: Instant,
+    ) -> Result<ClusterFrame, ClusterError> {
+        let is_sharded = {
+            let state = self.state.lock().unwrap();
+            let hold = state
+                .scenes
+                .get(&request.scene)
+                .ok_or_else(|| ClusterError::UnknownScene(request.scene.clone()))?;
+            matches!(hold.hold, Hold::Sharded { .. })
+        };
+        if is_sharded {
+            self.render_sharded(request, started)
+        } else {
+            self.render_single(request, started)
+        }
+    }
+
+    /// Routes a single-scene render to its replica, re-placing the scene
+    /// from the host-side hold when the replica is dead or draining.
+    fn render_single(
+        &self,
+        request: &WireRequest,
+        started: Instant,
+    ) -> Result<ClusterFrame, ClusterError> {
+        let mut attempts = 0usize;
+        loop {
+            attempts += 1;
+            let (rid, replica) = self.route_single(&request.scene)?;
+            match replica.render(request) {
+                Ok((image, shards)) => {
+                    return Ok(ClusterFrame {
+                        image,
+                        scene: request.scene.clone(),
+                        shards_rendered: shards,
+                        shards_culled: 0,
+                        replica: Some(replica.name().to_string()),
+                        latency: started.elapsed(),
+                    });
+                }
+                Err(e) if failover_worthy(&e) => {
+                    self.mark_down(rid);
+                    self.counters.failovers.fetch_add(1, Ordering::Relaxed);
+                    if attempts > self.config.max_failovers {
+                        return Err(ClusterError::Exhausted {
+                            scene: request.scene.clone(),
+                            attempts,
+                        });
+                    }
+                }
+                Err(ReplicaError::Serve(ServeError::UnknownScene(_))) => {
+                    // The replica is alive but lost its copy: reload it in
+                    // place (the bytes are still accounted there) and retry,
+                    // instead of declaring a healthy replica dead.
+                    self.counters.failovers.fetch_add(1, Ordering::Relaxed);
+                    if attempts > self.config.max_failovers {
+                        return Err(ClusterError::Exhausted {
+                            scene: request.scene.clone(),
+                            attempts,
+                        });
+                    }
+                    match self.repair_placement(&request.scene, None) {
+                        Repair::Repaired => {}
+                        Repair::Gone => {
+                            return Err(ClusterError::UnknownScene(request.scene.clone()))
+                        }
+                        Repair::Failed => self.mark_down(rid),
+                    }
+                }
+                Err(ReplicaError::Serve(e)) => return Err(ClusterError::Serve(e)),
+                Err(ReplicaError::Transport(_)) => unreachable!("covered by failover_worthy"),
+            }
+        }
+    }
+
+    /// Reloads a placement the replica reported lost (see [`Repair`]). The
+    /// placement's bytes stay accounted to its replica, so no budget moves.
+    fn repair_placement(&self, id: &SceneId, shard: Option<usize>) -> Repair {
+        let (replica, on_replica_id, params, background) = {
+            let state = self.state.lock().unwrap();
+            let Some(hold) = state.scenes.get(id) else {
+                return Repair::Gone;
+            };
+            match (&hold.hold, shard) {
+                (
+                    Hold::Single {
+                        replica, params, ..
+                    },
+                    None,
+                ) => (
+                    Arc::clone(&state.replicas[*replica].replica),
+                    id.clone(),
+                    Arc::clone(params),
+                    hold.background,
+                ),
+                (Hold::Sharded { shards }, Some(k)) => {
+                    let Some(shard) = shards.get(k) else {
+                        return Repair::Gone;
+                    };
+                    (
+                        Arc::clone(&state.replicas[shard.replica].replica),
+                        shard_scene_id(id, k),
+                        Arc::clone(&shard.params),
+                        hold.background,
+                    )
+                }
+                // The hold changed shape concurrently; the routed request
+                // is stale.
+                _ => return Repair::Gone,
+            }
+        };
+        match replica.load_scene(&on_replica_id, &params, background) {
+            Ok(()) => {
+                self.counters.replacements.fetch_add(1, Ordering::Relaxed);
+                Repair::Repaired
+            }
+            Err(_) => Repair::Failed,
+        }
+    }
+
+    /// The serving replica for a single scene, re-placing the scene first
+    /// if its current replica is not up.
+    fn route_single(&self, id: &SceneId) -> Result<(ReplicaId, Arc<Replica>), ClusterError> {
+        let (current, params, background, bytes) = {
+            let state = self.state.lock().unwrap();
+            let hold = state
+                .scenes
+                .get(id)
+                .ok_or_else(|| ClusterError::UnknownScene(id.clone()))?;
+            // A concurrent replacement can change the hold's shape under a
+            // routed request; the stale request is answered as unknown.
+            let Hold::Single {
+                replica,
+                params,
+                bytes,
+            } = &hold.hold
+            else {
+                return Err(ClusterError::UnknownScene(id.clone()));
+            };
+            let slot = &state.replicas[*replica];
+            if slot.health == Health::Up {
+                return Ok((*replica, Arc::clone(&slot.replica)));
+            }
+            (*replica, Arc::clone(params), hold.background, *bytes)
+        };
+        // The scene's replica is down or draining: move the placement.
+        let new_rid = self.place(id, &params, background, bytes, Some(current))?;
+        self.commit_move(id, None, current, new_rid, bytes)
+    }
+
+    /// The serving replica for shard `k`, re-placing the shard first if its
+    /// current replica is not up.
+    fn route_shard(
+        &self,
+        id: &SceneId,
+        k: usize,
+    ) -> Result<(ReplicaId, Arc<Replica>), ClusterError> {
+        let (current, params, background, bytes) = {
+            let state = self.state.lock().unwrap();
+            let hold = state
+                .scenes
+                .get(id)
+                .ok_or_else(|| ClusterError::UnknownScene(id.clone()))?;
+            let Hold::Sharded { shards } = &hold.hold else {
+                return Err(ClusterError::UnknownScene(id.clone()));
+            };
+            // `k` may be stale if the scene was concurrently re-sharded.
+            let Some(shard) = shards.get(k) else {
+                return Err(ClusterError::UnknownScene(id.clone()));
+            };
+            let slot = &state.replicas[shard.replica];
+            if slot.health == Health::Up {
+                return Ok((shard.replica, Arc::clone(&slot.replica)));
+            }
+            (
+                shard.replica,
+                Arc::clone(&shard.params),
+                hold.background,
+                shard.bytes,
+            )
+        };
+        let new_rid = self.place(
+            &shard_scene_id(id, k),
+            &params,
+            background,
+            bytes,
+            Some(current),
+        )?;
+        self.commit_move(id, Some(k), current, new_rid, bytes)
+    }
+
+    /// Commits a placement move after the new replica already holds the
+    /// data: if the table still names `current`, the move wins (old bytes
+    /// released); if a concurrent mover won or the scene vanished/changed
+    /// shape, this move's reservation is released and its redundant
+    /// on-replica copy unloaded.
+    fn commit_move(
+        &self,
+        id: &SceneId,
+        shard: Option<usize>,
+        current: ReplicaId,
+        new_rid: ReplicaId,
+        bytes: u64,
+    ) -> Result<(ReplicaId, Arc<Replica>), ClusterError> {
+        let on_replica_id = match shard {
+            Some(k) => shard_scene_id(id, k),
+            None => id.clone(),
+        };
+        // `cleanup` unloads the redundant copy outside the lock.
+        let mut cleanup: Option<Arc<Replica>> = None;
+        let result = {
+            let mut state = self.state.lock().unwrap();
+            let replica = Arc::clone(&state.replicas[new_rid].replica);
+            let assigned =
+                state
+                    .scenes
+                    .get_mut(id)
+                    .and_then(|hold| match (&mut hold.hold, shard) {
+                        (Hold::Single { replica, .. }, None) => Some(replica),
+                        (Hold::Sharded { shards }, Some(k)) => {
+                            shards.get_mut(k).map(|s| &mut s.replica)
+                        }
+                        _ => None,
+                    });
+            match assigned {
+                Some(rid) if *rid == current => {
+                    *rid = new_rid;
+                    if let Some(old) = state.replicas.get_mut(current) {
+                        old.placed = old.placed.saturating_sub(bytes);
+                        // A draining replica is alive: actually free its
+                        // copy so the drain converges to an empty replica.
+                        // (A down replica is unreachable; its stale copy
+                        // waits for its own LRU or a restart.)
+                        if old.health == Health::Draining && current != new_rid {
+                            cleanup = Some(Arc::clone(&old.replica));
+                        }
+                    }
+                    self.counters.replacements.fetch_add(1, Ordering::Relaxed);
+                    Ok((new_rid, replica))
+                }
+                Some(rid) => {
+                    // A concurrent mover won. Release our reservation; our
+                    // copy is redundant *unless* both movers picked the
+                    // same replica, in which case "our" copy is the
+                    // winner's live copy.
+                    let winner = *rid;
+                    let winner_replica = Arc::clone(&state.replicas[winner].replica);
+                    if let Some(mine) = state.replicas.get_mut(new_rid) {
+                        mine.placed = mine.placed.saturating_sub(bytes);
+                    }
+                    if winner != new_rid {
+                        cleanup = Some(replica);
+                    }
+                    Ok((winner, winner_replica))
+                }
+                None => {
+                    // Unloaded or re-shaped while we were loading.
+                    if let Some(mine) = state.replicas.get_mut(new_rid) {
+                        mine.placed = mine.placed.saturating_sub(bytes);
+                    }
+                    cleanup = Some(replica);
+                    Err(ClusterError::UnknownScene(id.clone()))
+                }
+            }
+        };
+        if let Some(replica) = cleanup {
+            let _ = replica.unload_scene(&on_replica_id);
+        }
+        result
+    }
+
+    /// Renders shard `k`'s layer with failover, optionally continuing
+    /// `into` (relay mode).
+    fn render_shard_layer(
+        &self,
+        request: &WireRequest,
+        id: &SceneId,
+        k: usize,
+        into: Option<&FrameLayer>,
+    ) -> Result<FrameLayer, ClusterError> {
+        // On its replica, shard `k` lives as the single scene `id@k`.
+        let mut shard_request = request.clone();
+        shard_request.scene = shard_scene_id(id, k);
+        shard_request.shard = None;
+        let mut attempts = 0usize;
+        loop {
+            attempts += 1;
+            let (rid, replica) = self.route_shard(id, k)?;
+            match replica.render_layer(&shard_request, into) {
+                Ok(layer) => return Ok(layer),
+                Err(e) if failover_worthy(&e) => {
+                    self.mark_down(rid);
+                    self.counters.failovers.fetch_add(1, Ordering::Relaxed);
+                    if attempts > self.config.max_failovers {
+                        return Err(ClusterError::Exhausted {
+                            scene: id.clone(),
+                            attempts,
+                        });
+                    }
+                }
+                Err(ReplicaError::Serve(ServeError::UnknownScene(_))) => {
+                    // The replica lost the shard while staying alive:
+                    // reload it in place and retry (see render_single).
+                    self.counters.failovers.fetch_add(1, Ordering::Relaxed);
+                    if attempts > self.config.max_failovers {
+                        return Err(ClusterError::Exhausted {
+                            scene: id.clone(),
+                            attempts,
+                        });
+                    }
+                    match self.repair_placement(id, Some(k)) {
+                        Repair::Repaired => {}
+                        Repair::Gone => return Err(ClusterError::UnknownScene(id.clone())),
+                        Repair::Failed => self.mark_down(rid),
+                    }
+                }
+                Err(ReplicaError::Serve(e)) => return Err(ClusterError::Serve(e)),
+                Err(ReplicaError::Transport(_)) => unreachable!("covered by failover_worthy"),
+            }
+        }
+    }
+
+    /// The cross-node sharded render: cull, depth-order, then composite
+    /// per the configured mode.
+    fn render_sharded(
+        &self,
+        request: &WireRequest,
+        started: Instant,
+    ) -> Result<ClusterFrame, ClusterError> {
+        let (background, shard_meta) = {
+            let state = self.state.lock().unwrap();
+            let hold = state
+                .scenes
+                .get(&request.scene)
+                .ok_or_else(|| ClusterError::UnknownScene(request.scene.clone()))?;
+            let Hold::Sharded { shards } = &hold.hold else {
+                // Concurrently replaced by a single-scene hold.
+                return Err(ClusterError::UnknownScene(request.scene.clone()));
+            };
+            let meta: Vec<(Aabb, f32)> = shards.iter().map(|s| (s.aabb, s.max_scale)).collect();
+            (hold.background, meta)
+        };
+        // The exact shard selection and ordering the single-node fan-out
+        // uses (shared helper), so the relayed composite renders the same
+        // shard sequence.
+        let render_request = request.to_render_request();
+        let aabbs: Vec<Aabb> = shard_meta.iter().map(|(aabb, _)| *aabb).collect();
+        let visible: Vec<usize> = if self.config.cull_shards {
+            let max_scales: Vec<f32> = shard_meta.iter().map(|(_, s)| *s).collect();
+            visible_shards(
+                &aabbs,
+                &max_scales,
+                &render_request.camera,
+                &render_request.viewport,
+            )
+        } else {
+            gs_serve::depth_order(&aabbs, &render_request.camera)
+        };
+        let culled = shard_meta.len() - visible.len();
+        self.counters
+            .shards_culled
+            .fetch_add(culled as u64, Ordering::Relaxed);
+
+        let (width, height) = request.frame_size();
+        let layer = match self.config.composite {
+            CompositeMode::Relay => {
+                let mut layer: Option<FrameLayer> = None;
+                for &k in &visible {
+                    layer = Some(self.render_shard_layer(
+                        request,
+                        &request.scene,
+                        k,
+                        layer.as_ref(),
+                    )?);
+                    self.counters.shard_relays.fetch_add(1, Ordering::Relaxed);
+                }
+                layer.unwrap_or_else(|| FrameLayer::new(width, height))
+            }
+            CompositeMode::Fanout => {
+                let results: Vec<Result<FrameLayer, ClusterError>> = std::thread::scope(|scope| {
+                    let handles: Vec<_> = visible
+                        .iter()
+                        .map(|&k| {
+                            scope.spawn(move || {
+                                self.render_shard_layer(request, &request.scene, k, None)
+                            })
+                        })
+                        .collect();
+                    handles.into_iter().map(|h| h.join().unwrap()).collect()
+                });
+                let mut layers = Vec::with_capacity(results.len());
+                for result in results {
+                    layers.push(result?);
+                    self.counters.shard_fanouts.fetch_add(1, Ordering::Relaxed);
+                }
+                let mut layers = layers.into_iter();
+                match layers.next() {
+                    Some(mut front) => {
+                        for behind in layers {
+                            front.composite_onto(&behind);
+                        }
+                        front
+                    }
+                    None => FrameLayer::new(width, height),
+                }
+            }
+        };
+        Ok(ClusterFrame {
+            image: layer.finish(background),
+            scene: request.scene.clone(),
+            shards_rendered: visible.len(),
+            shards_culled: culled,
+            replica: None,
+            latency: started.elapsed(),
+        })
+    }
+
+    /// A cluster-wide statistics snapshot: coordinator counters plus every
+    /// replica's report fanned in, with latency reservoirs merged.
+    pub fn stats(&self) -> ClusterStats {
+        let slots: Vec<(String, Health, u64, Arc<Replica>)> = {
+            let state = self.state.lock().unwrap();
+            state
+                .replicas
+                .iter()
+                .map(|slot| {
+                    (
+                        slot.replica.name().to_string(),
+                        slot.health,
+                        slot.placed,
+                        Arc::clone(&slot.replica),
+                    )
+                })
+                .collect()
+        };
+        // Reports fan out concurrently, like probe_all: a dead replica's
+        // timeout must not serialize into the whole snapshot's latency.
+        let replicas: Vec<ReplicaReport> = std::thread::scope(|scope| {
+            let handles: Vec<_> = slots
+                .into_iter()
+                .map(|(name, health, placed_bytes, replica)| {
+                    scope.spawn(move || ReplicaReport {
+                        name,
+                        health,
+                        placed_bytes,
+                        report: replica.stats_report().ok(),
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let reports: Vec<&gs_serve::StatsReport> =
+            replicas.iter().filter_map(|r| r.report.as_ref()).collect();
+        let merged = merge_latency(&reports);
+        let own = self.collector.snapshot(CacheStats::default());
+        ClusterStats {
+            completed: own.completed,
+            errors: own.errors,
+            failovers: self.counters.failovers.load(Ordering::Relaxed),
+            replacements: self.counters.replacements.load(Ordering::Relaxed),
+            shard_relays: self.counters.shard_relays.load(Ordering::Relaxed),
+            shard_fanouts: self.counters.shard_fanouts.load(Ordering::Relaxed),
+            shards_culled: self.counters.shards_culled.load(Ordering::Relaxed),
+            latency: own.latency,
+            merged_replica_latency: merged,
+            replicas,
+        }
+    }
+}

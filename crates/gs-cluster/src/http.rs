@@ -1,0 +1,200 @@
+//! The cluster's own HTTP front-end.
+//!
+//! Built on the listener machinery shared with `gs-serve`
+//! ([`HttpServer::bind_with`]), so the cluster fronts clients with exactly
+//! the protocol a single replica speaks — load generators cannot tell one
+//! `RenderServer` from a fleet:
+//!
+//! * `POST /render` — routed by scene id through the [`Coordinator`]
+//!   (failover, cross-node shard compositing); answers with the frame plus
+//!   `X-Shards`/`X-Culled`/`X-Replica`/`X-Latency-Us` headers.
+//! * `POST /scenes/<id>` — a text [`SceneSpec`] built coordinator-side or a
+//!   binary scene upload; placed across replicas, sharded by the spec's
+//!   explicit count or automatically above
+//!   [`crate::ClusterConfig::shard_bytes`].
+//! * `GET /stats` — the aggregated [`crate::ClusterStats`] report.
+//! * `GET /scenes` — placement rows (`id replicas=[..] gaussians bytes`).
+//! * `GET /replicas` — per-replica health/budget rows.
+//! * `GET /healthz` — coordinator liveness.
+
+use std::io;
+use std::sync::Arc;
+
+use gs_serve::http::{status_for_error, Conn, HttpHandler, HttpRequest, HttpResponse, HttpServer};
+use gs_serve::{wire, HttpConfig, SceneSpec, ServeError, WireFormat, WireRequest};
+
+use crate::coordinator::{ClusterError, Coordinator};
+
+/// Binds the cluster front-end over the shared listener machinery.
+///
+/// # Errors
+///
+/// Propagates the bind failure.
+pub fn bind(config: HttpConfig, coordinator: Arc<Coordinator>) -> io::Result<HttpServer> {
+    HttpServer::bind_with(config, Arc::new(ClusterHandler { coordinator }))
+}
+
+struct ClusterHandler {
+    coordinator: Arc<Coordinator>,
+}
+
+/// The status code a [`ClusterError`] maps onto. Replica-side failures the
+/// coordinator could not route around surface as `502 Bad Gateway` — the
+/// client's request was fine; the tier behind the coordinator was not.
+fn status_for_cluster_error(err: &ClusterError) -> u16 {
+    match err {
+        ClusterError::UnknownScene(_) => 404,
+        ClusterError::SceneExists(_) => 409,
+        ClusterError::NoCapacity { .. } => 413,
+        ClusterError::Serve(e) => status_for_error(e),
+        ClusterError::Exhausted { .. } => 502,
+    }
+}
+
+impl HttpHandler for ClusterHandler {
+    fn handle(&self, req: &HttpRequest, _conn: &mut Conn<'_>) -> HttpResponse {
+        match (req.method.as_str(), req.path.as_str()) {
+            ("GET", "/stats") => HttpResponse::text(200, self.coordinator.stats().to_string()),
+            ("GET", "/healthz") => HttpResponse::text(200, "ok\n"),
+            ("GET", "/scenes") => {
+                let mut body = String::new();
+                for placement in self.coordinator.scenes() {
+                    let replicas: Vec<String> =
+                        placement.replicas.iter().map(|r| r.to_string()).collect();
+                    body.push_str(&format!(
+                        "{} shards={} replicas=[{}] gaussians={} bytes={}\n",
+                        placement.id,
+                        placement.replicas.len(),
+                        replicas.join(" "),
+                        placement.gaussians,
+                        placement.bytes,
+                    ));
+                }
+                HttpResponse::text(200, body)
+            }
+            ("GET", "/replicas") => {
+                let mut body = String::new();
+                for status in self.coordinator.replica_status() {
+                    body.push_str(&format!(
+                        "{} {} {} budget={} placed={}\n",
+                        status.id, status.name, status.health, status.budget, status.placed,
+                    ));
+                }
+                HttpResponse::text(200, body)
+            }
+            ("POST", "/render") => self.render_route(&req.body),
+            ("POST", path) if path.strip_prefix("/scenes/").is_some() => {
+                let id = path.strip_prefix("/scenes/").unwrap_or_default();
+                self.load_scene_route(id, &req.body)
+            }
+            (_, "/stats" | "/scenes" | "/replicas" | "/healthz" | "/render") => {
+                HttpResponse::text(405, "method not allowed on this path\n")
+            }
+            (_, path) if path.starts_with("/scenes/") => {
+                HttpResponse::text(405, "method not allowed on this path\n")
+            }
+            _ => HttpResponse::text(404, "unknown path\n"),
+        }
+    }
+}
+
+impl ClusterHandler {
+    fn render_route(&self, body: &[u8]) -> HttpResponse {
+        let text = match std::str::from_utf8(body) {
+            Ok(t) => t,
+            Err(_) => return HttpResponse::text(400, "bad request: body is not UTF-8\n"),
+        };
+        let wire_req = match WireRequest::parse(text) {
+            Ok(r) => r,
+            Err(e) => return HttpResponse::text(400, format!("{e}\n")),
+        };
+        let frame = match self.coordinator.render(&wire_req) {
+            Ok(frame) => frame,
+            Err(e) => return HttpResponse::text(status_for_cluster_error(&e), format!("{e}\n")),
+        };
+        let body = match wire_req.format {
+            WireFormat::RawF32 => wire::encode_raw_f32(&frame.image),
+            WireFormat::Ppm => wire::encode_ppm(&frame.image),
+        };
+        HttpResponse {
+            status: 200,
+            content_type: wire_req.format.content_type(),
+            headers: vec![
+                ("X-Image-Width", frame.image.width().to_string()),
+                ("X-Image-Height", frame.image.height().to_string()),
+                ("X-Shards", frame.shards_rendered.to_string()),
+                ("X-Culled", frame.shards_culled.to_string()),
+                ("X-Replica", frame.replica.unwrap_or_default()),
+                ("X-Latency-Us", frame.latency.as_micros().to_string()),
+            ],
+            body,
+        }
+    }
+
+    fn load_scene_route(&self, id: &str, body: &[u8]) -> HttpResponse {
+        if !wire::valid_scene_id(id) {
+            return HttpResponse::text(400, "bad request: invalid scene id\n");
+        }
+        // The front-end refuses implicit replacement: exactly one 201 per
+        // id, like the single-node front-end's spec path. The claim is
+        // atomic, so concurrent POSTs for the same id race to one winner.
+        let Some(_claim) = self.coordinator.claim_scene(&id.to_string()) else {
+            let e = ClusterError::SceneExists(id.to_string());
+            return HttpResponse::text(409, format!("{e}\n"));
+        };
+        let (params, background, explicit_shards) = if wire::is_scene_upload(body) {
+            match wire::decode_scene(body) {
+                Ok((params, background)) => (params, background, None),
+                Err(e) => return HttpResponse::text(400, format!("{e}\n")),
+            }
+        } else {
+            let text = match std::str::from_utf8(body) {
+                Ok(t) => t,
+                Err(_) => return HttpResponse::text(400, "bad request: body is not UTF-8\n"),
+            };
+            let spec = match SceneSpec::parse(text) {
+                Ok(s) => s,
+                Err(e) => return HttpResponse::text(400, format!("{e}\n")),
+            };
+            if spec.gaussians > wire::MAX_SPEC_GAUSSIANS {
+                return HttpResponse::text(
+                    413,
+                    format!(
+                        "scene spec asks for {} gaussians, limit is {}\n",
+                        spec.gaussians,
+                        wire::MAX_SPEC_GAUSSIANS
+                    ),
+                );
+            }
+            (spec.build(), spec.background, spec.shards)
+        };
+        let bytes = params.total_bytes() as u64;
+        let shard_bytes = self.coordinator.config().shard_bytes;
+        let shards = match explicit_shards {
+            Some(k) => k,
+            None if shard_bytes > 0 && bytes > shard_bytes => {
+                usize::try_from(bytes.div_ceil(shard_bytes)).unwrap_or(usize::MAX)
+            }
+            None => 1,
+        };
+        let params = Arc::new(params);
+        let gaussians = params.len();
+        let result = if shards > 1 {
+            self.coordinator
+                .load_scene_sharded(id, params, background, shards)
+        } else {
+            self.coordinator
+                .load_scene(id, params, background)
+                .map(|()| 1)
+        };
+        match result {
+            Ok(placed) => HttpResponse::text(
+                201,
+                format!("loaded scene {id}: {gaussians} gaussians in {placed} shard(s)\n"),
+            ),
+            Err(e @ ClusterError::Serve(ServeError::Admission(_)))
+            | Err(e @ ClusterError::NoCapacity { .. }) => HttpResponse::text(413, format!("{e}\n")),
+            Err(e) => HttpResponse::text(status_for_cluster_error(&e), format!("{e}\n")),
+        }
+    }
+}

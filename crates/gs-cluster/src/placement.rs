@@ -1,0 +1,168 @@
+//! Scene and shard placement against per-replica memory budgets.
+//!
+//! The coordinator owns placement: every scene (or every shard of a sharded
+//! scene) is assigned to exactly one replica, chosen against the replica's
+//! **reported** memory budget minus what the coordinator has already placed
+//! there. The chooser is most-free-budget-first, which balances bytes
+//! across the fleet and naturally spills the shards of one large scene over
+//! several replicas — the layout cross-node sharded rendering serves from.
+//!
+//! The coordinator also keeps each scene's parameters host-side (the
+//! serving analogue of GS-Scale's host-offloaded training state): when a
+//! replica dies, its placements are re-loaded onto survivors from this
+//! hold, which is what makes failover lossless.
+
+use std::sync::Arc;
+
+use gs_core::gaussian::GaussianParams;
+use gs_serve::{Aabb, SceneId};
+
+use crate::replica::{Health, ReplicaId};
+
+/// A replica's capacity as the placement chooser sees it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlacementCandidate {
+    /// Which replica.
+    pub id: ReplicaId,
+    /// Routing state; only [`Health::Up`] replicas receive placements.
+    pub health: Health,
+    /// Reported device budget in bytes.
+    pub budget: u64,
+    /// Bytes the coordinator has already placed on the replica.
+    pub placed: u64,
+}
+
+impl PlacementCandidate {
+    /// Bytes still unplaced on this replica.
+    pub fn free(&self) -> u64 {
+        self.budget.saturating_sub(self.placed)
+    }
+}
+
+/// Chooses the replica for a `bytes`-sized placement: the [`Health::Up`]
+/// candidate with the most free budget that can still hold it, excluding
+/// `exclude` (the replica a failover is moving away from). Returns `None`
+/// when nothing fits.
+pub fn pick_replica(
+    candidates: &[PlacementCandidate],
+    bytes: u64,
+    exclude: Option<ReplicaId>,
+) -> Option<ReplicaId> {
+    candidates
+        .iter()
+        .filter(|c| c.health == Health::Up && Some(c.id) != exclude && c.free() >= bytes)
+        .max_by_key(|c| (c.free(), std::cmp::Reverse(c.id)))
+        .map(|c| c.id)
+}
+
+/// Where one shard of a sharded scene lives, plus everything the
+/// coordinator needs to route, cull and re-place it.
+#[derive(Debug, Clone)]
+pub struct ShardHold {
+    /// The replica currently serving this shard.
+    pub replica: ReplicaId,
+    /// The shard's gathered parameters, kept host-side for re-placement.
+    pub params: Arc<GaussianParams>,
+    /// Center bounding box (depth ordering + view culling).
+    pub aabb: Aabb,
+    /// Largest per-Gaussian scale (view-culling inflation radius).
+    pub max_scale: f32,
+    /// Bytes the shard occupies on its replica.
+    pub bytes: u64,
+}
+
+/// How a scene is held by the coordinator.
+#[derive(Debug, Clone)]
+pub enum Hold {
+    /// The whole scene on one replica.
+    Single {
+        /// The replica serving the scene.
+        replica: ReplicaId,
+        /// Host-side parameter hold for re-placement.
+        params: Arc<GaussianParams>,
+        /// Scene size in bytes.
+        bytes: u64,
+    },
+    /// The scene's shards spread over (possibly many) replicas.
+    Sharded {
+        /// Per-shard placement, in partition order.
+        shards: Vec<ShardHold>,
+    },
+}
+
+/// A placed scene: background plus its placement.
+#[derive(Debug, Clone)]
+pub struct SceneHold {
+    /// Background color composited behind the splats.
+    pub background: [f32; 3],
+    /// Where the scene's data lives.
+    pub hold: Hold,
+}
+
+impl SceneHold {
+    /// Total bytes across the scene's placements.
+    pub fn bytes(&self) -> u64 {
+        match &self.hold {
+            Hold::Single { bytes, .. } => *bytes,
+            Hold::Sharded { shards } => shards.iter().map(|s| s.bytes).sum(),
+        }
+    }
+}
+
+/// One row of the cluster's scene listing: how a scene is spread across
+/// replicas.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenePlacement {
+    /// Scene id.
+    pub id: SceneId,
+    /// Replica index per shard (one entry for a single scene).
+    pub replicas: Vec<ReplicaId>,
+    /// Total Gaussians.
+    pub gaussians: usize,
+    /// Total bytes.
+    pub bytes: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn candidate(id: ReplicaId, health: Health, budget: u64, placed: u64) -> PlacementCandidate {
+        PlacementCandidate {
+            id,
+            health,
+            budget,
+            placed,
+        }
+    }
+
+    #[test]
+    fn picks_the_most_free_up_replica() {
+        let candidates = [
+            candidate(0, Health::Up, 100, 80),
+            candidate(1, Health::Up, 100, 20),
+            candidate(2, Health::Up, 50, 0),
+        ];
+        assert_eq!(pick_replica(&candidates, 10, None), Some(1));
+        // Excluding the winner falls back to the next-freest.
+        assert_eq!(pick_replica(&candidates, 10, Some(1)), Some(2));
+        // Ties break toward the lower id (deterministic placement).
+        let tied = [
+            candidate(0, Health::Up, 100, 50),
+            candidate(1, Health::Up, 100, 50),
+        ];
+        assert_eq!(pick_replica(&tied, 10, None), Some(0));
+    }
+
+    #[test]
+    fn skips_unhealthy_and_full_replicas() {
+        let candidates = [
+            candidate(0, Health::Down, 1000, 0),
+            candidate(1, Health::Draining, 1000, 0),
+            candidate(2, Health::Up, 100, 95),
+        ];
+        assert_eq!(pick_replica(&candidates, 10, None), None);
+        assert_eq!(pick_replica(&candidates, 5, None), Some(2));
+        assert_eq!(pick_replica(&[], 1, None), None);
+    }
+}

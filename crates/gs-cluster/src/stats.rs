@@ -1,0 +1,212 @@
+//! Cluster-wide statistics: per-replica reports fanned in, latency
+//! reservoirs merged, plus the coordinator's own routing counters.
+//!
+//! Percentiles of the *cluster* cannot be computed by averaging per-replica
+//! percentiles (a slow replica's tail would be diluted by a fast one's
+//! median). Each replica therefore ships a uniform sample of its latency
+//! reservoir (`GET /stats/wire`), and [`merge_latency`] combines them as a
+//! **weighted sample union**: every sample carries the weight
+//! `completed / samples` of its replica, so a replica that served twice the
+//! traffic contributes twice the probability mass at every quantile.
+
+use gs_serve::{LatencySummary, StatsReport};
+
+use crate::replica::Health;
+
+/// One replica's contribution to a cluster stats snapshot.
+#[derive(Debug, Clone)]
+pub struct ReplicaReport {
+    /// Replica display name.
+    pub name: String,
+    /// Routing state at snapshot time.
+    pub health: Health,
+    /// Bytes the coordinator has placed on the replica.
+    pub placed_bytes: u64,
+    /// The replica's own report; `None` when it could not be reached.
+    pub report: Option<StatsReport>,
+}
+
+/// A point-in-time report of the whole cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterStats {
+    /// Renders completed through the coordinator.
+    pub completed: u64,
+    /// Renders answered with an error.
+    pub errors: u64,
+    /// Requests re-routed to another replica after a transport failure.
+    pub failovers: u64,
+    /// Scene/shard placements moved off a dead or draining replica.
+    pub replacements: u64,
+    /// Shard layers relayed sequentially (bit-exact composite mode).
+    pub shard_relays: u64,
+    /// Shard layers rendered by parallel fan-out (`composite_onto` mode).
+    pub shard_fanouts: u64,
+    /// Shards skipped by the coordinator's view-adaptive culling.
+    pub shards_culled: u64,
+    /// Coordinator-side end-to-end latency (submit to frame, including
+    /// wire hops).
+    pub latency: LatencySummary,
+    /// Cluster-wide request latency merged from the replicas' reservoirs.
+    pub merged_replica_latency: LatencySummary,
+    /// Per-replica reports, in replica-id order.
+    pub replicas: Vec<ReplicaReport>,
+}
+
+impl ClusterStats {
+    /// Completed requests summed over every reachable replica (includes
+    /// traffic that bypassed the coordinator).
+    pub fn replica_completed(&self) -> u64 {
+        self.replicas
+            .iter()
+            .filter_map(|r| r.report.as_ref())
+            .map(|r| r.completed)
+            .sum()
+    }
+}
+
+impl std::fmt::Display for ClusterStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "cluster stats ({} replicas)", self.replicas.len())?;
+        writeln!(
+            f,
+            "  routing:    {} completed, {} errors, {} failovers, {} replacements",
+            self.completed, self.errors, self.failovers, self.replacements
+        )?;
+        writeln!(
+            f,
+            "  sharding:   {} relayed layers, {} fanned-out layers, {} culled",
+            self.shard_relays, self.shard_fanouts, self.shards_culled
+        )?;
+        writeln!(
+            f,
+            "  latency:    p50 {:.2}ms  p90 {:.2}ms  p99 {:.2}ms  mean {:.2}ms  max {:.2}ms",
+            self.latency.p50 * 1e3,
+            self.latency.p90 * 1e3,
+            self.latency.p99 * 1e3,
+            self.latency.mean * 1e3,
+            self.latency.max * 1e3,
+        )?;
+        writeln!(
+            f,
+            "  replicas:   p50 {:.2}ms  p99 {:.2}ms (merged reservoirs, {} completed)",
+            self.merged_replica_latency.p50 * 1e3,
+            self.merged_replica_latency.p99 * 1e3,
+            self.replica_completed(),
+        )?;
+        for (i, r) in self.replicas.iter().enumerate() {
+            match &r.report {
+                Some(report) => writeln!(
+                    f,
+                    "    [{i}] {} {}: {} completed, {} layers served, {}/{} MiB placed",
+                    r.name,
+                    r.health,
+                    report.completed,
+                    report.layers_served,
+                    r.placed_bytes >> 20,
+                    report.budget_bytes >> 20,
+                )?,
+                None => writeln!(f, "    [{i}] {} {}: unreachable", r.name, r.health)?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Merges per-replica latency reservoirs into one cluster-wide summary.
+///
+/// Every sample of replica `i` carries weight `completed_i / samples_i`, so
+/// the merged distribution weights each replica by the traffic it actually
+/// served. Percentiles are weighted quantiles over the sample union; the
+/// mean is the exact completed-weighted mean of replica means; the max is
+/// the max of replica maxima (both exact because replicas track them
+/// exactly).
+pub fn merge_latency(reports: &[&StatsReport]) -> LatencySummary {
+    let mut weighted: Vec<(f64, f64)> = Vec::new();
+    let mut total_completed = 0u64;
+    let mut mean_acc = 0.0f64;
+    let mut max = 0.0f64;
+    for report in reports {
+        total_completed += report.completed;
+        mean_acc += report.latency[3] * report.completed as f64;
+        max = max.max(report.latency[4]);
+        if !report.latency_samples.is_empty() && report.completed > 0 {
+            let w = report.completed as f64 / report.latency_samples.len() as f64;
+            weighted.extend(report.latency_samples.iter().map(|&s| (s, w)));
+        }
+    }
+    if total_completed == 0 || weighted.is_empty() {
+        return LatencySummary::default();
+    }
+    weighted.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let total_weight: f64 = weighted.iter().map(|&(_, w)| w).sum();
+    let quantile = |p: f64| -> f64 {
+        let target = p * total_weight;
+        let mut cumulative = 0.0;
+        for &(value, weight) in &weighted {
+            cumulative += weight;
+            if cumulative >= target {
+                return value;
+            }
+        }
+        weighted.last().unwrap().0
+    };
+    LatencySummary {
+        p50: quantile(0.50),
+        p90: quantile(0.90),
+        p99: quantile(0.99),
+        mean: mean_acc / total_completed as f64,
+        max,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(completed: u64, samples: Vec<f64>, mean: f64, max: f64) -> StatsReport {
+        StatsReport {
+            completed,
+            latency: [0.0, 0.0, 0.0, mean, max],
+            latency_samples: samples,
+            ..StatsReport::default()
+        }
+    }
+
+    #[test]
+    fn merged_percentiles_weight_replicas_by_traffic() {
+        // A fast replica that served 900 requests around 1ms and a slow one
+        // that served 100 around 100ms: the merged p50 must stay at the
+        // fast replica's latency while the p99 surfaces the slow tail —
+        // exactly what averaging per-replica percentiles would destroy.
+        let fast = report(900, vec![0.001; 90], 0.001, 0.002);
+        let slow = report(100, vec![0.1; 10], 0.1, 0.12);
+        let merged = merge_latency(&[&fast, &slow]);
+        assert!((merged.p50 - 0.001).abs() < 1e-9, "{}", merged.p50);
+        assert!((merged.p99 - 0.1).abs() < 1e-9, "{}", merged.p99);
+        let expected_mean = (900.0 * 0.001 + 100.0 * 0.1) / 1000.0;
+        assert!((merged.mean - expected_mean).abs() < 1e-12);
+        assert!((merged.max - 0.12).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_count_does_not_skew_the_merge() {
+        // Same traffic split, but the slow replica shipped far more samples:
+        // per-sample weights must normalize it away.
+        let fast = report(500, vec![0.001; 10], 0.001, 0.001);
+        let slow = report(500, vec![0.1; 200], 0.1, 0.1);
+        let merged = merge_latency(&[&fast, &slow]);
+        assert!(
+            (merged.p50 - 0.001).abs() < 1e-9,
+            "half the traffic is fast, so p50 must be fast: {}",
+            merged.p50
+        );
+        assert!((merged.p90 - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_merges_are_zero() {
+        assert_eq!(merge_latency(&[]), LatencySummary::default());
+        let idle = report(0, Vec::new(), 0.0, 0.0);
+        assert_eq!(merge_latency(&[&idle]), LatencySummary::default());
+    }
+}

@@ -19,6 +19,12 @@ use crate::projection::RADIUS_SIGMA;
 /// culling never rejects a Gaussian the projection stage would keep.
 pub const CULL_RADIUS_MARGIN: f32 = 1.5;
 
+/// Flat pixel slack added to the conservative culling radius; covers the
+/// one-tile rounding the fine-grained projection culling allows. Shared with
+/// the serving layer's shard-level frustum test so the two stay conservative
+/// together.
+pub const CULL_PIXEL_SLACK: f32 = 18.0;
+
 /// Result of a frustum-culling pass.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CullResult {
@@ -82,7 +88,7 @@ pub fn gaussian_in_frustum(
     // the one-tile slack the fine-grained projection culling allows.
     let max_scale = params.scale(i).max_elem();
     let focal = cam.fx.max(cam.fy);
-    let radius_px = CULL_RADIUS_MARGIN * RADIUS_SIGMA * max_scale * focal / t.z + 18.0;
+    let radius_px = CULL_RADIUS_MARGIN * RADIUS_SIGMA * max_scale * focal / t.z + CULL_PIXEL_SLACK;
     let px = cam.cam_to_pixel(t);
     viewport.contains_with_margin(px.x, px.y, radius_px)
 }

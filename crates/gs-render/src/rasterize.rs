@@ -192,6 +192,33 @@ impl FrameLayer {
         }
     }
 
+    /// Reassembles a layer from its parts — the decode boundary of wire
+    /// encodings that ship layers between nodes. The exact inverse of
+    /// [`FrameLayer::into_parts`]: `from_parts(layer.into_parts())` is the
+    /// identity, bit for bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `transmittance` does not hold one value per pixel of
+    /// `color`.
+    pub fn from_parts(color: Image, transmittance: Vec<f32>) -> Self {
+        assert_eq!(
+            transmittance.len(),
+            color.width() * color.height(),
+            "transmittance must hold one value per pixel"
+        );
+        Self {
+            color,
+            transmittance,
+        }
+    }
+
+    /// Disassembles the layer into its premultiplied color image and
+    /// per-pixel transmittance (the encode boundary of wire encodings).
+    pub fn into_parts(self) -> (Image, Vec<f32>) {
+        (self.color, self.transmittance)
+    }
+
     /// Layer width in pixels.
     pub fn width(&self) -> usize {
         self.color.width()
@@ -729,6 +756,25 @@ mod tests {
             before.color().pixel(8, 8),
             "opaque pixels must not blend far-shard splats"
         );
+    }
+
+    #[test]
+    fn layer_parts_roundtrip_is_the_identity() {
+        let splats = layered_scene();
+        let viewport = vp(16, 16);
+        let mut layer = FrameLayer::new(16, 16);
+        rasterize_layer(&splats, &TileGrid::build(&splats, viewport), &mut layer);
+        let rebuilt = {
+            let (color, transmittance) = layer.clone().into_parts();
+            FrameLayer::from_parts(color, transmittance)
+        };
+        assert_eq!(rebuilt, layer);
+    }
+
+    #[test]
+    #[should_panic(expected = "one value per pixel")]
+    fn from_parts_rejects_mismatched_transmittance() {
+        let _ = FrameLayer::from_parts(Image::zeros(4, 4), vec![1.0; 15]);
     }
 
     #[test]

@@ -1,4 +1,6 @@
-//! A std-only HTTP/1.1 front-end for [`RenderServer`].
+//! A std-only HTTP/1.1 front-end for [`RenderServer`] — and the reusable
+//! listener machinery other services (the cluster coordinator) build their
+//! own front-ends on.
 //!
 //! [`HttpServer::bind`] starts a TCP listener and serves a minimal HTTP/1.1
 //! subset — `GET`/`POST` with `Content-Length` bodies and keep-alive — so
@@ -8,8 +10,23 @@
 //! * `POST /render` — body in the [`crate::wire`] format; answers with the
 //!   rendered frame encoded per the request's `format` (raw little-endian
 //!   `f32` or binary PPM) plus `X-Image-Width`/`X-Image-Height`/
-//!   `X-Cache-Hit`/`X-Batch-Size`/`X-Worker`/`X-Latency-Us` headers.
+//!   `X-Cache-Hit`/`X-Batch-Size`/`X-Shards`/`X-Worker`/`X-Latency-Us`
+//!   headers. While the request is queued the handler watches the client
+//!   socket: a disconnect triggers the request's [`crate::CancelToken`], so
+//!   workers sweep the dead job out of the queue (counted as `cancelled`)
+//!   instead of rendering a frame nobody will read.
+//! * `POST /render_layer` — a [`crate::wire::encode_layer_request`] body;
+//!   renders one shard (or a whole scene) as a partial-frame
+//!   [`gs_render::rasterize::FrameLayer`], optionally continuing an attached
+//!   incoming layer's blend state, and answers with the
+//!   [`crate::wire::encode_layer`] bytes. The remote half of cross-node
+//!   sharded rendering.
+//! * `POST /scenes/<id>` — a text [`SceneSpec`] (synthetic build) or a
+//!   binary [`crate::wire::encode_scene`] upload (exact parameters; how a
+//!   cluster coordinator places scenes and shards on a replica).
 //! * `GET /stats` — the [`crate::stats::ServeStats`] text report.
+//! * `GET /stats/wire` — the machine-readable [`crate::wire::StatsReport`]
+//!   a cluster coordinator aggregates (counters, latency samples, budget).
 //! * `GET /scenes` — the loaded scene ids, one per line.
 //! * `GET /healthz` — liveness probe.
 //!
@@ -19,11 +36,11 @@
 //! connection-limit or shutting-down service `503`.
 //!
 //! Concurrency model: one handler thread per connection (bounded by
-//! [`HttpConfig::max_connections`]). Each handler calls
-//! [`RenderServer::render_blocking`], which blocks in `submit` while the
-//! worker queue is full — the bounded queue's backpressure therefore
+//! [`HttpConfig::max_connections`]). Each handler blocks on the bounded
+//! worker queue while it is full — the queue's backpressure therefore
 //! propagates all the way to the TCP client, exactly like the in-process
-//! closed-loop clients.
+//! closed-loop clients. Custom services plug their routing into the same
+//! listener via [`HttpHandler`] and [`HttpServer::bind_with`].
 
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
@@ -33,10 +50,10 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use crate::request::ServeError;
+use crate::request::{CancelToken, ServeError};
 use crate::server::RenderServer;
 use crate::stats::ConnectionStats;
-use crate::wire::{self, SceneSpec, WireFormat, WireRequest};
+use crate::wire::{self, SceneSpec, StatsReport, WireFormat, WireRequest};
 
 /// Configuration of an [`HttpServer`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -104,12 +121,25 @@ pub struct HttpServer {
 }
 
 impl HttpServer {
-    /// Binds the listener and starts accepting connections.
+    /// Binds the listener and starts accepting connections, serving the
+    /// standard [`RenderServer`] routes.
     ///
     /// # Errors
     ///
     /// Propagates the bind failure.
     pub fn bind(config: HttpConfig, server: Arc<RenderServer>) -> io::Result<Self> {
+        Self::bind_with(config, Arc::new(ServeHandler { server }))
+    }
+
+    /// Binds the listener with a custom routing layer — how services other
+    /// than a plain `RenderServer` (e.g. a cluster coordinator) reuse the
+    /// whole connection machinery: accept loop, per-connection handler
+    /// threads, keep-alive framing, connection limits and idle timeouts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind_with(config: HttpConfig, handler: Arc<dyn HttpHandler>) -> io::Result<Self> {
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
         // Non-blocking accept polled against the stop flag: shutdown never
@@ -126,7 +156,7 @@ impl HttpServer {
             std::thread::Builder::new()
                 .name("gs-serve-http-accept".to_string())
                 .spawn(move || {
-                    accept_loop(&listener, &config, &server, &stop, &handlers, &counters);
+                    accept_loop(&listener, &config, &handler, &stop, &handlers, &counters);
                 })
                 .expect("spawn http accept thread")
         };
@@ -177,7 +207,7 @@ impl Drop for HttpServer {
 fn accept_loop(
     listener: &TcpListener,
     config: &HttpConfig,
-    server: &Arc<RenderServer>,
+    handler: &Arc<dyn HttpHandler>,
     stop: &Arc<AtomicBool>,
     handlers: &Arc<Mutex<Vec<JoinHandle<()>>>>,
     counters: &Arc<ConnCounters>,
@@ -215,7 +245,7 @@ fn accept_loop(
         }
         counters.active.fetch_add(1, Ordering::SeqCst);
         counters.accepted.fetch_add(1, Ordering::SeqCst);
-        let server = Arc::clone(server);
+        let handler = Arc::clone(handler);
         let stop = Arc::clone(stop);
         let guard = ActiveGuard(Arc::clone(counters));
         let conn_counters = Arc::clone(counters);
@@ -228,7 +258,7 @@ fn accept_loop(
                 // handler panics.
                 let _guard = guard;
                 handle_connection(
-                    &server,
+                    handler.as_ref(),
                     &conn_counters,
                     stream,
                     max_body,
@@ -261,13 +291,18 @@ impl Drop for ActiveGuard {
     }
 }
 
-/// One parsed HTTP request.
-struct HttpRequest {
-    method: String,
-    path: String,
-    version: String,
-    headers: HashMap<String, String>,
-    body: Vec<u8>,
+/// One parsed HTTP request, as handed to an [`HttpHandler`].
+pub struct HttpRequest {
+    /// Request method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request path (`/render`, ...).
+    pub path: String,
+    /// Protocol version string (`HTTP/1.1`).
+    pub version: String,
+    /// Header map, names lowercased.
+    pub headers: HashMap<String, String>,
+    /// Request body (exactly `Content-Length` bytes).
+    pub body: Vec<u8>,
 }
 
 impl HttpRequest {
@@ -286,6 +321,72 @@ impl HttpRequest {
     }
 }
 
+/// The routing layer plugged into the shared listener machinery (see
+/// [`HttpServer::bind_with`]). Called on the connection's handler thread;
+/// blocking in `handle` blocks only this connection.
+pub trait HttpHandler: Send + Sync + 'static {
+    /// Produces the response for one request.
+    fn handle(&self, request: &HttpRequest, conn: &mut Conn<'_>) -> HttpResponse;
+}
+
+/// The handler's view of the connection it is serving: the shared
+/// connection counters plus a live probe of the client socket, so
+/// long-waiting routes (a queued render) can notice the client leaving.
+pub struct Conn<'a> {
+    stream: &'a mut TcpStream,
+    /// Bytes already read off the socket but not yet consumed (pipelined
+    /// next requests); disconnect probes must preserve them.
+    buf: &'a mut Vec<u8>,
+    /// Cap on `buf` growth during disconnect probes (one head plus one
+    /// body); a client streaming more than a pipelined request's worth of
+    /// bytes mid-response is abusive and treated as disconnected.
+    max_buffered: usize,
+    counters: &'a ConnCounters,
+    stop: &'a AtomicBool,
+}
+
+impl Conn<'_> {
+    /// Connection-level counters (what `GET /stats` reports).
+    pub fn connections(&self) -> ConnectionStats {
+        self.counters.snapshot()
+    }
+
+    /// Whether the front-end is shutting down.
+    pub fn stopping(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+
+    /// Probes the client socket without consuming request data: returns
+    /// `true` once the peer has closed (EOF) or errored. Bytes of a
+    /// pipelined next request that arrive during the probe are buffered for
+    /// the connection loop. A half-closed client (write side shut down) is
+    /// reported as disconnected — it could still read a response, but a
+    /// client that has hung up its request stream is treated as gone.
+    ///
+    /// Blocks at most one short poll interval (the stream's read timeout).
+    pub fn client_disconnected(&mut self) -> bool {
+        let mut chunk = [0u8; 1024];
+        match self.stream.read(&mut chunk) {
+            Ok(0) => true,
+            Ok(n) => {
+                self.buf.extend_from_slice(&chunk[..n]);
+                // A client flooding bytes while its render is queued would
+                // otherwise grow the buffer without bound (head/body limits
+                // are only enforced when the next request is parsed).
+                self.buf.len() > self.max_buffered
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut
+                    || e.kind() == io::ErrorKind::Interrupted =>
+            {
+                false
+            }
+            Err(_) => true,
+        }
+    }
+}
+
 enum ReadOutcome {
     Request(HttpRequest),
     /// Clean EOF between requests.
@@ -295,7 +396,7 @@ enum ReadOutcome {
 }
 
 fn handle_connection(
-    server: &RenderServer,
+    handler: &dyn HttpHandler,
     counters: &ConnCounters,
     mut stream: TcpStream,
     max_body: usize,
@@ -323,7 +424,16 @@ fn handle_connection(
         match read_request(&mut stream, &mut buf, max_body, idle_timeout, stop) {
             ReadOutcome::Request(req) => {
                 let keep_alive = req.keep_alive();
-                let response = route(server, counters, &req);
+                let response = {
+                    let mut conn = Conn {
+                        stream: &mut stream,
+                        buf: &mut buf,
+                        max_buffered: MAX_HEAD_BYTES + max_body,
+                        counters,
+                        stop,
+                    };
+                    handler.handle(&req, &mut conn)
+                };
                 if write_response(&mut stream, &response, keep_alive).is_err() || !keep_alive {
                     break;
                 }
@@ -540,6 +650,7 @@ fn reason(status: u16) -> &'static str {
         413 => "Payload Too Large",
         500 => "Internal Server Error",
         501 => "Not Implemented",
+        502 => "Bad Gateway",
         503 => "Service Unavailable",
         _ => "Unknown",
     }
@@ -576,60 +687,116 @@ fn write_response(
 /// The status code a [`ServeError`] maps onto.
 pub fn status_for_error(err: &ServeError) -> u16 {
     match err {
-        ServeError::UnknownScene(_) => 404,
+        ServeError::UnknownScene(_) | ServeError::UnknownShard(_, _) => 404,
         ServeError::SceneExists(_) => 409,
-        ServeError::ShuttingDown | ServeError::Admission(_) | ServeError::DeadlineExceeded => 503,
+        ServeError::ShuttingDown
+        | ServeError::Admission(_)
+        | ServeError::DeadlineExceeded
+        | ServeError::Cancelled => 503,
     }
 }
 
-fn route(server: &RenderServer, counters: &ConnCounters, req: &HttpRequest) -> HttpResponse {
-    match (req.method.as_str(), req.path.as_str()) {
-        ("GET", "/stats") => {
-            let mut stats = server.stats();
-            stats.connections = counters.snapshot();
-            HttpResponse::text(200, format!("{stats}\n"))
-        }
-        ("GET", "/scenes") => {
-            // One line per scene with its shard layout and residency, e.g.
-            // `city shards=4 resident=2/4 gaussians=80000 bytes=18880000`.
-            let mut body = String::new();
-            for layout in server.scene_layouts() {
-                body.push_str(&format!(
-                    "{} shards={} resident={}/{} gaussians={} bytes={}\n",
-                    layout.id,
-                    layout.shards,
-                    layout.resident_shards,
-                    layout.shards,
-                    layout.gaussians,
-                    layout.bytes,
-                ));
+/// The standard [`RenderServer`] routing layer (what [`HttpServer::bind`]
+/// installs).
+struct ServeHandler {
+    server: Arc<RenderServer>,
+}
+
+impl HttpHandler for ServeHandler {
+    fn handle(&self, req: &HttpRequest, conn: &mut Conn<'_>) -> HttpResponse {
+        let server = self.server.as_ref();
+        match (req.method.as_str(), req.path.as_str()) {
+            ("GET", "/stats") => {
+                let mut stats = server.stats();
+                stats.connections = conn.connections();
+                HttpResponse::text(200, format!("{stats}\n"))
             }
-            HttpResponse::text(200, body)
+            ("GET", "/stats/wire") => {
+                let stats = server.stats();
+                let report = StatsReport::new(
+                    &stats,
+                    server.latency_samples(wire::STATS_SAMPLES),
+                    server.budget_bytes(),
+                    server.used_bytes(),
+                );
+                HttpResponse::text(200, report.to_body())
+            }
+            ("GET", "/scenes") => {
+                // One line per scene with its shard layout and residency,
+                // e.g. `city shards=4 resident=2/4 gaussians=80000
+                // bytes=18880000`.
+                let mut body = String::new();
+                for layout in server.scene_layouts() {
+                    body.push_str(&format!(
+                        "{} shards={} resident={}/{} gaussians={} bytes={}\n",
+                        layout.id,
+                        layout.shards,
+                        layout.resident_shards,
+                        layout.shards,
+                        layout.gaussians,
+                        layout.bytes,
+                    ));
+                }
+                HttpResponse::text(200, body)
+            }
+            ("GET", "/healthz") => HttpResponse::text(200, "ok\n"),
+            ("POST", "/render") => render_route(server, &req.body, conn),
+            ("POST", "/render_layer") => render_layer_route(server, &req.body),
+            ("POST", path) if path.strip_prefix("/scenes/").is_some() => {
+                let id = path.strip_prefix("/scenes/").unwrap_or_default();
+                load_scene_route(server, id, &req.body)
+            }
+            ("DELETE", path) if path.strip_prefix("/scenes/").is_some() => {
+                let id = path
+                    .strip_prefix("/scenes/")
+                    .unwrap_or_default()
+                    .to_string();
+                if server.unload_scene(&id) {
+                    HttpResponse::text(200, format!("unloaded scene {id}\n"))
+                } else {
+                    HttpResponse::text(404, format!("scene {id:?} is not loaded\n"))
+                }
+            }
+            (
+                _,
+                "/stats" | "/stats/wire" | "/scenes" | "/healthz" | "/render" | "/render_layer",
+            ) => HttpResponse::text(405, "method not allowed on this path\n"),
+            (_, path) if path.starts_with("/scenes/") => {
+                HttpResponse::text(405, "method not allowed on this path\n")
+            }
+            _ => HttpResponse::text(404, "unknown path\n"),
         }
-        ("GET", "/healthz") => HttpResponse::text(200, "ok\n"),
-        ("POST", "/render") => render_route(server, &req.body),
-        ("POST", path) if path.strip_prefix("/scenes/").is_some() => {
-            let id = path.strip_prefix("/scenes/").unwrap_or_default();
-            load_scene_route(server, id, &req.body)
-        }
-        (_, "/stats" | "/scenes" | "/healthz" | "/render") => {
-            HttpResponse::text(405, "method not allowed on this path\n")
-        }
-        (_, path) if path.starts_with("/scenes/") => {
-            HttpResponse::text(405, "method not allowed on this path\n")
-        }
-        _ => HttpResponse::text(404, "unknown path\n"),
     }
 }
 
-/// `POST /scenes/<id>`: build a synthetic scene from a [`SceneSpec`] body
-/// and register it, sharded when it exceeds the server's size threshold (or
-/// as the spec's explicit `shards` count). `201` on success, `400` for a
-/// malformed spec, `409` when the id is taken, `413` when the spec is too
-/// large to build or to admit.
+/// `POST /scenes/<id>`: register a scene. Two body forms are accepted:
+///
+/// * A binary [`wire::encode_scene`] upload — exact trained parameters, the
+///   form a cluster coordinator uses to place scenes and shards. Loads (or
+///   **replaces**) the id unsharded; the uploader owns the shard layout.
+/// * A text [`SceneSpec`] — a synthetic scene built server-side, sharded
+///   when it exceeds the size threshold (or as the spec's explicit `shards`
+///   count). Refuses to replace an existing id.
+///
+/// `201` on success, `400` for a malformed body, `409` when a spec's id is
+/// taken, `413` when the scene is too large to build or to admit.
 fn load_scene_route(server: &RenderServer, id: &str, body: &[u8]) -> HttpResponse {
     if !wire::valid_scene_id(id) {
         return HttpResponse::text(400, "bad request: invalid scene id\n");
+    }
+    if wire::is_scene_upload(body) {
+        let (params, background) = match wire::decode_scene(body) {
+            Ok(decoded) => decoded,
+            Err(e) => return HttpResponse::text(400, format!("{e}\n")),
+        };
+        let gaussians = params.len();
+        return match server.load_scene(id, Arc::new(params), background) {
+            Ok(()) => {
+                HttpResponse::text(201, format!("loaded scene {id}: {gaussians} gaussians\n"))
+            }
+            Err(e @ ServeError::Admission(_)) => HttpResponse::text(413, format!("{e}\n")),
+            Err(e) => HttpResponse::text(status_for_error(&e), format!("{e}\n")),
+        };
     }
     let text = match std::str::from_utf8(body) {
         Ok(t) => t,
@@ -674,7 +841,7 @@ fn load_scene_route(server: &RenderServer, id: &str, body: &[u8]) -> HttpRespons
     }
 }
 
-fn render_route(server: &RenderServer, body: &[u8]) -> HttpResponse {
+fn render_route(server: &RenderServer, body: &[u8], conn: &mut Conn<'_>) -> HttpResponse {
     let text = match std::str::from_utf8(body) {
         Ok(t) => t,
         Err(_) => return HttpResponse::text(400, "bad request: body is not UTF-8\n"),
@@ -683,7 +850,30 @@ fn render_route(server: &RenderServer, body: &[u8]) -> HttpResponse {
         Ok(r) => r,
         Err(e) => return HttpResponse::text(400, format!("{e}\n")),
     };
-    let frame = match server.render_blocking(wire_req.to_render_request()) {
+    // Submit with a cancel token, then wait while watching the client
+    // socket: if the client disconnects while the job is queued, the token
+    // tells the workers to sweep it (counted as `cancelled`) instead of
+    // rendering a frame nobody will read. The handler returns immediately —
+    // the doomed write then closes the connection and frees its slot.
+    let cancel = CancelToken::new();
+    let render_req = wire_req.to_render_request().with_cancel(cancel.clone());
+    let mut ticket = match server.submit(render_req) {
+        Ok(ticket) => ticket,
+        Err(e) => return HttpResponse::text(status_for_error(&e), format!("{e}\n")),
+    };
+    let result = loop {
+        match ticket.wait_timeout(POLL_INTERVAL) {
+            Ok(result) => break result,
+            Err(pending) => {
+                ticket = pending;
+                if conn.client_disconnected() || conn.stopping() {
+                    cancel.cancel();
+                    return HttpResponse::text(503, "client disconnected\n");
+                }
+            }
+        }
+    };
+    let frame = match result {
         Ok(frame) => frame,
         Err(e) => return HttpResponse::text(status_for_error(&e), format!("{e}\n")),
     };
@@ -704,6 +894,30 @@ fn render_route(server: &RenderServer, body: &[u8]) -> HttpResponse {
             ("X-Latency-Us", frame.latency.as_micros().to_string()),
         ],
         body,
+    }
+}
+
+/// `POST /render_layer`: render one shard (or a whole scene) as a
+/// partial-frame layer, continuing an attached incoming layer if present.
+/// Body and response use the binary layer encodings of [`crate::wire`].
+fn render_layer_route(server: &RenderServer, body: &[u8]) -> HttpResponse {
+    let (wire_req, into) = match wire::decode_layer_request(body) {
+        Ok(decoded) => decoded,
+        Err(e) => return HttpResponse::text(400, format!("{e}\n")),
+    };
+    let shard = wire_req.shard;
+    let request = wire_req.to_render_request();
+    match server.render_layer_blocking(&request, shard, into) {
+        Ok(layer) => HttpResponse {
+            status: 200,
+            content_type: "application/octet-stream",
+            headers: vec![
+                ("X-Image-Width", layer.width().to_string()),
+                ("X-Image-Height", layer.height().to_string()),
+            ],
+            body: wire::encode_layer(&layer),
+        },
+        Err(e) => HttpResponse::text(status_for_error(&e), format!("{e}\n")),
     }
 }
 

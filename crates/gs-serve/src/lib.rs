@@ -76,14 +76,16 @@ pub mod stats;
 pub mod wire;
 
 pub use cache::{CacheStats, FrameCache, FrameKey, QuantizedPose};
-pub use http::{HttpConfig, HttpServer};
+pub use http::{Conn, HttpConfig, HttpHandler, HttpRequest, HttpResponse, HttpServer};
 pub use queue::BoundedQueue;
 pub use registry::{
     LoadedScene, RegistryStats, SceneLayout, SceneRegistry, SceneView, ShardResidency, ShardView,
     ShardedSceneView,
 };
-pub use request::{RenderRequest, RenderedFrame, SceneId, ServeError};
+pub use request::{CancelToken, RenderRequest, RenderedFrame, SceneId, ServeError};
 pub use server::{RenderServer, ServeConfig, Ticket};
-pub use shard::{depth_order, partition_ids, shard_scene, Aabb, ShardSource};
+pub use shard::{
+    depth_order, partition_ids, shard_scene, shard_visible, visible_shards, Aabb, ShardSource,
+};
 pub use stats::{ConnectionStats, LatencySummary, ServeStats, StatsCollector};
-pub use wire::{SceneSpec, WireError, WireFormat, WireRequest};
+pub use wire::{SceneSpec, StatsReport, WireError, WireFormat, WireRequest};

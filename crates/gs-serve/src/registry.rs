@@ -55,6 +55,9 @@ pub struct ShardView {
     pub params: Arc<GaussianParams>,
     /// Bounding box of the shard's Gaussian centers (drives depth order).
     pub aabb: Aabb,
+    /// Largest per-Gaussian scale in the shard (drives view-adaptive shard
+    /// culling, see [`crate::shard::shard_visible`]).
+    pub max_scale: f32,
     /// Bytes the shard charges to the pool while resident.
     pub bytes: u64,
 }
@@ -137,6 +140,7 @@ pub const HOST_BUDGET_FACTOR: u64 = 8;
 struct ShardSlot {
     params: Arc<GaussianParams>,
     aabb: Aabb,
+    max_scale: f32,
     bytes: u64,
     resident: bool,
     tick: u64,
@@ -330,6 +334,7 @@ impl SceneRegistry {
             .map(|s| ShardSlot {
                 params: s.params,
                 aabb: s.aabb,
+                max_scale: s.max_scale,
                 bytes: s.bytes,
                 resident: false,
                 tick: 0,
@@ -375,6 +380,7 @@ impl SceneRegistry {
                     .map(|s| ShardView {
                         params: Arc::clone(&s.params),
                         aabb: s.aabb,
+                        max_scale: s.max_scale,
                         bytes: s.bytes,
                     })
                     .collect(),

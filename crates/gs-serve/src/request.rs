@@ -1,5 +1,6 @@
 //! Request/response types for the rendering service.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -8,6 +9,65 @@ use gs_core::image::Image;
 
 /// Identifies a loaded scene in the registry.
 pub type SceneId = String;
+
+/// A shared cancellation flag attached to a [`RenderRequest`].
+///
+/// The submitter keeps a clone; setting it tells the service the client is
+/// gone (e.g. its HTTP connection closed while the request was queued).
+/// Workers sweep cancelled jobs out of the queue via `drain_where` and
+/// answer them with [`ServeError::Cancelled`] instead of rendering frames
+/// nobody will read — the same treatment expired deadlines get.
+///
+/// When the service accepts the request it installs a *watcher* counter on
+/// the token ([`CancelToken::watch`]): the first `cancel()` bumps it, which
+/// is how workers know a sweep is worth its O(queue) walk at all — merely
+/// *carrying* a token (every HTTP request does) costs the queue nothing.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<CancelInner>);
+
+#[derive(Debug, Default)]
+struct CancelInner {
+    flag: AtomicBool,
+    /// `(counted, watcher)` under one mutex so the watcher is notified
+    /// exactly once no matter how `cancel()` and `watch()` interleave.
+    watch: std::sync::Mutex<(bool, Option<Arc<std::sync::atomic::AtomicU64>>)>,
+}
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Marks the request as cancelled, notifying the watcher (if installed)
+    /// exactly once.
+    pub fn cancel(&self) {
+        self.0.flag.store(true, Ordering::SeqCst);
+        let mut watch = self.0.watch.lock().unwrap();
+        if !watch.0 {
+            if let Some(counter) = &watch.1 {
+                counter.fetch_add(1, Ordering::SeqCst);
+                watch.0 = true;
+            }
+        }
+    }
+
+    /// Whether [`CancelToken::cancel`] has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.flag.load(Ordering::SeqCst)
+    }
+
+    /// Installs the counter `cancel()` bumps; if the token was cancelled
+    /// before the watcher arrived, the counter is bumped immediately.
+    pub(crate) fn watch(&self, counter: &Arc<std::sync::atomic::AtomicU64>) {
+        let mut watch = self.0.watch.lock().unwrap();
+        watch.1 = Some(Arc::clone(counter));
+        if self.0.flag.load(Ordering::SeqCst) && !watch.0 {
+            counter.fetch_add(1, Ordering::SeqCst);
+            watch.0 = true;
+        }
+    }
+}
 
 /// A request to render one view of one scene.
 #[derive(Debug, Clone)]
@@ -26,10 +86,15 @@ pub struct RenderRequest {
     /// counted as `expired` in the service stats) — under overload there is
     /// no point rendering frames nobody is waiting for anymore.
     pub deadline: Option<Instant>,
+    /// Optional cancellation flag (see [`CancelToken`]). A queued request
+    /// whose token is cancelled is answered with [`ServeError::Cancelled`]
+    /// and counted as `cancelled` in the service stats, never rendered.
+    pub cancel: Option<CancelToken>,
 }
 
 impl RenderRequest {
-    /// A full-image render request with degree-3 SH color and no deadline.
+    /// A full-image render request with degree-3 SH color, no deadline and
+    /// no cancel token.
     pub fn full(scene: impl Into<SceneId>, camera: Camera) -> Self {
         let viewport = Viewport::full(&camera);
         Self {
@@ -38,6 +103,7 @@ impl RenderRequest {
             viewport,
             sh_degree: 3,
             deadline: None,
+            cancel: None,
         }
     }
 
@@ -47,9 +113,20 @@ impl RenderRequest {
         self
     }
 
+    /// Attaches a cancel token (the caller keeps a clone to trigger it).
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
     /// Whether the request's deadline (if any) has passed at `now`.
     pub fn is_expired(&self, now: Instant) -> bool {
         self.deadline.is_some_and(|d| now >= d)
+    }
+
+    /// Whether the request's cancel token (if any) has been triggered.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
     }
 }
 
@@ -88,6 +165,11 @@ pub enum ServeError {
     SceneExists(SceneId),
     /// The request's deadline passed while it was still queued.
     DeadlineExceeded,
+    /// The request's cancel token was triggered while it was still queued
+    /// (e.g. the submitting client disconnected).
+    Cancelled,
+    /// A layer render named a shard the scene does not have.
+    UnknownShard(SceneId, usize),
     /// The service dropped the request without answering it — it is
     /// shutting down, or the worker processing the request failed.
     ShuttingDown,
@@ -101,6 +183,12 @@ impl std::fmt::Display for ServeError {
             ServeError::SceneExists(id) => write!(f, "scene {id:?} is already loaded"),
             ServeError::DeadlineExceeded => {
                 write!(f, "the request's deadline passed before it was rendered")
+            }
+            ServeError::Cancelled => {
+                write!(f, "the request was cancelled before it was rendered")
+            }
+            ServeError::UnknownShard(id, k) => {
+                write!(f, "scene {id:?} has no shard {k}")
             }
             ServeError::ShuttingDown => write!(f, "the service dropped the request"),
         }

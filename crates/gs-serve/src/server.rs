@@ -77,9 +77,15 @@ struct Shared {
     stats: StatsCollector,
     /// Queued jobs that carry a deadline. Incremented before the push makes
     /// a job visible and decremented when the job leaves the queue, so the
-    /// workers' expired-job sweep (an O(queue) walk under the queue mutex)
-    /// can be skipped entirely for deadline-free traffic.
+    /// workers' dead-job sweep (an O(queue) walk under the queue mutex) can
+    /// be skipped entirely while no deadline could be expiring.
     deadline_jobs: AtomicU64,
+    /// Cancellations signalled since a worker last swept: every accepted
+    /// request's [`CancelToken`] is wired to bump this exactly once on
+    /// `cancel()`, and workers `swap(0)` it — so each cancellation triggers
+    /// at least one sweep, while merely *carrying* a token (every HTTP
+    /// request does) costs the queue nothing.
+    pending_cancels: Arc<AtomicU64>,
 }
 
 /// Handle to a pending render; resolves through [`Ticket::wait`].
@@ -96,6 +102,22 @@ impl Ticket {
     /// service dropped the request during shutdown.
     pub fn wait(self) -> Response {
         self.rx.recv().unwrap_or(Err(ServeError::ShuttingDown))
+    }
+
+    /// Waits up to `timeout` for the response. Returns `Err(self)` on
+    /// timeout so the caller can keep polling — the pattern the HTTP
+    /// front-end uses to watch the client socket for disconnects while its
+    /// request is queued.
+    ///
+    /// # Errors
+    ///
+    /// `Err(self)` when the response has not arrived yet.
+    pub fn wait_timeout(self, timeout: std::time::Duration) -> Result<Response, Ticket> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(response) => Ok(response),
+            Err(mpsc::RecvTimeoutError::Timeout) => Err(self),
+            Err(mpsc::RecvTimeoutError::Disconnected) => Ok(Err(ServeError::ShuttingDown)),
+        }
     }
 }
 
@@ -121,6 +143,7 @@ impl RenderServer {
             stats: StatsCollector::new(config.workers),
             config,
             deadline_jobs: AtomicU64::new(0),
+            pending_cancels: Arc::new(AtomicU64::new(0)),
         });
         let workers = (0..shared.config.workers)
             .map(|idx| {
@@ -325,6 +348,11 @@ impl RenderServer {
         if has_deadline {
             self.shared.deadline_jobs.fetch_add(1, Ordering::Relaxed);
         }
+        // Wire the cancel token to the sweep trigger (fires on `cancel()`,
+        // or immediately if the client is already gone).
+        if let Some(token) = &request.cancel {
+            token.watch(&self.shared.pending_cancels);
+        }
         let pushed = self.shared.queue.push(Job {
             request,
             tx,
@@ -346,6 +374,131 @@ impl RenderServer {
     /// See [`RenderServer::submit`] and [`Ticket::wait`].
     pub fn render_blocking(&self, request: RenderRequest) -> Response {
         self.submit(request)?.wait()
+    }
+
+    /// Renders one shard of a scene (or a whole unsharded scene) as a
+    /// partial-frame [`FrameLayer`], optionally continuing an incoming
+    /// layer's per-pixel blend state — the serving primitive of cross-node
+    /// sharded rendering.
+    ///
+    /// `shard` selects a shard of a sharded scene (`Some(0)` is also
+    /// accepted for an unsharded scene); `None` composites every
+    /// frustum-visible shard of the scene, front-to-back. When `into` is
+    /// given, rasterization continues that layer's per-pixel `(color,
+    /// transmittance)` state exactly where a nearer shard left it, which is
+    /// what keeps a relayed cross-node composite bit-identical to the
+    /// single-node fan-out render.
+    ///
+    /// Runs on the caller's thread rather than the worker pool: layer
+    /// traffic arrives from a cluster coordinator that already provides
+    /// admission and backpressure, and a relayed layer render is bounded by
+    /// its wire hops, not by queue position. Deadlines and cancel tokens on
+    /// `request` are ignored for the same reason.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownScene`] / [`ServeError::UnknownShard`] when the
+    /// scene or shard is not loaded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `request.sh_degree` exceeds [`gs_core::sh::MAX_DEGREE`] or
+    /// if `into`'s size does not match the request's viewport (in-process
+    /// contract violations; the HTTP front-end validates both before
+    /// calling).
+    pub fn render_layer_blocking(
+        &self,
+        request: &RenderRequest,
+        shard: Option<usize>,
+        into: Option<FrameLayer>,
+    ) -> Result<FrameLayer, ServeError> {
+        assert!(
+            request.sh_degree <= gs_core::sh::MAX_DEGREE,
+            "sh_degree {} exceeds the supported maximum {}",
+            request.sh_degree,
+            gs_core::sh::MAX_DEGREE
+        );
+        let view = self.shared.registry.lock().unwrap().get(&request.scene)?;
+        let (width, height) = (request.viewport.width(), request.viewport.height());
+        let mut layer = match into {
+            Some(layer) => {
+                assert_eq!(
+                    (layer.width(), layer.height()),
+                    (width, height),
+                    "incoming layer size must match the request viewport"
+                );
+                layer
+            }
+            None => FrameLayer::new(width, height),
+        };
+        match &view {
+            SceneView::Single(scene) => {
+                if let Some(k) = shard.filter(|&k| k != 0) {
+                    return Err(ServeError::UnknownShard(request.scene.clone(), k));
+                }
+                let started = Instant::now();
+                gs_render::pipeline::render_layer(
+                    &scene.params,
+                    &request.camera,
+                    request.sh_degree,
+                    &request.viewport,
+                    &mut layer,
+                );
+                self.shared.stats.record_shard_layer(started.elapsed());
+            }
+            SceneView::Sharded(sharded) => match shard {
+                Some(k) => {
+                    let Some(shard_view) = sharded.shards.get(k) else {
+                        return Err(ServeError::UnknownShard(request.scene.clone(), k));
+                    };
+                    render_one_shard(
+                        &self.shared,
+                        &request.scene,
+                        sharded.epoch,
+                        shard_view,
+                        k,
+                        request,
+                        &mut layer,
+                    );
+                }
+                None => {
+                    composite_shards(&self.shared, &request.scene, sharded, request, &mut layer);
+                }
+            },
+        }
+        self.shared.stats.record_layer_served();
+        Ok(layer)
+    }
+
+    /// The background color registered with a scene (what
+    /// [`FrameLayer::finish`] should composite behind its layers).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownScene`] if the scene is not loaded.
+    pub fn scene_background(&self, id: &SceneId) -> Result<[f32; 3], ServeError> {
+        let view = self.shared.registry.lock().unwrap().get(id)?;
+        Ok(match view {
+            SceneView::Single(s) => s.background,
+            SceneView::Sharded(s) => s.background,
+        })
+    }
+
+    /// The registry's device admission budget in bytes — what a cluster
+    /// coordinator places scenes against.
+    pub fn budget_bytes(&self) -> u64 {
+        self.shared.registry.lock().unwrap().budget_bytes()
+    }
+
+    /// Bytes currently charged to resident scenes and shards.
+    pub fn used_bytes(&self) -> u64 {
+        self.shared.registry.lock().unwrap().used_bytes()
+    }
+
+    /// A bounded uniform sample of request latencies in seconds (see
+    /// [`StatsCollector::latency_samples`]).
+    pub fn latency_samples(&self, max: usize) -> Vec<f64> {
+        self.shared.stats.latency_samples(max)
     }
 
     /// Snapshot of the service statistics.
@@ -376,20 +529,26 @@ impl Drop for RenderServer {
 
 fn worker_loop(shared: &Shared, worker_idx: usize) {
     while let Some(first) = shared.queue.pop() {
-        // Skip queued jobs whose deadline has already passed — rendering a
-        // frame nobody is waiting for anymore only deepens an overload.
-        // They are answered (`DeadlineExceeded`) and counted as expired,
-        // not dropped. The sweep walks the whole queue under its mutex, so
-        // it only runs while deadline-bearing jobs are actually queued
-        // (`deadline_jobs` counts them); deadline-free traffic never pays.
+        // Skip queued jobs whose deadline has already passed or whose client
+        // cancelled (disconnected) — rendering a frame nobody is waiting for
+        // anymore only deepens an overload. They are answered
+        // (`DeadlineExceeded` / `Cancelled`) and counted, not dropped. The
+        // sweep walks the whole queue under its mutex, so it only runs while
+        // a deadline could actually be expiring (`deadline_jobs` counts the
+        // queued deadline-bearing jobs) or a cancellation was signalled
+        // since the last sweep (`pending_cancels`, swapped to zero here so
+        // each cancel buys at least — and roughly at most — one walk).
+        // Plain traffic, token-carrying or not, never pays.
         let now = Instant::now();
-        if shared.deadline_jobs.load(Ordering::Relaxed) > 0 {
-            for job in shared
-                .queue
-                .drain_where(usize::MAX, |j| j.request.is_expired(now))
-            {
-                shared.deadline_jobs.fetch_sub(1, Ordering::Relaxed);
-                respond_expired(shared, job);
+        let cancels = shared.pending_cancels.swap(0, Ordering::SeqCst) > 0;
+        if cancels || shared.deadline_jobs.load(Ordering::Relaxed) > 0 {
+            for job in shared.queue.drain_where(usize::MAX, |j| {
+                j.request.is_expired(now) || j.request.is_cancelled()
+            }) {
+                if job.request.deadline.is_some() {
+                    shared.deadline_jobs.fetch_sub(1, Ordering::Relaxed);
+                }
+                respond_dead(shared, job, now);
             }
         }
         let scene_id = first.request.scene.clone();
@@ -411,12 +570,13 @@ fn worker_loop(shared: &Shared, worker_idx: usize) {
                 .fetch_sub(left_queue as u64, Ordering::Relaxed);
         }
         // The popped job (and, pathologically, a just-drained one) can
-        // itself be expired.
+        // itself be expired or cancelled.
         let now = Instant::now();
-        let (expired, live): (Vec<Job>, Vec<Job>) =
-            batch.into_iter().partition(|j| j.request.is_expired(now));
-        for job in expired {
-            respond_expired(shared, job);
+        let (dead, live): (Vec<Job>, Vec<Job>) = batch
+            .into_iter()
+            .partition(|j| j.request.is_expired(now) || j.request.is_cancelled());
+        for job in dead {
+            respond_dead(shared, job, now);
         }
         if live.is_empty() {
             continue;
@@ -529,14 +689,14 @@ fn process_batch(
     let unique_requests: Vec<&RenderRequest> =
         groups.iter().map(|(_, jobs)| &jobs[0].request).collect();
     let epoch = view.epoch();
-    let (images, shards) = match &view {
+    let images: Vec<(Arc<gs_core::image::Image>, usize)> = match &view {
         SceneView::Single(scene) => {
             let outcome = render_shared(&scene.params, scene.background, &unique_requests);
             acct.batch_recorded.store(true, Ordering::Relaxed);
             shared
                 .stats
                 .record_batch(batch_size, outcome.union_active, outcome.summed_active);
-            (outcome.images, 1)
+            outcome.images.into_iter().map(|img| (img, 1)).collect()
         }
         SceneView::Sharded(sharded) => {
             let images = unique_requests
@@ -548,7 +708,7 @@ fn process_batch(
             // request composites its own shard order), so the sharing
             // counters stay untouched.
             shared.stats.record_batch(batch_size, 0, 0);
-            (images, sharded.shards.len())
+            images
         }
     };
 
@@ -564,14 +724,14 @@ fn process_batch(
         let registry = shared.registry.lock().unwrap();
         let still_current = registry.epoch(&scene_id) == Some(epoch);
         if still_current {
-            for ((key, _), image) in groups.iter().zip(&images) {
+            for ((key, _), (image, _)) in groups.iter().zip(&images) {
                 if let Some(key) = key {
                     cache.insert(key.clone(), Arc::clone(image));
                 }
             }
         }
     }
-    for ((_, jobs), image) in groups.into_iter().zip(images) {
+    for ((_, jobs), (image, shards)) in groups.into_iter().zip(images) {
         for job in jobs {
             respond(
                 shared,
@@ -587,11 +747,12 @@ fn process_batch(
     }
 }
 
-/// The sharded fan-out render: composites every shard of `view`
+/// The sharded fan-out render: composites the *visible* shards of `view`
 /// front-to-back by depth along the request's view ray into one
 /// [`FrameLayer`], admitting each shard against the registry pool just
 /// before rendering it. Only one shard needs to be resident at a time, so a
-/// scene larger than the whole budget still serves.
+/// scene larger than the whole budget still serves. Returns the frame and
+/// the number of shard layers actually rendered into it.
 ///
 /// # Panics
 ///
@@ -603,52 +764,101 @@ fn render_sharded(
     scene_id: &SceneId,
     view: &ShardedSceneView,
     request: &RenderRequest,
-) -> Arc<gs_core::image::Image> {
+) -> (Arc<gs_core::image::Image>, usize) {
     assert!(
         request.sh_degree <= gs_core::sh::MAX_DEGREE,
         "sh_degree {} exceeds the supported maximum {}",
         request.sh_degree,
         gs_core::sh::MAX_DEGREE
     );
-    let aabbs: Vec<Aabb> = view.shards.iter().map(|s| s.aabb).collect();
-    let order = shard::depth_order(&aabbs, &request.camera);
     let mut layer = FrameLayer::new(request.viewport.width(), request.viewport.height());
-    for k in order {
-        // Admission accounting: charge the shard to the pool (evicting LRU
-        // residents) before rendering it. A stale epoch (scene replaced
-        // mid-request) or a full pool never blocks the render itself — the
-        // `Arc` snapshot in hand stays valid either way.
-        let residency = shared
-            .registry
-            .lock()
-            .unwrap()
-            .ensure_shard_resident(scene_id, k, view.epoch);
-        // Whole scenes unloaded to make room lose their cached frames, like
-        // the victims of every other eviction path. (The registry lock is
-        // released first; only the cache -> registry nesting is allowed.)
-        if !residency.evicted_scenes.is_empty() {
-            let mut cache = shared.cache.lock().unwrap();
-            for victim in &residency.evicted_scenes {
-                cache.invalidate_scene(victim);
-            }
-        }
-        let started = Instant::now();
-        gs_render::pipeline::render_layer(
-            &view.shards[k].params,
-            &request.camera,
-            request.sh_degree,
-            &request.viewport,
-            &mut layer,
-        );
-        shared.stats.record_shard_layer(started.elapsed());
-    }
-    Arc::new(layer.finish(view.background))
+    let rendered = composite_shards(shared, scene_id, view, request, &mut layer);
+    (Arc::new(layer.finish(view.background)), rendered)
 }
 
-fn respond_expired(shared: &Shared, job: Job) {
-    shared.stats.record_expired(1);
+/// Renders every frustum-visible shard of `view` front-to-back into `layer`
+/// (view-adaptive culling: shards whose AABB misses the frustum are skipped
+/// and counted — they could not have contributed, so the composite stays
+/// bit-identical). Returns the number of shards rendered.
+fn composite_shards(
+    shared: &Shared,
+    scene_id: &SceneId,
+    view: &ShardedSceneView,
+    request: &RenderRequest,
+    layer: &mut FrameLayer,
+) -> usize {
+    let aabbs: Vec<Aabb> = view.shards.iter().map(|s| s.aabb).collect();
+    let max_scales: Vec<f32> = view.shards.iter().map(|s| s.max_scale).collect();
+    let visible = shard::visible_shards(&aabbs, &max_scales, &request.camera, &request.viewport);
+    let culled = view.shards.len() - visible.len();
+    if culled > 0 {
+        shared.stats.record_shards_culled(culled as u64);
+    }
+    let rendered = visible.len();
+    for k in visible {
+        render_one_shard(
+            shared,
+            scene_id,
+            view.epoch,
+            &view.shards[k],
+            k,
+            request,
+            layer,
+        );
+    }
+    rendered
+}
+
+/// Renders shard `k` into `layer`, charging it to the registry pool first.
+fn render_one_shard(
+    shared: &Shared,
+    scene_id: &SceneId,
+    epoch: u64,
+    shard: &crate::registry::ShardView,
+    k: usize,
+    request: &RenderRequest,
+    layer: &mut FrameLayer,
+) {
+    // Admission accounting: charge the shard to the pool (evicting LRU
+    // residents) before rendering it. A stale epoch (scene replaced
+    // mid-request) or a full pool never blocks the render itself — the
+    // `Arc` snapshot in hand stays valid either way.
+    let residency = shared
+        .registry
+        .lock()
+        .unwrap()
+        .ensure_shard_resident(scene_id, k, epoch);
+    // Whole scenes unloaded to make room lose their cached frames, like
+    // the victims of every other eviction path. (The registry lock is
+    // released first; only the cache -> registry nesting is allowed.)
+    if !residency.evicted_scenes.is_empty() {
+        let mut cache = shared.cache.lock().unwrap();
+        for victim in &residency.evicted_scenes {
+            cache.invalidate_scene(victim);
+        }
+    }
+    let started = Instant::now();
+    gs_render::pipeline::render_layer(
+        &shard.params,
+        &request.camera,
+        request.sh_degree,
+        &request.viewport,
+        layer,
+    );
+    shared.stats.record_shard_layer(started.elapsed());
+}
+
+/// Answers a swept job: expired deadlines win over cancellation (an expired
+/// request is dead regardless of whether its client is still there).
+fn respond_dead(shared: &Shared, job: Job, now: Instant) {
     // A dropped ticket just means the client stopped waiting.
-    let _ = job.tx.send(Err(ServeError::DeadlineExceeded));
+    if job.request.is_expired(now) {
+        shared.stats.record_expired(1);
+        let _ = job.tx.send(Err(ServeError::DeadlineExceeded));
+    } else {
+        shared.stats.record_cancelled(1);
+        let _ = job.tx.send(Err(ServeError::Cancelled));
+    }
 }
 
 #[allow(clippy::too_many_arguments)]

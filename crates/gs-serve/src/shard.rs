@@ -19,9 +19,11 @@
 
 use std::sync::Arc;
 
-use gs_core::camera::Camera;
+use gs_core::camera::{Camera, Viewport};
 use gs_core::gaussian::GaussianParams;
 use gs_core::math::Vec3;
+use gs_render::culling::{CULL_PIXEL_SLACK, CULL_RADIUS_MARGIN};
+use gs_render::projection::RADIUS_SIGMA;
 
 /// An axis-aligned bounding box over Gaussian centers.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -89,6 +91,86 @@ impl Aabb {
         self.grow(other.min);
         self.grow(other.max);
     }
+
+    /// Whether the box is empty (inverted bounds, nothing grown into it).
+    pub fn is_empty(&self) -> bool {
+        self.min.x > self.max.x || self.min.y > self.max.y || self.min.z > self.max.z
+    }
+
+    /// The box's eight corners.
+    pub fn corners(&self) -> [Vec3; 8] {
+        let (lo, hi) = (self.min, self.max);
+        [
+            Vec3::new(lo.x, lo.y, lo.z),
+            Vec3::new(hi.x, lo.y, lo.z),
+            Vec3::new(lo.x, hi.y, lo.z),
+            Vec3::new(hi.x, hi.y, lo.z),
+            Vec3::new(lo.x, lo.y, hi.z),
+            Vec3::new(hi.x, lo.y, hi.z),
+            Vec3::new(lo.x, hi.y, hi.z),
+            Vec3::new(hi.x, hi.y, hi.z),
+        ]
+    }
+}
+
+/// Conservative shard-level frustum test: whether *any* Gaussian whose
+/// center lies in `aabb` (with per-Gaussian scale at most `max_scale`) could
+/// survive [`gs_render::culling::gaussian_in_frustum`] for this view. When
+/// this returns `false`, every Gaussian of the shard is culled before
+/// projection, so skipping the shard entirely leaves the composite
+/// bit-identical — the shard-granular analogue of frustum culling.
+///
+/// The per-Gaussian test's conditions (`near < z < far`, projected pixel
+/// inside the viewport inflated by the conservative radius) are rewritten as
+/// linear half-space tests in camera space, which makes the eight corners of
+/// the AABB's camera-space hull exact witnesses: centers are convex
+/// combinations of corners, so a half-space that excludes all corners
+/// excludes every center. The inflation radius uses the shard-wide
+/// `max_scale`, an upper bound on each Gaussian's own.
+pub fn shard_visible(aabb: &Aabb, max_scale: f32, cam: &Camera, viewport: &Viewport) -> bool {
+    if aabb.is_empty() {
+        return false;
+    }
+    let corners = aabb.corners().map(|c| cam.world_to_cam(c));
+    // Depth planes: every center's z lies within the corner hull's z range.
+    if corners.iter().all(|c| c.z <= cam.near) || corners.iter().all(|c| c.z >= cam.far) {
+        return false;
+    }
+    // Side planes. A Gaussian at camera-space (x, y, z) with z > near fails
+    // e.g. the right margin iff `fx*x/z + cx >= x1 + slack + pad/z`, i.e.
+    // `fx*x - (x1 - cx + slack)*z - pad >= 0` — linear in (x, z). Corners
+    // with z <= near fail the depth plane instead, so an all-corner
+    // exclusion on any one side proves the whole shard invisible.
+    let focal = cam.fx.max(cam.fy);
+    let pad = CULL_RADIUS_MARGIN * RADIUS_SIGMA * max_scale * focal;
+    let (x0, x1) = (viewport.x0 as f32, viewport.x1 as f32);
+    let (y0, y1) = (viewport.y0 as f32, viewport.y1 as f32);
+    let right = x1 - cam.cx + CULL_PIXEL_SLACK;
+    if corners
+        .iter()
+        .all(|c| cam.fx * c.x - right * c.z - pad >= 0.0)
+    {
+        return false;
+    }
+    let left = x0 - cam.cx - CULL_PIXEL_SLACK;
+    if corners
+        .iter()
+        .all(|c| cam.fx * c.x - left * c.z + pad < 0.0)
+    {
+        return false;
+    }
+    let bottom = y1 - cam.cy + CULL_PIXEL_SLACK;
+    if corners
+        .iter()
+        .all(|c| cam.fy * c.y - bottom * c.z - pad >= 0.0)
+    {
+        return false;
+    }
+    let top = y0 - cam.cy - CULL_PIXEL_SLACK;
+    if corners.iter().all(|c| cam.fy * c.y - top * c.z + pad < 0.0) {
+        return false;
+    }
+    true
 }
 
 /// One shard of a partitioned scene: a gathered parameter store plus the
@@ -102,6 +184,9 @@ pub struct ShardSource {
     pub ids: Vec<u32>,
     /// Bounding box of the shard's Gaussian centers.
     pub aabb: Aabb,
+    /// Largest per-axis world-space scale of any Gaussian in the shard; the
+    /// conservative inflation radius of [`shard_visible`].
+    pub max_scale: f32,
     /// Bytes this shard charges against the registry pool when resident.
     pub bytes: u64,
 }
@@ -180,10 +265,14 @@ pub fn shard_scene(params: &GaussianParams, k: usize) -> Vec<ShardSource> {
             let shard_params = params.gather(&ids);
             let bytes = shard_params.total_bytes() as u64;
             let aabb = Aabb::of_centers(params, &ids);
+            let max_scale = (0..shard_params.len())
+                .map(|i| shard_params.scale(i).max_elem())
+                .fold(0.0f32, f32::max);
             ShardSource {
                 params: Arc::new(shard_params),
                 ids,
                 aabb,
+                max_scale,
                 bytes,
             }
         })
@@ -205,6 +294,28 @@ pub fn depth_order(aabbs: &[Aabb], cam: &Camera) -> Vec<usize> {
         za.total_cmp(&zb)
     });
     order
+}
+
+/// Depth-orders shards front-to-back and drops the frustum-invisible ones —
+/// the shared shard selection of the single-node fan-out render and the
+/// cluster coordinator. Selecting (and ordering) identically on both paths
+/// is part of what keeps a relayed cross-node composite bit-identical to
+/// the single-node sharded render.
+///
+/// # Panics
+///
+/// Panics if `max_scales` is shorter than `aabbs`.
+pub fn visible_shards(
+    aabbs: &[Aabb],
+    max_scales: &[f32],
+    cam: &Camera,
+    viewport: &Viewport,
+) -> Vec<usize> {
+    assert!(max_scales.len() >= aabbs.len(), "one max scale per shard");
+    depth_order(aabbs, cam)
+        .into_iter()
+        .filter(|&k| shard_visible(&aabbs[k], max_scales[k], cam, viewport))
+        .collect()
 }
 
 #[cfg(test)]
@@ -385,5 +496,93 @@ mod tests {
     fn zero_shards_panics() {
         let params = random_scene(70, 10, [1.0, 1.0, 1.0]);
         let _ = partition_ids(&params, 0);
+    }
+
+    #[test]
+    fn shard_visibility_is_a_superset_of_per_gaussian_culling() {
+        // The load-bearing invariant of view-adaptive shard culling: a shard
+        // holding *any* Gaussian that per-Gaussian frustum culling keeps must
+        // never be reported invisible. Seeded loop over scenes, shard counts
+        // and cameras, including views from inside the scene.
+        for (seed, k) in [(80u64, 2usize), (81, 4), (82, 7)] {
+            let params = random_scene(seed, 300, [40.0, 6.0, 6.0]);
+            let shards = shard_scene(&params, k);
+            let cams = [
+                Camera::look_at(
+                    64,
+                    48,
+                    1.2,
+                    Vec3::new(-50.0, 0.0, 0.0),
+                    Vec3::ZERO,
+                    Vec3::new(0.0, 1.0, 0.0),
+                ),
+                // Mid-scene looking down +x: shards behind must be culled.
+                Camera::look_at(
+                    64,
+                    48,
+                    1.2,
+                    Vec3::new(0.0, 1.0, 0.5),
+                    Vec3::new(1.0, 1.0, 0.5),
+                    Vec3::new(0.0, 1.0, 0.0),
+                ),
+                // Looking away from the scene entirely.
+                Camera::look_at(
+                    64,
+                    48,
+                    1.2,
+                    Vec3::new(-50.0, 0.0, 0.0),
+                    Vec3::new(-60.0, 0.0, 0.0),
+                    Vec3::new(0.0, 1.0, 0.0),
+                ),
+            ];
+            for cam in &cams {
+                let vp = Viewport::full(cam);
+                let survivors = gs_render::culling::frustum_cull(&params, cam, &vp).ids;
+                let survivor_set: std::collections::HashSet<u32> = survivors.into_iter().collect();
+                for shard in &shards {
+                    let visible = shard_visible(&shard.aabb, shard.max_scale, cam, &vp);
+                    let holds_survivor = shard.ids.iter().any(|id| survivor_set.contains(id));
+                    assert!(
+                        visible || !holds_survivor,
+                        "seed {seed} k{k}: a shard holding a culling survivor was culled"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shards_fully_outside_the_frustum_are_culled() {
+        let params = random_scene(90, 200, [40.0, 4.0, 4.0]);
+        let shards = shard_scene(&params, 4);
+        // Camera past the +x end looking further along +x: the whole scene
+        // sits behind it.
+        let cam = Camera::look_at(
+            64,
+            48,
+            1.2,
+            Vec3::new(60.0, 0.0, 0.0),
+            Vec3::new(70.0, 0.0, 0.0),
+            Vec3::new(0.0, 1.0, 0.0),
+        );
+        let vp = Viewport::full(&cam);
+        for shard in &shards {
+            assert!(
+                !shard_visible(&shard.aabb, shard.max_scale, &cam, &vp),
+                "a shard entirely behind the camera must be culled"
+            );
+        }
+        // An empty AABB is never visible.
+        assert!(!shard_visible(&Aabb::empty(), 0.0, &cam, &vp));
+    }
+
+    #[test]
+    fn shard_max_scale_bounds_every_member() {
+        let params = random_scene(91, 120, [20.0, 8.0, 8.0]);
+        for shard in shard_scene(&params, 3) {
+            for &id in &shard.ids {
+                assert!(params.scale(id as usize).max_elem() <= shard.max_scale);
+            }
+        }
     }
 }

@@ -69,6 +69,9 @@ pub struct ServeStats {
     /// Requests answered with `DeadlineExceeded` because their deadline
     /// passed while queued (never rendered).
     pub expired: u64,
+    /// Requests answered with `Cancelled` because their cancel token fired
+    /// while queued (e.g. the submitting client disconnected).
+    pub cancelled: u64,
     /// Wall-clock time since the collector was created.
     pub elapsed: Duration,
     /// Request latency distribution (enqueue to response).
@@ -86,6 +89,12 @@ pub struct ServeStats {
     /// Shard layers rendered by the sharded fan-out path (0 when only
     /// unsharded scenes are served).
     pub shards_rendered: u64,
+    /// Shards skipped by view-adaptive culling (their AABB misses the view
+    /// frustum, so they could not contribute to the frame).
+    pub shards_culled: u64,
+    /// Layer renders served through [`crate::server::RenderServer::render_layer_blocking`]
+    /// (the cross-node sharded-rendering entry point).
+    pub layers_served: u64,
     /// Latency distribution of individual shard-layer renders.
     pub shard_layer: LatencySummary,
     /// HTTP connection counters (filled in by the HTTP front-end).
@@ -134,10 +143,11 @@ impl std::fmt::Display for ServeStats {
         writeln!(f, "serve stats ({:.2}s window)", self.elapsed.as_secs_f64())?;
         writeln!(
             f,
-            "  requests:   {} completed, {} errors, {} expired, {:.1} req/s",
+            "  requests:   {} completed, {} errors, {} expired, {} cancelled, {:.1} req/s",
             self.completed,
             self.errors,
             self.expired,
+            self.cancelled,
             self.throughput_rps()
         )?;
         writeln!(
@@ -171,8 +181,10 @@ impl std::fmt::Display for ServeStats {
         )?;
         writeln!(
             f,
-            "  sharding:   {} shard layers, layer p50 {:.2}ms  p99 {:.2}ms  mean {:.2}ms",
+            "  sharding:   {} shard layers ({} culled, {} served as layers), layer p50 {:.2}ms  p99 {:.2}ms  mean {:.2}ms",
             self.shards_rendered,
+            self.shards_culled,
+            self.layers_served,
             self.shard_layer.p50 * 1e3,
             self.shard_layer.p99 * 1e3,
             self.shard_layer.mean * 1e3,
@@ -254,7 +266,10 @@ struct CollectorInner {
     completed: u64,
     errors: u64,
     expired: u64,
+    cancelled: u64,
     shards_rendered: u64,
+    shards_culled: u64,
+    layers_served: u64,
     batches: BTreeMap<usize, u64>,
     per_worker: Vec<u64>,
     union_active: u64,
@@ -278,7 +293,10 @@ impl StatsCollector {
                 completed: 0,
                 errors: 0,
                 expired: 0,
+                cancelled: 0,
                 shards_rendered: 0,
+                shards_culled: 0,
+                layers_served: 0,
                 batches: BTreeMap::new(),
                 per_worker: vec![0; workers],
                 union_active: 0,
@@ -314,6 +332,37 @@ impl StatsCollector {
         self.inner.lock().unwrap().expired += n;
     }
 
+    /// Records `n` requests skipped because their cancel token fired while
+    /// they were queued.
+    pub fn record_cancelled(&self, n: u64) {
+        self.inner.lock().unwrap().cancelled += n;
+    }
+
+    /// Records `n` shards skipped by view-adaptive culling.
+    pub fn record_shards_culled(&self, n: u64) {
+        self.inner.lock().unwrap().shards_culled += n;
+    }
+
+    /// Records one served layer render (the cross-node shard entry point).
+    pub fn record_layer_served(&self) {
+        self.inner.lock().unwrap().layers_served += 1;
+    }
+
+    /// A uniform sample of observed request latencies in seconds (at most
+    /// `max` values, deterministically strided out of the reservoir). The
+    /// raw material a cluster coordinator merges across replicas so
+    /// cluster-wide percentiles reflect every replica's distribution instead
+    /// of averaging pre-computed quantiles.
+    pub fn latency_samples(&self, max: usize) -> Vec<f64> {
+        let inner = self.inner.lock().unwrap();
+        let reservoir = &inner.latency.reservoir;
+        if max == 0 || reservoir.is_empty() {
+            return Vec::new();
+        }
+        let stride = reservoir.len().div_ceil(max);
+        reservoir.iter().step_by(stride).copied().collect()
+    }
+
     /// Records one rendered shard layer and how long it took.
     pub fn record_shard_layer(&self, elapsed: Duration) {
         let mut inner = self.inner.lock().unwrap();
@@ -336,6 +385,7 @@ impl StatsCollector {
             completed: inner.completed,
             errors: inner.errors,
             expired: inner.expired,
+            cancelled: inner.cancelled,
             elapsed: self.started.elapsed(),
             latency: inner.latency.summary(),
             cache,
@@ -344,6 +394,8 @@ impl StatsCollector {
             union_active: inner.union_active,
             summed_active: inner.summed_active,
             shards_rendered: inner.shards_rendered,
+            shards_culled: inner.shards_culled,
+            layers_served: inner.layers_served,
             shard_layer: inner.shard_layer.summary(),
             connections: ConnectionStats::default(),
         }
@@ -460,6 +512,39 @@ mod tests {
         assert!(text.contains("3 expired"), "{text}");
         assert!(text.contains("2 shard layers"), "{text}");
         assert!(text.contains("connections:"), "{text}");
+    }
+
+    #[test]
+    fn cancelled_culled_and_layer_counters_accumulate() {
+        let collector = StatsCollector::new(1);
+        collector.record_cancelled(2);
+        collector.record_shards_culled(5);
+        collector.record_layer_served();
+        let stats = collector.snapshot(CacheStats::default());
+        assert_eq!(stats.cancelled, 2);
+        assert_eq!(stats.shards_culled, 5);
+        assert_eq!(stats.layers_served, 1);
+        let text = stats.to_string();
+        assert!(text.contains("2 cancelled"), "{text}");
+        assert!(text.contains("5 culled"), "{text}");
+        assert!(text.contains("1 served as layers"), "{text}");
+    }
+
+    #[test]
+    fn latency_samples_are_bounded_and_within_range() {
+        let collector = StatsCollector::new(1);
+        for ms in 1..=1000u64 {
+            collector.record_completed(0, Duration::from_millis(ms));
+        }
+        let samples = collector.latency_samples(64);
+        assert!(
+            !samples.is_empty() && samples.len() <= 64,
+            "{}",
+            samples.len()
+        );
+        assert!(samples.iter().all(|&s| (0.001..=1.0).contains(&s)));
+        assert!(collector.latency_samples(0).is_empty());
+        assert!(StatsCollector::new(1).latency_samples(16).is_empty());
     }
 
     #[test]

@@ -35,6 +35,7 @@ use gs_core::gaussian::GaussianParams;
 use gs_core::image::Image;
 use gs_core::math::Vec3;
 use gs_core::rng::Rng64;
+use gs_render::rasterize::FrameLayer;
 
 use crate::request::RenderRequest;
 
@@ -46,6 +47,11 @@ pub const MAX_WIRE_DIM: usize = 4096;
 /// build (bounds both build time and the host-side shard stores). Larger
 /// specs are answered with `413`.
 pub const MAX_SPEC_GAUSSIANS: usize = 500_000;
+
+/// How many latency reservoir samples `GET /stats/wire` ships in a
+/// [`StatsReport`] — enough for stable merged percentiles, small enough to
+/// keep the report a few KiB.
+pub const STATS_SAMPLES: usize = 256;
 
 /// Whether `id` survives the `to_body()`/`parse()` round trip: non-empty,
 /// no whitespace and none of the JSON-ish punctuation the parser strips.
@@ -120,6 +126,10 @@ pub struct WireRequest {
     /// turned into a render request; expired queued requests are answered
     /// with `503` instead of being rendered.
     pub deadline_ms: Option<u64>,
+    /// Optional shard index, used by `POST /render_layer` to render a
+    /// single shard of a sharded scene as a partial-frame layer. Ignored by
+    /// `POST /render`.
+    pub shard: Option<usize>,
 }
 
 impl WireRequest {
@@ -143,6 +153,7 @@ impl WireRequest {
             sh_degree: 3,
             format: WireFormat::default(),
             deadline_ms: None,
+            shard: None,
         }
     }
 
@@ -166,6 +177,7 @@ impl WireRequest {
         let mut sh_degree = 3usize;
         let mut format = WireFormat::default();
         let mut deadline_ms: Option<u64> = None;
+        let mut shard: Option<usize> = None;
 
         use {parse_floats as floats, parse_uints as uints};
         while let Some(key) = tokens.next() {
@@ -192,6 +204,7 @@ impl WireRequest {
                 "deadline_ms" => {
                     deadline_ms = Some(uints::<1>(&mut tokens, "deadline_ms")?[0] as u64)
                 }
+                "shard" => shard = Some(uints::<1>(&mut tokens, "shard")?[0]),
                 "format" => {
                     format = match tokens.next() {
                         Some("raw") => WireFormat::RawF32,
@@ -224,6 +237,7 @@ impl WireRequest {
             sh_degree,
             format,
             deadline_ms,
+            shard,
         };
         req.validate()?;
         Ok(req)
@@ -300,11 +314,24 @@ impl WireRequest {
         if let Some(ms) = self.deadline_ms {
             body.push_str(&format!("deadline_ms {ms}\n"));
         }
+        if let Some(k) = self.shard {
+            body.push_str(&format!("shard {k}\n"));
+        }
         body.push_str(match self.format {
             WireFormat::RawF32 => "format raw\n",
             WireFormat::Ppm => "format ppm\n",
         });
         body
+    }
+
+    /// Pixel size of the frame this request produces (the viewport when
+    /// set, else the full image) — the single source of truth for wire
+    /// validation and cluster-side layer sizing.
+    pub fn frame_size(&self) -> (usize, usize) {
+        match self.viewport {
+            Some((x0, y0, x1, y1)) => (x1 - x0, y1 - y0),
+            None => (self.width, self.height),
+        }
     }
 
     /// Builds the in-process [`RenderRequest`] this wire request describes.
@@ -329,6 +356,7 @@ impl WireRequest {
             deadline: self
                 .deadline_ms
                 .map(|ms| Instant::now() + Duration::from_millis(ms)),
+            cancel: None,
         }
     }
 }
@@ -583,6 +611,385 @@ pub fn encode_ppm(image: &Image) -> Vec<u8> {
     out
 }
 
+// ---- binary frame-layer encoding (cross-node sharded rendering) ----
+
+/// Magic prefix of an encoded [`FrameLayer`].
+pub const LAYER_MAGIC: &[u8; 4] = b"GSL1";
+/// Magic prefix of an encoded layer *request* envelope.
+pub const LAYER_REQUEST_MAGIC: &[u8; 4] = b"GSLQ";
+/// Magic prefix of a binary scene upload.
+pub const SCENE_MAGIC: &[u8; 4] = b"GSSC";
+
+fn push_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn read_u32(bytes: &[u8], at: usize, what: &str) -> Result<u32, WireError> {
+    let end = at + 4;
+    if bytes.len() < end {
+        return Err(err(format!("truncated before {what}")));
+    }
+    Ok(u32::from_le_bytes([
+        bytes[at],
+        bytes[at + 1],
+        bytes[at + 2],
+        bytes[at + 3],
+    ]))
+}
+
+fn push_f32s(out: &mut Vec<u8>, values: &[f32]) {
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+fn read_f32s(bytes: &[u8], n: usize) -> Vec<f32> {
+    bytes[..4 * n]
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect()
+}
+
+/// Encodes a [`FrameLayer`] losslessly: `GSL1`, `u32` width and height
+/// (little-endian), then the premultiplied color (12 bytes per pixel) and
+/// the per-pixel transmittance (4 bytes per pixel) as little-endian `f32`s.
+/// `decode_layer(encode_layer(l))` reproduces `l` bit for bit — the
+/// property that keeps cross-node shard composites exact.
+pub fn encode_layer(layer: &FrameLayer) -> Vec<u8> {
+    let (w, h) = (layer.width(), layer.height());
+    let mut out = Vec::with_capacity(12 + 16 * w * h);
+    out.extend_from_slice(LAYER_MAGIC);
+    push_u32(&mut out, w as u32);
+    push_u32(&mut out, h as u32);
+    push_f32s(&mut out, layer.color().data());
+    push_f32s(&mut out, layer.transmittance());
+    out
+}
+
+/// Decodes [`encode_layer`] bytes.
+///
+/// # Errors
+///
+/// [`WireError`] on a bad magic, oversized or zero dimensions, or a body
+/// that is not exactly `12 + 16 * width * height` bytes.
+pub fn decode_layer(bytes: &[u8]) -> Result<FrameLayer, WireError> {
+    if bytes.len() < 12 || &bytes[..4] != LAYER_MAGIC {
+        return Err(err("not an encoded frame layer (bad magic)"));
+    }
+    let w = read_u32(bytes, 4, "layer width")? as usize;
+    let h = read_u32(bytes, 8, "layer height")? as usize;
+    if w == 0 || h == 0 || w > MAX_WIRE_DIM || h > MAX_WIRE_DIM {
+        return Err(err(format!("layer dimensions {w}x{h} out of range")));
+    }
+    let expected = 12 + 16 * w * h;
+    if bytes.len() != expected {
+        return Err(err(format!(
+            "layer body is {} bytes, expected {expected} for {w}x{h}",
+            bytes.len()
+        )));
+    }
+    let color = Image::from_raw(w, h, read_f32s(&bytes[12..], 3 * w * h));
+    let transmittance = read_f32s(&bytes[12 + 12 * w * h..], w * h);
+    Ok(FrameLayer::from_parts(color, transmittance))
+}
+
+/// Encodes a `POST /render_layer` body: `GSLQ`, a `u32` length-prefixed
+/// [`WireRequest`] text body (whose `shard` key selects the shard), then
+/// optionally an [`encode_layer`] blob carrying the incoming blend state a
+/// nearer shard left off — the relayed composite of cross-node sharded
+/// rendering.
+pub fn encode_layer_request(request: &WireRequest, layer: Option<&FrameLayer>) -> Vec<u8> {
+    let text = request.to_body();
+    let mut out = Vec::with_capacity(8 + text.len());
+    out.extend_from_slice(LAYER_REQUEST_MAGIC);
+    push_u32(&mut out, text.len() as u32);
+    out.extend_from_slice(text.as_bytes());
+    if let Some(layer) = layer {
+        out.extend_from_slice(&encode_layer(layer));
+    }
+    out
+}
+
+/// Decodes [`encode_layer_request`] bytes, validating that an attached
+/// layer matches the request's viewport size.
+///
+/// # Errors
+///
+/// [`WireError`] on a bad envelope, an invalid inner request, or a layer
+/// whose size does not match the request viewport.
+pub fn decode_layer_request(bytes: &[u8]) -> Result<(WireRequest, Option<FrameLayer>), WireError> {
+    if bytes.len() < 8 || &bytes[..4] != LAYER_REQUEST_MAGIC {
+        return Err(err("not a layer request (bad magic)"));
+    }
+    let text_len = read_u32(bytes, 4, "request text")? as usize;
+    let text_end = 8usize
+        .checked_add(text_len)
+        .filter(|&end| end <= bytes.len())
+        .ok_or_else(|| err("truncated layer request text"))?;
+    let text = std::str::from_utf8(&bytes[8..text_end])
+        .map_err(|_| err("layer request text is not UTF-8"))?;
+    let request = WireRequest::parse(text)?;
+    let rest = &bytes[text_end..];
+    let layer = if rest.is_empty() {
+        None
+    } else {
+        let layer = decode_layer(rest)?;
+        let (w, h) = request.frame_size();
+        if (layer.width(), layer.height()) != (w, h) {
+            return Err(err(format!(
+                "attached layer is {}x{}, request viewport is {w}x{h}",
+                layer.width(),
+                layer.height()
+            )));
+        }
+        Some(layer)
+    };
+    Ok((request, layer))
+}
+
+// ---- binary scene upload (cluster scene/shard placement) ----
+
+/// Encodes trained Gaussian parameters and a background color losslessly:
+/// `GSSC`, `u32` Gaussian count, 3 background `f32`s, then the five
+/// parameter groups (means, log-scales, quats, opacity logits, SH) as
+/// little-endian `f32`s. The body a cluster coordinator POSTs to
+/// `/scenes/<id>` to place a scene — or one shard of one — on a replica.
+pub fn encode_scene(params: &GaussianParams, background: [f32; 3]) -> Vec<u8> {
+    let n = params.len();
+    let mut out = Vec::with_capacity(20 + 4 * n * GaussianParams::PARAMS_PER_GAUSSIAN);
+    out.extend_from_slice(SCENE_MAGIC);
+    push_u32(&mut out, n as u32);
+    push_f32s(&mut out, &background);
+    push_f32s(&mut out, &params.means);
+    push_f32s(&mut out, &params.log_scales);
+    push_f32s(&mut out, &params.quats);
+    push_f32s(&mut out, &params.opacities);
+    push_f32s(&mut out, &params.sh);
+    out
+}
+
+/// Whether `bytes` look like a binary scene upload (vs. a text
+/// [`SceneSpec`]).
+pub fn is_scene_upload(bytes: &[u8]) -> bool {
+    bytes.len() >= 4 && &bytes[..4] == SCENE_MAGIC
+}
+
+/// Decodes [`encode_scene`] bytes.
+///
+/// # Errors
+///
+/// [`WireError`] on a bad magic, a count above [`MAX_SPEC_GAUSSIANS`], or a
+/// truncated/oversized body.
+pub fn decode_scene(bytes: &[u8]) -> Result<(GaussianParams, [f32; 3]), WireError> {
+    if !is_scene_upload(bytes) {
+        return Err(err("not a binary scene upload (bad magic)"));
+    }
+    let n = read_u32(bytes, 4, "gaussian count")? as usize;
+    if n > MAX_SPEC_GAUSSIANS {
+        return Err(err(format!(
+            "scene upload holds {n} gaussians, limit is {MAX_SPEC_GAUSSIANS}"
+        )));
+    }
+    let expected = 20 + 4 * n * GaussianParams::PARAMS_PER_GAUSSIAN;
+    if bytes.len() != expected {
+        return Err(err(format!(
+            "scene upload is {} bytes, expected {expected} for {n} gaussians",
+            bytes.len()
+        )));
+    }
+    let bg = read_f32s(&bytes[8..], 3);
+    let mut params = GaussianParams::zeros(n);
+    let mut at = 20;
+    for group in gs_core::gaussian::ParamGroup::ALL {
+        let len = n * group.dim();
+        params
+            .group_mut(group)
+            .copy_from_slice(&read_f32s(&bytes[at..], len));
+        at += 4 * len;
+    }
+    Ok((params, [bg[0], bg[1], bg[2]]))
+}
+
+// ---- parsable stats report (cluster stats fan-in) ----
+
+/// A replica's statistics as they travel to a cluster coordinator: the
+/// headline [`crate::stats::ServeStats`] counters, the latency summary, a
+/// bounded uniform sample of the latency reservoir (so cluster-wide
+/// percentiles can be computed over *merged distributions* instead of
+/// averaging quantiles), and the replica's memory budget. Serialized in the
+/// same tolerant `key value` line format as every other text body
+/// (`GET /stats/wire`).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StatsReport {
+    /// Completed requests.
+    pub completed: u64,
+    /// Requests answered with an error.
+    pub errors: u64,
+    /// Requests expired in queue.
+    pub expired: u64,
+    /// Requests cancelled in queue.
+    pub cancelled: u64,
+    /// Frame-cache hits.
+    pub cache_hits: u64,
+    /// Frame-cache misses.
+    pub cache_misses: u64,
+    /// Shard layers rendered.
+    pub shards_rendered: u64,
+    /// Shards skipped by view-adaptive culling.
+    pub shards_culled: u64,
+    /// Layer renders served (cross-node shard requests).
+    pub layers_served: u64,
+    /// Wall-clock seconds the collector has been running.
+    pub elapsed_secs: f64,
+    /// Request latency summary in seconds: `[p50, p90, p99, mean, max]`.
+    pub latency: [f64; 5],
+    /// Uniform sample of request latencies in seconds (possibly empty).
+    pub latency_samples: Vec<f64>,
+    /// Device admission budget in bytes.
+    pub budget_bytes: u64,
+    /// Bytes charged to resident scenes/shards.
+    pub used_bytes: u64,
+}
+
+impl StatsReport {
+    /// Assembles a report from a stats snapshot plus the registry numbers.
+    pub fn new(
+        stats: &crate::stats::ServeStats,
+        latency_samples: Vec<f64>,
+        budget_bytes: u64,
+        used_bytes: u64,
+    ) -> Self {
+        Self {
+            completed: stats.completed,
+            errors: stats.errors,
+            expired: stats.expired,
+            cancelled: stats.cancelled,
+            cache_hits: stats.cache.hits,
+            cache_misses: stats.cache.misses,
+            shards_rendered: stats.shards_rendered,
+            shards_culled: stats.shards_culled,
+            layers_served: stats.layers_served,
+            elapsed_secs: stats.elapsed.as_secs_f64(),
+            latency: [
+                stats.latency.p50,
+                stats.latency.p90,
+                stats.latency.p99,
+                stats.latency.mean,
+                stats.latency.max,
+            ],
+            latency_samples,
+            budget_bytes,
+            used_bytes,
+        }
+    }
+
+    /// Serializes the report (`parse(to_body())` round-trips the counters
+    /// exactly and the floats via shortest-roundtrip formatting).
+    pub fn to_body(&self) -> String {
+        let mut body = String::new();
+        body.push_str(&format!(
+            "completed {}\nerrors {}\nexpired {}\ncancelled {}\n",
+            self.completed, self.errors, self.expired, self.cancelled
+        ));
+        body.push_str(&format!(
+            "cache {} {}\nshards {} {} {}\n",
+            self.cache_hits,
+            self.cache_misses,
+            self.shards_rendered,
+            self.shards_culled,
+            self.layers_served
+        ));
+        body.push_str(&format!("elapsed {}\n", self.elapsed_secs));
+        let [p50, p90, p99, mean, max] = self.latency;
+        body.push_str(&format!("latency {p50} {p90} {p99} {mean} {max}\n"));
+        body.push_str(&format!(
+            "budget {}\nused {}\n",
+            self.budget_bytes, self.used_bytes
+        ));
+        if !self.latency_samples.is_empty() {
+            body.push_str("samples");
+            for s in &self.latency_samples {
+                body.push_str(&format!(" {s}"));
+            }
+            body.push('\n');
+        }
+        body
+    }
+
+    /// Parses a report body.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] naming the offending key.
+    pub fn parse(body: &str) -> Result<Self, WireError> {
+        let mut report = StatsReport::default();
+        for line in body.lines() {
+            let mut tokens = line.split_whitespace();
+            let Some(key) = tokens.next() else {
+                continue;
+            };
+            let mut u64s = |n: usize, key: &str| -> Result<Vec<u64>, WireError> {
+                let mut out = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let tok = tokens
+                        .next()
+                        .ok_or_else(|| err(format!("key {key:?} is missing values")))?;
+                    out.push(
+                        tok.parse::<u64>()
+                            .map_err(|_| err(format!("key {key:?}: {tok:?} is not a count")))?,
+                    );
+                }
+                Ok(out)
+            };
+            match key {
+                "completed" => report.completed = u64s(1, key)?[0],
+                "errors" => report.errors = u64s(1, key)?[0],
+                "expired" => report.expired = u64s(1, key)?[0],
+                "cancelled" => report.cancelled = u64s(1, key)?[0],
+                "cache" => {
+                    let v = u64s(2, key)?;
+                    (report.cache_hits, report.cache_misses) = (v[0], v[1]);
+                }
+                "shards" => {
+                    let v = u64s(3, key)?;
+                    (
+                        report.shards_rendered,
+                        report.shards_culled,
+                        report.layers_served,
+                    ) = (v[0], v[1], v[2]);
+                }
+                "budget" => report.budget_bytes = u64s(1, key)?[0],
+                "used" => report.used_bytes = u64s(1, key)?[0],
+                "elapsed" | "latency" | "samples" => {
+                    let mut floats = Vec::new();
+                    for tok in tokens.by_ref() {
+                        floats.push(
+                            tok.parse::<f64>().map_err(|_| {
+                                err(format!("key {key:?}: {tok:?} is not a number"))
+                            })?,
+                        );
+                    }
+                    match key {
+                        "elapsed" => {
+                            report.elapsed_secs =
+                                *floats.first().ok_or_else(|| err("elapsed missing value"))?;
+                        }
+                        "latency" => {
+                            if floats.len() != 5 {
+                                return Err(err("latency expects 5 values"));
+                            }
+                            report.latency.copy_from_slice(&floats);
+                        }
+                        _ => report.latency_samples = floats,
+                    }
+                }
+                unknown => return Err(err(format!("unknown stats key {unknown:?}"))),
+            }
+        }
+        Ok(report)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -773,6 +1180,153 @@ mod tests {
         let decoded = decode_raw_f32(3, 2, &encode_raw_f32(&img)).unwrap();
         assert_eq!(decoded.data(), img.data());
         assert!(decode_raw_f32(3, 2, &[0u8; 5]).is_err());
+    }
+
+    fn demo_layer(w: usize, h: usize, seed: u64) -> FrameLayer {
+        let mut rng = Rng64::seed_from_u64(seed);
+        let color = Image::from_raw(
+            w,
+            h,
+            (0..3 * w * h)
+                .map(|_| rng.gen_f32() * 1.5 - 0.2)
+                .collect::<Vec<f32>>(),
+        );
+        let transmittance = (0..w * h).map(|_| rng.gen_f32()).collect();
+        FrameLayer::from_parts(color, transmittance)
+    }
+
+    #[test]
+    fn layer_roundtrip_is_exact_including_awkward_floats() {
+        let mut layer = demo_layer(7, 5, 42);
+        // Values a lossy encoding would disturb: subnormals, huge partials,
+        // exact negatives from background-free premultiplied blending.
+        let (mut color, mut t) = layer.clone().into_parts();
+        color.data_mut()[0] = f32::MIN_POSITIVE;
+        color.data_mut()[1] = 0.1 + 0.2;
+        t[0] = 1.0e-7;
+        layer = FrameLayer::from_parts(color, t);
+        let decoded = decode_layer(&encode_layer(&layer)).unwrap();
+        assert_eq!(decoded.color().data(), layer.color().data());
+        assert_eq!(decoded.transmittance(), layer.transmittance());
+    }
+
+    #[test]
+    fn truncated_and_corrupt_layers_are_rejected() {
+        let encoded = encode_layer(&demo_layer(6, 4, 43));
+        // Truncations at every structural boundary.
+        for cut in [0, 3, 7, 11, encoded.len() - 1] {
+            assert!(
+                decode_layer(&encoded[..cut]).is_err(),
+                "truncation at {cut} must be rejected"
+            );
+        }
+        // Trailing garbage.
+        let mut padded = encoded.clone();
+        padded.extend_from_slice(&[0u8; 4]);
+        assert!(decode_layer(&padded).is_err());
+        // Wrong magic.
+        let mut bad = encoded.clone();
+        bad[0] = b'X';
+        assert!(decode_layer(&bad).is_err());
+        // Corrupt dimensions: oversized and zero.
+        let mut huge = encoded.clone();
+        huge[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_layer(&huge).is_err());
+        let mut zero = encoded;
+        zero[4..8].copy_from_slice(&0u32.to_le_bytes());
+        assert!(decode_layer(&zero).is_err());
+    }
+
+    #[test]
+    fn layer_request_roundtrips_with_and_without_a_layer() {
+        let mut req = demo();
+        req.shard = Some(2);
+        let (parsed, none) = decode_layer_request(&encode_layer_request(&req, None)).unwrap();
+        assert_eq!(parsed, req);
+        assert_eq!(parsed.shard, Some(2));
+        assert!(none.is_none());
+
+        let layer = demo_layer(96, 72, 44);
+        let (parsed, relayed) =
+            decode_layer_request(&encode_layer_request(&req, Some(&layer))).unwrap();
+        assert_eq!(parsed, req);
+        let relayed = relayed.expect("layer must survive the envelope");
+        assert_eq!(relayed.color().data(), layer.color().data());
+        assert_eq!(relayed.transmittance(), layer.transmittance());
+    }
+
+    #[test]
+    fn layer_request_rejects_mismatched_and_corrupt_envelopes() {
+        let req = demo();
+        // Layer size must match the viewport (full image here: 96x72).
+        let wrong = demo_layer(8, 8, 45);
+        assert!(decode_layer_request(&encode_layer_request(&req, Some(&wrong))).is_err());
+        // A viewport-restricted request accepts a viewport-sized layer.
+        let mut vp_req = demo();
+        vp_req.viewport = Some((8, 4, 40, 28));
+        let vp_layer = demo_layer(32, 24, 46);
+        assert!(decode_layer_request(&encode_layer_request(&vp_req, Some(&vp_layer))).is_ok());
+        // Bad magic / truncated text length.
+        assert!(decode_layer_request(b"NOPE").is_err());
+        let mut encoded = encode_layer_request(&req, None);
+        encoded[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_layer_request(&encoded).is_err());
+    }
+
+    #[test]
+    fn scene_upload_roundtrips_exactly() {
+        let spec = SceneSpec::new(64);
+        let params = spec.build();
+        let encoded = encode_scene(&params, [0.1, 0.2, 0.3]);
+        assert!(is_scene_upload(&encoded));
+        let (decoded, bg) = decode_scene(&encoded).unwrap();
+        assert_eq!(decoded, params, "binary scene upload must be lossless");
+        assert_eq!(bg, [0.1, 0.2, 0.3]);
+
+        // Truncation, oversized counts and text bodies are rejected.
+        assert!(decode_scene(&encoded[..encoded.len() - 1]).is_err());
+        let mut huge = encoded.clone();
+        huge[4..8].copy_from_slice(&(MAX_SPEC_GAUSSIANS as u32 + 1).to_le_bytes());
+        assert!(decode_scene(&huge).is_err());
+        assert!(!is_scene_upload(b"gaussians 10\n"));
+        assert!(decode_scene(b"gaussians 10\n").is_err());
+    }
+
+    #[test]
+    fn stats_report_roundtrips() {
+        let report = StatsReport {
+            completed: 120,
+            errors: 3,
+            expired: 2,
+            cancelled: 1,
+            cache_hits: 40,
+            cache_misses: 80,
+            shards_rendered: 64,
+            shards_culled: 16,
+            layers_served: 8,
+            elapsed_secs: 12.5,
+            latency: [0.001, 0.002, 0.004, 0.0015, 0.01],
+            latency_samples: vec![0.001, 0.0012, 0.009],
+            budget_bytes: 1 << 30,
+            used_bytes: 123456,
+        };
+        let parsed = StatsReport::parse(&report.to_body()).unwrap();
+        assert_eq!(parsed, report);
+        // Sample-free reports round-trip too, and junk is rejected.
+        let mut bare = report.clone();
+        bare.latency_samples.clear();
+        assert_eq!(StatsReport::parse(&bare.to_body()).unwrap(), bare);
+        assert!(StatsReport::parse("bogus 4\n").is_err());
+        assert!(StatsReport::parse("latency 1 2\n").is_err());
+    }
+
+    #[test]
+    fn shard_key_roundtrips_on_wire_requests() {
+        let mut req = demo();
+        req.shard = Some(3);
+        assert_eq!(WireRequest::parse(&req.to_body()).unwrap(), req);
+        assert!(req.to_body().contains("shard 3"));
+        assert_eq!(demo().shard, None);
     }
 
     #[test]

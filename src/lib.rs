@@ -15,8 +15,14 @@
 //!   trainers.
 //! * [`serve`] (`gs-serve`) — the concurrent multi-scene rendering service
 //!   (batching, frame cache, memory-aware admission control, scene sharding
-//!   with depth-ordered layer compositing, per-request deadlines) plus its
-//!   std-only HTTP/1.1 front-end for external load generators.
+//!   with depth-ordered layer compositing, per-request deadlines and
+//!   cancellation) plus its std-only HTTP/1.1 front-end for external load
+//!   generators.
+//! * [`cluster`] (`gs-cluster`) — the multi-replica serving tier: a
+//!   coordinator that places scenes (and cross-node shards) against each
+//!   replica's memory budget, routes renders with health-checked failover,
+//!   composites wire-shipped frame layers bit-identically to a single
+//!   node, and aggregates cluster-wide stats.
 //!
 //! # Quickstart
 //!
@@ -35,6 +41,7 @@
 
 #![deny(missing_docs)]
 
+pub use gs_cluster as cluster;
 pub use gs_core as core;
 pub use gs_metrics as metrics;
 pub use gs_optim as optim;

@@ -438,6 +438,77 @@ fn connections_beyond_the_limit_count_as_rejected() {
 }
 
 #[test]
+fn disconnected_clients_cancel_their_queued_renders() {
+    use std::time::{Duration, Instant};
+
+    // One worker, no batching: occupy the worker with slow in-process
+    // renders so an HTTP render has to queue, then hang up the connection
+    // while it waits. The handler must flag the job's cancel token, and the
+    // worker must sweep it (counted as `cancelled`) instead of rendering a
+    // frame for a dead socket.
+    let scene = tiny_scene(300, 20_000);
+    let server = Arc::new(RenderServer::new(
+        ServeConfig {
+            workers: 1,
+            queue_depth: 16,
+            max_batch: 1,
+            cache_bytes: 0,
+            pose_quant: 0.05,
+            shard_bytes: 0,
+        },
+        SceneRegistry::with_budget(1 << 30),
+    ));
+    server
+        .load_scene("city", Arc::new(scene.gt_params.clone()), scene.background)
+        .unwrap();
+    let http = HttpServer::bind(HttpConfig::default(), Arc::clone(&server)).unwrap();
+
+    // Occupy the single worker so the HTTP request cannot start rendering.
+    let occupiers: Vec<_> = (0..8)
+        .map(|i| {
+            let cam = scene.train_cameras[i % scene.train_cameras.len()].clone();
+            server
+                .submit(gs_scale::serve::RenderRequest::full("city", cam))
+                .unwrap()
+        })
+        .collect();
+
+    // POST a render, then slam the connection shut without reading the
+    // response.
+    {
+        let mut stream = TcpStream::connect(http.local_addr()).unwrap();
+        let body = demo_request(&scene).to_body();
+        client::send_request(&mut stream, "POST", "/render", body.as_bytes()).unwrap();
+        // Give the handler a beat to submit the job into the queue.
+        std::thread::sleep(Duration::from_millis(50));
+        drop(stream);
+    }
+
+    for ticket in occupiers {
+        ticket.wait().unwrap();
+    }
+    // The worker sweeps the cancelled job when it next touches the queue;
+    // poll until the counter lands.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let stats = server.stats();
+        if stats.cancelled >= 1 {
+            assert_eq!(
+                stats.completed, 8,
+                "only the occupiers render; the dead client's job must not: {stats}"
+            );
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "cancelled job was never swept: {stats}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    http.shutdown();
+}
+
+#[test]
 fn ppm_responses_are_well_formed() {
     let scene = tiny_scene(240, 400);
     let (http, _server) = front_end(&scene);
