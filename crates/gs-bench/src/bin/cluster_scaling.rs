@@ -73,6 +73,7 @@ fn run(workload: &Workload, replicas: usize, shards: usize, workers: usize) -> C
                 cache_bytes: 0,
                 pose_quant: 0.05,
                 shard_bytes: 0,
+                ..ServeConfig::default()
             },
             SceneRegistry::with_budget(1 << 32),
         ));

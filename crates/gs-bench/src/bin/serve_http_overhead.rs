@@ -63,6 +63,7 @@ fn fresh_server(scenes: &[SceneDataset]) -> Arc<RenderServer> {
             cache_bytes: 0,
             pose_quant: 0.05,
             shard_bytes: 0,
+            ..ServeConfig::default()
         },
         SceneRegistry::with_budget(1 << 32),
     ));

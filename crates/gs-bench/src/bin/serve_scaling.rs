@@ -57,6 +57,7 @@ fn run(workload: &Workload, workers: usize, cache: bool, max_batch: usize) -> Se
             cache_bytes: if cache { 64 << 20 } else { 0 },
             pose_quant: 0.05,
             shard_bytes: 0,
+            ..ServeConfig::default()
         },
         SceneRegistry::with_budget(1 << 32),
     ));

@@ -71,6 +71,7 @@ fn run(
             cache_bytes: 0,
             pose_quant: 0.05,
             shard_bytes: 0,
+            ..ServeConfig::default()
         },
         SceneRegistry::with_budget(budget),
     ));

@@ -32,7 +32,8 @@ use gs_core::gaussian::GaussianParams;
 use gs_core::image::Image;
 use gs_render::rasterize::FrameLayer;
 use gs_serve::{
-    shard_scene, visible_shards, Aabb, CacheStats, SceneId, ServeError, StatsCollector, WireRequest,
+    shard_scene, visible_shards, Aabb, CachePolicyKind, FrameCache, FrameKey, SceneId, ServeError,
+    StatsCollector, WireRequest,
 };
 
 use crate::placement::{
@@ -55,7 +56,7 @@ pub enum CompositeMode {
 }
 
 /// Configuration of a [`Coordinator`].
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClusterConfig {
     /// Cross-node shard compositing mode.
     pub composite: CompositeMode,
@@ -67,6 +68,17 @@ pub struct ClusterConfig {
     /// Auto-sharding threshold in bytes for scenes arriving through the
     /// cluster HTTP front-end (0 disables; explicit shard counts override).
     pub shard_bytes: u64,
+    /// Coordinator-side frame-cache budget in bytes (0 disables it). The
+    /// cache is keyed exactly like a replica's frame cache (scene,
+    /// quantized pose, viewport, SH degree), so repeated cluster traffic
+    /// short-circuits *before* routing — no replica hop, no relay chain.
+    pub cache_bytes: u64,
+    /// Camera-translation grid for the coordinator cache's key
+    /// quantization, in world units.
+    pub pose_quant: f32,
+    /// Replacement policy of the coordinator cache (shared with the
+    /// replica-side [`FrameCache`]).
+    pub cache_policy: CachePolicyKind,
 }
 
 impl Default for ClusterConfig {
@@ -76,6 +88,9 @@ impl Default for ClusterConfig {
             cull_shards: true,
             max_failovers: 2,
             shard_bytes: 32 << 20,
+            cache_bytes: 0,
+            pose_quant: 0.05,
+            cache_policy: CachePolicyKind::Lru,
         }
     }
 }
@@ -127,17 +142,23 @@ impl std::error::Error for ClusterError {}
 /// A completed cluster render.
 #[derive(Debug, Clone)]
 pub struct ClusterFrame {
-    /// The rendered image.
-    pub image: Image,
+    /// The rendered image (shared with the coordinator cache, so cache
+    /// hits hand out the resident frame without copying pixels).
+    pub image: Arc<Image>,
     /// Scene the frame belongs to.
     pub scene: SceneId,
-    /// Shard layers composited into the frame (1 for a single scene).
+    /// Shard layers composited into the frame (1 for a single scene, 0 for
+    /// a coordinator-cache hit).
     pub shards_rendered: usize,
     /// Shards skipped by the coordinator's view culling.
     pub shards_culled: usize,
     /// Name of the serving replica (single scenes; `None` for cross-node
-    /// sharded frames, which touch several).
+    /// sharded frames, which touch several, and for coordinator-cache
+    /// hits, which touch none).
     pub replica: Option<String>,
+    /// Whether the frame was answered from the coordinator-side cache
+    /// without touching any replica.
+    pub cache_hit: bool,
     /// End-to-end latency as the coordinator saw it.
     pub latency: Duration,
 }
@@ -205,6 +226,25 @@ pub struct Coordinator {
     state: Mutex<State>,
     collector: StatsCollector,
     counters: Counters,
+    /// Coordinator-side frame cache (`None` when disabled); reuses the
+    /// replica-tier [`FrameCache`] + [`gs_serve::CachePolicy`] machinery
+    /// with the same key scheme, one tier up.
+    cache: Option<Mutex<CoordCache>>,
+}
+
+/// The coordinator cache plus per-scene load epochs under one lock: a frame
+/// rendered from a scene that was replaced or unloaded mid-flight must not
+/// be inserted as that scene's *current* frame (the same guard the replica
+/// tier implements with registry epochs). Epochs are drawn from one
+/// monotonic clock, so an unloaded scene's entry can be *removed* (the map
+/// stays bounded by the loaded scenes): a reload mints a fresh clock value
+/// that can never collide with an epoch captured before the unload, and a
+/// missing entry reads as epoch 0, which no in-flight render of a loaded
+/// scene can hold (every load bumps the clock at least to 1).
+struct CoordCache {
+    cache: FrameCache,
+    epochs: std::collections::HashMap<SceneId, u64>,
+    clock: u64,
 }
 
 /// The on-replica scene id of shard `k` of cluster scene `id`.
@@ -241,6 +281,13 @@ enum Repair {
 impl Coordinator {
     /// Creates an empty coordinator.
     pub fn new(config: ClusterConfig) -> Self {
+        let cache = (config.cache_bytes > 0).then(|| {
+            Mutex::new(CoordCache {
+                cache: FrameCache::with_policy(config.cache_bytes, config.cache_policy),
+                epochs: std::collections::HashMap::new(),
+                clock: 0,
+            })
+        });
         Self {
             config,
             state: Mutex::new(State {
@@ -250,6 +297,34 @@ impl Coordinator {
             }),
             collector: StatsCollector::new(1),
             counters: Counters::default(),
+            cache,
+        }
+    }
+
+    /// Drops every coordinator-cached frame of `scene` and mints it a fresh
+    /// load epoch so in-flight renders of the old parameters cannot
+    /// re-insert (no-op when the cache is disabled). Called whenever a
+    /// scene's parameters change.
+    fn invalidate_cached_scene(&self, scene: &SceneId) {
+        if let Some(cache) = &self.cache {
+            let mut guard = cache.lock().unwrap();
+            guard.cache.invalidate_scene(scene);
+            guard.clock += 1;
+            let epoch = guard.clock;
+            guard.epochs.insert(scene.clone(), epoch);
+        }
+    }
+
+    /// Like [`Coordinator::invalidate_cached_scene`], but *retires* the
+    /// scene's epoch entry — used on unload so the epoch map stays bounded
+    /// by the loaded scenes. Safe because epochs are clock-drawn: a missing
+    /// entry reads as 0, which no in-flight capture of a loaded scene can
+    /// equal, and a later reload mints a strictly newer value.
+    fn retire_cached_scene(&self, scene: &SceneId) {
+        if let Some(cache) = &self.cache {
+            let mut guard = cache.lock().unwrap();
+            guard.cache.invalidate_scene(scene);
+            guard.epochs.remove(scene);
         }
     }
 
@@ -466,7 +541,10 @@ impl Coordinator {
                 bytes,
             },
         };
-        let stale = self.commit_scene(id, hold);
+        let stale = self.commit_scene(id.clone(), hold);
+        // After the commit: in-flight renders of the replaced parameters
+        // captured the pre-bump epoch and cannot re-insert stale frames.
+        self.invalidate_cached_scene(&id);
         self.unload_holds(stale);
         Ok(())
     }
@@ -550,7 +628,8 @@ impl Coordinator {
             background,
             hold: Hold::Sharded { shards: placed },
         };
-        let stale = self.commit_scene(id, hold);
+        let stale = self.commit_scene(id.clone(), hold);
+        self.invalidate_cached_scene(&id);
         self.unload_holds(stale);
         Ok(count)
     }
@@ -628,6 +707,12 @@ impl Coordinator {
                 None => return false,
             }
         };
+        // After the removal (like load_scene invalidates after its commit):
+        // an in-flight render that passed the scene lookup captured the
+        // scene's minted epoch, which a retired (absent) entry can never
+        // match, so it cannot insert a frame for the now-unloaded scene; a
+        // render starting later fails the lookup before inserting.
+        self.retire_cached_scene(id);
         self.unload_holds(work);
         true
     }
@@ -682,6 +767,8 @@ impl Coordinator {
     }
 
     /// Renders one frame, routing by scene id with health-checked failover.
+    /// With the coordinator-side cache enabled, a repeated view (same
+    /// quantized cache key) is answered here — no replica is touched.
     ///
     /// # Errors
     ///
@@ -690,9 +777,45 @@ impl Coordinator {
     /// [`ClusterError::Serve`] for replica-side service errors.
     pub fn render(&self, request: &WireRequest) -> Result<ClusterFrame, ClusterError> {
         let started = Instant::now();
+        // One counted lookup per request: a hit short-circuits before
+        // routing; a miss remembers the scene's load epoch so the rendered
+        // frame is only inserted if the scene was not replaced mid-flight.
+        let mut miss_epoch: Option<(FrameKey, u64)> = None;
+        if let Some(cache) = &self.cache {
+            let key = FrameKey::for_request(&request.to_render_request(), self.config.pose_quant);
+            let mut guard = cache.lock().unwrap();
+            match guard.cache.get(&key) {
+                Some(image) => {
+                    drop(guard);
+                    let latency = started.elapsed();
+                    self.collector.record_fast_hit(latency);
+                    return Ok(ClusterFrame {
+                        image,
+                        scene: request.scene.clone(),
+                        shards_rendered: 0,
+                        shards_culled: 0,
+                        replica: None,
+                        cache_hit: true,
+                        latency,
+                    });
+                }
+                None => {
+                    let epoch = guard.epochs.get(&request.scene).copied().unwrap_or(0);
+                    miss_epoch = Some((key, epoch));
+                }
+            }
+        }
         let result = self.render_inner(request, started);
         match &result {
-            Ok(_) => self.collector.record_completed(0, started.elapsed()),
+            Ok(frame) => {
+                self.collector.record_completed(0, started.elapsed());
+                if let (Some(cache), Some((key, epoch))) = (&self.cache, miss_epoch) {
+                    let mut guard = cache.lock().unwrap();
+                    if guard.epochs.get(&request.scene).copied().unwrap_or(0) == epoch {
+                        guard.cache.insert(key, Arc::clone(&frame.image));
+                    }
+                }
+            }
             Err(_) => self.collector.record_error(),
         }
         result
@@ -732,11 +855,12 @@ impl Coordinator {
             match replica.render(request) {
                 Ok((image, shards)) => {
                     return Ok(ClusterFrame {
-                        image,
+                        image: Arc::new(image),
                         scene: request.scene.clone(),
                         shards_rendered: shards,
                         shards_culled: 0,
                         replica: Some(replica.name().to_string()),
+                        cache_hit: false,
                         latency: started.elapsed(),
                     });
                 }
@@ -1108,11 +1232,12 @@ impl Coordinator {
             }
         };
         Ok(ClusterFrame {
-            image: layer.finish(background),
+            image: Arc::new(layer.finish(background)),
             scene: request.scene.clone(),
             shards_rendered: visible.len(),
             shards_culled: culled,
             replica: None,
+            cache_hit: false,
             latency: started.elapsed(),
         })
     }
@@ -1154,10 +1279,23 @@ impl Coordinator {
         let reports: Vec<&gs_serve::StatsReport> =
             replicas.iter().filter_map(|r| r.report.as_ref()).collect();
         let merged = merge_latency(&reports);
-        let own = self.collector.snapshot(CacheStats::default());
+        let cache = self
+            .cache
+            .as_ref()
+            .map(|c| c.lock().unwrap().cache.stats())
+            .unwrap_or_default();
+        let own = self.collector.snapshot(cache);
         ClusterStats {
             completed: own.completed,
             errors: own.errors,
+            cache_hits: own.fast_hits,
+            cache: own.cache,
+            cache_policy: self
+                .cache
+                .as_ref()
+                .map(|_| self.config.cache_policy.name())
+                .unwrap_or("off")
+                .to_string(),
             failovers: self.counters.failovers.load(Ordering::Relaxed),
             replacements: self.counters.replacements.load(Ordering::Relaxed),
             shard_relays: self.counters.shard_relays.load(Ordering::Relaxed),

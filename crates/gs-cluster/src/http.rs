@@ -125,6 +125,7 @@ impl ClusterHandler {
                 ("X-Shards", frame.shards_rendered.to_string()),
                 ("X-Culled", frame.shards_culled.to_string()),
                 ("X-Replica", frame.replica.unwrap_or_default()),
+                ("X-Cache-Hit", u8::from(frame.cache_hit).to_string()),
                 ("X-Latency-Us", frame.latency.as_micros().to_string()),
             ],
             body,

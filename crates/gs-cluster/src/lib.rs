@@ -23,10 +23,14 @@
 //!   composites front-to-back — bit-identically to the single-node sharded
 //!   render in [`CompositeMode::Relay`], or in parallel via
 //!   `composite_onto` in [`CompositeMode::Fanout`].
+//! * [`prober`] — a background [`HealthProber`] thread running
+//!   [`Coordinator::probe_all`] on an interval, so downed replicas rejoin
+//!   (and silently-dead ones leave) the rotation without an operator call.
 //! * [`stats`] — cluster-wide aggregation: per-replica
 //!   [`StatsReport`](gs_serve::StatsReport)s fanned in, latency reservoirs
 //!   **merged by weighted samples** (not quantile averaging), plus the
-//!   coordinator's own routing/failover counters.
+//!   coordinator's own routing/failover counters and the coordinator-side
+//!   frame cache's hit rate (`ClusterConfig::cache_bytes`).
 //! * [`http`] — the cluster's own HTTP front-end, built on the listener
 //!   machinery shared with `gs-serve` (`POST /render`, `GET /stats`,
 //!   `GET /scenes`, `GET /replicas`, `POST /scenes/<id>`, `GET /healthz`).
@@ -66,6 +70,7 @@
 pub mod coordinator;
 pub mod http;
 pub mod placement;
+pub mod prober;
 pub mod replica;
 pub mod stats;
 
@@ -74,5 +79,6 @@ pub use coordinator::{
 };
 pub use http::bind as bind_http;
 pub use placement::{pick_replica, PlacementCandidate, ScenePlacement};
+pub use prober::HealthProber;
 pub use replica::{Health, Replica, ReplicaError, ReplicaId, ReplicaTransport};
 pub use stats::{merge_latency, ClusterStats, ReplicaReport};

@@ -1,0 +1,138 @@
+//! A background health prober for the cluster coordinator.
+//!
+//! The coordinator marks replicas down when traffic hits them and fails,
+//! and [`Coordinator::probe_all`] can bring a recovered replica back — but
+//! until this module existed, *someone* had to call it. [`HealthProber`]
+//! is that someone: a thread that runs `probe_all` on a fixed interval, so
+//! a replica that restarts rejoins the rotation without an operator in the
+//! loop, and a silently-dead replica is taken out of it before the next
+//! unlucky request discovers the corpse.
+//!
+//! Stopping is prompt: the prober waits on a condvar, so dropping (or
+//! explicitly stopping) the handle interrupts the current sleep instead of
+//! waiting out the interval.
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::coordinator::Coordinator;
+
+/// Handle to the background probe thread; the thread stops (promptly) when
+/// the handle is dropped or [`HealthProber::stop`] is called.
+pub struct HealthProber {
+    stop: Arc<(Mutex<bool>, Condvar)>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl HealthProber {
+    /// Spawns a thread that calls [`Coordinator::probe_all`] every
+    /// `interval` (first probe after one interval). Down replicas that
+    /// answer again come back up; up replicas that stop answering go down;
+    /// draining replicas are left alone — exactly `probe_all`'s semantics,
+    /// on a clock.
+    pub fn start(coordinator: Arc<Coordinator>, interval: Duration) -> Self {
+        let stop = Arc::new((Mutex::new(false), Condvar::new()));
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("gs-cluster-prober".to_string())
+            .spawn(move || {
+                let (lock, condvar) = &*thread_stop;
+                loop {
+                    let mut stopped = lock.lock().unwrap();
+                    let deadline = std::time::Instant::now() + interval;
+                    // Re-arm against spurious wakeups until the interval
+                    // elapses or a stop arrives.
+                    while !*stopped {
+                        let now = std::time::Instant::now();
+                        if now >= deadline {
+                            break;
+                        }
+                        let (guard, _) = condvar.wait_timeout(stopped, deadline - now).unwrap();
+                        stopped = guard;
+                    }
+                    if *stopped {
+                        return;
+                    }
+                    drop(stopped);
+                    coordinator.probe_all();
+                }
+            })
+            .expect("spawn health prober");
+        Self {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Stops the probe thread and waits for it to exit.
+    pub fn stop(mut self) {
+        self.stop_inner();
+    }
+
+    fn stop_inner(&mut self) {
+        let (lock, condvar) = &*self.stop;
+        *lock.lock().unwrap() = true;
+        condvar.notify_all();
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for HealthProber {
+    fn drop(&mut self) {
+        self.stop_inner();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coordinator::ClusterConfig;
+
+    #[test]
+    fn prober_stops_promptly_even_with_a_long_interval() {
+        let coordinator = Arc::new(Coordinator::new(ClusterConfig::default()));
+        let prober = HealthProber::start(coordinator, Duration::from_secs(3600));
+        let started = std::time::Instant::now();
+        prober.stop();
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "stop must interrupt the sleep, not wait out the interval"
+        );
+    }
+
+    #[test]
+    fn prober_leaves_draining_replicas_alone() {
+        // probe_all flips replicas between Up and Down but must never touch
+        // an administratively Draining one — the prober runs it on a clock,
+        // so a drained replica has to survive many probe rounds untouched.
+        // (The Down -> Up rejoin of a killed-then-revived replica needs a
+        // killable transport and is covered by the HTTP integration test in
+        // tests/cluster.rs.)
+        use crate::replica::ReplicaTransport;
+        use gs_serve::{RenderServer, SceneRegistry, ServeConfig};
+
+        let coordinator = Arc::new(Coordinator::new(ClusterConfig::default()));
+        let server = Arc::new(RenderServer::new(
+            ServeConfig {
+                workers: 1,
+                ..ServeConfig::default()
+            },
+            SceneRegistry::with_budget(1 << 20),
+        ));
+        coordinator
+            .add_replica("a", ReplicaTransport::InProcess(server))
+            .unwrap();
+        coordinator.drain(0);
+        let prober = HealthProber::start(Arc::clone(&coordinator), Duration::from_millis(20));
+        std::thread::sleep(Duration::from_millis(120));
+        prober.stop();
+        assert_eq!(
+            coordinator.replica_status()[0].health,
+            crate::replica::Health::Draining,
+            "the prober must leave draining replicas alone"
+        );
+    }
+}

@@ -9,7 +9,7 @@
 //! `completed / samples` of its replica, so a replica that served twice the
 //! traffic contributes twice the probability mass at every quantile.
 
-use gs_serve::{LatencySummary, StatsReport};
+use gs_serve::{CacheStats, LatencySummary, StatsReport};
 
 use crate::replica::Health;
 
@@ -33,6 +33,13 @@ pub struct ClusterStats {
     pub completed: u64,
     /// Renders answered with an error.
     pub errors: u64,
+    /// Renders answered from the coordinator-side frame cache without
+    /// touching any replica (included in `completed`).
+    pub cache_hits: u64,
+    /// Coordinator-side frame-cache counters (all zero when disabled).
+    pub cache: CacheStats,
+    /// Replacement policy of the coordinator cache (`"off"` when disabled).
+    pub cache_policy: String,
     /// Requests re-routed to another replica after a transport failure.
     pub failovers: u64,
     /// Scene/shard placements moved off a dead or draining replica.
@@ -74,6 +81,17 @@ impl std::fmt::Display for ClusterStats {
         )?;
         writeln!(
             f,
+            "  cache:      {:.1}% hit rate ({} hits / {} misses, {} evictions, {} rejected, \
+             policy {})",
+            self.cache.hit_rate() * 100.0,
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.evictions,
+            self.cache.rejected,
+            self.cache_policy,
+        )?;
+        writeln!(
+            f,
             "  sharding:   {} relayed layers, {} fanned-out layers, {} culled",
             self.shard_relays, self.shard_fanouts, self.shards_culled
         )?;
@@ -112,29 +130,33 @@ impl std::fmt::Display for ClusterStats {
     }
 }
 
-/// Merges per-replica latency reservoirs into one cluster-wide summary.
+/// Merges per-replica latency reservoirs into one cluster-wide summary of
+/// **render-path** latency (queue wait + render; replicas exclude their
+/// pre-enqueue cache fast hits from the reservoir and report them as
+/// `fast_hits`).
 ///
-/// Every sample of replica `i` carries weight `completed_i / samples_i`, so
-/// the merged distribution weights each replica by the traffic it actually
-/// served. Percentiles are weighted quantiles over the sample union; the
-/// mean is the exact completed-weighted mean of replica means; the max is
-/// the max of replica maxima (both exact because replicas track them
-/// exactly).
+/// Every sample of replica `i` carries weight `rendered_i / samples_i`
+/// (where `rendered = completed - fast_hits`), so the merged distribution
+/// weights each replica by the render traffic it actually served.
+/// Percentiles are weighted quantiles over the sample union; the mean is
+/// the exact rendered-weighted mean of replica means; the max is the max of
+/// replica maxima (both exact because replicas track them exactly).
 pub fn merge_latency(reports: &[&StatsReport]) -> LatencySummary {
     let mut weighted: Vec<(f64, f64)> = Vec::new();
-    let mut total_completed = 0u64;
+    let mut total_rendered = 0u64;
     let mut mean_acc = 0.0f64;
     let mut max = 0.0f64;
     for report in reports {
-        total_completed += report.completed;
-        mean_acc += report.latency[3] * report.completed as f64;
+        let rendered = report.completed.saturating_sub(report.fast_hits);
+        total_rendered += rendered;
+        mean_acc += report.latency[3] * rendered as f64;
         max = max.max(report.latency[4]);
-        if !report.latency_samples.is_empty() && report.completed > 0 {
-            let w = report.completed as f64 / report.latency_samples.len() as f64;
+        if !report.latency_samples.is_empty() && rendered > 0 {
+            let w = rendered as f64 / report.latency_samples.len() as f64;
             weighted.extend(report.latency_samples.iter().map(|&s| (s, w)));
         }
     }
-    if total_completed == 0 || weighted.is_empty() {
+    if total_rendered == 0 || weighted.is_empty() {
         return LatencySummary::default();
     }
     weighted.sort_by(|a, b| a.0.total_cmp(&b.0));
@@ -154,7 +176,7 @@ pub fn merge_latency(reports: &[&StatsReport]) -> LatencySummary {
         p50: quantile(0.50),
         p90: quantile(0.90),
         p99: quantile(0.99),
-        mean: mean_acc / total_completed as f64,
+        mean: mean_acc / total_rendered as f64,
         max,
     }
 }

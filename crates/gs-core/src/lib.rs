@@ -15,6 +15,8 @@
 //!   projection quantities needed for frustum culling.
 //! * [`image`] — a minimal RGB float image container.
 //! * [`scene`] — point clouds and scene initialization from SfM-like inputs.
+//! * [`sketch`] — probabilistic frequency sketches (count-min + doorkeeper)
+//!   for TinyLFU-style cache admission in the serving tier.
 //! * [`error`] — the crate-wide error type.
 //!
 //! # Example
@@ -41,6 +43,7 @@ pub mod math;
 pub mod rng;
 pub mod scene;
 pub mod sh;
+pub mod sketch;
 
 pub use camera::Camera;
 pub use error::{Error, Result};
@@ -49,3 +52,4 @@ pub use image::Image;
 pub use math::{Mat3, Quat, Vec2, Vec3, Vec4};
 pub use rng::Rng64;
 pub use scene::PointCloud;
+pub use sketch::{CountMinSketch, Doorkeeper, FrequencySketch};

@@ -10,6 +10,10 @@
 //!
 //! * [`queue`] — a bounded blocking MPMC job queue; producers get
 //!   backpressure, workers get batching hooks.
+//! * [`sched`] — the **pluggable scheduling layer** between the queue and
+//!   the worker pool: a [`Scheduler`] trait with strict-FIFO and
+//!   batch-aware (bounded cross-scene reordering under an age/deadline
+//!   fairness cap) policies.
 //! * [`registry`] — the scene registry with **memory-aware admission
 //!   control**: scenes are charged against a [`gs_platform::MemoryPool`]
 //!   sized from a [`gs_platform::PlatformSpec`], least-recently-used scenes
@@ -22,8 +26,10 @@
 //! * [`batch`] — **same-scene request batching**: one frustum cull per view,
 //!   one shared gather for the batch's union, bit-identical output to
 //!   unbatched rendering.
-//! * [`cache`] — an LRU **frame cache** keyed by (scene, quantized camera
-//!   pose, viewport, SH degree) with hit/miss statistics.
+//! * [`cache`] — a policy-driven **frame cache** keyed by (scene, quantized
+//!   camera pose, viewport, SH degree) with hit/miss statistics; the
+//!   [`CachePolicy`] trait swaps plain LRU for TinyLFU frequency-aware
+//!   admission (count-min sketch + doorkeeper from `gs-core`).
 //! * [`server`] — the worker pool tying it together.
 //! * [`stats`] — the [`ServeStats`] report: p50/p90/p99 latency, throughput,
 //!   cache hit rate, batch-size histogram, per-worker counters.
@@ -70,12 +76,13 @@ pub mod http;
 pub mod queue;
 pub mod registry;
 pub mod request;
+pub mod sched;
 pub mod server;
 pub mod shard;
 pub mod stats;
 pub mod wire;
 
-pub use cache::{CacheStats, FrameCache, FrameKey, QuantizedPose};
+pub use cache::{CachePolicy, CachePolicyKind, CacheStats, FrameCache, FrameKey, QuantizedPose};
 pub use http::{Conn, HttpConfig, HttpHandler, HttpRequest, HttpResponse, HttpServer};
 pub use queue::BoundedQueue;
 pub use registry::{
@@ -83,6 +90,7 @@ pub use registry::{
     ShardedSceneView,
 };
 pub use request::{CancelToken, RenderRequest, RenderedFrame, SceneId, ServeError};
+pub use sched::{BatchAwareScheduler, FifoScheduler, SchedItem, Scheduler, SchedulerPolicy};
 pub use server::{RenderServer, ServeConfig, Ticket};
 pub use shard::{
     depth_order, partition_ids, shard_scene, shard_visible, visible_shards, Aabb, ShardSource,

@@ -145,7 +145,9 @@ pub struct RenderedFrame {
     pub batch_size: usize,
     /// Whether the frame was served from the frame cache.
     pub cache_hit: bool,
-    /// Index of the worker thread that produced the frame.
+    /// Index of the worker thread that produced the frame. Frames answered
+    /// by the pre-enqueue cache fast path never touch the pool and report
+    /// the index one past it (`== workers`).
     pub worker: usize,
     /// Number of shard layers composited into this frame (1 for an
     /// unsharded scene, and for cache hits of either kind).

@@ -1,12 +1,17 @@
-//! The rendering service: a worker pool draining a bounded job queue.
+//! The rendering service: a worker pool draining a scheduled job queue.
 //!
-//! Request lifecycle: [`RenderServer::submit`] enqueues a job (blocking when
-//! the queue is full, which gives closed-loop clients natural backpressure).
-//! A worker pops it, drains up to `max_batch - 1` queued requests for the
-//! *same scene* into a batch, answers what it can from the frame cache, and
-//! renders the remaining views through the shared cull-and-gather path of
-//! [`crate::batch`]. Identical cache keys inside one batch are rendered once
-//! and fanned out to every waiter.
+//! Request lifecycle: [`RenderServer::submit`] first probes the frame cache
+//! — a hit is answered immediately, before the request ever enqueues — then
+//! hands the job to the configured [`Scheduler`] (blocking when the queue
+//! is full, which gives closed-loop clients natural backpressure). A worker
+//! asks the scheduler for the next same-scene batch (FIFO adjacency or
+//! bounded cross-scene reordering, per [`ServeConfig::scheduler`]), answers
+//! what it can from the frame cache, and renders the remaining views
+//! through the shared cull-and-gather path of [`crate::batch`]. Identical
+//! cache keys inside one batch are rendered once and fanned out to every
+//! waiter. Cache replacement is itself a policy
+//! ([`ServeConfig::cache_policy`]): plain LRU, or TinyLFU frequency-aware
+//! admission.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
@@ -20,10 +25,10 @@ use gs_platform::PlatformSpec;
 use gs_render::rasterize::FrameLayer;
 
 use crate::batch::render_shared;
-use crate::cache::{FrameCache, FrameKey};
-use crate::queue::BoundedQueue;
+use crate::cache::{CachePolicyKind, FrameCache, FrameKey};
 use crate::registry::{RegistryStats, SceneLayout, SceneRegistry, SceneView, ShardedSceneView};
 use crate::request::{RenderRequest, RenderedFrame, SceneId, ServeError};
+use crate::sched::{SchedItem, Scheduler, SchedulerPolicy};
 use crate::shard::{self, Aabb};
 use crate::stats::{ServeStats, StatsCollector};
 
@@ -46,6 +51,12 @@ pub struct ServeConfig {
     /// partitioned into `ceil(bytes / shard_bytes)` shards (0 disables
     /// auto-sharding).
     pub shard_bytes: u64,
+    /// Scheduling policy between the queue and the worker pool: strict
+    /// FIFO, or batch-aware cross-scene reordering (see [`crate::sched`]).
+    pub scheduler: SchedulerPolicy,
+    /// Frame-cache replacement policy: LRU, or TinyLFU frequency-aware
+    /// admission (see [`crate::cache`]).
+    pub cache_policy: CachePolicyKind,
 }
 
 impl Default for ServeConfig {
@@ -57,6 +68,8 @@ impl Default for ServeConfig {
             cache_bytes: 64 << 20,
             pose_quant: 0.05,
             shard_bytes: 32 << 20,
+            scheduler: SchedulerPolicy::Fifo,
+            cache_policy: CachePolicyKind::Lru,
         }
     }
 }
@@ -65,13 +78,30 @@ type Response = Result<RenderedFrame, ServeError>;
 
 struct Job {
     request: RenderRequest,
+    /// Cache key computed once at submit time (for the fast-path probe)
+    /// and reused by the worker-side lookup; `None` with caching disabled.
+    key: Option<FrameKey>,
     tx: mpsc::Sender<Response>,
     enqueued: Instant,
 }
 
+impl SchedItem for Job {
+    fn scene(&self) -> &SceneId {
+        &self.request.scene
+    }
+
+    fn enqueued_at(&self) -> Instant {
+        self.enqueued
+    }
+
+    fn deadline(&self) -> Option<Instant> {
+        self.request.deadline
+    }
+}
+
 struct Shared {
     config: ServeConfig,
-    queue: BoundedQueue<Job>,
+    sched: Box<dyn Scheduler<Job>>,
     registry: Mutex<SceneRegistry>,
     cache: Mutex<FrameCache>,
     stats: StatsCollector,
@@ -137,9 +167,12 @@ impl RenderServer {
         assert!(config.workers > 0, "need at least one worker");
         assert!(config.max_batch > 0, "max_batch must be at least 1");
         let shared = Arc::new(Shared {
-            queue: BoundedQueue::new(config.queue_depth),
+            sched: config.scheduler.build(config.queue_depth),
             registry: Mutex::new(registry),
-            cache: Mutex::new(FrameCache::new(config.cache_bytes)),
+            cache: Mutex::new(FrameCache::with_policy(
+                config.cache_bytes,
+                config.cache_policy,
+            )),
             stats: StatsCollector::new(config.workers),
             config,
             deadline_jobs: AtomicU64::new(0),
@@ -316,7 +349,14 @@ impl RenderServer {
         self.shared.registry.lock().unwrap().stats().clone()
     }
 
-    /// Enqueues a request, blocking while the queue is full.
+    /// Submits a request: answers it straight from the frame cache when the
+    /// key is resident (the *fast path* — the request never enqueues), else
+    /// enqueues it with the scheduler, blocking while the queue is full.
+    ///
+    /// Fast-path hits are counted separately in the service stats
+    /// ([`ServeStats::fast_hits`] / [`ServeStats::hit_latency`]) so the
+    /// request-latency reservoir keeps measuring the queue-wait + render
+    /// path instead of being diluted by sub-microsecond cache answers.
     ///
     /// The in-process API trusts its caller: request fields outside their
     /// documented ranges (e.g. an `sh_degree` above
@@ -332,6 +372,7 @@ impl RenderServer {
     /// [`ServeError::UnknownScene`] if the scene is not loaded at submit
     /// time, [`ServeError::ShuttingDown`] if the queue is closed.
     pub fn submit(&self, request: RenderRequest) -> Result<Ticket, ServeError> {
+        let submitted = Instant::now();
         if !self
             .shared
             .registry
@@ -340,6 +381,49 @@ impl RenderServer {
             .contains(&request.scene)
         {
             return Err(ServeError::UnknownScene(request.scene));
+        }
+        // A request that is already dead gets the same answer the workers'
+        // sweep would give it, whether or not its key is cache-resident —
+        // cache state must not change a dead request's outcome or counters
+        // (expired wins over cancelled, like respond_dead).
+        if request.is_expired(submitted) {
+            self.shared.stats.record_expired(1);
+            let (tx, rx) = mpsc::channel();
+            let _ = tx.send(Err(ServeError::DeadlineExceeded));
+            return Ok(Ticket { rx });
+        }
+        if request.is_cancelled() {
+            self.shared.stats.record_cancelled(1);
+            let (tx, rx) = mpsc::channel();
+            let _ = tx.send(Err(ServeError::Cancelled));
+            return Ok(Ticket { rx });
+        }
+        // The pre-enqueue cache probe: a resident key is answered here,
+        // skipping the queue and the worker pool entirely. A miss is not
+        // counted (and not fed to the admission policy) — the worker-side
+        // lookup does that — so every request still contributes exactly one
+        // counted lookup. The key travels with the job so the worker never
+        // recomputes it.
+        let key = (self.shared.config.cache_bytes > 0)
+            .then(|| FrameKey::for_request(&request, self.shared.config.pose_quant));
+        if let Some(key) = &key {
+            let hit = self.shared.cache.lock().unwrap().get_fast(key);
+            if let Some(image) = hit {
+                let latency = submitted.elapsed();
+                self.shared.stats.record_fast_hit(latency);
+                let (tx, rx) = mpsc::channel();
+                let _ = tx.send(Ok(RenderedFrame {
+                    image,
+                    scene: request.scene,
+                    latency,
+                    batch_size: 1,
+                    cache_hit: true,
+                    // One past the pool: no worker thread touched this.
+                    worker: self.shared.config.workers,
+                    shards: 1,
+                }));
+                return Ok(Ticket { rx });
+            }
         }
         let (tx, rx) = mpsc::channel();
         // Counted before the push makes the job visible, so a worker that
@@ -353,8 +437,9 @@ impl RenderServer {
         if let Some(token) = &request.cancel {
             token.watch(&self.shared.pending_cancels);
         }
-        let pushed = self.shared.queue.push(Job {
+        let pushed = self.shared.sched.push(Job {
             request,
+            key,
             tx,
             enqueued: Instant::now(),
         });
@@ -504,7 +589,11 @@ impl RenderServer {
     /// Snapshot of the service statistics.
     pub fn stats(&self) -> ServeStats {
         let cache = self.shared.cache.lock().unwrap().stats();
-        self.shared.stats.snapshot(cache)
+        let mut stats = self.shared.stats.snapshot(cache);
+        stats.scheduler = self.shared.sched.name().to_string();
+        stats.cache_policy = self.shared.config.cache_policy.name().to_string();
+        stats.sched_reorders = self.shared.sched.reorders();
+        stats
     }
 
     /// Drains the queue, stops the workers and returns the final statistics.
@@ -514,7 +603,7 @@ impl RenderServer {
     }
 
     fn stop_workers(&mut self) {
-        self.shared.queue.close();
+        self.shared.sched.close();
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
@@ -528,7 +617,7 @@ impl Drop for RenderServer {
 }
 
 fn worker_loop(shared: &Shared, worker_idx: usize) {
-    while let Some(first) = shared.queue.pop() {
+    while let Some(batch) = shared.sched.next_batch(shared.config.max_batch) {
         // Skip queued jobs whose deadline has already passed or whose client
         // cancelled (disconnected) — rendering a frame nobody is waiting for
         // anymore only deepens an overload. They are answered
@@ -538,11 +627,13 @@ fn worker_loop(shared: &Shared, worker_idx: usize) {
         // queued deadline-bearing jobs) or a cancellation was signalled
         // since the last sweep (`pending_cancels`, swapped to zero here so
         // each cancel buys at least — and roughly at most — one walk).
-        // Plain traffic, token-carrying or not, never pays.
+        // Plain traffic, token-carrying or not, never pays. (Dead jobs the
+        // scheduler already handed into this batch are partitioned out
+        // below instead.)
         let now = Instant::now();
         let cancels = shared.pending_cancels.swap(0, Ordering::SeqCst) > 0;
         if cancels || shared.deadline_jobs.load(Ordering::Relaxed) > 0 {
-            for job in shared.queue.drain_where(usize::MAX, |j| {
+            for job in shared.sched.drain_where(usize::MAX, &mut |j: &Job| {
                 j.request.is_expired(now) || j.request.is_cancelled()
             }) {
                 if job.request.deadline.is_some() {
@@ -551,15 +642,7 @@ fn worker_loop(shared: &Shared, worker_idx: usize) {
                 respond_dead(shared, job, now);
             }
         }
-        let scene_id = first.request.scene.clone();
-        let mut batch = vec![first];
-        if shared.config.max_batch > 1 {
-            batch.extend(
-                shared
-                    .queue
-                    .drain_where(shared.config.max_batch - 1, |j| j.request.scene == scene_id),
-            );
-        }
+        let scene_id = batch[0].request.scene.clone();
         let left_queue = batch
             .iter()
             .filter(|j| j.request.deadline.is_some())
@@ -634,8 +717,11 @@ fn process_batch(
         let mut hits: Vec<(Job, Arc<gs_core::image::Image>)> = Vec::new();
         {
             let mut cache = shared.cache.lock().unwrap();
-            for job in batch {
-                let key = FrameKey::for_request(&job.request, shared.config.pose_quant);
+            for mut job in batch {
+                // Computed at submit time; recompute only as a safety net.
+                let key = job.key.take().unwrap_or_else(|| {
+                    FrameKey::for_request(&job.request, shared.config.pose_quant)
+                });
                 match cache.get(&key) {
                     Some(image) => hits.push((job, image)),
                     None => misses.push((job, Some(key))),

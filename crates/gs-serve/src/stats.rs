@@ -72,12 +72,28 @@ pub struct ServeStats {
     /// Requests answered with `Cancelled` because their cancel token fired
     /// while queued (e.g. the submitting client disconnected).
     pub cancelled: u64,
+    /// Requests answered by the pre-enqueue cache fast path (never queued,
+    /// never rendered; included in `completed`).
+    pub fast_hits: u64,
     /// Wall-clock time since the collector was created.
     pub elapsed: Duration,
-    /// Request latency distribution (enqueue to response).
+    /// Latency distribution of requests that went through the queue and
+    /// render path (enqueue to response). Fast-path cache hits are
+    /// *excluded* — they never wait in the queue, and folding their
+    /// near-zero latencies in here used to drag p50 down under repeat-heavy
+    /// traffic; they are summarized in `hit_latency` instead.
     pub latency: LatencySummary,
+    /// Latency distribution of fast-path cache hits (submit to response).
+    pub hit_latency: LatencySummary,
     /// Frame-cache counters.
     pub cache: CacheStats,
+    /// Times the scheduler picked a non-head scene ahead of the queue head
+    /// (0 under FIFO).
+    pub sched_reorders: u64,
+    /// Name of the scheduling policy serving this report.
+    pub scheduler: String,
+    /// Name of the frame-cache replacement policy serving this report.
+    pub cache_policy: String,
     /// `(batch size, number of batches)` in ascending batch-size order.
     pub batch_histogram: Vec<(usize, u64)>,
     /// Completed requests per worker thread.
@@ -161,11 +177,35 @@ impl std::fmt::Display for ServeStats {
         )?;
         writeln!(
             f,
-            "  cache:      {:.1}% hit rate ({} hits / {} misses, {} evictions)",
+            "  cache:      {:.1}% hit rate ({} hits / {} misses, {} evictions, {} rejected, \
+             policy {})",
             self.cache.hit_rate() * 100.0,
             self.cache.hits,
             self.cache.misses,
             self.cache.evictions,
+            self.cache.rejected,
+            if self.cache_policy.is_empty() {
+                "?"
+            } else {
+                &self.cache_policy
+            },
+        )?;
+        writeln!(
+            f,
+            "  fast path:  {} hits served pre-enqueue, hit p50 {:.3}ms  max {:.3}ms",
+            self.fast_hits,
+            self.hit_latency.p50 * 1e3,
+            self.hit_latency.max * 1e3,
+        )?;
+        writeln!(
+            f,
+            "  scheduler:  {} ({} reorders)",
+            if self.scheduler.is_empty() {
+                "?"
+            } else {
+                &self.scheduler
+            },
+            self.sched_reorders,
         )?;
         let histogram: Vec<String> = self
             .batch_histogram
@@ -262,8 +302,10 @@ impl LatencyAccum {
 
 struct CollectorInner {
     latency: LatencyAccum,
+    hit_latency: LatencyAccum,
     shard_layer: LatencyAccum,
     completed: u64,
+    fast_hits: u64,
     errors: u64,
     expired: u64,
     cancelled: u64,
@@ -289,8 +331,10 @@ impl StatsCollector {
             started: Instant::now(),
             inner: Mutex::new(CollectorInner {
                 latency: LatencyAccum::new(0x5eed),
+                hit_latency: LatencyAccum::new(0xfa57),
                 shard_layer: LatencyAccum::new(0x51a6d),
                 completed: 0,
+                fast_hits: 0,
                 errors: 0,
                 expired: 0,
                 cancelled: 0,
@@ -314,6 +358,17 @@ impl StatsCollector {
         if let Some(slot) = inner.per_worker.get_mut(worker) {
             *slot += 1;
         }
+    }
+
+    /// Records one request answered from the cache *before* it enqueued
+    /// (the submit fast path). Counted as completed, but its latency lands
+    /// in the hit reservoir so the request-latency percentiles keep
+    /// measuring the queue-wait + render path.
+    pub fn record_fast_hit(&self, latency: Duration) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.completed += 1;
+        inner.fast_hits += 1;
+        inner.hit_latency.record(latency.as_secs_f64());
     }
 
     /// Records one request answered with an error.
@@ -386,9 +441,14 @@ impl StatsCollector {
             errors: inner.errors,
             expired: inner.expired,
             cancelled: inner.cancelled,
+            fast_hits: inner.fast_hits,
             elapsed: self.started.elapsed(),
             latency: inner.latency.summary(),
+            hit_latency: inner.hit_latency.summary(),
             cache,
+            sched_reorders: 0,
+            scheduler: String::new(),
+            cache_policy: String::new(),
             batch_histogram: inner.batches.iter().map(|(&s, &c)| (s, c)).collect(),
             per_worker: inner.per_worker.clone(),
             union_active: inner.union_active,
@@ -464,6 +524,36 @@ mod tests {
             stats.latency.p99 < stats.latency.max,
             "p99 of a small sample must not collapse onto the max"
         );
+    }
+
+    #[test]
+    fn fast_hits_stay_out_of_the_queue_wait_reservoir() {
+        // Regression: folding near-zero cache-hit latencies into the
+        // request reservoir dragged p50 toward zero under repeat-heavy
+        // traffic. Fast hits are counted as completed but summarized in
+        // their own reservoir.
+        let collector = StatsCollector::new(1);
+        for _ in 0..90 {
+            collector.record_fast_hit(Duration::from_micros(3));
+        }
+        for _ in 0..10 {
+            collector.record_completed(0, Duration::from_millis(20));
+        }
+        let stats = collector.snapshot(CacheStats::default());
+        assert_eq!(stats.completed, 100);
+        assert_eq!(stats.fast_hits, 90);
+        assert!(
+            (stats.latency.p50 - 0.020).abs() < 1e-9,
+            "render-path p50 must not be diluted by hits: {}",
+            stats.latency.p50
+        );
+        assert!(
+            stats.hit_latency.max <= 0.001,
+            "hit latencies land in their own summary: {:?}",
+            stats.hit_latency
+        );
+        let text = stats.to_string();
+        assert!(text.contains("90 hits served pre-enqueue"), "{text}");
     }
 
     #[test]

@@ -829,6 +829,10 @@ pub struct StatsReport {
     pub expired: u64,
     /// Requests cancelled in queue.
     pub cancelled: u64,
+    /// Requests answered by the pre-enqueue cache fast path (included in
+    /// `completed`; `latency` and `latency_samples` cover only the
+    /// remaining `completed - fast_hits` render-path requests).
+    pub fast_hits: u64,
     /// Frame-cache hits.
     pub cache_hits: u64,
     /// Frame-cache misses.
@@ -864,6 +868,7 @@ impl StatsReport {
             errors: stats.errors,
             expired: stats.expired,
             cancelled: stats.cancelled,
+            fast_hits: stats.fast_hits,
             cache_hits: stats.cache.hits,
             cache_misses: stats.cache.misses,
             shards_rendered: stats.shards_rendered,
@@ -891,6 +896,7 @@ impl StatsReport {
             "completed {}\nerrors {}\nexpired {}\ncancelled {}\n",
             self.completed, self.errors, self.expired, self.cancelled
         ));
+        body.push_str(&format!("fast_hits {}\n", self.fast_hits));
         body.push_str(&format!(
             "cache {} {}\nshards {} {} {}\n",
             self.cache_hits,
@@ -946,6 +952,7 @@ impl StatsReport {
                 "errors" => report.errors = u64s(1, key)?[0],
                 "expired" => report.expired = u64s(1, key)?[0],
                 "cancelled" => report.cancelled = u64s(1, key)?[0],
+                "fast_hits" => report.fast_hits = u64s(1, key)?[0],
                 "cache" => {
                     let v = u64s(2, key)?;
                     (report.cache_hits, report.cache_misses) = (v[0], v[1]);
@@ -1299,6 +1306,7 @@ mod tests {
             errors: 3,
             expired: 2,
             cancelled: 1,
+            fast_hits: 25,
             cache_hits: 40,
             cache_misses: 80,
             shards_rendered: 64,

@@ -49,6 +49,7 @@ fn replica_server() -> Arc<RenderServer> {
             cache_bytes: 16 << 20,
             pose_quant: 0.05,
             shard_bytes: 0,
+            ..ServeConfig::default()
         },
         SceneRegistry::with_budget(1 << 30),
     ))

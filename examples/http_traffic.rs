@@ -63,6 +63,7 @@ fn start_server(scenes: &[SceneDataset], workers: usize, addr: &str) -> HttpServ
             cache_bytes: 64 << 20,
             pose_quant: 0.05,
             shard_bytes: 0,
+            ..ServeConfig::default()
         },
         SceneRegistry::with_budget(1 << 30),
     ));

@@ -52,6 +52,7 @@ fn main() {
             cache_bytes: 16 << 20,
             pose_quant: 0.05,
             shard_bytes: 0,
+            ..ServeConfig::default()
         },
         SceneRegistry::with_budget(budget),
     ));

@@ -84,6 +84,7 @@ fn run_workload(scenes: &Arc<Vec<SceneDataset>>, workers: usize) -> ServeStats {
             cache_bytes: 64 << 20,
             pose_quant: 0.05,
             shard_bytes: 0,
+            ..ServeConfig::default()
         },
         SceneRegistry::with_budget(budget),
     ));

@@ -14,15 +14,18 @@
 //! * [`train`] (`gs-train`) — the GPU-only, baseline-offloading and GS-Scale
 //!   trainers.
 //! * [`serve`] (`gs-serve`) — the concurrent multi-scene rendering service
-//!   (batching, frame cache, memory-aware admission control, scene sharding
-//!   with depth-ordered layer compositing, per-request deadlines and
+//!   (pluggable scheduling policies with batch-aware cross-scene
+//!   reordering, a policy-driven frame cache with LRU or TinyLFU
+//!   admission, memory-aware admission control, scene sharding with
+//!   depth-ordered layer compositing, per-request deadlines and
 //!   cancellation) plus its std-only HTTP/1.1 front-end for external load
 //!   generators.
 //! * [`cluster`] (`gs-cluster`) — the multi-replica serving tier: a
 //!   coordinator that places scenes (and cross-node shards) against each
-//!   replica's memory budget, routes renders with health-checked failover,
-//!   composites wire-shipped frame layers bit-identically to a single
-//!   node, and aggregates cluster-wide stats.
+//!   replica's memory budget, routes renders with health-checked failover
+//!   and a background health prober, short-circuits repeats through a
+//!   coordinator-side frame cache, composites wire-shipped frame layers
+//!   bit-identically to a single node, and aggregates cluster-wide stats.
 //!
 //! # Quickstart
 //!

@@ -35,6 +35,7 @@ fn replica_server(budget: u64) -> Arc<RenderServer> {
             cache_bytes: 0,
             pose_quant: 0.05,
             shard_bytes: 0,
+            ..ServeConfig::default()
         },
         SceneRegistry::with_budget(budget),
     ))
@@ -596,4 +597,190 @@ fn cluster_http_front_end_serves_and_aggregates() {
     assert!(listing.contains("0 replica-0 up"), "{listing}");
 
     front.shutdown();
+}
+
+#[test]
+fn coordinator_cache_short_circuits_repeat_traffic_before_routing() {
+    use gs_scale::serve::http::client;
+    use std::net::TcpStream;
+
+    let scene = tour(500, 45.0, 41);
+    let cluster = Arc::new(Coordinator::new(ClusterConfig {
+        cache_bytes: 32 << 20,
+        pose_quant: 0.05,
+        ..ClusterConfig::default()
+    }));
+    for i in 0..2 {
+        cluster
+            .add_replica(
+                format!("replica-{i}"),
+                ReplicaTransport::InProcess(replica_server(1 << 30)),
+            )
+            .unwrap();
+    }
+    cluster
+        .load_scene_sharded(
+            "tour",
+            Arc::new(scene.gt_params.clone()),
+            scene.background,
+            3,
+        )
+        .unwrap();
+
+    // First render misses and fans out to replicas; the repeat is answered
+    // from the coordinator cache byte-identically, without touching any
+    // replica (no new relays).
+    let req = wire_request(&scene, "tour", 0);
+    let cold = cluster.render(&req).unwrap();
+    assert!(!cold.cache_hit);
+    let relays_after_cold = cluster.stats().shard_relays;
+    let warm = cluster.render(&req).unwrap();
+    assert!(warm.cache_hit, "the repeat must be a coordinator-cache hit");
+    assert_eq!(warm.image.data(), cold.image.data());
+    assert_eq!(warm.shards_rendered, 0, "no replica work on a hit");
+    assert_eq!(cluster.stats().shard_relays, relays_after_cold);
+
+    // The hit shows up as a nonzero cluster-level hit rate in GET /stats.
+    let front = gs_scale::cluster::bind_http(HttpConfig::default(), Arc::clone(&cluster)).unwrap();
+    let mut stream = TcpStream::connect(front.local_addr()).unwrap();
+    let response =
+        client::request(&mut stream, "POST", "/render", req.to_body().as_bytes()).unwrap();
+    assert_eq!(response.status, 200);
+    assert_eq!(response.header("x-cache-hit"), Some("1"));
+    let stats_response = client::request(&mut stream, "GET", "/stats", b"").unwrap();
+    let text = String::from_utf8(stats_response.body).unwrap();
+    assert!(text.contains("cache:"), "{text}");
+    let stats = cluster.stats();
+    assert!(stats.cache.hit_rate() > 0.0, "{stats}");
+    assert_eq!(stats.cache_hits, 2);
+    assert_eq!(stats.cache.hits, 2);
+    assert_eq!(stats.cache.misses, 1);
+    front.shutdown();
+
+    // Replacing the scene invalidates its cached frames: the next render
+    // is a miss rendered from the *new* parameters.
+    let other = tour(500, 45.0, 42);
+    cluster
+        .load_scene("tour", Arc::new(other.gt_params.clone()), other.background)
+        .unwrap();
+    let fresh = cluster.render(&req).unwrap();
+    assert!(
+        !fresh.cache_hit,
+        "replacement must invalidate cached frames"
+    );
+    let reference = render_image(
+        &other.gt_params,
+        &req.to_render_request().camera,
+        3,
+        other.background,
+    );
+    assert_eq!(fresh.image.data(), reference.data());
+}
+
+#[test]
+fn background_prober_recovers_a_killed_then_revived_replica() {
+    use gs_scale::cluster::HealthProber;
+    use std::time::{Duration, Instant};
+
+    fn await_health(cluster: &Coordinator, id: usize, want: Health, what: &str) {
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while cluster.replica_status()[id].health != want {
+            assert!(Instant::now() < deadline, "timed out waiting for {what}");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+
+    let scene = tour(400, 40.0, 43);
+
+    // The victim lives behind a real HTTP front-end; the survivor is
+    // in-process so traffic always has somewhere to go.
+    let victim_server = replica_server(1 << 30);
+    let victim_http = HttpServer::bind(
+        HttpConfig {
+            max_body_bytes: 4 << 20,
+            ..HttpConfig::default()
+        },
+        Arc::clone(&victim_server),
+    )
+    .unwrap();
+    let victim_addr = victim_http.local_addr();
+    let cluster = Arc::new(Coordinator::new(ClusterConfig::default()));
+    cluster
+        .add_replica("victim", ReplicaTransport::Http(victim_addr.to_string()))
+        .unwrap();
+    cluster
+        .add_replica(
+            "survivor",
+            ReplicaTransport::InProcess(replica_server(1 << 30)),
+        )
+        .unwrap();
+    cluster
+        .load_scene("tour", Arc::new(scene.gt_params.clone()), scene.background)
+        .unwrap();
+
+    let prober = HealthProber::start(Arc::clone(&cluster), Duration::from_millis(25));
+
+    // Kill the replica. The prober must take it out of the rotation with
+    // no traffic and no operator involved.
+    victim_http.shutdown();
+    drop(victim_server);
+    await_health(
+        &cluster,
+        0,
+        Health::Down,
+        "the prober to mark the victim down",
+    );
+
+    // Traffic keeps flowing: the scene is re-placed onto the survivor.
+    let req = wire_request(&scene, "tour", 0);
+    let frame = cluster.render(&req).unwrap();
+    assert_eq!(frame.image.width(), 64);
+
+    // Revive the replica on the same address (std listeners set
+    // SO_REUSEADDR, so rebinding right after the shutdown works). The
+    // prober must bring it back Up without an operator calling rejoin().
+    let revived_server = replica_server(1 << 30);
+    let revived_http = {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            match HttpServer::bind(
+                HttpConfig {
+                    addr: victim_addr.to_string(),
+                    max_body_bytes: 4 << 20,
+                    ..HttpConfig::default()
+                },
+                Arc::clone(&revived_server),
+            ) {
+                Ok(http) => break http,
+                Err(e) => {
+                    assert!(Instant::now() < deadline, "rebind kept failing: {e}");
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+            }
+        }
+    };
+    await_health(
+        &cluster,
+        0,
+        Health::Up,
+        "the prober to rejoin the revived replica",
+    );
+
+    // The rejoined replica takes new placements and serves them.
+    let other = tour(300, 30.0, 44);
+    cluster
+        .load_scene("fresh", Arc::new(other.gt_params.clone()), other.background)
+        .unwrap();
+    let req = wire_request(&other, "fresh", 1);
+    let frame = cluster.render(&req).unwrap();
+    let reference = render_image(
+        &other.gt_params,
+        &req.to_render_request().camera,
+        3,
+        other.background,
+    );
+    assert_eq!(frame.image.data(), reference.data());
+
+    prober.stop();
+    revived_http.shutdown();
 }

@@ -39,6 +39,7 @@ fn front_end(scene: &SceneDataset) -> (HttpServer, Arc<RenderServer>) {
             cache_bytes: 0,
             pose_quant: 0.05,
             shard_bytes: 0,
+            ..ServeConfig::default()
         },
         SceneRegistry::with_budget(1 << 30),
     ));
@@ -237,6 +238,7 @@ fn idle_connections_are_closed_after_the_idle_timeout() {
             cache_bytes: 0,
             pose_quant: 0.05,
             shard_bytes: 0,
+            ..ServeConfig::default()
         },
         SceneRegistry::with_budget(1 << 30),
     ));
@@ -402,6 +404,7 @@ fn connections_beyond_the_limit_count_as_rejected() {
             cache_bytes: 0,
             pose_quant: 0.05,
             shard_bytes: 0,
+            ..ServeConfig::default()
         },
         SceneRegistry::with_budget(1 << 30),
     ));
@@ -455,6 +458,7 @@ fn disconnected_clients_cancel_their_queued_renders() {
             cache_bytes: 0,
             pose_quant: 0.05,
             shard_bytes: 0,
+            ..ServeConfig::default()
         },
         SceneRegistry::with_budget(1 << 30),
     ));

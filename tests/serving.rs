@@ -32,6 +32,7 @@ fn no_cache_config(workers: usize) -> ServeConfig {
         cache_bytes: 0,
         pose_quant: 0.05,
         shard_bytes: 0,
+        ..ServeConfig::default()
     }
 }
 
@@ -50,6 +51,7 @@ fn cache_disabled_renders_each_exact_camera_despite_quantization() {
             cache_bytes: 0,
             pose_quant: 10.0, // huge cell: both cameras share a FrameKey
             shard_bytes: 0,
+            ..ServeConfig::default()
         },
         SceneRegistry::with_budget(1 << 30),
     ));
@@ -353,6 +355,7 @@ fn panicked_batch_records_one_error_per_dropped_job() {
             cache_bytes: 0,
             pose_quant: 0.05,
             shard_bytes: 0,
+            ..ServeConfig::default()
         },
         SceneRegistry::with_budget(1 << 30),
     ));
@@ -409,6 +412,71 @@ fn panicked_batch_records_one_error_per_dropped_job() {
 }
 
 #[test]
+fn fast_path_hits_bypass_the_queue_and_its_latency_reservoir() {
+    // Regression (hit-rate accounting): cache hits served before enqueue
+    // must not land in the request-latency reservoir — under repeat-heavy
+    // traffic they used to drag p50 toward zero. They are counted as
+    // completed + fast_hits, with their own hit-latency summary, and the
+    // cache counters still reconcile (one counted lookup per request).
+    let scene = tiny_scene(150, 600);
+    let server = RenderServer::new(
+        ServeConfig {
+            workers: 1,
+            cache_bytes: 32 << 20,
+            pose_quant: 0.05,
+            ..ServeConfig::default()
+        },
+        SceneRegistry::with_budget(1 << 30),
+    );
+    server
+        .load_scene("city", Arc::new(scene.gt_params.clone()), scene.background)
+        .unwrap();
+
+    let cam = scene.train_cameras[0].clone();
+    let first = server
+        .render_blocking(RenderRequest::full("city", cam.clone()))
+        .unwrap();
+    assert!(!first.cache_hit);
+    let repeats = 20u64;
+    for _ in 0..repeats {
+        let frame = server
+            .render_blocking(RenderRequest::full("city", cam.clone()))
+            .unwrap();
+        assert!(frame.cache_hit);
+        assert_eq!(
+            frame.worker, 1,
+            "a fast-path hit reports the pseudo worker index one past the pool"
+        );
+        assert_eq!(frame.image.data(), first.image.data());
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.completed, repeats + 1);
+    assert_eq!(
+        stats.fast_hits, repeats,
+        "every repeat was served pre-enqueue"
+    );
+    assert_eq!(stats.cache.hits, repeats);
+    assert_eq!(
+        stats.cache.misses, 1,
+        "exactly one counted lookup per request"
+    );
+    // The queue-wait reservoir holds only the single rendered request, so
+    // its p50 is the render latency — not the near-zero hit latency.
+    assert!(
+        stats.latency.p50 >= stats.hit_latency.p50,
+        "render-path p50 ({}) must not be diluted below the hit path ({})",
+        stats.latency.p50,
+        stats.hit_latency.p50
+    );
+    assert!(
+        stats.hit_latency.max < stats.latency.max,
+        "hits must be far cheaper than renders: {:?} vs {:?}",
+        stats.hit_latency,
+        stats.latency
+    );
+}
+
+#[test]
 fn batching_groups_same_scene_requests() {
     let scene = tiny_scene(120, 800);
     // One worker and a deep queue: submitting a burst asynchronously lets the
@@ -421,6 +489,7 @@ fn batching_groups_same_scene_requests() {
             cache_bytes: 0,
             pose_quant: 0.05,
             shard_bytes: 0,
+            ..ServeConfig::default()
         },
         SceneRegistry::with_budget(1 << 30),
     ));

@@ -41,6 +41,7 @@ fn no_cache_server(budget: u64) -> RenderServer {
             cache_bytes: 0,
             pose_quant: 0.05,
             shard_bytes: 0,
+            ..ServeConfig::default()
         },
         SceneRegistry::with_budget(budget),
     )
@@ -236,6 +237,7 @@ fn expired_requests_are_answered_without_rendering() {
             cache_bytes: 0,
             pose_quant: 0.05,
             shard_bytes: 0,
+            ..ServeConfig::default()
         },
         SceneRegistry::with_budget(1 << 30),
     ));
