@@ -13,11 +13,15 @@
 //! (aggregate workers) and what cross-node fan-out costs (sequential layer
 //! hops per request).
 //!
-//! Usage: `cargo run --release -p gs-bench --bin cluster_scaling [--full]`
+//! Usage: `cargo run --release -p gs-bench --bin cluster_scaling
+//! [--full] [--seed <n>] [--out BENCH_cluster.json]`
+//!
+//! `--out` writes the machine-readable perf report (one scenario per
+//! (replicas × shards × workers) cell, see [`gs_bench::perf`]).
 
 use std::sync::Arc;
 
-use gs_bench::print_table;
+use gs_bench::{print_table, BenchArgs, BenchReport, BenchScenario};
 use gs_cluster::{ClusterConfig, ClusterStats, CompositeMode, Coordinator, ReplicaTransport};
 use gs_scene::tour::{TourConfig, TourScene};
 use gs_serve::{RenderServer, SceneRegistry, ServeConfig, WireRequest};
@@ -107,8 +111,8 @@ fn run(workload: &Workload, replicas: usize, shards: usize, workers: usize) -> C
 }
 
 fn main() {
-    let full = std::env::args().any(|a| a == "--full");
-    let workload = build_workload(full);
+    let args = BenchArgs::parse();
+    let workload = build_workload(args.full);
     let total = workload.clients * workload.requests_per_client;
     println!(
         "workload: {} gaussians, {} clients x {} closed-loop requests = {} per config",
@@ -119,6 +123,7 @@ fn main() {
     );
 
     let mut rows = Vec::new();
+    let mut report = BenchReport::new("cluster_scaling");
     let started = std::time::Instant::now();
     for &replicas in &[1usize, 2, 4] {
         for &shards in &[1usize, 2, 4] {
@@ -126,6 +131,17 @@ fn main() {
                 let run_started = std::time::Instant::now();
                 let stats = run(&workload, replicas, shards, workers);
                 let elapsed = run_started.elapsed().as_secs_f64();
+                report.push(BenchScenario {
+                    scenario: format!("replicas={replicas}/shards={shards}/workers={workers}"),
+                    throughput_rps: total as f64 / elapsed.max(1e-9),
+                    p50_ms: stats.latency.p50 * 1e3,
+                    p90_ms: stats.latency.p90 * 1e3,
+                    p99_ms: stats.latency.p99 * 1e3,
+                    hit_rate: stats.cache.hit_rate(),
+                    // The coordinator routes whole requests; batching lives
+                    // on the replicas and is not aggregated cluster-wide.
+                    mean_batch: 0.0,
+                });
                 rows.push(vec![
                     replicas.to_string(),
                     shards.to_string(),
@@ -163,4 +179,7 @@ fn main() {
          corridor views looking away from part of the scene.",
         started.elapsed().as_secs_f64()
     );
+    if let Some(path) = &args.out {
+        report.write(path).expect("perf report path is writable");
+    }
 }

@@ -6,11 +6,15 @@
 //! how the same multi-scene workload behaves under contention, which is the
 //! regime a production deployment of trained GS-Scale scenes lives in.
 //!
-//! Usage: `cargo run --release -p gs-bench --bin serve_scaling [--full]`
+//! Usage: `cargo run --release -p gs-bench --bin serve_scaling
+//! [--full] [--seed <n>] [--out BENCH_serve.json]`
+//!
+//! `--out` writes the machine-readable perf report (one scenario per
+//! sweep cell, see [`gs_bench::perf`]) for CI's perf trajectory.
 
 use std::sync::Arc;
 
-use gs_bench::print_table;
+use gs_bench::{print_table, BenchArgs, BenchReport, BenchScenario};
 use gs_core::rng::Rng64;
 use gs_scene::{SceneConfig, SceneDataset};
 use gs_serve::{RenderRequest, RenderServer, SceneRegistry, ServeConfig, ServeStats};
@@ -101,8 +105,8 @@ fn run(workload: &Workload, workers: usize, cache: bool, max_batch: usize) -> Se
 }
 
 fn main() {
-    let full = std::env::args().any(|a| a == "--full");
-    let workload = build_workload(full);
+    let args = BenchArgs::parse();
+    let workload = build_workload(args.full);
     let total = workload.clients * workload.requests_per_client;
     println!(
         "workload: {} scenes, {} clients x {} closed-loop requests = {} total",
@@ -113,6 +117,7 @@ fn main() {
     );
 
     let mut rows = Vec::new();
+    let mut report = BenchReport::new("serve_scaling");
     for &(cache, max_batch, label) in &[
         (false, 1usize, "no cache, no batching"),
         (false, 8, "no cache, batch<=8"),
@@ -124,6 +129,10 @@ fn main() {
             if workers == 1 {
                 base_rps = stats.throughput_rps();
             }
+            report.push(BenchScenario::from_serve_stats(
+                format!("{label}/workers={workers}"),
+                &stats,
+            ));
             rows.push(vec![
                 label.to_string(),
                 workers.to_string(),
@@ -153,4 +162,7 @@ fn main() {
          contention; the frame cache collapses popular-viewpoint traffic into hits, which\n\
          raises req/s and cuts p50 sharply while p99 tracks the residual cold renders."
     );
+    if let Some(path) = &args.out {
+        report.write(path).expect("perf report path is writable");
+    }
 }

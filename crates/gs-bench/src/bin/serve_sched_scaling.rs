@@ -20,12 +20,16 @@
 //! request sequence renders byte-identical frames under both policies —
 //! and asserts zero deadline-cap violations everywhere.
 //!
-//! Usage: `cargo run --release -p gs-bench --bin serve_sched_scaling [--full]`
+//! Usage: `cargo run --release -p gs-bench --bin serve_sched_scaling
+//! [--full] [--seed <n>] [--out BENCH_serve_sched.json]`
+//!
+//! `--out` writes the machine-readable perf report (one scenario per
+//! closed-loop cell plus the two paced rows, see [`gs_bench::perf`]).
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use gs_bench::print_table;
+use gs_bench::{print_table, BenchArgs, BenchReport, BenchScenario};
 use gs_core::rng::Rng64;
 use gs_scene::{SceneConfig, SceneDataset};
 use gs_serve::{
@@ -255,8 +259,8 @@ const HEADERS: [&str; 9] = [
 ];
 
 fn main() {
-    let full = std::env::args().any(|a| a == "--full");
-    let workload = build_workload(full);
+    let args = BenchArgs::parse();
+    let workload = build_workload(args.full);
     let total = workload.clients * workload.requests_per_client;
     println!(
         "workload: {} scenes, {} clients x {} closed-loop requests + {} paced requests",
@@ -269,6 +273,7 @@ fn main() {
 
     // Phase 1: closed-loop saturation.
     let mut rows = Vec::new();
+    let mut report = BenchReport::new("serve_sched_scaling");
     for &(scheduler, label) in &[
         (SchedulerPolicy::Fifo, "fifo"),
         (SchedulerPolicy::batch_aware(), "batch-aware"),
@@ -278,6 +283,10 @@ fn main() {
             assert_eq!(stats.expired, 0, "zero deadline-cap violations required");
             assert_eq!(stats.errors, 0);
             assert_eq!(stats.completed, total as u64);
+            report.push(BenchScenario::from_serve_stats(
+                format!("closed/{label}/workers={workers}"),
+                &stats,
+            ));
             rows.push(stats_row(label, workers, &stats));
         }
     }
@@ -350,4 +359,12 @@ fn main() {
          larger batches, more shared cull/gather work per pass, and bounded extra p50.\n\
          Expired stays 0 in every cell: no request is ever held past its cap."
     );
+    if let Some(path) = &args.out {
+        report.push(BenchScenario::from_serve_stats("paced/fifo", &fifo));
+        report.push(BenchScenario::from_serve_stats(
+            "paced/batch-aware",
+            &batch_aware,
+        ));
+        report.write(path).expect("perf report path is writable");
+    }
 }

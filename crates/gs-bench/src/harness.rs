@@ -48,13 +48,67 @@ impl ExperimentScale {
     }
 
     /// Reads the scale from the process arguments (`--full` selects
-    /// [`ExperimentScale::full`]).
+    /// [`ExperimentScale::full`], `--seed <n>` overrides the seed).
     pub fn from_args() -> Self {
-        if std::env::args().any(|a| a == "--full") {
+        Self::from_bench_args(&BenchArgs::parse())
+    }
+
+    /// The scale the shared [`BenchArgs`] select.
+    pub fn from_bench_args(args: &BenchArgs) -> Self {
+        let mut scale = if args.full {
             Self::full()
         } else {
             Self::quick()
+        };
+        if let Some(seed) = args.seed {
+            scale.seed = seed;
         }
+        scale
+    }
+}
+
+/// The command-line arguments every benchmark binary shares, replacing the
+/// ad-hoc per-binary `std::env::args().any(..)` scans:
+///
+/// * `--full` — run the larger workload instead of the CI-sized one.
+/// * `--seed <n>` — override the deterministic seed.
+/// * `--out <path>` — write the machine-readable perf report
+///   ([`crate::perf::BenchReport`]) to `<path>` (by convention
+///   `BENCH_<name>.json`).
+///
+/// Unknown arguments are ignored so binaries can keep private flags.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BenchArgs {
+    /// `--full` was passed.
+    pub full: bool,
+    /// The `--seed` override, if any.
+    pub seed: Option<u64>,
+    /// The `--out` report path, if any.
+    pub out: Option<std::path::PathBuf>,
+}
+
+impl BenchArgs {
+    /// Parses the process arguments.
+    pub fn parse() -> Self {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument list (tests, wrappers).
+    pub fn parse_from<I>(args: I) -> Self
+    where
+        I: IntoIterator<Item = String>,
+    {
+        let mut parsed = Self::default();
+        let mut args = args.into_iter();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--full" => parsed.full = true,
+                "--seed" => parsed.seed = args.next().and_then(|v| v.parse().ok()),
+                "--out" => parsed.out = args.next().map(Into::into),
+                _ => {}
+            }
+        }
+        parsed
     }
 }
 
@@ -210,5 +264,32 @@ mod tests {
     fn formatting_helpers_are_stable() {
         assert_eq!(fmt_gb(2_000_000_000), "2.00");
         assert_eq!(fmt_ratio(3.456), "3.46x");
+    }
+
+    #[test]
+    fn bench_args_parse_the_shared_flags() {
+        let args = |list: &[&str]| BenchArgs::parse_from(list.iter().map(|s| s.to_string()));
+        assert_eq!(args(&[]), BenchArgs::default());
+        let parsed = args(&[
+            "--full",
+            "--seed",
+            "42",
+            "--out",
+            "BENCH_x.json",
+            "--mystery",
+        ]);
+        assert!(parsed.full);
+        assert_eq!(parsed.seed, Some(42));
+        assert_eq!(
+            parsed.out.as_deref(),
+            Some(std::path::Path::new("BENCH_x.json"))
+        );
+        // A missing or malformed value degrades to None, not a panic.
+        assert_eq!(args(&["--seed"]).seed, None);
+        assert_eq!(args(&["--seed", "nope"]).seed, None);
+        // --seed overrides only the seed; --full picks the larger scale.
+        let scale = ExperimentScale::from_bench_args(&args(&["--seed", "9"]));
+        assert_eq!(scale.seed, 9);
+        assert_eq!(scale.iterations, ExperimentScale::quick().iterations);
     }
 }

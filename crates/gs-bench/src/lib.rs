@@ -5,16 +5,28 @@
 //! corresponding rows/series (see DESIGN.md for the experiment index and
 //! EXPERIMENTS.md for paper-vs-measured results). The [`harness`] module
 //! holds the shared machinery: scene construction at a runnable scale,
-//! trainer construction per system, throughput measurement and table
-//! formatting. Criterion micro-benchmarks for the individual kernels and
-//! optimizers live under `benches/`.
+//! trainer construction per system, throughput measurement, the shared
+//! CLI flags ([`BenchArgs`]) and table formatting. [`perf`] adds the
+//! machine-readable `BENCH_<name>.json` perf-trajectory reports, and
+//! [`replay`] the deterministic workload replayer driving captured
+//! [`gs_trace::Trace`]s back through a `RenderServer` or a cluster
+//! `Coordinator` (see the `trace_replay` binary). Criterion
+//! micro-benchmarks for the individual kernels and optimizers live under
+//! `benches/`.
 
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod harness;
+pub mod perf;
+pub mod replay;
 
 pub use harness::{
     build_offload_options, build_scene, fmt_gb, fmt_ratio, initial_params, measure_run,
-    print_table, quality_after_training, ExperimentScale,
+    print_table, quality_after_training, BenchArgs, ExperimentScale,
+};
+pub use perf::{BenchReport, BenchScenario};
+pub use replay::{
+    fnv1a, hash_image, predict_from_phases, replay, replay_events, PhasePrediction, ReplayConfig,
+    ReplayMode, ReplayReport, ReplayTarget, ReplayedRequest,
 };

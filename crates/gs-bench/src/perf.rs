@@ -1,0 +1,217 @@
+//! The machine-readable perf trajectory: `BENCH_<name>.json` reports.
+//!
+//! Every serving benchmark binary can emit its headline numbers as a small
+//! JSON document (`--out BENCH_<name>.json`), so a CI run leaves behind a
+//! comparable artifact per benchmark instead of only human-formatted
+//! tables. The schema is deliberately flat and stable:
+//!
+//! ```json
+//! {
+//!   "bench": "serve_scaling",
+//!   "scenarios": [
+//!     {
+//!       "scenario": "cache+batch8/workers=4",
+//!       "throughput_rps": 812.4,
+//!       "p50_ms": 3.1,
+//!       "p90_ms": 6.0,
+//!       "p99_ms": 9.8,
+//!       "hit_rate": 0.62,
+//!       "mean_batch": 2.4
+//!     }
+//!   ]
+//! }
+//! ```
+//!
+//! The writer is hand-rolled (the workspace is std-only); values are always
+//! finite (`NaN`/`Inf` are written as `0`) so the output is strict JSON.
+
+use std::io;
+use std::path::Path;
+
+use gs_serve::ServeStats;
+
+/// One measured configuration of a benchmark.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BenchScenario {
+    /// Configuration label, unique within the report.
+    pub scenario: String,
+    /// Completed requests per wall-clock second.
+    pub throughput_rps: f64,
+    /// Median request latency in milliseconds.
+    pub p50_ms: f64,
+    /// 90th-percentile latency in milliseconds.
+    pub p90_ms: f64,
+    /// 99th-percentile latency in milliseconds.
+    pub p99_ms: f64,
+    /// Frame-cache hit rate in `[0, 1]` (0 when the cache is off).
+    pub hit_rate: f64,
+    /// Mean rendered batch size (0 when nothing was batched).
+    pub mean_batch: f64,
+}
+
+impl BenchScenario {
+    /// The scenario a [`ServeStats`] snapshot measures.
+    pub fn from_serve_stats(scenario: impl Into<String>, stats: &ServeStats) -> Self {
+        Self {
+            scenario: scenario.into(),
+            throughput_rps: stats.throughput_rps(),
+            p50_ms: stats.latency.p50 * 1e3,
+            p90_ms: stats.latency.p90 * 1e3,
+            p99_ms: stats.latency.p99 * 1e3,
+            hit_rate: stats.cache.hit_rate(),
+            mean_batch: stats.mean_batch_size(),
+        }
+    }
+}
+
+/// A benchmark's full perf report: one [`BenchScenario`] per configuration.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BenchReport {
+    /// Benchmark name (`serve_scaling`, `cluster_scaling`, ...).
+    pub bench: String,
+    /// Measured configurations, in sweep order.
+    pub scenarios: Vec<BenchScenario>,
+}
+
+impl BenchReport {
+    /// An empty report for `bench`.
+    pub fn new(bench: impl Into<String>) -> Self {
+        Self {
+            bench: bench.into(),
+            scenarios: Vec::new(),
+        }
+    }
+
+    /// Appends one measured scenario.
+    pub fn push(&mut self, scenario: BenchScenario) {
+        self.scenarios.push(scenario);
+    }
+
+    /// Serializes the report as strict JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"bench\": {},\n", json_str(&self.bench)));
+        out.push_str("  \"scenarios\": [\n");
+        for (i, s) in self.scenarios.iter().enumerate() {
+            out.push_str("    {\n");
+            out.push_str(&format!("      \"scenario\": {},\n", json_str(&s.scenario)));
+            out.push_str(&format!(
+                "      \"throughput_rps\": {},\n",
+                json_num(s.throughput_rps)
+            ));
+            out.push_str(&format!("      \"p50_ms\": {},\n", json_num(s.p50_ms)));
+            out.push_str(&format!("      \"p90_ms\": {},\n", json_num(s.p90_ms)));
+            out.push_str(&format!("      \"p99_ms\": {},\n", json_num(s.p99_ms)));
+            out.push_str(&format!("      \"hit_rate\": {},\n", json_num(s.hit_rate)));
+            out.push_str(&format!(
+                "      \"mean_batch\": {}\n",
+                json_num(s.mean_batch)
+            ));
+            out.push_str(if i + 1 == self.scenarios.len() {
+                "    }\n"
+            } else {
+                "    },\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Writes the JSON report to `path` (creating parent directories, so
+    /// `--out perf-reports/BENCH_x.json` works in a fresh CI checkout) and
+    /// prints where it went.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the filesystem error.
+    pub fn write(&self, path: &Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(path, self.to_json())?;
+        println!(
+            "\nwrote perf report: {} ({} scenario(s))",
+            path.display(),
+            self.scenarios.len()
+        );
+        Ok(())
+    }
+}
+
+/// A finite JSON number (`NaN`/`Inf` degrade to `0`).
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+/// A JSON string literal with the mandatory escapes.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_serializes_as_strict_json() {
+        let mut report = BenchReport::new("serve_scaling");
+        report.push(BenchScenario {
+            scenario: "cache/workers=1".to_string(),
+            throughput_rps: 123.5,
+            p50_ms: 3.25,
+            p90_ms: 5.5,
+            p99_ms: 9.0,
+            hit_rate: 0.5,
+            mean_batch: 1.75,
+        });
+        report.push(BenchScenario {
+            scenario: "weird \"label\"\\".to_string(),
+            throughput_rps: f64::NAN,
+            ..BenchScenario::default()
+        });
+        let json = report.to_json();
+        assert!(json.contains("\"bench\": \"serve_scaling\""));
+        assert!(json.contains("\"throughput_rps\": 123.5"));
+        // Non-finite numbers degrade to 0, never to invalid JSON tokens.
+        assert!(!json.contains("NaN"));
+        assert!(json.contains("\"weird \\\"label\\\"\\\\\""));
+        // Balanced braces/brackets and no trailing commas before closers.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(!json.contains(",\n    }\n"));
+        assert!(!json.contains(",\n  ]"));
+    }
+
+    #[test]
+    fn write_lands_on_disk() {
+        let dir = std::env::temp_dir().join(format!("gs_bench_perf_{}", std::process::id()));
+        // No create_dir_all here: write() must create missing parents itself.
+        let path = dir.join("perf-reports").join("BENCH_test.json");
+        let report = BenchReport::new("test");
+        report.write(&path).unwrap();
+        let read = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(read, report.to_json());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -32,9 +32,10 @@ use gs_core::gaussian::GaussianParams;
 use gs_core::image::Image;
 use gs_render::rasterize::FrameLayer;
 use gs_serve::{
-    shard_scene, visible_shards, Aabb, CachePolicyKind, FrameCache, FrameKey, SceneId, ServeError,
-    StatsCollector, WireRequest,
+    outcome_for_error, shard_scene, visible_shards, Aabb, CachePolicyKind, FrameCache, FrameKey,
+    SceneId, ServeError, StatsCollector, WireRequest,
 };
+use gs_trace::{Outcome, TraceRecorder};
 
 use crate::placement::{
     pick_replica, Hold, PlacementCandidate, SceneHold, ScenePlacement, ShardHold,
@@ -230,6 +231,10 @@ pub struct Coordinator {
     /// replica-tier [`FrameCache`] + [`gs_serve::CachePolicy`] machinery
     /// with the same key scheme, one tier up.
     cache: Option<Mutex<CoordCache>>,
+    /// Optional workload-capture hook (see [`Coordinator::set_recorder`]):
+    /// every render answered by the coordinator — cache hit, completion or
+    /// error — is appended as a [`gs_trace::TraceEvent`].
+    recorder: Mutex<Option<Arc<TraceRecorder>>>,
 }
 
 /// The coordinator cache plus per-scene load epochs under one lock: a frame
@@ -267,6 +272,20 @@ fn failover_worthy(e: &ReplicaError) -> bool {
     )
 }
 
+/// The trace [`Outcome`] a [`ClusterError`] records as. Replica-side
+/// service errors map exactly like the single-node front-end
+/// ([`gs_serve::outcome_for_error`]); cluster-only failures fold into the
+/// closest trace category (`NoCapacity` is an admission rejection, an
+/// `Exhausted` failover chain is an infrastructure error).
+pub fn outcome_for_cluster_error(err: &ClusterError) -> Outcome {
+    match err {
+        ClusterError::NoCapacity { .. } => Outcome::Rejected,
+        ClusterError::Serve(e) => outcome_for_error(e),
+        ClusterError::UnknownScene(_) | ClusterError::SceneExists(_) => Outcome::Error,
+        ClusterError::Exhausted { .. } => Outcome::Error,
+    }
+}
+
 /// Outcome of reloading a lost placement onto its current replica.
 enum Repair {
     /// The copy is back; retry the request there.
@@ -298,7 +317,16 @@ impl Coordinator {
             collector: StatsCollector::new(1),
             counters: Counters::default(),
             cache,
+            recorder: Mutex::new(None),
         }
+    }
+
+    /// Installs a workload recorder: from now on every render answered by
+    /// [`Coordinator::render`] is captured as a trace event (scene, client,
+    /// pose, deadline, outcome, latency), timestamped on the recorder's
+    /// clock at arrival.
+    pub fn set_recorder(&self, recorder: Arc<TraceRecorder>) {
+        *self.recorder.lock().unwrap() = Some(recorder);
     }
 
     /// Drops every coordinator-cached frame of `scene` and mints it a fresh
@@ -777,6 +805,15 @@ impl Coordinator {
     /// [`ClusterError::Serve`] for replica-side service errors.
     pub fn render(&self, request: &WireRequest) -> Result<ClusterFrame, ClusterError> {
         let started = Instant::now();
+        let recorder = self.recorder.lock().unwrap().clone();
+        let arrival_us = recorder.as_deref().map_or(0, TraceRecorder::now_us);
+        let record = |outcome: Outcome| {
+            if let Some(rec) = &recorder {
+                let client = request.client.as_deref().unwrap_or("unknown");
+                let latency = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+                rec.record(request.to_trace_event(client, arrival_us, outcome, latency));
+            }
+        };
         // One counted lookup per request: a hit short-circuits before
         // routing; a miss remembers the scene's load epoch so the rendered
         // frame is only inserted if the scene was not replaced mid-flight.
@@ -789,6 +826,7 @@ impl Coordinator {
                     drop(guard);
                     let latency = started.elapsed();
                     self.collector.record_fast_hit(latency);
+                    record(Outcome::CacheHit);
                     return Ok(ClusterFrame {
                         image,
                         scene: request.scene.clone(),
@@ -815,8 +853,12 @@ impl Coordinator {
                         guard.cache.insert(key, Arc::clone(&frame.image));
                     }
                 }
+                record(Outcome::Completed);
             }
-            Err(_) => self.collector.record_error(),
+            Err(e) => {
+                self.collector.record_error();
+                record(outcome_for_cluster_error(e));
+            }
         }
         result
     }

@@ -52,7 +52,7 @@ fn status_for_cluster_error(err: &ClusterError) -> u16 {
 }
 
 impl HttpHandler for ClusterHandler {
-    fn handle(&self, req: &HttpRequest, _conn: &mut Conn<'_>) -> HttpResponse {
+    fn handle(&self, req: &HttpRequest, conn: &mut Conn<'_>) -> HttpResponse {
         match (req.method.as_str(), req.path.as_str()) {
             ("GET", "/stats") => HttpResponse::text(200, self.coordinator.stats().to_string()),
             ("GET", "/healthz") => HttpResponse::text(200, "ok\n"),
@@ -82,7 +82,7 @@ impl HttpHandler for ClusterHandler {
                 }
                 HttpResponse::text(200, body)
             }
-            ("POST", "/render") => self.render_route(&req.body),
+            ("POST", "/render") => self.render_route(req, conn),
             ("POST", path) if path.strip_prefix("/scenes/").is_some() => {
                 let id = path.strip_prefix("/scenes/").unwrap_or_default();
                 self.load_scene_route(id, &req.body)
@@ -99,15 +99,25 @@ impl HttpHandler for ClusterHandler {
 }
 
 impl ClusterHandler {
-    fn render_route(&self, body: &[u8]) -> HttpResponse {
-        let text = match std::str::from_utf8(body) {
+    fn render_route(&self, req: &HttpRequest, conn: &mut Conn<'_>) -> HttpResponse {
+        let text = match std::str::from_utf8(&req.body) {
             Ok(t) => t,
             Err(_) => return HttpResponse::text(400, "bad request: body is not UTF-8\n"),
         };
-        let wire_req = match WireRequest::parse(text) {
+        let mut wire_req = match WireRequest::parse(text) {
             Ok(r) => r,
             Err(e) => return HttpResponse::text(400, format!("{e}\n")),
         };
+        // Same client-id resolution as the single-node front-end: the body's
+        // `client` key wins, then the `X-Client-Id` header, then the peer
+        // address (workload capture attributes the request to a session).
+        if wire_req.client.is_none() {
+            wire_req.client = req
+                .headers
+                .get("x-client-id")
+                .cloned()
+                .or_else(|| conn.peer_addr());
+        }
         let frame = match self.coordinator.render(&wire_req) {
             Ok(frame) => frame,
             Err(e) => return HttpResponse::text(status_for_cluster_error(&e), format!("{e}\n")),

@@ -75,7 +75,8 @@ pub mod replica;
 pub mod stats;
 
 pub use coordinator::{
-    ClusterConfig, ClusterError, ClusterFrame, CompositeMode, Coordinator, LoadClaim, ReplicaStatus,
+    outcome_for_cluster_error, ClusterConfig, ClusterError, ClusterFrame, CompositeMode,
+    Coordinator, LoadClaim, ReplicaStatus,
 };
 pub use http::bind as bind_http;
 pub use placement::{pick_replica, PlacementCandidate, ScenePlacement};

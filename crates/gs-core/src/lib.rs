@@ -17,6 +17,10 @@
 //! * [`scene`] — point clouds and scene initialization from SfM-like inputs.
 //! * [`sketch`] — probabilistic frequency sketches (count-min + doorkeeper)
 //!   for TinyLFU-style cache admission in the serving tier.
+//! * [`rng`] — the deterministic workspace RNG ([`Rng64`]) plus a seeded
+//!   [`Zipf`] sampler for power-law scene popularity.
+//! * [`kmeans`] — seeded k-means clustering for SimPoint-style trace
+//!   reduction in the serving tier.
 //! * [`error`] — the crate-wide error type.
 //!
 //! # Example
@@ -39,6 +43,7 @@ pub mod camera;
 pub mod error;
 pub mod gaussian;
 pub mod image;
+pub mod kmeans;
 pub mod math;
 pub mod rng;
 pub mod scene;
@@ -49,7 +54,8 @@ pub use camera::Camera;
 pub use error::{Error, Result};
 pub use gaussian::{GaussianGrads, GaussianParams};
 pub use image::Image;
+pub use kmeans::{kmeans, KMeans};
 pub use math::{Mat3, Quat, Vec2, Vec3, Vec4};
-pub use rng::Rng64;
+pub use rng::{Rng64, Zipf};
 pub use scene::PointCloud;
 pub use sketch::{CountMinSketch, Doorkeeper, FrequencySketch};

@@ -131,6 +131,69 @@ macro_rules! impl_sample_int {
 
 impl_sample_int!(usize, u64, u32, i64, i32);
 
+/// A seeded Zipf (power-law) sampler over the ranks `0..n`.
+///
+/// Rank `i` is drawn with probability proportional to `1 / (i + 1)^s`.
+/// Web-style scene popularity is classically Zipfian (a handful of hot
+/// scenes dominate, with a long cold tail), so the serving load generators
+/// use this to shape synthetic traffic. The CDF is precomputed once and
+/// each sample is a binary search, so sampling is `O(log n)`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds a sampler over `n` ranks with exponent `s`.
+    ///
+    /// `s = 0` degenerates to the uniform distribution; `s ≈ 1` is the
+    /// classic Zipf shape. # Panics if `n == 0` or `s` is not finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf over zero ranks");
+        assert!(s.is_finite(), "Zipf exponent must be finite");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        // Guard against the last entry rounding below 1.0, which would make
+        // a gen_f64() draw of ~0.999..9 fall off the end of the table.
+        *cdf.last_mut().unwrap() = 1.0;
+        Self { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True when the sampler has exactly one rank (it then always returns 0).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Probability mass of rank `i`.
+    pub fn pmf(&self, i: usize) -> f64 {
+        let hi = self.cdf[i];
+        let lo = if i == 0 { 0.0 } else { self.cdf[i - 1] };
+        hi - lo
+    }
+
+    /// Draws one rank in `0..len()`.
+    pub fn sample(&self, rng: &mut Rng64) -> usize {
+        let u = rng.gen_f64();
+        // First index whose CDF value exceeds the draw.
+        self.cdf
+            .partition_point(|&c| c <= u)
+            .min(self.cdf.len() - 1)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -202,5 +265,56 @@ mod tests {
     fn empty_range_panics() {
         let mut rng = Rng64::seed_from_u64(6);
         let _ = rng.gen_range(1.0f32..1.0);
+    }
+
+    #[test]
+    fn zipf_empirical_frequency_matches_pmf() {
+        let zipf = Zipf::new(16, 1.0);
+        let mut rng = Rng64::seed_from_u64(42);
+        let draws = 200_000usize;
+        let mut counts = [0usize; 16];
+        for _ in 0..draws {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let expected = zipf.pmf(i);
+            let observed = c as f64 / draws as f64;
+            // 200k draws: absolute error at each rank should be well under
+            // one percentage point; the hot head gets a relative check too.
+            assert!(
+                (observed - expected).abs() < 0.01,
+                "rank {i}: observed {observed:.4} vs pmf {expected:.4}"
+            );
+            if expected > 0.05 {
+                assert!(
+                    (observed / expected - 1.0).abs() < 0.1,
+                    "rank {i}: observed {observed:.4} vs pmf {expected:.4}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zipf_is_deterministic_and_ordered() {
+        let zipf = Zipf::new(64, 1.2);
+        let mut a = Rng64::seed_from_u64(9);
+        let mut b = Rng64::seed_from_u64(9);
+        for _ in 0..256 {
+            assert_eq!(zipf.sample(&mut a), zipf.sample(&mut b));
+        }
+        // The pmf must be monotone decreasing in rank for s > 0.
+        for i in 1..zipf.len() {
+            assert!(zipf.pmf(i) <= zipf.pmf(i - 1));
+        }
+        let total: f64 = (0..zipf.len()).map(|i| zipf.pmf(i)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zipf_exponent_zero_is_uniform() {
+        let zipf = Zipf::new(8, 0.0);
+        for i in 0..8 {
+            assert!((zipf.pmf(i) - 0.125).abs() < 1e-12);
+        }
     }
 }

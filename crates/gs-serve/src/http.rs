@@ -50,6 +50,8 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use gs_trace::{Outcome, TraceRecorder};
+
 use crate::request::{CancelToken, ServeError};
 use crate::server::RenderServer;
 use crate::stats::ConnectionStats;
@@ -128,7 +130,36 @@ impl HttpServer {
     ///
     /// Propagates the bind failure.
     pub fn bind(config: HttpConfig, server: Arc<RenderServer>) -> io::Result<Self> {
-        Self::bind_with(config, Arc::new(ServeHandler { server }))
+        Self::bind_with(
+            config,
+            Arc::new(ServeHandler {
+                server,
+                recorder: None,
+            }),
+        )
+    }
+
+    /// Like [`HttpServer::bind`], but with workload capture: every
+    /// `POST /render` the front-end answers is recorded into `recorder`
+    /// (scene, pose, deadline, arrival time, client id, outcome, latency).
+    /// The caller keeps its own [`TraceRecorder`] handle and snapshots the
+    /// [`gs_trace::Trace`] whenever it wants.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind_recorded(
+        config: HttpConfig,
+        server: Arc<RenderServer>,
+        recorder: Arc<TraceRecorder>,
+    ) -> io::Result<Self> {
+        Self::bind_with(
+            config,
+            Arc::new(ServeHandler {
+                server,
+                recorder: Some(recorder),
+            }),
+        )
     }
 
     /// Binds the listener with a custom routing layer — how services other
@@ -354,6 +385,13 @@ impl Conn<'_> {
     /// Whether the front-end is shutting down.
     pub fn stopping(&self) -> bool {
         self.stop.load(Ordering::SeqCst)
+    }
+
+    /// The client's socket address, if the OS can still name it — the
+    /// fallback client/session id for workload capture when a request
+    /// carries neither a `client` body key nor an `X-Client-Id` header.
+    pub fn peer_addr(&self) -> Option<String> {
+        self.stream.peer_addr().ok().map(|a| a.to_string())
     }
 
     /// Probes the client socket without consuming request data: returns
@@ -700,6 +738,8 @@ pub fn status_for_error(err: &ServeError) -> u16 {
 /// installs).
 struct ServeHandler {
     server: Arc<RenderServer>,
+    /// Workload capture (see [`HttpServer::bind_recorded`]); `None` = off.
+    recorder: Option<Arc<TraceRecorder>>,
 }
 
 impl HttpHandler for ServeHandler {
@@ -740,7 +780,7 @@ impl HttpHandler for ServeHandler {
                 HttpResponse::text(200, body)
             }
             ("GET", "/healthz") => HttpResponse::text(200, "ok\n"),
-            ("POST", "/render") => render_route(server, &req.body, conn),
+            ("POST", "/render") => render_route(server, self.recorder.as_deref(), req, conn),
             ("POST", "/render_layer") => render_layer_route(server, &req.body),
             ("POST", path) if path.strip_prefix("/scenes/").is_some() => {
                 let id = path.strip_prefix("/scenes/").unwrap_or_default();
@@ -841,14 +881,59 @@ fn load_scene_route(server: &RenderServer, id: &str, body: &[u8]) -> HttpRespons
     }
 }
 
-fn render_route(server: &RenderServer, body: &[u8], conn: &mut Conn<'_>) -> HttpResponse {
-    let text = match std::str::from_utf8(body) {
+/// The [`Outcome`] a [`ServeError`] records as.
+pub fn outcome_for_error(err: &ServeError) -> Outcome {
+    match err {
+        ServeError::DeadlineExceeded => Outcome::Expired,
+        ServeError::Cancelled => Outcome::Cancelled,
+        ServeError::ShuttingDown | ServeError::Admission(_) => Outcome::Rejected,
+        ServeError::UnknownScene(_)
+        | ServeError::UnknownShard(_, _)
+        | ServeError::SceneExists(_) => Outcome::Error,
+    }
+}
+
+/// Resolves the client/session id workload capture attributes a request
+/// to: the body's `client` key wins, then the `X-Client-Id` header, then
+/// the peer address.
+fn resolve_client(wire_req: &WireRequest, req: &HttpRequest, conn: &mut Conn<'_>) -> String {
+    wire_req
+        .client
+        .clone()
+        .or_else(|| req.headers.get("x-client-id").cloned())
+        .or_else(|| conn.peer_addr())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn render_route(
+    server: &RenderServer,
+    recorder: Option<&TraceRecorder>,
+    req: &HttpRequest,
+    conn: &mut Conn<'_>,
+) -> HttpResponse {
+    let text = match std::str::from_utf8(&req.body) {
         Ok(t) => t,
         Err(_) => return HttpResponse::text(400, "bad request: body is not UTF-8\n"),
     };
     let wire_req = match WireRequest::parse(text) {
         Ok(r) => r,
         Err(e) => return HttpResponse::text(400, format!("{e}\n")),
+    };
+    // Capture support: the arrival timestamp is stamped before the request
+    // queues, the event is recorded (with its outcome and latency) on every
+    // answer path below.
+    let arrival_us = recorder.map_or(0, TraceRecorder::now_us);
+    let started = Instant::now();
+    let client = recorder.map(|_| resolve_client(&wire_req, req, conn));
+    let record = |outcome: Outcome| {
+        if let (Some(recorder), Some(client)) = (recorder, &client) {
+            recorder.record(wire_req.to_trace_event(
+                client,
+                arrival_us,
+                outcome,
+                started.elapsed().as_micros() as u64,
+            ));
+        }
     };
     // Submit with a cancel token, then wait while watching the client
     // socket: if the client disconnects while the job is queued, the token
@@ -859,7 +944,10 @@ fn render_route(server: &RenderServer, body: &[u8], conn: &mut Conn<'_>) -> Http
     let render_req = wire_req.to_render_request().with_cancel(cancel.clone());
     let mut ticket = match server.submit(render_req) {
         Ok(ticket) => ticket,
-        Err(e) => return HttpResponse::text(status_for_error(&e), format!("{e}\n")),
+        Err(e) => {
+            record(outcome_for_error(&e));
+            return HttpResponse::text(status_for_error(&e), format!("{e}\n"));
+        }
     };
     let result = loop {
         match ticket.wait_timeout(POLL_INTERVAL) {
@@ -868,6 +956,7 @@ fn render_route(server: &RenderServer, body: &[u8], conn: &mut Conn<'_>) -> Http
                 ticket = pending;
                 if conn.client_disconnected() || conn.stopping() {
                     cancel.cancel();
+                    record(Outcome::Cancelled);
                     return HttpResponse::text(503, "client disconnected\n");
                 }
             }
@@ -875,8 +964,16 @@ fn render_route(server: &RenderServer, body: &[u8], conn: &mut Conn<'_>) -> Http
     };
     let frame = match result {
         Ok(frame) => frame,
-        Err(e) => return HttpResponse::text(status_for_error(&e), format!("{e}\n")),
+        Err(e) => {
+            record(outcome_for_error(&e));
+            return HttpResponse::text(status_for_error(&e), format!("{e}\n"));
+        }
     };
+    record(if frame.cache_hit {
+        Outcome::CacheHit
+    } else {
+        Outcome::Completed
+    });
     let body = match wire_req.format {
         WireFormat::RawF32 => wire::encode_raw_f32(&frame.image),
         WireFormat::Ppm => wire::encode_ppm(&frame.image),

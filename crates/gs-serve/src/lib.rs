@@ -83,7 +83,9 @@ pub mod stats;
 pub mod wire;
 
 pub use cache::{CachePolicy, CachePolicyKind, CacheStats, FrameCache, FrameKey, QuantizedPose};
-pub use http::{Conn, HttpConfig, HttpHandler, HttpRequest, HttpResponse, HttpServer};
+pub use http::{
+    outcome_for_error, Conn, HttpConfig, HttpHandler, HttpRequest, HttpResponse, HttpServer,
+};
 pub use queue::BoundedQueue;
 pub use registry::{
     LoadedScene, RegistryStats, SceneLayout, SceneRegistry, SceneView, ShardResidency, ShardView,

@@ -90,6 +90,10 @@ pub struct RenderRequest {
     /// whose token is cancelled is answered with [`ServeError::Cancelled`]
     /// and counted as `cancelled` in the service stats, never rendered.
     pub cancel: Option<CancelToken>,
+    /// Optional client/session id, used by workload capture to attribute
+    /// requests to sessions. The HTTP front-end fills it from the body's
+    /// `client` key, the `X-Client-Id` header, or the peer address.
+    pub client: Option<String>,
 }
 
 impl RenderRequest {
@@ -104,6 +108,7 @@ impl RenderRequest {
             sh_degree: 3,
             deadline: None,
             cancel: None,
+            client: None,
         }
     }
 
@@ -116,6 +121,12 @@ impl RenderRequest {
     /// Attaches a cancel token (the caller keeps a clone to trigger it).
     pub fn with_cancel(mut self, token: CancelToken) -> Self {
         self.cancel = Some(token);
+        self
+    }
+
+    /// Attaches a client/session id.
+    pub fn with_client(mut self, client: impl Into<String>) -> Self {
+        self.client = Some(client.into());
         self
     }
 

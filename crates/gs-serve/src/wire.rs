@@ -17,8 +17,10 @@
 //!
 //! is equivalent to `{"scene": "city", "pos": 0 0 -8, ...}`. Required keys
 //! are `scene`, `pos`, `target` and `size`; `up` (default `0 1 0`), `fov`
-//! (default 1.0 rad), `viewport` (default full image), `sh` (default 3) and
-//! `format` (`raw` | `ppm`, default `raw`) are optional.
+//! (default 1.0 rad), `viewport` (default full image), `sh` (default 3),
+//! `format` (`raw` | `ppm`, default `raw`) and `client` (a session id for
+//! workload capture; defaults to the `X-Client-Id` header, then the peer
+//! address) are optional.
 //!
 //! Responses are binary frames:
 //!
@@ -130,6 +132,10 @@ pub struct WireRequest {
     /// single shard of a sharded scene as a partial-frame layer. Ignored by
     /// `POST /render`.
     pub shard: Option<usize>,
+    /// Optional client/session id (same charset rules as scene ids). The
+    /// HTTP front-ends fall back to the `X-Client-Id` header and then the
+    /// peer address, so workload capture can always attribute sessions.
+    pub client: Option<String>,
 }
 
 impl WireRequest {
@@ -154,6 +160,7 @@ impl WireRequest {
             format: WireFormat::default(),
             deadline_ms: None,
             shard: None,
+            client: None,
         }
     }
 
@@ -178,6 +185,7 @@ impl WireRequest {
         let mut format = WireFormat::default();
         let mut deadline_ms: Option<u64> = None;
         let mut shard: Option<usize> = None;
+        let mut client: Option<String> = None;
 
         use {parse_floats as floats, parse_uints as uints};
         while let Some(key) = tokens.next() {
@@ -205,6 +213,12 @@ impl WireRequest {
                     deadline_ms = Some(uints::<1>(&mut tokens, "deadline_ms")?[0] as u64)
                 }
                 "shard" => shard = Some(uints::<1>(&mut tokens, "shard")?[0]),
+                "client" => {
+                    let id = tokens
+                        .next()
+                        .ok_or_else(|| err("key \"client\" is missing its id"))?;
+                    client = Some(id.to_string());
+                }
                 "format" => {
                     format = match tokens.next() {
                         Some("raw") => WireFormat::RawF32,
@@ -238,6 +252,7 @@ impl WireRequest {
             format,
             deadline_ms,
             shard,
+            client,
         };
         req.validate()?;
         Ok(req)
@@ -256,6 +271,13 @@ impl WireRequest {
         if !valid_scene_id(&self.scene) {
             return Err(err(
                 "scene id must be non-empty, without whitespace or { } \" : , /",
+            ));
+        }
+        // Client ids share the scene-id charset (and must survive the same
+        // round trip); unlike scenes they are optional.
+        if self.client.as_deref().is_some_and(|c| !valid_scene_id(c)) {
+            return Err(err(
+                "client id must be non-empty, without whitespace or { } \" : , /",
             ));
         }
         if self.width == 0 || self.height == 0 {
@@ -317,6 +339,13 @@ impl WireRequest {
         if let Some(k) = self.shard {
             body.push_str(&format!("shard {k}\n"));
         }
+        // Peer-address-derived ids (they contain `:`) are local attribution
+        // only — emitting them would fail the receiving side's validation.
+        if let Some(c) = &self.client {
+            if valid_scene_id(c) {
+                body.push_str(&format!("client {c}\n"));
+            }
+        }
         body.push_str(match self.format {
             WireFormat::RawF32 => "format raw\n",
             WireFormat::Ppm => "format ppm\n",
@@ -357,6 +386,58 @@ impl WireRequest {
                 .deadline_ms
                 .map(|ms| Instant::now() + Duration::from_millis(ms)),
             cancel: None,
+            client: self.client.clone(),
+        }
+    }
+
+    /// The [`gs_trace::TraceEvent`] this request records as: `client` is
+    /// the resolved session id (body key, header or peer address),
+    /// `at_us` the arrival timestamp from the recorder's clock, and
+    /// `outcome`/`latency_us` how the service answered. Viewport and
+    /// response format are capture-lossy by design — replay re-renders full
+    /// frames.
+    pub fn to_trace_event(
+        &self,
+        client: &str,
+        at_us: u64,
+        outcome: gs_trace::Outcome,
+        latency_us: u64,
+    ) -> gs_trace::TraceEvent {
+        gs_trace::TraceEvent {
+            at_us,
+            scene: self.scene.clone(),
+            client: client.to_string(),
+            position: self.position,
+            target: self.target,
+            up: self.up,
+            fov_x: self.fov_x,
+            width: self.width as u32,
+            height: self.height as u32,
+            sh_degree: self.sh_degree.min(u8::MAX as usize) as u8,
+            deadline_ms: self.deadline_ms.unwrap_or(0).min(u32::MAX as u64) as u32,
+            outcome,
+            latency_us,
+        }
+    }
+
+    /// Rebuilds the wire request a [`gs_trace::TraceEvent`] describes —
+    /// what a replayer submits. The event's `client` id rides along when it
+    /// fits the wire charset (peer addresses contain `:`, which does not).
+    pub fn from_trace_event(event: &gs_trace::TraceEvent) -> Self {
+        Self {
+            scene: event.scene.clone(),
+            position: event.position,
+            target: event.target,
+            up: event.up,
+            fov_x: event.fov_x,
+            width: event.width as usize,
+            height: event.height as usize,
+            viewport: None,
+            sh_degree: event.sh_degree as usize,
+            format: WireFormat::RawF32,
+            deadline_ms: (event.deadline_ms > 0).then_some(event.deadline_ms as u64),
+            shard: None,
+            client: valid_scene_id(&event.client).then(|| event.client.clone()),
         }
     }
 }
@@ -1326,6 +1407,47 @@ mod tests {
         assert_eq!(StatsReport::parse(&bare.to_body()).unwrap(), bare);
         assert!(StatsReport::parse("bogus 4\n").is_err());
         assert!(StatsReport::parse("latency 1 2\n").is_err());
+    }
+
+    #[test]
+    fn client_id_roundtrips_and_is_validated() {
+        let mut req = demo();
+        req.client = Some("session-42".to_string());
+        let parsed = WireRequest::parse(&req.to_body()).unwrap();
+        assert_eq!(parsed, req);
+        assert_eq!(
+            parsed.to_render_request().client.as_deref(),
+            Some("session-42")
+        );
+        assert!(demo().to_render_request().client.is_none());
+        // Ids that cannot survive the round trip are rejected.
+        for id in ["", "a b", "a:b", "a/b"] {
+            let mut req = demo();
+            req.client = Some(id.to_string());
+            assert!(req.validate().is_err(), "client id {id:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn trace_event_conversion_roundtrips_the_request() {
+        let mut req = demo();
+        req.position = [0.1 + 0.2, f32::MIN_POSITIVE, -1.0e-7];
+        req.deadline_ms = Some(120);
+        req.client = Some("tab-1".to_string());
+        let event = req.to_trace_event("tab-1", 5_000, gs_trace::Outcome::CacheHit, 777);
+        assert_eq!(event.at_us, 5_000);
+        assert_eq!(event.scene, "city");
+        assert_eq!(event.client, "tab-1");
+        assert_eq!(event.deadline_ms, 120);
+        assert_eq!(event.outcome, gs_trace::Outcome::CacheHit);
+        assert_eq!(event.latency_us, 777);
+        let back = WireRequest::from_trace_event(&event);
+        assert_eq!(back, req, "capture→replay must rebuild the same request");
+        // A peer-address client id (contains ':') is recorded but not put
+        // back on the wire body.
+        let event = req.to_trace_event("127.0.0.1:5000", 0, gs_trace::Outcome::Completed, 0);
+        assert_eq!(event.client, "127.0.0.1:5000");
+        assert_eq!(WireRequest::from_trace_event(&event).client, None);
     }
 
     #[test]

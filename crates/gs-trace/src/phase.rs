@@ -1,0 +1,346 @@
+//! SimPoint-style phase clustering: reduce a long trace to a few weighted
+//! representative windows.
+//!
+//! SPEC CPU2026-style representativeness methodology applied to serving
+//! workloads: slice the trace into fixed-length time windows, summarize
+//! each window as a feature vector (arrival rate, scene mix, pose
+//! locality), cluster the vectors with seeded k-means, and pick each
+//! cluster's *medoid* window as its representative. Replaying only the
+//! representatives — each weighted by its cluster's share of all requests —
+//! predicts full-trace metrics (hit rate, latency percentiles) at a
+//! fraction of the replay cost. The prediction error is measurable (replay
+//! both, compare), and the whole pipeline is deterministic in the seed.
+
+use std::ops::Range;
+
+use gs_core::kmeans::kmeans;
+
+use crate::format::{Trace, TraceEvent};
+
+/// Configuration of a phase-clustering run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseConfig {
+    /// Window length in microseconds.
+    pub window_us: u64,
+    /// Number of clusters (phases) to find; clamped to the number of
+    /// non-empty windows.
+    pub clusters: usize,
+    /// Scene-mix histogram buckets (scene ids are hashed into these).
+    pub scene_buckets: usize,
+    /// k-means seed.
+    pub seed: u64,
+    /// k-means iteration cap.
+    pub max_iters: usize,
+}
+
+impl PhaseConfig {
+    /// A config with the given window length and cluster count and the
+    /// standard feature/clustering settings.
+    pub fn new(window_us: u64, clusters: usize) -> Self {
+        Self {
+            window_us: window_us.max(1),
+            clusters: clusters.max(1),
+            scene_buckets: 8,
+            seed: 0,
+            max_iters: 64,
+        }
+    }
+}
+
+/// One time window of a trace, summarized as a feature vector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseWindow {
+    /// Window start, microseconds from trace start.
+    pub start_us: u64,
+    /// Index range of the window's events in the trace.
+    pub range: Range<usize>,
+    /// Raw (unnormalized) feature vector:
+    /// `[arrival rate, scene-mix fractions..., pose locality]`.
+    pub features: Vec<f64>,
+}
+
+impl PhaseWindow {
+    /// Number of events in the window.
+    pub fn len(&self) -> usize {
+        self.range.len()
+    }
+
+    /// Whether the window holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.range.is_empty()
+    }
+}
+
+/// One cluster's representative window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Representative {
+    /// Index into [`Phases::windows`].
+    pub window: usize,
+    /// Cluster the window represents.
+    pub cluster: usize,
+    /// The cluster's share of all trace events (weights sum to 1).
+    pub weight: f64,
+}
+
+/// The result of phase clustering a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Phases {
+    /// The non-empty windows, in time order.
+    pub windows: Vec<PhaseWindow>,
+    /// Cluster assigned to each window.
+    pub assignments: Vec<usize>,
+    /// One medoid window per non-empty cluster, weighted by event share.
+    pub representatives: Vec<Representative>,
+}
+
+impl Phases {
+    /// The events of a representative window.
+    pub fn events<'a>(&self, trace: &'a Trace, rep: &Representative) -> &'a [TraceEvent] {
+        &trace.events[self.windows[rep.window].range.clone()]
+    }
+
+    /// Fraction of all trace events inside representative windows — the
+    /// replay-cost reduction factor.
+    pub fn replay_fraction(&self, trace: &Trace) -> f64 {
+        if trace.is_empty() {
+            return 0.0;
+        }
+        let replayed: usize = self
+            .representatives
+            .iter()
+            .map(|r| self.windows[r.window].len())
+            .sum();
+        replayed as f64 / trace.len() as f64
+    }
+}
+
+/// FNV-1a hash of a scene id, for bucketing the scene-mix histogram.
+fn scene_bucket(scene: &str, buckets: usize) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in scene.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h % buckets as u64) as usize
+}
+
+/// Slices `trace` into fixed windows and computes each non-empty window's
+/// raw feature vector.
+pub fn windows(trace: &Trace, window_us: u64, scene_buckets: usize) -> Vec<PhaseWindow> {
+    let window_us = window_us.max(1);
+    let scene_buckets = scene_buckets.max(1);
+    let mut out = Vec::new();
+    let mut start_idx = 0usize;
+    while start_idx < trace.events.len() {
+        let window_index = trace.events[start_idx].at_us / window_us;
+        let start_us = window_index * window_us;
+        let end_us = start_us + window_us;
+        let mut end_idx = start_idx;
+        while end_idx < trace.events.len() && trace.events[end_idx].at_us < end_us {
+            end_idx += 1;
+        }
+        let events = &trace.events[start_idx..end_idx];
+
+        let rate = events.len() as f64 / (window_us as f64 / 1e6);
+        let mut mix = vec![0.0f64; scene_buckets];
+        for e in events {
+            mix[scene_bucket(&e.scene, scene_buckets)] += 1.0;
+        }
+        for m in &mut mix {
+            *m /= events.len() as f64;
+        }
+        // Pose locality: mean distance between consecutive camera centers.
+        // A window of dwelling clients scores near 0, a window of fast
+        // tours or scattered clients scores high.
+        let locality = if events.len() > 1 {
+            let mut acc = 0.0f64;
+            for pair in events.windows(2) {
+                let (a, b) = (&pair[0].position, &pair[1].position);
+                acc += (0..3)
+                    .map(|i| (a[i] as f64 - b[i] as f64).powi(2))
+                    .sum::<f64>()
+                    .sqrt();
+            }
+            acc / (events.len() - 1) as f64
+        } else {
+            0.0
+        };
+
+        let mut features = Vec::with_capacity(scene_buckets + 2);
+        features.push(rate);
+        features.extend_from_slice(&mix);
+        features.push(locality);
+        out.push(PhaseWindow {
+            start_us,
+            range: start_idx..end_idx,
+            features,
+        });
+        start_idx = end_idx;
+    }
+    out
+}
+
+/// Min-max normalizes each feature dimension to `[0, 1]` across windows
+/// (constant dimensions collapse to 0), so rate (requests/s) cannot drown
+/// out scene-mix fractions in the k-means distance.
+fn normalize(windows: &[PhaseWindow]) -> Vec<Vec<f64>> {
+    if windows.is_empty() {
+        return Vec::new();
+    }
+    let dim = windows[0].features.len();
+    let mut lo = vec![f64::INFINITY; dim];
+    let mut hi = vec![f64::NEG_INFINITY; dim];
+    for w in windows {
+        for (d, &v) in w.features.iter().enumerate() {
+            lo[d] = lo[d].min(v);
+            hi[d] = hi[d].max(v);
+        }
+    }
+    windows
+        .iter()
+        .map(|w| {
+            w.features
+                .iter()
+                .enumerate()
+                .map(|(d, &v)| {
+                    if hi[d] > lo[d] {
+                        (v - lo[d]) / (hi[d] - lo[d])
+                    } else {
+                        0.0
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Clusters a trace's windows into phases and picks weighted medoid
+/// representatives. Deterministic in `config.seed`.
+pub fn cluster(trace: &Trace, config: &PhaseConfig) -> Phases {
+    let windows = windows(trace, config.window_us, config.scene_buckets);
+    if windows.is_empty() {
+        return Phases {
+            windows,
+            assignments: Vec::new(),
+            representatives: Vec::new(),
+        };
+    }
+    let points = normalize(&windows);
+    let k = config.clusters.min(points.len());
+    let result = kmeans(&points, k, config.seed, config.max_iters);
+
+    let total_events: usize = windows.iter().map(PhaseWindow::len).sum();
+    let mut representatives = Vec::new();
+    for c in 0..result.centroids.len() {
+        let Some(medoid) = result.medoid(&points, c) else {
+            continue;
+        };
+        let cluster_events: usize = windows
+            .iter()
+            .zip(&result.assignments)
+            .filter(|&(_, &a)| a == c)
+            .map(|(w, _)| w.len())
+            .sum();
+        representatives.push(Representative {
+            window: medoid,
+            cluster: c,
+            weight: cluster_events as f64 / total_events as f64,
+        });
+    }
+    Phases {
+        windows,
+        assignments: result.assignments,
+        representatives,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::TraceEvent;
+
+    /// A trace with two obvious phases: a dense scene-A phase then a sparse
+    /// scene-B phase with scattered poses.
+    fn two_phase_trace() -> Trace {
+        let mut events = Vec::new();
+        // Phase 1: 0..500ms, 10 events per 100ms window, tight poses.
+        for i in 0..50u64 {
+            let mut e = TraceEvent::new(i * 10_000, "alpha", "c0");
+            e.position = [5.0, 1.0, -5.0];
+            events.push(e);
+        }
+        // Phase 2: 500..1000ms, 2 events per 100ms window, scattered poses.
+        for i in 0..10u64 {
+            let mut e = TraceEvent::new(500_000 + i * 50_000, "beta", "c1");
+            e.position = [i as f32 * 3.0, 1.0, -(i as f32) * 2.0];
+            events.push(e);
+        }
+        Trace::new(events)
+    }
+
+    #[test]
+    fn windows_partition_the_trace() {
+        let trace = two_phase_trace();
+        let ws = windows(&trace, 100_000, 4);
+        let covered: usize = ws.iter().map(PhaseWindow::len).sum();
+        assert_eq!(covered, trace.len(), "every event in exactly one window");
+        for w in &ws {
+            assert!(!w.is_empty(), "only non-empty windows are emitted");
+            for e in &trace.events[w.range.clone()] {
+                assert!(e.at_us >= w.start_us && e.at_us < w.start_us + 100_000);
+            }
+        }
+        // Rate feature: phase-1 windows see 100 req/s, phase-2 windows 20.
+        assert!(ws[0].features[0] > ws.last().unwrap().features[0]);
+    }
+
+    #[test]
+    fn clustering_separates_the_phases() {
+        let trace = two_phase_trace();
+        let phases = cluster(&trace, &PhaseConfig::new(100_000, 2));
+        assert_eq!(phases.representatives.len(), 2);
+        // All phase-1 windows share a cluster, all phase-2 windows the
+        // other.
+        let split = phases
+            .windows
+            .iter()
+            .position(|w| w.start_us >= 500_000)
+            .unwrap();
+        let first = phases.assignments[0];
+        assert!(phases.assignments[..split].iter().all(|&a| a == first));
+        assert!(phases.assignments[split..].iter().all(|&a| a != first));
+        // Weights are event shares: 50/60 and 10/60.
+        let total: f64 = phases.representatives.iter().map(|r| r.weight).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        let heavy = phases
+            .representatives
+            .iter()
+            .map(|r| r.weight)
+            .fold(0.0f64, f64::max);
+        assert!((heavy - 50.0 / 60.0).abs() < 1e-9);
+        // Representatives lie in their own cluster, and replaying them
+        // costs a fraction of the full trace.
+        for rep in &phases.representatives {
+            assert_eq!(phases.assignments[rep.window], rep.cluster);
+            assert!(!phases.events(&trace, rep).is_empty());
+        }
+        assert!(phases.replay_fraction(&trace) < 0.5);
+    }
+
+    #[test]
+    fn clustering_is_deterministic() {
+        let trace = two_phase_trace();
+        let config = PhaseConfig::new(100_000, 3);
+        assert_eq!(cluster(&trace, &config), cluster(&trace, &config));
+    }
+
+    #[test]
+    fn degenerate_traces_cluster_cleanly() {
+        let empty = cluster(&Trace::default(), &PhaseConfig::new(1000, 4));
+        assert!(empty.representatives.is_empty());
+        let single = Trace::new(vec![TraceEvent::new(0, "s", "c")]);
+        let phases = cluster(&single, &PhaseConfig::new(1000, 4));
+        assert_eq!(phases.representatives.len(), 1);
+        assert!((phases.representatives[0].weight - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,138 @@
+//! The capture side: a thread-safe recorder the serving front-ends push
+//! one [`TraceEvent`] into per answered request.
+//!
+//! The recorder timestamps events against its own start instant, so a
+//! trace's `at_us` axis starts near zero no matter when the process
+//! started. Events arrive in *completion* order (a slow render finishes
+//! after a fast one that arrived later), so [`TraceRecorder::snapshot`]
+//! re-sorts by arrival time before handing out a [`Trace`].
+//!
+//! Memory is bounded: past `limit` events the recorder drops new events and
+//! counts them, so a long-lived server with capture left on degrades to a
+//! truncated trace instead of unbounded growth.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::format::{Trace, TraceEvent};
+
+/// Records the request stream a serving front-end answers.
+#[derive(Debug)]
+pub struct TraceRecorder {
+    started: Instant,
+    events: Mutex<Vec<TraceEvent>>,
+    limit: usize,
+    dropped: AtomicU64,
+}
+
+impl Default for TraceRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TraceRecorder {
+    /// Default event cap (~1M events, tens of MB at the typical record
+    /// size).
+    pub const DEFAULT_LIMIT: usize = 1 << 20;
+
+    /// A recorder with the default event cap.
+    pub fn new() -> Self {
+        Self::with_limit(Self::DEFAULT_LIMIT)
+    }
+
+    /// A recorder that keeps at most `limit` events.
+    pub fn with_limit(limit: usize) -> Self {
+        Self {
+            started: Instant::now(),
+            events: Mutex::new(Vec::new()),
+            limit: limit.max(1),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Microseconds since the recorder started — the value to stamp into an
+    /// arriving request's `at_us` (capture it on arrival, record the event
+    /// on completion).
+    pub fn now_us(&self) -> u64 {
+        self.started.elapsed().as_micros() as u64
+    }
+
+    /// Appends one event (dropped and counted once the cap is reached).
+    pub fn record(&self, event: TraceEvent) {
+        let mut events = self.events.lock().unwrap();
+        if events.len() < self.limit {
+            events.push(event);
+        } else {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Number of events held.
+    pub fn len(&self) -> usize {
+        self.events.lock().unwrap().len()
+    }
+
+    /// Whether no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events dropped after the cap was reached.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// A copy of the recorded workload, sorted into arrival order.
+    pub fn snapshot(&self) -> Trace {
+        Trace::new(self.events.lock().unwrap().clone())
+    }
+
+    /// Drains the recorded workload (sorted into arrival order), leaving
+    /// the recorder empty but keeping its time base.
+    pub fn take(&self) -> Trace {
+        Trace::new(std::mem::take(&mut *self.events.lock().unwrap()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_snapshots_in_arrival_order() {
+        let rec = TraceRecorder::new();
+        // Completion order disagrees with arrival order.
+        let mut late = TraceEvent::new(2000, "a", "c1");
+        late.latency_us = 50;
+        rec.record(late);
+        rec.record(TraceEvent::new(1000, "b", "c2"));
+        assert_eq!(rec.len(), 2);
+        let trace = rec.snapshot();
+        assert_eq!(trace.events[0].at_us, 1000);
+        assert_eq!(trace.events[1].at_us, 2000);
+        assert_eq!(rec.len(), 2, "snapshot must not drain");
+        let drained = rec.take();
+        assert_eq!(drained.len(), 2);
+        assert!(rec.is_empty());
+    }
+
+    #[test]
+    fn cap_drops_and_counts() {
+        let rec = TraceRecorder::with_limit(3);
+        for i in 0..5 {
+            rec.record(TraceEvent::new(i, "s", "c"));
+        }
+        assert_eq!(rec.len(), 3);
+        assert_eq!(rec.dropped(), 2);
+    }
+
+    #[test]
+    fn now_us_is_monotone() {
+        let rec = TraceRecorder::new();
+        let a = rec.now_us();
+        let b = rec.now_us();
+        assert!(b >= a);
+    }
+}

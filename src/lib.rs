@@ -20,6 +20,11 @@
 //!   depth-ordered layer compositing, per-request deadlines and
 //!   cancellation) plus its std-only HTTP/1.1 front-end for external load
 //!   generators.
+//! * [`trace`] (`gs-trace`) — workload capture (the `GSTR` binary trace
+//!   format and the recorder the serving front-ends feed), seeded synthetic
+//!   workload generators (Zipf popularity, diurnal curves, flash crowds,
+//!   camera tours) and SimPoint-style phase clustering for representative
+//!   replay.
 //! * [`cluster`] (`gs-cluster`) — the multi-replica serving tier: a
 //!   coordinator that places scenes (and cross-node shards) against each
 //!   replica's memory budget, routes renders with health-checked failover
@@ -52,4 +57,5 @@ pub use gs_platform as platform;
 pub use gs_render as render;
 pub use gs_scene as scene;
 pub use gs_serve as serve;
+pub use gs_trace as trace;
 pub use gs_train as train;

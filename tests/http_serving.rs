@@ -564,3 +564,94 @@ fn viewport_renders_come_back_viewport_sized() {
     assert_eq!(over_http.data(), in_process.image.data());
     http.shutdown();
 }
+
+#[test]
+fn render_requests_are_captured_with_resolved_client_ids() {
+    let scene = tiny_scene(260, 400);
+    let server = Arc::new(RenderServer::new(
+        ServeConfig {
+            workers: 2,
+            queue_depth: 16,
+            max_batch: 4,
+            cache_bytes: 16 << 20,
+            pose_quant: 0.05,
+            shard_bytes: 0,
+            ..ServeConfig::default()
+        },
+        SceneRegistry::with_budget(1 << 30),
+    ));
+    server
+        .load_scene("city", Arc::new(scene.gt_params.clone()), scene.background)
+        .unwrap();
+    let recorder = Arc::new(gs_scale::trace::TraceRecorder::new());
+    let http = HttpServer::bind_recorded(
+        HttpConfig::default(),
+        Arc::clone(&server),
+        Arc::clone(&recorder),
+    )
+    .unwrap();
+    let mut stream = TcpStream::connect(http.local_addr()).unwrap();
+
+    // Resolution order: the body's `client` key wins ...
+    let mut wire_req = demo_request(&scene);
+    wire_req.client = Some("session-body".to_string());
+    wire_req.deadline_ms = Some(30_000);
+    let response = client::request(
+        &mut stream,
+        "POST",
+        "/render",
+        wire_req.to_body().as_bytes(),
+    )
+    .unwrap();
+    assert_eq!(response.status, 200);
+
+    // ... then the X-Client-Id header (body has no `client` key) ...
+    let body = demo_request(&scene).to_body();
+    let head = format!(
+        "POST /render HTTP/1.1\r\nHost: gs-serve\r\nX-Client-Id: session-header\r\n\
+         Content-Length: {}\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).unwrap();
+    stream.write_all(body.as_bytes()).unwrap();
+    let response = client::read_response(&mut stream).unwrap();
+    assert_eq!(response.status, 200);
+
+    // ... then the connection's peer address.
+    let response = client::request(
+        &mut stream,
+        "POST",
+        "/render",
+        demo_request(&scene).to_body().as_bytes(),
+    )
+    .unwrap();
+    assert_eq!(response.status, 200);
+    http.shutdown();
+
+    let trace = recorder.snapshot();
+    assert_eq!(trace.len(), 3);
+    let clients: Vec<&str> = trace.events.iter().map(|e| e.client.as_str()).collect();
+    assert_eq!(clients[0], "session-body");
+    assert_eq!(clients[1], "session-header");
+    let peer = clients[2];
+    assert!(
+        peer.starts_with("127.0.0.1:"),
+        "expected the peer address, got {peer:?}"
+    );
+    // The capture preserves the request parameters and outcomes: all three
+    // used the same camera, so pose fields agree event to event; the first
+    // request's deadline survives; the repeated pose is a cache hit by the
+    // third request.
+    assert_eq!(trace.events[0].deadline_ms, 30_000);
+    assert_eq!(trace.events[1].deadline_ms, 0);
+    for event in &trace.events {
+        assert_eq!(event.scene, "city");
+        assert_eq!(event.position, trace.events[0].position);
+        assert!(event.outcome.is_served());
+    }
+    assert_eq!(trace.events[2].outcome, gs_scale::trace::Outcome::CacheHit);
+    // Arrival stamps are monotone per connection and latency was measured.
+    assert!(trace.events[0].at_us <= trace.events[1].at_us);
+    assert!(trace.events[1].at_us <= trace.events[2].at_us);
+    assert!(trace.events.iter().all(|e| e.latency_us > 0));
+}
