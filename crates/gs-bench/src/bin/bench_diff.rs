@@ -1,0 +1,234 @@
+//! CI perf-regression gate: diffs two `BENCH_<name>.json` artifacts.
+//!
+//! Usage: `cargo run --release -p gs-bench --bin bench_diff --
+//! <baseline.json> <current.json> [--threshold 0.10]`
+//!
+//! Scenarios are matched by label; for each match the tool reports the
+//! throughput and p99 deltas and flags any regression beyond the threshold
+//! (default 10%). Roofline rows are matched the same way on phase label and
+//! flagged on per-phase time regressions. The tool is **warn-only**: it
+//! always exits 0 when both files parse, because CI runners are noisy
+//! shared machines and a hard perf gate there produces more flakes than
+//! catches. The flags land in the job log (and the `::warning::` lines in
+//! the GitHub annotations pane) where a regression is visible without
+//! blocking the merge.
+//!
+//! Exits non-zero only for operator errors: missing/unreadable files or
+//! malformed JSON. A baseline that simply doesn't exist yet (first run of a
+//! new benchmark) should be handled by the caller skipping the diff.
+
+use std::process::ExitCode;
+
+use gs_bench::{print_table, BenchReport};
+
+struct Args {
+    baseline: String,
+    current: String,
+    threshold: f64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut positional = Vec::new();
+    let mut threshold = 0.10;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--threshold" => {
+                let v = argv.next().ok_or("--threshold needs a value")?;
+                threshold = v
+                    .parse::<f64>()
+                    .map_err(|_| format!("bad --threshold value: {v}"))?;
+                if !(0.0..=1.0).contains(&threshold) {
+                    return Err(format!("--threshold must be in [0, 1], got {threshold}"));
+                }
+            }
+            "--help" | "-h" => {
+                return Err("usage: bench_diff <baseline.json> <current.json> \
+                            [--threshold 0.10]"
+                    .to_string())
+            }
+            other => positional.push(other.to_string()),
+        }
+    }
+    if positional.len() != 2 {
+        return Err("expected exactly two positional arguments: \
+                    <baseline.json> <current.json>"
+            .to_string());
+    }
+    let baseline = positional.remove(0);
+    let current = positional.remove(0);
+    Ok(Args {
+        baseline,
+        current,
+        threshold,
+    })
+}
+
+fn load(path: &str) -> Result<BenchReport, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    BenchReport::from_json(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+/// Relative change of `now` vs `base`; positive = increased.
+fn rel(base: f64, now: f64) -> f64 {
+    if base > 0.0 {
+        (now - base) / base
+    } else {
+        0.0
+    }
+}
+
+fn pct(v: f64) -> String {
+    format!("{:+.1}%", v * 100.0)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (baseline, current) = match (load(&args.baseline), load(&args.current)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (b, c) => {
+            for r in [b, c] {
+                if let Err(msg) = r {
+                    eprintln!("{msg}");
+                }
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut warnings: Vec<String> = Vec::new();
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for cur in &current.scenarios {
+        let Some(base) = baseline
+            .scenarios
+            .iter()
+            .find(|b| b.scenario == cur.scenario)
+        else {
+            rows.push(vec![
+                cur.scenario.clone(),
+                "(new)".to_string(),
+                format!("{:.1}", cur.throughput_rps),
+                "-".to_string(),
+                format!("{:.2}", cur.p99_ms),
+                "-".to_string(),
+            ]);
+            continue;
+        };
+        let d_rps = rel(base.throughput_rps, cur.throughput_rps);
+        let d_p99 = rel(base.p99_ms, cur.p99_ms);
+        // Throughput regresses by dropping, p99 by growing.
+        if d_rps < -args.threshold {
+            warnings.push(format!(
+                "scenario \"{}\": throughput {} ({:.1} -> {:.1} req/s)",
+                cur.scenario,
+                pct(d_rps),
+                base.throughput_rps,
+                cur.throughput_rps
+            ));
+        }
+        if d_p99 > args.threshold {
+            warnings.push(format!(
+                "scenario \"{}\": p99 {} ({:.2} -> {:.2} ms)",
+                cur.scenario,
+                pct(d_p99),
+                base.p99_ms,
+                cur.p99_ms
+            ));
+        }
+        rows.push(vec![
+            cur.scenario.clone(),
+            format!("{:.1}", base.throughput_rps),
+            format!("{:.1}", cur.throughput_rps),
+            pct(d_rps),
+            format!("{:.2}", cur.p99_ms),
+            pct(d_p99),
+        ]);
+    }
+    for gone in baseline
+        .scenarios
+        .iter()
+        .filter(|b| !current.scenarios.iter().any(|c| c.scenario == b.scenario))
+    {
+        rows.push(vec![
+            gone.scenario.clone(),
+            format!("{:.1}", gone.throughput_rps),
+            "(gone)".to_string(),
+            "-".to_string(),
+            "-".to_string(),
+            "-".to_string(),
+        ]);
+    }
+    print_table(
+        &format!(
+            "Perf diff: {} (baseline {} vs current {})",
+            current.bench, args.baseline, args.current
+        ),
+        &[
+            "Scenario",
+            "base req/s",
+            "now req/s",
+            "drps",
+            "now p99 ms",
+            "dp99",
+        ],
+        &rows,
+    );
+
+    let mut kernel_rows: Vec<Vec<String>> = Vec::new();
+    for cur in &current.roofline {
+        let Some(base) = baseline.roofline.iter().find(|b| b.phase == cur.phase) else {
+            continue;
+        };
+        let d_t = rel(base.seconds, cur.seconds);
+        if d_t > args.threshold {
+            warnings.push(format!(
+                "kernel phase \"{}\": time {} ({:.1} -> {:.1} us)",
+                cur.phase,
+                pct(d_t),
+                base.seconds * 1e6,
+                cur.seconds * 1e6
+            ));
+        }
+        kernel_rows.push(vec![
+            cur.phase.clone(),
+            format!("{:.1}", base.seconds * 1e6),
+            format!("{:.1}", cur.seconds * 1e6),
+            pct(d_t),
+            format!("{:.2}x", cur.speedup),
+        ]);
+    }
+    if !kernel_rows.is_empty() {
+        print_table(
+            "Kernel roofline diff",
+            &["Phase", "base us", "now us", "dt", "now speedup"],
+            &kernel_rows,
+        );
+    }
+
+    if warnings.is_empty() {
+        println!(
+            "\nno regressions beyond {:.0}% against {}",
+            args.threshold * 100.0,
+            args.baseline
+        );
+    } else {
+        println!();
+        for w in &warnings {
+            // `::warning::` is GitHub Actions' annotation syntax; plain text
+            // everywhere else.
+            println!("::warning::perf regression: {w}");
+        }
+        println!(
+            "\n{} potential regression(s) beyond {:.0}% — warn-only, not failing the job",
+            warnings.len(),
+            args.threshold * 100.0
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -6,6 +6,13 @@
 //! how the same multi-scene workload behaves under contention, which is the
 //! regime a production deployment of trained GS-Scale scenes lives in.
 //!
+//! Before the sweep, a kernel microbench times the scalar reference render
+//! path against the SoA lane-batched and tile-parallel kernels on one of
+//! the workload's scenes (asserting byte-identity), pairs each phase with
+//! its analytic `gs_render::cost` work estimate, and reports achieved
+//! GFLOP/s / GB/s / roofline efficiency per phase into the JSON report's
+//! `"roofline"` section.
+//!
 //! Usage: `cargo run --release -p gs-bench --bin serve_scaling
 //! [--full] [--seed <n>] [--out BENCH_serve.json]`
 //!
@@ -14,8 +21,18 @@
 
 use std::sync::Arc;
 
-use gs_bench::{print_table, BenchArgs, BenchReport, BenchScenario};
+use gs_bench::{print_table, BenchArgs, BenchReport, BenchScenario, RooflineEntry};
+use gs_core::camera::Viewport;
 use gs_core::rng::Rng64;
+use gs_core::GaussianSoa;
+use gs_platform::roofline::{RooflinePoint, Work};
+use gs_platform::specs::PlatformSpec;
+use gs_render::cost::{projection_cost, raster_forward_cost};
+use gs_render::tiles::TileGrid;
+use gs_render::{
+    project_splats, project_splats_reference, rasterize_forward, rasterize_forward_reference,
+    rasterize_forward_tiled,
+};
 use gs_scene::{SceneConfig, SceneDataset};
 use gs_serve::{RenderRequest, RenderServer, SceneRegistry, ServeConfig, ServeStats};
 
@@ -104,6 +121,179 @@ fn run(workload: &Workload, workers: usize, cache: bool, max_batch: usize) -> Se
     Arc::into_inner(server).unwrap().shutdown()
 }
 
+/// Best-of-`reps` wall-clock seconds for one invocation of `f`.
+fn best_seconds<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = std::time::Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Reduces one measured phase to a [`RooflineEntry`] row.
+fn roofline_entry(
+    phase: &str,
+    work: &Work,
+    seconds: f64,
+    reference_seconds: f64,
+    cpu: &gs_platform::specs::DeviceSpec,
+) -> RooflineEntry {
+    let point = RooflinePoint::new(work, seconds);
+    RooflineEntry {
+        phase: phase.to_string(),
+        seconds,
+        gflops: point.achieved_flops() / 1e9,
+        gbytes_s: point.achieved_bandwidth() / 1e9,
+        intensity: point.operational_intensity(),
+        efficiency: point.efficiency(cpu, false),
+        speedup: if seconds > 0.0 {
+            reference_seconds / seconds
+        } else {
+            0.0
+        },
+    }
+}
+
+/// Measures the render kernels head-to-head on one of the workload's scenes:
+/// the scalar reference path (the seed's pixel-outer loops) against the
+/// SoA lane-batched kernels and the tile-parallel rasterizer, asserting
+/// byte-identity between every pair along the way.
+///
+/// Each phase's time is paired with its `gs_render::cost` work estimate and
+/// situated against the modelled desktop CPU roofline (the same
+/// [`PlatformSpec`] the platform crate uses for its figures), so the report
+/// records not just "faster" but *where each kernel sits relative to the
+/// machine's ceiling*.
+fn kernel_microbench(workload: &Workload, report: &mut BenchReport) {
+    let scene = &workload.scenes[0];
+    let params = &scene.gt_params;
+    let cam = &scene.train_cameras[0];
+    let vp = Viewport::full(cam);
+    let sh_degree = gs_core::sh::MAX_DEGREE;
+    let background = scene.background;
+    let cpu = PlatformSpec::desktop_rtx4080s().cpu;
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let reps = 20;
+
+    // --- byte-identity gates: the refactor's invariant, re-checked here so
+    // a perf report can never quote a kernel that drifted.
+    let splats_ref = project_splats_reference(params, cam, sh_degree, &vp);
+    let splats_soa = project_splats(params, cam, sh_degree, &vp);
+    assert_eq!(
+        splats_ref.len(),
+        splats_soa.len(),
+        "SoA projection must keep the reference's surviving set"
+    );
+    let grid = TileGrid::build(&splats_soa, vp);
+    let (img_ref, aux) = rasterize_forward_reference(&splats_soa, &grid, background);
+    let (img_lane, _) = rasterize_forward(&splats_soa, &grid, background);
+    let (img_tiled, _) = rasterize_forward_tiled(&splats_soa, &grid, background, threads);
+    assert_eq!(img_ref.data(), img_lane.data(), "lane kernel drifted");
+    assert_eq!(img_ref.data(), img_tiled.data(), "tiled kernel drifted");
+
+    // --- work estimates from the analytic cost model.
+    let pairs: usize = aux.n_processed.iter().map(|&n| n as usize).sum();
+    let pixels = vp.width() * vp.height();
+    let proj_est = projection_cost(params.len());
+    let raster_est = raster_forward_cost(pairs, pixels);
+    let proj_work = Work::new(proj_est.flops, proj_est.total_bytes());
+    let raster_work = Work::new(raster_est.flops, raster_est.total_bytes());
+    let frame_work = proj_work.combine(&raster_work);
+
+    // --- measured phases (best-of-reps to shed scheduler noise).
+    let t_proj_ref = best_seconds(reps, || {
+        project_splats_reference(params, cam, sh_degree, &vp)
+    });
+    // The facade path serving actually pays: SoA build + specialized kernel.
+    let t_proj_soa = best_seconds(reps, || project_splats(params, cam, sh_degree, &vp));
+    // And the prebuilt-view path batch rendering pays after its one build.
+    let soa = GaussianSoa::build(params, sh_degree);
+    let t_proj_hot = best_seconds(reps, || gs_render::project_splats_soa(&soa, cam, &vp));
+    let t_rast_ref = best_seconds(reps, || {
+        rasterize_forward_reference(&splats_soa, &grid, background)
+    });
+    let t_rast_lane = best_seconds(reps, || rasterize_forward(&splats_soa, &grid, background));
+    let t_rast_tiled = best_seconds(reps, || {
+        rasterize_forward_tiled(&splats_soa, &grid, background, threads)
+    });
+    let t_frame_ref = t_proj_ref + t_rast_ref;
+    let t_frame_tuned = t_proj_soa + t_rast_tiled.min(t_rast_lane);
+
+    for entry in [
+        roofline_entry(
+            "project/reference",
+            &proj_work,
+            t_proj_ref,
+            t_proj_ref,
+            &cpu,
+        ),
+        roofline_entry("project/soa-lane", &proj_work, t_proj_soa, t_proj_ref, &cpu),
+        roofline_entry(
+            "project/soa-prebuilt",
+            &proj_work,
+            t_proj_hot,
+            t_proj_ref,
+            &cpu,
+        ),
+        roofline_entry(
+            "raster/reference",
+            &raster_work,
+            t_rast_ref,
+            t_rast_ref,
+            &cpu,
+        ),
+        roofline_entry("raster/lane", &raster_work, t_rast_lane, t_rast_ref, &cpu),
+        roofline_entry(
+            &format!("raster/tiled-x{threads}"),
+            &raster_work,
+            t_rast_tiled,
+            t_rast_ref,
+            &cpu,
+        ),
+        roofline_entry(
+            "frame/reference",
+            &frame_work,
+            t_frame_ref,
+            t_frame_ref,
+            &cpu,
+        ),
+        roofline_entry("frame/tuned", &frame_work, t_frame_tuned, t_frame_ref, &cpu),
+    ] {
+        report.push_roofline(entry);
+    }
+
+    let rows: Vec<Vec<String>> = report
+        .roofline
+        .iter()
+        .map(|r| {
+            vec![
+                r.phase.clone(),
+                format!("{:.1}", r.seconds * 1e6),
+                format!("{:.2}", r.gflops),
+                format!("{:.2}", r.gbytes_s),
+                format!("{:.2}", r.intensity),
+                format!("{:.0}%", r.efficiency * 100.0),
+                format!("{:.2}x", r.speedup),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!(
+            "Kernel roofline: {} Gaussians, {}x{} px, {} splat/pixel pairs (modelled vs desktop CPU)",
+            params.len(),
+            vp.width(),
+            vp.height(),
+            pairs
+        ),
+        &[
+            "Phase", "us", "GFLOP/s", "GB/s", "FLOP/B", "Roofline", "Speedup",
+        ],
+        &rows,
+    );
+}
+
 fn main() {
     let args = BenchArgs::parse();
     let workload = build_workload(args.full);
@@ -116,8 +306,10 @@ fn main() {
         total
     );
 
-    let mut rows = Vec::new();
     let mut report = BenchReport::new("serve_scaling");
+    kernel_microbench(&workload, &mut report);
+
+    let mut rows = Vec::new();
     for &(cache, max_batch, label) in &[
         (false, 1usize, "no cache, no batching"),
         (false, 8, "no cache, batch<=8"),

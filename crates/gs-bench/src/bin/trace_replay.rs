@@ -4,9 +4,12 @@
 //! workload, drive it through the recorded HTTP front-end over real
 //! loopback TCP, round-trip the captured trace through the `GSTR` wire
 //! format and the filesystem, replay it twice sequentially (asserting
-//! bit-identical frame fingerprints and equal outcome counters), and run
-//! the SimPoint-style phase estimate on a Zipf and a flash-crowd scenario,
-//! reporting predicted-vs-full error.
+//! bit-identical frame fingerprints and equal outcome counters), run the
+//! SimPoint-style phase estimate on a Zipf and a flash-crowd scenario,
+//! reporting predicted-vs-full error, and finally replay a mixed-tier
+//! workload (Zipf steady state merged with a flash crowd via
+//! [`Trace::merge`]) through a 2-replica sharded cluster `Coordinator`,
+//! asserting the cluster tier replays deterministically too.
 //!
 //! Subcommands:
 //!
@@ -24,6 +27,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use gs_bench::{predict_from_phases, replay, ReplayConfig};
+use gs_cluster::{ClusterConfig, CompositeMode, Coordinator, ReplicaTransport};
 use gs_serve::http::client;
 use gs_serve::{
     HttpConfig, HttpServer, RenderServer, SceneRegistry, SceneSpec, ServeConfig, WireRequest,
@@ -53,6 +57,41 @@ fn build_server(trace: &Trace, cache: bool) -> RenderServer {
             .expect("replay scene admits under the budget");
     }
     server
+}
+
+/// A fresh 2-replica cluster with every scene the trace names sharded
+/// across the fleet, built deterministically (same shape as
+/// [`build_server`], one tier up).
+fn build_cluster(trace: &Trace) -> Arc<Coordinator> {
+    let cluster = Arc::new(Coordinator::new(ClusterConfig {
+        composite: CompositeMode::Relay,
+        ..ClusterConfig::default()
+    }));
+    for i in 0..2 {
+        let server = Arc::new(RenderServer::new(
+            ServeConfig {
+                workers: 2,
+                queue_depth: 64,
+                max_batch: 4,
+                cache_bytes: 0,
+                pose_quant: 0.05,
+                shard_bytes: 0,
+                ..ServeConfig::default()
+            },
+            SceneRegistry::with_budget(1 << 32),
+        ));
+        cluster
+            .add_replica(format!("replica-{i}"), ReplicaTransport::InProcess(server))
+            .expect("in-process replica joins");
+    }
+    for id in trace.scene_ids() {
+        let mut spec = SceneSpec::new(400);
+        spec.seed = gs_bench::fnv1a(id.as_bytes());
+        cluster
+            .load_scene_sharded(id, Arc::new(spec.build()), spec.background, 2)
+            .expect("sharded scene loads across the fleet");
+    }
+    cluster
 }
 
 fn synth_config(scenario: &str, requests: usize, seed: u64) -> SynthConfig {
@@ -316,6 +355,45 @@ fn smoke() {
         );
     }
     println!("phases: PASS (weighted representative replay tracks the full trace)");
+
+    // 6. Mixed-tier cluster replay: steady Zipf traffic merged with a flash
+    //    crowd on a shared timeline, driven through a 2-replica cluster
+    //    Coordinator with the scene sharded across the fleet. Two replays on
+    //    identically-built clusters must agree bit for bit, which pins down
+    //    determinism across the whole serving stack — coordinator routing,
+    //    cross-node layer composition, and the tile-parallel kernels under
+    //    a bursty arrival pattern.
+    let mixed = Trace::merge([
+        generate(&synth_config("zipf", 120, 21)),
+        generate(&synth_config("flash", 120, 22)),
+    ]);
+    println!(
+        "mixed-tier trace: {} events, {} scene(s), {:.2}s span",
+        mixed.len(),
+        mixed.scene_ids().len(),
+        mixed.duration_us() as f64 / 1e6,
+    );
+    let first = {
+        let cluster = build_cluster(&mixed);
+        replay(&*cluster, &mixed, &ReplayConfig::sequential())
+    };
+    let second = {
+        let cluster = build_cluster(&mixed);
+        replay(&*cluster, &mixed, &ReplayConfig::sequential())
+    };
+    print_report("cluster replay #1", &first);
+    print_report("cluster replay #2", &second);
+    assert_eq!(
+        first.fingerprint(),
+        second.fingerprint(),
+        "mixed-tier cluster replays must agree bit for bit"
+    );
+    for outcome in gs_trace::Outcome::ALL {
+        assert_eq!(first.count(outcome), second.count(outcome), "{outcome}");
+    }
+    assert!(first.served() == mixed.len(), "every event must be served");
+    println!("cluster: PASS (mixed zipf+flash trace replays deterministically over shards)");
+
     println!("\ntrace_replay smoke: all checks passed");
 }
 

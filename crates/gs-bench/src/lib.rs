@@ -7,7 +7,9 @@
 //! holds the shared machinery: scene construction at a runnable scale,
 //! trainer construction per system, throughput measurement, the shared
 //! CLI flags ([`BenchArgs`]) and table formatting. [`perf`] adds the
-//! machine-readable `BENCH_<name>.json` perf-trajectory reports, and
+//! machine-readable `BENCH_<name>.json` perf-trajectory reports ([`json`]
+//! reads them back for the CI regression diff, see the `bench_diff`
+//! binary), and
 //! [`replay`] the deterministic workload replayer driving captured
 //! [`gs_trace::Trace`]s back through a `RenderServer` or a cluster
 //! `Coordinator` (see the `trace_replay` binary). Criterion
@@ -18,6 +20,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod harness;
+pub mod json;
 pub mod perf;
 pub mod replay;
 
@@ -25,7 +28,7 @@ pub use harness::{
     build_offload_options, build_scene, fmt_gb, fmt_ratio, initial_params, measure_run,
     print_table, quality_after_training, BenchArgs, ExperimentScale,
 };
-pub use perf::{BenchReport, BenchScenario};
+pub use perf::{BenchReport, BenchScenario, RooflineEntry};
 pub use replay::{
     fnv1a, hash_image, predict_from_phases, replay, replay_events, PhasePrediction, ReplayConfig,
     ReplayMode, ReplayReport, ReplayTarget, ReplayedRequest,

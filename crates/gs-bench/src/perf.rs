@@ -22,13 +22,24 @@
 //! }
 //! ```
 //!
+//! Benchmarks that measure the render kernels directly (currently
+//! `serve_scaling`'s kernel microbench) additionally emit a `"roofline"`
+//! array: one entry per kernel phase with its measured time, achieved
+//! GFLOP/s and GB/s, operational intensity, modelled roofline efficiency,
+//! and speedup over the scalar reference kernel. The section is omitted
+//! when empty, so older readers and artifacts stay compatible.
+//!
 //! The writer is hand-rolled (the workspace is std-only); values are always
 //! finite (`NaN`/`Inf` are written as `0`) so the output is strict JSON.
+//! [`BenchReport::from_json`] reads the documents back (via [`crate::json`])
+//! so CI can diff consecutive artifacts.
 
 use std::io;
 use std::path::Path;
 
 use gs_serve::ServeStats;
+
+use crate::json::{self, JsonValue};
 
 /// One measured configuration of a benchmark.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -64,6 +75,31 @@ impl BenchScenario {
     }
 }
 
+/// One kernel phase's achieved-vs-peak roofline measurement.
+///
+/// Produced by pairing a phase's [`gs_render::cost`] work estimate with its
+/// measured wall-clock time (see `gs_platform::roofline::RooflinePoint`);
+/// flattened here to plain numbers so the JSON schema stays self-contained.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RooflineEntry {
+    /// Phase label, e.g. `project/soa-lane` or `raster/tiled`.
+    pub phase: String,
+    /// Measured wall-clock seconds for the phase.
+    pub seconds: f64,
+    /// Achieved GFLOP/s.
+    pub gflops: f64,
+    /// Achieved GB/s of memory traffic.
+    pub gbytes_s: f64,
+    /// Operational intensity, FLOP/byte.
+    pub intensity: f64,
+    /// Fraction of the modelled roofline ceiling achieved (1.0 = at the
+    /// roof).
+    pub efficiency: f64,
+    /// Throughput relative to the scalar reference kernel of the same
+    /// phase (1.0 for the reference itself).
+    pub speedup: f64,
+}
+
 /// A benchmark's full perf report: one [`BenchScenario`] per configuration.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct BenchReport {
@@ -71,6 +107,9 @@ pub struct BenchReport {
     pub bench: String,
     /// Measured configurations, in sweep order.
     pub scenarios: Vec<BenchScenario>,
+    /// Kernel-phase roofline measurements (empty for benchmarks that only
+    /// measure end-to-end serving).
+    pub roofline: Vec<RooflineEntry>,
 }
 
 impl BenchReport {
@@ -79,12 +118,18 @@ impl BenchReport {
         Self {
             bench: bench.into(),
             scenarios: Vec::new(),
+            roofline: Vec::new(),
         }
     }
 
     /// Appends one measured scenario.
     pub fn push(&mut self, scenario: BenchScenario) {
         self.scenarios.push(scenario);
+    }
+
+    /// Appends one kernel-phase roofline measurement.
+    pub fn push_roofline(&mut self, entry: RooflineEntry) {
+        self.roofline.push(entry);
     }
 
     /// Serializes the report as strict JSON.
@@ -114,8 +159,101 @@ impl BenchReport {
                 "    },\n"
             });
         }
+        if self.roofline.is_empty() {
+            out.push_str("  ]\n}\n");
+            return out;
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"roofline\": [\n");
+        for (i, r) in self.roofline.iter().enumerate() {
+            out.push_str("    {\n");
+            out.push_str(&format!("      \"phase\": {},\n", json_str(&r.phase)));
+            out.push_str(&format!("      \"seconds\": {},\n", json_num(r.seconds)));
+            out.push_str(&format!("      \"gflops\": {},\n", json_num(r.gflops)));
+            out.push_str(&format!("      \"gbytes_s\": {},\n", json_num(r.gbytes_s)));
+            out.push_str(&format!(
+                "      \"intensity\": {},\n",
+                json_num(r.intensity)
+            ));
+            out.push_str(&format!(
+                "      \"efficiency\": {},\n",
+                json_num(r.efficiency)
+            ));
+            out.push_str(&format!("      \"speedup\": {}\n", json_num(r.speedup)));
+            out.push_str(if i + 1 == self.roofline.len() {
+                "    }\n"
+            } else {
+                "    },\n"
+            });
+        }
         out.push_str("  ]\n}\n");
         out
+    }
+
+    /// Parses a report previously produced by [`Self::to_json`].
+    ///
+    /// Unknown fields are ignored and missing numeric fields default to 0,
+    /// so reports written by older or newer versions of the schema still
+    /// load — exactly what the CI artifact diff needs.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message when `input` is not valid JSON or
+    /// is missing the report skeleton (`bench`, `scenarios`).
+    pub fn from_json(input: &str) -> Result<Self, String> {
+        let doc = json::parse(input).map_err(|e| e.to_string())?;
+        let bench = doc
+            .get("bench")
+            .and_then(JsonValue::as_str)
+            .ok_or("missing \"bench\" field")?
+            .to_string();
+        let scenarios = doc
+            .get("scenarios")
+            .and_then(JsonValue::as_array)
+            .ok_or("missing \"scenarios\" array")?
+            .iter()
+            .map(|s| {
+                Ok(BenchScenario {
+                    scenario: s
+                        .get("scenario")
+                        .and_then(JsonValue::as_str)
+                        .ok_or("scenario entry missing \"scenario\" label")?
+                        .to_string(),
+                    throughput_rps: num_field(s, "throughput_rps"),
+                    p50_ms: num_field(s, "p50_ms"),
+                    p90_ms: num_field(s, "p90_ms"),
+                    p99_ms: num_field(s, "p99_ms"),
+                    hit_rate: num_field(s, "hit_rate"),
+                    mean_batch: num_field(s, "mean_batch"),
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let roofline = doc
+            .get("roofline")
+            .and_then(JsonValue::as_array)
+            .unwrap_or(&[])
+            .iter()
+            .map(|r| {
+                Ok(RooflineEntry {
+                    phase: r
+                        .get("phase")
+                        .and_then(JsonValue::as_str)
+                        .ok_or("roofline entry missing \"phase\" label")?
+                        .to_string(),
+                    seconds: num_field(r, "seconds"),
+                    gflops: num_field(r, "gflops"),
+                    gbytes_s: num_field(r, "gbytes_s"),
+                    intensity: num_field(r, "intensity"),
+                    efficiency: num_field(r, "efficiency"),
+                    speedup: num_field(r, "speedup"),
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(Self {
+            bench,
+            scenarios,
+            roofline,
+        })
     }
 
     /// Writes the JSON report to `path` (creating parent directories, so
@@ -133,12 +271,18 @@ impl BenchReport {
         }
         std::fs::write(path, self.to_json())?;
         println!(
-            "\nwrote perf report: {} ({} scenario(s))",
+            "\nwrote perf report: {} ({} scenario(s), {} roofline row(s))",
             path.display(),
-            self.scenarios.len()
+            self.scenarios.len(),
+            self.roofline.len()
         );
         Ok(())
     }
+}
+
+/// A numeric member of `node`, defaulting to 0 when absent or non-numeric.
+fn num_field(node: &JsonValue, key: &str) -> f64 {
+    node.get(key).and_then(JsonValue::as_f64).unwrap_or(0.0)
 }
 
 /// A finite JSON number (`NaN`/`Inf` degrade to `0`).
@@ -201,6 +345,52 @@ mod tests {
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         assert!(!json.contains(",\n    }\n"));
         assert!(!json.contains(",\n  ]"));
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let mut report = BenchReport::new("serve_scaling");
+        report.push(BenchScenario {
+            scenario: "cache/workers=2".to_string(),
+            throughput_rps: 412.25,
+            p50_ms: 2.5,
+            p90_ms: 4.0,
+            p99_ms: 8.125,
+            hit_rate: 0.25,
+            mean_batch: 1.5,
+        });
+        report.push_roofline(RooflineEntry {
+            phase: "raster/tiled".to_string(),
+            seconds: 0.015625,
+            gflops: 12.5,
+            gbytes_s: 30.0,
+            intensity: 0.75,
+            efficiency: 0.40625,
+            speedup: 2.5,
+        });
+        let parsed = BenchReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn reports_without_a_roofline_section_still_load() {
+        // The pre-roofline schema: CI must be able to read last week's
+        // artifact to diff against it.
+        let legacy = "{\n  \"bench\": \"serve_scaling\",\n  \"scenarios\": [\n    {\n      \
+                      \"scenario\": \"a\",\n      \"throughput_rps\": 10\n    }\n  ]\n}\n";
+        let parsed = BenchReport::from_json(legacy).unwrap();
+        assert_eq!(parsed.bench, "serve_scaling");
+        assert_eq!(parsed.scenarios.len(), 1);
+        assert_eq!(parsed.scenarios[0].throughput_rps, 10.0);
+        assert_eq!(parsed.scenarios[0].p99_ms, 0.0);
+        assert!(parsed.roofline.is_empty());
+    }
+
+    #[test]
+    fn from_json_rejects_non_reports() {
+        assert!(BenchReport::from_json("not json").is_err());
+        assert!(BenchReport::from_json("{\"bench\": \"x\"}").is_err());
+        assert!(BenchReport::from_json("{\"scenarios\": []}").is_err());
     }
 
     #[test]

@@ -319,11 +319,20 @@ impl GaussianParams {
         &mut self.sh[d * i..d * (i + 1)]
     }
 
-    /// The SH coefficients of Gaussian `i` viewed as 16 RGB triples.
-    pub fn sh_triples(&self, i: usize) -> [[f32; 3]; MAX_COEFFS] {
+    /// The SH coefficients of Gaussian `i` viewed as RGB triples, copying
+    /// only the `num_coeffs(degree)` coefficients the active SH degree uses
+    /// (the remaining entries stay zero and are never read by the degree's
+    /// evaluator).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `degree` exceeds [`crate::sh::MAX_DEGREE`].
+    pub fn sh_triples(&self, i: usize, degree: usize) -> [[f32; 3]; MAX_COEFFS] {
+        let n = crate::sh::num_coeffs(degree);
+        assert!(n <= MAX_COEFFS, "SH degree {degree} out of range");
         let s = self.sh_coeffs(i);
         let mut out = [[0.0f32; 3]; MAX_COEFFS];
-        for (k, t) in out.iter_mut().enumerate() {
+        for (k, t) in out.iter_mut().enumerate().take(n) {
             t[0] = s[3 * k];
             t[1] = s[3 * k + 1];
             t[2] = s[3 * k + 2];
@@ -679,7 +688,7 @@ mod tests {
         p.push_isotropic(Vec3::new(1.0, 2.0, 3.0), 0.5, [0.8, 0.4, 0.1], 0.75);
         assert_eq!(p.len(), 1);
         assert!((p.opacity(0) - 0.75).abs() < 1e-4);
-        let sh = p.sh_triples(0);
+        let sh = p.sh_triples(0, 0);
         let rgb_back = [
             sh[0][0] * SH_DC + 0.5,
             sh[0][1] * SH_DC + 0.5,

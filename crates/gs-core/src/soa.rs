@@ -1,0 +1,237 @@
+//! Render-optimized structure-of-arrays view of [`GaussianParams`].
+//!
+//! [`GaussianParams`] already stores each parameter group as a flat vector,
+//! but the values it holds are *trainable* representations: log-scales that
+//! must be exponentiated, opacity logits that must pass through the sigmoid,
+//! and a full 48-coefficient SH block per Gaussian even when the render only
+//! uses degree 0 or 1. The projection kernel therefore used to *gather* per
+//! Gaussian: re-deriving `exp`/`sigmoid` and copying all 16 SH triples on
+//! every call.
+//!
+//! [`GaussianSoa`] is the streaming view the kernel consumes instead. It is
+//! built in one pass over the parameter container and precomputes exactly
+//! the derived values projection needs:
+//!
+//! * `means` / `quats` — verbatim copies (contiguous, stream-friendly),
+//! * `scales` — `exp(log_scale)`, applied once per Gaussian instead of once
+//!   per render access,
+//! * `opacities` — `sigmoid(logit)`, likewise,
+//! * `sh` — the SH plane **truncated to the active degree**: only
+//!   `3 * num_coeffs(degree)` floats per Gaussian are copied, packed
+//!   contiguously, so a degree-0 render streams 3 floats per Gaussian
+//!   instead of touching 48.
+//!
+//! Because every precomputed value is the result of the *same* floating
+//! point operation the scalar path applied per access (`exp` and `sigmoid`
+//! of the same inputs), a render through the SoA view is bit-identical to
+//! one through the [`GaussianParams`] facade. The facade API is unchanged —
+//! callers that never touch the hot path keep using [`GaussianParams`]
+//! directly.
+
+use crate::gaussian::GaussianParams;
+use crate::math::{sigmoid, Quat, Vec3};
+use crate::sh::{self, MAX_COEFFS, MAX_DEGREE};
+
+/// A streaming, degree-truncated view of the parameters one render needs.
+///
+/// See the module docs for the layout. Built per `(params, sh_degree)` pair
+/// via [`GaussianSoa::build`]; all vectors are indexed by Gaussian.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaussianSoa {
+    len: usize,
+    sh_degree: usize,
+    /// World-space means, `3 * len`, `[x, y, z]` per Gaussian.
+    pub means: Vec<f32>,
+    /// Linear (exponentiated) scales, `3 * len`.
+    pub scales: Vec<f32>,
+    /// Raw (unnormalized) quaternions, `4 * len`, `[w, x, y, z]`.
+    pub quats: Vec<f32>,
+    /// Post-sigmoid opacities, `len`.
+    pub opacities: Vec<f32>,
+    /// Degree-truncated SH plane, `3 * num_coeffs(sh_degree) * len`,
+    /// coefficient-major per Gaussian (`[c0.r, c0.g, c0.b, c1.r, ...]`).
+    pub sh: Vec<f32>,
+}
+
+impl GaussianSoa {
+    /// Builds the streaming view for `sh_degree` in one pass over `params`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sh_degree > MAX_DEGREE`.
+    pub fn build(params: &GaussianParams, sh_degree: usize) -> Self {
+        assert!(
+            sh_degree <= MAX_DEGREE,
+            "sh_degree {sh_degree} exceeds the supported maximum {MAX_DEGREE}"
+        );
+        let n = params.len();
+        let stride = 3 * sh::num_coeffs(sh_degree);
+        let mut scales = Vec::with_capacity(3 * n);
+        scales.extend(params.log_scales.iter().map(|ls| ls.exp()));
+        let mut opacities = Vec::with_capacity(n);
+        opacities.extend(params.opacities.iter().map(|&o| sigmoid(o)));
+        let mut sh = Vec::with_capacity(stride * n);
+        if stride == 3 * MAX_COEFFS {
+            sh.extend_from_slice(&params.sh);
+        } else {
+            let full = 3 * MAX_COEFFS;
+            for i in 0..n {
+                sh.extend_from_slice(&params.sh[full * i..full * i + stride]);
+            }
+        }
+        Self {
+            len: n,
+            sh_degree,
+            means: params.means.clone(),
+            scales,
+            quats: params.quats.clone(),
+            opacities,
+            sh,
+        }
+    }
+
+    /// Number of Gaussians in the view.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the view is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The SH degree the view was truncated to.
+    #[inline]
+    pub fn sh_degree(&self) -> usize {
+        self.sh_degree
+    }
+
+    /// Floats per Gaussian in the truncated SH plane
+    /// (`3 * num_coeffs(sh_degree)`).
+    #[inline]
+    pub fn sh_stride(&self) -> usize {
+        3 * sh::num_coeffs(self.sh_degree)
+    }
+
+    /// World-space mean of Gaussian `i`.
+    #[inline]
+    pub fn mean(&self, i: usize) -> Vec3 {
+        Vec3::new(
+            self.means[3 * i],
+            self.means[3 * i + 1],
+            self.means[3 * i + 2],
+        )
+    }
+
+    /// Linear scale of Gaussian `i` (already exponentiated).
+    #[inline]
+    pub fn scale(&self, i: usize) -> Vec3 {
+        Vec3::new(
+            self.scales[3 * i],
+            self.scales[3 * i + 1],
+            self.scales[3 * i + 2],
+        )
+    }
+
+    /// Raw quaternion of Gaussian `i`.
+    #[inline]
+    pub fn quat(&self, i: usize) -> Quat {
+        Quat::new(
+            self.quats[4 * i],
+            self.quats[4 * i + 1],
+            self.quats[4 * i + 2],
+            self.quats[4 * i + 3],
+        )
+    }
+
+    /// Post-sigmoid opacity of Gaussian `i`.
+    #[inline]
+    pub fn opacity(&self, i: usize) -> f32 {
+        self.opacities[i]
+    }
+
+    /// The truncated SH coefficients of Gaussian `i`
+    /// (`3 * num_coeffs(sh_degree)` floats, coefficient-major).
+    #[inline]
+    pub fn sh_plane(&self, i: usize) -> &[f32] {
+        let s = self.sh_stride();
+        &self.sh[s * i..s * (i + 1)]
+    }
+
+    /// Approximate heap footprint in bytes (for admission accounting).
+    pub fn bytes(&self) -> usize {
+        (self.means.len()
+            + self.scales.len()
+            + self.quats.len()
+            + self.opacities.len()
+            + self.sh.len())
+            * std::mem::size_of::<f32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> GaussianParams {
+        let mut p = GaussianParams::new();
+        p.push_isotropic(Vec3::new(0.1, -0.2, 1.0), 0.3, [0.9, 0.2, 0.1], 0.8);
+        p.push_isotropic(Vec3::new(0.5, 0.3, 2.0), 0.2, [0.1, 0.8, 0.3], 0.6);
+        // Exercise higher-order SH coefficients.
+        for i in 0..p.len() {
+            for (k, v) in p.sh_coeffs_mut(i).iter_mut().enumerate() {
+                *v += (i as f32 + 1.0) * 0.01 * (k as f32 * 0.7).sin();
+            }
+        }
+        p
+    }
+
+    #[test]
+    fn derived_values_match_the_facade_bitwise() {
+        let p = sample();
+        let soa = GaussianSoa::build(&p, 3);
+        assert_eq!(soa.len(), p.len());
+        for i in 0..p.len() {
+            assert_eq!(soa.mean(i), p.mean(i));
+            assert_eq!(soa.scale(i), p.scale(i), "exp must be applied once");
+            assert_eq!(soa.quat(i), p.quat(i));
+            assert_eq!(soa.opacity(i), p.opacity(i), "sigmoid must match");
+            assert_eq!(soa.sh_plane(i), p.sh_coeffs(i));
+        }
+    }
+
+    #[test]
+    fn sh_plane_is_truncated_per_degree() {
+        let p = sample();
+        for degree in 0..=MAX_DEGREE {
+            let soa = GaussianSoa::build(&p, degree);
+            let stride = 3 * sh::num_coeffs(degree);
+            assert_eq!(soa.sh_stride(), stride);
+            assert_eq!(soa.sh.len(), stride * p.len());
+            for i in 0..p.len() {
+                assert_eq!(
+                    soa.sh_plane(i),
+                    &p.sh_coeffs(i)[..stride],
+                    "plane must be the coefficient-prefix of the full block"
+                );
+            }
+        }
+        // Degree 0 streams 3 floats per Gaussian instead of 48.
+        assert_eq!(GaussianSoa::build(&p, 0).sh.len(), 3 * p.len());
+    }
+
+    #[test]
+    fn empty_container_builds_an_empty_view() {
+        let soa = GaussianSoa::build(&GaussianParams::new(), 2);
+        assert!(soa.is_empty());
+        assert_eq!(soa.bytes(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the supported maximum")]
+    fn degree_above_max_is_rejected() {
+        let _ = GaussianSoa::build(&GaussianParams::new(), 4);
+    }
+}

@@ -60,6 +60,72 @@ impl Work {
     }
 }
 
+/// An *achieved* roofline measurement: the estimated work of one phase
+/// paired with its measured wall-clock time, reduced to achieved FLOP/s,
+/// achieved bandwidth, and operational intensity. Where [`kernel_time`]
+/// predicts a duration from work, a `RooflinePoint` goes the other way —
+/// it situates a real measurement against a device's roofline, which is how
+/// the serving benchmarks report how close each render phase runs to the
+/// machine's ceiling.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RooflinePoint {
+    /// Estimated floating-point operations performed by the phase.
+    pub flops: f64,
+    /// Estimated bytes moved by the phase.
+    pub bytes: f64,
+    /// Measured wall-clock duration of the phase, seconds.
+    pub seconds: f64,
+}
+
+impl RooflinePoint {
+    /// Pairs a phase's work estimate with its measured duration.
+    pub fn new(work: &Work, seconds: f64) -> Self {
+        Self {
+            flops: work.flops,
+            bytes: work.bytes,
+            seconds,
+        }
+    }
+
+    /// Achieved FLOP/s (0 when no time was measured).
+    pub fn achieved_flops(&self) -> f64 {
+        if self.seconds > 0.0 {
+            self.flops / self.seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Achieved bytes/s (0 when no time was measured).
+    pub fn achieved_bandwidth(&self) -> f64 {
+        if self.seconds > 0.0 {
+            self.bytes / self.seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Operational intensity in FLOP/byte (∞-free: 0 when no bytes move).
+    pub fn operational_intensity(&self) -> f64 {
+        if self.bytes > 0.0 {
+            self.flops / self.bytes
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction of `device`'s roofline ceiling the phase achieved: the
+    /// modelled best-case [`kernel_time`] over the measured time (1.0 = at
+    /// the roof; below 1 = overhead- or latency-bound). Streaming access is
+    /// assumed.
+    pub fn efficiency(&self, device: &DeviceSpec, is_gpu: bool) -> f64 {
+        if self.seconds <= 0.0 {
+            return 0.0;
+        }
+        kernel_time(&Work::new(self.flops, self.bytes), device, is_gpu) / self.seconds
+    }
+}
+
 /// Computes the execution time of `work` on `device`, in seconds.
 ///
 /// `is_gpu` selects the per-launch overhead constant.

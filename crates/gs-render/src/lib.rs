@@ -18,8 +18,15 @@
 //! * [`cost`] — arithmetic and memory-traffic estimates per kernel, consumed
 //!   by the platform timing model.
 //!
-//! The renderer is deterministic and single-threaded by design so that
-//! gradient checks and cross-trainer equivalence tests are exact.
+//! The renderer is deterministic by design so that gradient checks and
+//! cross-trainer equivalence tests are exact: the hot path streams a
+//! structure-of-arrays view ([`gs_core::soa::GaussianSoa`]) through
+//! lane-batched, SH-degree-specialized kernels, and rasterization can fan
+//! tile rows out across threads ([`pipeline::render_tiled`]) — every
+//! variant is bit-identical to the single-threaded scalar reference
+//! ([`projection::project_splats_reference`],
+//! [`rasterize::rasterize_forward_reference`]), which is kept as the
+//! in-tree oracle.
 
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -33,8 +40,15 @@ pub mod rasterize;
 pub mod tiles;
 
 pub use culling::{frustum_cull, CullResult};
-pub use pipeline::{render, render_backward, render_layer, RenderOutput};
-pub use projection::{project_splats, projection_backward, Splat, SplatGrad};
+pub use pipeline::{
+    render, render_backward, render_layer, render_layer_tiled, render_tiled, RenderOutput,
+    RenderTimings,
+};
+pub use projection::{
+    project_splats, project_splats_reference, project_splats_soa, projection_backward, Splat,
+    SplatGrad,
+};
 pub use rasterize::{
-    rasterize_backward, rasterize_forward, rasterize_layer, FrameLayer, RasterAux,
+    rasterize_backward, rasterize_forward, rasterize_forward_reference, rasterize_forward_tiled,
+    rasterize_layer, rasterize_layer_reference, rasterize_layer_tiled, FrameLayer, RasterAux,
 };

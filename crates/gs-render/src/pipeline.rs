@@ -15,7 +15,8 @@ use crate::cost::{self, WorkEstimate};
 use crate::loss::{loss_and_grad, LossKind};
 use crate::projection::{project_splats, projection_backward, Splat};
 use crate::rasterize::{
-    rasterize_backward, rasterize_forward, rasterize_layer, FrameLayer, RasterAux,
+    rasterize_backward, rasterize_forward, rasterize_forward_tiled, rasterize_layer,
+    rasterize_layer_tiled, FrameLayer, RasterAux,
 };
 use crate::tiles::TileGrid;
 
@@ -45,6 +46,26 @@ impl RenderStats {
     }
 }
 
+/// Wall-clock phase timings of one forward render, for roofline-style
+/// achieved-vs-peak accounting. Kept separate from [`RenderStats`] (which
+/// stays `Eq`-comparable across runs).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RenderTimings {
+    /// Seconds spent in projection (SoA build + EWA kernel).
+    pub project_s: f64,
+    /// Seconds spent binning splats into tiles.
+    pub bin_s: f64,
+    /// Seconds spent rasterizing (blending).
+    pub raster_s: f64,
+}
+
+impl RenderTimings {
+    /// Total render time across phases, in seconds.
+    pub fn total_s(&self) -> f64 {
+        self.project_s + self.bin_s + self.raster_s
+    }
+}
+
 /// Everything produced by a forward render.
 #[derive(Debug, Clone)]
 pub struct RenderOutput {
@@ -58,6 +79,8 @@ pub struct RenderOutput {
     pub aux: RasterAux,
     /// Work counters.
     pub stats: RenderStats,
+    /// Per-phase wall-clock timings.
+    pub timings: RenderTimings,
 }
 
 impl RenderOutput {
@@ -82,9 +105,34 @@ pub fn render(
     viewport: &Viewport,
     background: [f32; 3],
 ) -> RenderOutput {
+    render_tiled(params, cam, sh_degree, viewport, background, 1)
+}
+
+/// [`render`] with rasterization fanned out over up to `threads` scoped
+/// worker threads, each blending a contiguous band of tile rows.
+///
+/// Bit-identical to the sequential [`render`] at any thread count: bands
+/// write disjoint pixel rows and every pixel's blend runs the same
+/// floating-point sequence. `threads <= 1` is the sequential pass.
+pub fn render_tiled(
+    params: &GaussianParams,
+    cam: &Camera,
+    sh_degree: usize,
+    viewport: &Viewport,
+    background: [f32; 3],
+    threads: usize,
+) -> RenderOutput {
+    let t0 = std::time::Instant::now();
     let splats = project_splats(params, cam, sh_degree, viewport);
+    let t1 = std::time::Instant::now();
     let grid = TileGrid::build(&splats, *viewport);
-    let (image, aux) = rasterize_forward(&splats, &grid, background);
+    let t2 = std::time::Instant::now();
+    let (image, aux) = if threads > 1 {
+        rasterize_forward_tiled(&splats, &grid, background, threads)
+    } else {
+        rasterize_forward(&splats, &grid, background)
+    };
+    let t3 = std::time::Instant::now();
     let stats = RenderStats {
         num_input: params.len(),
         num_splats: splats.len(),
@@ -97,6 +145,11 @@ pub fn render(
         grid,
         aux,
         stats,
+        timings: RenderTimings {
+            project_s: (t1 - t0).as_secs_f64(),
+            bin_s: (t2 - t1).as_secs_f64(),
+            raster_s: (t3 - t2).as_secs_f64(),
+        },
     }
 }
 
@@ -120,9 +173,31 @@ pub fn render_layer(
     viewport: &Viewport,
     layer: &mut FrameLayer,
 ) -> RenderStats {
+    render_layer_tiled(params, cam, sh_degree, viewport, layer, 1)
+}
+
+/// [`render_layer`] with rasterization fanned out over up to `threads`
+/// scoped worker threads (see [`render_tiled`]); bit-identical to the
+/// sequential pass.
+///
+/// # Panics
+///
+/// Panics if `layer`'s size does not match the viewport.
+pub fn render_layer_tiled(
+    params: &GaussianParams,
+    cam: &Camera,
+    sh_degree: usize,
+    viewport: &Viewport,
+    layer: &mut FrameLayer,
+    threads: usize,
+) -> RenderStats {
     let splats = project_splats(params, cam, sh_degree, viewport);
     let grid = TileGrid::build(&splats, *viewport);
-    rasterize_layer(&splats, &grid, layer);
+    if threads > 1 {
+        rasterize_layer_tiled(&splats, &grid, layer, threads);
+    } else {
+        rasterize_layer(&splats, &grid, layer);
+    }
     RenderStats {
         num_input: params.len(),
         num_splats: splats.len(),
@@ -353,6 +428,34 @@ mod tests {
             initial.loss,
             loss
         );
+    }
+
+    #[test]
+    fn tiled_render_matches_sequential_bitwise() {
+        let p = scene();
+        let c = cam();
+        let vp = Viewport::full(&c);
+        let bg = [0.1, 0.2, 0.3];
+        let seq = render(&p, &c, 3, &vp, bg);
+        for threads in [2, 4] {
+            let par = render_tiled(&p, &c, 3, &vp, bg, threads);
+            assert_eq!(par.image.data(), seq.image.data(), "{threads} threads");
+            assert_eq!(par.aux, seq.aux, "{threads} threads");
+            assert_eq!(par.stats, seq.stats, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn tiled_render_layer_matches_sequential_bitwise() {
+        let p = scene();
+        let c = cam();
+        let vp = Viewport::full(&c);
+        let mut seq = FrameLayer::new(vp.width(), vp.height());
+        let seq_stats = render_layer(&p, &c, 3, &vp, &mut seq);
+        let mut par = FrameLayer::new(vp.width(), vp.height());
+        let par_stats = render_layer_tiled(&p, &c, 3, &vp, &mut par, 3);
+        assert_eq!(par, seq);
+        assert_eq!(par_stats, seq_stats);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 use gs_core::image::Image;
 
 use crate::projection::{Splat, SplatGrad};
-use crate::tiles::TileGrid;
+use crate::tiles::{TileGrid, TILE_SIZE};
 
 /// Alpha values below this threshold are skipped (1/255, as in 3DGS).
 pub const ALPHA_SKIP: f32 = 1.0 / 255.0;
@@ -99,10 +99,262 @@ fn blend_pixel(
     processed
 }
 
+/// The splat-outer, lane-batched row blend kernel.
+///
+/// Where [`blend_pixel`] walks the bin once per pixel, this kernel walks the
+/// bin once per *tile row*, applying each splat to a batch of up to
+/// [`TILE_SIZE`] pixel lanes. Per-splat fields are hoisted out of the lane
+/// loop, and a row-level `dy` test rejects splats that miss the whole row
+/// before any per-lane work. Each lane still sees the bin's splats in the
+/// same order and runs the same floating-point operations as the scalar
+/// path, so the result is bit-identical — only the interleaving across
+/// pixels (which share no state) changes.
+///
+/// `colors`/`ts`/`processed` are parallel lanes for the row's pixels
+/// starting at viewport-absolute column `x0`. Lanes whose incoming
+/// transmittance is already below [`TRANSMITTANCE_MIN`] are left untouched
+/// (the cross-shard early termination of [`rasterize_layer`]).
+fn blend_row(
+    splats: &[Splat],
+    bin: &[u32],
+    x0: usize,
+    cy: f32,
+    colors: &mut [[f32; 3]],
+    ts: &mut [f32],
+    processed: &mut [u32],
+) {
+    let width = ts.len();
+    debug_assert!(width <= TILE_SIZE);
+    debug_assert_eq!(colors.len(), width);
+    debug_assert_eq!(processed.len(), width);
+    let mut live = [false; TILE_SIZE];
+    let mut remaining = 0usize;
+    for (l, &t) in ts.iter().enumerate() {
+        let alive = t >= TRANSMITTANCE_MIN;
+        live[l] = alive;
+        remaining += usize::from(alive);
+    }
+    if remaining == 0 {
+        return;
+    }
+    for &si in bin {
+        let s = &splats[si as usize];
+        let dy = cy - s.mean2d.y;
+        if dy.abs() > s.radius {
+            // The splat's bounding box misses the whole row: every live lane
+            // counts the bin entry as processed (as the scalar path's bbox
+            // miss does) and no per-lane work runs.
+            for (l, p) in processed.iter_mut().enumerate() {
+                *p += u32::from(live[l]);
+            }
+            continue;
+        }
+        let mean_x = s.mean2d.x;
+        let radius = s.radius;
+        let (cxx, cxy, cyy) = (s.conic.xx, s.conic.xy, s.conic.yy);
+        let opacity = s.opacity;
+        let col = s.color;
+        for l in 0..width {
+            if !live[l] {
+                continue;
+            }
+            processed[l] += 1;
+            let dx = ((x0 + l) as f32 + 0.5) - mean_x;
+            if dx.abs() > radius {
+                continue;
+            }
+            let sigma = 0.5 * (cxx * dx * dx + cyy * dy * dy) + cxy * dx * dy;
+            if sigma < 0.0 || !sigma.is_finite() {
+                continue;
+            }
+            let raw = opacity * (-sigma).exp();
+            if raw < ALPHA_SKIP {
+                continue;
+            }
+            let alpha = if raw > ALPHA_MAX { ALPHA_MAX } else { raw };
+            let t = ts[l];
+            colors[l][0] += col[0] * alpha * t;
+            colors[l][1] += col[1] * alpha * t;
+            colors[l][2] += col[2] * alpha * t;
+            let t_next = t * (1.0 - alpha);
+            ts[l] = t_next;
+            if t_next < TRANSMITTANCE_MIN {
+                live[l] = false;
+                remaining -= 1;
+            }
+        }
+        if remaining == 0 {
+            break;
+        }
+    }
+}
+
+/// Splits `0..tiles_y` into at most `threads` contiguous tile-row bands.
+fn band_bounds(tiles_y: usize, threads: usize) -> Vec<(usize, usize)> {
+    let n = threads.clamp(1, tiles_y.max(1));
+    let base = tiles_y / n;
+    let extra = tiles_y % n;
+    let mut bands = Vec::with_capacity(n);
+    let mut start = 0;
+    for b in 0..n {
+        let len = base + usize::from(b < extra);
+        bands.push((start, start + len));
+        start += len;
+    }
+    bands
+}
+
+/// Renders tile rows `ty0..ty1` into band-local buffers (`img` holds
+/// `3 * width` floats per pixel row, `final_t`/`n_processed` one value).
+/// The shared worker for the sequential forward pass (one band covering the
+/// whole grid) and the tile-parallel pass (one band per thread): every pixel
+/// is produced by the same code path regardless of how the image is banded,
+/// which is what makes the two bit-identical.
+#[allow(clippy::too_many_arguments)]
+fn forward_band(
+    splats: &[Splat],
+    grid: &TileGrid,
+    background: [f32; 3],
+    ty0: usize,
+    ty1: usize,
+    img: &mut [f32],
+    final_t: &mut [f32],
+    n_processed: &mut [u32],
+) {
+    let vp = grid.viewport();
+    let width = vp.width();
+    let band_row0 = ty0 * TILE_SIZE;
+    for ty in ty0..ty1 {
+        for tx in 0..grid.tiles_x() {
+            let bin = grid.bin(tx, ty);
+            let (x0, y0, x1, y1) = grid.tile_pixel_range(tx, ty);
+            let row_w = x1 - x0;
+            let lx0 = x0 - vp.x0;
+            for py in y0..y1 {
+                let cy = py as f32 + 0.5;
+                let mut colors = [[0.0f32; 3]; TILE_SIZE];
+                let mut ts = [1.0f32; TILE_SIZE];
+                let mut procs = [0u32; TILE_SIZE];
+                blend_row(
+                    splats,
+                    bin,
+                    x0,
+                    cy,
+                    &mut colors[..row_w],
+                    &mut ts[..row_w],
+                    &mut procs[..row_w],
+                );
+                let ly = (py - vp.y0) - band_row0;
+                for l in 0..row_w {
+                    let t = ts[l];
+                    let mut c = colors[l];
+                    c[0] += background[0] * t;
+                    c[1] += background[1] * t;
+                    c[2] += background[2] * t;
+                    let pix = ly * width + lx0 + l;
+                    img[3 * pix..3 * pix + 3].copy_from_slice(&c);
+                    final_t[pix] = t;
+                    n_processed[pix] = procs[l];
+                }
+            }
+        }
+    }
+}
+
 /// Rasterizes splats over the grid's viewport, returning the rendered image
 /// (sized to the viewport) and the auxiliary state needed for the backward
 /// pass.
+///
+/// Runs the lane-batched row kernel ([`blend_row`]) sequentially; output is
+/// bit-identical to [`rasterize_forward_reference`] and to
+/// [`rasterize_forward_tiled`] at any thread count.
 pub fn rasterize_forward(
+    splats: &[Splat],
+    grid: &TileGrid,
+    background: [f32; 3],
+) -> (Image, RasterAux) {
+    let vp = grid.viewport();
+    let width = vp.width();
+    let height = vp.height();
+    let mut image = Image::zeros(width, height);
+    let mut final_t = vec![1.0f32; width * height];
+    let mut n_processed = vec![0u32; width * height];
+    forward_band(
+        splats,
+        grid,
+        background,
+        0,
+        grid.tiles_y(),
+        image.data_mut(),
+        &mut final_t,
+        &mut n_processed,
+    );
+    (
+        image,
+        RasterAux {
+            final_transmittance: final_t,
+            n_processed,
+            background,
+        },
+    )
+}
+
+/// [`rasterize_forward`] with tile rows fanned out over `threads` scoped
+/// worker threads.
+///
+/// Each thread renders a contiguous band of tile rows into a disjoint slice
+/// of the output buffers (split at pixel-row boundaries), so no pixel is
+/// touched by two threads and every pixel runs the exact per-pixel code of
+/// the sequential pass — the output is bit-identical to
+/// [`rasterize_forward`]. `threads <= 1` (or a single tile row) falls back
+/// to the sequential pass.
+pub fn rasterize_forward_tiled(
+    splats: &[Splat],
+    grid: &TileGrid,
+    background: [f32; 3],
+    threads: usize,
+) -> (Image, RasterAux) {
+    let bands = band_bounds(grid.tiles_y(), threads);
+    if bands.len() <= 1 {
+        return rasterize_forward(splats, grid, background);
+    }
+    let vp = grid.viewport();
+    let width = vp.width();
+    let height = vp.height();
+    let mut image = Image::zeros(width, height);
+    let mut final_t = vec![1.0f32; width * height];
+    let mut n_processed = vec![0u32; width * height];
+    std::thread::scope(|scope| {
+        let mut img_rest: &mut [f32] = image.data_mut();
+        let mut t_rest: &mut [f32] = &mut final_t;
+        let mut p_rest: &mut [u32] = &mut n_processed;
+        for &(ty0, ty1) in &bands {
+            let rows = (ty1 * TILE_SIZE).min(height) - ty0 * TILE_SIZE;
+            let (img_band, img_next) = std::mem::take(&mut img_rest).split_at_mut(3 * rows * width);
+            let (t_band, t_next) = std::mem::take(&mut t_rest).split_at_mut(rows * width);
+            let (p_band, p_next) = std::mem::take(&mut p_rest).split_at_mut(rows * width);
+            img_rest = img_next;
+            t_rest = t_next;
+            p_rest = p_next;
+            scope.spawn(move || {
+                forward_band(splats, grid, background, ty0, ty1, img_band, t_band, p_band);
+            });
+        }
+    });
+    (
+        image,
+        RasterAux {
+            final_transmittance: final_t,
+            n_processed,
+            background,
+        },
+    )
+}
+
+/// The seed scalar forward pass (pixel-outer [`blend_pixel`] walk), kept
+/// verbatim as the bit-identity oracle for the lane-batched and
+/// tile-parallel paths and as the "before" baseline in kernel benchmarks.
+pub fn rasterize_forward_reference(
     splats: &[Splat],
     grid: &TileGrid,
     background: [f32; 3],
@@ -284,6 +536,122 @@ impl FrameLayer {
 ///
 /// Panics if `layer`'s size does not match the grid's viewport.
 pub fn rasterize_layer(splats: &[Splat], grid: &TileGrid, layer: &mut FrameLayer) {
+    let vp = grid.viewport();
+    assert_eq!(layer.width(), vp.width(), "layer width mismatch");
+    assert_eq!(layer.height(), vp.height(), "layer height mismatch");
+    let transmittance = &mut layer.transmittance;
+    layer_band(
+        splats,
+        grid,
+        0,
+        grid.tiles_y(),
+        layer.color.data_mut(),
+        transmittance,
+    );
+}
+
+/// Rasterizes tile rows `ty0..ty1` into band-local slices of a layer's
+/// color data (`3 * width` floats per pixel row) and transmittance. The
+/// shared worker for [`rasterize_layer`] (one band) and
+/// [`rasterize_layer_tiled`] (one band per thread).
+fn layer_band(
+    splats: &[Splat],
+    grid: &TileGrid,
+    ty0: usize,
+    ty1: usize,
+    color: &mut [f32],
+    transmittance: &mut [f32],
+) {
+    let vp = grid.viewport();
+    let width = vp.width();
+    let band_row0 = ty0 * TILE_SIZE;
+    for ty in ty0..ty1 {
+        for tx in 0..grid.tiles_x() {
+            let bin = grid.bin(tx, ty);
+            if bin.is_empty() {
+                continue;
+            }
+            let (x0, y0, x1, y1) = grid.tile_pixel_range(tx, ty);
+            let row_w = x1 - x0;
+            let lx0 = x0 - vp.x0;
+            for py in y0..y1 {
+                let cy = py as f32 + 0.5;
+                let ly = (py - vp.y0) - band_row0;
+                let pix0 = ly * width + lx0;
+                let mut colors = [[0.0f32; 3]; TILE_SIZE];
+                let mut ts = [1.0f32; TILE_SIZE];
+                let mut procs = [0u32; TILE_SIZE];
+                for l in 0..row_w {
+                    let pix = pix0 + l;
+                    colors[l] = [color[3 * pix], color[3 * pix + 1], color[3 * pix + 2]];
+                    ts[l] = transmittance[pix];
+                }
+                blend_row(
+                    splats,
+                    bin,
+                    x0,
+                    cy,
+                    &mut colors[..row_w],
+                    &mut ts[..row_w],
+                    &mut procs[..row_w],
+                );
+                for l in 0..row_w {
+                    let pix = pix0 + l;
+                    color[3 * pix..3 * pix + 3].copy_from_slice(&colors[l]);
+                    transmittance[pix] = ts[l];
+                }
+            }
+        }
+    }
+}
+
+/// [`rasterize_layer`] with tile rows fanned out over `threads` scoped
+/// worker threads, each continuing the blend on a disjoint band of the
+/// layer's pixel rows. Bit-identical to the sequential [`rasterize_layer`]
+/// (every pixel's blend is independent of its neighbours'). `threads <= 1`
+/// falls back to the sequential pass.
+///
+/// # Panics
+///
+/// Panics if `layer`'s size does not match the grid's viewport.
+pub fn rasterize_layer_tiled(
+    splats: &[Splat],
+    grid: &TileGrid,
+    layer: &mut FrameLayer,
+    threads: usize,
+) {
+    let vp = grid.viewport();
+    let width = vp.width();
+    let height = vp.height();
+    assert_eq!(layer.width(), width, "layer width mismatch");
+    assert_eq!(layer.height(), height, "layer height mismatch");
+    let bands = band_bounds(grid.tiles_y(), threads);
+    if bands.len() <= 1 {
+        rasterize_layer(splats, grid, layer);
+        return;
+    }
+    std::thread::scope(|scope| {
+        let mut c_rest: &mut [f32] = layer.color.data_mut();
+        let mut t_rest: &mut [f32] = &mut layer.transmittance;
+        for &(ty0, ty1) in &bands {
+            let rows = (ty1 * TILE_SIZE).min(height) - ty0 * TILE_SIZE;
+            let (c_band, c_next) = std::mem::take(&mut c_rest).split_at_mut(3 * rows * width);
+            let (t_band, t_next) = std::mem::take(&mut t_rest).split_at_mut(rows * width);
+            c_rest = c_next;
+            t_rest = t_next;
+            scope.spawn(move || layer_band(splats, grid, ty0, ty1, c_band, t_band));
+        }
+    });
+}
+
+/// The seed scalar layer pass (pixel-outer [`blend_pixel`] walk), kept
+/// verbatim as the bit-identity oracle for the lane-batched and
+/// tile-parallel layer paths.
+///
+/// # Panics
+///
+/// Panics if `layer`'s size does not match the grid's viewport.
+pub fn rasterize_layer_reference(splats: &[Splat], grid: &TileGrid, layer: &mut FrameLayer) {
     let vp = grid.viewport();
     let width = vp.width();
     let height = vp.height();
@@ -649,6 +1017,85 @@ mod tests {
             ));
         }
         splats
+    }
+
+    /// A taller scene spanning several tile rows, with a near-opaque pair to
+    /// exercise mid-bin early termination in the lane kernel.
+    fn tall_scene() -> Vec<Splat> {
+        let mut splats = layered_scene();
+        for i in 0..24u32 {
+            let f = i as f32;
+            splats.push(simple_splat(
+                12 + i,
+                8.0 + (f * 0.9).sin() * 7.0,
+                4.0 + f * 2.3,
+                [(f * 0.13).sin().abs(), 0.4, (f * 0.29).cos().abs()],
+                0.3 + 0.025 * f,
+                2.0 + f * 0.25,
+            ));
+        }
+        // Stacked near-opaque splats drive some pixels below the
+        // transmittance cutoff mid-bin.
+        splats.push(simple_splat(36, 8.5, 24.5, [1.0, 0.2, 0.1], 0.9999, 0.5));
+        splats.push(simple_splat(37, 8.5, 24.5, [0.9, 0.1, 0.2], 0.9999, 0.6));
+        splats
+    }
+
+    #[test]
+    fn lane_batched_forward_matches_the_scalar_reference_bitwise() {
+        let splats = tall_scene();
+        let viewport = vp(24, 56);
+        let grid = TileGrid::build(&splats, viewport);
+        let bg = [0.1, 0.2, 0.3];
+        let (reference, ref_aux) = rasterize_forward_reference(&splats, &grid, bg);
+        let (fast, fast_aux) = rasterize_forward(&splats, &grid, bg);
+        assert_eq!(fast.data(), reference.data());
+        assert_eq!(fast_aux, ref_aux);
+    }
+
+    #[test]
+    fn lane_batched_layer_matches_the_scalar_reference_bitwise() {
+        let splats = tall_scene();
+        let viewport = vp(24, 56);
+        // Start from a partially blended layer so entry-dead lanes and
+        // mid-blend continuation are both exercised.
+        let (near, far) = splats.split_at(14);
+        let far_grid = TileGrid::build(far, viewport);
+        let mut seed = FrameLayer::new(24, 56);
+        rasterize_layer(near, &TileGrid::build(near, viewport), &mut seed);
+        let mut reference = seed.clone();
+        rasterize_layer_reference(far, &far_grid, &mut reference);
+        let mut fast = seed;
+        rasterize_layer(far, &far_grid, &mut fast);
+        assert_eq!(fast, reference);
+    }
+
+    #[test]
+    fn tiled_forward_is_bit_identical_to_sequential_at_any_thread_count() {
+        let splats = tall_scene();
+        let viewport = vp(24, 56);
+        let grid = TileGrid::build(&splats, viewport);
+        let bg = [0.05, 0.1, 0.15];
+        let (seq, seq_aux) = rasterize_forward(&splats, &grid, bg);
+        for threads in [0, 1, 2, 3, 7, 64] {
+            let (par, par_aux) = rasterize_forward_tiled(&splats, &grid, bg, threads);
+            assert_eq!(par.data(), seq.data(), "{threads} threads");
+            assert_eq!(par_aux, seq_aux, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn tiled_layer_is_bit_identical_to_sequential_at_any_thread_count() {
+        let splats = tall_scene();
+        let viewport = vp(24, 56);
+        let grid = TileGrid::build(&splats, viewport);
+        let mut seq = FrameLayer::new(24, 56);
+        rasterize_layer(&splats, &grid, &mut seq);
+        for threads in [2, 3, 64] {
+            let mut par = FrameLayer::new(24, 56);
+            rasterize_layer_tiled(&splats, &grid, &mut par, threads);
+            assert_eq!(par, seq, "{threads} threads");
+        }
     }
 
     #[test]

@@ -242,7 +242,7 @@ fn subsample_cloud(gt: &GaussianParams, count: usize, rng: &mut Rng64) -> PointC
             rng.gen_range(-0.5..0.5),
             rng.gen_range(-0.5..0.5),
         ) * gt.scale(i).max_elem();
-        let sh0 = gt.sh_triples(i)[0];
+        let sh0 = gt.sh_triples(i, 0)[0];
         let rgb = [
             (sh0[0] * gs_core::gaussian::SH_DC + 0.5 + rng.gen_range(-0.05..0.05)).clamp(0.0, 1.0),
             (sh0[1] * gs_core::gaussian::SH_DC + 0.5 + rng.gen_range(-0.05..0.05)).clamp(0.0, 1.0),

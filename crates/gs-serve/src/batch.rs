@@ -21,7 +21,7 @@ use std::sync::Arc;
 use gs_core::gaussian::GaussianParams;
 use gs_core::image::Image;
 use gs_render::culling::frustum_cull;
-use gs_render::pipeline::render;
+use gs_render::pipeline::render_tiled;
 
 use crate::request::RenderRequest;
 
@@ -41,6 +41,10 @@ pub struct BatchOutcome {
 /// Renders `requests` (which must all target the scene held in `params`)
 /// through a shared cull-and-gather.
 ///
+/// `tile_threads` is the tile-parallel width each render may fan its
+/// rasterization out over (`<= 1` renders sequentially); the output bytes
+/// are identical either way.
+///
 /// # Panics
 ///
 /// Panics if a request's `sh_degree` exceeds [`gs_core::sh::MAX_DEGREE`].
@@ -51,6 +55,7 @@ pub fn render_shared(
     params: &GaussianParams,
     background: [f32; 3],
     requests: &[&RenderRequest],
+    tile_threads: usize,
 ) -> BatchOutcome {
     for r in requests {
         assert!(
@@ -82,7 +87,19 @@ pub fn render_shared(
 
     let images = requests
         .iter()
-        .map(|r| Arc::new(render(&shared, &r.camera, r.sh_degree, &r.viewport, background).image))
+        .map(|r| {
+            Arc::new(
+                render_tiled(
+                    &shared,
+                    &r.camera,
+                    r.sh_degree,
+                    &r.viewport,
+                    background,
+                    tile_threads,
+                )
+                .image,
+            )
+        })
         .collect();
 
     BatchOutcome {
@@ -138,7 +155,7 @@ mod tests {
             .map(|&x| RenderRequest::full("s", cam_at(x)))
             .collect();
         let refs: Vec<&RenderRequest> = reqs.iter().collect();
-        let batched = render_shared(&params, bg, &refs);
+        let batched = render_shared(&params, bg, &refs, 1);
         for (req, img) in reqs.iter().zip(&batched.images) {
             let solo = render_image(&params, &req.camera, req.sh_degree, bg);
             assert_eq!(
@@ -150,10 +167,26 @@ mod tests {
     }
 
     #[test]
+    fn tile_parallel_batch_is_byte_identical_to_sequential() {
+        let params = random_scene(13, 300);
+        let bg = [0.02, 0.02, 0.05];
+        let reqs: Vec<RenderRequest> = [-2.0f32, 2.0]
+            .iter()
+            .map(|&x| RenderRequest::full("s", cam_at(x)))
+            .collect();
+        let refs: Vec<&RenderRequest> = reqs.iter().collect();
+        let sequential = render_shared(&params, bg, &refs, 1);
+        let parallel = render_shared(&params, bg, &refs, 4);
+        for (a, b) in sequential.images.iter().zip(&parallel.images) {
+            assert_eq!(a.data(), b.data());
+        }
+    }
+
+    #[test]
     fn batch_of_one_matches_too() {
         let params = random_scene(10, 120);
         let req = RenderRequest::full("s", cam_at(1.0));
-        let out = render_shared(&params, [0.0; 3], &[&req]);
+        let out = render_shared(&params, [0.0; 3], &[&req], 1);
         let solo = render_image(&params, &req.camera, 3, [0.0; 3]);
         assert_eq!(solo.data(), out.images[0].data());
         assert_eq!(out.union_active, out.summed_active);
@@ -168,7 +201,7 @@ mod tests {
             .map(|&x| RenderRequest::full("s", cam_at(x)))
             .collect();
         let refs: Vec<&RenderRequest> = reqs.iter().collect();
-        let out = render_shared(&params, [0.0; 3], &refs);
+        let out = render_shared(&params, [0.0; 3], &refs, 1);
         assert!(out.union_active > 0);
         assert!(
             (out.summed_active as f64) > 3.0 * out.union_active as f64,
@@ -181,7 +214,7 @@ mod tests {
     #[test]
     fn empty_batch_is_a_no_op() {
         let params = random_scene(12, 10);
-        let out = render_shared(&params, [0.0; 3], &[]);
+        let out = render_shared(&params, [0.0; 3], &[], 1);
         assert!(out.images.is_empty());
         assert_eq!(out.union_active, 0);
     }

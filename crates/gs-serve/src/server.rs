@@ -57,6 +57,13 @@ pub struct ServeConfig {
     /// Frame-cache replacement policy: LRU, or TinyLFU frequency-aware
     /// admission (see [`crate::cache`]).
     pub cache_policy: CachePolicyKind,
+    /// Maximum number of threads one frame's rasterization may fan its tile
+    /// rows out over when the queue is empty (idle pool workers mean those
+    /// cores are otherwise free). Under load the gate closes and
+    /// parallelism comes from concurrent requests instead. `0` follows
+    /// `workers`; `1` disables tile parallelism. Output bytes are identical
+    /// at any setting.
+    pub tile_parallel: usize,
 }
 
 impl Default for ServeConfig {
@@ -70,6 +77,7 @@ impl Default for ServeConfig {
             shard_bytes: 32 << 20,
             scheduler: SchedulerPolicy::Fifo,
             cache_policy: CachePolicyKind::Lru,
+            tile_parallel: 0,
         }
     }
 }
@@ -116,6 +124,25 @@ struct Shared {
     /// at least one sweep, while merely *carrying* a token (every HTTP
     /// request does) costs the queue nothing.
     pending_cancels: Arc<AtomicU64>,
+}
+
+impl Shared {
+    /// Tile-parallel width for the next render: the configured fan-out
+    /// while the queue is empty (idle workers mean free cores), `1` — no
+    /// helper threads — whenever jobs are waiting, so a loaded pool keeps
+    /// its parallelism at the request level.
+    fn tile_threads(&self) -> usize {
+        let limit = if self.config.tile_parallel == 0 {
+            self.config.workers
+        } else {
+            self.config.tile_parallel
+        };
+        if limit > 1 && self.sched.is_empty() {
+            limit
+        } else {
+            1
+        }
+    }
 }
 
 /// Handle to a pending render; resolves through [`Ticket::wait`].
@@ -522,13 +549,18 @@ impl RenderServer {
                     return Err(ServeError::UnknownShard(request.scene.clone(), k));
                 }
                 let started = Instant::now();
-                gs_render::pipeline::render_layer(
+                let tile_threads = self.shared.tile_threads();
+                gs_render::pipeline::render_layer_tiled(
                     &scene.params,
                     &request.camera,
                     request.sh_degree,
                     &request.viewport,
                     &mut layer,
+                    tile_threads,
                 );
+                if tile_threads > 1 {
+                    self.shared.stats.record_tile_renders(1);
+                }
                 self.shared.stats.record_shard_layer(started.elapsed());
             }
             SceneView::Sharded(sharded) => match shard {
@@ -777,7 +809,18 @@ fn process_batch(
     let epoch = view.epoch();
     let images: Vec<(Arc<gs_core::image::Image>, usize)> = match &view {
         SceneView::Single(scene) => {
-            let outcome = render_shared(&scene.params, scene.background, &unique_requests);
+            let tile_threads = shared.tile_threads();
+            let outcome = render_shared(
+                &scene.params,
+                scene.background,
+                &unique_requests,
+                tile_threads,
+            );
+            if tile_threads > 1 {
+                shared
+                    .stats
+                    .record_tile_renders(unique_requests.len() as u64);
+            }
             acct.batch_recorded.store(true, Ordering::Relaxed);
             shared
                 .stats
@@ -924,13 +967,18 @@ fn render_one_shard(
         }
     }
     let started = Instant::now();
-    gs_render::pipeline::render_layer(
+    let tile_threads = shared.tile_threads();
+    gs_render::pipeline::render_layer_tiled(
         &shard.params,
         &request.camera,
         request.sh_degree,
         &request.viewport,
         layer,
+        tile_threads,
     );
+    if tile_threads > 1 {
+        shared.stats.record_tile_renders(1);
+    }
     shared.stats.record_shard_layer(started.elapsed());
 }
 

@@ -111,6 +111,10 @@ pub struct ServeStats {
     /// Layer renders served through [`crate::server::RenderServer::render_layer_blocking`]
     /// (the cross-node sharded-rendering entry point).
     pub layers_served: u64,
+    /// Frames whose rasterization fanned out across tile-row bands because
+    /// the queue was empty at render time (0 when the pool was always busy
+    /// or tile parallelism is disabled).
+    pub tile_renders: u64,
     /// Latency distribution of individual shard-layer renders.
     pub shard_layer: LatencySummary,
     /// HTTP connection counters (filled in by the HTTP front-end).
@@ -231,6 +235,11 @@ impl std::fmt::Display for ServeStats {
         )?;
         writeln!(
             f,
+            "  tiling:     {} tile-parallel renders",
+            self.tile_renders,
+        )?;
+        writeln!(
+            f,
             "  connections: {} accepted, {} rejected, {} active",
             self.connections.accepted, self.connections.rejected, self.connections.active,
         )?;
@@ -312,6 +321,7 @@ struct CollectorInner {
     shards_rendered: u64,
     shards_culled: u64,
     layers_served: u64,
+    tile_renders: u64,
     batches: BTreeMap<usize, u64>,
     per_worker: Vec<u64>,
     union_active: u64,
@@ -341,6 +351,7 @@ impl StatsCollector {
                 shards_rendered: 0,
                 shards_culled: 0,
                 layers_served: 0,
+                tile_renders: 0,
                 batches: BTreeMap::new(),
                 per_worker: vec![0; workers],
                 union_active: 0,
@@ -403,6 +414,12 @@ impl StatsCollector {
         self.inner.lock().unwrap().layers_served += 1;
     }
 
+    /// Records `n` frames rasterized tile-parallel (fanned across tile-row
+    /// bands while the queue was empty).
+    pub fn record_tile_renders(&self, n: u64) {
+        self.inner.lock().unwrap().tile_renders += n;
+    }
+
     /// A uniform sample of observed request latencies in seconds (at most
     /// `max` values, deterministically strided out of the reservoir). The
     /// raw material a cluster coordinator merges across replicas so
@@ -456,6 +473,7 @@ impl StatsCollector {
             shards_rendered: inner.shards_rendered,
             shards_culled: inner.shards_culled,
             layers_served: inner.layers_served,
+            tile_renders: inner.tile_renders,
             shard_layer: inner.shard_layer.summary(),
             connections: ConnectionStats::default(),
         }

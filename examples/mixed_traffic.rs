@@ -55,6 +55,7 @@ fn replica() -> Arc<RenderServer> {
             shard_bytes: 0,
             scheduler: SchedulerPolicy::batch_aware(),
             cache_policy: CachePolicyKind::Lru,
+            tile_parallel: 0,
         },
         SceneRegistry::with_budget(1 << 30),
     ))

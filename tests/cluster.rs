@@ -414,15 +414,25 @@ fn killing_a_replica_mid_traffic_loses_zero_submissions() {
     let per_client = 12usize;
     let kill_after = 8usize; // renders completed across clients before the kill
     let done = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+    let killed = Arc::new(std::sync::atomic::AtomicBool::new(false));
     let answered: usize = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..clients)
             .map(|c| {
                 let cluster = Arc::clone(&cluster);
                 let scene = Arc::clone(&scene);
                 let done = Arc::clone(&done);
+                let killed = Arc::clone(&killed);
                 scope.spawn(move || {
                     let mut ok = 0usize;
                     for r in 0..per_client {
+                        // Hold each client's tail traffic until the kill has
+                        // landed, so some submissions are guaranteed to hit
+                        // the dead replica no matter how threads schedule.
+                        if r == 3 {
+                            while !killed.load(std::sync::atomic::Ordering::SeqCst) {
+                                std::thread::yield_now();
+                            }
+                        }
                         let id = if (c + r) % 2 == 0 { "a" } else { "b" };
                         let req = wire_request(&scene, id, c + r);
                         let frame = cluster
@@ -443,6 +453,7 @@ fn killing_a_replica_mid_traffic_loses_zero_submissions() {
         }
         victim_http.shutdown();
         drop(victim_server);
+        killed.store(true, std::sync::atomic::Ordering::SeqCst);
 
         handles.into_iter().map(|h| h.join().unwrap()).sum()
     });

@@ -453,7 +453,7 @@ fn disconnected_clients_cancel_their_queued_renders() {
     let server = Arc::new(RenderServer::new(
         ServeConfig {
             workers: 1,
-            queue_depth: 16,
+            queue_depth: 128,
             max_batch: 1,
             cache_bytes: 0,
             pose_quant: 0.05,
@@ -468,7 +468,10 @@ fn disconnected_clients_cancel_their_queued_renders() {
     let http = HttpServer::bind(HttpConfig::default(), Arc::clone(&server)).unwrap();
 
     // Occupy the single worker so the HTTP request cannot start rendering.
-    let occupiers: Vec<_> = (0..8)
+    // The pile must outlast the client's hangup plus the handler's next
+    // disconnect poll by a wide margin even with fast kernels, so it is
+    // deliberately deep rather than calibrated to one machine's render time.
+    let occupiers: Vec<_> = (0..64)
         .map(|i| {
             let cam = scene.train_cameras[i % scene.train_cameras.len()].clone();
             server
@@ -498,7 +501,7 @@ fn disconnected_clients_cancel_their_queued_renders() {
         let stats = server.stats();
         if stats.cancelled >= 1 {
             assert_eq!(
-                stats.completed, 8,
+                stats.completed, 64,
                 "only the occupiers render; the dead client's job must not: {stats}"
             );
             break;

@@ -1,0 +1,223 @@
+//! Seeded property tests pinning the SoA kernel refactor's one invariant:
+//! every kernel variant produces **bit-identical** output.
+//!
+//! The render crate keeps the seed's scalar loops verbatim as
+//! `*_reference` oracles; these tests drive the lane-batched SoA
+//! projection, the lane-batched rasterizer, the tile-parallel rasterizer at
+//! several thread counts, and the sharded [`FrameLayer`] relay composite
+//! against those oracles across randomly generated scenes, cameras,
+//! viewport shapes (including non-tile-aligned ones) and every SH degree.
+//! Like `property_invariants.rs`, the cases are driven by the workspace's
+//! own deterministic [`Rng64`], so every failure is reproducible from its
+//! seed.
+
+use gs_scale::core::camera::{Camera, Viewport};
+use gs_scale::core::gaussian::GaussianParams;
+use gs_scale::core::math::Vec3;
+use gs_scale::core::rng::Rng64;
+use gs_scale::core::sh;
+use gs_scale::core::GaussianSoa;
+use gs_scale::render::pipeline::{render, render_tiled};
+use gs_scale::render::tiles::TileGrid;
+use gs_scale::render::{
+    project_splats, project_splats_reference, project_splats_soa, rasterize_forward,
+    rasterize_forward_reference, rasterize_forward_tiled, rasterize_layer,
+    rasterize_layer_reference, rasterize_layer_tiled, FrameLayer,
+};
+
+const CASES: u64 = 12;
+
+/// A random scene with anisotropic-ish placement and non-trivial SH bands,
+/// so every monomorphized projection kernel produces distinct colors.
+fn random_scene(rng: &mut Rng64) -> GaussianParams {
+    let n = rng.gen_range(40usize..160);
+    let mut p = GaussianParams::with_capacity(n);
+    for _ in 0..n {
+        let opacity = rng.gen_range(0.1f32..0.95);
+        p.push_isotropic(
+            Vec3::new(
+                rng.gen_range(-6.0f32..6.0),
+                rng.gen_range(-5.0f32..5.0),
+                rng.gen_range(-3.0f32..7.0),
+            ),
+            rng.gen_range(0.05f32..0.5),
+            [rng.gen_f32(), rng.gen_f32(), rng.gen_f32()],
+            opacity,
+        );
+    }
+    for i in 0..p.len() {
+        for (k, v) in p.sh_coeffs_mut(i).iter_mut().enumerate() {
+            *v += (i as f32 + 1.0) * 0.01 * (k as f32 * 0.7).sin();
+        }
+    }
+    p
+}
+
+/// A random camera with a viewport whose sides are deliberately not always
+/// multiples of the tile size, so partial edge tiles stay covered.
+fn random_camera(rng: &mut Rng64) -> Camera {
+    Camera::look_at(
+        rng.gen_range(33usize..97),
+        rng.gen_range(17usize..73),
+        rng.gen_range(0.7f32..1.5),
+        Vec3::new(
+            rng.gen_range(-2.0f32..2.0),
+            rng.gen_range(-2.0f32..2.0),
+            rng.gen_range(-13.0f32..-7.0),
+        ),
+        Vec3::ZERO,
+        Vec3::new(0.0, 1.0, 0.0),
+    )
+}
+
+fn random_background(rng: &mut Rng64) -> [f32; 3] {
+    [rng.gen_f32(), rng.gen_f32(), rng.gen_f32()]
+}
+
+/// The lane-batched, SH-monomorphized projection (facade and prebuilt-SoA
+/// paths) must equal the scalar reference splat for splat, at every degree.
+#[test]
+fn soa_projection_matches_reference_across_scenes_and_degrees() {
+    for seed in 0..CASES {
+        let mut rng = Rng64::seed_from_u64(0x50a0 + seed);
+        let params = random_scene(&mut rng);
+        let cam = random_camera(&mut rng);
+        let vp = Viewport::full(&cam);
+        for degree in 0..=sh::MAX_DEGREE {
+            let reference = project_splats_reference(&params, &cam, degree, &vp);
+            let facade = project_splats(&params, &cam, degree, &vp);
+            assert_eq!(
+                facade, reference,
+                "facade drifted: seed {seed} deg {degree}"
+            );
+            let soa = GaussianSoa::build(&params, degree);
+            let direct = project_splats_soa(&soa, &cam, &vp);
+            assert_eq!(direct, reference, "SoA drifted: seed {seed} deg {degree}");
+        }
+    }
+}
+
+/// The lane-batched rasterizer and the tile-parallel rasterizer (at several
+/// thread counts, including more threads than tile rows) must reproduce the
+/// scalar reference image, transmittance and per-pixel processed counts.
+#[test]
+fn raster_kernels_match_reference_across_scenes_and_threads() {
+    for seed in 0..CASES {
+        let mut rng = Rng64::seed_from_u64(0xa57e + seed);
+        let params = random_scene(&mut rng);
+        let cam = random_camera(&mut rng);
+        let vp = Viewport::full(&cam);
+        let bg = random_background(&mut rng);
+        let splats = project_splats(&params, &cam, sh::MAX_DEGREE, &vp);
+        let grid = TileGrid::build(&splats, vp);
+        let (img_ref, aux_ref) = rasterize_forward_reference(&splats, &grid, bg);
+        let (img_lane, aux_lane) = rasterize_forward(&splats, &grid, bg);
+        assert_eq!(img_lane.data(), img_ref.data(), "lane image: seed {seed}");
+        assert_eq!(
+            aux_lane.final_transmittance, aux_ref.final_transmittance,
+            "lane transmittance: seed {seed}"
+        );
+        assert_eq!(
+            aux_lane.n_processed, aux_ref.n_processed,
+            "lane processed counts: seed {seed}"
+        );
+        for threads in [2usize, 3, 7, 64] {
+            let (img_tiled, aux_tiled) = rasterize_forward_tiled(&splats, &grid, bg, threads);
+            assert_eq!(
+                img_tiled.data(),
+                img_ref.data(),
+                "tiled image: seed {seed} threads {threads}"
+            );
+            assert_eq!(
+                aux_tiled.final_transmittance, aux_ref.final_transmittance,
+                "tiled transmittance: seed {seed} threads {threads}"
+            );
+            assert_eq!(
+                aux_tiled.n_processed, aux_ref.n_processed,
+                "tiled processed counts: seed {seed} threads {threads}"
+            );
+        }
+    }
+}
+
+/// The whole pipeline — projection, binning, rasterization — is
+/// thread-count-invariant end to end, including its stats.
+#[test]
+fn tiled_pipeline_matches_sequential_across_scenes() {
+    for seed in 0..CASES {
+        let mut rng = Rng64::seed_from_u64(0x71e0 + seed);
+        let params = random_scene(&mut rng);
+        let cam = random_camera(&mut rng);
+        let vp = Viewport::full(&cam);
+        let bg = random_background(&mut rng);
+        let degree = rng.gen_range(0usize..sh::MAX_DEGREE + 1);
+        let sequential = render(&params, &cam, degree, &vp, bg);
+        for threads in [2usize, 5] {
+            let tiled = render_tiled(&params, &cam, degree, &vp, bg, threads);
+            assert_eq!(
+                tiled.image.data(),
+                sequential.image.data(),
+                "pipeline image: seed {seed} threads {threads}"
+            );
+            assert_eq!(
+                tiled.stats, sequential.stats,
+                "pipeline stats: seed {seed} threads {threads}"
+            );
+        }
+    }
+}
+
+/// Depth-disjoint shards relayed through one running [`FrameLayer`] — with
+/// each shard rasterized by the lane kernel or the tile-parallel kernel —
+/// must reproduce the single-pass frame byte for byte, which is the
+/// invariant the cluster's cross-node sharded rendering rests on.
+#[test]
+fn sharded_layer_relay_matches_single_pass_across_scenes() {
+    for seed in 0..CASES {
+        let mut rng = Rng64::seed_from_u64(0x5a4d + seed);
+        let params = random_scene(&mut rng);
+        let cam = random_camera(&mut rng);
+        let vp = Viewport::full(&cam);
+        let bg = random_background(&mut rng);
+        let mut splats = project_splats(&params, &cam, sh::MAX_DEGREE, &vp);
+        // Depth-disjoint shards: globally sort by depth, cut at random
+        // points. Sorting first keeps the single-pass composition order
+        // identical (the tile sort is stable and by depth already).
+        splats.sort_by(|a, b| a.depth.partial_cmp(&b.depth).unwrap());
+        let full_grid = TileGrid::build(&splats, vp);
+        let (single, _) = rasterize_forward(&splats, &full_grid, bg);
+
+        let shards = rng.gen_range(2usize..5);
+        let mut cuts: Vec<usize> = (0..shards - 1)
+            .map(|_| rng.gen_range(0usize..splats.len() + 1))
+            .collect();
+        cuts.push(splats.len());
+        cuts.sort_unstable();
+
+        let mut relay = FrameLayer::new(vp.width(), vp.height());
+        let mut relay_tiled = FrameLayer::new(vp.width(), vp.height());
+        let mut reference = FrameLayer::new(vp.width(), vp.height());
+        let mut start = 0;
+        for &end in &cuts {
+            let shard = &splats[start..end];
+            let grid = TileGrid::build(shard, vp);
+            rasterize_layer(shard, &grid, &mut relay);
+            rasterize_layer_tiled(shard, &grid, &mut relay_tiled, 3);
+            rasterize_layer_reference(shard, &grid, &mut reference);
+            start = end;
+        }
+        assert_eq!(
+            relay.finish(bg).data(),
+            single.data(),
+            "lane relay drifted from the single pass: seed {seed}"
+        );
+        assert_eq!(
+            relay_tiled, relay,
+            "tiled relay drifted from the lane relay: seed {seed}"
+        );
+        assert_eq!(
+            reference, relay,
+            "lane layer kernel drifted from the scalar layer kernel: seed {seed}"
+        );
+    }
+}

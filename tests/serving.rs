@@ -119,6 +119,41 @@ fn concurrent_identical_requests_are_byte_identical() {
 }
 
 #[test]
+fn tile_parallel_render_is_byte_identical_and_counted() {
+    // A lone request against an idle pool opens the tile-parallel gate: the
+    // frame's tile rows fan out across threads, the output stays
+    // byte-identical to a direct render, and the stats record the fan-out.
+    let scene = tiny_scene(75, 800);
+    let server = RenderServer::new(
+        ServeConfig {
+            workers: 2,
+            tile_parallel: 4,
+            ..no_cache_config(2)
+        },
+        SceneRegistry::with_budget(1 << 30),
+    );
+    server
+        .load_scene("city", Arc::new(scene.gt_params.clone()), scene.background)
+        .unwrap();
+    let cam = scene.train_cameras[1].clone();
+    let reference = render_image(&scene.gt_params, &cam, 3, scene.background);
+    let frame = server
+        .render_blocking(RenderRequest::full("city", cam))
+        .unwrap();
+    assert_eq!(
+        frame.image.data(),
+        reference.data(),
+        "tile-parallel frame must be byte-identical to a direct render"
+    );
+    let stats = server.shutdown();
+    assert_eq!(stats.completed, 1);
+    assert!(
+        stats.tile_renders >= 1,
+        "an idle pool must fan the lone render across tiles"
+    );
+}
+
+#[test]
 fn mixed_scene_traffic_renders_every_view_exactly() {
     // Four scenes, many threads, batching enabled: every response must still
     // match its solo render bit-for-bit regardless of how requests were
