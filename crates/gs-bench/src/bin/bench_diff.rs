@@ -103,6 +103,10 @@ fn main() -> ExitCode {
     };
 
     let mut warnings: Vec<String> = Vec::new();
+    // Coverage changes are not regressions, but they must not pass
+    // silently either: a scenario present in only one report means the
+    // diff is comparing less than the reader assumes.
+    let mut notices: Vec<String> = Vec::new();
     let mut rows: Vec<Vec<String>> = Vec::new();
     for cur in &current.scenarios {
         let Some(base) = baseline
@@ -110,6 +114,10 @@ fn main() -> ExitCode {
             .iter()
             .find(|b| b.scenario == cur.scenario)
         else {
+            notices.push(format!(
+                "scenario \"{}\" is new: present in {} but not in baseline {}",
+                cur.scenario, args.current, args.baseline
+            ));
             rows.push(vec![
                 cur.scenario.clone(),
                 "(new)".to_string(),
@@ -155,6 +163,10 @@ fn main() -> ExitCode {
         .iter()
         .filter(|b| !current.scenarios.iter().any(|c| c.scenario == b.scenario))
     {
+        notices.push(format!(
+            "scenario \"{}\" disappeared: present in baseline {} but not in {}",
+            gone.scenario, args.baseline, args.current
+        ));
         rows.push(vec![
             gone.scenario.clone(),
             format!("{:.1}", gone.throughput_rps),
@@ -183,6 +195,10 @@ fn main() -> ExitCode {
     let mut kernel_rows: Vec<Vec<String>> = Vec::new();
     for cur in &current.roofline {
         let Some(base) = baseline.roofline.iter().find(|b| b.phase == cur.phase) else {
+            notices.push(format!(
+                "kernel phase \"{}\" is new: present in {} but not in baseline {}",
+                cur.phase, args.current, args.baseline
+            ));
             continue;
         };
         let d_t = rel(base.seconds, cur.seconds);
@@ -211,6 +227,14 @@ fn main() -> ExitCode {
         );
     }
 
+    if !notices.is_empty() {
+        println!();
+        for n in &notices {
+            // `::notice::` is GitHub Actions' info-level annotation; plain
+            // text everywhere else.
+            println!("::notice::bench coverage change: {n}");
+        }
+    }
     if warnings.is_empty() {
         println!(
             "\nno regressions beyond {:.0}% against {}",

@@ -1,0 +1,172 @@
+//! CI observability smoke: exercises the whole `gs-obs` surface over real
+//! loopback HTTP and fails loudly if any piece regresses.
+//!
+//! Builds a 2-replica cluster (both replicas behind the real `gs-serve`
+//! HTTP front-end), loads a cross-node sharded scene, renders with a
+//! pinned `X-Trace-Id`, then:
+//!
+//! * fetches `GET /metrics` on **both tiers** and runs the in-repo
+//!   Prometheus linter ([`gs_obs::lint_prometheus`]) over each, asserting
+//!   the per-phase roofline gauges are present on the replica tier;
+//! * fetches `GET /trace` and checks the Chrome trace-event JSON contains
+//!   the stitched cross-node tree (relay hops + grafted replica spans);
+//! * with `--out <path>`, writes that Chrome trace JSON to disk so CI can
+//!   upload it as an artifact.
+//!
+//! Usage: `cargo run --release -p gs-bench --bin obs_smoke
+//! [--out obs-trace.json]`
+
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use gs_bench::BenchArgs;
+use gs_cluster::{bind_http, ClusterConfig, CompositeMode, Coordinator, ReplicaTransport};
+use gs_obs::lint_prometheus;
+use gs_scene::tour::{TourConfig, TourScene};
+use gs_serve::http::client;
+use gs_serve::{
+    HttpConfig, HttpServer, RenderServer, SceneRegistry, ServeConfig, WireRequest, TRACE_ID_HEADER,
+};
+
+fn replica_server(name: &str) -> Arc<RenderServer> {
+    Arc::new(RenderServer::new(
+        ServeConfig {
+            workers: 1,
+            queue_depth: 16,
+            max_batch: 1,
+            cache_bytes: 0,
+            shard_bytes: 0,
+            phase_sample_every: 1,
+            node: name.to_string(),
+            ..ServeConfig::default()
+        },
+        SceneRegistry::with_budget(1 << 30),
+    ))
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let scene = TourScene::generate(TourConfig {
+        name: "smoke".to_string(),
+        num_gaussians: 600,
+        length: 50.0,
+        half_section: 4.0,
+        width: 64,
+        height: 48,
+        num_views: 2,
+        seed: 61,
+    });
+
+    let cluster = Arc::new(Coordinator::new(ClusterConfig {
+        composite: CompositeMode::Relay,
+        node: "coordinator".to_string(),
+        ..ClusterConfig::default()
+    }));
+    let mut backends = Vec::new();
+    for i in 0..2 {
+        let server = replica_server(&format!("replica-{i}"));
+        let http = HttpServer::bind(
+            HttpConfig {
+                max_body_bytes: 4 << 20,
+                ..HttpConfig::default()
+            },
+            Arc::clone(&server),
+        )
+        .expect("replica front-end binds");
+        cluster
+            .add_replica(
+                format!("http-{i}"),
+                ReplicaTransport::Http(http.local_addr().to_string()),
+            )
+            .unwrap();
+        backends.push((http, server));
+    }
+    cluster
+        .load_scene_sharded(
+            "smoke",
+            Arc::new(scene.gt_params.clone()),
+            scene.background,
+            4,
+        )
+        .unwrap();
+    let front =
+        bind_http(HttpConfig::default(), Arc::clone(&cluster)).expect("cluster front binds");
+    let mut stream = TcpStream::connect(front.local_addr()).unwrap();
+
+    // One traced cross-node render: the whole span pipeline lights up.
+    let cam = &scene.cameras[0];
+    let mut req = WireRequest::new(
+        "smoke",
+        [cam.position.x, cam.position.y, cam.position.z],
+        [cam.position.x + 1.0, cam.position.y, cam.position.z],
+        cam.width,
+        cam.height,
+    );
+    req.fov_x = 1.2;
+    let trace_hex = "00000000c0ffee00";
+    let response = client::request_with_headers(
+        &mut stream,
+        "POST",
+        "/render",
+        &[(TRACE_ID_HEADER, trace_hex)],
+        req.to_body().as_bytes(),
+    )
+    .unwrap();
+    assert_eq!(
+        response.status,
+        200,
+        "{}",
+        String::from_utf8_lossy(&response.body)
+    );
+    assert_eq!(response.header("x-trace-id"), Some(trace_hex));
+
+    // /metrics on the cluster tier.
+    let metrics = client::request(&mut stream, "GET", "/metrics", b"").unwrap();
+    assert_eq!(metrics.status, 200);
+    let text = String::from_utf8(metrics.body).unwrap();
+    let samples = lint_prometheus(&text).expect("cluster /metrics lints clean");
+    assert!(text.contains("gs_traces_finished"), "{text}");
+    println!("cluster  /metrics: {samples} samples, lint clean");
+
+    // /metrics on the replica (gs-serve) tier, roofline gauges included.
+    let (replica_http, _) = &backends[0];
+    let mut replica_stream = TcpStream::connect(replica_http.local_addr()).unwrap();
+    let metrics = client::request(&mut replica_stream, "GET", "/metrics", b"").unwrap();
+    assert_eq!(metrics.status, 200);
+    let text = String::from_utf8(metrics.body).unwrap();
+    let samples = lint_prometheus(&text).expect("replica /metrics lints clean");
+    for gauge in ["gs_phase_seconds", "gs_phase_flops_per_second"] {
+        assert!(
+            text.contains(gauge),
+            "roofline gauge {gauge} missing:\n{text}"
+        );
+    }
+    println!("replica  /metrics: {samples} samples, lint clean, roofline gauges present");
+
+    // /trace: the stitched tree exports as Chrome trace-event JSON.
+    let chrome = client::request(&mut stream, "GET", "/trace", b"").unwrap();
+    assert_eq!(chrome.status, 200);
+    let json = String::from_utf8(chrome.body).unwrap();
+    for needle in ["\"traceEvents\"", "relay:smoke@", "layer_render", trace_hex] {
+        assert!(
+            json.contains(needle),
+            "trace export missing {needle}:\n{json}"
+        );
+    }
+    println!("cluster  /trace: {} bytes of Chrome trace JSON", json.len());
+    if let Some(path) = &args.out {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent).expect("trace export dir is creatable");
+            }
+        }
+        std::fs::write(path, &json).expect("trace export path is writable");
+        println!("wrote {}", path.display());
+    }
+
+    front.shutdown();
+    for (http, _server) in backends {
+        http.shutdown();
+    }
+    println!("observability smoke passed");
+}

@@ -30,10 +30,11 @@ use std::time::{Duration, Instant};
 
 use gs_core::gaussian::GaussianParams;
 use gs_core::image::Image;
+use gs_obs::{Registry, TraceContext};
 use gs_render::rasterize::FrameLayer;
 use gs_serve::{
     outcome_for_error, shard_scene, visible_shards, Aabb, CachePolicyKind, FrameCache, FrameKey,
-    SceneId, ServeError, StatsCollector, WireRequest,
+    SceneId, ServeError, ServeObs, StatsCollector, WireRequest,
 };
 use gs_trace::{Outcome, TraceRecorder};
 
@@ -80,6 +81,16 @@ pub struct ClusterConfig {
     /// Replacement policy of the coordinator cache (shared with the
     /// replica-side [`FrameCache`]).
     pub cache_policy: CachePolicyKind,
+    /// Node label the coordinator's spans carry.
+    pub node: String,
+    /// Trace every Nth ingress render (0 disables coordinator-minted
+    /// traces; requests arriving with an `X-Trace-Id` are always traced).
+    pub trace_sample_every: u32,
+    /// Log a text waterfall to stderr for locally-owned traces slower than
+    /// this many milliseconds (0 disables the log).
+    pub slow_trace_ms: u64,
+    /// Capacity of the finished-trace ring behind `GET /trace`.
+    pub span_ring: usize,
 }
 
 impl Default for ClusterConfig {
@@ -92,6 +103,10 @@ impl Default for ClusterConfig {
             cache_bytes: 0,
             pose_quant: 0.05,
             cache_policy: CachePolicyKind::Lru,
+            node: "gs-cluster".to_string(),
+            trace_sample_every: 0,
+            slow_trace_ms: 0,
+            span_ring: 256,
         }
     }
 }
@@ -235,6 +250,11 @@ pub struct Coordinator {
     /// every render answered by the coordinator — cache hit, completion or
     /// error — is appended as a [`gs_trace::TraceEvent`].
     recorder: Mutex<Option<Arc<TraceRecorder>>>,
+    /// The coordinator tier's observability state: trace sampling, the
+    /// finished-span ring, and the metrics registry the stats collector
+    /// shares (kernel-phase sampling stays off — the coordinator never
+    /// runs render kernels itself).
+    obs: ServeObs,
 }
 
 /// The coordinator cache plus per-scene load epochs under one lock: a frame
@@ -307,6 +327,15 @@ impl Coordinator {
                 clock: 0,
             })
         });
+        let metrics = Arc::new(Registry::new());
+        let obs = ServeObs::new(
+            Arc::clone(&metrics),
+            config.node.clone(),
+            config.trace_sample_every,
+            0,
+            config.slow_trace_ms.saturating_mul(1000),
+            config.span_ring,
+        );
         Self {
             config,
             state: Mutex::new(State {
@@ -314,11 +343,23 @@ impl Coordinator {
                 scenes: BTreeMap::new(),
                 loading: std::collections::HashSet::new(),
             }),
-            collector: StatsCollector::new(1),
+            collector: StatsCollector::with_registry(metrics, 1),
             counters: Counters::default(),
             cache,
             recorder: Mutex::new(None),
+            obs,
         }
+    }
+
+    /// The coordinator tier's observability state (trace sampling, span
+    /// ring, metrics registry).
+    pub fn obs(&self) -> &ServeObs {
+        &self.obs
+    }
+
+    /// Prometheus text exposition of the coordinator's metrics registry.
+    pub fn metrics_text(&self) -> String {
+        self.obs.metrics_text()
     }
 
     /// Installs a workload recorder: from now on every render answered by
@@ -798,12 +839,49 @@ impl Coordinator {
     /// With the coordinator-side cache enabled, a repeated view (same
     /// quantized cache key) is answered here — no replica is touched.
     ///
+    /// Ingress trace sampling applies: every Nth request (per
+    /// [`ClusterConfig::trace_sample_every`]) gets a span tree minted,
+    /// covering the routing decision and every replica hop, and lands in
+    /// the coordinator's span ring when the render settles.
+    ///
     /// # Errors
     ///
     /// [`ClusterError::UnknownScene`] for unplaced scenes,
     /// [`ClusterError::Exhausted`] when every failover attempt failed,
     /// [`ClusterError::Serve`] for replica-side service errors.
     pub fn render(&self, request: &WireRequest) -> Result<ClusterFrame, ClusterError> {
+        let mut root = None;
+        let ctx = if self.obs.should_trace() {
+            let trace = self.obs.mint();
+            let span = trace.start(0, "request");
+            let parent = span.id();
+            root = Some(span);
+            Some(TraceContext { trace, parent })
+        } else {
+            None
+        };
+        let result = self.render_traced(request, ctx.as_ref());
+        if let Some(span) = root {
+            span.finish();
+            if let Some(ctx) = &ctx {
+                self.obs.finish(&ctx.trace);
+            }
+        }
+        result
+    }
+
+    /// [`Coordinator::render`] inside an existing trace context: the
+    /// caller (the cluster HTTP front-end, or a test) owns minting and
+    /// settling the trace; the coordinator only records its spans into it.
+    ///
+    /// # Errors
+    ///
+    /// As [`Coordinator::render`].
+    pub fn render_traced(
+        &self,
+        request: &WireRequest,
+        trace: Option<&TraceContext>,
+    ) -> Result<ClusterFrame, ClusterError> {
         let started = Instant::now();
         let recorder = self.recorder.lock().unwrap().clone();
         let arrival_us = recorder.as_deref().map_or(0, TraceRecorder::now_us);
@@ -825,6 +903,16 @@ impl Coordinator {
                 Some(image) => {
                     drop(guard);
                     let latency = started.elapsed();
+                    if let Some(ctx) = trace {
+                        let clock = ctx.trace.clock();
+                        let start = clock.us_of(started);
+                        ctx.trace.record(
+                            ctx.parent,
+                            "coord_cache_hit",
+                            start,
+                            clock.now_us().saturating_sub(start),
+                        );
+                    }
                     self.collector.record_fast_hit(latency);
                     record(Outcome::CacheHit);
                     return Ok(ClusterFrame {
@@ -843,7 +931,7 @@ impl Coordinator {
                 }
             }
         }
-        let result = self.render_inner(request, started);
+        let result = self.render_inner(request, started, trace);
         match &result {
             Ok(frame) => {
                 self.collector.record_completed(0, started.elapsed());
@@ -867,6 +955,7 @@ impl Coordinator {
         &self,
         request: &WireRequest,
         started: Instant,
+        trace: Option<&TraceContext>,
     ) -> Result<ClusterFrame, ClusterError> {
         let is_sharded = {
             let state = self.state.lock().unwrap();
@@ -877,9 +966,9 @@ impl Coordinator {
             matches!(hold.hold, Hold::Sharded { .. })
         };
         if is_sharded {
-            self.render_sharded(request, started)
+            self.render_sharded(request, started, trace)
         } else {
-            self.render_single(request, started)
+            self.render_single(request, started, trace)
         }
     }
 
@@ -889,12 +978,20 @@ impl Coordinator {
         &self,
         request: &WireRequest,
         started: Instant,
+        trace: Option<&TraceContext>,
     ) -> Result<ClusterFrame, ClusterError> {
         let mut attempts = 0usize;
         loop {
             attempts += 1;
             let (rid, replica) = self.route_single(&request.scene)?;
-            match replica.render(request) {
+            // One hop span per attempt: a failover leaves the failed
+            // attempt's span in the tree next to the retry's.
+            let hop = trace.map(|ctx| ctx.child(format!("call:{}", replica.name())));
+            let hop_ctx = match (&hop, trace) {
+                (Some(span), Some(ctx)) => Some(ctx.at(span.id())),
+                _ => None,
+            };
+            match replica.render(request, hop_ctx.as_ref()) {
                 Ok((image, shards)) => {
                     return Ok(ClusterFrame {
                         image: Arc::new(image),
@@ -1145,16 +1242,28 @@ impl Coordinator {
         id: &SceneId,
         k: usize,
         into: Option<&FrameLayer>,
+        trace: Option<&TraceContext>,
     ) -> Result<FrameLayer, ClusterError> {
         // On its replica, shard `k` lives as the single scene `id@k`.
         let mut shard_request = request.clone();
         shard_request.scene = shard_scene_id(id, k);
         shard_request.shard = None;
+        let mode = match self.config.composite {
+            CompositeMode::Relay => "relay",
+            CompositeMode::Fanout => "fanout",
+        };
         let mut attempts = 0usize;
         loop {
             attempts += 1;
             let (rid, replica) = self.route_shard(id, k)?;
-            match replica.render_layer(&shard_request, into) {
+            // One hop span per attempt (see render_single), named after
+            // the composite mode and the shard's on-replica scene id.
+            let hop = trace.map(|ctx| ctx.child(format!("{mode}:{id}@{k}")));
+            let hop_ctx = match (&hop, trace) {
+                (Some(span), Some(ctx)) => Some(ctx.at(span.id())),
+                _ => None,
+            };
+            match replica.render_layer(&shard_request, into, hop_ctx.as_ref()) {
                 Ok(layer) => return Ok(layer),
                 Err(e) if failover_worthy(&e) => {
                     self.mark_down(rid);
@@ -1194,6 +1303,7 @@ impl Coordinator {
         &self,
         request: &WireRequest,
         started: Instant,
+        trace: Option<&TraceContext>,
     ) -> Result<ClusterFrame, ClusterError> {
         let (background, shard_meta) = {
             let state = self.state.lock().unwrap();
@@ -1239,6 +1349,7 @@ impl Coordinator {
                         &request.scene,
                         k,
                         layer.as_ref(),
+                        trace,
                     )?);
                     self.counters.shard_relays.fetch_add(1, Ordering::Relaxed);
                 }
@@ -1250,7 +1361,7 @@ impl Coordinator {
                         .iter()
                         .map(|&k| {
                             scope.spawn(move || {
-                                self.render_shard_layer(request, &request.scene, k, None)
+                                self.render_shard_layer(request, &request.scene, k, None, trace)
                             })
                         })
                         .collect();

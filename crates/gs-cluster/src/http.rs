@@ -13,14 +13,27 @@
 //!   explicit count or automatically above
 //!   [`crate::ClusterConfig::shard_bytes`].
 //! * `GET /stats` — the aggregated [`crate::ClusterStats`] report.
+//! * `GET /metrics` — Prometheus text exposition of the coordinator's own
+//!   registry (routing counters, latency histograms, trace-ring gauges).
+//! * `GET /trace` — Chrome trace-event JSON of the coordinator's span
+//!   ring, relay/fanout hops stitched under their request roots.
 //! * `GET /scenes` — placement rows (`id replicas=[..] gaussians bytes`).
 //! * `GET /replicas` — per-replica health/budget rows.
 //! * `GET /healthz` — coordinator liveness.
+//!
+//! `POST /render` honors the same `X-Trace-Id` / `X-Trace-Parent` request
+//! headers as the single-node front-end (shared [`route_trace`] ingress
+//! machinery), so a trace entering the cluster tier covers the routing
+//! decision and every replica hop in one tree.
 
 use std::io;
 use std::sync::Arc;
 
-use gs_serve::http::{status_for_error, Conn, HttpHandler, HttpRequest, HttpResponse, HttpServer};
+use gs_obs::TraceContext;
+use gs_serve::http::{
+    route_trace, status_for_error, Conn, HttpHandler, HttpRequest, HttpResponse, HttpServer,
+    RouteTrace,
+};
 use gs_serve::{wire, HttpConfig, SceneSpec, ServeError, WireFormat, WireRequest};
 
 use crate::coordinator::{ClusterError, Coordinator};
@@ -55,6 +68,13 @@ impl HttpHandler for ClusterHandler {
     fn handle(&self, req: &HttpRequest, conn: &mut Conn<'_>) -> HttpResponse {
         match (req.method.as_str(), req.path.as_str()) {
             ("GET", "/stats") => HttpResponse::text(200, self.coordinator.stats().to_string()),
+            ("GET", "/metrics") => HttpResponse::text(200, self.coordinator.metrics_text()),
+            ("GET", "/trace") => HttpResponse {
+                status: 200,
+                content_type: "application/json",
+                headers: Vec::new(),
+                body: self.coordinator.obs().chrome_json().into_bytes(),
+            },
             ("GET", "/healthz") => HttpResponse::text(200, "ok\n"),
             ("GET", "/scenes") => {
                 let mut body = String::new();
@@ -87,9 +107,10 @@ impl HttpHandler for ClusterHandler {
                 let id = path.strip_prefix("/scenes/").unwrap_or_default();
                 self.load_scene_route(id, &req.body)
             }
-            (_, "/stats" | "/scenes" | "/replicas" | "/healthz" | "/render") => {
-                HttpResponse::text(405, "method not allowed on this path\n")
-            }
+            (
+                _,
+                "/stats" | "/metrics" | "/trace" | "/scenes" | "/replicas" | "/healthz" | "/render",
+            ) => HttpResponse::text(405, "method not allowed on this path\n"),
             (_, path) if path.starts_with("/scenes/") => {
                 HttpResponse::text(405, "method not allowed on this path\n")
             }
@@ -118,26 +139,43 @@ impl ClusterHandler {
                 .cloned()
                 .or_else(|| conn.peer_addr());
         }
-        let frame = match self.coordinator.render(&wire_req) {
+        // Shared ingress trace semantics with the single-node front-end:
+        // the route owns minting/settling; the coordinator records into it.
+        let rt = route_trace(self.coordinator.obs(), req);
+        let ctx = rt.as_ref().map(|rt| TraceContext {
+            trace: rt.trace.clone(),
+            parent: rt.parent,
+        });
+        let finish_trace = |rt: Option<RouteTrace>| {
+            rt.map_or_else(Vec::new, |rt| rt.finish(self.coordinator.obs()))
+        };
+        let frame = match self.coordinator.render_traced(&wire_req, ctx.as_ref()) {
             Ok(frame) => frame,
-            Err(e) => return HttpResponse::text(status_for_cluster_error(&e), format!("{e}\n")),
+            Err(e) => {
+                let mut response =
+                    HttpResponse::text(status_for_cluster_error(&e), format!("{e}\n"));
+                response.headers = finish_trace(rt);
+                return response;
+            }
         };
         let body = match wire_req.format {
             WireFormat::RawF32 => wire::encode_raw_f32(&frame.image),
             WireFormat::Ppm => wire::encode_ppm(&frame.image),
         };
+        let mut headers = vec![
+            ("X-Image-Width", frame.image.width().to_string()),
+            ("X-Image-Height", frame.image.height().to_string()),
+            ("X-Shards", frame.shards_rendered.to_string()),
+            ("X-Culled", frame.shards_culled.to_string()),
+            ("X-Replica", frame.replica.unwrap_or_default()),
+            ("X-Cache-Hit", u8::from(frame.cache_hit).to_string()),
+            ("X-Latency-Us", frame.latency.as_micros().to_string()),
+        ];
+        headers.extend(finish_trace(rt));
         HttpResponse {
             status: 200,
             content_type: wire_req.format.content_type(),
-            headers: vec![
-                ("X-Image-Width", frame.image.width().to_string()),
-                ("X-Image-Height", frame.image.height().to_string()),
-                ("X-Shards", frame.shards_rendered.to_string()),
-                ("X-Culled", frame.shards_culled.to_string()),
-                ("X-Replica", frame.replica.unwrap_or_default()),
-                ("X-Cache-Hit", u8::from(frame.cache_hit).to_string()),
-                ("X-Latency-Us", frame.latency.as_micros().to_string()),
-            ],
+            headers,
             body,
         }
     }

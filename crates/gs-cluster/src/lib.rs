@@ -33,7 +33,16 @@
 //!   frame cache's hit rate (`ClusterConfig::cache_bytes`).
 //! * [`http`] — the cluster's own HTTP front-end, built on the listener
 //!   machinery shared with `gs-serve` (`POST /render`, `GET /stats`,
-//!   `GET /scenes`, `GET /replicas`, `POST /scenes/<id>`, `GET /healthz`).
+//!   `GET /metrics`, `GET /trace`, `GET /scenes`, `GET /replicas`,
+//!   `POST /scenes/<id>`, `GET /healthz`).
+//!
+//! The tier participates in the `gs-obs` observability layer end to end:
+//! sampled (or `X-Trace-Id`-carried) requests get a span tree covering the
+//! routing decision and every replica hop — in-process replicas record
+//! straight into the shared trace, HTTP replicas return their spans in
+//! `X-Trace-Spans` (or the `GSTC` layer-envelope block) and the
+//! coordinator grafts them under the hop span, yielding one stitched tree
+//! per cross-node sharded render.
 //!
 //! # Example
 //!

@@ -14,9 +14,13 @@ use std::time::Duration;
 
 use gs_core::gaussian::GaussianParams;
 use gs_core::image::Image;
+use gs_obs::TraceContext;
 use gs_render::rasterize::FrameLayer;
 use gs_serve::http::client;
-use gs_serve::{wire, RenderServer, SceneId, ServeError, StatsReport, WireFormat, WireRequest};
+use gs_serve::{
+    wire, RenderServer, SceneId, ServeError, StatsReport, WireFormat, WireRequest, TRACE_ID_HEADER,
+    TRACE_PARENT_HEADER, TRACE_SPANS_HEADER,
+};
 
 /// Index of a replica within its coordinator (assignment order).
 pub type ReplicaId = usize;
@@ -174,15 +178,29 @@ impl Replica {
     /// the transports produce bit-identical images for the same request.
     /// Returns the image and the number of shard layers composited into it.
     ///
+    /// With a `trace` context, the replica's spans join the caller's tree:
+    /// an in-process replica records straight into the shared trace (node
+    /// relabeled to the replica's name), an HTTP replica receives the trace
+    /// id and parent span as headers and its `X-Trace-Spans` answer is
+    /// grafted back under `trace.parent`.
+    ///
     /// # Errors
     ///
     /// [`ReplicaError::Serve`] for service errors (unknown scene, ...),
     /// [`ReplicaError::Transport`] when the replica cannot be reached.
-    pub fn render(&self, request: &WireRequest) -> Result<(Image, usize), ReplicaError> {
+    pub fn render(
+        &self,
+        request: &WireRequest,
+        trace: Option<&TraceContext>,
+    ) -> Result<(Image, usize), ReplicaError> {
         match &self.transport {
             ReplicaTransport::InProcess(server) => {
+                let mut render_req = request.to_render_request();
+                if let Some(ctx) = trace {
+                    render_req = render_req.with_trace(self.local_context(ctx));
+                }
                 let frame = server
-                    .render_blocking(request.to_render_request())
+                    .render_blocking(render_req)
                     .map_err(ReplicaError::Serve)?;
                 Ok((frame.image.as_ref().clone(), frame.shards))
             }
@@ -192,7 +210,20 @@ impl Replica {
                 // at its edge, and only raw is lossless.
                 let mut wire_req = request.clone();
                 wire_req.format = WireFormat::RawF32;
-                let response = self.call("POST", "/render", wire_req.to_body().as_bytes())?;
+                let hop = trace.map(|ctx| (ctx.trace.id().to_string(), ctx.parent.to_string()));
+                let headers: Vec<(&str, &str)> = hop.as_ref().map_or_else(Vec::new, |(id, p)| {
+                    vec![
+                        (TRACE_ID_HEADER, id.as_str()),
+                        (TRACE_PARENT_HEADER, p.as_str()),
+                    ]
+                });
+                let response = self.call_with_headers(
+                    "POST",
+                    "/render",
+                    &headers,
+                    wire_req.to_body().as_bytes(),
+                )?;
+                graft_remote_spans(trace, &response);
                 if response.status != 200 {
                     return Err(serve_error_for(
                         response.status,
@@ -218,6 +249,10 @@ impl Replica {
     /// lossless, so relaying a layer through HTTP replicas reproduces the
     /// single-node composite bit for bit.
     ///
+    /// With a `trace` context the hop is stitched like [`Replica::render`],
+    /// except the trace travels inside the `GSLQ` envelope's `GSTC` block
+    /// instead of headers (the layer request is one binary body).
+    ///
     /// # Errors
     ///
     /// [`ReplicaError::Serve`] for service errors,
@@ -226,14 +261,26 @@ impl Replica {
         &self,
         request: &WireRequest,
         into: Option<&FrameLayer>,
+        trace: Option<&TraceContext>,
     ) -> Result<FrameLayer, ReplicaError> {
         match &self.transport {
-            ReplicaTransport::InProcess(server) => server
-                .render_layer_blocking(&request.to_render_request(), request.shard, into.cloned())
-                .map_err(ReplicaError::Serve),
+            ReplicaTransport::InProcess(server) => {
+                let mut render_req = request.to_render_request();
+                if let Some(ctx) = trace {
+                    render_req = render_req.with_trace(self.local_context(ctx));
+                }
+                server
+                    .render_layer_blocking(&render_req, request.shard, into.cloned())
+                    .map_err(ReplicaError::Serve)
+            }
             ReplicaTransport::Http(_) => {
-                let body = wire::encode_layer_request(request, into);
+                let body = wire::encode_layer_request_traced(
+                    request,
+                    trace.map(|ctx| (ctx.trace.id(), ctx.parent)),
+                    into,
+                );
                 let response = self.call("POST", "/render_layer", &body)?;
+                graft_remote_spans(trace, &response);
                 if response.status != 200 {
                     return Err(serve_error_for(
                         response.status,
@@ -244,6 +291,16 @@ impl Replica {
                 wire::decode_layer(&response.body)
                     .map_err(|e| ReplicaError::Transport(e.to_string()))
             }
+        }
+    }
+
+    /// The caller's trace context re-labeled with this replica's name, so
+    /// spans an in-process replica records inside the shared tree carry the
+    /// replica's identity instead of the coordinator's.
+    fn local_context(&self, ctx: &TraceContext) -> TraceContext {
+        TraceContext {
+            trace: ctx.trace.with_node(&self.name),
+            parent: ctx.parent,
         }
     }
 
@@ -284,12 +341,25 @@ impl Replica {
         path: &str,
         body: &[u8],
     ) -> Result<client::ClientResponse, ReplicaError> {
+        self.call_with_headers(method, path, &[], body)
+    }
+
+    /// [`Replica::call`] with extra request headers (trace propagation).
+    fn call_with_headers(
+        &self,
+        method: &str,
+        path: &str,
+        headers: &[(&str, &str)],
+        body: &[u8],
+    ) -> Result<client::ClientResponse, ReplicaError> {
         let ReplicaTransport::Http(addr) = &self.transport else {
             unreachable!("call() is only used by the HTTP transport");
         };
         let pooled = self.pool.lock().unwrap().pop();
         if let Some(mut stream) = pooled {
-            if let Ok(response) = client::request(&mut stream, method, path, body) {
+            if let Ok(response) =
+                client::request_with_headers(&mut stream, method, path, headers, body)
+            {
                 self.pool.lock().unwrap().push(stream);
                 return Ok(response);
             }
@@ -306,7 +376,7 @@ impl Replica {
             stream.set_read_timeout(Some(HTTP_TIMEOUT))?;
             stream.set_write_timeout(Some(HTTP_TIMEOUT))?;
             stream.set_nodelay(true)?;
-            let response = client::request(&mut stream, method, path, body)?;
+            let response = client::request_with_headers(&mut stream, method, path, headers, body)?;
             Ok((stream, response))
         };
         match fresh() {
@@ -329,6 +399,17 @@ impl std::fmt::Debug for Replica {
             .field("name", &self.name)
             .field("transport", &transport)
             .finish()
+    }
+}
+
+/// Grafts the spans a remote replica returned in `X-Trace-Spans` under the
+/// caller's parent span (no-op when untraced or the header is absent; a
+/// malformed header is ignored rather than corrupting the tree).
+fn graft_remote_spans(trace: Option<&TraceContext>, response: &client::ClientResponse) {
+    if let (Some(ctx), Some(text)) = (trace, response.header(TRACE_SPANS_HEADER)) {
+        if let Some(spans) = gs_obs::decode_spans(text, ctx.trace.id()) {
+            ctx.trace.graft(ctx.parent, spans);
+        }
     }
 }
 

@@ -40,6 +40,21 @@ impl Rng64 {
         }
     }
 
+    /// Creates a generator seeded from ambient entropy (wall-clock nanos,
+    /// a stack address, and the process id) for the rare places that need
+    /// *non*-reproducible output, such as trace-id minting. Everything
+    /// else in the workspace should keep using [`Rng64::seed_from_u64`].
+    pub fn from_entropy() -> Self {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        let stack = 0u8;
+        let addr = std::ptr::addr_of!(stack) as u64;
+        let pid = std::process::id() as u64;
+        Self::seed_from_u64(nanos ^ addr.rotate_left(32) ^ pid.rotate_left(17))
+    }
+
     /// Next raw 64-bit output.
     pub fn next_u64(&mut self) -> u64 {
         let result = self.s[0]

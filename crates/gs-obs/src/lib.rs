@@ -1,0 +1,42 @@
+//! `gs-obs`: observability primitives shared by both serving tiers.
+//!
+//! The serving stack spans queue → scheduler → workers → kernels → shard
+//! relay → cluster coordinator; this crate provides the per-request and
+//! aggregate visibility layers that the tiers thread through that path:
+//!
+//! * [`clock`] — [`SpanClock`]: a wall-clock anchor captured once at
+//!   creation plus monotonic offsets, so span timestamps are absolute
+//!   microseconds that agree across nodes (no per-sample `SystemTime`
+//!   reads, no monotonic/wall skew inside one process).
+//! * [`span`] — [`TraceId`]s minted at ingress, the [`RequestTrace`] span
+//!   tree shared across the threads that serve one request, and the
+//!   compact wire encoding that ships a replica's spans back to the
+//!   coordinator so a cross-node sharded render yields **one stitched
+//!   tree**.
+//! * [`sink`] — [`SpanSink`]: a bounded ring of finished traces with a
+//!   drop counter, cheap enough to leave on in production.
+//! * [`export`] — Chrome trace-event JSON (loadable in `chrome://tracing`
+//!   / Perfetto) and a per-request text waterfall for slow-request logs.
+//! * [`metrics`] — [`Registry`]: counters, gauges and fixed-bucket
+//!   histograms with Prometheus text exposition ([`Registry::render`]) and
+//!   a tiny exposition-format linter ([`lint_prometheus`]) used by CI.
+//!
+//! The crate depends only on `gs-core` and the standard library.
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod clock;
+pub mod export;
+pub mod metrics;
+pub mod sink;
+pub mod span;
+
+pub use clock::SpanClock;
+pub use export::{chrome_trace_json, waterfall};
+pub use metrics::{lint_prometheus, Counter, Gauge, Histogram, Registry, LATENCY_BUCKETS};
+pub use sink::{FinishedTrace, SpanSink};
+pub use span::{
+    decode_spans, encode_spans, RequestTrace, Span, SpanRecord, TraceContext, TraceId,
+    REMOTE_SPAN_ID_BASE,
+};

@@ -1,0 +1,600 @@
+//! The metrics registry: counters, gauges, fixed-bucket histograms, and
+//! Prometheus text exposition.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are `Arc`-wrapped
+//! atomics handed out at registration time, so the hot path touches no
+//! lock and no map — it bumps an atomic it already holds. The registry's
+//! mutex guards only registration and exposition.
+//!
+//! [`Registry::render`] emits the [Prometheus text exposition
+//! format](https://prometheus.io/docs/instrumenting/exposition_formats/)
+//! (`# HELP`/`# TYPE` headers, cumulative `_bucket{le=...}` histogram
+//! series), and [`lint_prometheus`] is the tiny validity checker CI runs
+//! against both tiers' `GET /metrics` output.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// The default latency bucket bounds in seconds (upper-inclusive), spaced
+/// for millisecond-scale render serving; `+Inf` is implicit.
+pub const LATENCY_BUCKETS: [f64; 11] = [
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5,
+];
+
+/// A monotonically increasing integer counter.
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A float gauge (stored as `f64` bits in an atomic).
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Debug)]
+struct HistogramCore {
+    /// Upper bounds, strictly increasing; the final `+Inf` bucket is
+    /// `buckets[bounds.len()]`.
+    bounds: Vec<f64>,
+    /// Non-cumulative per-bucket counts (`bounds.len() + 1` entries).
+    buckets: Vec<AtomicU64>,
+    /// Sum of observed values in nanounits (1e-9), so float sums
+    /// accumulate without a CAS loop.
+    sum_nano: AtomicU64,
+    count: AtomicU64,
+}
+
+/// A fixed-bucket histogram of non-negative observations.
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramCore>);
+
+impl Histogram {
+    /// Records one observation (negative values clamp to 0).
+    pub fn observe(&self, v: f64) {
+        let v = if v.is_finite() && v > 0.0 { v } else { 0.0 };
+        let idx = self.0.bounds.partition_point(|&b| b < v);
+        self.0.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.0
+            .sum_nano
+            .fetch_add((v * 1e9).round() as u64, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        self.0.sum_nano.load(Ordering::Relaxed) as f64 / 1e9
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl Kind {
+    fn as_str(self) -> &'static str {
+        match self {
+            Kind::Counter => "counter",
+            Kind::Gauge => "gauge",
+            Kind::Histogram => "histogram",
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Series {
+    Value(Arc<AtomicU64>, Kind),
+    Hist(Arc<HistogramCore>),
+}
+
+#[derive(Debug)]
+struct Family {
+    help: String,
+    kind: Kind,
+    /// Keyed by the rendered label block (`""` or `{k="v",...}`).
+    series: BTreeMap<String, Series>,
+}
+
+/// The process-wide metric registry of one serving tier.
+#[derive(Debug, Default)]
+pub struct Registry {
+    families: Mutex<BTreeMap<String, Family>>,
+}
+
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name
+            .bytes()
+            .next()
+            .is_some_and(|b| b.is_ascii_alphabetic() || b == b'_' || b == b':')
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b':')
+}
+
+fn label_block(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    for (i, (k, v)) in labels.iter().enumerate() {
+        assert!(valid_name(k), "bad label name {k:?}");
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        for c in v.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn series(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        help: &str,
+        kind: Kind,
+        make: impl FnOnce() -> Series,
+    ) -> Series {
+        assert!(valid_name(name), "bad metric name {name:?}");
+        let mut families = self.families.lock().unwrap();
+        let family = families.entry(name.to_string()).or_insert_with(|| Family {
+            help: help.to_string(),
+            kind,
+            series: BTreeMap::new(),
+        });
+        assert!(
+            family.kind == kind,
+            "metric {name} re-registered as {} (was {})",
+            kind.as_str(),
+            family.kind.as_str()
+        );
+        family
+            .series
+            .entry(label_block(labels))
+            .or_insert_with(make)
+            .clone()
+    }
+
+    /// Registers (or fetches) a counter; repeated calls with the same name
+    /// and labels return a handle to the same underlying value.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Counter {
+        match self.series(name, labels, help, Kind::Counter, || {
+            Series::Value(Arc::new(AtomicU64::new(0)), Kind::Counter)
+        }) {
+            Series::Value(v, _) => Counter(v),
+            Series::Hist(_) => unreachable!("kind checked above"),
+        }
+    }
+
+    /// Registers (or fetches) a gauge.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Gauge {
+        match self.series(name, labels, help, Kind::Gauge, || {
+            Series::Value(Arc::new(AtomicU64::new(0f64.to_bits())), Kind::Gauge)
+        }) {
+            Series::Value(v, _) => Gauge(v),
+            Series::Hist(_) => unreachable!("kind checked above"),
+        }
+    }
+
+    /// Registers (or fetches) a histogram over `bounds` (strictly
+    /// increasing upper bounds; `+Inf` is added automatically).
+    pub fn histogram(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        help: &str,
+        bounds: &[f64],
+    ) -> Histogram {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        match self.series(name, labels, help, Kind::Histogram, || {
+            Series::Hist(Arc::new(HistogramCore {
+                bounds: bounds.to_vec(),
+                buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+                sum_nano: AtomicU64::new(0),
+                count: AtomicU64::new(0),
+            }))
+        }) {
+            Series::Hist(h) => Histogram(h),
+            Series::Value(..) => unreachable!("kind checked above"),
+        }
+    }
+
+    /// Renders the registry in the Prometheus text exposition format.
+    pub fn render(&self) -> String {
+        let families = self.families.lock().unwrap();
+        let mut out = String::with_capacity(families.len() * 128);
+        for (name, family) in families.iter() {
+            out.push_str(&format!(
+                "# HELP {name} {}\n",
+                family.help.replace('\n', " ")
+            ));
+            out.push_str(&format!("# TYPE {name} {}\n", family.kind.as_str()));
+            for (labels, series) in &family.series {
+                match series {
+                    Series::Value(v, Kind::Counter) => {
+                        out.push_str(&format!("{name}{labels} {}\n", v.load(Ordering::Relaxed)));
+                    }
+                    Series::Value(v, _) => {
+                        let f = f64::from_bits(v.load(Ordering::Relaxed));
+                        out.push_str(&format!("{name}{labels} {}\n", fmt_value(f)));
+                    }
+                    Series::Hist(h) => {
+                        // Cumulative buckets; `le` joins any other labels.
+                        let inner = labels.trim_start_matches('{').trim_end_matches('}');
+                        let with = |extra: &str| {
+                            if inner.is_empty() {
+                                format!("{{{extra}}}")
+                            } else {
+                                format!("{{{inner},{extra}}}")
+                            }
+                        };
+                        let mut cum = 0u64;
+                        for (i, bound) in h.bounds.iter().enumerate() {
+                            cum += h.buckets[i].load(Ordering::Relaxed);
+                            out.push_str(&format!(
+                                "{name}_bucket{} {cum}\n",
+                                with(&format!("le=\"{}\"", fmt_value(*bound)))
+                            ));
+                        }
+                        cum += h.buckets[h.bounds.len()].load(Ordering::Relaxed);
+                        out.push_str(&format!("{name}_bucket{} {cum}\n", with("le=\"+Inf\"")));
+                        let sum = h.sum_nano.load(Ordering::Relaxed) as f64 / 1e9;
+                        out.push_str(&format!("{name}_sum{labels} {}\n", fmt_value(sum)));
+                        out.push_str(&format!(
+                            "{name}_count{labels} {}\n",
+                            h.count.load(Ordering::Relaxed)
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Formats a float the exposition format accepts (finite, shortest
+/// round-trip; non-finite degrades to 0).
+fn fmt_value(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+/// Validates a Prometheus text exposition document; returns the number of
+/// sample lines, or a message naming the first offending line.
+///
+/// Checks: comment/`HELP`/`TYPE` syntax with known types, metric-name and
+/// label charset, parseable values, `TYPE` declared before its samples,
+/// no duplicate series, and histogram families exposing `_bucket` (with
+/// `le`), `_sum` and `_count`.
+///
+/// # Errors
+///
+/// A human-readable message with the 1-based line number.
+pub fn lint_prometheus(text: &str) -> Result<usize, String> {
+    let mut types: BTreeMap<String, String> = BTreeMap::new();
+    let mut seen: std::collections::HashSet<String> = std::collections::HashSet::new();
+    let mut samples = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let name = parts
+                .next()
+                .ok_or(format!("line {lineno}: TYPE without a name"))?;
+            let kind = parts
+                .next()
+                .ok_or(format!("line {lineno}: TYPE without a type"))?;
+            if !valid_name(name) {
+                return Err(format!("line {lineno}: bad metric name {name:?}"));
+            }
+            if !matches!(
+                kind,
+                "counter" | "gauge" | "histogram" | "summary" | "untyped"
+            ) {
+                return Err(format!("line {lineno}: unknown type {kind:?}"));
+            }
+            if types.insert(name.to_string(), kind.to_string()).is_some() {
+                return Err(format!("line {lineno}: duplicate TYPE for {name}"));
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // HELP and free comments.
+        }
+        // Sample line: name[{labels}] value [timestamp]
+        let (series, value) =
+            split_sample(line).ok_or(format!("line {lineno}: malformed sample line {line:?}"))?;
+        let name_end = series.find('{').unwrap_or(series.len());
+        let name = &series[..name_end];
+        if !valid_name(name) {
+            return Err(format!("line {lineno}: bad metric name {name:?}"));
+        }
+        if name_end < series.len() {
+            lint_labels(&series[name_end..], lineno)?;
+        }
+        let value_token = value.split_whitespace().next().unwrap_or("");
+        let ok_value =
+            matches!(value_token, "+Inf" | "-Inf" | "NaN") || value_token.parse::<f64>().is_ok();
+        if !ok_value {
+            return Err(format!("line {lineno}: bad sample value {value_token:?}"));
+        }
+        // The family (histogram series fold into their base name) must be
+        // TYPE-declared before samples.
+        let family = ["_bucket", "_sum", "_count"]
+            .iter()
+            .find_map(|suffix| {
+                name.strip_suffix(suffix)
+                    .filter(|base| types.get(*base).map(String::as_str) == Some("histogram"))
+            })
+            .unwrap_or(name);
+        if !types.contains_key(family) {
+            return Err(format!(
+                "line {lineno}: sample for {name} before (or without) its TYPE"
+            ));
+        }
+        if !seen.insert(series.to_string()) {
+            return Err(format!("line {lineno}: duplicate series {series}"));
+        }
+        samples += 1;
+    }
+    // Histogram families must be complete.
+    for (name, kind) in &types {
+        if kind == "histogram" {
+            for suffix in ["_bucket", "_sum", "_count"] {
+                let want = format!("{name}{suffix}");
+                if !seen.iter().any(|s| {
+                    s.strip_prefix(&want)
+                        .is_some_and(|rest| rest.is_empty() || rest.starts_with('{'))
+                }) {
+                    return Err(format!("histogram {name} is missing its {suffix} series"));
+                }
+            }
+            let le = format!("{name}_bucket");
+            if !seen
+                .iter()
+                .any(|s| s.starts_with(&le) && s.contains("le=\"+Inf\""))
+            {
+                return Err(format!(
+                    "histogram {name} is missing the le=\"+Inf\" bucket"
+                ));
+            }
+        }
+    }
+    Ok(samples)
+}
+
+/// Splits a sample line into (series, value-and-rest), honoring quoted
+/// label values that may contain spaces or `}`.
+fn split_sample(line: &str) -> Option<(&str, &str)> {
+    let bytes = line.as_bytes();
+    let mut in_quotes = false;
+    let mut escaped = false;
+    let mut brace_depth = 0u32;
+    for (i, &b) in bytes.iter().enumerate() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match b {
+            b'\\' if in_quotes => escaped = true,
+            b'"' => in_quotes = !in_quotes,
+            b'{' if !in_quotes => brace_depth += 1,
+            b'}' if !in_quotes => brace_depth = brace_depth.checked_sub(1)?,
+            b' ' | b'\t' if !in_quotes && brace_depth == 0 => {
+                let value = line[i..].trim();
+                if value.is_empty() {
+                    return None;
+                }
+                return Some((&line[..i], value));
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn lint_labels(block: &str, lineno: usize) -> Result<(), String> {
+    let inner = block
+        .strip_prefix('{')
+        .and_then(|b| b.strip_suffix('}'))
+        .ok_or(format!("line {lineno}: unbalanced label braces {block:?}"))?;
+    if inner.is_empty() {
+        return Ok(());
+    }
+    // Split on commas outside quotes.
+    let mut pairs = Vec::new();
+    let mut start = 0;
+    let mut in_quotes = false;
+    let mut escaped = false;
+    for (i, b) in inner.bytes().enumerate() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match b {
+            b'\\' if in_quotes => escaped = true,
+            b'"' => in_quotes = !in_quotes,
+            b',' if !in_quotes => {
+                pairs.push(&inner[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    pairs.push(&inner[start..]);
+    for pair in pairs {
+        let (k, v) = pair
+            .split_once('=')
+            .ok_or(format!("line {lineno}: label without '=' in {pair:?}"))?;
+        if !valid_name(k) {
+            return Err(format!("line {lineno}: bad label name {k:?}"));
+        }
+        if !(v.len() >= 2 && v.starts_with('"') && v.ends_with('"')) {
+            return Err(format!("line {lineno}: unquoted label value {v:?}"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_share_state_across_registration() {
+        let reg = Registry::new();
+        let a = reg.counter("gs_requests_total", &[], "requests");
+        let b = reg.counter("gs_requests_total", &[], "requests");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        let g = reg.gauge("gs_depth", &[("tier", "serve")], "queue depth");
+        g.set(2.5);
+        assert_eq!(
+            reg.gauge("gs_depth", &[("tier", "serve")], "queue depth")
+                .get(),
+            2.5
+        );
+        // Distinct labels are distinct series.
+        let g2 = reg.gauge("gs_depth", &[("tier", "cluster")], "queue depth");
+        g2.set(7.0);
+        assert_eq!(g.get(), 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "re-registered")]
+    fn kind_conflicts_panic() {
+        let reg = Registry::new();
+        let _ = reg.counter("gs_x", &[], "x");
+        let _ = reg.gauge("gs_x", &[], "x");
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_sum_tracks() {
+        let reg = Registry::new();
+        let h = reg.histogram("gs_lat_seconds", &[], "latency", &[0.01, 0.1, 1.0]);
+        for v in [0.005, 0.05, 0.05, 0.5, 5.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert!((h.sum() - 5.605).abs() < 1e-6);
+        let text = reg.render();
+        assert!(text.contains("gs_lat_seconds_bucket{le=\"0.01\"} 1"));
+        assert!(text.contains("gs_lat_seconds_bucket{le=\"0.1\"} 3"));
+        assert!(text.contains("gs_lat_seconds_bucket{le=\"1\"} 4"));
+        assert!(text.contains("gs_lat_seconds_bucket{le=\"+Inf\"} 5"));
+        assert!(text.contains("gs_lat_seconds_count 5"));
+    }
+
+    #[test]
+    fn render_passes_the_linter() {
+        let reg = Registry::new();
+        reg.counter("gs_requests_total", &[("outcome", "completed")], "req")
+            .add(4);
+        reg.counter("gs_requests_total", &[("outcome", "error")], "req")
+            .inc();
+        reg.gauge("gs_kernel_gflops", &[("phase", "raster")], "achieved")
+            .set(1.25);
+        let h = reg.histogram("gs_request_seconds", &[], "latency", &LATENCY_BUCKETS);
+        h.observe(0.003);
+        let text = reg.render();
+        let samples = lint_prometheus(&text).unwrap();
+        // 2 counters + 1 gauge + 12 buckets + sum + count.
+        assert_eq!(samples, 2 + 1 + LATENCY_BUCKETS.len() + 1 + 2);
+        assert!(text.contains("# TYPE gs_requests_total counter"));
+        assert!(text.contains("gs_requests_total{outcome=\"completed\"} 4"));
+    }
+
+    #[test]
+    fn linter_rejects_malformed_documents() {
+        for (doc, why) in [
+            ("gs_x 1\n", "sample before TYPE"),
+            ("# TYPE gs_x wombat\ngs_x 1\n", "unknown type"),
+            ("# TYPE gs_x counter\ngs_x notanumber\n", "bad value"),
+            ("# TYPE gs_x counter\ngs_x 1\ngs_x 2\n", "duplicate series"),
+            ("# TYPE 9bad counter\n9bad 1\n", "bad name"),
+            ("# TYPE gs_x counter\ngs_x{le=0.1} 1\n", "unquoted label"),
+            (
+                "# TYPE gs_x counter\ngs_x{le=\"a\" 1\n",
+                "unbalanced braces",
+            ),
+            (
+                "# TYPE gs_h histogram\ngs_h_bucket{le=\"+Inf\"} 1\ngs_h_sum 1\n",
+                "missing _count",
+            ),
+            (
+                "# TYPE gs_h histogram\ngs_h_bucket{le=\"1\"} 1\ngs_h_sum 1\ngs_h_count 1\n",
+                "missing +Inf bucket",
+            ),
+        ] {
+            assert!(lint_prometheus(doc).is_err(), "must reject: {why}");
+        }
+        // A correct document with labels containing spaces and escapes.
+        let ok = "# HELP gs_x help text\n# TYPE gs_x gauge\n\
+                  gs_x{node=\"replica 0 \\\"east\\\"\"} 1.5\n";
+        assert_eq!(lint_prometheus(ok).unwrap(), 1);
+        assert_eq!(lint_prometheus("").unwrap(), 0);
+    }
+}

@@ -1,0 +1,139 @@
+//! The bounded span ring sink.
+//!
+//! Finished traces land here; the ring keeps the most recent `capacity`
+//! traces and counts what it evicted, so the sink's memory is bounded no
+//! matter the traffic rate and an operator can see when they are losing
+//! history. One short mutex-guarded push per *request* (not per span)
+//! keeps the hot-path cost negligible.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::span::{RequestTrace, SpanRecord, TraceId};
+
+/// One completed request's span tree, as stored in the sink.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FinishedTrace {
+    /// The trace id.
+    pub trace: TraceId,
+    /// Spans sorted by start time.
+    pub spans: Vec<SpanRecord>,
+}
+
+/// A bounded ring of finished traces with a drop counter.
+#[derive(Debug)]
+pub struct SpanSink {
+    ring: Mutex<VecDeque<FinishedTrace>>,
+    capacity: usize,
+    dropped: AtomicU64,
+    finished: AtomicU64,
+}
+
+impl SpanSink {
+    /// A sink keeping at most `capacity` traces (`0` disables storage;
+    /// pushes then only count as drops).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            ring: Mutex::new(VecDeque::with_capacity(capacity.min(1024))),
+            capacity,
+            dropped: AtomicU64::new(0),
+            finished: AtomicU64::new(0),
+        }
+    }
+
+    /// Files a finished trace, evicting the oldest when full.
+    pub fn push(&self, trace: &RequestTrace) {
+        self.push_finished(FinishedTrace {
+            trace: trace.id(),
+            spans: trace.spans(),
+        });
+    }
+
+    /// Files an already-assembled [`FinishedTrace`].
+    pub fn push_finished(&self, finished: FinishedTrace) {
+        self.finished.fetch_add(1, Ordering::Relaxed);
+        if self.capacity == 0 {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let mut ring = self.ring.lock().unwrap();
+        if ring.len() >= self.capacity {
+            ring.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(finished);
+    }
+
+    /// Number of traces currently held.
+    pub fn len(&self) -> usize {
+        self.ring.lock().unwrap().len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Traces evicted or refused because of the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Total traces ever pushed (kept + dropped).
+    pub fn finished(&self) -> u64 {
+        self.finished.load(Ordering::Relaxed)
+    }
+
+    /// A copy of the held traces, oldest first.
+    pub fn snapshot(&self) -> Vec<FinishedTrace> {
+        self.ring.lock().unwrap().iter().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finished(n: u64) -> FinishedTrace {
+        FinishedTrace {
+            trace: TraceId(n),
+            spans: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn ring_keeps_the_most_recent_and_counts_drops() {
+        let sink = SpanSink::new(3);
+        for i in 1..=5 {
+            sink.push_finished(finished(i));
+        }
+        assert_eq!(sink.len(), 3);
+        assert_eq!(sink.dropped(), 2);
+        assert_eq!(sink.finished(), 5);
+        let ids: Vec<u64> = sink.snapshot().iter().map(|t| t.trace.0).collect();
+        assert_eq!(ids, vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn zero_capacity_disables_storage_but_still_counts() {
+        let sink = SpanSink::new(0);
+        sink.push_finished(finished(1));
+        assert!(sink.is_empty());
+        assert_eq!(sink.dropped(), 1);
+        assert_eq!(sink.finished(), 1);
+    }
+
+    #[test]
+    fn push_snapshots_a_request_trace() {
+        let sink = SpanSink::new(4);
+        let trace = RequestTrace::new(TraceId(9), "n");
+        trace.record(0, "request", 100, 10);
+        trace.record(1, "render", 102, 5);
+        sink.push(&trace);
+        let got = sink.snapshot();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].trace, TraceId(9));
+        assert_eq!(got[0].spans.len(), 2);
+    }
+}

@@ -1,0 +1,623 @@
+//! Request span trees: trace ids, spans, and the cross-node encoding.
+//!
+//! A **trace** is one request's journey through the stack; a **span** is
+//! one named interval inside it (queue wait, a kernel phase, a relay hop).
+//! The tiers share a single [`RequestTrace`] per request — an `Arc`-shared
+//! collector cloned across the ingress thread, the worker that renders the
+//! batch, and (for in-process replicas) the coordinator — so the tree
+//! assembles without any global registry.
+//!
+//! Across HTTP nodes the trace id travels in the `X-Trace-Id` request
+//! header (or the `GSTC` block of the `GSLQ` layer envelope), the parent
+//! span id in `X-Trace-Parent`, and the remote node returns its finished
+//! spans in the `X-Trace-Spans` response header using the compact
+//! [`encode_spans`] text form. The caller then [`RequestTrace::graft`]s
+//! them under the hop span, remapping ids, which yields one stitched tree
+//! for a render that fanned out across replicas.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use gs_core::rng::Rng64;
+
+use crate::clock::SpanClock;
+
+/// Hard cap on spans held by one [`RequestTrace`]: a runaway instrumented
+/// loop must not balloon a request's memory. Extra spans are dropped.
+pub const MAX_SPANS_PER_TRACE: usize = 4096;
+
+/// A 64-bit request trace id, rendered as 16 lowercase hex digits.
+///
+/// Ids are never zero (zero is the "absent" wire value).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceId(pub u64);
+
+impl TraceId {
+    /// Mints a fresh id: a per-process entropy base (seeded once from the
+    /// wall clock, the process id and a stack address) mixed with a
+    /// process-wide counter, so ids are unique within a process and
+    /// collide across nodes with probability ~2^-64.
+    pub fn generate() -> Self {
+        static BASE: OnceLock<u64> = OnceLock::new();
+        static NEXT: AtomicU64 = AtomicU64::new(1);
+        let base = *BASE.get_or_init(|| Rng64::from_entropy().next_u64());
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        // SplitMix64 finalizer over base ^ counter: every bit of the
+        // counter diffuses, so consecutive ids look unrelated.
+        let mut z = base ^ n.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        Self(if z == 0 { 1 } else { z })
+    }
+
+    /// Parses the 16-hex-digit form (as produced by `Display`); returns
+    /// `None` for malformed or zero ids.
+    pub fn parse(s: &str) -> Option<Self> {
+        if s.len() != 16 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return None;
+        }
+        let v = u64::from_str_radix(s, 16).ok()?;
+        if v == 0 {
+            None
+        } else {
+            Some(Self(v))
+        }
+    }
+}
+
+impl fmt::Display for TraceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// One finished span of a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// The trace this span belongs to.
+    pub trace: TraceId,
+    /// Span id, unique within the trace (`0` is never a valid id).
+    pub id: u32,
+    /// Parent span id (`0` = root).
+    pub parent: u32,
+    /// What the interval covers, e.g. `queue`, `raster`, `relay:city@2`.
+    pub name: String,
+    /// The node that recorded it, e.g. `coordinator`, `replica-0`.
+    pub node: String,
+    /// Absolute start, microseconds since the Unix epoch (see
+    /// [`SpanClock`]).
+    pub start_us: u64,
+    /// Duration in microseconds.
+    pub dur_us: u64,
+}
+
+#[derive(Debug)]
+struct Inner {
+    trace: TraceId,
+    clock: SpanClock,
+    next: AtomicU32,
+    spans: Mutex<Vec<SpanRecord>>,
+    dropped: AtomicU64,
+}
+
+/// The shared per-request span collector.
+///
+/// Clones are cheap (`Arc`) and all clones append to the same tree;
+/// [`Self::with_node`] re-labels the node name for spans recorded through
+/// that clone, which is how an in-process replica's spans carry its own
+/// identity inside the coordinator's trace.
+#[derive(Debug, Clone)]
+pub struct RequestTrace {
+    inner: Arc<Inner>,
+    node: Arc<str>,
+}
+
+/// First span id handed out by [`RequestTrace::remote`] traces.
+///
+/// A remote hop serving a carried trace id allocates from this disjoint
+/// upper range, so a fragment's internal ids can never equal the caller's
+/// (small, sequential) parent id — which is how [`RequestTrace::graft`]
+/// tells a fragment-internal parent link from the link back to the
+/// caller's span. The cluster nests one relay level deep, so a single
+/// split of the id space suffices.
+pub const REMOTE_SPAN_ID_BASE: u32 = 1 << 31;
+
+impl RequestTrace {
+    /// A fresh trace with its own [`SpanClock`].
+    pub fn new(trace: TraceId, node: impl AsRef<str>) -> Self {
+        Self::with_first_id(trace, node, 1)
+    }
+
+    /// A trace serving a **carried** id on behalf of a remote caller: span
+    /// ids allocate from [`REMOTE_SPAN_ID_BASE`] so the fragment cannot
+    /// collide with the caller's ids when it is grafted back (see
+    /// [`RequestTrace::graft`]).
+    pub fn remote(trace: TraceId, node: impl AsRef<str>) -> Self {
+        Self::with_first_id(trace, node, REMOTE_SPAN_ID_BASE)
+    }
+
+    fn with_first_id(trace: TraceId, node: impl AsRef<str>, first: u32) -> Self {
+        Self {
+            inner: Arc::new(Inner {
+                trace,
+                clock: SpanClock::new(),
+                next: AtomicU32::new(first),
+                spans: Mutex::new(Vec::new()),
+                dropped: AtomicU64::new(0),
+            }),
+            node: Arc::from(node.as_ref()),
+        }
+    }
+
+    /// The trace id.
+    pub fn id(&self) -> TraceId {
+        self.inner.trace
+    }
+
+    /// The clock all spans of this trace are stamped with.
+    pub fn clock(&self) -> &SpanClock {
+        &self.inner.clock
+    }
+
+    /// A clone that records spans under a different node label (the span
+    /// storage stays shared).
+    pub fn with_node(&self, node: impl AsRef<str>) -> Self {
+        Self {
+            inner: Arc::clone(&self.inner),
+            node: Arc::from(node.as_ref()),
+        }
+    }
+
+    /// Starts a live span under `parent` (`0` = root); it records itself
+    /// when finished or dropped.
+    pub fn start(&self, parent: u32, name: impl Into<String>) -> Span {
+        Span {
+            trace: self.clone(),
+            id: self.inner.next.fetch_add(1, Ordering::Relaxed),
+            parent,
+            name: name.into(),
+            start_us: self.inner.clock.now_us(),
+            done: false,
+        }
+    }
+
+    /// Records an already-measured interval and returns its span id.
+    pub fn record(&self, parent: u32, name: impl Into<String>, start_us: u64, dur_us: u64) -> u32 {
+        let id = self.inner.next.fetch_add(1, Ordering::Relaxed);
+        self.push(SpanRecord {
+            trace: self.inner.trace,
+            id,
+            parent,
+            name: name.into(),
+            node: self.node.to_string(),
+            start_us,
+            dur_us,
+        });
+        id
+    }
+
+    fn push(&self, record: SpanRecord) {
+        let mut spans = self.inner.spans.lock().unwrap();
+        if spans.len() >= MAX_SPANS_PER_TRACE {
+            self.inner.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        spans.push(record);
+    }
+
+    /// Grafts spans recorded by a remote node under `parent`: every remote
+    /// id is remapped into this trace's id space, remote parent links are
+    /// preserved, and remote roots (or orphans) attach to `parent`.
+    ///
+    /// Telling the two apart requires the fragment's ids to be disjoint
+    /// from `parent` — which [`RequestTrace::remote`] guarantees by
+    /// allocating from [`REMOTE_SPAN_ID_BASE`].
+    pub fn graft(&self, parent: u32, remote: Vec<SpanRecord>) {
+        let mut map = std::collections::HashMap::with_capacity(remote.len());
+        for span in &remote {
+            map.insert(span.id, self.inner.next.fetch_add(1, Ordering::Relaxed));
+        }
+        for mut span in remote {
+            span.trace = self.inner.trace;
+            span.id = map[&span.id];
+            span.parent = map.get(&span.parent).copied().unwrap_or(parent);
+            self.push(span);
+        }
+    }
+
+    /// Number of spans recorded so far.
+    pub fn len(&self) -> usize {
+        self.inner.spans.lock().unwrap().len()
+    }
+
+    /// Whether no span has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Spans dropped by the per-trace cap.
+    pub fn dropped(&self) -> u64 {
+        self.inner.dropped.load(Ordering::Relaxed)
+    }
+
+    /// A copy of the recorded spans, sorted by start time (stable, so
+    /// equal starts keep record order).
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        let mut spans = self.inner.spans.lock().unwrap().clone();
+        spans.sort_by_key(|s| s.start_us);
+        spans
+    }
+}
+
+/// A live span; records itself into its trace on [`Span::finish`] or drop.
+#[derive(Debug)]
+pub struct Span {
+    trace: RequestTrace,
+    id: u32,
+    parent: u32,
+    name: String,
+    start_us: u64,
+    done: bool,
+}
+
+impl Span {
+    /// This span's id, for parenting children or hop propagation.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// The absolute start timestamp, microseconds since the Unix epoch.
+    pub fn start_us(&self) -> u64 {
+        self.start_us
+    }
+
+    /// Ends the span now and records it.
+    pub fn finish(mut self) {
+        self.close();
+    }
+
+    fn close(&mut self) {
+        if self.done {
+            return;
+        }
+        self.done = true;
+        let end = self.trace.inner.clock.now_us();
+        self.trace.push(SpanRecord {
+            trace: self.trace.inner.trace,
+            id: self.id,
+            parent: self.parent,
+            name: std::mem::take(&mut self.name),
+            node: self.trace.node.to_string(),
+            start_us: self.start_us,
+            dur_us: end.saturating_sub(self.start_us),
+        });
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+/// A request's trace handle as threaded through the serving layers: the
+/// shared trace plus the span id new work should parent under.
+#[derive(Debug, Clone)]
+pub struct TraceContext {
+    /// The shared span collector.
+    pub trace: RequestTrace,
+    /// Parent span id for spans recorded in this context (`0` = root).
+    pub parent: u32,
+}
+
+impl TraceContext {
+    /// Starts a child span in this context.
+    pub fn child(&self, name: impl Into<String>) -> Span {
+        self.trace.start(self.parent, name)
+    }
+
+    /// The same trace re-parented under `parent`.
+    pub fn at(&self, parent: u32) -> Self {
+        Self {
+            trace: self.trace.clone(),
+            parent,
+        }
+    }
+}
+
+/// Percent-escapes a span name/node for the one-line wire form: `%`, the
+/// field separators `:` and `;`, whitespace and non-printable bytes become
+/// `%XX`.
+fn escape(s: &str, out: &mut String) {
+    for b in s.bytes() {
+        let unsafe_byte = b == b'%' || b == b':' || b == b';' || !(0x21..0x7f).contains(&b);
+        if unsafe_byte {
+            out.push('%');
+            out.push(char::from_digit((b >> 4) as u32, 16).unwrap());
+            out.push(char::from_digit((b & 0xf) as u32, 16).unwrap());
+        } else {
+            out.push(b as char);
+        }
+    }
+}
+
+fn unescape(s: &str) -> Option<String> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            if i + 3 > bytes.len() {
+                return None;
+            }
+            let hex = s.get(i + 1..i + 3)?;
+            out.push(u8::from_str_radix(hex, 16).ok()?);
+            i += 3;
+        } else {
+            out.push(bytes[i]);
+            i += 1;
+        }
+    }
+    String::from_utf8(out).ok()
+}
+
+/// Encodes spans for the `X-Trace-Spans` response header (and the `GSTC`
+/// envelope block): `id:parent:start_us:dur_us:name:node` records joined
+/// by `;`, names percent-escaped to stay one printable ASCII line.
+pub fn encode_spans(spans: &[SpanRecord]) -> String {
+    let mut out = String::with_capacity(spans.len() * 48);
+    for (i, s) in spans.iter().enumerate() {
+        if i > 0 {
+            out.push(';');
+        }
+        out.push_str(&format!(
+            "{}:{}:{}:{}:",
+            s.id, s.parent, s.start_us, s.dur_us
+        ));
+        escape(&s.name, &mut out);
+        out.push(':');
+        escape(&s.node, &mut out);
+    }
+    out
+}
+
+/// Decodes the [`encode_spans`] form back into records belonging to
+/// `trace`. Returns `None` on any malformed record (a bad peer must not
+/// corrupt the caller's tree).
+pub fn decode_spans(text: &str, trace: TraceId) -> Option<Vec<SpanRecord>> {
+    let text = text.trim();
+    if text.is_empty() {
+        return Some(Vec::new());
+    }
+    let mut out = Vec::new();
+    for record in text.split(';') {
+        let mut fields = record.split(':');
+        let id: u32 = fields.next()?.parse().ok()?;
+        let parent: u32 = fields.next()?.parse().ok()?;
+        let start_us: u64 = fields.next()?.parse().ok()?;
+        let dur_us: u64 = fields.next()?.parse().ok()?;
+        let name = unescape(fields.next()?)?;
+        let node = unescape(fields.next()?)?;
+        if fields.next().is_some() || id == 0 {
+            return None;
+        }
+        out.push(SpanRecord {
+            trace,
+            id,
+            parent,
+            name,
+            node,
+            start_us,
+            dur_us,
+        });
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_ids_are_unique_nonzero_and_roundtrip() {
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            let id = TraceId::generate();
+            assert_ne!(id.0, 0);
+            assert!(seen.insert(id), "duplicate trace id {id}");
+            assert_eq!(TraceId::parse(&id.to_string()), Some(id));
+        }
+        assert_eq!(TraceId::parse("not-a-trace-id!"), None);
+        assert_eq!(TraceId::parse("0000000000000000"), None);
+        assert_eq!(TraceId::parse("123"), None);
+    }
+
+    #[test]
+    fn spans_nest_and_record_on_finish_or_drop() {
+        let trace = RequestTrace::new(TraceId(42), "node-a");
+        let root = trace.start(0, "request");
+        let root_id = root.id();
+        {
+            let child = trace.start(root_id, "render");
+            let grand = trace.start(child.id(), "raster");
+            grand.finish();
+            // `child` drops here and must still record itself.
+        }
+        root.finish();
+        let spans = trace.spans();
+        assert_eq!(spans.len(), 3);
+        let request = spans.iter().find(|s| s.name == "request").unwrap();
+        let render = spans.iter().find(|s| s.name == "render").unwrap();
+        let raster = spans.iter().find(|s| s.name == "raster").unwrap();
+        assert_eq!(request.parent, 0);
+        assert_eq!(render.parent, request.id);
+        assert_eq!(raster.parent, render.id);
+        assert!(spans.iter().all(|s| s.node == "node-a"));
+        assert!(request.dur_us >= render.dur_us);
+    }
+
+    #[test]
+    fn clones_share_the_tree_and_with_node_relabels() {
+        let trace = RequestTrace::new(TraceId(7), "coordinator");
+        let replica_view = trace.with_node("replica-0");
+        let root = trace.start(0, "request");
+        replica_view.record(root.id(), "layer_render", 10, 5);
+        root.finish();
+        let spans = trace.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(
+            spans
+                .iter()
+                .find(|s| s.name == "layer_render")
+                .unwrap()
+                .node,
+            "replica-0"
+        );
+        assert_eq!(
+            spans.iter().find(|s| s.name == "request").unwrap().node,
+            "coordinator"
+        );
+    }
+
+    #[test]
+    fn span_cap_drops_excess_and_counts() {
+        let trace = RequestTrace::new(TraceId(1), "n");
+        for i in 0..(MAX_SPANS_PER_TRACE + 10) {
+            trace.record(0, format!("s{i}"), i as u64, 1);
+        }
+        assert_eq!(trace.len(), MAX_SPANS_PER_TRACE);
+        assert_eq!(trace.dropped(), 10);
+    }
+
+    #[test]
+    fn encode_decode_roundtrips_including_hostile_names() {
+        let spans = vec![
+            SpanRecord {
+                trace: TraceId(9),
+                id: 1,
+                parent: 0,
+                name: "request".into(),
+                node: "coordinator".into(),
+                start_us: 1_000_000,
+                dur_us: 1234,
+            },
+            SpanRecord {
+                trace: TraceId(9),
+                id: 2,
+                parent: 1,
+                name: "relay:city@2;weird %name\n".into(),
+                node: "replica 0: east".into(),
+                start_us: 1_000_010,
+                dur_us: 42,
+            },
+        ];
+        let text = encode_spans(&spans);
+        assert!(text.is_ascii());
+        assert!(!text.contains('\n'));
+        let decoded = decode_spans(&text, TraceId(9)).unwrap();
+        assert_eq!(decoded, spans);
+        // Tolerated empty payload; rejected malformed ones.
+        assert_eq!(decode_spans("", TraceId(1)), Some(Vec::new()));
+        assert_eq!(decode_spans("1:2:3", TraceId(1)), None);
+        assert_eq!(decode_spans("x:0:0:0:a:b", TraceId(1)), None);
+        assert_eq!(decode_spans("0:0:0:0:a:b", TraceId(1)), None, "zero id");
+        assert_eq!(decode_spans("1:0:0:0:a:b:extra", TraceId(1)), None);
+        assert_eq!(decode_spans("1:0:0:0:%zz:b", TraceId(1)), None);
+    }
+
+    #[test]
+    fn graft_remaps_remote_ids_under_the_hop_span() {
+        let trace = RequestTrace::new(TraceId(5), "coordinator");
+        let root = trace.start(0, "request");
+        let hop = trace.record(root.id(), "relay:scene@0", 0, 100);
+        // Remote ids deliberately collide with local ones (1, 2).
+        let remote = vec![
+            SpanRecord {
+                trace: TraceId(5),
+                id: 1,
+                parent: 0,
+                name: "layer_render".into(),
+                node: "replica-1".into(),
+                start_us: 10,
+                dur_us: 80,
+            },
+            SpanRecord {
+                trace: TraceId(5),
+                id: 2,
+                parent: 1,
+                name: "raster".into(),
+                node: "replica-1".into(),
+                start_us: 20,
+                dur_us: 60,
+            },
+        ];
+        trace.graft(hop, remote);
+        root.finish();
+        let spans = trace.spans();
+        assert_eq!(spans.len(), 4);
+        let layer = spans.iter().find(|s| s.name == "layer_render").unwrap();
+        let raster = spans.iter().find(|s| s.name == "raster").unwrap();
+        assert_eq!(layer.parent, hop, "remote root must attach to the hop");
+        assert_eq!(raster.parent, layer.id, "remote structure must survive");
+        // All ids unique after the remap.
+        let mut ids: Vec<u32> = spans.iter().map(|s| s.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 4);
+    }
+
+    #[test]
+    fn remote_traces_allocate_ids_graft_cannot_mistake_for_the_hop() {
+        // The coordinator's hop span id is small and sequential; a remote
+        // fragment whose *internal* ids include that same number used to
+        // capture the fragment root, leaving the hop empty. The remote id
+        // range makes the caller's parent id unambiguous.
+        let trace = RequestTrace::new(TraceId(6), "coordinator");
+        let root = trace.start(0, "request");
+        let hop = trace.record(root.id(), "relay:scene@0", 0, 100);
+
+        // The replica serves the carried trace with the remote allocator
+        // and parents its fragment root at the hop id the caller sent.
+        let replica = RequestTrace::remote(TraceId(6), "replica-0");
+        let layer = replica.record(hop, "layer_render", 10, 80);
+        replica.record(layer, "raster", 20, 60);
+        let fragment = replica.spans();
+        assert!(
+            fragment.iter().all(|s| s.id >= REMOTE_SPAN_ID_BASE),
+            "{fragment:?}"
+        );
+
+        trace.graft(hop, fragment);
+        root.finish();
+        let spans = trace.spans();
+        let layer = spans.iter().find(|s| s.name == "layer_render").unwrap();
+        let raster = spans.iter().find(|s| s.name == "raster").unwrap();
+        assert_eq!(
+            layer.parent, hop,
+            "the fragment root must land under the hop, not under a \
+             colliding fragment id: {spans:#?}"
+        );
+        assert_eq!(raster.parent, layer.id);
+    }
+
+    #[test]
+    fn context_children_parent_correctly() {
+        let trace = RequestTrace::new(TraceId(3), "n");
+        let root = trace.start(0, "request");
+        let ctx = TraceContext {
+            trace: trace.clone(),
+            parent: root.id(),
+        };
+        let child = ctx.child("queue");
+        let re = ctx.at(child.id());
+        re.child("render").finish();
+        child.finish();
+        root.finish();
+        let spans = trace.spans();
+        let queue = spans.iter().find(|s| s.name == "queue").unwrap();
+        let render = spans.iter().find(|s| s.name == "render").unwrap();
+        assert_eq!(render.parent, queue.id);
+    }
+}

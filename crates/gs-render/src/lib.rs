@@ -41,8 +41,8 @@ pub mod tiles;
 
 pub use culling::{frustum_cull, CullResult};
 pub use pipeline::{
-    render, render_backward, render_layer, render_layer_tiled, render_tiled, RenderOutput,
-    RenderTimings,
+    render, render_backward, render_layer, render_layer_tiled, render_layer_tiled_timed,
+    render_tiled, RenderOutput, RenderStats, RenderTimings,
 };
 pub use projection::{
     project_splats, project_splats_reference, project_splats_soa, projection_backward, Splat,

@@ -191,19 +191,46 @@ pub fn render_layer_tiled(
     layer: &mut FrameLayer,
     threads: usize,
 ) -> RenderStats {
+    render_layer_tiled_timed(params, cam, sh_degree, viewport, layer, threads).0
+}
+
+/// [`render_layer_tiled`] that also reports per-phase wall time, for the
+/// serving tier's live kernel-phase profiling.
+///
+/// # Panics
+///
+/// Panics if `layer`'s size does not match the viewport.
+pub fn render_layer_tiled_timed(
+    params: &GaussianParams,
+    cam: &Camera,
+    sh_degree: usize,
+    viewport: &Viewport,
+    layer: &mut FrameLayer,
+    threads: usize,
+) -> (RenderStats, RenderTimings) {
+    let t0 = std::time::Instant::now();
     let splats = project_splats(params, cam, sh_degree, viewport);
+    let t1 = std::time::Instant::now();
     let grid = TileGrid::build(&splats, *viewport);
+    let t2 = std::time::Instant::now();
     if threads > 1 {
         rasterize_layer_tiled(&splats, &grid, layer, threads);
     } else {
         rasterize_layer(&splats, &grid, layer);
     }
-    RenderStats {
+    let t3 = std::time::Instant::now();
+    let stats = RenderStats {
         num_input: params.len(),
         num_splats: splats.len(),
         num_pairs: grid.total_pairs(),
         num_pixels: viewport.num_pixels(),
-    }
+    };
+    let timings = RenderTimings {
+        project_s: (t1 - t0).as_secs_f64(),
+        bin_s: (t2 - t1).as_secs_f64(),
+        raster_s: (t3 - t2).as_secs_f64(),
+    };
+    (stats, timings)
 }
 
 /// Renders the full camera image (convenience wrapper over [`render`]).

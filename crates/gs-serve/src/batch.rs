@@ -21,7 +21,7 @@ use std::sync::Arc;
 use gs_core::gaussian::GaussianParams;
 use gs_core::image::Image;
 use gs_render::culling::frustum_cull;
-use gs_render::pipeline::render_tiled;
+use gs_render::pipeline::{render_tiled, RenderStats, RenderTimings};
 
 use crate::request::RenderRequest;
 
@@ -36,6 +36,10 @@ pub struct BatchOutcome {
     /// have been gathered without sharing. `summed_active / union_active`
     /// is the batch's gather-sharing factor.
     pub summed_active: usize,
+    /// Per-request render statistics and kernel-phase timings, in input
+    /// order — what the observability layer turns into spans and roofline
+    /// samples without re-measuring anything.
+    pub renders: Vec<(RenderStats, RenderTimings)>,
 }
 
 /// Renders `requests` (which must all target the scene held in `params`)
@@ -70,6 +74,7 @@ pub fn render_shared(
             images: Vec::new(),
             union_active: 0,
             summed_active: 0,
+            renders: Vec::new(),
         };
     }
 
@@ -85,27 +90,26 @@ pub fn render_shared(
     union_ids.dedup();
     let shared = params.gather(&union_ids);
 
-    let images = requests
-        .iter()
-        .map(|r| {
-            Arc::new(
-                render_tiled(
-                    &shared,
-                    &r.camera,
-                    r.sh_degree,
-                    &r.viewport,
-                    background,
-                    tile_threads,
-                )
-                .image,
-            )
-        })
-        .collect();
+    let mut images = Vec::with_capacity(requests.len());
+    let mut renders = Vec::with_capacity(requests.len());
+    for r in requests {
+        let out = render_tiled(
+            &shared,
+            &r.camera,
+            r.sh_degree,
+            &r.viewport,
+            background,
+            tile_threads,
+        );
+        renders.push((out.stats, out.timings));
+        images.push(Arc::new(out.image));
+    }
 
     BatchOutcome {
         images,
         union_active: union_ids.len(),
         summed_active,
+        renders,
     }
 }
 

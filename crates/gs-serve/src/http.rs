@@ -27,8 +27,22 @@
 //! * `GET /stats` — the [`crate::stats::ServeStats`] text report.
 //! * `GET /stats/wire` — the machine-readable [`crate::wire::StatsReport`]
 //!   a cluster coordinator aggregates (counters, latency samples, budget).
+//! * `GET /metrics` — Prometheus text exposition of the metrics registry
+//!   (request counters, latency histograms, kernel-phase rooflines, trace
+//!   gauges).
+//! * `GET /trace` — the finished-span ring as Chrome trace-event JSON
+//!   (load it in `chrome://tracing` / Perfetto).
 //! * `GET /scenes` — the loaded scene ids, one per line.
 //! * `GET /healthz` — liveness probe.
+//!
+//! Request tracing: `POST /render` joins the trace named by an
+//! `X-Trace-Id` header (generating none otherwise unless ingress sampling
+//! is on), parents its spans under `X-Trace-Parent` when given, and echoes
+//! the id back. A request carrying a *parent* is treated as one hop of a
+//! remote trace: its spans are returned in the response's `X-Trace-Spans`
+//! header for the caller to graft, instead of landing in the local ring.
+//! `POST /render_layer` does the same via the envelope's trace block (see
+//! [`crate::wire::encode_layer_request_traced`]) or the same headers.
 //!
 //! Errors map onto status codes: malformed requests and bodies get `400`,
 //! unknown paths and unknown scenes `404`, wrong methods `405`, oversized
@@ -50,8 +64,10 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use gs_obs::{RequestTrace, Span, TraceContext, TraceId};
 use gs_trace::{Outcome, TraceRecorder};
 
+use crate::obs::ServeObs;
 use crate::request::{CancelToken, ServeError};
 use crate::server::RenderServer;
 use crate::stats::ConnectionStats;
@@ -780,8 +796,15 @@ impl HttpHandler for ServeHandler {
                 HttpResponse::text(200, body)
             }
             ("GET", "/healthz") => HttpResponse::text(200, "ok\n"),
+            ("GET", "/metrics") => HttpResponse::text(200, server.metrics_text()),
+            ("GET", "/trace") => HttpResponse {
+                status: 200,
+                content_type: "application/json",
+                headers: Vec::new(),
+                body: server.obs().chrome_json().into_bytes(),
+            },
             ("POST", "/render") => render_route(server, self.recorder.as_deref(), req, conn),
-            ("POST", "/render_layer") => render_layer_route(server, &req.body),
+            ("POST", "/render_layer") => render_layer_route(server, req),
             ("POST", path) if path.strip_prefix("/scenes/").is_some() => {
                 let id = path.strip_prefix("/scenes/").unwrap_or_default();
                 load_scene_route(server, id, &req.body)
@@ -799,7 +822,8 @@ impl HttpHandler for ServeHandler {
             }
             (
                 _,
-                "/stats" | "/stats/wire" | "/scenes" | "/healthz" | "/render" | "/render_layer",
+                "/stats" | "/stats/wire" | "/scenes" | "/healthz" | "/metrics" | "/trace"
+                | "/render" | "/render_layer",
             ) => HttpResponse::text(405, "method not allowed on this path\n"),
             (_, path) if path.starts_with("/scenes/") => {
                 HttpResponse::text(405, "method not allowed on this path\n")
@@ -905,6 +929,84 @@ fn resolve_client(wire_req: &WireRequest, req: &HttpRequest, conn: &mut Conn<'_>
         .unwrap_or_else(|| "unknown".to_string())
 }
 
+/// The route's view of a request's trace: the trace handle, the span id
+/// server-side spans parent under, the route-owned root span (for traces
+/// this node is responsible for finishing), and whether the trace belongs
+/// to a remote caller (spans go back in `X-Trace-Spans`, not the ring).
+///
+/// Public so front-ends layered on the same listener machinery (the
+/// cluster coordinator's) share the exact ingress semantics.
+pub struct RouteTrace {
+    /// The shared span collector for this request.
+    pub trace: RequestTrace,
+    /// Span id route-side work parents under (the root span, or the remote
+    /// caller's hop span).
+    pub parent: u32,
+    /// The route-owned root span; `None` for remote hops.
+    pub root: Option<Span>,
+    /// Whether a remote caller owns the trace (spans are returned via
+    /// `X-Trace-Spans` instead of landing in the local ring).
+    pub remote: bool,
+}
+
+/// Resolves the trace a `POST /render` participates in: the `X-Trace-Id` /
+/// `X-Trace-Parent` headers name an existing trace (a parent marks it as a
+/// remote hop), and with no header ingress sampling may mint a fresh one.
+pub fn route_trace(obs: &ServeObs, req: &HttpRequest) -> Option<RouteTrace> {
+    let header_id = req
+        .headers
+        .get("x-trace-id")
+        .and_then(|v| TraceId::parse(v));
+    let header_parent = req
+        .headers
+        .get("x-trace-parent")
+        .and_then(|v| v.parse::<u32>().ok());
+    let trace = match header_id {
+        // A hop on someone else's trace allocates from the remote id range
+        // so the caller's graft can tell our internal parent links from
+        // links back to its own span.
+        Some(id) if header_parent.is_some() => RequestTrace::remote(id, obs.node()),
+        Some(id) => RequestTrace::new(id, obs.node()),
+        None if obs.should_trace() => obs.mint(),
+        None => return None,
+    };
+    if let Some(parent) = header_parent {
+        return Some(RouteTrace {
+            trace,
+            parent,
+            root: None,
+            remote: true,
+        });
+    }
+    let root = trace.start(0, "request");
+    let parent = root.id();
+    Some(RouteTrace {
+        trace,
+        parent,
+        root: Some(root),
+        remote: false,
+    })
+}
+
+impl RouteTrace {
+    /// Ends the trace's route-owned root span and settles ownership: a
+    /// remote hop returns its spans to the caller via `X-Trace-Spans`, a
+    /// locally owned trace lands in the span ring. Either way the response
+    /// echoes `X-Trace-Id`.
+    pub fn finish(self, obs: &ServeObs) -> Vec<(&'static str, String)> {
+        let mut headers = vec![("X-Trace-Id", self.trace.id().to_string())];
+        if let Some(root) = self.root {
+            root.finish();
+        }
+        if self.remote {
+            headers.push(("X-Trace-Spans", gs_obs::encode_spans(&self.trace.spans())));
+        } else {
+            obs.finish(&self.trace);
+        }
+        headers
+    }
+}
+
 fn render_route(
     server: &RenderServer,
     recorder: Option<&TraceRecorder>,
@@ -919,6 +1021,7 @@ fn render_route(
         Ok(r) => r,
         Err(e) => return HttpResponse::text(400, format!("{e}\n")),
     };
+    let route_trace = route_trace(server.obs(), req);
     // Capture support: the arrival timestamp is stamped before the request
     // queues, the event is recorded (with its outcome and latency) on every
     // answer path below.
@@ -941,12 +1044,25 @@ fn render_route(
     // rendering a frame nobody will read. The handler returns immediately —
     // the doomed write then closes the connection and frees its slot.
     let cancel = CancelToken::new();
-    let render_req = wire_req.to_render_request().with_cancel(cancel.clone());
+    let mut render_req = wire_req.to_render_request().with_cancel(cancel.clone());
+    if let Some(rt) = &route_trace {
+        render_req = render_req.with_trace(TraceContext {
+            trace: rt.trace.clone(),
+            parent: rt.parent,
+        });
+    }
+    // Every return below settles the trace (closing the root span, pushing
+    // the tree to the ring or into `X-Trace-Spans`) so no path leaks an
+    // unfinished trace.
+    let finish_trace =
+        |rt: Option<RouteTrace>| rt.map_or_else(Vec::new, |rt| rt.finish(server.obs()));
     let mut ticket = match server.submit(render_req) {
         Ok(ticket) => ticket,
         Err(e) => {
             record(outcome_for_error(&e));
-            return HttpResponse::text(status_for_error(&e), format!("{e}\n"));
+            let mut response = HttpResponse::text(status_for_error(&e), format!("{e}\n"));
+            response.headers = finish_trace(route_trace);
+            return response;
         }
     };
     let result = loop {
@@ -957,7 +1073,9 @@ fn render_route(
                 if conn.client_disconnected() || conn.stopping() {
                     cancel.cancel();
                     record(Outcome::Cancelled);
-                    return HttpResponse::text(503, "client disconnected\n");
+                    let mut response = HttpResponse::text(503, "client disconnected\n");
+                    response.headers = finish_trace(route_trace);
+                    return response;
                 }
             }
         }
@@ -966,7 +1084,9 @@ fn render_route(
         Ok(frame) => frame,
         Err(e) => {
             record(outcome_for_error(&e));
-            return HttpResponse::text(status_for_error(&e), format!("{e}\n"));
+            let mut response = HttpResponse::text(status_for_error(&e), format!("{e}\n"));
+            response.headers = finish_trace(route_trace);
+            return response;
         }
     };
     record(if frame.cache_hit {
@@ -978,18 +1098,20 @@ fn render_route(
         WireFormat::RawF32 => wire::encode_raw_f32(&frame.image),
         WireFormat::Ppm => wire::encode_ppm(&frame.image),
     };
+    let mut headers = vec![
+        ("X-Image-Width", frame.image.width().to_string()),
+        ("X-Image-Height", frame.image.height().to_string()),
+        ("X-Cache-Hit", u8::from(frame.cache_hit).to_string()),
+        ("X-Batch-Size", frame.batch_size.to_string()),
+        ("X-Shards", frame.shards.to_string()),
+        ("X-Worker", frame.worker.to_string()),
+        ("X-Latency-Us", frame.latency.as_micros().to_string()),
+    ];
+    headers.extend(finish_trace(route_trace));
     HttpResponse {
         status: 200,
         content_type: wire_req.format.content_type(),
-        headers: vec![
-            ("X-Image-Width", frame.image.width().to_string()),
-            ("X-Image-Height", frame.image.height().to_string()),
-            ("X-Cache-Hit", u8::from(frame.cache_hit).to_string()),
-            ("X-Batch-Size", frame.batch_size.to_string()),
-            ("X-Shards", frame.shards.to_string()),
-            ("X-Worker", frame.worker.to_string()),
-            ("X-Latency-Us", frame.latency.as_micros().to_string()),
-        ],
+        headers,
         body,
     }
 }
@@ -997,23 +1119,56 @@ fn render_route(
 /// `POST /render_layer`: render one shard (or a whole scene) as a
 /// partial-frame layer, continuing an attached incoming layer if present.
 /// Body and response use the binary layer encodings of [`crate::wire`].
-fn render_layer_route(server: &RenderServer, body: &[u8]) -> HttpResponse {
-    let (wire_req, into) = match wire::decode_layer_request(body) {
+///
+/// A layer render is always sub-work of some caller's request, so its trace
+/// context — the envelope's trace block, or the `X-Trace-Id` /
+/// `X-Trace-Parent` headers — is treated as a remote hop: the spans this
+/// node records come back in the response's `X-Trace-Spans` header for the
+/// caller to graft, and never land in the local ring.
+fn render_layer_route(server: &RenderServer, req: &HttpRequest) -> HttpResponse {
+    let (wire_req, block_trace, into) = match wire::decode_layer_request_traced(&req.body) {
         Ok(decoded) => decoded,
         Err(e) => return HttpResponse::text(400, format!("{e}\n")),
     };
+    let trace = block_trace
+        .or_else(|| {
+            let id = req
+                .headers
+                .get("x-trace-id")
+                .and_then(|v| TraceId::parse(v))?;
+            let parent = req
+                .headers
+                .get("x-trace-parent")
+                .and_then(|v| v.parse::<u32>().ok())
+                .unwrap_or(0);
+            Some((id, parent))
+        })
+        .map(|(id, parent)| (RequestTrace::remote(id, server.obs().node()), parent));
     let shard = wire_req.shard;
-    let request = wire_req.to_render_request();
+    let mut request = wire_req.to_render_request();
+    if let Some((trace, parent)) = &trace {
+        request = request.with_trace(TraceContext {
+            trace: trace.clone(),
+            parent: *parent,
+        });
+    }
     match server.render_layer_blocking(&request, shard, into) {
-        Ok(layer) => HttpResponse {
-            status: 200,
-            content_type: "application/octet-stream",
-            headers: vec![
+        Ok(layer) => {
+            let mut headers = vec![
                 ("X-Image-Width", layer.width().to_string()),
                 ("X-Image-Height", layer.height().to_string()),
-            ],
-            body: wire::encode_layer(&layer),
-        },
+            ];
+            if let Some((trace, _)) = &trace {
+                headers.push(("X-Trace-Id", trace.id().to_string()));
+                headers.push(("X-Trace-Spans", gs_obs::encode_spans(&trace.spans())));
+            }
+            HttpResponse {
+                status: 200,
+                content_type: "application/octet-stream",
+                headers,
+                body: wire::encode_layer(&layer),
+            }
+        }
         Err(e) => HttpResponse::text(status_for_error(&e), format!("{e}\n")),
     }
 }
@@ -1060,6 +1215,37 @@ pub mod client {
         body: &[u8],
     ) -> io::Result<ClientResponse> {
         send_request(stream, method, path, body)?;
+        read_response(stream)
+    }
+
+    /// Like [`request`], with extra request headers (e.g. `X-Trace-Id`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors; a malformed response surfaces as
+    /// [`io::ErrorKind::InvalidData`].
+    pub fn request_with_headers(
+        stream: &mut TcpStream,
+        method: &str,
+        path: &str,
+        headers: &[(&str, &str)],
+        body: &[u8],
+    ) -> io::Result<ClientResponse> {
+        let mut head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: gs-serve\r\nContent-Length: {}\r\n",
+            body.len()
+        );
+        for (name, value) in headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
+        let mut message = head.into_bytes();
+        message.extend_from_slice(body);
+        stream.write_all(&message)?;
+        stream.flush()?;
         read_response(stream)
     }
 

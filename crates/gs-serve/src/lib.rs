@@ -32,7 +32,12 @@
 //!   admission (count-min sketch + doorkeeper from `gs-core`).
 //! * [`server`] — the worker pool tying it together.
 //! * [`stats`] — the [`ServeStats`] report: p50/p90/p99 latency, throughput,
-//!   cache hit rate, batch-size histogram, per-worker counters.
+//!   cache hit rate, batch-size histogram, per-worker counters — all views
+//!   over the same `gs_obs` metrics registry `GET /metrics` exposes.
+//! * [`obs`] — the serving side of the observability layer (`gs-obs`):
+//!   sampled request traces with queue / cache / render / kernel-phase
+//!   spans, the finished-span ring behind `GET /trace`, slow-request
+//!   waterfalls, and live per-phase roofline gauges.
 //! * [`http`] — a std-only HTTP/1.1 front-end (`POST /render`, `GET /stats`,
 //!   `GET /scenes`) so external load generators can drive the service over
 //!   real loopback/network TCP, one handler thread per connection.
@@ -73,6 +78,7 @@
 pub mod batch;
 pub mod cache;
 pub mod http;
+pub mod obs;
 pub mod queue;
 pub mod registry;
 pub mod request;
@@ -86,6 +92,7 @@ pub use cache::{CachePolicy, CachePolicyKind, CacheStats, FrameCache, FrameKey, 
 pub use http::{
     outcome_for_error, Conn, HttpConfig, HttpHandler, HttpRequest, HttpResponse, HttpServer,
 };
+pub use obs::{Phase, ServeObs, TRACE_ID_HEADER, TRACE_PARENT_HEADER, TRACE_SPANS_HEADER};
 pub use queue::BoundedQueue;
 pub use registry::{
     LoadedScene, RegistryStats, SceneLayout, SceneRegistry, SceneView, ShardResidency, ShardView,

@@ -1,0 +1,446 @@
+//! Live observability of the render server: trace sampling, the span
+//! sink, and kernel-phase roofline aggregates.
+//!
+//! [`ServeObs`] is the one handle the serving hot path consults. It owns
+//! three things:
+//!
+//! * the **trace sampler** — every Nth ingress request gets a
+//!   [`gs_obs::RequestTrace`] minted ([`ServeObs::should_trace`]); the
+//!   finished tree lands in a bounded [`SpanSink`] ring and, when it was
+//!   slower than the configured threshold, is also logged as a text
+//!   waterfall;
+//! * the **phase profiler** — every Nth production render contributes its
+//!   measured `project` / `bin` / `raster` timings plus analytic work
+//!   estimates to per-phase accumulators, which `GET /metrics` exposes as
+//!   roofline gauges (achieved FLOP/s, bandwidth, operational intensity)
+//!   without ever re-measuring a kernel;
+//! * the shared [`Registry`] the request counters already live in.
+//!
+//! All hot-path operations are a handful of relaxed atomics; the mutexes
+//! (sink ring, span storage) are touched once per *request*, not per span.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use gs_obs::{
+    chrome_trace_json, waterfall, FinishedTrace, Gauge, Registry, RequestTrace, SpanClock,
+    SpanSink, TraceId,
+};
+use gs_platform::roofline::{RooflinePoint, Work};
+use gs_render::cost::{self, WorkEstimate};
+use gs_render::pipeline::{RenderStats, RenderTimings};
+
+/// Request header carrying the trace id across nodes.
+pub const TRACE_ID_HEADER: &str = "X-Trace-Id";
+/// Request header carrying the parent span id of a relayed render.
+pub const TRACE_PARENT_HEADER: &str = "X-Trace-Parent";
+/// Response header returning a remote node's finished spans
+/// ([`gs_obs::encode_spans`] form) to the caller that owns the trace.
+pub const TRACE_SPANS_HEADER: &str = "X-Trace-Spans";
+
+/// A kernel phase of the forward render pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// EWA projection of Gaussians to screen-space splats.
+    Project,
+    /// Tile binning and per-tile depth sort.
+    Bin,
+    /// Front-to-back alpha blending.
+    Raster,
+}
+
+impl Phase {
+    /// All phases, in pipeline order.
+    pub const ALL: [Phase; 3] = [Phase::Project, Phase::Bin, Phase::Raster];
+
+    /// The phase's metric label.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Project => "project",
+            Phase::Bin => "bin",
+            Phase::Raster => "raster",
+        }
+    }
+}
+
+/// Lock-free per-phase accumulator: seconds (as nanos), work estimate and
+/// sample count.
+#[derive(Debug, Default)]
+struct PhaseAccum {
+    nanos: AtomicU64,
+    flops: AtomicU64,
+    bytes: AtomicU64,
+    samples: AtomicU64,
+}
+
+/// Scrape-time gauges of one phase's roofline aggregate.
+#[derive(Debug, Clone)]
+struct PhaseGauges {
+    seconds: Gauge,
+    samples: Gauge,
+    flops_per_second: Gauge,
+    bytes_per_second: Gauge,
+    intensity: Gauge,
+}
+
+/// The server's observability state (see module docs).
+#[derive(Debug)]
+pub struct ServeObs {
+    registry: Arc<Registry>,
+    sink: SpanSink,
+    clock: SpanClock,
+    node: String,
+    trace_sample_every: u32,
+    phase_sample_every: u32,
+    slow_trace_us: u64,
+    trace_tick: AtomicU64,
+    phase_tick: AtomicU64,
+    phases: [PhaseAccum; 3],
+    phase_gauges: Vec<PhaseGauges>,
+    traces_finished: Gauge,
+    traces_dropped: Gauge,
+    trace_ring_held: Gauge,
+}
+
+impl ServeObs {
+    /// Builds the observability state.
+    ///
+    /// `trace_sample_every` = 0 disables tracing entirely, 1 traces every
+    /// request, N traces every Nth; `phase_sample_every` works the same
+    /// way for kernel-phase profiling. `slow_trace_us` = 0 disables the
+    /// slow-request waterfall log. `span_ring` bounds the sink.
+    pub fn new(
+        registry: Arc<Registry>,
+        node: impl Into<String>,
+        trace_sample_every: u32,
+        phase_sample_every: u32,
+        slow_trace_us: u64,
+        span_ring: usize,
+    ) -> Self {
+        let phase_gauges = Phase::ALL
+            .iter()
+            .map(|p| {
+                let labels = [("phase", p.name())];
+                PhaseGauges {
+                    seconds: registry.gauge(
+                        "gs_phase_seconds",
+                        &labels,
+                        "Seconds spent in this kernel phase across sampled renders",
+                    ),
+                    samples: registry.gauge(
+                        "gs_phase_samples",
+                        &labels,
+                        "Sampled renders contributing to this phase aggregate",
+                    ),
+                    flops_per_second: registry.gauge(
+                        "gs_phase_flops_per_second",
+                        &labels,
+                        "Achieved FLOP/s of this phase (roofline)",
+                    ),
+                    bytes_per_second: registry.gauge(
+                        "gs_phase_bytes_per_second",
+                        &labels,
+                        "Achieved memory bandwidth of this phase (roofline)",
+                    ),
+                    intensity: registry.gauge(
+                        "gs_phase_intensity",
+                        &labels,
+                        "Operational intensity of this phase in FLOP/byte",
+                    ),
+                }
+            })
+            .collect();
+        let traces_finished = registry.gauge(
+            "gs_traces_finished",
+            &[],
+            "Request traces finished (kept + dropped)",
+        );
+        let traces_dropped = registry.gauge(
+            "gs_traces_dropped",
+            &[],
+            "Request traces evicted or refused by the bounded span ring",
+        );
+        let trace_ring_held =
+            registry.gauge("gs_trace_ring_held", &[], "Traces currently in the ring");
+        Self {
+            registry,
+            sink: SpanSink::new(span_ring),
+            clock: SpanClock::new(),
+            node: node.into(),
+            trace_sample_every,
+            phase_sample_every,
+            slow_trace_us,
+            trace_tick: AtomicU64::new(0),
+            phase_tick: AtomicU64::new(0),
+            phases: Default::default(),
+            phase_gauges,
+            traces_finished,
+            traces_dropped,
+            trace_ring_held,
+        }
+    }
+
+    /// The registry shared with the stats collector.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// The bounded ring finished traces land in.
+    pub fn sink(&self) -> &SpanSink {
+        &self.sink
+    }
+
+    /// The clock locally-minted traces are stamped with.
+    pub fn clock(&self) -> &SpanClock {
+        &self.clock
+    }
+
+    /// The node label spans recorded here carry.
+    pub fn node(&self) -> &str {
+        &self.node
+    }
+
+    /// Whether the next ingress request should get a trace minted
+    /// (advances the sampling tick).
+    pub fn should_trace(&self) -> bool {
+        match self.trace_sample_every {
+            0 => false,
+            n => self
+                .trace_tick
+                .fetch_add(1, Ordering::Relaxed)
+                .is_multiple_of(n as u64),
+        }
+    }
+
+    /// Mints a fresh trace rooted at this node.
+    pub fn mint(&self) -> RequestTrace {
+        RequestTrace::new(TraceId::generate(), &self.node)
+    }
+
+    /// Whether the next render should contribute kernel-phase samples
+    /// (advances the sampling tick).
+    pub fn should_sample_phases(&self) -> bool {
+        match self.phase_sample_every {
+            0 => false,
+            n => self
+                .phase_tick
+                .fetch_add(1, Ordering::Relaxed)
+                .is_multiple_of(n as u64),
+        }
+    }
+
+    /// Adds one measured interval of `phase` plus its analytic work
+    /// estimate to the aggregate.
+    pub fn record_phase(&self, phase: Phase, seconds: f64, work: &WorkEstimate) {
+        let accum = &self.phases[phase as usize];
+        accum
+            .nanos
+            .fetch_add((seconds.max(0.0) * 1e9).round() as u64, Ordering::Relaxed);
+        accum
+            .flops
+            .fetch_add(work.flops.max(0.0).round() as u64, Ordering::Relaxed);
+        accum.bytes.fetch_add(
+            work.total_bytes().max(0.0).round() as u64,
+            Ordering::Relaxed,
+        );
+        accum.samples.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Feeds one render's measured phase timings (and the work estimates
+    /// its stats imply) into the aggregates — the production counterpart
+    /// of the offline roofline benches. Returns whether the render was
+    /// sampled.
+    pub fn sample_render(&self, stats: &RenderStats, timings: &RenderTimings) -> bool {
+        if !self.should_sample_phases() {
+            return false;
+        }
+        self.record_phase(
+            Phase::Project,
+            timings.project_s,
+            &cost::projection_cost(stats.num_input),
+        );
+        self.record_phase(Phase::Bin, timings.bin_s, &bin_cost(stats));
+        self.record_phase(
+            Phase::Raster,
+            timings.raster_s,
+            &cost::raster_forward_cost(stats.num_pairs, stats.num_pixels),
+        );
+        true
+    }
+
+    /// The aggregated [`RooflinePoint`] of a phase, if it has samples.
+    pub fn phase_roofline(&self, phase: Phase) -> Option<RooflinePoint> {
+        let accum = &self.phases[phase as usize];
+        if accum.samples.load(Ordering::Relaxed) == 0 {
+            return None;
+        }
+        let seconds = accum.nanos.load(Ordering::Relaxed) as f64 / 1e9;
+        let work = Work::new(
+            accum.flops.load(Ordering::Relaxed) as f64,
+            accum.bytes.load(Ordering::Relaxed) as f64,
+        );
+        Some(RooflinePoint::new(&work, seconds.max(1e-12)))
+    }
+
+    /// Refreshes the scrape-time gauges (phase rooflines, sink counters);
+    /// called right before rendering `GET /metrics`.
+    pub fn refresh_gauges(&self) {
+        for (phase, gauges) in Phase::ALL.iter().zip(&self.phase_gauges) {
+            let accum = &self.phases[*phase as usize];
+            let samples = accum.samples.load(Ordering::Relaxed);
+            gauges.samples.set(samples as f64);
+            gauges
+                .seconds
+                .set(accum.nanos.load(Ordering::Relaxed) as f64 / 1e9);
+            if let Some(point) = self.phase_roofline(*phase) {
+                gauges.flops_per_second.set(point.achieved_flops());
+                gauges.bytes_per_second.set(point.achieved_bandwidth());
+                gauges.intensity.set(point.operational_intensity());
+            }
+        }
+        self.traces_finished.set(self.sink.finished() as f64);
+        self.traces_dropped.set(self.sink.dropped() as f64);
+        self.trace_ring_held.set(self.sink.len() as f64);
+    }
+
+    /// Files a finished trace into the ring and, when it exceeded the
+    /// slow-trace threshold, logs its waterfall to stderr.
+    pub fn finish(&self, trace: &RequestTrace) {
+        let finished = FinishedTrace {
+            trace: trace.id(),
+            spans: trace.spans(),
+        };
+        if self.slow_trace_us > 0 {
+            let t0 = finished.spans.iter().map(|s| s.start_us).min().unwrap_or(0);
+            let total = finished
+                .spans
+                .iter()
+                .map(|s| (s.start_us - t0) + s.dur_us)
+                .max()
+                .unwrap_or(0);
+            if total >= self.slow_trace_us {
+                eprintln!(
+                    "[{}] slow request {} ({} us):\n{}",
+                    self.node,
+                    finished.trace,
+                    total,
+                    waterfall(&finished)
+                );
+            }
+        }
+        self.sink.push_finished(finished);
+    }
+
+    /// Prometheus text exposition of the registry, gauges refreshed.
+    pub fn metrics_text(&self) -> String {
+        self.refresh_gauges();
+        self.registry.render()
+    }
+
+    /// Chrome trace-event JSON of every trace currently in the ring.
+    pub fn chrome_json(&self) -> String {
+        chrome_trace_json(&self.sink.snapshot())
+    }
+}
+
+/// Analytic work estimate of the tile-binning phase. The cost model in
+/// `gs_render::cost` has no binning entry (binning is memory-bound
+/// bookkeeping, not arithmetic), so this synthesizes one from the same
+/// counters: each splat computes its tile range, each (splat, tile) pair
+/// is appended and then moved once by the per-tile depth sort.
+fn bin_cost(stats: &RenderStats) -> WorkEstimate {
+    let splats = stats.num_splats as f64;
+    let pairs = stats.num_pairs as f64;
+    WorkEstimate::new(
+        10.0 * splats + 4.0 * pairs,
+        32.0 * splats + 8.0 * pairs,
+        8.0 * pairs,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(trace_every: u32, phase_every: u32) -> ServeObs {
+        ServeObs::new(
+            Arc::new(Registry::new()),
+            "test-node",
+            trace_every,
+            phase_every,
+            0,
+            8,
+        )
+    }
+
+    #[test]
+    fn sampling_gates_follow_their_period() {
+        let o = obs(0, 0);
+        assert!(!o.should_trace() && !o.should_sample_phases());
+
+        let o = obs(1, 1);
+        assert!((0..10).all(|_| o.should_trace()));
+
+        let o = obs(4, 4);
+        let hits = (0..16).filter(|_| o.should_trace()).count();
+        assert_eq!(hits, 4, "every 4th request is traced");
+    }
+
+    #[test]
+    fn phase_aggregates_feed_rooflines_and_gauges() {
+        let o = obs(0, 1);
+        let stats = RenderStats {
+            num_input: 1000,
+            num_splats: 800,
+            num_pairs: 3200,
+            num_pixels: 64 * 64,
+        };
+        let timings = RenderTimings {
+            project_s: 1e-3,
+            bin_s: 5e-4,
+            raster_s: 2e-3,
+        };
+        assert!(o.sample_render(&stats, &timings));
+        for phase in Phase::ALL {
+            let point = o.phase_roofline(phase).expect("sampled phase has a point");
+            assert!(point.achieved_flops() > 0.0);
+            assert!(point.operational_intensity() > 0.0);
+        }
+        let text = o.metrics_text();
+        assert!(text.contains("gs_phase_flops_per_second{phase=\"raster\"}"));
+        assert!(text.contains("gs_phase_samples{phase=\"project\"} 1"));
+        gs_obs::lint_prometheus(&text).expect("exposition must lint clean");
+    }
+
+    #[test]
+    fn unsampled_phases_have_no_roofline() {
+        let o = obs(0, 0);
+        assert!(o.phase_roofline(Phase::Raster).is_none());
+        let stats = RenderStats {
+            num_input: 10,
+            num_splats: 10,
+            num_pairs: 10,
+            num_pixels: 10,
+        };
+        let timings = RenderTimings {
+            project_s: 1e-6,
+            bin_s: 1e-6,
+            raster_s: 1e-6,
+        };
+        assert!(!o.sample_render(&stats, &timings), "sampling disabled");
+        assert!(o.phase_roofline(Phase::Project).is_none());
+    }
+
+    #[test]
+    fn finished_traces_land_in_the_ring() {
+        let o = obs(1, 0);
+        let trace = o.mint();
+        trace.record(0, "request", o.clock().now_us(), 42);
+        o.finish(&trace);
+        assert_eq!(o.sink().len(), 1);
+        let json = o.chrome_json();
+        assert!(json.contains("\"request\""));
+        let text = o.metrics_text();
+        assert!(text.contains("gs_traces_finished 1"));
+    }
+}

@@ -94,6 +94,11 @@ pub struct RenderRequest {
     /// requests to sessions. The HTTP front-end fills it from the body's
     /// `client` key, the `X-Client-Id` header, or the peer address.
     pub client: Option<String>,
+    /// Optional trace context. When set, the serving layers record queue /
+    /// render / kernel-phase spans into the shared tree as the request
+    /// moves through them; when `None`, the request is untraced (the
+    /// common case — ingress samples every Nth request).
+    pub trace: Option<gs_obs::TraceContext>,
 }
 
 impl RenderRequest {
@@ -109,6 +114,7 @@ impl RenderRequest {
             deadline: None,
             cancel: None,
             client: None,
+            trace: None,
         }
     }
 
@@ -127,6 +133,13 @@ impl RenderRequest {
     /// Attaches a client/session id.
     pub fn with_client(mut self, client: impl Into<String>) -> Self {
         self.client = Some(client.into());
+        self
+    }
+
+    /// Attaches a trace context (spans the serving layers record will
+    /// parent under its `parent` span).
+    pub fn with_trace(mut self, trace: gs_obs::TraceContext) -> Self {
+        self.trace = Some(trace);
         self
     }
 

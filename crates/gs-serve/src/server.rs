@@ -20,12 +20,15 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 
 use gs_core::gaussian::GaussianParams;
+use gs_obs::{Registry, TraceContext};
 use gs_platform::PlatformSpec;
 
+use gs_render::pipeline::RenderTimings;
 use gs_render::rasterize::FrameLayer;
 
 use crate::batch::render_shared;
 use crate::cache::{CachePolicyKind, FrameCache, FrameKey};
+use crate::obs::ServeObs;
 use crate::registry::{RegistryStats, SceneLayout, SceneRegistry, SceneView, ShardedSceneView};
 use crate::request::{RenderRequest, RenderedFrame, SceneId, ServeError};
 use crate::sched::{SchedItem, Scheduler, SchedulerPolicy};
@@ -64,6 +67,23 @@ pub struct ServeConfig {
     /// `workers`; `1` disables tile parallelism. Output bytes are identical
     /// at any setting.
     pub tile_parallel: usize,
+    /// Node label the server's spans carry (shows up in stitched
+    /// cross-node trees and Chrome trace exports).
+    pub node: String,
+    /// Trace every Nth ingress request (`0` disables request tracing,
+    /// `1` traces every request). Requests arriving with a remote trace
+    /// context are always traced regardless of this setting.
+    pub trace_sample_every: u32,
+    /// Sample kernel-phase timings (project / bin / raster) of every Nth
+    /// production render into the `/metrics` roofline gauges (`0`
+    /// disables phase profiling).
+    pub phase_sample_every: u32,
+    /// Log a text waterfall of any *locally minted* trace slower than
+    /// this many milliseconds (`0` disables the slow-request log).
+    pub slow_trace_ms: u64,
+    /// Capacity of the finished-trace ring behind `GET /trace`
+    /// (`0` keeps only counters).
+    pub span_ring: usize,
 }
 
 impl Default for ServeConfig {
@@ -78,6 +98,11 @@ impl Default for ServeConfig {
             scheduler: SchedulerPolicy::Fifo,
             cache_policy: CachePolicyKind::Lru,
             tile_parallel: 0,
+            node: "gs-serve".to_string(),
+            trace_sample_every: 0,
+            phase_sample_every: 32,
+            slow_trace_ms: 0,
+            span_ring: 256,
         }
     }
 }
@@ -91,6 +116,11 @@ struct Job {
     key: Option<FrameKey>,
     tx: mpsc::Sender<Response>,
     enqueued: Instant,
+    /// Root `request` span of a trace *minted by this server* at submit
+    /// time; finished (and the whole trace pushed to the span ring) when
+    /// the job is answered. `None` for untraced jobs and for remote trace
+    /// contexts, whose root lives with whoever minted them.
+    trace_root: Option<gs_obs::Span>,
 }
 
 impl SchedItem for Job {
@@ -113,6 +143,10 @@ struct Shared {
     registry: Mutex<SceneRegistry>,
     cache: Mutex<FrameCache>,
     stats: StatsCollector,
+    /// Observability layer: trace sampling, the finished-span ring and the
+    /// kernel-phase roofline gauges, all feeding the same metrics registry
+    /// the stats collector publishes through.
+    obs: ServeObs,
     /// Queued jobs that carry a deadline. Incremented before the push makes
     /// a job visible and decremented when the job leaves the queue, so the
     /// workers' dead-job sweep (an O(queue) walk under the queue mutex) can
@@ -193,6 +227,17 @@ impl RenderServer {
     pub fn new(config: ServeConfig, registry: SceneRegistry) -> Self {
         assert!(config.workers > 0, "need at least one worker");
         assert!(config.max_batch > 0, "max_batch must be at least 1");
+        // One registry backs both the request counters (stats collector) and
+        // the observability gauges, so `GET /metrics` exposes them together.
+        let metrics = Arc::new(Registry::new());
+        let obs = ServeObs::new(
+            Arc::clone(&metrics),
+            config.node.clone(),
+            config.trace_sample_every,
+            config.phase_sample_every,
+            config.slow_trace_ms.saturating_mul(1000),
+            config.span_ring,
+        );
         let shared = Arc::new(Shared {
             sched: config.scheduler.build(config.queue_depth),
             registry: Mutex::new(registry),
@@ -200,7 +245,8 @@ impl RenderServer {
                 config.cache_bytes,
                 config.cache_policy,
             )),
-            stats: StatsCollector::new(config.workers),
+            stats: StatsCollector::with_registry(metrics, config.workers),
+            obs,
             config,
             deadline_jobs: AtomicU64::new(0),
             pending_cancels: Arc::new(AtomicU64::new(0)),
@@ -425,6 +471,22 @@ impl RenderServer {
             let _ = tx.send(Err(ServeError::Cancelled));
             return Ok(Ticket { rx });
         }
+        // Ingress trace sampling: mint a trace for every Nth request that
+        // does not already carry one. Requests arriving with a context
+        // attached (the HTTP front-end's `X-Trace-Id`, or a cluster relay)
+        // are recorded into *that* tree instead — their root span lives
+        // with whoever minted the trace, so no root is opened here.
+        let mut request = request;
+        let mut trace_root = None;
+        if request.trace.is_none() && self.shared.obs.should_trace() {
+            let trace = self.shared.obs.mint();
+            let root = trace.start(0, "request");
+            request.trace = Some(TraceContext {
+                trace,
+                parent: root.id(),
+            });
+            trace_root = Some(root);
+        }
         // The pre-enqueue cache probe: a resident key is answered here,
         // skipping the queue and the worker pool entirely. A miss is not
         // counted (and not fed to the admission policy) — the worker-side
@@ -438,6 +500,23 @@ impl RenderServer {
             if let Some(image) = hit {
                 let latency = submitted.elapsed();
                 self.shared.stats.record_fast_hit(latency);
+                if let Some(ctx) = &request.trace {
+                    let clock = ctx.trace.clock();
+                    let start = clock.us_of(submitted);
+                    let end = clock.now_us();
+                    ctx.trace.record(
+                        ctx.parent,
+                        "cache_fast_hit",
+                        start,
+                        end.saturating_sub(start),
+                    );
+                }
+                if let Some(root) = trace_root {
+                    root.finish();
+                    if let Some(ctx) = &request.trace {
+                        self.shared.obs.finish(&ctx.trace);
+                    }
+                }
                 let (tx, rx) = mpsc::channel();
                 let _ = tx.send(Ok(RenderedFrame {
                     image,
@@ -469,6 +548,7 @@ impl RenderServer {
             key,
             tx,
             enqueued: Instant::now(),
+            trace_root,
         });
         if pushed.is_err() {
             if has_deadline {
@@ -530,6 +610,22 @@ impl RenderServer {
             request.sh_degree,
             gs_core::sh::MAX_DEGREE
         );
+        // A traced layer render wraps itself in a `layer_render` span and
+        // re-parents the request's context under it, so the shard / phase
+        // spans recorded below nest where the (possibly remote) caller
+        // expects them.
+        let span = request.trace.as_ref().map(|ctx| ctx.child("layer_render"));
+        let reparented;
+        let request = match (&span, &request.trace) {
+            (Some(span), Some(ctx)) => {
+                reparented = RenderRequest {
+                    trace: Some(ctx.at(span.id())),
+                    ..request.clone()
+                };
+                &reparented
+            }
+            _ => request,
+        };
         let view = self.shared.registry.lock().unwrap().get(&request.scene)?;
         let (width, height) = (request.viewport.width(), request.viewport.height());
         let mut layer = match into {
@@ -550,7 +646,7 @@ impl RenderServer {
                 }
                 let started = Instant::now();
                 let tile_threads = self.shared.tile_threads();
-                gs_render::pipeline::render_layer_tiled(
+                let (stats, timings) = gs_render::pipeline::render_layer_tiled_timed(
                     &scene.params,
                     &request.camera,
                     request.sh_degree,
@@ -560,6 +656,11 @@ impl RenderServer {
                 );
                 if tile_threads > 1 {
                     self.shared.stats.record_tile_renders(1);
+                }
+                self.shared.obs.sample_render(&stats, &timings);
+                if let Some(ctx) = &request.trace {
+                    let start = ctx.trace.clock().us_of(started);
+                    record_phase_spans(ctx, ctx.parent, start, &timings);
                 }
                 self.shared.stats.record_shard_layer(started.elapsed());
             }
@@ -616,6 +717,18 @@ impl RenderServer {
     /// [`StatsCollector::latency_samples`]).
     pub fn latency_samples(&self, max: usize) -> Vec<f64> {
         self.shared.stats.latency_samples(max)
+    }
+
+    /// The observability layer: trace sampling, the finished-span ring and
+    /// the kernel-phase roofline gauges.
+    pub fn obs(&self) -> &ServeObs {
+        &self.shared.obs
+    }
+
+    /// Prometheus text exposition of the metrics registry (request
+    /// counters, latency histograms, phase rooflines, trace gauges).
+    pub fn metrics_text(&self) -> String {
+        self.shared.obs.metrics_text()
     }
 
     /// Snapshot of the service statistics.
@@ -740,6 +853,19 @@ fn process_batch(
     let answered = &acct.answered;
     let caching = shared.config.cache_bytes > 0;
 
+    // Queue-wait spans: enqueue -> this batch pop, recorded on each traced
+    // job's own clock (a remote context's clock anchors at its minter).
+    let popped = Instant::now();
+    for job in &batch {
+        if let Some(ctx) = &job.request.trace {
+            let clock = ctx.trace.clock();
+            let start = clock.us_of(job.enqueued);
+            let end = clock.us_of(popped);
+            ctx.trace
+                .record(ctx.parent, "queue", start, end.saturating_sub(start));
+        }
+    }
+
     // Answer what the cache already holds; collect the misses. Hits are
     // responded to after the cache lock is released so one worker's fan-out
     // never serializes the other workers' lookups. With the cache disabled,
@@ -747,6 +873,7 @@ fn process_batch(
     let mut misses: Vec<(Job, Option<FrameKey>)> = Vec::new();
     if caching {
         let mut hits: Vec<(Job, Arc<gs_core::image::Image>)> = Vec::new();
+        let lookup_started = Instant::now();
         {
             let mut cache = shared.cache.lock().unwrap();
             for mut job in batch {
@@ -761,6 +888,13 @@ fn process_batch(
             }
         }
         for (job, image) in hits {
+            if let Some(ctx) = &job.request.trace {
+                let clock = ctx.trace.clock();
+                let start = clock.us_of(lookup_started);
+                let end = clock.now_us();
+                ctx.trace
+                    .record(ctx.parent, "cache_lookup", start, end.saturating_sub(start));
+            }
             respond(
                 shared, worker_idx, job, batch_size, true, 1, image, answered,
             );
@@ -810,6 +944,7 @@ fn process_batch(
     let images: Vec<(Arc<gs_core::image::Image>, usize)> = match &view {
         SceneView::Single(scene) => {
             let tile_threads = shared.tile_threads();
+            let render_started = Instant::now();
             let outcome = render_shared(
                 &scene.params,
                 scene.background,
@@ -820,6 +955,23 @@ fn process_batch(
                 shared
                     .stats
                     .record_tile_renders(unique_requests.len() as u64);
+            }
+            // Render + kernel-phase spans and roofline samples, from the
+            // measurements the batch already took — nothing is re-timed.
+            // The per-request renders ran sequentially from
+            // `render_started`, so their spans are laid out end to end.
+            let mut at = render_started;
+            for ((_, jobs), (stats, timings)) in groups.iter().zip(&outcome.renders) {
+                shared.obs.sample_render(stats, timings);
+                let dur_us = (timings.total_s() * 1e6).round() as u64;
+                for job in jobs {
+                    if let Some(ctx) = &job.request.trace {
+                        let start = ctx.trace.clock().us_of(at);
+                        let render_id = ctx.trace.record(ctx.parent, "render", start, dur_us);
+                        record_phase_spans(ctx, render_id, start, timings);
+                    }
+                }
+                at += std::time::Duration::from_secs_f64(timings.total_s());
             }
             acct.batch_recorded.store(true, Ordering::Relaxed);
             shared
@@ -901,6 +1053,20 @@ fn render_sharded(
         gs_core::sh::MAX_DEGREE
     );
     let mut layer = FrameLayer::new(request.viewport.width(), request.viewport.height());
+    // A traced fan-out render wraps its shard composite in a `render` span
+    // and re-parents the context under it, so the per-shard spans nest.
+    let span = request.trace.as_ref().map(|ctx| ctx.child("render"));
+    let reparented;
+    let request = match (&span, &request.trace) {
+        (Some(span), Some(ctx)) => {
+            reparented = RenderRequest {
+                trace: Some(ctx.at(span.id())),
+                ..request.clone()
+            };
+            &reparented
+        }
+        _ => request,
+    };
     let rendered = composite_shards(shared, scene_id, view, request, &mut layer);
     (Arc::new(layer.finish(view.background)), rendered)
 }
@@ -968,7 +1134,7 @@ fn render_one_shard(
     }
     let started = Instant::now();
     let tile_threads = shared.tile_threads();
-    gs_render::pipeline::render_layer_tiled(
+    let (stats, timings) = gs_render::pipeline::render_layer_tiled_timed(
         &shard.params,
         &request.camera,
         request.sh_degree,
@@ -979,20 +1145,74 @@ fn render_one_shard(
     if tile_threads > 1 {
         shared.stats.record_tile_renders(1);
     }
+    shared.obs.sample_render(&stats, &timings);
+    if let Some(ctx) = &request.trace {
+        let clock = ctx.trace.clock();
+        let start = clock.us_of(started);
+        let end = clock.now_us();
+        let shard_span = ctx.trace.record(
+            ctx.parent,
+            format!("shard:{k}"),
+            start,
+            end.saturating_sub(start),
+        );
+        record_phase_spans(ctx, shard_span, start, &timings);
+    }
     shared.stats.record_shard_layer(started.elapsed());
+}
+
+/// Lays sequential `project` / `bin` / `raster` child spans under `parent`,
+/// starting at `start_us` on the trace's clock — the per-phase breakdown of
+/// a render whose phase durations the kernel measured itself.
+fn record_phase_spans(ctx: &TraceContext, parent: u32, start_us: u64, timings: &RenderTimings) {
+    let mut at = start_us;
+    for (name, seconds) in [
+        ("project", timings.project_s),
+        ("bin", timings.bin_s),
+        ("raster", timings.raster_s),
+    ] {
+        let dur = (seconds * 1e6).round() as u64;
+        ctx.trace.record(parent, name, at, dur);
+        at = at.saturating_add(dur);
+    }
 }
 
 /// Answers a swept job: expired deadlines win over cancellation (an expired
 /// request is dead regardless of whether its client is still there).
 fn respond_dead(shared: &Shared, job: Job, now: Instant) {
-    // A dropped ticket just means the client stopped waiting.
-    if job.request.is_expired(now) {
+    let expired = job.request.is_expired(now);
+    if let Some(ctx) = &job.request.trace {
+        let clock = ctx.trace.clock();
+        let start = clock.us_of(job.enqueued);
+        let name = if expired {
+            "expired_in_queue"
+        } else {
+            "cancelled_in_queue"
+        };
+        ctx.trace.record(
+            ctx.parent,
+            name,
+            start,
+            clock.now_us().saturating_sub(start),
+        );
+    }
+    if expired {
         shared.stats.record_expired(1);
-        let _ = job.tx.send(Err(ServeError::DeadlineExceeded));
     } else {
         shared.stats.record_cancelled(1);
-        let _ = job.tx.send(Err(ServeError::Cancelled));
     }
+    if let Some(root) = job.trace_root {
+        root.finish();
+        if let Some(ctx) = &job.request.trace {
+            shared.obs.finish(&ctx.trace);
+        }
+    }
+    // A dropped ticket just means the client stopped waiting.
+    let _ = job.tx.send(Err(if expired {
+        ServeError::DeadlineExceeded
+    } else {
+        ServeError::Cancelled
+    }));
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -1007,6 +1227,7 @@ fn respond(
     answered: &AtomicU64,
 ) {
     let latency = job.enqueued.elapsed();
+    let trace = job.request.trace.clone();
     let frame = RenderedFrame {
         image,
         scene: job.request.scene,
@@ -1017,9 +1238,17 @@ fn respond(
         shards,
     };
     // Record before sending so a client that receives its response always
-    // finds itself counted in a subsequent `stats()` snapshot.
+    // finds itself counted in a subsequent `stats()` snapshot. The trace is
+    // likewise finished first, so a caller holding the other end of the
+    // ticket observes the complete span tree.
     shared.stats.record_completed(worker_idx, latency);
     answered.fetch_add(1, Ordering::Relaxed);
+    if let Some(root) = job.trace_root {
+        root.finish();
+        if let Some(ctx) = &trace {
+            shared.obs.finish(&ctx.trace);
+        }
+    }
     // A dropped ticket just means the client stopped waiting.
     let _ = job.tx.send(Ok(frame));
 }

@@ -1,9 +1,18 @@
 //! Service-level statistics: latency percentiles, throughput, cache hit
 //! rate, batch-size histogram and per-worker counters.
+//!
+//! Since the observability PR the collector is a *view* over a
+//! [`gs_obs::Registry`]: every monotone counter lives in the registry (so
+//! `GET /metrics` exposes it in Prometheus text form), while the
+//! percentile reservoirs and the batch-size histogram — aggregates the
+//! text exposition cannot represent losslessly — stay in a mutex. The
+//! [`ServeStats`] snapshot and its wire form are unchanged.
 
 use std::collections::BTreeMap;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+use gs_obs::{Counter, Histogram, Registry, LATENCY_BUCKETS};
 
 use crate::cache::CacheStats;
 
@@ -313,62 +322,142 @@ struct CollectorInner {
     latency: LatencyAccum,
     hit_latency: LatencyAccum,
     shard_layer: LatencyAccum,
-    completed: u64,
-    fast_hits: u64,
-    errors: u64,
-    expired: u64,
-    cancelled: u64,
-    shards_rendered: u64,
-    shards_culled: u64,
-    layers_served: u64,
-    tile_renders: u64,
     batches: BTreeMap<usize, u64>,
-    per_worker: Vec<u64>,
-    union_active: u64,
-    summed_active: u64,
 }
 
 /// Thread-safe accumulator the workers report into.
+///
+/// Monotone counters live in a shared [`gs_obs::Registry`] (exposed at
+/// `GET /metrics`); the reservoirs and batch-size histogram stay local.
 pub struct StatsCollector {
     started: Instant,
+    registry: Arc<Registry>,
+    completed: Counter,
+    errors: Counter,
+    expired: Counter,
+    cancelled: Counter,
+    fast_hits: Counter,
+    shards_rendered: Counter,
+    shards_culled: Counter,
+    layers_served: Counter,
+    tile_renders: Counter,
+    batches_total: Counter,
+    union_active: Counter,
+    summed_active: Counter,
+    per_worker: Vec<Counter>,
+    request_seconds: Histogram,
+    fast_hit_seconds: Histogram,
+    shard_layer_seconds: Histogram,
     inner: Mutex<CollectorInner>,
 }
 
 impl StatsCollector {
-    /// Creates a collector for `workers` worker threads.
+    /// Creates a collector for `workers` worker threads with its own
+    /// private registry.
     pub fn new(workers: usize) -> Self {
+        Self::with_registry(Arc::new(Registry::new()), workers)
+    }
+
+    /// Creates a collector that registers its counters in `registry` — the
+    /// form the server uses so request counters, span-sink counters and
+    /// kernel-phase aggregates share one `GET /metrics` exposition.
+    pub fn with_registry(registry: Arc<Registry>, workers: usize) -> Self {
+        let outcome = |o: &str| {
+            registry.counter(
+                "gs_requests_total",
+                &[("outcome", o)],
+                "Requests answered, by outcome",
+            )
+        };
+        let latency_hist =
+            |name: &str, help: &str| registry.histogram(name, &[], help, &LATENCY_BUCKETS);
         Self {
             started: Instant::now(),
+            completed: outcome("completed"),
+            errors: outcome("error"),
+            expired: outcome("expired"),
+            cancelled: outcome("cancelled"),
+            fast_hits: registry.counter(
+                "gs_fast_hits_total",
+                &[],
+                "Requests answered by the pre-enqueue cache fast path",
+            ),
+            shards_rendered: registry.counter(
+                "gs_shards_rendered_total",
+                &[],
+                "Shard layers rendered by the sharded fan-out path",
+            ),
+            shards_culled: registry.counter(
+                "gs_shards_culled_total",
+                &[],
+                "Shards skipped by view-adaptive culling",
+            ),
+            layers_served: registry.counter(
+                "gs_layers_served_total",
+                &[],
+                "Layer renders served to cross-node shard requests",
+            ),
+            tile_renders: registry.counter(
+                "gs_tile_renders_total",
+                &[],
+                "Frames rasterized with tile-row parallelism",
+            ),
+            batches_total: registry.counter("gs_batches_total", &[], "Batches formed"),
+            union_active: registry.counter(
+                "gs_union_active_total",
+                &[],
+                "Gaussians gathered across batches (shared unions)",
+            ),
+            summed_active: registry.counter(
+                "gs_summed_active_total",
+                &[],
+                "Gaussians that would have been gathered without batching",
+            ),
+            per_worker: (0..workers)
+                .map(|w| {
+                    registry.counter(
+                        "gs_worker_completed_total",
+                        &[("worker", &w.to_string())],
+                        "Completed requests per worker thread",
+                    )
+                })
+                .collect(),
+            request_seconds: latency_hist(
+                "gs_request_seconds",
+                "Queue-wait + render latency of completed requests",
+            ),
+            fast_hit_seconds: latency_hist(
+                "gs_fast_hit_seconds",
+                "Latency of pre-enqueue cache fast hits",
+            ),
+            shard_layer_seconds: latency_hist(
+                "gs_shard_layer_seconds",
+                "Latency of individual shard-layer renders",
+            ),
+            registry: Arc::clone(&registry),
             inner: Mutex::new(CollectorInner {
                 latency: LatencyAccum::new(0x5eed),
                 hit_latency: LatencyAccum::new(0xfa57),
                 shard_layer: LatencyAccum::new(0x51a6d),
-                completed: 0,
-                fast_hits: 0,
-                errors: 0,
-                expired: 0,
-                cancelled: 0,
-                shards_rendered: 0,
-                shards_culled: 0,
-                layers_served: 0,
-                tile_renders: 0,
                 batches: BTreeMap::new(),
-                per_worker: vec![0; workers],
-                union_active: 0,
-                summed_active: 0,
             }),
         }
+    }
+
+    /// The registry the collector's counters live in.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
     }
 
     /// Records one completed request.
     pub fn record_completed(&self, worker: usize, latency: Duration) {
         let secs = latency.as_secs_f64();
-        let mut inner = self.inner.lock().unwrap();
-        inner.latency.record(secs);
-        inner.completed += 1;
-        if let Some(slot) = inner.per_worker.get_mut(worker) {
-            *slot += 1;
+        self.completed.inc();
+        self.request_seconds.observe(secs);
+        if let Some(counter) = self.per_worker.get(worker) {
+            counter.inc();
         }
+        self.inner.lock().unwrap().latency.record(secs);
     }
 
     /// Records one request answered from the cache *before* it enqueued
@@ -376,10 +465,11 @@ impl StatsCollector {
     /// in the hit reservoir so the request-latency percentiles keep
     /// measuring the queue-wait + render path.
     pub fn record_fast_hit(&self, latency: Duration) {
-        let mut inner = self.inner.lock().unwrap();
-        inner.completed += 1;
-        inner.fast_hits += 1;
-        inner.hit_latency.record(latency.as_secs_f64());
+        let secs = latency.as_secs_f64();
+        self.completed.inc();
+        self.fast_hits.inc();
+        self.fast_hit_seconds.observe(secs);
+        self.inner.lock().unwrap().hit_latency.record(secs);
     }
 
     /// Records one request answered with an error.
@@ -390,34 +480,34 @@ impl StatsCollector {
     /// Records `n` requests answered with (or dropped into) an error, e.g.
     /// every job of a panicked batch.
     pub fn record_errors(&self, n: u64) {
-        self.inner.lock().unwrap().errors += n;
+        self.errors.add(n);
     }
 
     /// Records `n` requests skipped because their deadline passed in queue.
     pub fn record_expired(&self, n: u64) {
-        self.inner.lock().unwrap().expired += n;
+        self.expired.add(n);
     }
 
     /// Records `n` requests skipped because their cancel token fired while
     /// they were queued.
     pub fn record_cancelled(&self, n: u64) {
-        self.inner.lock().unwrap().cancelled += n;
+        self.cancelled.add(n);
     }
 
     /// Records `n` shards skipped by view-adaptive culling.
     pub fn record_shards_culled(&self, n: u64) {
-        self.inner.lock().unwrap().shards_culled += n;
+        self.shards_culled.add(n);
     }
 
     /// Records one served layer render (the cross-node shard entry point).
     pub fn record_layer_served(&self) {
-        self.inner.lock().unwrap().layers_served += 1;
+        self.layers_served.inc();
     }
 
     /// Records `n` frames rasterized tile-parallel (fanned across tile-row
     /// bands while the queue was empty).
     pub fn record_tile_renders(&self, n: u64) {
-        self.inner.lock().unwrap().tile_renders += n;
+        self.tile_renders.add(n);
     }
 
     /// A uniform sample of observed request latencies in seconds (at most
@@ -437,28 +527,29 @@ impl StatsCollector {
 
     /// Records one rendered shard layer and how long it took.
     pub fn record_shard_layer(&self, elapsed: Duration) {
-        let mut inner = self.inner.lock().unwrap();
-        inner.shards_rendered += 1;
-        inner.shard_layer.record(elapsed.as_secs_f64());
+        let secs = elapsed.as_secs_f64();
+        self.shards_rendered.inc();
+        self.shard_layer_seconds.observe(secs);
+        self.inner.lock().unwrap().shard_layer.record(secs);
     }
 
     /// Records one formed batch and its gather-sharing counts.
     pub fn record_batch(&self, size: usize, union_active: usize, summed_active: usize) {
-        let mut inner = self.inner.lock().unwrap();
-        *inner.batches.entry(size).or_insert(0) += 1;
-        inner.union_active += union_active as u64;
-        inner.summed_active += summed_active as u64;
+        self.batches_total.inc();
+        self.union_active.add(union_active as u64);
+        self.summed_active.add(summed_active as u64);
+        *self.inner.lock().unwrap().batches.entry(size).or_insert(0) += 1;
     }
 
     /// Snapshots everything into a [`ServeStats`] report.
     pub fn snapshot(&self, cache: CacheStats) -> ServeStats {
         let inner = self.inner.lock().unwrap();
         ServeStats {
-            completed: inner.completed,
-            errors: inner.errors,
-            expired: inner.expired,
-            cancelled: inner.cancelled,
-            fast_hits: inner.fast_hits,
+            completed: self.completed.get(),
+            errors: self.errors.get(),
+            expired: self.expired.get(),
+            cancelled: self.cancelled.get(),
+            fast_hits: self.fast_hits.get(),
             elapsed: self.started.elapsed(),
             latency: inner.latency.summary(),
             hit_latency: inner.hit_latency.summary(),
@@ -467,13 +558,13 @@ impl StatsCollector {
             scheduler: String::new(),
             cache_policy: String::new(),
             batch_histogram: inner.batches.iter().map(|(&s, &c)| (s, c)).collect(),
-            per_worker: inner.per_worker.clone(),
-            union_active: inner.union_active,
-            summed_active: inner.summed_active,
-            shards_rendered: inner.shards_rendered,
-            shards_culled: inner.shards_culled,
-            layers_served: inner.layers_served,
-            tile_renders: inner.tile_renders,
+            per_worker: self.per_worker.iter().map(Counter::get).collect(),
+            union_active: self.union_active.get(),
+            summed_active: self.summed_active.get(),
+            shards_rendered: self.shards_rendered.get(),
+            shards_culled: self.shards_culled.get(),
+            layers_served: self.layers_served.get(),
+            tile_renders: self.tile_renders.get(),
             shard_layer: inner.shard_layer.summary(),
             connections: ConnectionStats::default(),
         }

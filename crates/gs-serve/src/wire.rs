@@ -387,6 +387,7 @@ impl WireRequest {
                 .map(|ms| Instant::now() + Duration::from_millis(ms)),
             cancel: None,
             client: self.client.clone(),
+            trace: None,
         }
     }
 
@@ -698,6 +699,9 @@ pub fn encode_ppm(image: &Image) -> Vec<u8> {
 pub const LAYER_MAGIC: &[u8; 4] = b"GSL1";
 /// Magic prefix of an encoded layer *request* envelope.
 pub const LAYER_REQUEST_MAGIC: &[u8; 4] = b"GSLQ";
+/// Magic prefix of the optional trace block inside a layer-request
+/// envelope (see [`encode_layer_request_traced`]).
+pub const TRACE_BLOCK_MAGIC: &[u8; 4] = b"GSTC";
 /// Magic prefix of a binary scene upload.
 pub const SCENE_MAGIC: &[u8; 4] = b"GSSC";
 
@@ -780,11 +784,32 @@ pub fn decode_layer(bytes: &[u8]) -> Result<FrameLayer, WireError> {
 /// nearer shard left off — the relayed composite of cross-node sharded
 /// rendering.
 pub fn encode_layer_request(request: &WireRequest, layer: Option<&FrameLayer>) -> Vec<u8> {
+    encode_layer_request_traced(request, None, layer)
+}
+
+/// Like [`encode_layer_request`], with an optional `GSTC` trace block
+/// between the request text and the layer: `GSTC`, a `u32` length, then
+/// `<trace-id-hex>:<parent-span-id>`. A replica rendering the layer records
+/// its spans into that trace (under that parent) and returns them in the
+/// response's `X-Trace-Spans` header, which is what lets a coordinator
+/// stitch one span tree across a cross-node sharded render. Without a trace
+/// the envelope is byte-identical to [`encode_layer_request`].
+pub fn encode_layer_request_traced(
+    request: &WireRequest,
+    trace: Option<(gs_obs::TraceId, u32)>,
+    layer: Option<&FrameLayer>,
+) -> Vec<u8> {
     let text = request.to_body();
     let mut out = Vec::with_capacity(8 + text.len());
     out.extend_from_slice(LAYER_REQUEST_MAGIC);
     push_u32(&mut out, text.len() as u32);
     out.extend_from_slice(text.as_bytes());
+    if let Some((trace, parent)) = trace {
+        let block = format!("{trace}:{parent}");
+        out.extend_from_slice(TRACE_BLOCK_MAGIC);
+        push_u32(&mut out, block.len() as u32);
+        out.extend_from_slice(block.as_bytes());
+    }
     if let Some(layer) = layer {
         out.extend_from_slice(&encode_layer(layer));
     }
@@ -799,6 +824,27 @@ pub fn encode_layer_request(request: &WireRequest, layer: Option<&FrameLayer>) -
 /// [`WireError`] on a bad envelope, an invalid inner request, or a layer
 /// whose size does not match the request viewport.
 pub fn decode_layer_request(bytes: &[u8]) -> Result<(WireRequest, Option<FrameLayer>), WireError> {
+    decode_layer_request_traced(bytes).map(|(request, _, layer)| (request, layer))
+}
+
+/// Decodes [`encode_layer_request_traced`] bytes: the request, the trace
+/// context from the optional `GSTC` block, and the optional layer.
+///
+/// # Errors
+///
+/// [`WireError`] on a bad envelope, an invalid inner request, a malformed
+/// trace block, or a layer whose size does not match the request viewport.
+#[allow(clippy::type_complexity)]
+pub fn decode_layer_request_traced(
+    bytes: &[u8],
+) -> Result<
+    (
+        WireRequest,
+        Option<(gs_obs::TraceId, u32)>,
+        Option<FrameLayer>,
+    ),
+    WireError,
+> {
     if bytes.len() < 8 || &bytes[..4] != LAYER_REQUEST_MAGIC {
         return Err(err("not a layer request (bad magic)"));
     }
@@ -810,7 +856,26 @@ pub fn decode_layer_request(bytes: &[u8]) -> Result<(WireRequest, Option<FrameLa
     let text = std::str::from_utf8(&bytes[8..text_end])
         .map_err(|_| err("layer request text is not UTF-8"))?;
     let request = WireRequest::parse(text)?;
-    let rest = &bytes[text_end..];
+    let mut rest = &bytes[text_end..];
+    let mut trace = None;
+    if rest.len() >= 8 && &rest[..4] == TRACE_BLOCK_MAGIC {
+        let block_len = read_u32(rest, 4, "trace block")? as usize;
+        let block_end = 8usize
+            .checked_add(block_len)
+            .filter(|&end| end <= rest.len())
+            .ok_or_else(|| err("truncated trace block"))?;
+        let block = std::str::from_utf8(&rest[8..block_end])
+            .map_err(|_| err("trace block is not UTF-8"))?;
+        let (id, parent) = block
+            .split_once(':')
+            .ok_or_else(|| err("malformed trace block"))?;
+        let id = gs_obs::TraceId::parse(id).ok_or_else(|| err("malformed trace id"))?;
+        let parent: u32 = parent
+            .parse()
+            .map_err(|_| err("malformed trace parent span id"))?;
+        trace = Some((id, parent));
+        rest = &rest[block_end..];
+    }
     let layer = if rest.is_empty() {
         None
     } else {
@@ -825,7 +890,7 @@ pub fn decode_layer_request(bytes: &[u8]) -> Result<(WireRequest, Option<FrameLa
         }
         Some(layer)
     };
-    Ok((request, layer))
+    Ok((request, trace, layer))
 }
 
 // ---- binary scene upload (cluster scene/shard placement) ----
@@ -1341,6 +1406,44 @@ mod tests {
         let relayed = relayed.expect("layer must survive the envelope");
         assert_eq!(relayed.color().data(), layer.color().data());
         assert_eq!(relayed.transmittance(), layer.transmittance());
+    }
+
+    #[test]
+    fn layer_request_trace_block_roundtrips_and_stays_compatible() {
+        let mut req = demo();
+        req.shard = Some(1);
+        let trace = gs_obs::TraceId::parse("00000000deadbeef").unwrap();
+        let layer = demo_layer(96, 72, 47);
+
+        // Trace block + layer: everything survives, in both decoders.
+        let encoded = encode_layer_request_traced(&req, Some((trace, 7)), Some(&layer));
+        let (parsed, ctx, relayed) = decode_layer_request_traced(&encoded).unwrap();
+        assert_eq!(parsed, req);
+        assert_eq!(ctx, Some((trace, 7)));
+        assert_eq!(
+            relayed.unwrap().color().data(),
+            layer.color().data(),
+            "the trace block must not disturb the layer payload"
+        );
+        let (parsed, relayed) = decode_layer_request(&encoded).unwrap();
+        assert_eq!(parsed, req);
+        assert!(relayed.is_some());
+
+        // An untraced envelope is byte-identical to the legacy encoder and
+        // decodes with no context.
+        assert_eq!(
+            encode_layer_request_traced(&req, None, None),
+            encode_layer_request(&req, None)
+        );
+        let (_, ctx, _) = decode_layer_request_traced(&encode_layer_request(&req, None)).unwrap();
+        assert!(ctx.is_none());
+
+        // Corrupt blocks are rejected, not misread as layers.
+        let mut truncated = encode_layer_request_traced(&req, Some((trace, 7)), None);
+        truncated.truncate(truncated.len() - 1);
+        assert!(decode_layer_request_traced(&truncated).is_err());
+        let garbled = encode_layer_request_traced(&req, Some((trace, u32::MAX)), None);
+        assert!(decode_layer_request_traced(&garbled).is_ok());
     }
 
     #[test]

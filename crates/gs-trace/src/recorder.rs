@@ -7,20 +7,30 @@
 //! after a fast one that arrived later), so [`TraceRecorder::snapshot`]
 //! re-sorts by arrival time before handing out a [`Trace`].
 //!
+//! The relative axis alone used to make captured traces impossible to line
+//! up with anything stamped in absolute time (other nodes' captures, the
+//! span trees `gs-obs` exports): two recorders created at different moments
+//! disagree about what "0 µs" means. The recorder therefore captures a
+//! [`SpanClock`] at creation — one wall-clock anchor plus a monotonic
+//! origin — so `at_us` stays monotone and near-zero-based while
+//! [`TraceRecorder::anchor_us`] / [`TraceRecorder::wall_us_of`] convert any
+//! event time onto the same absolute µs-since-epoch axis span exports use.
+//!
 //! Memory is bounded: past `limit` events the recorder drops new events and
 //! counts them, so a long-lived server with capture left on degrades to a
 //! truncated trace instead of unbounded growth.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
-use std::time::Instant;
+
+use gs_obs::SpanClock;
 
 use crate::format::{Trace, TraceEvent};
 
 /// Records the request stream a serving front-end answers.
 #[derive(Debug)]
 pub struct TraceRecorder {
-    started: Instant,
+    clock: SpanClock,
     events: Mutex<Vec<TraceEvent>>,
     limit: usize,
     dropped: AtomicU64,
@@ -45,7 +55,7 @@ impl TraceRecorder {
     /// A recorder that keeps at most `limit` events.
     pub fn with_limit(limit: usize) -> Self {
         Self {
-            started: Instant::now(),
+            clock: SpanClock::new(),
             events: Mutex::new(Vec::new()),
             limit: limit.max(1),
             dropped: AtomicU64::new(0),
@@ -54,9 +64,23 @@ impl TraceRecorder {
 
     /// Microseconds since the recorder started — the value to stamp into an
     /// arriving request's `at_us` (capture it on arrival, record the event
-    /// on completion).
+    /// on completion). Monotone: derived from the clock's monotonic origin,
+    /// never from re-reading the wall clock.
     pub fn now_us(&self) -> u64 {
-        self.started.elapsed().as_micros() as u64
+        self.clock.now_us() - self.clock.anchor_us()
+    }
+
+    /// The wall-clock anchor of the recorder's time base, in microseconds
+    /// since the Unix epoch: the absolute moment `at_us == 0` refers to.
+    pub fn anchor_us(&self) -> u64 {
+        self.clock.anchor_us()
+    }
+
+    /// Converts a recorder-relative event time onto the absolute
+    /// µs-since-epoch axis `gs-obs` span exports use, so captured events
+    /// and span trees (this node's or another's) line up.
+    pub fn wall_us_of(&self, at_us: u64) -> u64 {
+        self.clock.anchor_us().saturating_add(at_us)
     }
 
     /// Appends one event (dropped and counted once the cap is reached).
@@ -134,5 +158,26 @@ mod tests {
         let a = rec.now_us();
         let b = rec.now_us();
         assert!(b >= a);
+    }
+
+    #[test]
+    fn wall_anchor_aligns_relative_times_with_span_clocks() {
+        let rec = TraceRecorder::new();
+        let spans = SpanClock::new();
+        // A plausible Unix time (after 2020, before 2100), not a relative 0.
+        assert!(rec.anchor_us() > 1_577_836_800_000_000);
+        assert!(rec.anchor_us() < 4_102_444_800_000_000);
+        // An event stamped now converts onto the span clock's absolute
+        // axis: the two clocks were created moments apart, so the mapped
+        // time must sit within a second of the span clock's "now".
+        let wall = rec.wall_us_of(rec.now_us());
+        let span_now = spans.now_us();
+        assert!(
+            wall.abs_diff(span_now) < 1_000_000,
+            "wall={wall} span={span_now}"
+        );
+        // The anchor is captured once: re-deriving it from any event time
+        // round-trips exactly.
+        assert_eq!(rec.wall_us_of(0), rec.anchor_us());
     }
 }

@@ -56,6 +56,7 @@ fn replica() -> Arc<RenderServer> {
             scheduler: SchedulerPolicy::batch_aware(),
             cache_policy: CachePolicyKind::Lru,
             tile_parallel: 0,
+            ..ServeConfig::default()
         },
         SceneRegistry::with_budget(1 << 30),
     ))

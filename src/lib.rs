@@ -25,6 +25,10 @@
 //!   workload generators (Zipf popularity, diurnal curves, flash crowds,
 //!   camera tours) and SimPoint-style phase clustering for representative
 //!   replay.
+//! * [`obs`] (`gs-obs`) — observability primitives: request span trees
+//!   with cross-node stitching, a bounded span ring sink, Chrome
+//!   trace-event / text-waterfall exports, and a metrics registry with
+//!   Prometheus text exposition (plus the linter CI runs against it).
 //! * [`cluster`] (`gs-cluster`) — the multi-replica serving tier: a
 //!   coordinator that places scenes (and cross-node shards) against each
 //!   replica's memory budget, routes renders with health-checked failover
@@ -52,6 +56,7 @@
 pub use gs_cluster as cluster;
 pub use gs_core as core;
 pub use gs_metrics as metrics;
+pub use gs_obs as obs;
 pub use gs_optim as optim;
 pub use gs_platform as platform;
 pub use gs_render as render;

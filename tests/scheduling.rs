@@ -42,6 +42,7 @@ fn server_with(scheduler: SchedulerPolicy, scenes: &[SceneDataset]) -> Arc<Rende
             scheduler,
             cache_policy: CachePolicyKind::Lru,
             tile_parallel: 0,
+            ..ServeConfig::default()
         },
         SceneRegistry::with_budget(1 << 30),
     ));
@@ -245,6 +246,7 @@ fn a_rare_scene_is_not_starved_by_popular_traffic() {
             },
             cache_policy: CachePolicyKind::Lru,
             tile_parallel: 0,
+            ..ServeConfig::default()
         },
         SceneRegistry::with_budget(1 << 30),
     ));
