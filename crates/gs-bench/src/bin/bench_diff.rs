@@ -13,6 +13,14 @@
 //! the GitHub annotations pane) where a regression is visible without
 //! blocking the merge.
 //!
+//! Scenarios that declare a p99 latency SLO (`slo_p99_ms` in the report)
+//! are additionally checked **against the SLO itself**, not just against
+//! the baseline: a current p99 above the declared threshold raises an
+//! error-level `::error::` annotation. This too keeps the exit code 0 —
+//! the objective lives in the report, the judgement call on a noisy
+//! runner stays with the reviewer — but it escalates visibly above the
+//! relative-regression warnings.
+//!
 //! Exits non-zero only for operator errors: missing/unreadable files or
 //! malformed JSON. A baseline that simply doesn't exist yet (first run of a
 //! new benchmark) should be handled by the caller skipping the diff.
@@ -103,12 +111,21 @@ fn main() -> ExitCode {
     };
 
     let mut warnings: Vec<String> = Vec::new();
+    // SLO breaches escalate above relative regressions: the current run
+    // violated a declared objective, no baseline needed.
+    let mut breaches: Vec<String> = Vec::new();
     // Coverage changes are not regressions, but they must not pass
     // silently either: a scenario present in only one report means the
     // diff is comparing less than the reader assumes.
     let mut notices: Vec<String> = Vec::new();
     let mut rows: Vec<Vec<String>> = Vec::new();
     for cur in &current.scenarios {
+        if cur.slo_p99_ms > 0.0 && cur.p99_ms > cur.slo_p99_ms {
+            breaches.push(format!(
+                "scenario \"{}\": p99 {:.2} ms exceeds its {:.2} ms SLO",
+                cur.scenario, cur.p99_ms, cur.slo_p99_ms
+            ));
+        }
         let Some(base) = baseline
             .scenarios
             .iter()
@@ -234,6 +251,20 @@ fn main() -> ExitCode {
             // text everywhere else.
             println!("::notice::bench coverage change: {n}");
         }
+    }
+    if !breaches.is_empty() {
+        println!();
+        for b in &breaches {
+            // `::error::` is GitHub Actions' error-level annotation; the
+            // job still exits 0 (see the module doc), but a breach of a
+            // declared objective must outrank a relative regression.
+            println!("::error::SLO breach: {b}");
+        }
+        println!(
+            "{} SLO breach(es) in {} — annotated, not failing the job",
+            breaches.len(),
+            args.current
+        );
     }
     if warnings.is_empty() {
         println!(

@@ -141,6 +141,7 @@ fn main() {
                     // The coordinator routes whole requests; batching lives
                     // on the replicas and is not aggregated cluster-wide.
                     mean_batch: 0.0,
+                    slo_p99_ms: gs_serve::ObsTuning::default().slo_p99_ms,
                 });
                 rows.push(vec![
                     replicas.to_string(),

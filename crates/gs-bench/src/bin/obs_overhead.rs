@@ -236,6 +236,7 @@ fn main() {
         p99_ms: 0.0,
         hit_rate: 0.0,
         mean_batch: 0.0,
+        slo_p99_ms: 0.0,
     });
     if let Some(path) = &args.out {
         report.write(path).expect("perf report path is writable");

@@ -7,17 +7,27 @@
 //!
 //! * fetches `GET /metrics` on **both tiers** and runs the in-repo
 //!   Prometheus linter ([`gs_obs::lint_prometheus`]) over each, asserting
-//!   the per-phase roofline gauges are present on the replica tier;
+//!   the per-phase roofline gauges (replica tier) and the interpretation
+//!   layer's families (`gs_slo_*`, `gs_build_info`, histogram exemplars)
+//!   are present;
+//! * fetches `GET /slo`, `GET /heat`, `GET /events` and `GET /dashboard`
+//!   on both tiers and checks each answers with its expected document;
 //! * fetches `GET /trace` and checks the Chrome trace-event JSON contains
-//!   the stitched cross-node tree (relay hops + grafted replica spans);
-//! * with `--out <path>`, writes that Chrome trace JSON to disk so CI can
-//!   upload it as an artifact.
+//!   the stitched cross-node tree (relay hops + grafted replica spans),
+//!   and that `GET /trace?id=<hex>` filters to exactly the pinned trace;
+//! * **kills one replica mid-run** and keeps rendering: the coordinator
+//!   fails over, the flight recorder captures the anomaly, and
+//!   `GET /incidents` must show an incident whose frozen event tail names
+//!   the replica death — with `--incidents <path>` that JSON is written to
+//!   disk so CI uploads it as an artifact;
+//! * with `--out <path>`, writes the Chrome trace JSON to disk as well.
 //!
 //! Usage: `cargo run --release -p gs-bench --bin obs_smoke
-//! [--out obs-trace.json]`
+//! [--out obs-trace.json] [--incidents obs-incidents.json]`
 
 use std::net::TcpStream;
 use std::sync::Arc;
+use std::time::Duration;
 
 use gs_bench::BenchArgs;
 use gs_cluster::{bind_http, ClusterConfig, CompositeMode, Coordinator, ReplicaTransport};
@@ -25,8 +35,22 @@ use gs_obs::lint_prometheus;
 use gs_scene::tour::{TourConfig, TourScene};
 use gs_serve::http::client;
 use gs_serve::{
-    HttpConfig, HttpServer, RenderServer, SceneRegistry, ServeConfig, WireRequest, TRACE_ID_HEADER,
+    HttpConfig, HttpServer, ObsTuning, RenderServer, SceneRegistry, ServeConfig, WireRequest,
+    TRACE_ID_HEADER,
 };
+
+/// Short windows and a fast watcher so the interpretation layer converges
+/// within a smoke run instead of a production burn-rate horizon.
+fn smoke_tuning() -> ObsTuning {
+    ObsTuning {
+        slo_fast_window_s: 2,
+        slo_slow_window_s: 8,
+        watcher_interval_ms: 20,
+        heat_window_s: 30,
+        heat_top_k: 8,
+        ..ObsTuning::default()
+    }
+}
 
 fn replica_server(name: &str) -> Arc<RenderServer> {
     Arc::new(RenderServer::new(
@@ -38,10 +62,32 @@ fn replica_server(name: &str) -> Arc<RenderServer> {
             shard_bytes: 0,
             phase_sample_every: 1,
             node: name.to_string(),
+            obs: smoke_tuning(),
             ..ServeConfig::default()
         },
         SceneRegistry::with_budget(1 << 30),
     ))
+}
+
+/// `--incidents <path>`: obs_smoke-specific flag (BenchArgs ignores it).
+fn incidents_out() -> Option<std::path::PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--incidents" {
+            return args.next().map(Into::into);
+        }
+    }
+    None
+}
+
+fn write_artifact(path: &std::path::Path, body: &str) {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).expect("artifact dir is creatable");
+        }
+    }
+    std::fs::write(path, body).expect("artifact path is writable");
+    println!("wrote {}", path.display());
 }
 
 fn main() {
@@ -60,6 +106,7 @@ fn main() {
     let cluster = Arc::new(Coordinator::new(ClusterConfig {
         composite: CompositeMode::Relay,
         node: "coordinator".to_string(),
+        obs: smoke_tuning(),
         ..ClusterConfig::default()
     }));
     let mut backends = Vec::new();
@@ -103,6 +150,7 @@ fn main() {
         cam.height,
     );
     req.fov_x = 1.2;
+    req.client = Some("smoke-client".to_string());
     let trace_hex = "00000000c0ffee00";
     let response = client::request_with_headers(
         &mut stream,
@@ -120,13 +168,34 @@ fn main() {
     );
     assert_eq!(response.header("x-trace-id"), Some(trace_hex));
 
-    // /metrics on the cluster tier.
+    // A few untraced renders so the heat tables and SLO windows see a
+    // request rate, not a single sample.
+    for _ in 0..4 {
+        let r = client::request(&mut stream, "POST", "/render", req.to_body().as_bytes()).unwrap();
+        assert_eq!(r.status, 200);
+    }
+
+    // /metrics on the cluster tier: lint-clean, and the interpretation
+    // layer's families are exported — SLO gauges, build info, and the
+    // pinned trace id riding the latency histogram as an exemplar.
     let metrics = client::request(&mut stream, "GET", "/metrics", b"").unwrap();
     assert_eq!(metrics.status, 200);
     let text = String::from_utf8(metrics.body).unwrap();
     let samples = lint_prometheus(&text).expect("cluster /metrics lints clean");
-    assert!(text.contains("gs_traces_finished"), "{text}");
-    println!("cluster  /metrics: {samples} samples, lint clean");
+    for family in [
+        "gs_traces_finished",
+        "gs_slo_burn_rate",
+        "gs_slo_breached",
+        "gs_build_info",
+        "gs_uptime_seconds",
+    ] {
+        assert!(text.contains(family), "{family} missing:\n{text}");
+    }
+    assert!(
+        text.contains(&format!("trace_id=\"{trace_hex}\"")),
+        "latency histogram lost its exemplar:\n{text}"
+    );
+    println!("cluster  /metrics: {samples} samples, lint clean, slo/build/exemplar present");
 
     // /metrics on the replica (gs-serve) tier, roofline gauges included.
     let (replica_http, _) = &backends[0];
@@ -135,13 +204,58 @@ fn main() {
     assert_eq!(metrics.status, 200);
     let text = String::from_utf8(metrics.body).unwrap();
     let samples = lint_prometheus(&text).expect("replica /metrics lints clean");
-    for gauge in ["gs_phase_seconds", "gs_phase_flops_per_second"] {
-        assert!(
-            text.contains(gauge),
-            "roofline gauge {gauge} missing:\n{text}"
-        );
+    for gauge in [
+        "gs_phase_seconds",
+        "gs_phase_flops_per_second",
+        "gs_slo_burn_rate",
+        "gs_build_info",
+    ] {
+        assert!(text.contains(gauge), "{gauge} missing:\n{text}");
     }
-    println!("replica  /metrics: {samples} samples, lint clean, roofline gauges present");
+    println!("replica  /metrics: {samples} samples, lint clean, roofline + slo gauges present");
+
+    // The interpretation endpoints answer on both tiers.
+    for (label, stream) in [("cluster", &mut stream), ("replica", &mut replica_stream)] {
+        let slo = client::request(stream, "GET", "/slo", b"").unwrap();
+        assert_eq!(slo.status, 200);
+        let body = String::from_utf8(slo.body).unwrap();
+        for needle in [
+            "\"slos\"",
+            "\"latency\"",
+            "\"availability\"",
+            "\"burn_rate\"",
+        ] {
+            assert!(
+                body.contains(needle),
+                "{label} /slo missing {needle}: {body}"
+            );
+        }
+
+        let heat = client::request(stream, "GET", "/heat", b"").unwrap();
+        assert_eq!(heat.status, 200);
+        let body = String::from_utf8(heat.body).unwrap();
+        assert!(body.contains("\"scenes\""), "{label} /heat: {body}");
+        assert!(
+            body.contains("smoke"),
+            "{label} /heat lost the hot scene: {body}"
+        );
+
+        let events = client::request(stream, "GET", "/events", b"").unwrap();
+        assert_eq!(events.status, 200);
+        assert!(String::from_utf8(events.body)
+            .unwrap()
+            .contains("\"events\""));
+
+        let dash = client::request(stream, "GET", "/dashboard", b"").unwrap();
+        assert_eq!(dash.status, 200);
+        let body = String::from_utf8(dash.body).unwrap();
+        assert!(body.starts_with("<!DOCTYPE html>"), "{label} /dashboard");
+        assert!(
+            !body.contains("<script"),
+            "{label} dashboard must stay asset-free"
+        );
+        println!("{label}  /slo /heat /events /dashboard: all answering");
+    }
 
     // /trace: the stitched tree exports as Chrome trace-event JSON.
     let chrome = client::request(&mut stream, "GET", "/trace", b"").unwrap();
@@ -154,14 +268,69 @@ fn main() {
         );
     }
     println!("cluster  /trace: {} bytes of Chrome trace JSON", json.len());
+
+    // /trace?id= filters to one trace; a bogus id is a clean 404.
+    let one = client::request(&mut stream, "GET", &format!("/trace?id={trace_hex}"), b"").unwrap();
+    assert_eq!(one.status, 200);
+    let one_json = String::from_utf8(one.body).unwrap();
+    assert!(one_json.contains(trace_hex));
+    assert!(
+        one_json.len() <= json.len(),
+        "id-filtered export is larger than the full ring export"
+    );
+    let missing = client::request(&mut stream, "GET", "/trace?id=ffffffffffffffff", b"").unwrap();
+    assert_eq!(missing.status, 404);
+    println!("cluster  /trace?id={trace_hex}: filtered export + 404 on unknown ids");
+
     if let Some(path) = &args.out {
-        if let Some(parent) = path.parent() {
-            if !parent.as_os_str().is_empty() {
-                std::fs::create_dir_all(parent).expect("trace export dir is creatable");
-            }
-        }
-        std::fs::write(path, &json).expect("trace export path is writable");
-        println!("wrote {}", path.display());
+        write_artifact(path, &json);
+    }
+
+    // Kill replica 1 mid-run and keep rendering: the coordinator marks it
+    // down and fails over, the flight recorder turns the error events into
+    // an incident (metrics snapshot frozen at anomaly time).
+    let (dead_http, dead_server) = backends.pop().unwrap();
+    dead_http.shutdown();
+    drop(dead_server);
+    for _ in 0..3 {
+        let r = client::request(&mut stream, "POST", "/render", req.to_body().as_bytes()).unwrap();
+        assert_eq!(
+            r.status,
+            200,
+            "failover render failed: {}",
+            String::from_utf8_lossy(&r.body)
+        );
+    }
+    // Two watcher intervals: one tick to open the incident, one to settle.
+    std::thread::sleep(Duration::from_millis(100));
+
+    let events = client::request(&mut stream, "GET", "/events", b"").unwrap();
+    let events_body = String::from_utf8(events.body).unwrap();
+    assert!(
+        events_body.contains("marked down"),
+        "replica death left no event:\n{events_body}"
+    );
+    let incidents = client::request(&mut stream, "GET", "/incidents", b"").unwrap();
+    assert_eq!(incidents.status, 200);
+    let incidents_body = String::from_utf8(incidents.body).unwrap();
+    assert!(
+        incidents_body.contains("\"trigger\""),
+        "no incident captured after replica kill:\n{incidents_body}"
+    );
+    assert!(
+        incidents_body.contains("marked down"),
+        "incident event tail lost the replica death:\n{incidents_body}"
+    );
+    assert!(
+        incidents_body.contains("gs_slo_burn_rate"),
+        "incident metrics snapshot missing:\n{incidents_body}"
+    );
+    println!(
+        "cluster  /incidents: replica kill captured ({} bytes)",
+        incidents_body.len()
+    );
+    if let Some(path) = incidents_out() {
+        write_artifact(&path, &incidents_body);
     }
 
     front.shutdown();

@@ -321,10 +321,13 @@ fn main() {
             if workers == 1 {
                 base_rps = stats.throughput_rps();
             }
-            report.push(BenchScenario::from_serve_stats(
-                format!("{label}/workers={workers}"),
-                &stats,
-            ));
+            // Every serving configuration is held to the default serving
+            // SLO (ObsTuning's 250 ms p99): bench_diff raises an
+            // `::error::` annotation when a run breaches it.
+            report.push(
+                BenchScenario::from_serve_stats(format!("{label}/workers={workers}"), &stats)
+                    .with_slo_p99_ms(gs_serve::ObsTuning::default().slo_p99_ms),
+            );
             rows.push(vec![
                 label.to_string(),
                 workers.to_string(),

@@ -58,6 +58,11 @@ pub struct BenchScenario {
     pub hit_rate: f64,
     /// Mean rendered batch size (0 when nothing was batched).
     pub mean_batch: f64,
+    /// The p99 latency SLO this scenario is held to, in milliseconds
+    /// (0 = no SLO declared). `bench_diff` raises an `::error::`
+    /// annotation — still warn-only for the job — when `p99_ms` exceeds
+    /// it, independent of any baseline comparison.
+    pub slo_p99_ms: f64,
 }
 
 impl BenchScenario {
@@ -71,7 +76,15 @@ impl BenchScenario {
             p99_ms: stats.latency.p99 * 1e3,
             hit_rate: stats.cache.hit_rate(),
             mean_batch: stats.mean_batch_size(),
+            slo_p99_ms: 0.0,
         }
+    }
+
+    /// Declares the p99 latency SLO the scenario is held to.
+    #[must_use]
+    pub fn with_slo_p99_ms(mut self, slo_p99_ms: f64) -> Self {
+        self.slo_p99_ms = slo_p99_ms;
+        self
     }
 }
 
@@ -149,6 +162,15 @@ impl BenchReport {
             out.push_str(&format!("      \"p90_ms\": {},\n", json_num(s.p90_ms)));
             out.push_str(&format!("      \"p99_ms\": {},\n", json_num(s.p99_ms)));
             out.push_str(&format!("      \"hit_rate\": {},\n", json_num(s.hit_rate)));
+            // The SLO member is written only when declared, so artifacts
+            // from benchmarks without SLOs stay byte-identical to the old
+            // schema (and old readers ignore it when present).
+            if s.slo_p99_ms > 0.0 {
+                out.push_str(&format!(
+                    "      \"slo_p99_ms\": {},\n",
+                    json_num(s.slo_p99_ms)
+                ));
+            }
             out.push_str(&format!(
                 "      \"mean_batch\": {}\n",
                 json_num(s.mean_batch)
@@ -225,6 +247,7 @@ impl BenchReport {
                     p99_ms: num_field(s, "p99_ms"),
                     hit_rate: num_field(s, "hit_rate"),
                     mean_batch: num_field(s, "mean_batch"),
+                    slo_p99_ms: num_field(s, "slo_p99_ms"),
                 })
             })
             .collect::<Result<Vec<_>, String>>()?;
@@ -328,6 +351,7 @@ mod tests {
             p99_ms: 9.0,
             hit_rate: 0.5,
             mean_batch: 1.75,
+            slo_p99_ms: 0.0,
         });
         report.push(BenchScenario {
             scenario: "weird \"label\"\\".to_string(),
@@ -358,6 +382,7 @@ mod tests {
             p99_ms: 8.125,
             hit_rate: 0.25,
             mean_batch: 1.5,
+            slo_p99_ms: 0.0,
         });
         report.push_roofline(RooflineEntry {
             phase: "raster/tiled".to_string(),
@@ -384,6 +409,32 @@ mod tests {
         assert_eq!(parsed.scenarios[0].throughput_rps, 10.0);
         assert_eq!(parsed.scenarios[0].p99_ms, 0.0);
         assert!(parsed.roofline.is_empty());
+    }
+
+    #[test]
+    fn slo_thresholds_round_trip_and_stay_optional() {
+        let mut report = BenchReport::new("trace_replay");
+        report.push(
+            BenchScenario {
+                scenario: "flash-crowd".to_string(),
+                p99_ms: 12.0,
+                ..BenchScenario::default()
+            }
+            .with_slo_p99_ms(250.0),
+        );
+        report.push(BenchScenario {
+            scenario: "no-slo".to_string(),
+            ..BenchScenario::default()
+        });
+        let json = report.to_json();
+        assert!(json.contains("\"slo_p99_ms\": 250"));
+        assert_eq!(
+            json.matches("slo_p99_ms").count(),
+            1,
+            "undeclared SLOs must be omitted: {json}"
+        );
+        let parsed = BenchReport::from_json(&json).unwrap();
+        assert_eq!(parsed, report);
     }
 
     #[test]

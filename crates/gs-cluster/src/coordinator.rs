@@ -30,11 +30,11 @@ use std::time::{Duration, Instant};
 
 use gs_core::gaussian::GaussianParams;
 use gs_core::image::Image;
-use gs_obs::{Registry, TraceContext};
+use gs_obs::{Event, EventLevel, Registry, TraceContext, Watcher};
 use gs_render::rasterize::FrameLayer;
 use gs_serve::{
     outcome_for_error, shard_scene, visible_shards, Aabb, CachePolicyKind, FrameCache, FrameKey,
-    SceneId, ServeError, ServeObs, StatsCollector, WireRequest,
+    ObsTuning, SceneId, ServeError, ServeObs, StatsCollector, WireRequest,
 };
 use gs_trace::{Outcome, TraceRecorder};
 
@@ -91,6 +91,9 @@ pub struct ClusterConfig {
     pub slow_trace_ms: u64,
     /// Capacity of the finished-trace ring behind `GET /trace`.
     pub span_ring: usize,
+    /// Interpretation-layer tuning (SLO windows, heat tables, flight
+    /// recorder, watcher cadence), shared with the replica tier.
+    pub obs: ObsTuning,
 }
 
 impl Default for ClusterConfig {
@@ -107,6 +110,7 @@ impl Default for ClusterConfig {
             trace_sample_every: 0,
             slow_trace_ms: 0,
             span_ring: 256,
+            obs: ObsTuning::default(),
         }
     }
 }
@@ -253,8 +257,12 @@ pub struct Coordinator {
     /// The coordinator tier's observability state: trace sampling, the
     /// finished-span ring, and the metrics registry the stats collector
     /// shares (kernel-phase sampling stays off — the coordinator never
-    /// runs render kernels itself).
-    obs: ServeObs,
+    /// runs render kernels itself). `Arc` so the watcher thread holds it.
+    obs: Arc<ServeObs>,
+    /// Background watcher driving SLO evaluation and incident capture;
+    /// `None` when [`ObsTuning::watcher_interval_ms`] is zero. Joined on
+    /// drop.
+    watcher: Option<Watcher>,
 }
 
 /// The coordinator cache plus per-scene load epochs under one lock: a frame
@@ -328,14 +336,24 @@ impl Coordinator {
             })
         });
         let metrics = Arc::new(Registry::new());
-        let obs = ServeObs::new(
+        let obs = Arc::new(ServeObs::with_tuning(
             Arc::clone(&metrics),
             config.node.clone(),
             config.trace_sample_every,
             0,
             config.slow_trace_ms.saturating_mul(1000),
             config.span_ring,
-        );
+            &config.obs,
+        ));
+        let watcher = (config.obs.watcher_interval_ms > 0).then(|| {
+            let obs = Arc::clone(&obs);
+            Watcher::spawn(
+                Duration::from_millis(config.obs.watcher_interval_ms),
+                move || {
+                    obs.watch_tick();
+                },
+            )
+        });
         Self {
             config,
             state: Mutex::new(State {
@@ -348,13 +366,19 @@ impl Coordinator {
             cache,
             recorder: Mutex::new(None),
             obs,
+            watcher,
         }
     }
 
     /// The coordinator tier's observability state (trace sampling, span
-    /// ring, metrics registry).
+    /// ring, metrics registry, SLO engine, heat tables, flight recorder).
     pub fn obs(&self) -> &ServeObs {
         &self.obs
+    }
+
+    /// Whether the background SLO/incident watcher thread is running.
+    pub fn watcher_running(&self) -> bool {
+        self.watcher.is_some()
     }
 
     /// Prometheus text exposition of the coordinator's metrics registry.
@@ -508,11 +532,28 @@ impl Coordinator {
     }
 
     fn mark_down(&self, id: ReplicaId) {
-        let mut state = self.state.lock().unwrap();
-        if let Some(slot) = state.replicas.get_mut(id) {
-            if slot.health != Health::Draining {
-                slot.health = Health::Down;
+        // The flight-recorder event is recorded outside the state lock; only
+        // an actual Up -> Down transition records one (repeat failures on an
+        // already-down replica are not separate anomalies).
+        let downed = {
+            let mut state = self.state.lock().unwrap();
+            match state.replicas.get_mut(id) {
+                Some(slot) if slot.health == Health::Up => {
+                    slot.health = Health::Down;
+                    Some(slot.replica.name().to_string())
+                }
+                _ => None,
             }
+        };
+        if let Some(name) = downed {
+            self.obs.recorder().record(
+                Event::new(
+                    EventLevel::Error,
+                    "coordinator",
+                    "replica marked down; traffic fails over",
+                )
+                .replica(name),
+            );
         }
     }
 
@@ -915,6 +956,13 @@ impl Coordinator {
                     }
                     self.collector.record_fast_hit(latency);
                     record(Outcome::CacheHit);
+                    self.obs.record_outcome(
+                        Some(request.scene.as_str()),
+                        request.client.as_deref(),
+                        true,
+                        true,
+                        latency.as_secs_f64(),
+                    );
                     return Ok(ClusterFrame {
                         image,
                         scene: request.scene.clone(),
@@ -932,9 +980,17 @@ impl Coordinator {
             }
         }
         let result = self.render_inner(request, started, trace);
+        let latency_s = started.elapsed().as_secs_f64();
         match &result {
             Ok(frame) => {
-                self.collector.record_completed(0, started.elapsed());
+                // The trace id rides onto the latency histogram as an
+                // exemplar, so a slow bucket names a concrete trace to pull
+                // via `/trace?id=`.
+                self.collector.record_completed_traced(
+                    0,
+                    started.elapsed(),
+                    trace.map(|ctx| ctx.trace.id()),
+                );
                 if let (Some(cache), Some((key, epoch))) = (&self.cache, miss_epoch) {
                     let mut guard = cache.lock().unwrap();
                     if guard.epochs.get(&request.scene).copied().unwrap_or(0) == epoch {
@@ -942,10 +998,24 @@ impl Coordinator {
                     }
                 }
                 record(Outcome::Completed);
+                self.obs.record_outcome(
+                    Some(request.scene.as_str()),
+                    request.client.as_deref(),
+                    true,
+                    frame.cache_hit,
+                    latency_s,
+                );
             }
             Err(e) => {
                 self.collector.record_error();
                 record(outcome_for_cluster_error(e));
+                self.obs.record_outcome(
+                    Some(request.scene.as_str()),
+                    request.client.as_deref(),
+                    false,
+                    false,
+                    latency_s,
+                );
             }
         }
         result
@@ -1006,6 +1076,16 @@ impl Coordinator {
                 Err(e) if failover_worthy(&e) => {
                     self.mark_down(rid);
                     self.counters.failovers.fetch_add(1, Ordering::Relaxed);
+                    self.obs.recorder().record(
+                        Event::new(
+                            EventLevel::Warn,
+                            "coordinator",
+                            "render failover: replica unreachable or shedding",
+                        )
+                        .scene(request.scene.clone())
+                        .replica(replica.name().to_string())
+                        .field("attempt", attempts.to_string()),
+                    );
                     if attempts > self.config.max_failovers {
                         return Err(ClusterError::Exhausted {
                             scene: request.scene.clone(),
@@ -1077,6 +1157,15 @@ impl Coordinator {
         match replica.load_scene(&on_replica_id, &params, background) {
             Ok(()) => {
                 self.counters.replacements.fetch_add(1, Ordering::Relaxed);
+                self.obs.recorder().record(
+                    Event::new(
+                        EventLevel::Info,
+                        "coordinator",
+                        "placement repaired: lost copy reloaded in place",
+                    )
+                    .scene(id.clone())
+                    .replica(replica.name().to_string()),
+                );
                 Repair::Repaired
             }
             Err(_) => Repair::Failed,
@@ -1201,6 +1290,15 @@ impl Coordinator {
                         }
                     }
                     self.counters.replacements.fetch_add(1, Ordering::Relaxed);
+                    self.obs.recorder().record(
+                        Event::new(
+                            EventLevel::Info,
+                            "coordinator",
+                            "placement moved off unhealthy replica",
+                        )
+                        .scene(id.clone())
+                        .replica(replica.name().to_string()),
+                    );
                     Ok((new_rid, replica))
                 }
                 Some(rid) => {
@@ -1457,6 +1555,7 @@ impl Coordinator {
             latency: own.latency,
             merged_replica_latency: merged,
             replicas,
+            hot_scenes: self.obs.heat_scenes().snapshot().0,
         }
     }
 }

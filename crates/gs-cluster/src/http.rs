@@ -16,7 +16,15 @@
 //! * `GET /metrics` — Prometheus text exposition of the coordinator's own
 //!   registry (routing counters, latency histograms, trace-ring gauges).
 //! * `GET /trace` — Chrome trace-event JSON of the coordinator's span
-//!   ring, relay/fanout hops stitched under their request roots.
+//!   ring, relay/fanout hops stitched under their request roots;
+//!   `GET /trace?id=<hex>` exports just one trace (`404` once it ages out).
+//! * `GET /slo` — cluster-tier SLO burn-rate status as JSON.
+//! * `GET /heat` — windowed per-scene / per-client top-K telemetry as JSON.
+//! * `GET /events` — the coordinator flight recorder's wide events (replica
+//!   downs, failovers, placement moves) as JSON.
+//! * `GET /incidents` — captured anomaly incidents as JSON.
+//! * `GET /dashboard` — the self-refreshing cluster health dashboard
+//!   (SLOs, per-replica health, heat top-K, incidents).
 //! * `GET /scenes` — placement rows (`id replicas=[..] gaussians bytes`).
 //! * `GET /replicas` — per-replica health/budget rows.
 //! * `GET /healthz` — coordinator liveness.
@@ -29,10 +37,10 @@
 use std::io;
 use std::sync::Arc;
 
-use gs_obs::TraceContext;
+use gs_obs::{render_dashboard, DashboardData, ReplicaRow, TraceContext};
 use gs_serve::http::{
-    route_trace, status_for_error, Conn, HttpHandler, HttpRequest, HttpResponse, HttpServer,
-    RouteTrace,
+    query_param, route_trace, split_path_query, status_for_error, Conn, HttpHandler, HttpRequest,
+    HttpResponse, HttpServer, RouteTrace,
 };
 use gs_serve::{wire, HttpConfig, SceneSpec, ServeError, WireFormat, WireRequest};
 
@@ -64,17 +72,37 @@ fn status_for_cluster_error(err: &ClusterError) -> u16 {
     }
 }
 
+/// A `200` JSON response.
+fn json_response(body: String) -> HttpResponse {
+    HttpResponse {
+        status: 200,
+        content_type: "application/json",
+        headers: Vec::new(),
+        body: body.into_bytes(),
+    }
+}
+
 impl HttpHandler for ClusterHandler {
     fn handle(&self, req: &HttpRequest, conn: &mut Conn<'_>) -> HttpResponse {
-        match (req.method.as_str(), req.path.as_str()) {
+        let (path, query) = split_path_query(req.path.as_str());
+        match (req.method.as_str(), path) {
             ("GET", "/stats") => HttpResponse::text(200, self.coordinator.stats().to_string()),
             ("GET", "/metrics") => HttpResponse::text(200, self.coordinator.metrics_text()),
-            ("GET", "/trace") => HttpResponse {
-                status: 200,
-                content_type: "application/json",
-                headers: Vec::new(),
-                body: self.coordinator.obs().chrome_json().into_bytes(),
+            ("GET", "/trace") => match query_param(query, "id") {
+                Some(id) => match self.coordinator.obs().chrome_json_for(id) {
+                    Some(json) => json_response(json),
+                    None => HttpResponse::text(
+                        404,
+                        format!("no trace {id:?} in the ring (bad id, or it aged out)\n"),
+                    ),
+                },
+                None => json_response(self.coordinator.obs().chrome_json()),
             },
+            ("GET", "/slo") => json_response(self.coordinator.obs().slo_json()),
+            ("GET", "/heat") => json_response(self.coordinator.obs().heat_json()),
+            ("GET", "/events") => json_response(self.coordinator.obs().events_json()),
+            ("GET", "/incidents") => json_response(self.coordinator.obs().incidents_json()),
+            ("GET", "/dashboard") => self.dashboard_route(),
             ("GET", "/healthz") => HttpResponse::text(200, "ok\n"),
             ("GET", "/scenes") => {
                 let mut body = String::new();
@@ -109,7 +137,8 @@ impl HttpHandler for ClusterHandler {
             }
             (
                 _,
-                "/stats" | "/metrics" | "/trace" | "/scenes" | "/replicas" | "/healthz" | "/render",
+                "/stats" | "/metrics" | "/trace" | "/slo" | "/heat" | "/events" | "/incidents"
+                | "/dashboard" | "/scenes" | "/replicas" | "/healthz" | "/render",
             ) => HttpResponse::text(405, "method not allowed on this path\n"),
             (_, path) if path.starts_with("/scenes/") => {
                 HttpResponse::text(405, "method not allowed on this path\n")
@@ -120,6 +149,46 @@ impl HttpHandler for ClusterHandler {
 }
 
 impl ClusterHandler {
+    /// `GET /dashboard`: the cluster tier's page carries one health row per
+    /// replica on top of the shared SLO/heat/incident sections.
+    fn dashboard_route(&self) -> HttpResponse {
+        let obs = self.coordinator.obs();
+        let stats = self.coordinator.stats();
+        let replicas = self
+            .coordinator
+            .replica_status()
+            .into_iter()
+            .map(|status| ReplicaRow {
+                name: status.name,
+                health: status.health.to_string(),
+                detail: format!(
+                    "id={} placed={} MiB budget={} MiB",
+                    status.id,
+                    status.placed >> 20,
+                    status.budget >> 20
+                ),
+            })
+            .collect();
+        let data = DashboardData {
+            title: "gs-cluster".to_string(),
+            node: obs.node().to_string(),
+            uptime_s: obs.uptime_s(),
+            refresh_s: 2,
+            slos: obs.slo().report(),
+            heat: obs.heat_scenes().snapshot().0,
+            clients: obs.heat_clients().snapshot().0,
+            replicas,
+            incidents: obs.recorder().incidents(),
+            stats_text: stats.to_string(),
+        };
+        HttpResponse {
+            status: 200,
+            content_type: "text/html; charset=utf-8",
+            headers: Vec::new(),
+            body: render_dashboard(&data).into_bytes(),
+        }
+    }
+
     fn render_route(&self, req: &HttpRequest, conn: &mut Conn<'_>) -> HttpResponse {
         let text = match std::str::from_utf8(&req.body) {
             Ok(t) => t,

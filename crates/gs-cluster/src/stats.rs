@@ -9,6 +9,7 @@
 //! `completed / samples` of its replica, so a replica that served twice the
 //! traffic contributes twice the probability mass at every quantile.
 
+use gs_obs::HeatRow;
 use gs_serve::{CacheStats, LatencySummary, StatsReport};
 
 use crate::replica::Health;
@@ -57,6 +58,10 @@ pub struct ClusterStats {
     pub merged_replica_latency: LatencySummary,
     /// Per-replica reports, in replica-id order.
     pub replicas: Vec<ReplicaReport>,
+    /// Windowed per-scene heat top-K at the coordinator tier (request
+    /// rate, hit/error ratios, mean latency) — the traffic-skew input the
+    /// replication planner consumes.
+    pub hot_scenes: Vec<HeatRow>,
 }
 
 impl ClusterStats {
@@ -111,6 +116,15 @@ impl std::fmt::Display for ClusterStats {
             self.merged_replica_latency.p99 * 1e3,
             self.replica_completed(),
         )?;
+        if !self.hot_scenes.is_empty() {
+            let top: Vec<String> = self
+                .hot_scenes
+                .iter()
+                .take(4)
+                .map(|row| format!("{} ({:.1}/s)", row.key, row.rate_per_s))
+                .collect();
+            writeln!(f, "  heat:       {}", top.join(", "))?;
+        }
         for (i, r) in self.replicas.iter().enumerate() {
             match &r.report {
                 Some(report) => writeln!(

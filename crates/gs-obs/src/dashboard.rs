@@ -1,0 +1,298 @@
+//! The live health dashboard: a self-refreshing, std-only HTML page.
+//!
+//! [`render_dashboard`] turns a [`DashboardData`] snapshot — SLO
+//! statuses, heat top-K tables, per-replica health, recent incidents —
+//! into one self-contained HTML document (inline CSS, a `<meta
+//! http-equiv="refresh">` tag, no external assets, no JavaScript
+//! beyond none at all), so `GET /dashboard` works from any browser that
+//! can reach the serving port, air-gapped included.
+
+use crate::events::Incident;
+use crate::heat::HeatRow;
+use crate::slo::SloStatus;
+
+/// One replica's health row (cluster front-end only).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicaRow {
+    /// Replica id.
+    pub name: String,
+    /// Health word: `up`, `down`, `draining`, ...
+    pub health: String,
+    /// Free-form detail (address, scenes held, error counts).
+    pub detail: String,
+}
+
+/// Everything one dashboard render needs, pre-snapshotted.
+#[derive(Debug, Clone, Default)]
+pub struct DashboardData {
+    /// Page title (tier name).
+    pub title: String,
+    /// The serving node's name.
+    pub node: String,
+    /// Process uptime, seconds.
+    pub uptime_s: f64,
+    /// Auto-refresh interval, seconds.
+    pub refresh_s: u32,
+    /// SLO statuses (from [`crate::slo::SloEngine::report`]).
+    pub slos: Vec<SloStatus>,
+    /// Scene heat top-K.
+    pub heat: Vec<HeatRow>,
+    /// Client heat top-K.
+    pub clients: Vec<HeatRow>,
+    /// Per-replica health (empty on the single-node tier).
+    pub replicas: Vec<ReplicaRow>,
+    /// Recent incidents, oldest first.
+    pub incidents: Vec<Incident>,
+    /// The tier's plain-text stats block, shown verbatim.
+    pub stats_text: String,
+}
+
+impl Default for ReplicaRow {
+    fn default() -> Self {
+        Self {
+            name: String::new(),
+            health: "up".to_string(),
+            detail: String::new(),
+        }
+    }
+}
+
+fn html_escape(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            c => out.push(c),
+        }
+    }
+}
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    html_escape(s, &mut out);
+    out
+}
+
+fn badge(ok: bool, good: &str, bad: &str) -> String {
+    if ok {
+        format!("<span class=\"ok\">{good}</span>")
+    } else {
+        format!("<span class=\"bad\">{bad}</span>")
+    }
+}
+
+fn heat_table(out: &mut String, title: &str, rows: &[HeatRow]) {
+    out.push_str(&format!("<section><h2>{}</h2>", esc(title)));
+    if rows.is_empty() {
+        out.push_str("<p class=\"dim\">no traffic in window</p></section>");
+        return;
+    }
+    out.push_str(
+        "<table><tr><th>key</th><th>req</th><th>req/s</th>\
+         <th>hit%</th><th>err%</th><th>mean ms</th></tr>",
+    );
+    for row in rows {
+        out.push_str(&format!(
+            "<tr><td>{}</td><td>{}</td><td>{:.1}</td><td>{:.0}</td>\
+             <td>{}</td><td>{:.2}</td></tr>",
+            esc(&row.key),
+            row.requests,
+            row.rate_per_s,
+            row.hit_ratio * 100.0,
+            badge(
+                row.error_ratio < 0.01,
+                &format!("{:.0}", row.error_ratio * 100.0),
+                &format!("{:.0}", row.error_ratio * 100.0)
+            ),
+            row.mean_latency_s * 1e3,
+        ));
+    }
+    out.push_str("</table></section>");
+}
+
+/// Renders the dashboard HTML document.
+pub fn render_dashboard(data: &DashboardData) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str("<!DOCTYPE html><html><head><meta charset=\"utf-8\">");
+    out.push_str(&format!(
+        "<meta http-equiv=\"refresh\" content=\"{}\">",
+        data.refresh_s.max(1)
+    ));
+    out.push_str(&format!("<title>{}</title>", esc(&data.title)));
+    out.push_str(
+        "<style>\
+         body{font-family:monospace;background:#111;color:#ddd;margin:1.5em}\
+         h1{font-size:1.3em}h2{font-size:1.05em;border-bottom:1px solid #333}\
+         table{border-collapse:collapse;margin:.5em 0}\
+         th,td{border:1px solid #333;padding:.25em .6em;text-align:left}\
+         th{color:#9ad}\
+         .ok{color:#6c6}.bad{color:#e66;font-weight:bold}.dim{color:#777}\
+         section{margin-bottom:1.2em}pre{color:#999}\
+         </style></head><body>",
+    );
+    out.push_str(&format!(
+        "<h1>{} — node {} — up {:.0}s</h1>",
+        esc(&data.title),
+        esc(&data.node),
+        data.uptime_s
+    ));
+
+    out.push_str("<section><h2>SLOs</h2>");
+    if data.slos.is_empty() {
+        out.push_str("<p class=\"dim\">no SLOs configured</p>");
+    } else {
+        out.push_str(
+            "<table><tr><th>slo</th><th>objective</th><th>status</th>\
+             <th>fast burn</th><th>slow burn</th><th>window bad/total</th></tr>",
+        );
+        for s in &data.slos {
+            out.push_str(&format!(
+                "<tr><td>{}</td><td>{}</td><td>{}</td><td>{:.2}</td>\
+                 <td>{:.2}</td><td>{}/{}</td></tr>",
+                esc(&s.name),
+                esc(&s.description),
+                badge(!s.breached, "meeting", "BREACHED"),
+                s.fast_burn,
+                s.slow_burn,
+                s.slow_bad,
+                s.slow_total,
+            ));
+        }
+        out.push_str("</table>");
+    }
+    out.push_str("</section>");
+
+    if !data.replicas.is_empty() {
+        out.push_str(
+            "<section><h2>Replicas</h2>\
+             <table><tr><th>replica</th><th>health</th><th>detail</th></tr>",
+        );
+        for r in &data.replicas {
+            out.push_str(&format!(
+                "<tr><td>{}</td><td>{}</td><td>{}</td></tr>",
+                esc(&r.name),
+                badge(r.health == "up", &esc(&r.health), &esc(&r.health)),
+                esc(&r.detail),
+            ));
+        }
+        out.push_str("</table></section>");
+    }
+
+    heat_table(&mut out, "Scene heat (top-K, windowed)", &data.heat);
+    heat_table(&mut out, "Client heat (top-K, windowed)", &data.clients);
+
+    out.push_str("<section><h2>Incidents</h2>");
+    if data.incidents.is_empty() {
+        out.push_str("<p class=\"dim\">none recorded</p>");
+    } else {
+        out.push_str(
+            "<table><tr><th>id</th><th>opened</th><th>state</th>\
+             <th>trigger</th><th>events</th></tr>",
+        );
+        for inc in data.incidents.iter().rev() {
+            out.push_str(&format!(
+                "<tr><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td></tr>",
+                inc.id,
+                inc.opened_us,
+                badge(inc.resolved_us.is_some(), "resolved", "OPEN"),
+                esc(&inc.trigger),
+                inc.events.len(),
+            ));
+        }
+        out.push_str("</table>");
+    }
+    out.push_str("</section>");
+
+    if !data.stats_text.is_empty() {
+        out.push_str("<section><h2>Stats</h2><pre>");
+        html_escape(&data.stats_text, &mut out);
+        out.push_str("</pre></section>");
+    }
+
+    out.push_str("</body></html>");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::{Event, EventLevel};
+    use crate::slo::SloStatus;
+
+    #[test]
+    fn dashboard_renders_every_section_escaped() {
+        let data = DashboardData {
+            title: "gs-cluster".to_string(),
+            node: "front<end>".to_string(),
+            uptime_s: 12.0,
+            refresh_s: 2,
+            slos: vec![SloStatus {
+                name: "latency".to_string(),
+                description: "99% under 250 ms".to_string(),
+                target: 0.99,
+                fast_total: 10,
+                fast_bad: 9,
+                slow_total: 10,
+                slow_bad: 9,
+                fast_burn: 90.0,
+                slow_burn: 90.0,
+                breached: true,
+            }],
+            heat: vec![HeatRow {
+                key: "city&plaza".to_string(),
+                requests: 42,
+                rate_per_s: 4.2,
+                hit_ratio: 0.5,
+                error_ratio: 0.0,
+                mean_latency_s: 0.004,
+            }],
+            clients: Vec::new(),
+            replicas: vec![ReplicaRow {
+                name: "r0".to_string(),
+                health: "down".to_string(),
+                detail: "probe failed".to_string(),
+            }],
+            incidents: vec![Incident {
+                id: 1,
+                opened_us: 5,
+                resolved_us: None,
+                trigger: "slo latency burn-rate breach".to_string(),
+                events: vec![{
+                    let mut e = Event::new(EventLevel::Error, "watcher", "x");
+                    e.ts_us = 5;
+                    e
+                }],
+                metrics_snapshot: String::new(),
+                slow_traces: Vec::new(),
+            }],
+            stats_text: "requests: 42\n".to_string(),
+        };
+        let html = render_dashboard(&data);
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(html.contains("http-equiv=\"refresh\" content=\"2\""));
+        assert!(html.contains("front&lt;end&gt;"));
+        assert!(html.contains("BREACHED"));
+        assert!(html.contains("city&amp;plaza"));
+        assert!(html.contains(">down<"));
+        assert!(html.contains(">OPEN<"));
+        assert!(html.contains("requests: 42"));
+        // No external assets: no src=, href=, or script tags.
+        assert!(!html.contains("src="));
+        assert!(!html.contains("href="));
+        assert!(!html.contains("<script"));
+    }
+
+    #[test]
+    fn empty_dashboard_renders_placeholders() {
+        let html = render_dashboard(&DashboardData {
+            title: "gs-serve".to_string(),
+            refresh_s: 3,
+            ..Default::default()
+        });
+        assert!(html.contains("no SLOs configured"));
+        assert!(html.contains("no traffic in window"));
+        assert!(html.contains("none recorded"));
+    }
+}

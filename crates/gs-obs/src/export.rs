@@ -13,7 +13,7 @@
 use crate::sink::FinishedTrace;
 use crate::span::SpanRecord;
 
-fn json_escape(s: &str, out: &mut String) {
+pub(crate) fn json_escape(s: &str, out: &mut String) {
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),

@@ -18,8 +18,25 @@
 //! * [`export`] — Chrome trace-event JSON (loadable in `chrome://tracing`
 //!   / Perfetto) and a per-request text waterfall for slow-request logs.
 //! * [`metrics`] — [`Registry`]: counters, gauges and fixed-bucket
-//!   histograms with Prometheus text exposition ([`Registry::render`]) and
-//!   a tiny exposition-format linter ([`lint_prometheus`]) used by CI.
+//!   histograms (with per-bucket trace-id **exemplars**), Prometheus text
+//!   exposition ([`Registry::render`]) and a tiny exposition-format
+//!   linter ([`lint_prometheus`]) used by CI.
+//!
+//! On top of those primitives sits the interpretation layer:
+//!
+//! * [`slo`] — [`SloEngine`]: declarative SLOs evaluated with
+//!   multi-window burn-rate math, exported as `gs_slo_*` gauges and the
+//!   `/slo` endpoint.
+//! * [`heat`] — [`HeatTable`]: windowed per-scene / per-client top-K
+//!   request-rate, hit-rate and latency tables behind a count-min
+//!   admission filter (the `/heat` endpoint and the replication /
+//!   shedding decision input).
+//! * [`events`] — [`FlightRecorder`]: a bounded ring of structured wide
+//!   events plus incident capture (metrics snapshot + slow traces at
+//!   anomaly time) driven by a [`Watcher`] thread (`/events`,
+//!   `/incidents`).
+//! * [`dashboard`] — [`render_dashboard`]: the self-refreshing, std-only
+//!   `/dashboard` HTML page.
 //!
 //! The crate depends only on `gs-core` and the standard library.
 
@@ -27,15 +44,25 @@
 #![warn(rust_2018_idioms)]
 
 pub mod clock;
+pub mod dashboard;
+pub mod events;
 pub mod export;
+pub mod heat;
 pub mod metrics;
 pub mod sink;
+pub mod slo;
 pub mod span;
 
 pub use clock::SpanClock;
+pub use dashboard::{render_dashboard, DashboardData, ReplicaRow};
+pub use events::{
+    events_json, incidents_json, Event, EventLevel, FlightRecorder, Incident, Watcher,
+};
 pub use export::{chrome_trace_json, waterfall};
+pub use heat::{heat_json, HeatRow, HeatTable};
 pub use metrics::{lint_prometheus, Counter, Gauge, Histogram, Registry, LATENCY_BUCKETS};
 pub use sink::{FinishedTrace, SpanSink};
+pub use slo::{default_slos, slo_json, SloEngine, SloKind, SloSpec, SloStatus};
 pub use span::{
     decode_spans, encode_spans, RequestTrace, Span, SpanRecord, TraceContext, TraceId,
     REMOTE_SPAN_ID_BASE,

@@ -59,6 +59,16 @@ impl Gauge {
     }
 }
 
+/// An exemplar: one concrete observation pinned to the bucket it landed
+/// in, labelled with the trace that produced it (OpenMetrics-style `#
+/// {trace_id="..."} value` suffix on the bucket line). A bad p99 bucket
+/// thereby links straight to a stitched trace via `/trace?id=`.
+#[derive(Debug, Clone)]
+struct Exemplar {
+    trace_id: String,
+    value: f64,
+}
+
 #[derive(Debug)]
 struct HistogramCore {
     /// Upper bounds, strictly increasing; the final `+Inf` bucket is
@@ -70,6 +80,9 @@ struct HistogramCore {
     /// accumulate without a CAS loop.
     sum_nano: AtomicU64,
     count: AtomicU64,
+    /// Latest exemplar per bucket (`bounds.len() + 1` entries); only the
+    /// exemplar-carrying observe path takes this lock.
+    exemplars: Mutex<Vec<Option<Exemplar>>>,
 }
 
 /// A fixed-bucket histogram of non-negative observations.
@@ -86,6 +99,19 @@ impl Histogram {
             .sum_nano
             .fetch_add((v * 1e9).round() as u64, Ordering::Relaxed);
         self.0.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one observation and pins it as the bucket's exemplar,
+    /// labelled with `trace_id` (rendered as an OpenMetrics-style
+    /// exemplar suffix on the matching `_bucket` line).
+    pub fn observe_exemplar(&self, v: f64, trace_id: &str) {
+        self.observe(v);
+        let v = if v.is_finite() && v > 0.0 { v } else { 0.0 };
+        let idx = self.0.bounds.partition_point(|&b| b < v);
+        self.0.exemplars.lock().unwrap()[idx] = Some(Exemplar {
+            trace_id: trace_id.to_string(),
+            value: v,
+        });
     }
 
     /// Number of observations.
@@ -247,6 +273,7 @@ impl Registry {
                 buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
                 sum_nano: AtomicU64::new(0),
                 count: AtomicU64::new(0),
+                exemplars: Mutex::new(vec![None; bounds.len() + 1]),
             }))
         }) {
             Series::Hist(h) => Histogram(h),
@@ -283,16 +310,30 @@ impl Registry {
                                 format!("{{{inner},{extra}}}")
                             }
                         };
+                        let exemplars = h.exemplars.lock().unwrap().clone();
+                        let suffix = |i: usize| match &exemplars[i] {
+                            Some(ex) => format!(
+                                " # {{trace_id=\"{}\"}} {}",
+                                ex.trace_id,
+                                fmt_value(ex.value)
+                            ),
+                            None => String::new(),
+                        };
                         let mut cum = 0u64;
                         for (i, bound) in h.bounds.iter().enumerate() {
                             cum += h.buckets[i].load(Ordering::Relaxed);
                             out.push_str(&format!(
-                                "{name}_bucket{} {cum}\n",
-                                with(&format!("le=\"{}\"", fmt_value(*bound)))
+                                "{name}_bucket{} {cum}{}\n",
+                                with(&format!("le=\"{}\"", fmt_value(*bound))),
+                                suffix(i)
                             ));
                         }
                         cum += h.buckets[h.bounds.len()].load(Ordering::Relaxed);
-                        out.push_str(&format!("{name}_bucket{} {cum}\n", with("le=\"+Inf\"")));
+                        out.push_str(&format!(
+                            "{name}_bucket{} {cum}{}\n",
+                            with("le=\"+Inf\""),
+                            suffix(h.bounds.len())
+                        ));
                         let sum = h.sum_nano.load(Ordering::Relaxed) as f64 / 1e9;
                         out.push_str(&format!("{name}_sum{labels} {}\n", fmt_value(sum)));
                         out.push_str(&format!(
@@ -375,11 +416,12 @@ pub fn lint_prometheus(text: &str) -> Result<usize, String> {
             lint_labels(&series[name_end..], lineno)?;
         }
         let value_token = value.split_whitespace().next().unwrap_or("");
-        let ok_value =
-            matches!(value_token, "+Inf" | "-Inf" | "NaN") || value_token.parse::<f64>().is_ok();
-        if !ok_value {
+        if !valid_value_token(value_token) {
             return Err(format!("line {lineno}: bad sample value {value_token:?}"));
         }
+        // Whatever follows the value must be a timestamp, an
+        // OpenMetrics-style exemplar (`# {labels} value [ts]`), or both.
+        lint_sample_tail(value[value_token.len()..].trim_start(), lineno)?;
         // The family (histogram series fold into their base name) must be
         // TYPE-declared before samples.
         let family = ["_bucket", "_sum", "_count"]
@@ -423,6 +465,80 @@ pub fn lint_prometheus(text: &str) -> Result<usize, String> {
         }
     }
     Ok(samples)
+}
+
+/// Whether a token is a legal sample value: a finite float, or exactly
+/// one of the canonical non-finite spellings (`NaN`, `+Inf`, `-Inf`) —
+/// Rust's permissive `f64` parser would otherwise wave through `inf`,
+/// `nan` and friends the exposition format forbids.
+fn valid_value_token(token: &str) -> bool {
+    matches!(token, "+Inf" | "-Inf" | "NaN")
+        || token.parse::<f64>().map(|v| v.is_finite()).unwrap_or(false)
+}
+
+/// Validates what a sample line carries after its value: nothing, an
+/// integer timestamp, an exemplar (`# {labels} value`), or a timestamp
+/// followed by an exemplar.
+fn lint_sample_tail(tail: &str, lineno: usize) -> Result<(), String> {
+    let mut tail = tail;
+    // Optional timestamp before any exemplar marker.
+    if !tail.is_empty() && !tail.starts_with('#') {
+        let ts = tail.split_whitespace().next().unwrap_or("");
+        if ts.parse::<i64>().is_err() {
+            return Err(format!("line {lineno}: bad sample timestamp {ts:?}"));
+        }
+        tail = tail[tail.find(ts).unwrap_or(0) + ts.len()..].trim_start();
+    }
+    if tail.is_empty() {
+        return Ok(());
+    }
+    let ex = tail
+        .strip_prefix('#')
+        .ok_or(format!("line {lineno}: trailing junk after value {tail:?}"))?
+        .trim_start();
+    let block_len = label_block_len(ex).ok_or(format!(
+        "line {lineno}: exemplar without a label set {ex:?}"
+    ))?;
+    lint_labels(&ex[..block_len], lineno)?;
+    let mut rest = ex[block_len..].split_whitespace();
+    let ex_value = rest
+        .next()
+        .ok_or(format!("line {lineno}: exemplar without a value"))?;
+    if !valid_value_token(ex_value) {
+        return Err(format!("line {lineno}: bad exemplar value {ex_value:?}"));
+    }
+    if let Some(ts) = rest.next() {
+        if ts.parse::<f64>().is_err() {
+            return Err(format!("line {lineno}: bad exemplar timestamp {ts:?}"));
+        }
+    }
+    if rest.next().is_some() {
+        return Err(format!("line {lineno}: trailing junk after exemplar"));
+    }
+    Ok(())
+}
+
+/// The byte length of a `{...}` label block at the start of `s`,
+/// honoring quoted values; `None` when `s` doesn't start with one.
+fn label_block_len(s: &str) -> Option<usize> {
+    if !s.starts_with('{') {
+        return None;
+    }
+    let mut in_quotes = false;
+    let mut escaped = false;
+    for (i, b) in s.bytes().enumerate() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match b {
+            b'\\' if in_quotes => escaped = true,
+            b'"' => in_quotes = !in_quotes,
+            b'}' if !in_quotes => return Some(i + 1),
+            _ => {}
+        }
+    }
+    None
 }
 
 /// Splits a sample line into (series, value-and-rest), honoring quoted
@@ -596,5 +712,143 @@ mod tests {
                   gs_x{node=\"replica 0 \\\"east\\\"\"} 1.5\n";
         assert_eq!(lint_prometheus(ok).unwrap(), 1);
         assert_eq!(lint_prometheus("").unwrap(), 0);
+    }
+
+    #[test]
+    fn linter_handles_escaped_label_values() {
+        // Backslash escapes, embedded braces and commas inside quotes.
+        let ok = "# TYPE gs_x gauge\n\
+                  gs_x{a=\"b\\\\c\",path=\"{x,y}\",nl=\"line\\nbreak\"} 1\n";
+        assert_eq!(lint_prometheus(ok).unwrap(), 1);
+        // An escape that swallows the closing quote is malformed.
+        let bad = "# TYPE gs_x gauge\ngs_x{a=\"b\\\"} 1\n";
+        assert!(lint_prometheus(bad).is_err());
+        // Identical label sets differing only in escapes are duplicates.
+        let dup = "# TYPE gs_x gauge\n\
+                   gs_x{a=\"q\\\"q\"} 1\ngs_x{a=\"q\\\"q\"} 2\n";
+        let err = lint_prometheus(dup).unwrap_err();
+        assert!(err.contains("duplicate series"), "{err}");
+    }
+
+    #[test]
+    fn linter_accepts_spec_nonfinite_literals_and_render_never_emits_them() {
+        // The exposition format itself allows NaN/±Inf sample values...
+        let doc = "# TYPE gs_x gauge\ngs_x{v=\"a\"} NaN\n\
+                   gs_x{v=\"b\"} +Inf\ngs_x{v=\"c\"} -Inf\n";
+        assert_eq!(lint_prometheus(doc).unwrap(), 3);
+        // ...but lowercase/bare variants are rejected.
+        for bad in ["inf", "nan", "Inf", "+inf"] {
+            let doc = format!("# TYPE gs_x gauge\ngs_x {bad}\n");
+            assert!(lint_prometheus(&doc).is_err(), "must reject {bad}");
+        }
+        // Our own render degrades non-finite gauge values to 0 instead.
+        let reg = Registry::new();
+        reg.gauge("gs_bad", &[], "g").set(f64::NAN);
+        reg.gauge("gs_worse", &[], "g").set(f64::INFINITY);
+        let text = reg.render();
+        assert!(text.contains("gs_bad 0\n"));
+        assert!(text.contains("gs_worse 0\n"));
+        lint_prometheus(&text).unwrap();
+    }
+
+    #[test]
+    fn linter_rejects_duplicate_series_across_histogram_suffixes() {
+        let doc = "# TYPE gs_h histogram\n\
+                   gs_h_bucket{le=\"1\"} 1\ngs_h_bucket{le=\"1\"} 2\n";
+        let err = lint_prometheus(doc).unwrap_err();
+        assert!(err.contains("duplicate series"), "{err}");
+    }
+
+    #[test]
+    fn exemplars_render_on_the_landed_bucket_and_lint_clean() {
+        let reg = Registry::new();
+        let h = reg.histogram("gs_request_seconds", &[], "latency", &[0.01, 0.1, 1.0]);
+        h.observe(0.005);
+        h.observe_exemplar(0.05, "00f1e2d3c4b5a697");
+        h.observe_exemplar(5.0, "ffffffffffffffff");
+        let text = reg.render();
+        assert!(text.contains(
+            "gs_request_seconds_bucket{le=\"0.1\"} 2 # {trace_id=\"00f1e2d3c4b5a697\"} 0.05"
+        ));
+        assert!(text.contains(
+            "gs_request_seconds_bucket{le=\"+Inf\"} 3 # {trace_id=\"ffffffffffffffff\"} 5"
+        ));
+        // The bucket nothing exemplar-landed in has no suffix.
+        assert!(text.contains("gs_request_seconds_bucket{le=\"0.01\"} 1\n"));
+        assert_eq!(h.count(), 3);
+        lint_prometheus(&text).unwrap();
+    }
+
+    #[test]
+    fn linter_validates_timestamps_and_exemplar_syntax() {
+        for ok in [
+            "# TYPE gs_x counter\ngs_x 5 1700000000000\n",
+            "# TYPE gs_x counter\ngs_x 5 # {trace_id=\"ab\"} 0.4\n",
+            "# TYPE gs_x counter\ngs_x 5 # {trace_id=\"ab\"} 0.4 1700000000.5\n",
+            "# TYPE gs_x counter\ngs_x 5 -7 # {trace_id=\"a b\"} 1\n",
+        ] {
+            assert_eq!(lint_prometheus(ok).unwrap(), 1, "must accept {ok:?}");
+        }
+        for (bad, why) in [
+            ("# TYPE gs_x counter\ngs_x 5 bogus\n", "junk timestamp"),
+            (
+                "# TYPE gs_x counter\ngs_x 5 # junk\n",
+                "exemplar sans labels",
+            ),
+            (
+                "# TYPE gs_x counter\ngs_x 5 # {trace_id=\"a\"}\n",
+                "exemplar sans value",
+            ),
+            (
+                "# TYPE gs_x counter\ngs_x 5 # {trace_id=a} 1\n",
+                "unquoted exemplar label",
+            ),
+            (
+                "# TYPE gs_x counter\ngs_x 5 # {t=\"a\"} 1 2 3\n",
+                "trailing junk",
+            ),
+        ] {
+            assert!(lint_prometheus(bad).is_err(), "must reject: {why}");
+        }
+    }
+
+    #[test]
+    fn concurrent_mutation_during_render_is_safe_and_lint_clean() {
+        use std::sync::atomic::AtomicBool;
+        let reg = Arc::new(Registry::new());
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut writers = Vec::new();
+        for t in 0..4 {
+            let reg = Arc::clone(&reg);
+            let stop = Arc::clone(&stop);
+            writers.push(std::thread::spawn(move || {
+                let tname = format!("w{t}");
+                let c = reg.counter("gs_requests_total", &[("w", &tname)], "req");
+                let h = reg.histogram("gs_request_seconds", &[], "lat", &LATENCY_BUCKETS);
+                let mut i = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    c.inc();
+                    h.observe_exemplar((i % 100) as f64 / 100.0, "cafecafecafecafe");
+                    // New series appear mid-render too.
+                    if i.is_multiple_of(64) {
+                        let g = format!("g{}", i % 256);
+                        reg.gauge("gs_depth", &[("w", &tname), ("k", &g)], "d")
+                            .set(i as f64);
+                    }
+                    i += 1;
+                }
+            }));
+        }
+        // Render (and lint) repeatedly while the writers churn.
+        for _ in 0..50 {
+            let text = reg.render();
+            lint_prometheus(&text).unwrap_or_else(|e| panic!("lint failed: {e}\n{text}"));
+        }
+        stop.store(true, Ordering::Relaxed);
+        for w in writers {
+            w.join().unwrap();
+        }
+        let text = reg.render();
+        assert!(lint_prometheus(&text).unwrap() > 10);
     }
 }

@@ -31,7 +31,14 @@
 //!   (request counters, latency histograms, kernel-phase rooflines, trace
 //!   gauges).
 //! * `GET /trace` — the finished-span ring as Chrome trace-event JSON
-//!   (load it in `chrome://tracing` / Perfetto).
+//!   (load it in `chrome://tracing` / Perfetto). `GET /trace?id=<hex>`
+//!   exports just that trace, `404` when it has aged out of the ring.
+//! * `GET /slo` — SLO burn-rate status as JSON (see [`gs_obs::SloEngine`]).
+//! * `GET /heat` — windowed per-scene / per-client top-K telemetry as JSON.
+//! * `GET /events` — the flight recorder's recent wide events as JSON.
+//! * `GET /incidents` — captured anomaly incidents (trigger, event tail,
+//!   metrics snapshot, slow traces) as JSON.
+//! * `GET /dashboard` — the self-refreshing HTML health dashboard.
 //! * `GET /scenes` — the loaded scene ids, one per line.
 //! * `GET /healthz` — liveness probe.
 //!
@@ -64,7 +71,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use gs_obs::{RequestTrace, Span, TraceContext, TraceId};
+use gs_obs::{render_dashboard, DashboardData, RequestTrace, Span, TraceContext, TraceId};
 use gs_trace::{Outcome, TraceRecorder};
 
 use crate::obs::ServeObs;
@@ -750,6 +757,59 @@ pub fn status_for_error(err: &ServeError) -> u16 {
     }
 }
 
+/// Splits a request target into its path and optional query string.
+pub fn split_path_query(target: &str) -> (&str, Option<&str>) {
+    match target.split_once('?') {
+        Some((path, query)) => (path, Some(query)),
+        None => (target, None),
+    }
+}
+
+/// Extracts the (undecoded) value of `key` from a query string.
+pub fn query_param<'a>(query: Option<&'a str>, key: &str) -> Option<&'a str> {
+    query?
+        .split('&')
+        .filter_map(|pair| pair.split_once('='))
+        .find(|(k, _)| *k == key)
+        .map(|(_, v)| v)
+}
+
+/// A `200` JSON response.
+fn json_response(body: String) -> HttpResponse {
+    HttpResponse {
+        status: 200,
+        content_type: "application/json",
+        headers: Vec::new(),
+        body: body.into_bytes(),
+    }
+}
+
+/// `GET /dashboard` on the single-node tier: snapshot the interpretation
+/// layer plus the stats block into one self-contained HTML page.
+fn dashboard_route(server: &RenderServer, conn: &mut Conn<'_>) -> HttpResponse {
+    let obs = server.obs();
+    let mut stats = server.stats();
+    stats.connections = conn.connections();
+    let data = DashboardData {
+        title: "gs-serve".to_string(),
+        node: obs.node().to_string(),
+        uptime_s: obs.uptime_s(),
+        refresh_s: 2,
+        slos: obs.slo().report(),
+        heat: obs.heat_scenes().snapshot().0,
+        clients: obs.heat_clients().snapshot().0,
+        replicas: Vec::new(),
+        incidents: obs.recorder().incidents(),
+        stats_text: format!("{stats}"),
+    };
+    HttpResponse {
+        status: 200,
+        content_type: "text/html; charset=utf-8",
+        headers: Vec::new(),
+        body: render_dashboard(&data).into_bytes(),
+    }
+}
+
 /// The standard [`RenderServer`] routing layer (what [`HttpServer::bind`]
 /// installs).
 struct ServeHandler {
@@ -761,7 +821,8 @@ struct ServeHandler {
 impl HttpHandler for ServeHandler {
     fn handle(&self, req: &HttpRequest, conn: &mut Conn<'_>) -> HttpResponse {
         let server = self.server.as_ref();
-        match (req.method.as_str(), req.path.as_str()) {
+        let (path, query) = split_path_query(req.path.as_str());
+        match (req.method.as_str(), path) {
             ("GET", "/stats") => {
                 let mut stats = server.stats();
                 stats.connections = conn.connections();
@@ -797,12 +858,21 @@ impl HttpHandler for ServeHandler {
             }
             ("GET", "/healthz") => HttpResponse::text(200, "ok\n"),
             ("GET", "/metrics") => HttpResponse::text(200, server.metrics_text()),
-            ("GET", "/trace") => HttpResponse {
-                status: 200,
-                content_type: "application/json",
-                headers: Vec::new(),
-                body: server.obs().chrome_json().into_bytes(),
+            ("GET", "/trace") => match query_param(query, "id") {
+                Some(id) => match server.obs().chrome_json_for(id) {
+                    Some(json) => json_response(json),
+                    None => HttpResponse::text(
+                        404,
+                        format!("no trace {id:?} in the ring (bad id, or it aged out)\n"),
+                    ),
+                },
+                None => json_response(server.obs().chrome_json()),
             },
+            ("GET", "/slo") => json_response(server.obs().slo_json()),
+            ("GET", "/heat") => json_response(server.obs().heat_json()),
+            ("GET", "/events") => json_response(server.obs().events_json()),
+            ("GET", "/incidents") => json_response(server.obs().incidents_json()),
+            ("GET", "/dashboard") => dashboard_route(server, conn),
             ("POST", "/render") => render_route(server, self.recorder.as_deref(), req, conn),
             ("POST", "/render_layer") => render_layer_route(server, req),
             ("POST", path) if path.strip_prefix("/scenes/").is_some() => {
@@ -822,8 +892,8 @@ impl HttpHandler for ServeHandler {
             }
             (
                 _,
-                "/stats" | "/stats/wire" | "/scenes" | "/healthz" | "/metrics" | "/trace"
-                | "/render" | "/render_layer",
+                "/stats" | "/stats/wire" | "/scenes" | "/healthz" | "/metrics" | "/trace" | "/slo"
+                | "/heat" | "/events" | "/incidents" | "/dashboard" | "/render" | "/render_layer",
             ) => HttpResponse::text(405, "method not allowed on this path\n"),
             (_, path) if path.starts_with("/scenes/") => {
                 HttpResponse::text(405, "method not allowed on this path\n")
@@ -1027,11 +1097,13 @@ fn render_route(
     // answer path below.
     let arrival_us = recorder.map_or(0, TraceRecorder::now_us);
     let started = Instant::now();
-    let client = recorder.map(|_| resolve_client(&wire_req, req, conn));
+    // Resolved unconditionally (not just under capture): the per-client
+    // heat table keys on it for every request that enters the server.
+    let client = resolve_client(&wire_req, req, conn);
     let record = |outcome: Outcome| {
-        if let (Some(recorder), Some(client)) = (recorder, &client) {
+        if let Some(recorder) = recorder {
             recorder.record(wire_req.to_trace_event(
-                client,
+                &client,
                 arrival_us,
                 outcome,
                 started.elapsed().as_micros() as u64,
@@ -1045,6 +1117,9 @@ fn render_route(
     // the doomed write then closes the connection and frees its slot.
     let cancel = CancelToken::new();
     let mut render_req = wire_req.to_render_request().with_cancel(cancel.clone());
+    if render_req.client.is_none() {
+        render_req.client = Some(client.clone());
+    }
     if let Some(rt) = &route_trace {
         render_req = render_req.with_trace(TraceContext {
             trace: rt.trace.clone(),

@@ -92,7 +92,9 @@ pub use cache::{CachePolicy, CachePolicyKind, CacheStats, FrameCache, FrameKey, 
 pub use http::{
     outcome_for_error, Conn, HttpConfig, HttpHandler, HttpRequest, HttpResponse, HttpServer,
 };
-pub use obs::{Phase, ServeObs, TRACE_ID_HEADER, TRACE_PARENT_HEADER, TRACE_SPANS_HEADER};
+pub use obs::{
+    ObsTuning, Phase, ServeObs, TRACE_ID_HEADER, TRACE_PARENT_HEADER, TRACE_SPANS_HEADER,
+};
 pub use queue::BoundedQueue;
 pub use registry::{
     LoadedScene, RegistryStats, SceneLayout, SceneRegistry, SceneView, ShardResidency, ShardView,

@@ -23,8 +23,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use gs_obs::{
-    chrome_trace_json, waterfall, FinishedTrace, Gauge, Registry, RequestTrace, SpanClock,
-    SpanSink, TraceId,
+    chrome_trace_json, default_slos, events_json, heat_json, incidents_json, slo_json, waterfall,
+    FinishedTrace, FlightRecorder, Gauge, HeatTable, Registry, RequestTrace, SloEngine, SloStatus,
+    SpanClock, SpanSink, TraceId,
 };
 use gs_platform::roofline::{RooflinePoint, Work};
 use gs_render::cost::{self, WorkEstimate};
@@ -83,6 +84,52 @@ struct PhaseGauges {
     intensity: Gauge,
 }
 
+/// Knobs of the interpretation layer (SLO engine, heat tables, flight
+/// recorder, watcher) that [`ServeObs::with_tuning`] builds from. The
+/// defaults suit production; tests shrink the windows to drive breach /
+/// recovery cycles in milliseconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObsTuning {
+    /// Bounded event-ring capacity of the flight recorder.
+    pub event_ring: usize,
+    /// SLO fast (detection) window, seconds.
+    pub slo_fast_window_s: u64,
+    /// SLO slow (confirmation) window, seconds.
+    pub slo_slow_window_s: u64,
+    /// Latency-SLO bound in milliseconds.
+    pub slo_p99_ms: f64,
+    /// Latency-SLO target good fraction.
+    pub slo_latency_target: f64,
+    /// Availability-SLO target good fraction.
+    pub slo_availability_target: f64,
+    /// Burn-rate threshold both windows must reach to breach.
+    pub slo_burn_threshold: f64,
+    /// Heat-table sliding window, seconds.
+    pub heat_window_s: u64,
+    /// Hottest keys each heat table tracks exactly.
+    pub heat_top_k: usize,
+    /// Watcher tick interval in milliseconds (`0` = no watcher thread;
+    /// `watch_tick` can still be driven manually).
+    pub watcher_interval_ms: u64,
+}
+
+impl Default for ObsTuning {
+    fn default() -> Self {
+        Self {
+            event_ring: 256,
+            slo_fast_window_s: 10,
+            slo_slow_window_s: 120,
+            slo_p99_ms: 250.0,
+            slo_latency_target: 0.99,
+            slo_availability_target: 0.999,
+            slo_burn_threshold: 2.0,
+            heat_window_s: 60,
+            heat_top_k: 16,
+            watcher_interval_ms: 250,
+        }
+    }
+}
+
 /// The server's observability state (see module docs).
 #[derive(Debug)]
 pub struct ServeObs {
@@ -100,10 +147,20 @@ pub struct ServeObs {
     traces_finished: Gauge,
     traces_dropped: Gauge,
     trace_ring_held: Gauge,
+    tuning: ObsTuning,
+    slo: SloEngine,
+    heat_scenes: HeatTable,
+    heat_clients: HeatTable,
+    recorder: FlightRecorder,
+    uptime_gauge: Gauge,
+    events_recorded: Gauge,
+    events_dropped: Gauge,
+    event_ring_held: Gauge,
+    incidents_total: Gauge,
 }
 
 impl ServeObs {
-    /// Builds the observability state.
+    /// [`ServeObs::with_tuning`] with the default [`ObsTuning`].
     ///
     /// `trace_sample_every` = 0 disables tracing entirely, 1 traces every
     /// request, N traces every Nth; `phase_sample_every` works the same
@@ -116,6 +173,32 @@ impl ServeObs {
         phase_sample_every: u32,
         slow_trace_us: u64,
         span_ring: usize,
+    ) -> Self {
+        Self::with_tuning(
+            registry,
+            node,
+            trace_sample_every,
+            phase_sample_every,
+            slow_trace_us,
+            span_ring,
+            &ObsTuning::default(),
+        )
+    }
+
+    /// Builds the observability state, including the interpretation
+    /// layer (SLO engine, heat tables, flight recorder) sized by
+    /// `tuning`. The watcher thread is **not** spawned here — the owner
+    /// wires [`ServeObs::watch_tick`] into a [`gs_obs::Watcher`] so the
+    /// tick closure can fold in owner-side probes (queue stalls).
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_tuning(
+        registry: Arc<Registry>,
+        node: impl Into<String>,
+        trace_sample_every: u32,
+        phase_sample_every: u32,
+        slow_trace_us: u64,
+        span_ring: usize,
+        tuning: &ObsTuning,
     ) -> Self {
         let phase_gauges = Phase::ALL
             .iter()
@@ -162,11 +245,55 @@ impl ServeObs {
         );
         let trace_ring_held =
             registry.gauge("gs_trace_ring_held", &[], "Traces currently in the ring");
+        let node = node.into();
+        registry
+            .gauge(
+                "gs_build_info",
+                &[("version", env!("CARGO_PKG_VERSION")), ("node", &node)],
+                "Constant 1; the labels carry the build version and node",
+            )
+            .set(1.0);
+        let uptime_gauge =
+            registry.gauge("gs_uptime_seconds", &[], "Seconds since this tier started");
+        let events_recorded = registry.gauge(
+            "gs_events_recorded",
+            &[],
+            "Flight-recorder events recorded (kept + dropped)",
+        );
+        let events_dropped = registry.gauge(
+            "gs_events_dropped",
+            &[],
+            "Flight-recorder events evicted by the bounded event ring",
+        );
+        let event_ring_held =
+            registry.gauge("gs_event_ring_held", &[], "Events currently in the ring");
+        let incidents_total = registry.gauge("gs_incidents_total", &[], "Incidents ever opened");
+        let slo = SloEngine::new(
+            &registry,
+            default_slos(
+                tuning.slo_p99_ms,
+                tuning.slo_latency_target,
+                tuning.slo_availability_target,
+            )
+            .into_iter()
+            .map(|mut spec| {
+                spec.fast_window_s = tuning.slo_fast_window_s;
+                spec.slow_window_s = tuning.slo_slow_window_s;
+                spec.burn_threshold = tuning.slo_burn_threshold;
+                spec
+            })
+            .collect(),
+        );
         Self {
+            slo,
+            heat_scenes: HeatTable::new(tuning.heat_window_s, tuning.heat_top_k),
+            heat_clients: HeatTable::new(tuning.heat_window_s, tuning.heat_top_k),
+            recorder: FlightRecorder::new(tuning.event_ring),
+            tuning: tuning.clone(),
             registry,
             sink: SpanSink::new(span_ring),
             clock: SpanClock::new(),
-            node: node.into(),
+            node,
             trace_sample_every,
             phase_sample_every,
             slow_trace_us,
@@ -177,6 +304,11 @@ impl ServeObs {
             traces_finished,
             traces_dropped,
             trace_ring_held,
+            uptime_gauge,
+            events_recorded,
+            events_dropped,
+            event_ring_held,
+            incidents_total,
         }
     }
 
@@ -301,6 +433,13 @@ impl ServeObs {
         self.traces_finished.set(self.sink.finished() as f64);
         self.traces_dropped.set(self.sink.dropped() as f64);
         self.trace_ring_held.set(self.sink.len() as f64);
+        self.uptime_gauge.set(self.uptime_s());
+        self.events_recorded.set(self.recorder.recorded() as f64);
+        self.events_dropped.set(self.recorder.dropped() as f64);
+        self.event_ring_held.set(self.recorder.held() as f64);
+        self.incidents_total
+            .set(self.recorder.incidents_opened() as f64);
+        self.slo.report();
     }
 
     /// Files a finished trace into the ring and, when it exceeded the
@@ -319,13 +458,13 @@ impl ServeObs {
                 .max()
                 .unwrap_or(0);
             if total >= self.slow_trace_us {
+                let rendered = waterfall(&finished);
                 eprintln!(
                     "[{}] slow request {} ({} us):\n{}",
-                    self.node,
-                    finished.trace,
-                    total,
-                    waterfall(&finished)
+                    self.node, finished.trace, total, rendered
                 );
+                self.recorder
+                    .note_slow_trace(format!("{} ({} us)\n{}", finished.trace, total, rendered));
             }
         }
         self.sink.push_finished(finished);
@@ -340,6 +479,115 @@ impl ServeObs {
     /// Chrome trace-event JSON of every trace currently in the ring.
     pub fn chrome_json(&self) -> String {
         chrome_trace_json(&self.sink.snapshot())
+    }
+
+    /// Chrome trace-event JSON of just the ring's trace with this id
+    /// (16-hex-digit form), or `None` when the ring no longer holds it.
+    pub fn chrome_json_for(&self, id: &str) -> Option<String> {
+        let id = TraceId::parse(id)?;
+        let matched: Vec<FinishedTrace> = self
+            .sink
+            .snapshot()
+            .into_iter()
+            .filter(|t| t.trace == id)
+            .collect();
+        if matched.is_empty() {
+            None
+        } else {
+            Some(chrome_trace_json(&matched))
+        }
+    }
+
+    /// The interpretation-layer tuning this state was built with.
+    pub fn tuning(&self) -> &ObsTuning {
+        &self.tuning
+    }
+
+    /// The SLO engine.
+    pub fn slo(&self) -> &SloEngine {
+        &self.slo
+    }
+
+    /// The scene-keyed heat table.
+    pub fn heat_scenes(&self) -> &HeatTable {
+        &self.heat_scenes
+    }
+
+    /// The client-keyed heat table.
+    pub fn heat_clients(&self) -> &HeatTable {
+        &self.heat_clients
+    }
+
+    /// The anomaly flight recorder.
+    pub fn recorder(&self) -> &FlightRecorder {
+        &self.recorder
+    }
+
+    /// Seconds since this observability state (≈ the tier) started.
+    pub fn uptime_s(&self) -> f64 {
+        (self.clock.now_us().saturating_sub(self.clock.anchor_us())) as f64 / 1e6
+    }
+
+    /// Feeds one finished request into the SLO engine and heat tables.
+    /// `scene`/`client` may be absent (rejected before routing); they
+    /// then fall out of the heat tables but still count against SLOs.
+    pub fn record_outcome(
+        &self,
+        scene: Option<&str>,
+        client: Option<&str>,
+        ok: bool,
+        cache_hit: bool,
+        latency_s: f64,
+    ) {
+        self.slo.record(ok, latency_s);
+        if let Some(scene) = scene {
+            self.heat_scenes.record(scene, ok, cache_hit, latency_s);
+        }
+        if let Some(client) = client {
+            self.heat_clients.record(client, ok, cache_hit, latency_s);
+        }
+    }
+
+    /// One watcher tick: evaluates the SLOs and lets the flight recorder
+    /// open/extend/resolve an incident (freezing `/metrics` when one
+    /// opens). Returns the statuses so owner-side ticks can act on them.
+    pub fn watch_tick(&self) -> Vec<SloStatus> {
+        let statuses = self.slo.report();
+        let breaches: Vec<String> = statuses
+            .iter()
+            .filter(|s| s.breached)
+            .map(|s| s.name.clone())
+            .collect();
+        self.recorder.tick(&breaches, || self.metrics_text());
+        statuses
+    }
+
+    /// The `/slo` endpoint's JSON document.
+    pub fn slo_json(&self) -> String {
+        slo_json(&self.slo.report())
+    }
+
+    /// The `/heat` endpoint's JSON document.
+    pub fn heat_json(&self) -> String {
+        heat_json(
+            self.heat_scenes.window_s(),
+            &self.heat_scenes.snapshot(),
+            &self.heat_clients.snapshot(),
+        )
+    }
+
+    /// The `/events` endpoint's JSON document.
+    pub fn events_json(&self) -> String {
+        events_json(
+            &self.recorder.events(),
+            self.recorder.recorded(),
+            self.recorder.dropped(),
+        )
+    }
+
+    /// The `/incidents` endpoint's JSON document.
+    pub fn incidents_json(&self) -> String {
+        incidents_json(&self.recorder.incidents())
     }
 }
 

@@ -28,7 +28,7 @@ use gs_render::rasterize::FrameLayer;
 
 use crate::batch::render_shared;
 use crate::cache::{CachePolicyKind, FrameCache, FrameKey};
-use crate::obs::ServeObs;
+use crate::obs::{ObsTuning, ServeObs};
 use crate::registry::{RegistryStats, SceneLayout, SceneRegistry, SceneView, ShardedSceneView};
 use crate::request::{RenderRequest, RenderedFrame, SceneId, ServeError};
 use crate::sched::{SchedItem, Scheduler, SchedulerPolicy};
@@ -84,6 +84,10 @@ pub struct ServeConfig {
     /// Capacity of the finished-trace ring behind `GET /trace`
     /// (`0` keeps only counters).
     pub span_ring: usize,
+    /// Interpretation-layer tuning: SLO windows and targets, heat-table
+    /// window and top-K, event-ring capacity, watcher interval (see
+    /// [`ObsTuning`]).
+    pub obs: ObsTuning,
 }
 
 impl Default for ServeConfig {
@@ -103,9 +107,14 @@ impl Default for ServeConfig {
             phase_sample_every: 32,
             slow_trace_ms: 0,
             span_ring: 256,
+            obs: ObsTuning::default(),
         }
     }
 }
+
+/// Consecutive watcher ticks with queued jobs and no completion progress
+/// before a queue-stall event is recorded.
+const QUEUE_STALL_TICKS: u32 = 4;
 
 type Response = Result<RenderedFrame, ServeError>;
 
@@ -216,6 +225,10 @@ impl Ticket {
 pub struct RenderServer {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
+    /// The anomaly watcher: ticks SLO evaluation + incident capture and
+    /// probes for queue stalls. `None` when `obs.watcher_interval_ms`
+    /// is 0; joined on drop.
+    watcher: Option<gs_obs::Watcher>,
 }
 
 impl RenderServer {
@@ -230,13 +243,14 @@ impl RenderServer {
         // One registry backs both the request counters (stats collector) and
         // the observability gauges, so `GET /metrics` exposes them together.
         let metrics = Arc::new(Registry::new());
-        let obs = ServeObs::new(
+        let obs = ServeObs::with_tuning(
             Arc::clone(&metrics),
             config.node.clone(),
             config.trace_sample_every,
             config.phase_sample_every,
             config.slow_trace_ms.saturating_mul(1000),
             config.span_ring,
+            &config.obs,
         );
         let shared = Arc::new(Shared {
             sched: config.scheduler.build(config.queue_depth),
@@ -260,7 +274,41 @@ impl RenderServer {
                     .expect("spawn worker")
             })
             .collect();
-        Self { shared, workers }
+        let watcher = (shared.config.obs.watcher_interval_ms > 0).then(|| {
+            let shared = Arc::clone(&shared);
+            // Queue-stall detection: jobs are queued but the completion
+            // counter has not moved for several consecutive ticks.
+            let mut last_completed = 0u64;
+            let mut stalled_ticks = 0u32;
+            gs_obs::Watcher::spawn(
+                std::time::Duration::from_millis(shared.config.obs.watcher_interval_ms),
+                move || {
+                    let completed = shared.stats.completed_count();
+                    if !shared.sched.is_empty() && completed == last_completed {
+                        stalled_ticks += 1;
+                        if stalled_ticks == QUEUE_STALL_TICKS {
+                            shared.obs.recorder().record(
+                                gs_obs::Event::new(
+                                    gs_obs::EventLevel::Error,
+                                    "scheduler",
+                                    "queue stall: jobs queued but nothing completing",
+                                )
+                                .field("stalled_ticks", stalled_ticks.to_string()),
+                            );
+                        }
+                    } else {
+                        stalled_ticks = 0;
+                    }
+                    last_completed = completed;
+                    shared.obs.watch_tick();
+                },
+            )
+        });
+        Self {
+            shared,
+            workers,
+            watcher,
+        }
     }
 
     /// Starts a server with a registry budgeted to `platform`'s GPU memory.
@@ -453,6 +501,13 @@ impl RenderServer {
             .unwrap()
             .contains(&request.scene)
         {
+            self.shared.obs.record_outcome(
+                Some(request.scene.as_str()),
+                request.client.as_deref(),
+                false,
+                false,
+                0.0,
+            );
             return Err(ServeError::UnknownScene(request.scene));
         }
         // A request that is already dead gets the same answer the workers'
@@ -461,12 +516,26 @@ impl RenderServer {
         // (expired wins over cancelled, like respond_dead).
         if request.is_expired(submitted) {
             self.shared.stats.record_expired(1);
+            self.shared.obs.record_outcome(
+                Some(request.scene.as_str()),
+                request.client.as_deref(),
+                false,
+                false,
+                0.0,
+            );
             let (tx, rx) = mpsc::channel();
             let _ = tx.send(Err(ServeError::DeadlineExceeded));
             return Ok(Ticket { rx });
         }
         if request.is_cancelled() {
             self.shared.stats.record_cancelled(1);
+            self.shared.obs.record_outcome(
+                Some(request.scene.as_str()),
+                request.client.as_deref(),
+                false,
+                false,
+                0.0,
+            );
             let (tx, rx) = mpsc::channel();
             let _ = tx.send(Err(ServeError::Cancelled));
             return Ok(Ticket { rx });
@@ -500,6 +569,13 @@ impl RenderServer {
             if let Some(image) = hit {
                 let latency = submitted.elapsed();
                 self.shared.stats.record_fast_hit(latency);
+                self.shared.obs.record_outcome(
+                    Some(request.scene.as_str()),
+                    request.client.as_deref(),
+                    true,
+                    true,
+                    latency.as_secs_f64(),
+                );
                 if let Some(ctx) = &request.trace {
                     let clock = ctx.trace.clock();
                     let start = clock.us_of(submitted);
@@ -626,7 +702,25 @@ impl RenderServer {
             }
             _ => request,
         };
-        let view = self.shared.registry.lock().unwrap().get(&request.scene)?;
+        // Layer traffic is a replica's main workload under a cluster, so it
+        // feeds the heat tables and SLO windows like any front-door render.
+        let started_total = Instant::now();
+        let outcome = |ok: bool| {
+            self.shared.obs.record_outcome(
+                Some(request.scene.as_str()),
+                request.client.as_deref(),
+                ok,
+                false,
+                started_total.elapsed().as_secs_f64(),
+            );
+        };
+        let view = match self.shared.registry.lock().unwrap().get(&request.scene) {
+            Ok(view) => view,
+            Err(e) => {
+                outcome(false);
+                return Err(e);
+            }
+        };
         let (width, height) = (request.viewport.width(), request.viewport.height());
         let mut layer = match into {
             Some(layer) => {
@@ -642,6 +736,7 @@ impl RenderServer {
         match &view {
             SceneView::Single(scene) => {
                 if let Some(k) = shard.filter(|&k| k != 0) {
+                    outcome(false);
                     return Err(ServeError::UnknownShard(request.scene.clone(), k));
                 }
                 let started = Instant::now();
@@ -667,6 +762,7 @@ impl RenderServer {
             SceneView::Sharded(sharded) => match shard {
                 Some(k) => {
                     let Some(shard_view) = sharded.shards.get(k) else {
+                        outcome(false);
                         return Err(ServeError::UnknownShard(request.scene.clone(), k));
                     };
                     render_one_shard(
@@ -685,6 +781,7 @@ impl RenderServer {
             },
         }
         self.shared.stats.record_layer_served();
+        outcome(true);
         Ok(layer)
     }
 
@@ -748,6 +845,8 @@ impl RenderServer {
     }
 
     fn stop_workers(&mut self) {
+        // Joined first so no tick observes a closing scheduler as a stall.
+        self.watcher.take();
         self.shared.sched.close();
         for worker in self.workers.drain(..) {
             let _ = worker.join();
@@ -820,12 +919,26 @@ fn worker_loop(shared: &Shared, worker_idx: usize) {
         // in the histogram, so `completed + errors` always accounts for
         // every submitted request and the histogram for every formed batch.
         let acct = BatchAccounting::default();
+        let scene_for_event = scene_id.clone();
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             process_batch(shared, worker_idx, scene_id, batch, batch_size, &acct);
         }));
         if outcome.is_err() {
             let dropped = (batch_size as u64).saturating_sub(acct.answered.load(Ordering::Relaxed));
             shared.stats.record_errors(dropped);
+            shared.obs.recorder().record(
+                gs_obs::Event::new(
+                    gs_obs::EventLevel::Error,
+                    "worker",
+                    "render batch panicked; jobs dropped to errors",
+                )
+                .scene(scene_for_event)
+                .field("worker", worker_idx.to_string())
+                .field("dropped", dropped.to_string()),
+            );
+            for _ in 0..dropped {
+                shared.obs.record_outcome(None, None, false, false, 0.0);
+            }
             if !acct.batch_recorded.load(Ordering::Relaxed) {
                 shared.stats.record_batch(batch_size, 0, 0);
             }
@@ -912,8 +1025,24 @@ fn process_batch(
     let view = match view {
         Ok(v) => v,
         Err(e) => {
+            shared.obs.recorder().record(
+                gs_obs::Event::new(
+                    gs_obs::EventLevel::Error,
+                    "worker",
+                    format!("batch failed: {e}"),
+                )
+                .scene(scene_id.clone())
+                .field("jobs", misses.len().to_string()),
+            );
             for (job, _) in misses {
                 shared.stats.record_error();
+                shared.obs.record_outcome(
+                    Some(job.request.scene.as_str()),
+                    job.request.client.as_deref(),
+                    false,
+                    false,
+                    job.enqueued.elapsed().as_secs_f64(),
+                );
                 answered.fetch_add(1, Ordering::Relaxed);
                 let _ = job.tx.send(Err(e.clone()));
             }
@@ -1201,6 +1330,13 @@ fn respond_dead(shared: &Shared, job: Job, now: Instant) {
     } else {
         shared.stats.record_cancelled(1);
     }
+    shared.obs.record_outcome(
+        Some(job.request.scene.as_str()),
+        job.request.client.as_deref(),
+        false,
+        false,
+        job.enqueued.elapsed().as_secs_f64(),
+    );
     if let Some(root) = job.trace_root {
         root.finish();
         if let Some(ctx) = &job.request.trace {
@@ -1228,6 +1364,13 @@ fn respond(
 ) {
     let latency = job.enqueued.elapsed();
     let trace = job.request.trace.clone();
+    shared.obs.record_outcome(
+        Some(job.request.scene.as_str()),
+        job.request.client.as_deref(),
+        true,
+        cache_hit,
+        latency.as_secs_f64(),
+    );
     let frame = RenderedFrame {
         image,
         scene: job.request.scene,
@@ -1241,7 +1384,9 @@ fn respond(
     // finds itself counted in a subsequent `stats()` snapshot. The trace is
     // likewise finished first, so a caller holding the other end of the
     // ticket observes the complete span tree.
-    shared.stats.record_completed(worker_idx, latency);
+    shared
+        .stats
+        .record_completed_traced(worker_idx, latency, trace.as_ref().map(|c| c.trace.id()));
     answered.fetch_add(1, Ordering::Relaxed);
     if let Some(root) = job.trace_root {
         root.finish();

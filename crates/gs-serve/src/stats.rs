@@ -12,7 +12,7 @@ use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use gs_obs::{Counter, Histogram, Registry, LATENCY_BUCKETS};
+use gs_obs::{Counter, Histogram, Registry, TraceId, LATENCY_BUCKETS};
 
 use crate::cache::CacheStats;
 
@@ -460,6 +460,35 @@ impl StatsCollector {
         self.inner.lock().unwrap().latency.record(secs);
     }
 
+    /// [`StatsCollector::record_completed`], additionally pinning the
+    /// request's trace id as the latency histogram's exemplar on the
+    /// bucket the observation landed in — the link that lets a bad p99
+    /// bucket on `/metrics` resolve to a stitched trace via
+    /// `/trace?id=`.
+    pub fn record_completed_traced(
+        &self,
+        worker: usize,
+        latency: Duration,
+        trace: Option<TraceId>,
+    ) {
+        let Some(id) = trace else {
+            return self.record_completed(worker, latency);
+        };
+        let secs = latency.as_secs_f64();
+        self.completed.inc();
+        self.request_seconds.observe_exemplar(secs, &id.to_string());
+        if let Some(counter) = self.per_worker.get(worker) {
+            counter.inc();
+        }
+        self.inner.lock().unwrap().latency.record(secs);
+    }
+
+    /// Completed requests so far (fast hits included) — the watcher's
+    /// cheap progress probe for queue-stall detection.
+    pub fn completed_count(&self) -> u64 {
+        self.completed.get()
+    }
+
     /// Records one request answered from the cache *before* it enqueued
     /// (the submit fast path). Counted as completed, but its latency lands
     /// in the hit reservoir so the request-latency percentiles keep
@@ -744,6 +773,24 @@ mod tests {
         assert!(samples.iter().all(|&s| (0.001..=1.0).contains(&s)));
         assert!(collector.latency_samples(0).is_empty());
         assert!(StatsCollector::new(1).latency_samples(16).is_empty());
+    }
+
+    #[test]
+    fn traced_completions_pin_exemplars_on_the_latency_histogram() {
+        let collector = StatsCollector::new(1);
+        let id = TraceId(0xabc);
+        collector.record_completed_traced(0, Duration::from_millis(5), Some(id));
+        collector.record_completed_traced(0, Duration::from_millis(7), None);
+        assert_eq!(collector.completed_count(), 2);
+        let text = collector.registry().render();
+        assert!(
+            text.contains(&format!("# {{trace_id=\"{id}\"}} 0.005")),
+            "{text}"
+        );
+        gs_obs::lint_prometheus(&text).unwrap();
+        let stats = collector.snapshot(CacheStats::default());
+        assert_eq!(stats.completed, 2);
+        assert_eq!(stats.per_worker, vec![2]);
     }
 
     #[test]
