@@ -7,6 +7,20 @@
 //! affected scene (or shard) onto a healthy replica and retries — the
 //! client never sees the death as long as capacity remains.
 //!
+//! Placement also reacts to **popularity**, not just death: every
+//! placement is a replica *set* (primary plus replication copies), and
+//! [`Coordinator::replication_tick`] — driven periodically by
+//! [`crate::replication::ReplicationManager`] — replicates hot
+//! scenes/shards onto extra replicas from the host-side holds, routes
+//! reads across the copies with power-of-two-choices over per-replica
+//! in-flight counts, de-replicates as scenes cool, and rebalances
+//! single-copy scenes onto drained-then-rejoined replicas. Under overload
+//! (a deep in-flight backlog or sustained SLO burn) the coordinator sheds
+//! [`gs_serve::wire::Priority::Speculative`] requests first and serves
+//! interactive requests as reduced-SH brown-out frames instead of failing
+//! them (see [`ClusterConfig::shed_inflight`] and
+//! [`ClusterConfig::brownout_sh_degree`]).
+//!
 //! Cross-node sharded rendering comes in two composite modes:
 //!
 //! * [`CompositeMode::Relay`] (default) walks the visible shards
@@ -23,25 +37,27 @@
 //!   depth-disjoint frames by a few ulps and depth-overlapping frames by a
 //!   measurable boundary error (characterized in `tests/cluster.rs`).
 
-use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use gs_core::gaussian::GaussianParams;
 use gs_core::image::Image;
-use gs_obs::{Event, EventLevel, Registry, TraceContext, Watcher};
+use gs_obs::{Counter, Event, EventLevel, HeatRow, Registry, TraceContext, Watcher};
 use gs_render::rasterize::FrameLayer;
 use gs_serve::{
     outcome_for_error, shard_scene, visible_shards, Aabb, CachePolicyKind, FrameCache, FrameKey,
-    ObsTuning, SceneId, ServeError, ServeObs, StatsCollector, WireRequest,
+    ObsTuning, Priority, SceneId, ServeError, ServeObs, StatsCollector, WireRequest,
 };
 use gs_trace::{Outcome, TraceRecorder};
 
 use crate::placement::{
-    pick_replica, Hold, PlacementCandidate, SceneHold, ScenePlacement, ShardHold,
+    pick_read_copy, pick_replica, Hold, PlacementCandidate, ReadCandidate, SceneHold,
+    ScenePlacement, ShardHold,
 };
 use crate::replica::{Health, Replica, ReplicaError, ReplicaId, ReplicaTransport};
+use crate::replication::ReplicationConfig;
 use crate::stats::{merge_latency, ClusterStats, ReplicaReport};
 
 /// How the coordinator composites cross-node shard layers.
@@ -94,6 +110,23 @@ pub struct ClusterConfig {
     /// Interpretation-layer tuning (SLO windows, heat tables, flight
     /// recorder, watcher cadence), shared with the replica tier.
     pub obs: ObsTuning,
+    /// Heat-driven replication policy (copy counts, replicate /
+    /// de-replicate rate thresholds, cool-down hysteresis, rebalancing) —
+    /// consumed by [`Coordinator::replication_tick`].
+    pub replication: ReplicationConfig,
+    /// Priority-aware load shedding: once more than this many renders are
+    /// in flight at the coordinator, speculative requests are shed with
+    /// [`ClusterError::Overloaded`]; past twice the threshold interactive
+    /// requests shed too (`0` disables in-flight shedding — SLO-burn
+    /// shedding still applies).
+    pub shed_inflight: usize,
+    /// Graceful brown-out: under overload, interactive requests render at
+    /// this SH degree instead of the requested one — a cheaper,
+    /// lower-fidelity frame instead of a 503 (`None` disables; frames at
+    /// the requested degree are unaffected when it is already ≤ the
+    /// floor). Browned-out frames are never inserted into the coordinator
+    /// frame cache.
+    pub brownout_sh_degree: Option<usize>,
 }
 
 impl Default for ClusterConfig {
@@ -111,6 +144,9 @@ impl Default for ClusterConfig {
             slow_trace_ms: 0,
             span_ring: 256,
             obs: ObsTuning::default(),
+            replication: ReplicationConfig::default(),
+            shed_inflight: 0,
+            brownout_sh_degree: None,
         }
     }
 }
@@ -138,6 +174,13 @@ pub enum ClusterError {
         /// Attempts performed (1 + failovers).
         attempts: usize,
     },
+    /// The request was shed by priority-aware overload protection (deep
+    /// in-flight backlog or sustained SLO burn); speculative work sheds
+    /// first.
+    Overloaded {
+        /// The scene the shed request named.
+        scene: SceneId,
+    },
 }
 
 impl std::fmt::Display for ClusterError {
@@ -152,6 +195,10 @@ impl std::fmt::Display for ClusterError {
             ClusterError::Exhausted { scene, attempts } => write!(
                 f,
                 "request for scene {scene:?} failed on every replica ({attempts} attempts)"
+            ),
+            ClusterError::Overloaded { scene } => write!(
+                f,
+                "request for scene {scene:?} shed: coordinator overloaded"
             ),
         }
     }
@@ -203,6 +250,10 @@ struct ReplicaSlot {
     health: Health,
     budget: u64,
     placed: u64,
+    /// Renders currently in flight on this replica — the load signal the
+    /// power-of-two-choices read balancer compares. `Arc` so the RAII
+    /// guard outlives the state lock.
+    inflight: Arc<AtomicU64>,
 }
 
 struct State {
@@ -220,6 +271,92 @@ struct Counters {
     shard_relays: AtomicU64,
     shard_fanouts: AtomicU64,
     shards_culled: AtomicU64,
+    replications: AtomicU64,
+    dereplications: AtomicU64,
+    rebalances: AtomicU64,
+    shed: AtomicU64,
+    brownouts: AtomicU64,
+}
+
+/// Decrements a shared in-flight count on drop; created when a render is
+/// routed to a replica (and, via [`Coordinator::render_traced`], once per
+/// coordinator-level request).
+struct InflightGuard(Arc<AtomicU64>);
+
+impl InflightGuard {
+    fn enter(count: &Arc<AtomicU64>) -> Self {
+        count.fetch_add(1, Ordering::Relaxed);
+        Self(Arc::clone(count))
+    }
+}
+
+impl Drop for InflightGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// What overload protection decided for one cache-missing request.
+enum Admission {
+    /// Serve normally.
+    Serve,
+    /// Serve, but render at this (reduced) SH degree — a brown-out frame.
+    Brownout(usize),
+    /// Reject with [`ClusterError::Overloaded`].
+    Shed,
+}
+
+/// A planned replication copy (phase output of
+/// [`Coordinator::replication_tick`], executed outside the state lock).
+struct AddCopy {
+    scene: SceneId,
+    shard: Option<usize>,
+    site: SceneId,
+    params: Arc<GaussianParams>,
+    background: [f32; 3],
+    bytes: u64,
+    /// The replica set at planning time; the add commits only if the set
+    /// is unchanged, and the new copy must land elsewhere.
+    exclude: Vec<ReplicaId>,
+}
+
+/// A planned copy retirement (cooled scene, or a dead copy to prune).
+struct RetireCopy {
+    scene: SceneId,
+    shard: Option<usize>,
+    site: SceneId,
+    rid: ReplicaId,
+    bytes: u64,
+}
+
+/// One placement site of a scene while planning replication:
+/// (shard index, on-replica scene id, replica set, params, bytes).
+type PlacementSite<'a> = (
+    Option<usize>,
+    SceneId,
+    &'a Vec<ReplicaId>,
+    &'a Arc<GaussianParams>,
+    u64,
+);
+
+/// A rebalance candidate: (scene id, params, background, bytes, heat rate).
+type RebalanceCandidate = (SceneId, Arc<GaussianParams>, [f32; 3], u64, f64);
+
+/// What one [`Coordinator::replication_tick`] did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplicationReport {
+    /// Extra copies of hot scenes/shards installed.
+    pub replicated: usize,
+    /// Copies retired from cooled scenes (budget returned to the pool).
+    pub dereplicated: usize,
+    /// Dead copies dropped from replica sets (their replica is down; at
+    /// least one live copy remained).
+    pub pruned: usize,
+    /// Single-copy scenes moved onto cold (drained-then-rejoined)
+    /// replicas.
+    pub rebalanced: usize,
+    /// Whether the SLO-burn overload signal was set after this tick.
+    pub overloaded: bool,
 }
 
 /// A held exclusive-load claim (see [`Coordinator::claim_scene`]); dropping
@@ -263,6 +400,24 @@ pub struct Coordinator {
     /// `None` when [`ObsTuning::watcher_interval_ms`] is zero. Joined on
     /// drop.
     watcher: Option<Watcher>,
+    /// Renders currently in flight at the coordinator (cache hits
+    /// included for their brief residency) — the backlog signal
+    /// [`ClusterConfig::shed_inflight`] compares against.
+    inflight_total: Arc<AtomicU64>,
+    /// Latched by [`Coordinator::overload_tick`]: whether any SLO is
+    /// burning, which switches shedding/brown-out on independent of the
+    /// in-flight backlog.
+    slo_burning: AtomicBool,
+    /// Advances once per routed read; feeds the deterministic probe-pair
+    /// selection of [`pick_read_copy`].
+    route_salt: AtomicU64,
+    /// Consecutive replication ticks each scene has spent below the
+    /// de-replication rate (the cool-down hysteresis).
+    cool: Mutex<HashMap<SceneId, u32>>,
+    /// `gs_shed_total{priority="speculative"|"interactive"}` handles.
+    shed_metrics: [Counter; 2],
+    /// `gs_brownout_frames_total` handle.
+    brownout_metric: Counter,
 }
 
 /// The coordinator cache plus per-scene load epochs under one lock: a frame
@@ -307,7 +462,7 @@ fn failover_worthy(e: &ReplicaError) -> bool {
 /// `Exhausted` failover chain is an infrastructure error).
 pub fn outcome_for_cluster_error(err: &ClusterError) -> Outcome {
     match err {
-        ClusterError::NoCapacity { .. } => Outcome::Rejected,
+        ClusterError::NoCapacity { .. } | ClusterError::Overloaded { .. } => Outcome::Rejected,
         ClusterError::Serve(e) => outcome_for_error(e),
         ClusterError::UnknownScene(_) | ClusterError::SceneExists(_) => Outcome::Error,
         ClusterError::Exhausted { .. } => Outcome::Error,
@@ -354,6 +509,18 @@ impl Coordinator {
                 },
             )
         });
+        // Register the overload series up front so `/metrics` exposes them
+        // at zero before the first shed/brown-out.
+        let shed_help = "Requests shed by priority-aware overload protection.";
+        let shed_metrics = [
+            metrics.counter("gs_shed_total", &[("priority", "speculative")], shed_help),
+            metrics.counter("gs_shed_total", &[("priority", "interactive")], shed_help),
+        ];
+        let brownout_metric = metrics.counter(
+            "gs_brownout_frames_total",
+            &[],
+            "Frames served at a reduced SH degree under overload instead of failing.",
+        );
         Self {
             config,
             state: Mutex::new(State {
@@ -367,6 +534,12 @@ impl Coordinator {
             recorder: Mutex::new(None),
             obs,
             watcher,
+            inflight_total: Arc::new(AtomicU64::new(0)),
+            slo_burning: AtomicBool::new(false),
+            route_salt: AtomicU64::new(0),
+            cool: Mutex::new(HashMap::new()),
+            shed_metrics,
+            brownout_metric,
         }
     }
 
@@ -446,6 +619,7 @@ impl Coordinator {
             health: Health::Up,
             budget,
             placed: 0,
+            inflight: Arc::new(AtomicU64::new(0)),
         });
         Ok(state.replicas.len() - 1)
     }
@@ -576,7 +750,7 @@ impl Coordinator {
     fn reserve(
         &self,
         bytes: u64,
-        exclude: Option<ReplicaId>,
+        exclude: &[ReplicaId],
     ) -> Result<(ReplicaId, Arc<Replica>), ClusterError> {
         let mut state = self.state.lock().unwrap();
         let candidates = Self::candidates(&state);
@@ -585,6 +759,19 @@ impl Coordinator {
         };
         state.replicas[id].placed += bytes;
         Ok((id, Arc::clone(&state.replicas[id].replica)))
+    }
+
+    /// Reserves budget on one *specific* up replica (rebalancing targets a
+    /// cold replica by id, not best-fit). Returns its transport, or `None`
+    /// when the replica is missing, not up, or full.
+    fn reserve_on(&self, id: ReplicaId, bytes: u64) -> Option<Arc<Replica>> {
+        let mut state = self.state.lock().unwrap();
+        let slot = state.replicas.get_mut(id)?;
+        if slot.health != Health::Up || slot.budget.saturating_sub(slot.placed) < bytes {
+            return None;
+        }
+        slot.placed += bytes;
+        Some(Arc::clone(&slot.replica))
     }
 
     fn release(&self, id: ReplicaId, bytes: u64) {
@@ -602,7 +789,7 @@ impl Coordinator {
         params: &Arc<GaussianParams>,
         background: [f32; 3],
         bytes: u64,
-        exclude: Option<ReplicaId>,
+        exclude: &[ReplicaId],
     ) -> Result<ReplicaId, ClusterError> {
         for _ in 0..=self.config.max_failovers {
             let (rid, replica) = self.reserve(bytes, exclude)?;
@@ -642,11 +829,11 @@ impl Coordinator {
     ) -> Result<(), ClusterError> {
         let id = id.into();
         let bytes = params.total_bytes() as u64;
-        let rid = self.place(&id, &params, background, bytes, None)?;
+        let rid = self.place(&id, &params, background, bytes, &[])?;
         let hold = SceneHold {
             background,
             hold: Hold::Single {
-                replica: rid,
+                replicas: vec![rid],
                 params,
                 bytes,
             },
@@ -689,11 +876,11 @@ impl Coordinator {
                 &source.params,
                 background,
                 source.bytes,
-                None,
+                &[],
             );
             match result {
                 Ok(rid) => placed.push(ShardHold {
-                    replica: rid,
+                    replicas: vec![rid],
                     params: source.params,
                     aabb: source.aabb,
                     max_scale: source.max_scale,
@@ -707,18 +894,19 @@ impl Coordinator {
                     // failed replacement leaves the existing scene
                     // serving.
                     for (j, hold) in placed.into_iter().enumerate() {
-                        self.release(hold.replica, hold.bytes);
+                        let rid = hold.replicas[0];
+                        self.release(rid, hold.bytes);
                         let site = shard_scene_id(&id, j);
                         let (replica, restore) = {
                             let state = self.state.lock().unwrap();
                             let restore = state.scenes.get(&id).and_then(|old| match &old.hold {
                                 Hold::Sharded { shards } => shards
                                     .get(j)
-                                    .filter(|s| s.replica == hold.replica)
+                                    .filter(|s| s.replicas.contains(&rid))
                                     .map(|s| (Arc::clone(&s.params), old.background)),
                                 Hold::Single { .. } => None,
                             });
-                            (Arc::clone(&state.replicas[hold.replica].replica), restore)
+                            (Arc::clone(&state.replicas[rid].replica), restore)
                         };
                         match restore {
                             Some((old_params, old_background)) => {
@@ -744,14 +932,20 @@ impl Coordinator {
         Ok(count)
     }
 
-    /// The `(replica, on-replica id)` pairs a hold occupies.
+    /// The `(replica, on-replica id)` pairs a hold occupies — one per
+    /// copy, so a replicated placement lists every replica in its set.
     fn hold_sites(id: &SceneId, hold: &SceneHold) -> Vec<(ReplicaId, SceneId)> {
         match &hold.hold {
-            Hold::Single { replica, .. } => vec![(*replica, id.clone())],
+            Hold::Single { replicas, .. } => replicas.iter().map(|&r| (r, id.clone())).collect(),
             Hold::Sharded { shards } => shards
                 .iter()
                 .enumerate()
-                .map(|(k, s)| (s.replica, shard_scene_id(id, k)))
+                .flat_map(|(k, s)| {
+                    s.replicas
+                        .iter()
+                        .map(move |&r| (r, shard_scene_id(id, k)))
+                        .collect::<Vec<_>>()
+                })
                 .collect(),
         }
     }
@@ -790,10 +984,18 @@ impl Coordinator {
             }
         };
         match &hold.hold {
-            Hold::Single { replica, bytes, .. } => release(state, *replica, *bytes, id.clone()),
+            Hold::Single {
+                replicas, bytes, ..
+            } => {
+                for &rid in replicas {
+                    release(state, rid, *bytes, id.clone());
+                }
+            }
             Hold::Sharded { shards } => {
                 for (k, shard) in shards.iter().enumerate() {
-                    release(state, shard.replica, shard.bytes, shard_scene_id(id, k));
+                    for &rid in &shard.replicas {
+                        release(state, rid, shard.bytes, shard_scene_id(id, k));
+                    }
                 }
             }
         }
@@ -857,23 +1059,61 @@ impl Coordinator {
             .iter()
             .map(|(id, hold)| match &hold.hold {
                 Hold::Single {
-                    replica,
+                    replicas,
                     params,
                     bytes,
                 } => ScenePlacement {
                     id: id.clone(),
-                    replicas: vec![*replica],
+                    shards: 1,
+                    replicas: replicas.clone(),
                     gaussians: params.len(),
                     bytes: *bytes,
                 },
                 Hold::Sharded { shards } => ScenePlacement {
                     id: id.clone(),
-                    replicas: shards.iter().map(|s| s.replica).collect(),
+                    shards: shards.len(),
+                    replicas: shards
+                        .iter()
+                        .flat_map(|s| s.replicas.iter().copied())
+                        .collect(),
                     gaussians: shards.iter().map(|s| s.params.len()).sum(),
                     bytes: shards.iter().map(|s| s.bytes).sum(),
                 },
             })
             .collect()
+    }
+
+    /// Bytes the placement table accounts to each replica (every copy of
+    /// every scene and shard), indexed by replica id. Property tests
+    /// compare this against [`Coordinator::replica_status`]'s `placed` to
+    /// prove the budget accounting stays exact across
+    /// replicate → de-replicate → rejoin cycles.
+    pub fn placement_bytes_by_replica(&self) -> Vec<u64> {
+        let state = self.state.lock().unwrap();
+        let mut totals = vec![0u64; state.replicas.len()];
+        for hold in state.scenes.values() {
+            match &hold.hold {
+                Hold::Single {
+                    replicas, bytes, ..
+                } => {
+                    for &rid in replicas {
+                        if let Some(t) = totals.get_mut(rid) {
+                            *t += *bytes;
+                        }
+                    }
+                }
+                Hold::Sharded { shards } => {
+                    for shard in shards {
+                        for &rid in &shard.replicas {
+                            if let Some(t) = totals.get_mut(rid) {
+                                *t += shard.bytes;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        totals
     }
 
     /// Renders one frame, routing by scene id with health-checked failover.
@@ -924,6 +1164,7 @@ impl Coordinator {
         trace: Option<&TraceContext>,
     ) -> Result<ClusterFrame, ClusterError> {
         let started = Instant::now();
+        let _inflight = InflightGuard::enter(&self.inflight_total);
         let recorder = self.recorder.lock().unwrap().clone();
         let arrival_us = recorder.as_deref().map_or(0, TraceRecorder::now_us);
         let record = |outcome: Outcome| {
@@ -979,7 +1220,33 @@ impl Coordinator {
                 }
             }
         }
-        let result = self.render_inner(request, started, trace);
+        // Overload protection sits after the cache (hits are nearly free
+        // and always served) and before any replica work.
+        let result = match self.admit(request) {
+            Admission::Serve => self.render_inner(request, started, trace),
+            Admission::Brownout(floor) => {
+                // A brown-out frame is rendered at a reduced SH degree; it
+                // must never be cached under the full-fidelity key, so the
+                // captured miss epoch is dropped.
+                miss_epoch = None;
+                self.counters.brownouts.fetch_add(1, Ordering::Relaxed);
+                self.brownout_metric.inc();
+                let mut degraded = request.clone();
+                degraded.sh_degree = floor;
+                self.render_inner(&degraded, started, trace)
+            }
+            Admission::Shed => {
+                self.counters.shed.fetch_add(1, Ordering::Relaxed);
+                let which = match request.priority {
+                    Priority::Speculative => 0,
+                    Priority::Interactive => 1,
+                };
+                self.shed_metrics[which].inc();
+                Err(ClusterError::Overloaded {
+                    scene: request.scene.clone(),
+                })
+            }
+        };
         let latency_s = started.elapsed().as_secs_f64();
         match &result {
             Ok(frame) => {
@@ -1021,6 +1288,56 @@ impl Coordinator {
         result
     }
 
+    /// The overload decision for one cache-missing request: speculative
+    /// work sheds as soon as the coordinator is overloaded (in-flight
+    /// backlog past [`ClusterConfig::shed_inflight`], or sustained SLO
+    /// burn); interactive work browns out to a reduced-SH frame when
+    /// configured, and only sheds past twice the backlog threshold.
+    fn admit(&self, request: &WireRequest) -> Admission {
+        let threshold = self.config.shed_inflight as u64;
+        let inflight = self.inflight_total.load(Ordering::Relaxed);
+        let backlogged = threshold > 0 && inflight > threshold;
+        let hard_backlogged = threshold > 0 && inflight > threshold.saturating_mul(2);
+        let overloaded = backlogged || self.slo_burning.load(Ordering::Relaxed);
+        match request.priority {
+            Priority::Speculative if overloaded => Admission::Shed,
+            Priority::Interactive if hard_backlogged => Admission::Shed,
+            Priority::Interactive if overloaded => match self.config.brownout_sh_degree {
+                Some(floor) if floor < request.sh_degree => Admission::Brownout(floor),
+                _ => Admission::Serve,
+            },
+            _ => Admission::Serve,
+        }
+    }
+
+    /// Re-evaluates the SLO-burn overload signal feeding
+    /// [`Coordinator::admit`]: any SLO whose fast-window burn rate is at
+    /// or past the configured threshold (or that is fully breached)
+    /// switches shedding/brown-out on. Returns the new signal. Called by
+    /// every [`Coordinator::replication_tick`]; tests may drive it
+    /// directly.
+    pub fn overload_tick(&self) -> bool {
+        let threshold = self.config.obs.slo_burn_threshold;
+        let burning = self
+            .obs
+            .slo()
+            .report()
+            .iter()
+            .any(|s| s.breached || (s.fast_total > 0 && s.fast_burn >= threshold));
+        let was = self.slo_burning.swap(burning, Ordering::Relaxed);
+        if burning != was {
+            let message = if burning {
+                "sustained SLO burn: shedding speculative work, browning out frames"
+            } else {
+                "SLO burn cleared: full-fidelity serving restored"
+            };
+            self.obs
+                .recorder()
+                .record(Event::new(EventLevel::Warn, "coordinator", message));
+        }
+        burning
+    }
+
     fn render_inner(
         &self,
         request: &WireRequest,
@@ -1053,7 +1370,7 @@ impl Coordinator {
         let mut attempts = 0usize;
         loop {
             attempts += 1;
-            let (rid, replica) = self.route_single(&request.scene)?;
+            let (rid, replica, _inflight) = self.route_single(&request.scene)?;
             // One hop span per attempt: a failover leaves the failed
             // attempt's span in the tree next to the retry's.
             let hop = trace.map(|ctx| ctx.child(format!("call:{}", replica.name())));
@@ -1104,7 +1421,7 @@ impl Coordinator {
                             attempts,
                         });
                     }
-                    match self.repair_placement(&request.scene, None) {
+                    match self.repair_placement(&request.scene, None, rid) {
                         Repair::Repaired => {}
                         Repair::Gone => {
                             return Err(ClusterError::UnknownScene(request.scene.clone()))
@@ -1118,9 +1435,12 @@ impl Coordinator {
         }
     }
 
-    /// Reloads a placement the replica reported lost (see [`Repair`]). The
-    /// placement's bytes stay accounted to its replica, so no budget moves.
-    fn repair_placement(&self, id: &SceneId, shard: Option<usize>) -> Repair {
+    /// Reloads a placement copy the replica `rid` reported lost (see
+    /// [`Repair`]). The copy's bytes stay accounted to its replica, so no
+    /// budget moves. When `rid` is no longer in the placement's replica
+    /// set (the copy moved or was de-replicated concurrently) there is
+    /// nothing to repair — the retry re-routes to the current set.
+    fn repair_placement(&self, id: &SceneId, shard: Option<usize>, rid: ReplicaId) -> Repair {
         let (replica, on_replica_id, params, background) = {
             let state = self.state.lock().unwrap();
             let Some(hold) = state.scenes.get(id) else {
@@ -1129,21 +1449,29 @@ impl Coordinator {
             match (&hold.hold, shard) {
                 (
                     Hold::Single {
-                        replica, params, ..
+                        replicas, params, ..
                     },
                     None,
-                ) => (
-                    Arc::clone(&state.replicas[*replica].replica),
-                    id.clone(),
-                    Arc::clone(params),
-                    hold.background,
-                ),
+                ) => {
+                    if !replicas.contains(&rid) {
+                        return Repair::Repaired;
+                    }
+                    (
+                        Arc::clone(&state.replicas[rid].replica),
+                        id.clone(),
+                        Arc::clone(params),
+                        hold.background,
+                    )
+                }
                 (Hold::Sharded { shards }, Some(k)) => {
                     let Some(shard) = shards.get(k) else {
                         return Repair::Gone;
                     };
+                    if !shard.replicas.contains(&rid) {
+                        return Repair::Repaired;
+                    }
                     (
-                        Arc::clone(&state.replicas[shard.replica].replica),
+                        Arc::clone(&state.replicas[rid].replica),
                         shard_scene_id(id, k),
                         Arc::clone(&shard.params),
                         hold.background,
@@ -1172,10 +1500,35 @@ impl Coordinator {
         }
     }
 
-    /// The serving replica for a single scene, re-placing the scene first
-    /// if its current replica is not up.
-    fn route_single(&self, id: &SceneId) -> Result<(ReplicaId, Arc<Replica>), ClusterError> {
-        let (current, params, background, bytes) = {
+    /// Picks the copy of a replica set a read should hit: power-of-two-
+    /// choices over per-replica in-flight counts ([`pick_read_copy`]),
+    /// restricted to [`Health::Up`] members. `None` when no copy is up.
+    fn pick_up_copy(&self, state: &State, replicas: &[ReplicaId]) -> Option<ReplicaId> {
+        let copies: Vec<ReadCandidate> = replicas
+            .iter()
+            .filter_map(|&rid| {
+                let slot = state.replicas.get(rid)?;
+                (slot.health == Health::Up).then(|| ReadCandidate {
+                    id: rid,
+                    inflight: slot.inflight.load(Ordering::Relaxed),
+                    placed: slot.placed,
+                })
+            })
+            .collect();
+        let salt = self.route_salt.fetch_add(1, Ordering::Relaxed);
+        pick_read_copy(&copies, salt)
+    }
+
+    /// The serving replica for a single scene: a load-balanced pick over
+    /// the up copies of its replica set, or — when no copy is up — a
+    /// re-placement that collapses the set onto one healthy replica. The
+    /// returned guard holds the chosen replica's in-flight count for the
+    /// duration of the hop.
+    fn route_single(
+        &self,
+        id: &SceneId,
+    ) -> Result<(ReplicaId, Arc<Replica>, InflightGuard), ClusterError> {
+        let (copies, params, background, bytes) = {
             let state = self.state.lock().unwrap();
             let hold = state
                 .scenes
@@ -1184,32 +1537,45 @@ impl Coordinator {
             // A concurrent replacement can change the hold's shape under a
             // routed request; the stale request is answered as unknown.
             let Hold::Single {
-                replica,
+                replicas,
                 params,
                 bytes,
             } = &hold.hold
             else {
                 return Err(ClusterError::UnknownScene(id.clone()));
             };
-            let slot = &state.replicas[*replica];
-            if slot.health == Health::Up {
-                return Ok((*replica, Arc::clone(&slot.replica)));
+            if let Some(rid) = self.pick_up_copy(&state, replicas) {
+                let slot = &state.replicas[rid];
+                let guard = InflightGuard::enter(&slot.inflight);
+                return Ok((rid, Arc::clone(&slot.replica), guard));
             }
-            (*replica, Arc::clone(params), hold.background, *bytes)
+            (
+                replicas.clone(),
+                Arc::clone(params),
+                hold.background,
+                *bytes,
+            )
         };
-        // The scene's replica is down or draining: move the placement.
-        let new_rid = self.place(id, &params, background, bytes, Some(current))?;
-        self.commit_move(id, None, current, new_rid, bytes)
+        // No copy is up (down or draining): move the placement.
+        let new_rid = self.place(id, &params, background, bytes, &copies)?;
+        self.commit_move(
+            id,
+            None,
+            &copies,
+            new_rid,
+            bytes,
+            "placement moved off unhealthy replica",
+        )
     }
 
-    /// The serving replica for shard `k`, re-placing the shard first if its
-    /// current replica is not up.
+    /// The serving replica for shard `k` (see [`Coordinator::route_single`]
+    /// — same copy-set balancing and collapse-on-failure semantics).
     fn route_shard(
         &self,
         id: &SceneId,
         k: usize,
-    ) -> Result<(ReplicaId, Arc<Replica>), ClusterError> {
-        let (current, params, background, bytes) = {
+    ) -> Result<(ReplicaId, Arc<Replica>, InflightGuard), ClusterError> {
+        let (copies, params, background, bytes) = {
             let state = self.state.lock().unwrap();
             let hold = state
                 .scenes
@@ -1222,46 +1588,50 @@ impl Coordinator {
             let Some(shard) = shards.get(k) else {
                 return Err(ClusterError::UnknownScene(id.clone()));
             };
-            let slot = &state.replicas[shard.replica];
-            if slot.health == Health::Up {
-                return Ok((shard.replica, Arc::clone(&slot.replica)));
+            if let Some(rid) = self.pick_up_copy(&state, &shard.replicas) {
+                let slot = &state.replicas[rid];
+                let guard = InflightGuard::enter(&slot.inflight);
+                return Ok((rid, Arc::clone(&slot.replica), guard));
             }
             (
-                shard.replica,
+                shard.replicas.clone(),
                 Arc::clone(&shard.params),
                 hold.background,
                 shard.bytes,
             )
         };
-        let new_rid = self.place(
-            &shard_scene_id(id, k),
-            &params,
-            background,
+        let new_rid = self.place(&shard_scene_id(id, k), &params, background, bytes, &copies)?;
+        self.commit_move(
+            id,
+            Some(k),
+            &copies,
+            new_rid,
             bytes,
-            Some(current),
-        )?;
-        self.commit_move(id, Some(k), current, new_rid, bytes)
+            "placement moved off unhealthy replica",
+        )
     }
 
     /// Commits a placement move after the new replica already holds the
-    /// data: if the table still names `current`, the move wins (old bytes
-    /// released); if a concurrent mover won or the scene vanished/changed
-    /// shape, this move's reservation is released and its redundant
-    /// on-replica copy unloaded.
+    /// data: if the table's replica set still equals `old`, the move wins —
+    /// the set collapses to the new replica, every old copy's bytes are
+    /// released and live old copies are unloaded. If a concurrent mover won
+    /// or the scene vanished/changed shape, this move's reservation is
+    /// released and its redundant on-replica copy unloaded.
     fn commit_move(
         &self,
         id: &SceneId,
         shard: Option<usize>,
-        current: ReplicaId,
+        old: &[ReplicaId],
         new_rid: ReplicaId,
         bytes: u64,
-    ) -> Result<(ReplicaId, Arc<Replica>), ClusterError> {
+        reason: &'static str,
+    ) -> Result<(ReplicaId, Arc<Replica>, InflightGuard), ClusterError> {
         let on_replica_id = match shard {
             Some(k) => shard_scene_id(id, k),
             None => id.clone(),
         };
-        // `cleanup` unloads the redundant copy outside the lock.
-        let mut cleanup: Option<Arc<Replica>> = None;
+        // `cleanup` unloads redundant copies outside the lock.
+        let mut cleanup: Vec<Arc<Replica>> = Vec::new();
         let result = {
             let mut state = self.state.lock().unwrap();
             let replica = Arc::clone(&state.replicas[new_rid].replica);
@@ -1270,64 +1640,91 @@ impl Coordinator {
                     .scenes
                     .get_mut(id)
                     .and_then(|hold| match (&mut hold.hold, shard) {
-                        (Hold::Single { replica, .. }, None) => Some(replica),
+                        (Hold::Single { replicas, .. }, None) => Some(replicas),
                         (Hold::Sharded { shards }, Some(k)) => {
-                            shards.get_mut(k).map(|s| &mut s.replica)
+                            shards.get_mut(k).map(|s| &mut s.replicas)
                         }
                         _ => None,
                     });
             match assigned {
-                Some(rid) if *rid == current => {
-                    *rid = new_rid;
-                    if let Some(old) = state.replicas.get_mut(current) {
-                        old.placed = old.placed.saturating_sub(bytes);
-                        // A draining replica is alive: actually free its
-                        // copy so the drain converges to an empty replica.
-                        // (A down replica is unreachable; its stale copy
-                        // waits for its own LRU or a restart.)
-                        if old.health == Health::Draining && current != new_rid {
-                            cleanup = Some(Arc::clone(&old.replica));
+                Some(set) if *set == old => {
+                    *set = vec![new_rid];
+                    // Each old copy's bytes are released; if the move
+                    // re-placed in place (`rid == new_rid`) the release
+                    // balances the fresh reservation.
+                    for &rid in old {
+                        if let Some(slot) = state.replicas.get_mut(rid) {
+                            slot.placed = slot.placed.saturating_sub(bytes);
+                            // A live (up or draining) replica actually
+                            // frees its stale copy, so drains converge and
+                            // rebalances return memory. (A down replica is
+                            // unreachable; its stale copy waits for its
+                            // own LRU or a restart.)
+                            if slot.health != Health::Down && rid != new_rid {
+                                cleanup.push(Arc::clone(&slot.replica));
+                            }
                         }
                     }
                     self.counters.replacements.fetch_add(1, Ordering::Relaxed);
                     self.obs.recorder().record(
-                        Event::new(
-                            EventLevel::Info,
-                            "coordinator",
-                            "placement moved off unhealthy replica",
-                        )
-                        .scene(id.clone())
-                        .replica(replica.name().to_string()),
+                        Event::new(EventLevel::Info, "coordinator", reason)
+                            .scene(id.clone())
+                            .replica(replica.name().to_string()),
                     );
-                    Ok((new_rid, replica))
+                    let guard = InflightGuard::enter(&state.replicas[new_rid].inflight);
+                    Ok((new_rid, replica, guard))
                 }
-                Some(rid) => {
+                Some(set) => {
                     // A concurrent mover won. Release our reservation; our
-                    // copy is redundant *unless* both movers picked the
-                    // same replica, in which case "our" copy is the
-                    // winner's live copy.
-                    let winner = *rid;
-                    let winner_replica = Arc::clone(&state.replicas[winner].replica);
+                    // copy is redundant *unless* the winner's set also
+                    // names our replica, in which case "our" copy is a
+                    // live copy. Route to an up member of the winning set
+                    // (or its head — the render retry handles a dead one).
+                    let set_snapshot = set.clone();
                     if let Some(mine) = state.replicas.get_mut(new_rid) {
                         mine.placed = mine.placed.saturating_sub(bytes);
                     }
-                    if winner != new_rid {
-                        cleanup = Some(replica);
+                    if !set_snapshot.contains(&new_rid) {
+                        cleanup.push(replica);
                     }
-                    Ok((winner, winner_replica))
+                    match set_snapshot.first() {
+                        Some(&head) => {
+                            let winner = set_snapshot
+                                .iter()
+                                .copied()
+                                .find(|&r| {
+                                    state
+                                        .replicas
+                                        .get(r)
+                                        .is_some_and(|s| s.health == Health::Up)
+                                })
+                                .unwrap_or(head);
+                            let winner_replica = Arc::clone(&state.replicas[winner].replica);
+                            let guard = InflightGuard::enter(&state.replicas[winner].inflight);
+                            Ok((winner, winner_replica, guard))
+                        }
+                        None => Err(ClusterError::UnknownScene(id.clone())),
+                    }
                 }
                 None => {
                     // Unloaded or re-shaped while we were loading.
                     if let Some(mine) = state.replicas.get_mut(new_rid) {
                         mine.placed = mine.placed.saturating_sub(bytes);
                     }
-                    cleanup = Some(replica);
+                    cleanup.push(replica);
                     Err(ClusterError::UnknownScene(id.clone()))
                 }
             }
         };
-        if let Some(replica) = cleanup {
+        for replica in cleanup {
             let _ = replica.unload_scene(&on_replica_id);
+        }
+        // A committed move changed where the scene's frames come from;
+        // drop anything cached under the old placement (frames are
+        // byte-identical by construction, but the epoch bump also fences
+        // in-flight renders of the pre-move copy).
+        if result.is_ok() {
+            self.invalidate_cached_scene(id);
         }
         result
     }
@@ -1353,7 +1750,7 @@ impl Coordinator {
         let mut attempts = 0usize;
         loop {
             attempts += 1;
-            let (rid, replica) = self.route_shard(id, k)?;
+            let (rid, replica, _inflight) = self.route_shard(id, k)?;
             // One hop span per attempt (see render_single), named after
             // the composite mode and the shard's on-replica scene id.
             let hop = trace.map(|ctx| ctx.child(format!("{mode}:{id}@{k}")));
@@ -1383,7 +1780,7 @@ impl Coordinator {
                             attempts,
                         });
                     }
-                    match self.repair_placement(id, Some(k)) {
+                    match self.repair_placement(id, Some(k), rid) {
                         Repair::Repaired => {}
                         Repair::Gone => return Err(ClusterError::UnknownScene(id.clone())),
                         Repair::Failed => self.mark_down(rid),
@@ -1552,10 +1949,438 @@ impl Coordinator {
             shard_relays: self.counters.shard_relays.load(Ordering::Relaxed),
             shard_fanouts: self.counters.shard_fanouts.load(Ordering::Relaxed),
             shards_culled: self.counters.shards_culled.load(Ordering::Relaxed),
+            replications: self.counters.replications.load(Ordering::Relaxed),
+            dereplications: self.counters.dereplications.load(Ordering::Relaxed),
+            rebalances: self.counters.rebalances.load(Ordering::Relaxed),
+            shed: self.counters.shed.load(Ordering::Relaxed),
+            brownouts: self.counters.brownouts.load(Ordering::Relaxed),
             latency: own.latency,
             merged_replica_latency: merged,
             replicas,
             hot_scenes: self.obs.heat_scenes().snapshot().0,
+        }
+    }
+
+    /// One pass of the heat-driven replication engine (the
+    /// [`crate::replication::ReplicationManager`] calls this periodically;
+    /// tests drive it directly):
+    ///
+    /// 1. re-evaluates the SLO-burn overload signal,
+    /// 2. prunes dead copies (replica down, a live copy remains),
+    /// 3. replicates placements of scenes at or above
+    ///    [`ReplicationConfig::replicate_rate_per_s`] onto one more
+    ///    replica each (up to [`ReplicationConfig::max_copies`]), loading
+    ///    the copy from the host-side hold,
+    /// 4. de-replicates scenes that stayed below
+    ///    [`ReplicationConfig::dereplicate_rate_per_s`] for
+    ///    [`ReplicationConfig::cool_ticks`] consecutive ticks (newest copy
+    ///    retired first; budget returns to the pool),
+    /// 5. rebalances at most one single-copy scene onto a cold
+    ///    (drained-then-rejoined) replica, coolest scene first,
+    /// 6. refreshes the `gs_replication_copies{scene}` gauges.
+    ///
+    /// Every placement mutation invalidates the coordinator frame cache
+    /// for the touched scene, so load-balanced reads never serve a frame
+    /// cached under a stale placement.
+    pub fn replication_tick(&self) -> ReplicationReport {
+        let mut report = ReplicationReport {
+            overloaded: self.overload_tick(),
+            ..ReplicationReport::default()
+        };
+        let (rows, _) = self.obs.heat_scenes().snapshot();
+        report.pruned = self.prune_dead_copies();
+        let (adds, retires) = self.plan_replication(&rows);
+        for add in adds {
+            if self.execute_add(add) {
+                report.replicated += 1;
+            }
+        }
+        for retire in retires {
+            if self.execute_retire(retire) {
+                report.dereplicated += 1;
+            }
+        }
+        if self.config.replication.rebalance {
+            report.rebalanced = self.rebalance_once(&rows);
+        }
+        self.refresh_copy_gauges();
+        report
+    }
+
+    /// Drops copies held on down replicas (their data is unreachable and
+    /// may be gone on restart) as long as at least one live copy remains,
+    /// releasing the dead replica's budget accounting. Returns how many
+    /// copies were dropped.
+    fn prune_dead_copies(&self) -> usize {
+        let mut pruned = 0usize;
+        let mut touched: Vec<SceneId> = Vec::new();
+        {
+            let mut state = self.state.lock().unwrap();
+            let State {
+                replicas, scenes, ..
+            } = &mut *state;
+            for (id, hold) in scenes.iter_mut() {
+                let placements: Vec<(&mut Vec<ReplicaId>, u64)> = match &mut hold.hold {
+                    Hold::Single {
+                        replicas: set,
+                        bytes,
+                        ..
+                    } => vec![(set, *bytes)],
+                    Hold::Sharded { shards } => shards
+                        .iter_mut()
+                        .map(|s| (&mut s.replicas, s.bytes))
+                        .collect(),
+                };
+                let mut scene_pruned = false;
+                for (set, bytes) in placements {
+                    if set.len() <= 1 {
+                        continue;
+                    }
+                    let any_live = set
+                        .iter()
+                        .any(|&r| replicas.get(r).is_some_and(|s| s.health != Health::Down));
+                    if !any_live {
+                        // Every copy is dead; leave the set for the
+                        // on-demand re-placement in routing.
+                        continue;
+                    }
+                    let before = set.len();
+                    set.retain(|&r| {
+                        let dead = replicas.get(r).is_none_or(|s| s.health == Health::Down);
+                        if dead {
+                            if let Some(slot) = replicas.get_mut(r) {
+                                slot.placed = slot.placed.saturating_sub(bytes);
+                            }
+                        }
+                        !dead
+                    });
+                    if set.len() < before {
+                        pruned += before - set.len();
+                        scene_pruned = true;
+                    }
+                }
+                if scene_pruned {
+                    touched.push(id.clone());
+                }
+            }
+        }
+        for id in touched {
+            self.counters.dereplications.fetch_add(1, Ordering::Relaxed);
+            self.invalidate_cached_scene(&id);
+            self.obs.recorder().record(
+                Event::new(
+                    EventLevel::Info,
+                    "coordinator",
+                    "dead replication copy pruned; surviving copies serve",
+                )
+                .scene(id),
+            );
+        }
+        pruned
+    }
+
+    /// Plans this tick's copy additions and retirements from the heat
+    /// snapshot (one lock pass, no replica I/O).
+    fn plan_replication(&self, rows: &[HeatRow]) -> (Vec<AddCopy>, Vec<RetireCopy>) {
+        let cfg = &self.config.replication;
+        let rate_of = |key: &str| {
+            rows.iter()
+                .find(|r| r.key == key)
+                .map_or(0.0, |r| r.rate_per_s)
+        };
+        let mut adds = Vec::new();
+        let mut retires = Vec::new();
+        let mut cool = self.cool.lock().unwrap();
+        let state = self.state.lock().unwrap();
+        for (id, hold) in &state.scenes {
+            let rate = rate_of(id);
+            let placements: Vec<PlacementSite<'_>> = match &hold.hold {
+                Hold::Single {
+                    replicas,
+                    params,
+                    bytes,
+                } => vec![(None, id.clone(), replicas, params, *bytes)],
+                Hold::Sharded { shards } => shards
+                    .iter()
+                    .enumerate()
+                    .map(|(k, s)| {
+                        (
+                            Some(k),
+                            shard_scene_id(id, k),
+                            &s.replicas,
+                            &s.params,
+                            s.bytes,
+                        )
+                    })
+                    .collect(),
+            };
+            let has_extra = placements.iter().any(|(_, _, set, _, _)| set.len() > 1);
+            if cfg.max_copies > 1 && rate >= cfg.replicate_rate_per_s {
+                cool.remove(id);
+                for (shard, site, set, params, bytes) in placements {
+                    if set.len() < cfg.max_copies {
+                        adds.push(AddCopy {
+                            scene: id.clone(),
+                            shard,
+                            site,
+                            params: Arc::clone(params),
+                            background: hold.background,
+                            bytes,
+                            exclude: set.clone(),
+                        });
+                    }
+                }
+            } else if has_extra && rate < cfg.dereplicate_rate_per_s {
+                let ticks = cool.entry(id.clone()).or_insert(0);
+                *ticks += 1;
+                if *ticks >= cfg.cool_ticks.max(1) {
+                    cool.remove(id);
+                    for (shard, site, set, _, bytes) in placements {
+                        if set.len() > 1 {
+                            retires.push(RetireCopy {
+                                scene: id.clone(),
+                                shard,
+                                site,
+                                // The newest copy retires; the primary
+                                // (set head) stays.
+                                rid: *set.last().expect("non-empty set"),
+                                bytes,
+                            });
+                        }
+                    }
+                }
+            } else {
+                cool.remove(id);
+            }
+        }
+        cool.retain(|k, _| state.scenes.contains_key(k));
+        (adds, retires)
+    }
+
+    /// Loads one planned replication copy onto a fresh replica and commits
+    /// it into the placement's replica set (unless the set changed since
+    /// planning, in which case the copy is rolled back).
+    fn execute_add(&self, add: AddCopy) -> bool {
+        let Ok(new_rid) = self.place(
+            &add.site,
+            &add.params,
+            add.background,
+            add.bytes,
+            &add.exclude,
+        ) else {
+            return false;
+        };
+        let mut rollback: Option<Arc<Replica>> = None;
+        let committed = {
+            let mut state = self.state.lock().unwrap();
+            let replica = Arc::clone(&state.replicas[new_rid].replica);
+            let set = state.scenes.get_mut(&add.scene).and_then(|hold| {
+                match (&mut hold.hold, add.shard) {
+                    (Hold::Single { replicas, .. }, None) => Some(replicas),
+                    (Hold::Sharded { shards }, Some(k)) => {
+                        shards.get_mut(k).map(|s| &mut s.replicas)
+                    }
+                    _ => None,
+                }
+            });
+            match set {
+                Some(set) if *set == add.exclude && !set.contains(&new_rid) => {
+                    set.push(new_rid);
+                    true
+                }
+                _ => {
+                    if let Some(slot) = state.replicas.get_mut(new_rid) {
+                        slot.placed = slot.placed.saturating_sub(add.bytes);
+                    }
+                    rollback = Some(replica);
+                    false
+                }
+            }
+        };
+        if let Some(replica) = rollback {
+            let _ = replica.unload_scene(&add.site);
+            return false;
+        }
+        if committed {
+            self.counters.replications.fetch_add(1, Ordering::Relaxed);
+            self.invalidate_cached_scene(&add.scene);
+            self.obs.recorder().record(
+                Event::new(
+                    EventLevel::Info,
+                    "coordinator",
+                    "hot scene replicated onto an extra replica",
+                )
+                .scene(add.scene)
+                .field("copies", (add.exclude.len() + 1).to_string()),
+            );
+        }
+        committed
+    }
+
+    /// Retires one planned copy: removes it from the set, releases its
+    /// budget and unloads it from its (live) replica.
+    fn execute_retire(&self, retire: RetireCopy) -> bool {
+        let mut unload: Option<Arc<Replica>> = None;
+        let committed = {
+            let mut state = self.state.lock().unwrap();
+            let State {
+                replicas, scenes, ..
+            } = &mut *state;
+            let set = scenes.get_mut(&retire.scene).and_then(|hold| {
+                match (&mut hold.hold, retire.shard) {
+                    (Hold::Single { replicas, .. }, None) => Some(replicas),
+                    (Hold::Sharded { shards }, Some(k)) => {
+                        shards.get_mut(k).map(|s| &mut s.replicas)
+                    }
+                    _ => None,
+                }
+            });
+            match set {
+                Some(set) if set.len() > 1 => match set.iter().position(|&r| r == retire.rid) {
+                    Some(pos) => {
+                        set.remove(pos);
+                        if let Some(slot) = replicas.get_mut(retire.rid) {
+                            slot.placed = slot.placed.saturating_sub(retire.bytes);
+                            if slot.health != Health::Down {
+                                unload = Some(Arc::clone(&slot.replica));
+                            }
+                        }
+                        true
+                    }
+                    None => false,
+                },
+                _ => false,
+            }
+        };
+        if let Some(replica) = unload {
+            let _ = replica.unload_scene(&retire.site);
+        }
+        if committed {
+            self.counters.dereplications.fetch_add(1, Ordering::Relaxed);
+            self.invalidate_cached_scene(&retire.scene);
+            self.obs.recorder().record(
+                Event::new(
+                    EventLevel::Info,
+                    "coordinator",
+                    "cooled scene de-replicated; budget returned to the pool",
+                )
+                .scene(retire.scene),
+            );
+        }
+        committed
+    }
+
+    /// Moves at most one single-copy scene from the most-loaded up replica
+    /// onto the least-loaded one (a drained-then-rejoined replica sits at
+    /// zero placed bytes) when the move strictly narrows the imbalance.
+    /// The coolest eligible scene moves first, so hot placements stay put.
+    fn rebalance_once(&self, rows: &[HeatRow]) -> usize {
+        let rate_of = |key: &str| {
+            rows.iter()
+                .find(|r| r.key == key)
+                .map_or(0.0, |r| r.rate_per_s)
+        };
+        let plan = {
+            let state = self.state.lock().unwrap();
+            let up: Vec<(ReplicaId, u64)> = state
+                .replicas
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.health == Health::Up)
+                .map(|(i, s)| (i, s.placed))
+                .collect();
+            if up.len() < 2 {
+                return 0;
+            }
+            let &(cold, cold_placed) = up.iter().min_by_key(|&&(id, placed)| (placed, id)).unwrap();
+            let &(busy, busy_placed) = up.iter().max_by_key(|&&(id, placed)| (placed, id)).unwrap();
+            if cold == busy || busy_placed == cold_placed {
+                return 0;
+            }
+            let free_on_cold = state.replicas[cold].budget.saturating_sub(cold_placed);
+            let mut candidates: Vec<RebalanceCandidate> = state
+                .scenes
+                .iter()
+                .filter_map(|(id, hold)| match &hold.hold {
+                    Hold::Single {
+                        replicas,
+                        params,
+                        bytes,
+                    } if *replicas == [busy] => Some((
+                        id.clone(),
+                        Arc::clone(params),
+                        hold.background,
+                        *bytes,
+                        rate_of(id),
+                    )),
+                    _ => None,
+                })
+                .collect();
+            candidates.sort_by(|a, b| a.4.total_cmp(&b.4).then_with(|| a.0.cmp(&b.0)));
+            candidates
+                .into_iter()
+                .find(|(_, _, _, bytes, _)| {
+                    *bytes <= free_on_cold && cold_placed + *bytes < busy_placed
+                })
+                .map(|(id, params, background, bytes, _)| {
+                    (id, params, background, bytes, cold, busy)
+                })
+        };
+        let Some((id, params, background, bytes, cold, busy)) = plan else {
+            return 0;
+        };
+        let Some(replica) = self.reserve_on(cold, bytes) else {
+            return 0;
+        };
+        if replica.load_scene(&id, &params, background).is_err() {
+            self.release(cold, bytes);
+            let _ = replica.unload_scene(&id);
+            return 0;
+        }
+        match self.commit_move(
+            &id,
+            None,
+            &[busy],
+            cold,
+            bytes,
+            "placement rebalanced onto a cold replica",
+        ) {
+            Ok(_) => {
+                self.counters.rebalances.fetch_add(1, Ordering::Relaxed);
+                1
+            }
+            Err(_) => 0,
+        }
+    }
+
+    /// Updates the `gs_replication_copies{scene}` gauge for every loaded
+    /// scene (max copies across its shards).
+    fn refresh_copy_gauges(&self) {
+        let copies: Vec<(SceneId, usize)> = {
+            let state = self.state.lock().unwrap();
+            state
+                .scenes
+                .iter()
+                .map(|(id, hold)| {
+                    let copies = match &hold.hold {
+                        Hold::Single { replicas, .. } => replicas.len(),
+                        Hold::Sharded { shards } => {
+                            shards.iter().map(|s| s.replicas.len()).max().unwrap_or(0)
+                        }
+                    };
+                    (id.clone(), copies)
+                })
+                .collect()
+        };
+        let registry = self.obs.registry();
+        for (id, count) in copies {
+            registry
+                .gauge(
+                    "gs_replication_copies",
+                    &[("scene", id.as_str())],
+                    "Replicas currently holding a copy of the scene (max over its shards).",
+                )
+                .set(count as f64);
         }
     }
 }

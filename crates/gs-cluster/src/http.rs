@@ -37,7 +37,7 @@
 use std::io;
 use std::sync::Arc;
 
-use gs_obs::{render_dashboard, DashboardData, ReplicaRow, TraceContext};
+use gs_obs::{render_dashboard, DashboardData, ReplicaRow, ReplicationRow, TraceContext};
 use gs_serve::http::{
     query_param, route_trace, split_path_query, status_for_error, Conn, HttpHandler, HttpRequest,
     HttpResponse, HttpServer, RouteTrace,
@@ -62,11 +62,14 @@ struct ClusterHandler {
 /// The status code a [`ClusterError`] maps onto. Replica-side failures the
 /// coordinator could not route around surface as `502 Bad Gateway` — the
 /// client's request was fine; the tier behind the coordinator was not.
+/// Shed requests get `503 Service Unavailable`: retry once the overload
+/// passes.
 fn status_for_cluster_error(err: &ClusterError) -> u16 {
     match err {
         ClusterError::UnknownScene(_) => 404,
         ClusterError::SceneExists(_) => 409,
         ClusterError::NoCapacity { .. } => 413,
+        ClusterError::Overloaded { .. } => 503,
         ClusterError::Serve(e) => status_for_error(e),
         ClusterError::Exhausted { .. } => 502,
     }
@@ -112,7 +115,7 @@ impl HttpHandler for ClusterHandler {
                     body.push_str(&format!(
                         "{} shards={} replicas=[{}] gaussians={} bytes={}\n",
                         placement.id,
-                        placement.replicas.len(),
+                        placement.shards,
                         replicas.join(" "),
                         placement.gaussians,
                         placement.bytes,
@@ -169,6 +172,27 @@ impl ClusterHandler {
                 ),
             })
             .collect();
+        // The replication panel: scenes currently served from more than
+        // one replica (shards= stays the partition count, so copies are
+        // replicas-per-shard).
+        let replication = self
+            .coordinator
+            .scenes()
+            .into_iter()
+            .filter(|p| p.replicas.len() > p.shards)
+            .map(|p| {
+                let replicas: Vec<String> = p.replicas.iter().map(|r| r.to_string()).collect();
+                ReplicationRow {
+                    copies: p.replicas.len() / p.shards.max(1),
+                    detail: format!(
+                        "replicas [{}], {} MiB per copy",
+                        replicas.join(" "),
+                        p.bytes >> 20
+                    ),
+                    scene: p.id,
+                }
+            })
+            .collect();
         let data = DashboardData {
             title: "gs-cluster".to_string(),
             node: obs.node().to_string(),
@@ -178,6 +202,7 @@ impl ClusterHandler {
             heat: obs.heat_scenes().snapshot().0,
             clients: obs.heat_clients().snapshot().0,
             replicas,
+            replication,
             incidents: obs.recorder().incidents(),
             stats_text: stats.to_string(),
         };

@@ -26,6 +26,15 @@
 //! * [`prober`] — a background [`HealthProber`] thread running
 //!   [`Coordinator::probe_all`] on an interval, so downed replicas rejoin
 //!   (and silently-dead ones leave) the rotation without an operator call.
+//! * [`replication`] — heat-driven hot-scene replication: a
+//!   [`ReplicationManager`] thread runs
+//!   [`Coordinator::replication_tick`] on an interval, replicating hot
+//!   scenes onto extra replicas from the host-side holds, balancing reads
+//!   across the copies (power-of-two-choices over in-flight counts),
+//!   de-replicating as scenes cool, and rebalancing onto
+//!   drained-then-rejoined replicas. Paired with priority-aware load
+//!   shedding and reduced-SH brown-out at the coordinator so the extra
+//!   throughput stays usable under overload.
 //! * [`stats`] — cluster-wide aggregation: per-replica
 //!   [`StatsReport`](gs_serve::StatsReport)s fanned in, latency reservoirs
 //!   **merged by weighted samples** (not quantile averaging), plus the
@@ -81,14 +90,18 @@ pub mod http;
 pub mod placement;
 pub mod prober;
 pub mod replica;
+pub mod replication;
 pub mod stats;
 
 pub use coordinator::{
     outcome_for_cluster_error, ClusterConfig, ClusterError, ClusterFrame, CompositeMode,
-    Coordinator, LoadClaim, ReplicaStatus,
+    Coordinator, LoadClaim, ReplicaStatus, ReplicationReport,
 };
 pub use http::bind as bind_http;
-pub use placement::{pick_replica, PlacementCandidate, ScenePlacement};
+pub use placement::{
+    pick_read_copy, pick_replica, PlacementCandidate, ReadCandidate, ScenePlacement,
+};
 pub use prober::HealthProber;
 pub use replica::{Health, Replica, ReplicaError, ReplicaId, ReplicaTransport};
+pub use replication::{ReplicationConfig, ReplicationManager};
 pub use stats::{merge_latency, ClusterStats, ReplicaReport};

@@ -1,16 +1,21 @@
 //! Scene and shard placement against per-replica memory budgets.
 //!
 //! The coordinator owns placement: every scene (or every shard of a sharded
-//! scene) is assigned to exactly one replica, chosen against the replica's
-//! **reported** memory budget minus what the coordinator has already placed
-//! there. The chooser is most-free-budget-first, which balances bytes
-//! across the fleet and naturally spills the shards of one large scene over
-//! several replicas — the layout cross-node sharded rendering serves from.
+//! scene) is assigned to a **replica set** — one primary copy, plus extra
+//! read copies the [`crate::replication`] layer adds while the scene is
+//! hot. The placement chooser is most-free-budget-first, which balances
+//! bytes across the fleet and naturally spills the shards of one large
+//! scene over several replicas — the layout cross-node sharded rendering
+//! serves from. Reads over a multi-copy set are load-balanced with
+//! power-of-two-choices over per-replica in-flight counts
+//! ([`pick_read_copy`]).
 //!
 //! The coordinator also keeps each scene's parameters host-side (the
 //! serving analogue of GS-Scale's host-offloaded training state): when a
 //! replica dies, its placements are re-loaded onto survivors from this
-//! hold, which is what makes failover lossless.
+//! hold, which is what makes failover lossless — and what makes hot-scene
+//! replication cheap, since a new copy is loaded from the hold rather than
+//! fetched from a peer.
 
 use std::sync::Arc;
 
@@ -41,46 +46,87 @@ impl PlacementCandidate {
 
 /// Chooses the replica for a `bytes`-sized placement: the [`Health::Up`]
 /// candidate with the most free budget that can still hold it, excluding
-/// `exclude` (the replica a failover is moving away from). Returns `None`
-/// when nothing fits.
+/// `exclude` (the replicas a failover is moving away from, or the copies a
+/// replication already occupies). Returns `None` when nothing fits.
 pub fn pick_replica(
     candidates: &[PlacementCandidate],
     bytes: u64,
-    exclude: Option<ReplicaId>,
+    exclude: &[ReplicaId],
 ) -> Option<ReplicaId> {
     candidates
         .iter()
-        .filter(|c| c.health == Health::Up && Some(c.id) != exclude && c.free() >= bytes)
+        .filter(|c| c.health == Health::Up && !exclude.contains(&c.id) && c.free() >= bytes)
         .max_by_key(|c| (c.free(), std::cmp::Reverse(c.id)))
         .map(|c| c.id)
+}
+
+/// One serving copy as the read load-balancer sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadCandidate {
+    /// Which replica holds the copy.
+    pub id: ReplicaId,
+    /// Renders currently in flight on the replica.
+    pub inflight: u64,
+    /// Bytes the coordinator has placed on the replica.
+    pub placed: u64,
+}
+
+/// Picks the copy a read should hit: power-of-two-choices over per-replica
+/// in-flight counts, falling back to least-placed-bytes (then lower id)
+/// when the probed pair ties. `salt` supplies the two probe indices — the
+/// caller advances a cheap counter per routed request so probes rotate
+/// deterministically. Returns `None` on an empty candidate list.
+pub fn pick_read_copy(copies: &[ReadCandidate], salt: u64) -> Option<ReplicaId> {
+    match copies {
+        [] => None,
+        [only] => Some(only.id),
+        _ => {
+            // SplitMix-style scramble so consecutive salts probe different
+            // pairs; no RNG state, fully deterministic.
+            let mut z = salt.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            let i = (z as usize) % copies.len();
+            let mut j = ((z >> 32) as usize) % copies.len();
+            if i == j {
+                j = (j + 1) % copies.len();
+            }
+            let (a, b) = (&copies[i], &copies[j]);
+            let key = |c: &ReadCandidate| (c.inflight, c.placed, c.id);
+            Some(if key(a) <= key(b) { a.id } else { b.id })
+        }
+    }
 }
 
 /// Where one shard of a sharded scene lives, plus everything the
 /// coordinator needs to route, cull and re-place it.
 #[derive(Debug, Clone)]
 pub struct ShardHold {
-    /// The replica currently serving this shard.
-    pub replica: ReplicaId,
+    /// The replicas currently serving this shard; the first entry is the
+    /// primary, the rest are replication copies.
+    pub replicas: Vec<ReplicaId>,
     /// The shard's gathered parameters, kept host-side for re-placement.
     pub params: Arc<GaussianParams>,
     /// Center bounding box (depth ordering + view culling).
     pub aabb: Aabb,
     /// Largest per-Gaussian scale (view-culling inflation radius).
     pub max_scale: f32,
-    /// Bytes the shard occupies on its replica.
+    /// Bytes the shard occupies on **each** replica that holds a copy.
     pub bytes: u64,
 }
 
 /// How a scene is held by the coordinator.
 #[derive(Debug, Clone)]
 pub enum Hold {
-    /// The whole scene on one replica.
+    /// The whole scene, on one or more replicas.
     Single {
-        /// The replica serving the scene.
-        replica: ReplicaId,
+        /// The replicas serving the scene; the first entry is the primary,
+        /// the rest are replication copies.
+        replicas: Vec<ReplicaId>,
         /// Host-side parameter hold for re-placement.
         params: Arc<GaussianParams>,
-        /// Scene size in bytes.
+        /// Scene size in bytes, charged once per copy.
         bytes: u64,
     },
     /// The scene's shards spread over (possibly many) replicas.
@@ -100,7 +146,8 @@ pub struct SceneHold {
 }
 
 impl SceneHold {
-    /// Total bytes across the scene's placements.
+    /// Bytes of one copy of the scene (summed over shards); replication
+    /// copies charge this much again on their own replicas.
     pub fn bytes(&self) -> u64 {
         match &self.hold {
             Hold::Single { bytes, .. } => *bytes,
@@ -115,11 +162,14 @@ impl SceneHold {
 pub struct ScenePlacement {
     /// Scene id.
     pub id: SceneId,
-    /// Replica index per shard (one entry for a single scene).
+    /// How many shards the scene is split into (`1` for a single scene).
+    pub shards: usize,
+    /// Every replica holding a copy, shard by shard (one entry per copy;
+    /// an unreplicated scene lists exactly `shards` entries).
     pub replicas: Vec<ReplicaId>,
     /// Total Gaussians.
     pub gaussians: usize,
-    /// Total bytes.
+    /// Bytes of one copy of the scene.
     pub bytes: u64,
 }
 
@@ -143,15 +193,17 @@ mod tests {
             candidate(1, Health::Up, 100, 20),
             candidate(2, Health::Up, 50, 0),
         ];
-        assert_eq!(pick_replica(&candidates, 10, None), Some(1));
+        assert_eq!(pick_replica(&candidates, 10, &[]), Some(1));
         // Excluding the winner falls back to the next-freest.
-        assert_eq!(pick_replica(&candidates, 10, Some(1)), Some(2));
+        assert_eq!(pick_replica(&candidates, 10, &[1]), Some(2));
+        // Excluding every candidate leaves nothing.
+        assert_eq!(pick_replica(&candidates, 10, &[0, 1, 2]), None);
         // Ties break toward the lower id (deterministic placement).
         let tied = [
             candidate(0, Health::Up, 100, 50),
             candidate(1, Health::Up, 100, 50),
         ];
-        assert_eq!(pick_replica(&tied, 10, None), Some(0));
+        assert_eq!(pick_replica(&tied, 10, &[]), Some(0));
     }
 
     #[test]
@@ -161,8 +213,47 @@ mod tests {
             candidate(1, Health::Draining, 1000, 0),
             candidate(2, Health::Up, 100, 95),
         ];
-        assert_eq!(pick_replica(&candidates, 10, None), None);
-        assert_eq!(pick_replica(&candidates, 5, None), Some(2));
-        assert_eq!(pick_replica(&[], 1, None), None);
+        assert_eq!(pick_replica(&candidates, 10, &[]), None);
+        assert_eq!(pick_replica(&candidates, 5, &[]), Some(2));
+        assert_eq!(pick_replica(&[], 1, &[]), None);
+    }
+
+    fn copy(id: ReplicaId, inflight: u64, placed: u64) -> ReadCandidate {
+        ReadCandidate {
+            id,
+            inflight,
+            placed,
+        }
+    }
+
+    #[test]
+    fn read_picks_follow_inflight_then_placed_bytes() {
+        assert_eq!(pick_read_copy(&[], 0), None);
+        assert_eq!(pick_read_copy(&[copy(3, 9, 9)], 0), Some(3));
+        // Two copies: every salt probes both, so the lower in-flight count
+        // always wins regardless of salt.
+        let copies = [copy(0, 5, 0), copy(1, 1, 1 << 30)];
+        for salt in 0..32 {
+            assert_eq!(pick_read_copy(&copies, salt), Some(1));
+        }
+        // In-flight tie falls back to least placed bytes, then lower id.
+        let tied = [copy(0, 2, 500), copy(1, 2, 100)];
+        for salt in 0..32 {
+            assert_eq!(pick_read_copy(&tied, salt), Some(1));
+        }
+        let fully_tied = [copy(0, 2, 100), copy(1, 2, 100)];
+        for salt in 0..32 {
+            assert_eq!(pick_read_copy(&fully_tied, salt), Some(0));
+        }
+    }
+
+    #[test]
+    fn read_probes_rotate_across_a_larger_set() {
+        // With >2 idle copies the probed pair depends on the salt, so over
+        // many salts more than one replica must be picked.
+        let copies = [copy(0, 0, 0), copy(1, 0, 0), copy(2, 0, 0), copy(3, 0, 0)];
+        let picked: std::collections::BTreeSet<_> =
+            (0..64).filter_map(|s| pick_read_copy(&copies, s)).collect();
+        assert!(picked.len() > 1, "probes never rotated: {picked:?}");
     }
 }

@@ -45,6 +45,19 @@ pub struct ClusterStats {
     pub failovers: u64,
     /// Scene/shard placements moved off a dead or draining replica.
     pub replacements: u64,
+    /// Hot scenes replicated onto an extra replica by the heat-driven
+    /// replication planner.
+    pub replications: u64,
+    /// Replication copies retired (cooled scenes and pruned dead copies).
+    pub dereplications: u64,
+    /// Single-copy placements moved onto a cold (drained-then-rejoined)
+    /// replica by the rebalancer.
+    pub rebalances: u64,
+    /// Requests shed by priority-aware overload protection.
+    pub shed: u64,
+    /// Frames served at a reduced SH degree under sustained SLO burn
+    /// (graceful brown-out).
+    pub brownouts: u64,
     /// Shard layers relayed sequentially (bit-exact composite mode).
     pub shard_relays: u64,
     /// Shard layers rendered by parallel fan-out (`composite_onto` mode).
@@ -99,6 +112,12 @@ impl std::fmt::Display for ClusterStats {
             f,
             "  sharding:   {} relayed layers, {} fanned-out layers, {} culled",
             self.shard_relays, self.shard_fanouts, self.shards_culled
+        )?;
+        writeln!(
+            f,
+            "  replication: {} replicated, {} de-replicated, {} rebalanced; overload: {} shed, \
+             {} browned-out",
+            self.replications, self.dereplications, self.rebalances, self.shed, self.brownouts
         )?;
         writeln!(
             f,

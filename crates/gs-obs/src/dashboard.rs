@@ -22,6 +22,18 @@ pub struct ReplicaRow {
     pub detail: String,
 }
 
+/// One replicated scene's row on the cluster dashboard (scenes served
+/// from more than one replica by heat-driven replication).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReplicationRow {
+    /// Scene id.
+    pub scene: String,
+    /// Replicas currently holding a copy.
+    pub copies: usize,
+    /// Free-form detail (which replicas, bytes per copy).
+    pub detail: String,
+}
+
 /// Everything one dashboard render needs, pre-snapshotted.
 #[derive(Debug, Clone, Default)]
 pub struct DashboardData {
@@ -41,6 +53,9 @@ pub struct DashboardData {
     pub clients: Vec<HeatRow>,
     /// Per-replica health (empty on the single-node tier).
     pub replicas: Vec<ReplicaRow>,
+    /// Scenes currently replicated onto extra replicas (cluster front-end
+    /// only; empty when nothing is hot).
+    pub replication: Vec<ReplicationRow>,
     /// Recent incidents, oldest first.
     pub incidents: Vec<Incident>,
     /// The tier's plain-text stats block, shown verbatim.
@@ -180,6 +195,25 @@ pub fn render_dashboard(data: &DashboardData) -> String {
         out.push_str("</table></section>");
     }
 
+    if !data.replicas.is_empty() {
+        out.push_str("<section><h2>Replication</h2>");
+        if data.replication.is_empty() {
+            out.push_str("<p class=\"dim\">no scenes replicated</p>");
+        } else {
+            out.push_str("<table><tr><th>scene</th><th>copies</th><th>detail</th></tr>");
+            for r in &data.replication {
+                out.push_str(&format!(
+                    "<tr><td>{}</td><td>{}</td><td>{}</td></tr>",
+                    esc(&r.scene),
+                    r.copies,
+                    esc(&r.detail),
+                ));
+            }
+            out.push_str("</table>");
+        }
+        out.push_str("</section>");
+    }
+
     heat_table(&mut out, "Scene heat (top-K, windowed)", &data.heat);
     heat_table(&mut out, "Client heat (top-K, windowed)", &data.clients);
 
@@ -254,6 +288,11 @@ mod tests {
                 health: "down".to_string(),
                 detail: "probe failed".to_string(),
             }],
+            replication: vec![ReplicationRow {
+                scene: "city&plaza".to_string(),
+                copies: 2,
+                detail: "replicas [0 1]".to_string(),
+            }],
             incidents: vec![Incident {
                 id: 1,
                 opened_us: 5,
@@ -276,6 +315,8 @@ mod tests {
         assert!(html.contains("BREACHED"));
         assert!(html.contains("city&amp;plaza"));
         assert!(html.contains(">down<"));
+        assert!(html.contains("<h2>Replication</h2>"));
+        assert!(html.contains("replicas [0 1]"));
         assert!(html.contains(">OPEN<"));
         assert!(html.contains("requests: 42"));
         // No external assets: no src=, href=, or script tags.

@@ -54,7 +54,7 @@ pub mod slo;
 pub mod span;
 
 pub use clock::SpanClock;
-pub use dashboard::{render_dashboard, DashboardData, ReplicaRow};
+pub use dashboard::{render_dashboard, DashboardData, ReplicaRow, ReplicationRow};
 pub use events::{
     events_json, incidents_json, Event, EventLevel, FlightRecorder, Incident, Watcher,
 };

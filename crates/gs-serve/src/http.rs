@@ -799,6 +799,7 @@ fn dashboard_route(server: &RenderServer, conn: &mut Conn<'_>) -> HttpResponse {
         heat: obs.heat_scenes().snapshot().0,
         clients: obs.heat_clients().snapshot().0,
         replicas: Vec::new(),
+        replication: Vec::new(),
         incidents: obs.recorder().incidents(),
         stats_text: format!("{stats}"),
     };

@@ -107,4 +107,4 @@ pub use shard::{
     depth_order, partition_ids, shard_scene, shard_visible, visible_shards, Aabb, ShardSource,
 };
 pub use stats::{ConnectionStats, LatencySummary, ServeStats, StatsCollector};
-pub use wire::{SceneSpec, StatsReport, WireError, WireFormat, WireRequest};
+pub use wire::{Priority, SceneSpec, StatsReport, WireError, WireFormat, WireRequest};

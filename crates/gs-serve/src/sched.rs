@@ -24,7 +24,10 @@
 //!   batches under light load (see the struct docs), all under a hard
 //!   fairness cap: a head job older than `age_cap` (or whose deadline is
 //!   within `age_cap`) is never passed over and never held, so no request
-//!   waits more than one cap past its turn. Per-request output is
+//!   waits more than one cap past its turn — plus per-client weighted
+//!   fairness (scenes whose waiting clients were served least recently go
+//!   first), so a heavy client's flood cannot starve a light client's
+//!   occasional requests. Per-request output is
 //!   unaffected — each request still renders its own exact camera through
 //!   the shared batch path, which is proven bit-identical to unbatched
 //!   rendering — only *when* a request is picked changes.
@@ -32,7 +35,7 @@
 //! The policy is selected per server via
 //! [`ServeConfig::scheduler`](crate::server::ServeConfig).
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -48,6 +51,12 @@ pub trait SchedItem {
     fn enqueued_at(&self) -> Instant;
     /// The job's completion deadline, if any.
     fn deadline(&self) -> Option<Instant>;
+    /// The client the job belongs to, for per-client weighted fairness;
+    /// `None` opts the job out (it is treated as never-served, so it is
+    /// always eligible).
+    fn client(&self) -> Option<&str> {
+        None
+    }
 }
 
 /// Which scheduling policy a server runs between its queue and its workers.
@@ -206,9 +215,51 @@ impl<T: SchedItem + Send> Scheduler<T> for FifoScheduler<T> {
     }
 }
 
+/// Ceiling on any single per-client served count before every count is
+/// halved (exponential decay, so old traffic ages out of the debt signal).
+const SERVED_DECAY_AT: u64 = 4096;
+/// Ceiling on how many clients the served table tracks before a decay pass
+/// sheds the long-idle ones.
+const SERVED_CLIENTS_MAX: usize = 512;
+
 struct BatchState<T> {
     items: VecDeque<T>,
     closed: bool,
+    /// Jobs dispatched per client since the last decay — the "debt" side of
+    /// per-client weighted fairness: a scene whose least-served waiting
+    /// client has the lowest debt is picked first, so a heavy client's
+    /// flood cannot starve a light client's occasional requests.
+    served: HashMap<String, u64>,
+}
+
+impl<T> BatchState<T> {
+    /// The fairness debt a queued job carries: how much its client has been
+    /// served recently (`0` for client-less jobs — always eligible).
+    fn debt(&self, item: &T) -> u64
+    where
+        T: SchedItem,
+    {
+        item.client()
+            .and_then(|c| self.served.get(c).copied())
+            .unwrap_or(0)
+    }
+
+    /// Charges one dispatched job to its client, decaying the table when a
+    /// count (or the client population) outgrows its bound.
+    fn charge(&mut self, item: &T)
+    where
+        T: SchedItem,
+    {
+        let Some(client) = item.client() else { return };
+        let count = self.served.entry(client.to_string()).or_insert(0);
+        *count += 1;
+        if *count >= SERVED_DECAY_AT || self.served.len() > SERVED_CLIENTS_MAX {
+            self.served.retain(|_, c| {
+                *c /= 2;
+                *c > 0
+            });
+        }
+    }
 }
 
 /// Cross-scene batch-aware scheduling (see the module docs): the next batch
@@ -250,6 +301,7 @@ impl<T: SchedItem> BatchAwareScheduler<T> {
             state: Mutex::new(BatchState {
                 items: VecDeque::with_capacity(capacity),
                 closed: false,
+                served: HashMap::new(),
             }),
             capacity,
             window,
@@ -311,24 +363,31 @@ impl<T: SchedItem + Send> Scheduler<T> for BatchAwareScheduler<T> {
             if self.head_urgent(&state.items[0], now) {
                 break state.items[0].scene().clone();
             }
-            // The densest scene inside the reorder window (earliest first
-            // occurrence wins ties, so the choice is stable and biased
-            // toward older work).
-            let mut counts: Vec<(usize, usize)> = Vec::new(); // (first index, count)
+            // Scene choice inside the reorder window: least client debt
+            // first (per-client weighted fairness — a scene is as eligible
+            // as its *least-served* waiting client), then densest, then
+            // earliest first occurrence (stable, biased toward older work).
+            // With no client ids every debt is 0 and this reduces to plain
+            // densest-first.
+            let mut counts: Vec<(usize, usize, u64)> = Vec::new(); // (first index, count, debt)
             for i in 0..window {
+                let debt = state.debt(&state.items[i]);
                 let s = state.items[i].scene();
                 match counts
                     .iter_mut()
-                    .find(|&&mut (first, _)| state.items[first].scene() == s)
+                    .find(|&&mut (first, ..)| state.items[first].scene() == s)
                 {
-                    Some((_, c)) => *c += 1,
-                    None => counts.push((i, 1)),
+                    Some((_, c, d)) => {
+                        *c += 1;
+                        *d = (*d).min(debt);
+                    }
+                    None => counts.push((i, 1, debt)),
                 }
             }
-            let (first, count) = counts
+            let (first, count, _) = counts
                 .iter()
                 .copied()
-                .max_by_key(|&(first, count)| (count, usize::MAX - first))
+                .max_by_key(|&(first, count, debt)| (u64::MAX - debt, count, usize::MAX - first))
                 .expect("window is non-empty");
             // Dispatch when the batch is worth it or waiting cannot help:
             // a half-full (or better) batch exists, the queue is at
@@ -374,6 +433,9 @@ impl<T: SchedItem + Send> Scheduler<T> for BatchAwareScheduler<T> {
             }
         }
         state.items = kept;
+        for item in &batch {
+            state.charge(item);
+        }
         drop(state);
         for _ in 0..batch.len() {
             self.not_full.notify_one();
@@ -429,6 +491,7 @@ mod tests {
         seq: usize,
         enqueued: Instant,
         deadline: Option<Instant>,
+        client: Option<String>,
     }
 
     impl TestJob {
@@ -438,11 +501,17 @@ mod tests {
                 seq,
                 enqueued: Instant::now(),
                 deadline: None,
+                client: None,
             }
         }
 
         fn aged(mut self, by: Duration) -> Self {
             self.enqueued = Instant::now().checked_sub(by).unwrap_or(self.enqueued);
+            self
+        }
+
+        fn with_client(mut self, client: &str) -> Self {
+            self.client = Some(client.to_string());
             self
         }
     }
@@ -456,6 +525,9 @@ mod tests {
         }
         fn deadline(&self) -> Option<Instant> {
             self.deadline
+        }
+        fn client(&self) -> Option<&str> {
+            self.client.as_deref()
         }
     }
 
@@ -564,6 +636,61 @@ mod tests {
             }
         }
         assert!(seen.iter().all(|&s| s), "every job must be delivered");
+    }
+
+    #[test]
+    fn a_heavy_client_cannot_starve_a_light_one() {
+        // A heavy client floods two hot scenes; a light client's three jobs
+        // on a cold scene are buried mid-flood. Once the first batch has
+        // charged the heavy client, the cold scene's zero debt must win the
+        // next selection even though the hot scenes stay far denser.
+        let s = BatchAwareScheduler::new(256, 32, Duration::from_secs(10));
+        let mut rng = gs_core::rng::Rng64::seed_from_u64(42);
+        let mut seq = 0usize;
+        let mut push = |s: &BatchAwareScheduler<TestJob>, scene: &str, client: &str| {
+            s.push(TestJob::new(scene, seq).with_client(client))
+                .unwrap();
+            seq += 1;
+        };
+        for _ in 0..20 {
+            let scene = if rng.gen_range(0u32..2) == 0 {
+                "hot-a"
+            } else {
+                "hot-b"
+            };
+            push(&s, scene, "heavy");
+        }
+        for _ in 0..3 {
+            push(&s, "cold", "light");
+        }
+        for _ in 0..40 {
+            let scene = if rng.gen_range(0u32..2) == 0 {
+                "hot-a"
+            } else {
+                "hot-b"
+            };
+            push(&s, scene, "heavy");
+        }
+        s.close();
+        let mut batch_index = 0usize;
+        let mut light_done_at = None;
+        let mut heavy_left = 60usize;
+        while let Some(batch) = s.next_batch(8) {
+            for job in &batch {
+                match job.client.as_deref() {
+                    Some("heavy") => heavy_left -= 1,
+                    Some("light") => light_done_at = Some((batch_index, heavy_left)),
+                    _ => unreachable!(),
+                }
+            }
+            batch_index += 1;
+        }
+        let (at, heavy_still_queued) = light_done_at.expect("light jobs delivered");
+        assert!(
+            at <= 2 && heavy_still_queued >= 20,
+            "light client must be served while the heavy flood is still queued \
+             (last light batch {at}, heavy jobs left {heavy_still_queued})"
+        );
     }
 
     #[test]

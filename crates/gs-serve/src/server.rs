@@ -144,6 +144,10 @@ impl SchedItem for Job {
     fn deadline(&self) -> Option<Instant> {
         self.request.deadline
     }
+
+    fn client(&self) -> Option<&str> {
+        self.request.client.as_deref()
+    }
 }
 
 struct Shared {
@@ -820,6 +824,18 @@ impl RenderServer {
     /// the kernel-phase roofline gauges.
     pub fn obs(&self) -> &ServeObs {
         &self.shared.obs
+    }
+
+    /// The hottest scenes by windowed request rate (see
+    /// [`ServeObs::heat_scenes`]); what heat-driven replication consumes.
+    pub fn heat_scenes(&self) -> Vec<gs_obs::HeatRow> {
+        self.shared.obs.heat_scenes().snapshot().0
+    }
+
+    /// The hottest clients by windowed request rate (see
+    /// [`ServeObs::heat_clients`]).
+    pub fn heat_clients(&self) -> Vec<gs_obs::HeatRow> {
+        self.shared.obs.heat_clients().snapshot().0
     }
 
     /// Prometheus text exposition of the metrics registry (request

@@ -84,6 +84,30 @@ impl WireFormat {
     }
 }
 
+/// How much a request matters under overload. The coordinator's
+/// priority-aware load shedding drops [`Priority::Speculative`] work first
+/// (prefetches, speculative viewpoint warming) and only degrades
+/// [`Priority::Interactive`] traffic — via reduced-SH brown-out — once the
+/// overload is sustained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Priority {
+    /// A user is waiting on this frame (the default).
+    #[default]
+    Interactive,
+    /// Prefetch/warming work that can be shed without a user noticing.
+    Speculative,
+}
+
+impl Priority {
+    /// The wire token (and metric label) for this priority.
+    pub fn name(self) -> &'static str {
+        match self {
+            Priority::Interactive => "interactive",
+            Priority::Speculative => "speculative",
+        }
+    }
+}
+
 /// A malformed or invalid wire request; the message becomes the 400 body.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WireError(pub String);
@@ -136,6 +160,9 @@ pub struct WireRequest {
     /// HTTP front-ends fall back to the `X-Client-Id` header and then the
     /// peer address, so workload capture can always attribute sessions.
     pub client: Option<String>,
+    /// How much the request matters under overload (default
+    /// [`Priority::Interactive`]); speculative work is shed first.
+    pub priority: Priority,
 }
 
 impl WireRequest {
@@ -161,6 +188,7 @@ impl WireRequest {
             deadline_ms: None,
             shard: None,
             client: None,
+            priority: Priority::default(),
         }
     }
 
@@ -186,6 +214,7 @@ impl WireRequest {
         let mut deadline_ms: Option<u64> = None;
         let mut shard: Option<usize> = None;
         let mut client: Option<String> = None;
+        let mut priority = Priority::default();
 
         use {parse_floats as floats, parse_uints as uints};
         while let Some(key) = tokens.next() {
@@ -218,6 +247,17 @@ impl WireRequest {
                         .next()
                         .ok_or_else(|| err("key \"client\" is missing its id"))?;
                     client = Some(id.to_string());
+                }
+                "priority" => {
+                    priority = match tokens.next() {
+                        Some("interactive") => Priority::Interactive,
+                        Some("speculative") => Priority::Speculative,
+                        other => {
+                            return Err(err(format!(
+                                "key \"priority\": expected \"interactive\" or \"speculative\", got {other:?}"
+                            )))
+                        }
+                    };
                 }
                 "format" => {
                     format = match tokens.next() {
@@ -253,6 +293,7 @@ impl WireRequest {
             deadline_ms,
             shard,
             client,
+            priority,
         };
         req.validate()?;
         Ok(req)
@@ -345,6 +386,9 @@ impl WireRequest {
             if valid_scene_id(c) {
                 body.push_str(&format!("client {c}\n"));
             }
+        }
+        if self.priority != Priority::default() {
+            body.push_str(&format!("priority {}\n", self.priority.name()));
         }
         body.push_str(match self.format {
             WireFormat::RawF32 => "format raw\n",
@@ -439,6 +483,9 @@ impl WireRequest {
             deadline_ms: (event.deadline_ms > 0).then_some(event.deadline_ms as u64),
             shard: None,
             client: valid_scene_id(&event.client).then(|| event.client.clone()),
+            // Capture-lossy like the viewport: traces record interactive
+            // traffic shapes, not shedding priorities.
+            priority: Priority::default(),
         }
     }
 }
@@ -1232,6 +1279,25 @@ mod tests {
         ] {
             assert!(WireRequest::parse(body).is_err(), "{why}: {body:?}");
         }
+    }
+
+    #[test]
+    fn priority_roundtrips_and_defaults_to_interactive() {
+        // The default stays off the wire so old peers keep parsing bodies.
+        let req = demo();
+        assert!(!req.to_body().contains("priority"));
+        assert_eq!(
+            WireRequest::parse(&req.to_body()).unwrap().priority,
+            Priority::Interactive
+        );
+        let mut spec = demo();
+        spec.priority = Priority::Speculative;
+        let parsed = WireRequest::parse(&spec.to_body()).unwrap();
+        assert_eq!(parsed, spec);
+        assert!(WireRequest::parse(
+            "scene s\npos 0 0 -8\ntarget 0 0 0\nsize 8 8\npriority urgent\n"
+        )
+        .is_err());
     }
 
     #[test]
